@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the desynchronization flow itself: how long the
+//! transformation takes on circuits of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desync_circuits::{DlxConfig, LinearPipelineConfig};
+use desync_core::{DesyncOptions, Desynchronizer};
+use desync_netlist::CellLibrary;
+
+fn bench_flow(c: &mut Criterion) {
+    let library = CellLibrary::generic_90nm();
+    let mut group = c.benchmark_group("desynchronize");
+    for &stages in &[4usize, 8, 16] {
+        let netlist = LinearPipelineConfig::balanced(stages, 16, 4)
+            .generate()
+            .expect("pipeline generation");
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", stages),
+            &netlist,
+            |b, netlist| {
+                b.iter(|| {
+                    Desynchronizer::new(netlist, &library, DesyncOptions::default())
+                        .run()
+                        .expect("flow")
+                })
+            },
+        );
+    }
+    let dlx = DlxConfig::default().generate().expect("dlx generation");
+    group.sample_size(10);
+    group.bench_function("dlx16", |b| {
+        b.iter(|| {
+            Desynchronizer::new(&dlx, &library, DesyncOptions::default())
+                .run()
+                .expect("flow")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the marked-graph engine: composition, liveness,
+//! safeness and cycle-time analysis on control models of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desync_mg::compose::from_edges;
+use desync_mg::MarkedGraph;
+
+/// A pipeline-shaped control model with `n` stages.
+fn pipeline_model(n: usize) -> MarkedGraph {
+    let mut edges: Vec<(String, String, u32, f64)> = Vec::new();
+    for i in 0..n {
+        let (a, b) = (format!("s{i}+"), format!("s{i}-"));
+        edges.push((a.clone(), b.clone(), 0, 190.0));
+        edges.push((b.clone(), a.clone(), 1, 120.0));
+        if i + 1 < n {
+            let (c, d) = (format!("s{}+", i + 1), format!("s{}-", i + 1));
+            let tokens = u32::from(i % 2 == 0);
+            edges.push((a.clone(), d.clone(), tokens, 900.0));
+            edges.push((d, a, 1 - tokens, 120.0));
+            let _ = c;
+        }
+    }
+    from_edges(&edges)
+}
+
+fn bench_mg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marked_graph");
+    for &n in &[16usize, 64, 256] {
+        let graph = pipeline_model(n);
+        group.bench_with_input(BenchmarkId::new("cycle_time", n), &graph, |b, g| {
+            b.iter(|| g.cycle_time())
+        });
+        group.bench_with_input(BenchmarkId::new("liveness_safeness", n), &graph, |b, g| {
+            b.iter(|| (g.is_live(), g.is_safe()))
+        });
+        group.bench_with_input(BenchmarkId::new("timed_simulation", n), &graph, |b, g| {
+            b.iter(|| desync_mg::timing::simulate_timed(g, 20, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mg);
+criterion_main!(benches);

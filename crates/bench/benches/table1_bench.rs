@@ -1,0 +1,29 @@
+//! Criterion wrapper around the Table 1 experiment (E1), so `cargo bench`
+//! regenerates the paper's headline comparison and reports its runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desync_bench::{run_table1, Table1Config};
+use desync_core::DesyncOptions;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("dlx16_16cycles", |b| {
+        b.iter(|| {
+            run_table1(Table1Config {
+                width: 16,
+                cycles: 16,
+                options: DesyncOptions::default(),
+            })
+        })
+    });
+    group.finish();
+
+    // Print the full-size table once so the bench log contains the
+    // reproduced numbers alongside the timing.
+    let table = run_table1(Table1Config::default());
+    println!("\n{table}\n");
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

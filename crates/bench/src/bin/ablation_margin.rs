@@ -1,0 +1,8 @@
+//! Extension experiment E7: matched-delay margin sweep.
+
+fn main() {
+    println!(
+        "{}",
+        desync_bench::sweeps::margin_sweep(&[0.0, 0.05, 0.10, 0.20, 0.30, 0.50], 24)
+    );
+}

@@ -1,0 +1,5 @@
+//! Extension experiment E6: handshake-protocol ablation.
+
+fn main() {
+    println!("{}", desync_bench::sweeps::protocol_ablation(6, 8, 5, 24));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 1: the flip-flop circuit and its de-synchronized
+//! latch-based counterpart.
+
+fn main() {
+    println!("{}", desync_bench::figures::figure1());
+}

@@ -1,0 +1,9 @@
+//! Reproduces Figure 2: a forking/joining netlist and the marked graph of
+//! its de-synchronization control network.
+
+fn main() {
+    let fig = desync_bench::figures::figure2();
+    println!("{fig}");
+    println!("\ncomposed marked graph:");
+    print!("{}", fig.model.render());
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 3: the timing diagram of a de-synchronized linear
+//! pipeline (latch enables overlap, data is never overwritten).
+
+fn main() {
+    println!("{}", desync_bench::figures::figure3());
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 4: the pairwise even->odd / odd->even synchronization
+//! patterns and their composition into the pipeline specification.
+
+fn main() {
+    println!("{}", desync_bench::figures::figure4());
+}

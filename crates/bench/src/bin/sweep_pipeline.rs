@@ -1,0 +1,8 @@
+//! Extension experiment E8: pipeline depth / imbalance sweep.
+
+fn main() {
+    println!(
+        "{}",
+        desync_bench::sweeps::pipeline_sweep(&[2, 4, 8, 12, 16], &[1, 2, 4])
+    );
+}

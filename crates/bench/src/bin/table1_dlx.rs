@@ -1,0 +1,17 @@
+//! Reproduces Table 1 of the paper: Sync. vs De-Synchronized DLX.
+//!
+//! ```text
+//! cargo run --release -p desync-bench --bin table1_dlx
+//! ```
+
+use desync_bench::{run_table1, Table1Config};
+
+fn main() {
+    let table = run_table1(Table1Config::default());
+    println!("{table}");
+    println!();
+    println!("paper (post-layout, 0.25um, commercial flow):");
+    println!("Cycle Time                  4.40 ns          4.45 ns    1.011");
+    println!("Dyn. Power Cons.           70.90 mW         71.20 mW    1.004");
+    println!("Area                      372656 um2       378058 um2   1.014");
+}

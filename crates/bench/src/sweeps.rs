@@ -1,0 +1,310 @@
+//! Experiments E6–E8: design-space sweeps extending the paper's evaluation —
+//! handshake protocol ablation, matched-delay margin sweep, and pipeline
+//! depth/imbalance sweep.
+
+use crate::workloads::bus_stimulus;
+use desync_circuits::LinearPipelineConfig;
+use desync_core::{verify_flow_equivalence, DesyncOptions, Desynchronizer, Protocol};
+use desync_netlist::{CellLibrary, Netlist};
+use desync_power::AreaReport;
+use desync_sta::{Sta, TimingConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of the protocol-ablation experiment (E6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolRow {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Desynchronized cycle time, picoseconds.
+    pub cycle_time_ps: f64,
+    /// Total controller cell count.
+    pub controller_cells: usize,
+    /// Controller area, µm².
+    pub controller_area_um2: f64,
+    /// Whether the co-simulation stayed flow equivalent.
+    pub flow_equivalent: bool,
+}
+
+/// The protocol ablation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolAblation {
+    /// Synchronous clock period of the circuit under test, picoseconds.
+    pub sync_period_ps: f64,
+    /// One row per protocol.
+    pub rows: Vec<ProtocolRow>,
+}
+
+impl fmt::Display for ProtocolAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E6 — handshake protocol ablation (sync period {:.1} ps)", self.sync_period_ps)?;
+        writeln!(
+            f,
+            "  {:<18} {:>12} {:>10} {:>16} {:>10} {:>6}",
+            "protocol", "cycle [ps]", "vs sync", "controller cells", "area um2", "equiv"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<18} {:>12.1} {:>10.3} {:>16} {:>10.1} {:>6}",
+                row.protocol.to_string(),
+                row.cycle_time_ps,
+                row.cycle_time_ps / self.sync_period_ps,
+                row.controller_cells,
+                row.controller_area_um2,
+                row.flow_equivalent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the protocol ablation on a balanced pipeline.
+///
+/// # Panics
+///
+/// Panics if generation, the flow or the co-simulation fails.
+pub fn protocol_ablation(stages: usize, width: usize, depth: usize, cycles: usize) -> ProtocolAblation {
+    let netlist = LinearPipelineConfig::balanced(stages, width, depth)
+        .generate()
+        .expect("pipeline generation");
+    let library = CellLibrary::generic_90nm();
+    let sync_period_ps = Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
+    let stimulus = bus_stimulus(&netlist, "din", width, 17);
+    let rows = Protocol::all()
+        .iter()
+        .map(|&protocol| {
+            let design = Desynchronizer::new(
+                &netlist,
+                &library,
+                DesyncOptions::default().with_protocol(protocol),
+            )
+            .run()
+            .expect("desynchronization");
+            let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, cycles)
+                .expect("co-simulation");
+            let overhead = AreaReport::of_netlist(design.overhead_netlist(), &library);
+            ProtocolRow {
+                protocol,
+                cycle_time_ps: design.cycle_time_ps(),
+                controller_cells: design.summary().controller_cells,
+                controller_area_um2: overhead.controller_um2,
+                flow_equivalent: report.is_equivalent(),
+            }
+        })
+        .collect();
+    ProtocolAblation {
+        sync_period_ps,
+        rows,
+    }
+}
+
+/// One row of the matched-delay margin sweep (E7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginRow {
+    /// Safety margin applied to the matched delays.
+    pub margin: f64,
+    /// Desynchronized cycle time, picoseconds.
+    pub cycle_time_ps: f64,
+    /// Total delay cells across all matched-delay lines.
+    pub delay_cells: usize,
+    /// Whether the co-simulation stayed flow equivalent.
+    pub flow_equivalent: bool,
+}
+
+/// The matched-delay margin sweep report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginSweep {
+    /// Synchronous clock period of the circuit under test, picoseconds.
+    pub sync_period_ps: f64,
+    /// One row per margin value.
+    pub rows: Vec<MarginRow>,
+}
+
+impl fmt::Display for MarginSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E7 — matched-delay margin sweep (sync period {:.1} ps)", self.sync_period_ps)?;
+        writeln!(
+            f,
+            "  {:>8} {:>12} {:>10} {:>12} {:>6}",
+            "margin", "cycle [ps]", "vs sync", "delay cells", "equiv"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:>8.2} {:>12.1} {:>10.3} {:>12} {:>6}",
+                row.margin,
+                row.cycle_time_ps,
+                row.cycle_time_ps / self.sync_period_ps,
+                row.delay_cells,
+                row.flow_equivalent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the margin sweep on a balanced pipeline.
+///
+/// # Panics
+///
+/// Panics if generation, the flow or the co-simulation fails.
+pub fn margin_sweep(margins: &[f64], cycles: usize) -> MarginSweep {
+    let width = 8;
+    let netlist = LinearPipelineConfig::balanced(5, width, 6)
+        .generate()
+        .expect("pipeline generation");
+    let library = CellLibrary::generic_90nm();
+    let sync_period_ps = Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
+    let stimulus = bus_stimulus(&netlist, "din", width, 23);
+    let rows = margins
+        .iter()
+        .map(|&margin| {
+            let design = Desynchronizer::new(
+                &netlist,
+                &library,
+                DesyncOptions::default().with_margin(margin),
+            )
+            .run()
+            .expect("desynchronization");
+            let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, cycles)
+                .expect("co-simulation");
+            MarginRow {
+                margin,
+                cycle_time_ps: design.cycle_time_ps(),
+                delay_cells: design.summary().matched_delay_cells,
+                flow_equivalent: report.is_equivalent(),
+            }
+        })
+        .collect();
+    MarginSweep {
+        sync_period_ps,
+        rows,
+    }
+}
+
+/// One row of the pipeline depth/imbalance sweep (E8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRow {
+    /// Number of pipeline stages.
+    pub stages: usize,
+    /// Stage-imbalance factor used by the generator (1 = balanced).
+    pub imbalance: usize,
+    /// Synchronous clock period, picoseconds.
+    pub sync_period_ps: f64,
+    /// Desynchronized cycle time, picoseconds.
+    pub desync_cycle_ps: f64,
+}
+
+impl PipelineRow {
+    /// Desynchronized / synchronous cycle-time ratio.
+    pub fn ratio(&self) -> f64 {
+        self.desync_cycle_ps / self.sync_period_ps
+    }
+}
+
+/// The pipeline sweep report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PipelineSweep {
+    /// One row per (depth, imbalance) point.
+    pub rows: Vec<PipelineRow>,
+}
+
+impl fmt::Display for PipelineSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E8 — pipeline depth / imbalance sweep")?;
+        writeln!(
+            f,
+            "  {:>7} {:>10} {:>14} {:>16} {:>8}",
+            "stages", "imbalance", "sync [ps]", "desync [ps]", "ratio"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:>7} {:>10} {:>14.1} {:>16.1} {:>8.3}",
+                row.stages,
+                row.imbalance,
+                row.sync_period_ps,
+                row.desync_cycle_ps,
+                row.ratio()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the depth/imbalance sweep.
+///
+/// # Panics
+///
+/// Panics if generation or the flow fails.
+pub fn pipeline_sweep(depths: &[usize], imbalances: &[usize]) -> PipelineSweep {
+    let library = CellLibrary::generic_90nm();
+    let mut rows = Vec::new();
+    for &stages in depths {
+        for &imbalance in imbalances {
+            let netlist: Netlist = if imbalance <= 1 {
+                LinearPipelineConfig::balanced(stages, 8, 4)
+            } else {
+                LinearPipelineConfig::unbalanced(stages, 8, 4, imbalance)
+            }
+            .generate()
+            .expect("pipeline generation");
+            let sync_period_ps =
+                Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
+            let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+                .run()
+                .expect("desynchronization");
+            rows.push(PipelineRow {
+                stages,
+                imbalance,
+                sync_period_ps,
+                desync_cycle_ps: design.cycle_time_ps(),
+            });
+        }
+    }
+    PipelineSweep { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_ablation_orders_protocols() {
+        let report = protocol_ablation(4, 6, 4, 12);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows.iter().all(|r| r.flow_equivalent));
+        // The fully-decoupled protocol is never slower than non-overlapping.
+        let fd = report.rows.iter().find(|r| r.protocol == Protocol::FullyDecoupled).unwrap();
+        let no = report.rows.iter().find(|r| r.protocol == Protocol::NonOverlapping).unwrap();
+        assert!(fd.cycle_time_ps <= no.cycle_time_ps + 1e-6);
+        // Its controllers are however larger.
+        assert!(fd.controller_cells >= no.controller_cells);
+        assert!(report.to_string().contains("protocol"));
+    }
+
+    #[test]
+    fn margin_sweep_is_monotone_and_always_equivalent() {
+        let report = margin_sweep(&[0.0, 0.1, 0.3], 12);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows.iter().all(|r| r.flow_equivalent));
+        for pair in report.rows.windows(2) {
+            assert!(pair[1].cycle_time_ps >= pair[0].cycle_time_ps - 1e-9);
+            assert!(pair[1].delay_cells >= pair[0].delay_cells);
+        }
+        assert!(report.to_string().contains("margin"));
+    }
+
+    #[test]
+    fn pipeline_sweep_covers_the_grid() {
+        let report = pipeline_sweep(&[2, 4], &[1, 3]);
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.sync_period_ps > 0.0);
+            assert!(row.desync_cycle_ps > 0.0);
+            assert!(row.ratio() > 0.5 && row.ratio() < 6.0);
+        }
+        assert!(report.to_string().contains("imbalance"));
+    }
+}

@@ -1,0 +1,380 @@
+//! A gate-level, five-stage DLX-like pipelined processor.
+//!
+//! This is the Table 1 workload of the paper. The original evaluation used a
+//! DLX RTL design synthesized with commercial tools; here an equivalent
+//! gate-level structure is generated directly:
+//!
+//! * **IF** — program counter and its incrementer; the instruction word is a
+//!   primary input bus so the testbench can stream an arbitrary program.
+//! * **ID** — instruction field extraction and an 8-entry register file with
+//!   two combinational read ports and one write port.
+//! * **EX** — an ALU (add, subtract, and, or, xor), an immediate path and
+//!   forwarding from the EX/MEM and MEM/WB pipeline registers.
+//! * **MEM** — a four-word data scratchpad with write decoding for stores
+//!   and a read multiplexer for loads.
+//! * **WB** — write-back into the register file.
+//!
+//! The processor is a plain single-clock flip-flop netlist; its pipeline
+//! registers, register file and scratchpad are exactly the latch population
+//! the desynchronization flow operates on.
+//!
+//! # Instruction format (16-bit shown for the default width)
+//!
+//! ```text
+//! [2:0]  opcode   000 ADD  001 SUB  010 AND  011 OR
+//!                 100 XOR  101 ADDI 110 LW   111 SW
+//! [5:3]  rd       destination register
+//! [8:6]  rs1      first source register
+//! [11:9] rs2      second source register
+//! [15:12] imm4    immediate (zero-extended)
+//! ```
+
+use crate::word::{Bus, WordBuilder};
+use desync_netlist::{CellKind, NetId, Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the DLX generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlxConfig {
+    /// Data-path width in bits (≥ 8; the default of 16 matches the
+    /// instruction format above).
+    pub width: usize,
+    /// Module name of the generated netlist.
+    pub name: String,
+}
+
+impl Default for DlxConfig {
+    fn default() -> Self {
+        Self {
+            width: 16,
+            name: "dlx".to_string(),
+        }
+    }
+}
+
+/// Number of architectural registers.
+pub const NUM_REGISTERS: usize = 8;
+/// Number of words in the data scratchpad.
+pub const SCRATCHPAD_WORDS: usize = 4;
+/// Width of the instruction word consumed from the `instr` input bus.
+pub const INSTRUCTION_WIDTH: usize = 16;
+
+impl DlxConfig {
+    /// Generates the gate-level netlist.
+    ///
+    /// Primary inputs: `clk`, `instr[15:0]`. Primary outputs: the MEM/WB
+    /// result bus `result[width-1:0]` and the program counter `pc_out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors (a generator bug, not a user
+    /// error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8`.
+    pub fn generate(&self) -> Result<Netlist, NetlistError> {
+        assert!(self.width >= 8, "dlx width must be at least 8 bits");
+        let width = self.width;
+        let mut netlist = Netlist::new(self.name.clone());
+        let clk = netlist.add_input("clk");
+        let mut b = WordBuilder::new(&mut netlist);
+
+        // ------------------------------------------------------------------
+        // IF stage: program counter.
+        // ------------------------------------------------------------------
+        let instr_in = b.input_bus("instr", INSTRUCTION_WIDTH);
+        let pc_q: Bus = (0..width)
+            .map(|i| b.netlist().add_net(format!("pc_q[{i}]")))
+            .collect();
+        let pc_next = b.increment("pc_inc", &pc_q)?;
+        for (i, (&d, &q)) in pc_next.iter().zip(pc_q.iter()).enumerate() {
+            b.netlist().add_dff(format!("pc_ff[{i}]"), d, clk, q)?;
+        }
+
+        // IF/ID pipeline register: latch the instruction word.
+        let ifid_instr = b.register("ifid_instr", &instr_in, clk)?;
+
+        // ------------------------------------------------------------------
+        // ID stage: field extraction, register file read.
+        // ------------------------------------------------------------------
+        let op: Bus = ifid_instr[0..3].to_vec();
+        let rd: Bus = ifid_instr[3..6].to_vec();
+        let rs1: Bus = ifid_instr[6..9].to_vec();
+        let rs2: Bus = ifid_instr[9..12].to_vec();
+        let imm4: Bus = ifid_instr[12..16].to_vec();
+        // Zero-extend the immediate to the data width.
+        let zero_id = b.zero("id")?;
+        let imm: Bus = (0..width)
+            .map(|i| if i < imm4.len() { imm4[i] } else { zero_id })
+            .collect();
+
+        // Register file storage (write port wired after WB is known).
+        let regfile_q: Vec<Bus> = (0..NUM_REGISTERS)
+            .map(|r| {
+                (0..width)
+                    .map(|i| b.netlist().add_net(format!("rf{r}_q[{i}]")))
+                    .collect()
+            })
+            .collect();
+
+        // Read ports: one-hot decode of rs1/rs2 and AND-OR mux.
+        let rs1_onehot = b.decoder("rf_rd1_dec", &rs1)?;
+        let rs2_onehot = b.decoder("rf_rd2_dec", &rs2)?;
+        let rs1_val = b.onehot_mux("rf_rd1_mux", &rs1_onehot, &regfile_q)?;
+        let rs2_val = b.onehot_mux("rf_rd2_mux", &rs2_onehot, &regfile_q)?;
+
+        // ID/EX pipeline register.
+        let idex_a = b.register("idex_a", &rs1_val, clk)?;
+        let idex_b = b.register("idex_b", &rs2_val, clk)?;
+        let idex_imm = b.register("idex_imm", &imm, clk)?;
+        let idex_op = b.register("idex_op", &op, clk)?;
+        let idex_rd = b.register("idex_rd", &rd, clk)?;
+        let idex_rs1 = b.register("idex_rs1", &rs1, clk)?;
+        let idex_rs2 = b.register("idex_rs2", &rs2, clk)?;
+
+        // ------------------------------------------------------------------
+        // EX stage: forwarding, ALU.
+        // ------------------------------------------------------------------
+        // Opcode decode (one-hot over the 8 opcodes).
+        let opdec = b.decoder("ex_opdec", &idex_op)?;
+        let op_add = opdec[0];
+        let op_sub = opdec[1];
+        let op_and = opdec[2];
+        let op_or = opdec[3];
+        let op_xor = opdec[4];
+        let op_addi = opdec[5];
+        let op_lw = opdec[6];
+        let op_sw = opdec[7];
+        let use_imm = {
+            let t = b.gate2("ex_useimm", CellKind::Or, op_addi, op_lw)?;
+            b.gate2("ex_useimm", CellKind::Or, t, op_sw)?
+        };
+
+        // Forwarding sources are the EX/MEM and MEM/WB registers; their nets
+        // are created up front and wired below.
+        let exmem_result: Bus = (0..width)
+            .map(|i| b.netlist().add_net(format!("exmem_result_q[{i}]")))
+            .collect();
+        let exmem_rd: Bus = (0..3)
+            .map(|i| b.netlist().add_net(format!("exmem_rd_q[{i}]")))
+            .collect();
+        let exmem_regwrite = b.netlist().add_net("exmem_regwrite_q");
+        let memwb_result: Bus = (0..width)
+            .map(|i| b.netlist().add_net(format!("memwb_result_q[{i}]")))
+            .collect();
+        let memwb_rd: Bus = (0..3)
+            .map(|i| b.netlist().add_net(format!("memwb_rd_q[{i}]")))
+            .collect();
+        let memwb_regwrite = b.netlist().add_net("memwb_regwrite_q");
+
+        let forward_operand = |b: &mut WordBuilder<'_>,
+                               prefix: &str,
+                               base: &Bus,
+                               rs: &Bus|
+         -> Result<Bus, NetlistError> {
+            // MEM/WB forwarding first (older instruction), then EX/MEM
+            // (younger, takes priority).
+            let eq_wb = b.equals(&format!("{prefix}_eqwb"), rs, &memwb_rd)?;
+            let fwd_wb = b.gate2(&format!("{prefix}_fwb"), CellKind::And, eq_wb, memwb_regwrite)?;
+            let after_wb = b.mux(&format!("{prefix}_muxwb"), fwd_wb, base, &memwb_result)?;
+            let eq_ex = b.equals(&format!("{prefix}_eqex"), rs, &exmem_rd)?;
+            let fwd_ex = b.gate2(&format!("{prefix}_fex"), CellKind::And, eq_ex, exmem_regwrite)?;
+            b.mux(&format!("{prefix}_muxex"), fwd_ex, &after_wb, &exmem_result)
+        };
+        let a_fwd = forward_operand(&mut b, "fwd_a", &idex_a, &idex_rs1)?;
+        let b_fwd = forward_operand(&mut b, "fwd_b", &idex_b, &idex_rs2)?;
+
+        // Second ALU operand: forwarded B or the immediate.
+        let alu_b = b.mux("ex_bsel", use_imm, &b_fwd, &idex_imm)?;
+
+        // Adder/subtractor: invert B and set carry-in for subtraction.
+        let alu_b_inv = b.invert_bus("ex_binv", &alu_b)?;
+        let b_eff = b.mux("ex_beff", op_sub, &alu_b, &alu_b_inv)?;
+        let (addsub, _) = b.adder("ex_add", &a_fwd, &b_eff, op_sub)?;
+        let and_r = b.bitwise("ex_and", CellKind::And, &a_fwd, &alu_b)?;
+        let or_r = b.bitwise("ex_or", CellKind::Or, &a_fwd, &alu_b)?;
+        let xor_r = b.bitwise("ex_xor", CellKind::Xor, &a_fwd, &alu_b)?;
+
+        // Result select: add/sub share the adder output; addi/lw/sw are adds.
+        let sel_addsub = {
+            let t1 = b.gate2("ex_seladd", CellKind::Or, op_add, op_sub)?;
+            let t2 = b.gate2("ex_seladd", CellKind::Or, t1, op_addi)?;
+            let t3 = b.gate2("ex_seladd", CellKind::Or, t2, op_lw)?;
+            b.gate2("ex_seladd", CellKind::Or, t3, op_sw)?
+        };
+        let alu_result = b.onehot_mux(
+            "ex_ressel",
+            &vec![sel_addsub, op_and, op_or, op_xor],
+            &[addsub, and_r, or_r, xor_r],
+        )?;
+
+        // Register-write control: every opcode except SW writes rd.
+        let ex_regwrite = b.invert("ex_regwrite", op_sw)?;
+
+        // EX/MEM pipeline register (nets already exist; wire the flops).
+        let exmem_store = b.register("exmem_store", &b_fwd, clk)?;
+        let exmem_is_lw = b.register("exmem_islw", &vec![op_lw], clk)?[0];
+        let exmem_is_sw = b.register("exmem_issw", &vec![op_sw], clk)?[0];
+        for (i, (&d, &q)) in alu_result.iter().zip(exmem_result.iter()).enumerate() {
+            b.netlist()
+                .add_dff(format!("exmem_result_ff[{i}]"), d, clk, q)?;
+        }
+        for (i, (&d, &q)) in idex_rd.iter().zip(exmem_rd.iter()).enumerate() {
+            b.netlist()
+                .add_dff(format!("exmem_rd_ff[{i}]"), d, clk, q)?;
+        }
+        b.netlist()
+            .add_dff("exmem_regwrite_ff", ex_regwrite, clk, exmem_regwrite)?;
+
+        // ------------------------------------------------------------------
+        // MEM stage: data scratchpad.
+        // ------------------------------------------------------------------
+        let addr: Bus = exmem_result[0..2].to_vec();
+        let addr_onehot = b.decoder("mem_adec", &addr)?;
+        let mut mem_words: Vec<Bus> = Vec::with_capacity(SCRATCHPAD_WORDS);
+        for w in 0..SCRATCHPAD_WORDS {
+            let we = b.gate2(
+                &format!("mem_we{w}"),
+                CellKind::And,
+                exmem_is_sw,
+                addr_onehot[w],
+            )?;
+            let word = b.register_we(&format!("dmem{w}"), &exmem_store, we, clk)?;
+            mem_words.push(word);
+        }
+        let mem_read = b.onehot_mux("mem_rmux", &addr_onehot, &mem_words)?;
+        let mem_result = b.mux("mem_ressel", exmem_is_lw, &exmem_result, &mem_read)?;
+
+        // MEM/WB pipeline register.
+        for (i, (&d, &q)) in mem_result.iter().zip(memwb_result.iter()).enumerate() {
+            b.netlist()
+                .add_dff(format!("memwb_result_ff[{i}]"), d, clk, q)?;
+        }
+        for (i, (&d, &q)) in exmem_rd.iter().zip(memwb_rd.iter()).enumerate() {
+            b.netlist()
+                .add_dff(format!("memwb_rd_ff[{i}]"), d, clk, q)?;
+        }
+        b.netlist()
+            .add_dff("memwb_regwrite_ff", exmem_regwrite, clk, memwb_regwrite)?;
+
+        // ------------------------------------------------------------------
+        // WB stage: register-file write port.
+        // ------------------------------------------------------------------
+        let wb_onehot = b.decoder("wb_dec", &memwb_rd)?;
+        for (r, q_word) in regfile_q.iter().enumerate() {
+            let we = b.gate2(
+                &format!("wb_we{r}"),
+                CellKind::And,
+                memwb_regwrite,
+                wb_onehot[r],
+            )?;
+            // q <= we ? wb_result : q  (mux + flop per bit).
+            for (i, &q) in q_word.iter().enumerate() {
+                let next = b.mux_bit(&format!("rf{r}_wmux{i}"), we, q, memwb_result[i])?;
+                b.netlist().add_dff(format!("rf{r}_ff[{i}]"), next, clk, q)?;
+            }
+        }
+
+        // Primary outputs.
+        b.mark_output_bus(&memwb_result);
+        b.mark_output_bus(&pc_q);
+        Ok(netlist)
+    }
+}
+
+/// Encodes one DLX instruction word for the `instr` input bus.
+///
+/// `op` is the 3-bit opcode, `rd`/`rs1`/`rs2` are 3-bit register indices and
+/// `imm` is the 4-bit immediate.
+pub fn encode_instruction(op: u16, rd: u16, rs1: u16, rs2: u16, imm: u16) -> u16 {
+    (op & 0x7) | ((rd & 0x7) << 3) | ((rs1 & 0x7) << 6) | ((rs2 & 0x7) << 9) | ((imm & 0xF) << 12)
+}
+
+/// Expands an instruction word into per-bit values for the `instr` bus.
+pub fn instruction_bits(word: u16) -> Vec<bool> {
+    (0..INSTRUCTION_WIDTH).map(|i| word >> i & 1 == 1).collect()
+}
+
+/// The `instr[i]` net ids of a generated DLX netlist, LSB first.
+///
+/// # Panics
+///
+/// Panics if the netlist was not produced by [`DlxConfig::generate`]
+/// (missing `instr` nets).
+pub fn instruction_nets(netlist: &Netlist) -> Vec<NetId> {
+    (0..INSTRUCTION_WIDTH)
+        .map(|i| {
+            netlist
+                .find_net(&format!("instr[{i}]"))
+                .expect("netlist is not a generated DLX: missing instr bus")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlx_generates_valid_single_clock_netlist() {
+        let n = DlxConfig::default().generate().unwrap();
+        assert!(n.validate().is_ok());
+        assert!(n.single_clock().is_ok());
+        // Structure: a few hundred flip-flops, a few thousand gates.
+        assert!(n.num_flip_flops() > 200, "flip-flops: {}", n.num_flip_flops());
+        assert!(n.num_combinational() > 1000, "gates: {}", n.num_combinational());
+        assert_eq!(n.inputs().len(), 1 + INSTRUCTION_WIDTH);
+        assert_eq!(n.outputs().len(), 16 + 16);
+    }
+
+    #[test]
+    fn wider_dlx_is_larger() {
+        let w16 = DlxConfig::default().generate().unwrap();
+        let w24 = DlxConfig {
+            width: 24,
+            name: "dlx24".into(),
+        }
+        .generate()
+        .unwrap();
+        assert!(w24.num_flip_flops() > w16.num_flip_flops());
+        assert!(w24.num_combinational() > w16.num_combinational());
+    }
+
+    #[test]
+    fn instruction_encoding_roundtrip() {
+        let word = encode_instruction(0b101, 3, 6, 2, 0xA);
+        assert_eq!(word & 0x7, 0b101);
+        assert_eq!(word >> 3 & 0x7, 3);
+        assert_eq!(word >> 6 & 0x7, 6);
+        assert_eq!(word >> 9 & 0x7, 2);
+        assert_eq!(word >> 12 & 0xF, 0xA);
+        let bits = instruction_bits(word);
+        assert_eq!(bits.len(), INSTRUCTION_WIDTH);
+        assert_eq!(bits[0], true);
+        assert_eq!(bits[1], false);
+        assert_eq!(bits[2], true);
+    }
+
+    #[test]
+    fn instruction_nets_resolve() {
+        let n = DlxConfig::default().generate().unwrap();
+        let nets = instruction_nets(&n);
+        assert_eq!(nets.len(), INSTRUCTION_WIDTH);
+        // All distinct.
+        let mut sorted = nets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), INSTRUCTION_WIDTH);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 bits")]
+    fn narrow_width_panics() {
+        let _ = DlxConfig {
+            width: 4,
+            name: "tiny".into(),
+        }
+        .generate();
+    }
+}

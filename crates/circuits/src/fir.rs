@@ -1,0 +1,206 @@
+//! A transposed-form FIR filter benchmark.
+//!
+//! DSP pipelines are the second workload class the desynchronization
+//! literature targets (regular, deeply pipelined, data-flow dominated).
+//! The filter is built from shift-add constant multipliers and a transposed
+//! delay line, so each tap is a register stage with a modest adder in front
+//! of it — a structure whose stage delays differ from the DLX's.
+
+use crate::word::{Bus, WordBuilder};
+use desync_netlist::{Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the FIR filter generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirConfig {
+    /// Input sample width in bits.
+    pub width: usize,
+    /// Filter coefficients (small non-negative integers, applied as
+    /// shift-add constant multiplications modulo 2^width).
+    pub coefficients: Vec<u32>,
+    /// Module name.
+    pub name: String,
+}
+
+impl Default for FirConfig {
+    fn default() -> Self {
+        Self {
+            width: 8,
+            coefficients: vec![1, 3, 5, 3, 1],
+            name: "fir".to_string(),
+        }
+    }
+}
+
+impl FirConfig {
+    /// A filter with `taps` taps of width `width`, using a symmetric ramp of
+    /// coefficients.
+    pub fn with_taps(taps: usize, width: usize) -> Self {
+        assert!(taps >= 1, "fir needs at least one tap");
+        let coefficients = (0..taps)
+            .map(|i| 1 + (i.min(taps - 1 - i)) as u32)
+            .collect();
+        Self {
+            width,
+            coefficients,
+            name: format!("fir{taps}x{width}"),
+        }
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Generates the gate-level netlist (transposed form):
+    ///
+    /// ```text
+    /// y[n] = c0*x[n] + z0;   z0 <= c1*x[n] + z1;  z1 <= c2*x[n] + z2; ...
+    /// ```
+    ///
+    /// All arithmetic is modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient list is empty or the width is zero.
+    pub fn generate(&self) -> Result<Netlist, NetlistError> {
+        assert!(!self.coefficients.is_empty(), "fir needs at least one tap");
+        assert!(self.width >= 1, "fir needs a non-zero width");
+        let mut netlist = Netlist::new(self.name.clone());
+        let clk = netlist.add_input("clk");
+        let mut builder = WordBuilder::new(&mut netlist);
+        let x = builder.input_bus("x", self.width);
+
+        // Products c_i * x, computed by shift-add.
+        let mut products: Vec<Bus> = Vec::with_capacity(self.coefficients.len());
+        for (i, &c) in self.coefficients.iter().enumerate() {
+            products.push(constant_multiply(&mut builder, &format!("mul{i}"), &x, c)?);
+        }
+
+        // Transposed delay line, from the last tap towards the output.
+        let zero = builder.zero("acc")?;
+        let mut carry_word: Bus = vec![zero; self.width];
+        for (i, product) in products.iter().enumerate().rev() {
+            let cin = builder.zero(&format!("tap{i}"))?;
+            let (sum, _) = builder.adder(&format!("tap{i}"), product, &carry_word, cin)?;
+            if i == 0 {
+                carry_word = sum;
+            } else {
+                carry_word = builder.register(&format!("ztap{i}"), &sum, clk)?;
+            }
+        }
+        // Output register.
+        let y = builder.register("yreg", &carry_word, clk)?;
+        builder.mark_output_bus(&y);
+        Ok(netlist)
+    }
+}
+
+/// Shift-add constant multiplication of a bus by a small unsigned constant,
+/// modulo `2^width`.
+fn constant_multiply(
+    builder: &mut WordBuilder<'_>,
+    prefix: &str,
+    x: &Bus,
+    constant: u32,
+) -> Result<Bus, NetlistError> {
+    let width = x.len();
+    let zero = builder.zero(prefix)?;
+    let mut acc: Bus = vec![zero; width];
+    let mut any = false;
+    for bit in 0..32 {
+        if constant >> bit & 1 == 0 {
+            continue;
+        }
+        if bit as usize >= width {
+            break;
+        }
+        // x << bit (drop high bits).
+        let shifted: Bus = (0..width)
+            .map(|i| {
+                if i < bit as usize {
+                    zero
+                } else {
+                    x[i - bit as usize]
+                }
+            })
+            .collect();
+        if !any {
+            acc = shifted;
+            any = true;
+        } else {
+            let cin = builder.zero(prefix)?;
+            let (sum, _) = builder.adder(&format!("{prefix}_s{bit}"), &acc, &shifted, cin)?;
+            acc = sum;
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fir_is_valid() {
+        let n = FirConfig::default().generate().unwrap();
+        assert!(n.validate().is_ok());
+        assert!(n.num_flip_flops() > 0);
+        assert!(n.single_clock().is_ok());
+    }
+
+    #[test]
+    fn tap_count_controls_register_stages() {
+        let small = FirConfig::with_taps(3, 8).generate().unwrap();
+        let large = FirConfig::with_taps(9, 8).generate().unwrap();
+        assert!(large.num_flip_flops() > small.num_flip_flops());
+        assert!(large.num_combinational() > small.num_combinational());
+        assert_eq!(FirConfig::with_taps(9, 8).taps(), 9);
+    }
+
+    #[test]
+    fn zero_coefficient_contributes_nothing() {
+        let cfg = FirConfig {
+            width: 4,
+            coefficients: vec![0, 1],
+            name: "firz".into(),
+        };
+        let n = cfg.generate().unwrap();
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn power_of_two_coefficient_is_just_wiring() {
+        let a = FirConfig {
+            width: 8,
+            coefficients: vec![4],
+            name: "fir4".into(),
+        }
+        .generate()
+        .unwrap();
+        let b = FirConfig {
+            width: 8,
+            coefficients: vec![5],
+            name: "fir5".into(),
+        }
+        .generate()
+        .unwrap();
+        // 5 = 4 + 1 needs an adder, 4 alone does not.
+        assert!(b.num_combinational() > a.num_combinational());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_coefficients_panic() {
+        let cfg = FirConfig {
+            width: 8,
+            coefficients: vec![],
+            name: "bad".into(),
+        };
+        let _ = cfg.generate();
+    }
+}

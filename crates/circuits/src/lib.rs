@@ -1,0 +1,36 @@
+//! Benchmark circuit generators for the desynchronization experiments.
+//!
+//! The paper evaluates desynchronization on a DLX processor synthesized with
+//! commercial tools. Since no commercial flow is available here, this crate
+//! generates comparable gate-level netlists programmatically:
+//!
+//! * [`dlx::DlxConfig`] — a five-stage DLX-like pipelined processor with a
+//!   register file, ALU, forwarding and a small data scratchpad (the
+//!   Table 1 workload).
+//! * [`pipeline::LinearPipelineConfig`] — linear pipelines with configurable
+//!   depth, width and per-stage logic depth (the Figure 1/3 examples and the
+//!   depth/imbalance sweeps).
+//! * [`fir::FirConfig`] — a transposed-form FIR filter (a DSP-style
+//!   workload).
+//! * [`counter`] — binary counters, ring counters and LFSRs (small control-
+//!   dominated circuits).
+//! * [`random`] — seeded random register+cloud netlists for property
+//!   testing the whole flow.
+//!
+//! All generators produce ordinary single-clock flip-flop netlists from the
+//! [`desync_netlist`] crate, ready to be desynchronized by `desync-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod dlx;
+pub mod fir;
+pub mod pipeline;
+pub mod random;
+pub mod word;
+
+pub use dlx::DlxConfig;
+pub use fir::FirConfig;
+pub use pipeline::LinearPipelineConfig;
+pub use word::WordBuilder;

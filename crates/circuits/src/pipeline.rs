@@ -1,0 +1,179 @@
+//! Linear pipeline generators.
+//!
+//! These are the circuits of the paper's Figures 1 and 3: a chain of
+//! registers separated by combinational logic. The per-stage logic depth can
+//! be varied to create balanced or deliberately unbalanced pipelines, which
+//! is where the desynchronized implementation's ability to let fast stages
+//! run ahead (token/bubble dynamics) shows up.
+
+use crate::word::WordBuilder;
+use desync_netlist::{CellKind, Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a linear pipeline benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearPipelineConfig {
+    /// Number of register stages (≥ 1).
+    pub stages: usize,
+    /// Data-path width in bits (≥ 1).
+    pub width: usize,
+    /// Logic depth (number of gate levels) between consecutive stages.
+    /// One entry per inter-stage cloud; when shorter than `stages` the last
+    /// entry is repeated, when empty a depth of 1 is used.
+    pub stage_logic_depth: Vec<usize>,
+    /// Module name of the generated netlist.
+    pub name: String,
+}
+
+impl Default for LinearPipelineConfig {
+    fn default() -> Self {
+        Self {
+            stages: 4,
+            width: 8,
+            stage_logic_depth: vec![3],
+            name: "linear_pipeline".to_string(),
+        }
+    }
+}
+
+impl LinearPipelineConfig {
+    /// A balanced pipeline with `stages` stages of `width` bits and uniform
+    /// logic depth `depth`.
+    pub fn balanced(stages: usize, width: usize, depth: usize) -> Self {
+        Self {
+            stages,
+            width,
+            stage_logic_depth: vec![depth],
+            name: format!("pipe{stages}x{width}"),
+        }
+    }
+
+    /// An unbalanced pipeline whose stage `i` has logic depth
+    /// `base_depth * (1 + i % imbalance)`.
+    pub fn unbalanced(stages: usize, width: usize, base_depth: usize, imbalance: usize) -> Self {
+        let depths = (0..stages)
+            .map(|i| base_depth * (1 + i % imbalance.max(1)))
+            .collect();
+        Self {
+            stages,
+            width,
+            stage_logic_depth: depths,
+            name: format!("pipe{stages}x{width}_imb{imbalance}"),
+        }
+    }
+
+    /// The logic depth in front of stage `i`.
+    pub fn depth_of(&self, stage: usize) -> usize {
+        match self.stage_logic_depth.as_slice() {
+            [] => 1,
+            depths => *depths.get(stage).unwrap_or(depths.last().expect("non-empty")),
+        }
+    }
+
+    /// Generates the gate-level netlist: `din -> [logic] -> r0 -> [logic] ->
+    /// r1 -> ... -> r(stages-1) -> dout`.
+    ///
+    /// The per-stage logic is a chain of alternating XOR (with the previous
+    /// stage's other bits) and NOT gates, giving every bit a combinational
+    /// path of the configured depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors (which would indicate a bug in
+    /// the generator rather than bad configuration).
+    pub fn generate(&self) -> Result<Netlist, NetlistError> {
+        assert!(self.stages >= 1, "pipeline needs at least one stage");
+        assert!(self.width >= 1, "pipeline needs at least one bit");
+        let mut netlist = Netlist::new(self.name.clone());
+        let clk = netlist.add_input("clk");
+        let mut builder = WordBuilder::new(&mut netlist);
+        let din = builder.input_bus("din", self.width);
+
+        let mut current = din;
+        for stage in 0..self.stages {
+            let depth = self.depth_of(stage);
+            // Combinational cloud: depth levels of gates.
+            let mut cloud = current.clone();
+            for level in 0..depth {
+                let prefix = format!("s{stage}_l{level}");
+                cloud = if level % 2 == 0 {
+                    // Mix neighbouring bits with XORs (rotate by one).
+                    let rotated: Vec<_> = (0..cloud.len())
+                        .map(|i| cloud[(i + 1) % cloud.len()])
+                        .collect();
+                    builder.bitwise(&prefix, CellKind::Xor, &cloud, &rotated)?
+                } else {
+                    builder.invert_bus(&prefix, &cloud)?
+                };
+            }
+            current = builder.register(&format!("stage{stage}"), &cloud, clk)?;
+        }
+        builder.mark_output_bus(&current);
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_pipeline_generates_valid_netlist() {
+        let cfg = LinearPipelineConfig::balanced(4, 8, 3);
+        let n = cfg.generate().unwrap();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_flip_flops(), 4 * 8);
+        assert_eq!(n.inputs().len(), 1 + 8);
+        assert_eq!(n.outputs().len(), 8);
+        assert!(n.single_clock().is_ok());
+    }
+
+    #[test]
+    fn default_config_works() {
+        let n = LinearPipelineConfig::default().generate().unwrap();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_flip_flops(), 4 * 8);
+    }
+
+    #[test]
+    fn unbalanced_depths_differ() {
+        let cfg = LinearPipelineConfig::unbalanced(4, 4, 2, 3);
+        assert_eq!(cfg.depth_of(0), 2);
+        assert_eq!(cfg.depth_of(1), 4);
+        assert_eq!(cfg.depth_of(2), 6);
+        assert_eq!(cfg.depth_of(3), 2);
+        let n = cfg.generate().unwrap();
+        assert!(n.validate().is_ok());
+        // Deeper stages mean more combinational cells than the balanced case.
+        let balanced = LinearPipelineConfig::balanced(4, 4, 2).generate().unwrap();
+        assert!(n.num_combinational() > balanced.num_combinational());
+    }
+
+    #[test]
+    fn single_stage_single_bit() {
+        let cfg = LinearPipelineConfig::balanced(1, 1, 1);
+        let n = cfg.generate().unwrap();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_flip_flops(), 1);
+    }
+
+    #[test]
+    fn depth_of_with_empty_list_defaults_to_one() {
+        let cfg = LinearPipelineConfig {
+            stage_logic_depth: vec![],
+            ..LinearPipelineConfig::default()
+        };
+        assert_eq!(cfg.depth_of(0), 1);
+        assert_eq!(cfg.depth_of(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let cfg = LinearPipelineConfig {
+            stages: 0,
+            ..LinearPipelineConfig::default()
+        };
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,417 @@
+//! Word-level construction helpers: buses, registers, adders, muxes and
+//! other gate-level building blocks shared by the benchmark generators.
+
+use desync_netlist::{CellKind, NetId, Netlist, NetlistError};
+
+/// A bus is simply an ordered list of nets, least-significant bit first.
+pub type Bus = Vec<NetId>;
+
+/// A builder wrapper adding word-level operations on top of a [`Netlist`].
+///
+/// Instance and net names are derived from a caller-supplied prefix plus an
+/// internal counter, so repeated calls never collide.
+#[derive(Debug)]
+pub struct WordBuilder<'a> {
+    netlist: &'a mut Netlist,
+    unique: usize,
+}
+
+impl<'a> WordBuilder<'a> {
+    /// Wraps a netlist.
+    pub fn new(netlist: &'a mut Netlist) -> Self {
+        Self { netlist, unique: 0 }
+    }
+
+    /// Access to the underlying netlist.
+    pub fn netlist(&mut self) -> &mut Netlist {
+        self.netlist
+    }
+
+    fn uid(&mut self) -> usize {
+        self.unique += 1;
+        self.unique
+    }
+
+    /// Creates a bus of `width` fresh nets named `prefix[i]`.
+    pub fn bus(&mut self, prefix: &str, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.netlist.add_net(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Creates a bus of primary inputs.
+    pub fn input_bus(&mut self, prefix: &str, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.netlist.add_input(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Marks every net of a bus as a primary output.
+    pub fn mark_output_bus(&mut self, bus: &Bus) {
+        for &net in bus {
+            self.netlist.mark_output(net);
+        }
+    }
+
+    /// A constant-zero net (one `TIE0` cell per call).
+    pub fn zero(&mut self, prefix: &str) -> Result<NetId, NetlistError> {
+        let id = self.uid();
+        let net = self.netlist.add_net(format!("{prefix}_zero{id}"));
+        self.netlist
+            .add_const(format!("{prefix}_tie0_{id}"), false, net)?;
+        Ok(net)
+    }
+
+    /// A constant-one net (one `TIE1` cell per call).
+    pub fn one(&mut self, prefix: &str) -> Result<NetId, NetlistError> {
+        let id = self.uid();
+        let net = self.netlist.add_net(format!("{prefix}_one{id}"));
+        self.netlist
+            .add_const(format!("{prefix}_tie1_{id}"), true, net)?;
+        Ok(net)
+    }
+
+    /// A single 2-input gate; returns its output net.
+    pub fn gate2(
+        &mut self,
+        prefix: &str,
+        kind: CellKind,
+        a: NetId,
+        b: NetId,
+    ) -> Result<NetId, NetlistError> {
+        let id = self.uid();
+        let out = self.netlist.add_net(format!("{prefix}_w{id}"));
+        self.netlist
+            .add_gate(format!("{prefix}_g{id}"), kind, &[a, b], out)?;
+        Ok(out)
+    }
+
+    /// A single inverter; returns its output net.
+    pub fn invert(&mut self, prefix: &str, a: NetId) -> Result<NetId, NetlistError> {
+        let id = self.uid();
+        let out = self.netlist.add_net(format!("{prefix}_w{id}"));
+        self.netlist
+            .add_gate(format!("{prefix}_g{id}"), CellKind::Not, &[a], out)?;
+        Ok(out)
+    }
+
+    /// A 2:1 mux bit: `sel ? b : a`.
+    pub fn mux_bit(
+        &mut self,
+        prefix: &str,
+        sel: NetId,
+        a: NetId,
+        b: NetId,
+    ) -> Result<NetId, NetlistError> {
+        let id = self.uid();
+        let out = self.netlist.add_net(format!("{prefix}_w{id}"));
+        self.netlist
+            .add_gate(format!("{prefix}_g{id}"), CellKind::Mux2, &[sel, a, b], out)?;
+        Ok(out)
+    }
+
+    /// Bitwise binary operation over two equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses have different widths.
+    pub fn bitwise(
+        &mut self,
+        prefix: &str,
+        kind: CellKind,
+        a: &Bus,
+        b: &Bus,
+    ) -> Result<Bus, NetlistError> {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.gate2(prefix, kind, x, y))
+            .collect()
+    }
+
+    /// Bitwise inversion of a bus.
+    pub fn invert_bus(&mut self, prefix: &str, a: &Bus) -> Result<Bus, NetlistError> {
+        a.iter().map(|&x| self.invert(prefix, x)).collect()
+    }
+
+    /// Word-level 2:1 mux: `sel ? b : a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses have different widths.
+    pub fn mux(
+        &mut self,
+        prefix: &str,
+        sel: NetId,
+        a: &Bus,
+        b: &Bus,
+    ) -> Result<Bus, NetlistError> {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.mux_bit(prefix, sel, x, y))
+            .collect()
+    }
+
+    /// Ripple-carry adder (`a + b + cin`); returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses have different widths or are empty.
+    pub fn adder(
+        &mut self,
+        prefix: &str,
+        a: &Bus,
+        b: &Bus,
+        cin: NetId,
+    ) -> Result<(Bus, NetId), NetlistError> {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        assert!(!a.is_empty(), "adder needs at least one bit");
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let axy = self.gate2(prefix, CellKind::Xor, x, y)?;
+            let s = self.gate2(prefix, CellKind::Xor, axy, carry)?;
+            let and1 = self.gate2(prefix, CellKind::And, x, y)?;
+            let and2 = self.gate2(prefix, CellKind::And, axy, carry)?;
+            let cout = self.gate2(prefix, CellKind::Or, and1, and2)?;
+            sum.push(s);
+            carry = cout;
+        }
+        Ok((sum, carry))
+    }
+
+    /// Subtractor `a - b` (two's complement); returns `(difference, borrow)`.
+    pub fn subtractor(
+        &mut self,
+        prefix: &str,
+        a: &Bus,
+        b: &Bus,
+    ) -> Result<(Bus, NetId), NetlistError> {
+        let nb = self.invert_bus(prefix, b)?;
+        let one = self.one(prefix)?;
+        let (diff, carry) = self.adder(prefix, a, &nb, one)?;
+        Ok((diff, carry))
+    }
+
+    /// Increment-by-one; returns the incremented bus (carry-out dropped).
+    pub fn increment(&mut self, prefix: &str, a: &Bus) -> Result<Bus, NetlistError> {
+        let zero = self.zero(prefix)?;
+        let zeros: Bus = vec![zero; a.len()];
+        let one = self.one(prefix)?;
+        let (sum, _carry) = self.adder(prefix, a, &zeros, one)?;
+        Ok(sum)
+    }
+
+    /// Reduction over a bus with a binary gate kind (e.g. OR-reduce,
+    /// AND-reduce, XOR-reduce). Returns the single-bit result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is empty.
+    pub fn reduce(&mut self, prefix: &str, kind: CellKind, bus: &Bus) -> Result<NetId, NetlistError> {
+        assert!(!bus.is_empty(), "cannot reduce an empty bus");
+        let mut acc = bus[0];
+        for &bit in &bus[1..] {
+            acc = self.gate2(prefix, kind, acc, bit)?;
+        }
+        Ok(acc)
+    }
+
+    /// Equality comparator between two buses (1 when equal).
+    pub fn equals(&mut self, prefix: &str, a: &Bus, b: &Bus) -> Result<NetId, NetlistError> {
+        let xors = self.bitwise(prefix, CellKind::Xnor, a, b)?;
+        self.reduce(prefix, CellKind::And, &xors)
+    }
+
+    /// A register: one D flip-flop per bit of `d`, clocked by `clk`.
+    /// Returns the Q bus. Register cells are named `prefix_ff[i]`.
+    pub fn register(
+        &mut self,
+        prefix: &str,
+        d: &Bus,
+        clk: NetId,
+    ) -> Result<Bus, NetlistError> {
+        let mut q = Vec::with_capacity(d.len());
+        for (i, &bit) in d.iter().enumerate() {
+            let out = self.netlist.add_net(format!("{prefix}_q[{i}]"));
+            self.netlist
+                .add_dff(format!("{prefix}_ff[{i}]"), bit, clk, out)?;
+            q.push(out);
+        }
+        Ok(q)
+    }
+
+    /// A register with a write-enable implemented as a feedback mux:
+    /// `q <= we ? d : q`.
+    pub fn register_we(
+        &mut self,
+        prefix: &str,
+        d: &Bus,
+        we: NetId,
+        clk: NetId,
+    ) -> Result<Bus, NetlistError> {
+        // Create the Q nets first so the mux can feed back.
+        let q: Bus = (0..d.len())
+            .map(|i| self.netlist.add_net(format!("{prefix}_q[{i}]")))
+            .collect();
+        for (i, (&din, &qnet)) in d.iter().zip(q.iter()).enumerate() {
+            let next = self.mux_bit(prefix, we, qnet, din)?;
+            self.netlist
+                .add_dff(format!("{prefix}_ff[{i}]"), next, clk, qnet)?;
+        }
+        Ok(q)
+    }
+
+    /// One-hot decoder for a `sel` bus: returns `2^sel.len()` one-hot
+    /// outputs.
+    pub fn decoder(&mut self, prefix: &str, sel: &Bus) -> Result<Bus, NetlistError> {
+        let n = 1usize << sel.len();
+        let inv: Bus = sel
+            .iter()
+            .map(|&s| self.invert(prefix, s))
+            .collect::<Result<_, _>>()?;
+        let mut outputs = Vec::with_capacity(n);
+        for code in 0..n {
+            let bits: Bus = (0..sel.len())
+                .map(|bit| if code >> bit & 1 == 1 { sel[bit] } else { inv[bit] })
+                .collect();
+            outputs.push(self.reduce(prefix, CellKind::And, &bits)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Multiplexes `words[i]` onto the output according to the one-hot
+    /// select lines (AND-OR tree). All words must share a width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty, widths differ, or the select count does
+    /// not match the word count.
+    pub fn onehot_mux(
+        &mut self,
+        prefix: &str,
+        selects: &Bus,
+        words: &[Bus],
+    ) -> Result<Bus, NetlistError> {
+        assert!(!words.is_empty(), "onehot_mux needs at least one word");
+        assert_eq!(selects.len(), words.len(), "one select line per word");
+        let width = words[0].len();
+        assert!(words.iter().all(|w| w.len() == width), "word width mismatch");
+        let mut out = Vec::with_capacity(width);
+        for bit in 0..width {
+            let mut acc: Option<NetId> = None;
+            for (sel, word) in selects.iter().zip(words.iter()) {
+                let masked = self.gate2(prefix, CellKind::And, *sel, word[bit])?;
+                acc = Some(match acc {
+                    None => masked,
+                    Some(prev) => self.gate2(prefix, CellKind::Or, prev, masked)?,
+                });
+            }
+            out.push(acc.expect("at least one word"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::Netlist;
+
+    #[test]
+    fn bus_and_io_helpers() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let bus = b.bus("data", 4);
+        assert_eq!(bus.len(), 4);
+        let ins = b.input_bus("in", 3);
+        b.mark_output_bus(&ins);
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 3);
+        assert!(n.find_net("data[2]").is_some());
+    }
+
+    #[test]
+    fn adder_structure_is_valid() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let cin = b.zero("add").unwrap();
+        let (sum, cout) = b.adder("add", &a, &c, cin).unwrap();
+        b.mark_output_bus(&sum);
+        n.mark_output(cout);
+        assert!(n.validate().is_ok());
+        // 5 gates per full adder.
+        assert_eq!(n.cells().filter(|(_, c)| c.kind.is_combinational()).count(), 4 * 5 + 1);
+    }
+
+    #[test]
+    fn subtractor_and_increment_build() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let (diff, _) = b.subtractor("sub", &a, &c).unwrap();
+        let inc = b.increment("inc", &a).unwrap();
+        b.mark_output_bus(&diff);
+        b.mark_output_bus(&inc);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn mux_equality_and_reduce() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let sel = n.add_input("sel");
+        let mut b = WordBuilder::new(&mut n);
+        // Rebuild the builder after using the netlist directly.
+        let m = b.mux("m", sel, &a, &c).unwrap();
+        let eq = b.equals("eq", &a, &c).unwrap();
+        let red = b.reduce("r", CellKind::Or, &m).unwrap();
+        b.mark_output_bus(&m);
+        n.mark_output(eq);
+        n.mark_output(red);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn registers_and_write_enable() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let we = n.add_input("we");
+        let mut b = WordBuilder::new(&mut n);
+        let d = b.input_bus("d", 4);
+        let q = b.register("r0", &d, clk).unwrap();
+        let q2 = b.register_we("r1", &q, we, clk).unwrap();
+        b.mark_output_bus(&q2);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_flip_flops(), 8);
+    }
+
+    #[test]
+    fn decoder_and_onehot_mux() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let sel = b.input_bus("sel", 2);
+        let words: Vec<Bus> = (0..4).map(|i| b.input_bus(&format!("w{i}"), 3)).collect();
+        let onehot = b.decoder("dec", &sel).unwrap();
+        assert_eq!(onehot.len(), 4);
+        let out = b.onehot_mux("mux", &onehot, &words).unwrap();
+        b.mark_output_bus(&out);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width mismatch")]
+    fn width_mismatch_panics() {
+        let mut n = Netlist::new("t");
+        let mut b = WordBuilder::new(&mut n);
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 3);
+        let _ = b.bitwise("x", CellKind::And, &a, &c);
+    }
+}

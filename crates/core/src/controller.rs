@@ -1,0 +1,307 @@
+//! Handshake controller protocols: their marked-graph synchronization
+//! patterns (paper Figure 4) and a gate-level implementation generator used
+//! for area and power accounting.
+
+use crate::cluster::Parity;
+use desync_netlist::{CellKind, NetId, Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// The handshake protocol implemented by the local clock generators.
+///
+/// All three protocols are expressed as sets of causality arcs between the
+/// rising (`+`, latch becomes transparent) and falling (`-`, latch captures)
+/// events of a *source* latch controller `a` and a *destination* latch
+/// controller `b`, for every pair of adjacent latches `a → b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Protocol {
+    /// The paper's overlapping de-synchronization model: the destination may
+    /// only capture after the source produced the data (`a+ → b-`) and the
+    /// source may only produce the next item after the destination captured
+    /// the previous one (`b- → a+`). Control pulses of adjacent latches may
+    /// overlap; this is the most concurrent and fastest protocol.
+    #[default]
+    FullyDecoupled,
+    /// Adds `a- → b+`: the destination latch only becomes transparent after
+    /// the source latch has captured. Slightly less concurrent; simplifies
+    /// the controller implementation.
+    SemiDecoupled,
+    /// A fully interlocked four-phase scheme: adjacent latch enable pulses
+    /// never overlap (`a- → b+` and `b+ → a-` in addition to the
+    /// fully-decoupled arcs). The simplest controllers and the slowest
+    /// cycle time.
+    NonOverlapping,
+}
+
+impl Protocol {
+    /// All protocol variants (useful for ablation sweeps).
+    pub fn all() -> &'static [Protocol] {
+        &[
+            Protocol::FullyDecoupled,
+            Protocol::SemiDecoupled,
+            Protocol::NonOverlapping,
+        ]
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::FullyDecoupled => "fully-decoupled",
+            Protocol::SemiDecoupled => "semi-decoupled",
+            Protocol::NonOverlapping => "non-overlapping",
+        }
+    }
+
+    /// The causality arcs this protocol imposes between a source controller
+    /// `a` and a destination controller `b` of an adjacent latch pair.
+    pub fn pair_arcs(self) -> &'static [(PairEvent, PairEvent)] {
+        use PairEvent::*;
+        match self {
+            Protocol::FullyDecoupled => &[(SrcRise, DstFall), (DstFall, SrcRise)],
+            Protocol::SemiDecoupled => &[
+                (SrcRise, DstFall),
+                (DstFall, SrcRise),
+                (SrcFall, DstRise),
+            ],
+            Protocol::NonOverlapping => &[
+                (SrcRise, DstFall),
+                (DstFall, SrcRise),
+                (SrcFall, DstRise),
+                (DstRise, SrcFall),
+            ],
+        }
+    }
+
+    /// The number of Muller C-elements and simple gates of one controller
+    /// implementation, as `(c_elements, gates)`.
+    ///
+    /// The counts follow the published latch-controller circuits: the more
+    /// concurrent the protocol, the larger the controller.
+    pub fn controller_cells(self) -> (usize, usize) {
+        match self {
+            Protocol::FullyDecoupled => (3, 4),
+            Protocol::SemiDecoupled => (2, 3),
+            Protocol::NonOverlapping => (1, 2),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four events of a pairwise synchronization pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairEvent {
+    /// Source latch enable rises (source becomes transparent).
+    SrcRise,
+    /// Source latch enable falls (source captures).
+    SrcFall,
+    /// Destination latch enable rises.
+    DstRise,
+    /// Destination latch enable falls (destination captures).
+    DstFall,
+}
+
+impl PairEvent {
+    /// Whether the event belongs to the source controller.
+    pub fn is_source(self) -> bool {
+        matches!(self, PairEvent::SrcRise | PairEvent::SrcFall)
+    }
+
+    /// Whether the event is a rising edge.
+    pub fn is_rise(self) -> bool {
+        matches!(self, PairEvent::SrcRise | PairEvent::DstRise)
+    }
+}
+
+/// The position of a controller event in the canonical synchronous schedule
+/// `even+ , even- , odd+ , odd-` (the order in which the latch-based
+/// synchronous circuit of Figure 1(b) fires its events in each clock
+/// period, starting from the reset state in which all latches are opaque
+/// and the slave latches hold the register state).
+///
+/// The initial marking of every causality arc is derived from this schedule:
+/// an arc `x → y` carries a token exactly when `y`'s next firing belongs to
+/// the following iteration, i.e. when `position(y) <= position(x)`.
+pub fn phase_position(parity: Parity, rise: bool) -> u8 {
+    match (parity, rise) {
+        (Parity::Even, true) => 0,
+        (Parity::Even, false) => 1,
+        (Parity::Odd, true) => 2,
+        (Parity::Odd, false) => 3,
+    }
+}
+
+/// The initial token count (0 or 1) of an arc from event `(from_parity,
+/// from_rise)` to event `(to_parity, to_rise)` under the canonical schedule.
+pub fn initial_tokens(
+    from_parity: Parity,
+    from_rise: bool,
+    to_parity: Parity,
+    to_rise: bool,
+) -> u32 {
+    u32::from(phase_position(to_parity, to_rise) <= phase_position(from_parity, from_rise))
+}
+
+/// A generated gate-level controller instance (used for area and power
+/// accounting of the desynchronization overhead).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerImpl {
+    /// Cluster the controller belongs to.
+    pub cluster: String,
+    /// Latch parity it drives.
+    pub parity: Parity,
+    /// Instance names of the cells making up the controller.
+    pub cells: Vec<String>,
+    /// Name of the enable output net.
+    pub enable_net: String,
+}
+
+impl ControllerImpl {
+    /// Generates the gate-level controller for one cluster/parity pair into
+    /// `netlist` (the *overhead* netlist, separate from the datapath).
+    ///
+    /// The controller is a chain of C-elements and inverters matching the
+    /// cell counts of [`Protocol::controller_cells`], plus a buffer tree
+    /// sized to drive `num_latches` latch enables. Its request input is a
+    /// fresh primary input and its enable output is marked as a primary
+    /// output, so the overhead netlist is a valid standalone netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors (duplicate cluster names).
+    pub fn generate(
+        netlist: &mut Netlist,
+        cluster: &str,
+        parity: Parity,
+        protocol: Protocol,
+        num_latches: usize,
+    ) -> Result<Self, NetlistError> {
+        let suffix = parity.suffix();
+        let prefix = format!("ctl_{cluster}_{suffix}");
+        let (n_c, n_gates) = protocol.controller_cells();
+        let req = netlist.add_input(format!("{prefix}_req"));
+        let ack = netlist.add_input(format!("{prefix}_ack"));
+        let mut cells = Vec::new();
+        let mut current: NetId = req;
+        for i in 0..n_c {
+            let out = netlist.add_net(format!("{prefix}_c{i}_y"));
+            let name = format!("{prefix}_c{i}");
+            netlist.add_c_element(&name, &[current, ack], out)?;
+            cells.push(name);
+            current = out;
+        }
+        for i in 0..n_gates {
+            let out = netlist.add_net(format!("{prefix}_g{i}_y"));
+            let name = format!("{prefix}_g{i}");
+            let kind = if i % 2 == 0 { CellKind::Not } else { CellKind::Nand };
+            let inputs: Vec<NetId> = if kind == CellKind::Not {
+                vec![current]
+            } else {
+                vec![current, req]
+            };
+            netlist.add_gate(&name, kind, &inputs, out)?;
+            cells.push(name);
+            current = out;
+        }
+        // Enable driver buffers: one buffer per 12 latch enables.
+        let num_buffers = num_latches.div_ceil(12).max(1);
+        let mut enable_net = current;
+        for i in 0..num_buffers {
+            let out = netlist.add_net(format!("{prefix}_en{i}"));
+            let name = format!("{prefix}_buf{i}");
+            netlist.add_gate(&name, CellKind::Buf, &[current], out)?;
+            cells.push(name);
+            enable_net = out;
+        }
+        netlist.mark_output(enable_net);
+        Ok(Self {
+            cluster: cluster.to_string(),
+            parity,
+            cells,
+            enable_net: netlist.net(enable_net).name.clone(),
+        })
+    }
+
+    /// Number of cells in this controller.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_metadata() {
+        assert_eq!(Protocol::all().len(), 3);
+        assert_eq!(Protocol::default(), Protocol::FullyDecoupled);
+        for &p in Protocol::all() {
+            assert!(!p.name().is_empty());
+            assert!(!p.pair_arcs().is_empty());
+            let (c, g) = p.controller_cells();
+            assert!(c >= 1 && g >= 1);
+            assert!(p.to_string().contains('-'));
+        }
+        // More concurrency -> more arcs removed / fewer constraints.
+        assert!(
+            Protocol::FullyDecoupled.pair_arcs().len()
+                < Protocol::NonOverlapping.pair_arcs().len()
+        );
+    }
+
+    #[test]
+    fn pair_event_helpers() {
+        assert!(PairEvent::SrcRise.is_source());
+        assert!(!PairEvent::DstFall.is_source());
+        assert!(PairEvent::DstRise.is_rise());
+        assert!(!PairEvent::SrcFall.is_rise());
+    }
+
+    #[test]
+    fn phase_positions_follow_canonical_order() {
+        assert_eq!(phase_position(Parity::Even, true), 0);
+        assert_eq!(phase_position(Parity::Even, false), 1);
+        assert_eq!(phase_position(Parity::Odd, true), 2);
+        assert_eq!(phase_position(Parity::Odd, false), 3);
+    }
+
+    #[test]
+    fn token_rule_matches_paper_patterns() {
+        // Odd (slave, full) -> even (master, empty): data available, so the
+        // forward arc a+ -> b- is marked and the backward arc is not.
+        assert_eq!(initial_tokens(Parity::Odd, true, Parity::Even, false), 1);
+        assert_eq!(initial_tokens(Parity::Even, false, Parity::Odd, true), 0);
+        // Even (master, empty) -> odd (slave): the bubble means the backward
+        // arc b- -> a+ carries the token instead.
+        assert_eq!(initial_tokens(Parity::Even, true, Parity::Odd, false), 0);
+        assert_eq!(initial_tokens(Parity::Odd, false, Parity::Even, true), 1);
+        // Local controller cycle: the return arc x- -> x+ is marked.
+        assert_eq!(initial_tokens(Parity::Even, false, Parity::Even, true), 1);
+        assert_eq!(initial_tokens(Parity::Even, true, Parity::Even, false), 0);
+    }
+
+    #[test]
+    fn controller_generation_produces_valid_overhead_netlist() {
+        let mut n = Netlist::new("overhead");
+        let a = ControllerImpl::generate(&mut n, "stage0", Parity::Even, Protocol::FullyDecoupled, 16)
+            .unwrap();
+        let b = ControllerImpl::generate(&mut n, "stage0", Parity::Odd, Protocol::FullyDecoupled, 16)
+            .unwrap();
+        let c = ControllerImpl::generate(&mut n, "stage1", Parity::Even, Protocol::NonOverlapping, 40)
+            .unwrap();
+        assert!(n.validate().is_ok());
+        assert!(a.num_cells() >= 3 + 4 + 1);
+        assert_eq!(a.parity, Parity::Even);
+        assert_ne!(a.enable_net, b.enable_net);
+        // Larger clusters need more enable buffers.
+        assert!(c.cells.iter().filter(|c| c.contains("buf")).count() >= 4);
+        // Non-overlapping controllers are smaller than fully-decoupled ones.
+        assert!(c.num_cells() < a.num_cells());
+        // All cells carry the ctl_ prefix for area accounting.
+        assert!(n.cells().all(|(_, cell)| cell.name.starts_with("ctl_")));
+    }
+}

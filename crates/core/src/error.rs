@@ -1,0 +1,71 @@
+//! Error type of the desynchronization flow.
+
+use desync_netlist::NetlistError;
+use std::fmt;
+
+/// Errors produced by the desynchronization flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesyncError {
+    /// The input netlist is structurally invalid or uses features the flow
+    /// does not support.
+    Netlist(NetlistError),
+    /// The input netlist has no flip-flops, so there is nothing to
+    /// desynchronize.
+    NoRegisters,
+    /// The input netlist already contains level-sensitive latches; the flow
+    /// expects a pure flip-flop design (paper Figure 1(a)).
+    AlreadyLatchBased,
+    /// The composed control model failed a correctness check.
+    ModelCheck(String),
+}
+
+impl fmt::Display for DesyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesyncError::Netlist(e) => write!(f, "invalid input netlist: {e}"),
+            DesyncError::NoRegisters => write!(f, "netlist has no flip-flops to desynchronize"),
+            DesyncError::AlreadyLatchBased => {
+                write!(f, "netlist already contains latches; expected a flip-flop design")
+            }
+            DesyncError::ModelCheck(msg) => write!(f, "control model check failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DesyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesyncError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for DesyncError {
+    fn from(e: NetlistError) -> Self {
+        DesyncError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = DesyncError::from(NetlistError::DuplicateNet("x".into()));
+        assert!(e.to_string().contains("invalid input netlist"));
+        assert!(e.source().is_some());
+        assert!(DesyncError::NoRegisters.source().is_none());
+        assert!(DesyncError::NoRegisters.to_string().contains("no flip-flops"));
+        assert!(DesyncError::AlreadyLatchBased.to_string().contains("latches"));
+        assert!(DesyncError::ModelCheck("not live".into()).to_string().contains("not live"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesyncError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Desynchronization: automatic replacement of a synchronous circuit's clock
+//! tree by a network of local handshake controllers.
+//!
+//! This crate implements the method of Cortadella, Kondratyev, Lavagno, Lwin
+//! and Sotiriou, *"From synchronous to asynchronous: an automatic approach"*
+//! (DATE 2004). The flow takes an ordinary single-clock, flip-flop based
+//! gate-level netlist and produces a desynchronized design in three steps:
+//!
+//! 1. **Latch conversion** ([`conversion`]) — every D flip-flop is split
+//!    into a master (even) and a slave (odd) level-sensitive latch.
+//! 2. **Matched delays** (via [`desync_sta`]) — for every combinational
+//!    block between latch clusters a delay line is sized that covers the
+//!    block's worst-case delay plus a margin.
+//! 3. **Controller network** ([`controller`], [`model`]) — each latch
+//!    cluster gets a local clock generator; adjacent controllers are
+//!    connected following the even→odd / odd→even patterns of the paper's
+//!    Figure 4, and the composition forms a marked graph (Figure 2) that is
+//!    live, safe and flow-equivalent to the synchronous circuit.
+//!
+//! The top-level entry point is [`Desynchronizer`]; the result is a
+//! [`DesyncDesign`] bundling the latch-based datapath, the controller /
+//! matched-delay overhead netlist, the timed marked-graph control model and
+//! verification hooks (liveness, safeness, flow equivalence).
+//!
+//! # Example
+//!
+//! ```
+//! use desync_core::{Desynchronizer, DesyncOptions};
+//! use desync_netlist::{CellKind, CellLibrary, Netlist};
+//!
+//! # fn main() -> Result<(), desync_core::DesyncError> {
+//! // A two-stage synchronous pipeline.
+//! let mut n = Netlist::new("pipe");
+//! let clk = n.add_input("clk");
+//! let a = n.add_input("a");
+//! let q0 = n.add_net("q0");
+//! let w = n.add_net("w");
+//! let q1 = n.add_output("q1");
+//! n.add_dff("r0", a, clk, q0).unwrap();
+//! n.add_gate("g0", CellKind::Not, &[q0], w).unwrap();
+//! n.add_dff("r1", w, clk, q1).unwrap();
+//!
+//! let library = CellLibrary::generic_90nm();
+//! let design = Desynchronizer::new(&n, &library, DesyncOptions::default()).run()?;
+//! assert!(design.control_model().is_live());
+//! assert!(design.control_model().is_safe());
+//! assert!(design.cycle_time_ps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod controller;
+pub mod conversion;
+pub mod error;
+pub mod flow;
+pub mod model;
+pub mod options;
+pub mod verify;
+
+pub use cluster::{Cluster, ClusterEdge, ClusterGraph, Parity};
+pub use controller::{ControllerImpl, Protocol};
+pub use conversion::{LatchDesign, LatchPair};
+pub use error::DesyncError;
+pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
+pub use model::ControlModel;
+pub use options::{ClusteringStrategy, DesyncOptions};
+pub use verify::{EquivalenceReport, verify_flow_equivalence};

@@ -1,0 +1,255 @@
+//! Flow-equivalence verification: gate-level co-simulation of the original
+//! synchronous netlist and its desynchronized counterpart, followed by a
+//! comparison of the per-register capture streams.
+//!
+//! Flow equivalence is the correctness criterion of the paper: for every
+//! register, the sequence of values stored into it must be identical in the
+//! two executions, even though the storing times differ. Here the original
+//! flip-flop `r` is compared against the master latch `r__m` of the
+//! desynchronized datapath — the master latch plays exactly the role of the
+//! flip-flop's input edge.
+
+use crate::flow::DesyncDesign;
+use desync_mg::{FlowEquivalence, FlowTrace};
+use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::{AsyncTestbench, SimConfig, SimRun, SyncTestbench, VectorSource};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a flow-equivalence check, together with the two underlying
+/// simulation runs (so callers can also extract activity for power
+/// comparisons without re-simulating).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// The stream comparison verdict.
+    pub equivalence: FlowEquivalence,
+    /// Number of capture values compared per register.
+    pub compared_cycles: usize,
+    /// The synchronous simulation run.
+    pub sync_run: SimRun,
+    /// The desynchronized simulation run.
+    pub async_run: SimRun,
+}
+
+impl EquivalenceReport {
+    /// Whether the two executions are flow equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        self.equivalence.is_equivalent()
+    }
+}
+
+/// Builds the [`SimConfig`] matching the timing configuration a design was
+/// desynchronized with, so STA, the control model and the simulator agree on
+/// delays.
+pub fn sim_config_for(design: &DesyncDesign) -> SimConfig {
+    let timing = design.options().timing;
+    SimConfig {
+        wire_delay_per_fanout_ps: timing.wire_delay_per_fanout_ps,
+        clk_to_q_ps: timing.clk_to_q_ps,
+        latch_d_to_q_ps: timing.latch_d_to_q_ps,
+    }
+}
+
+/// Runs the synchronous netlist and its desynchronized design on the same
+/// input stream and checks flow equivalence over `cycles` captures.
+///
+/// The synchronous run uses the STA clock period of the design; the
+/// desynchronized run uses the latch-enable schedule derived from the timed
+/// control model, with the environment applying input vector *k* right
+/// after the *k*-th capture of the input-fed master latches.
+pub fn verify_flow_equivalence(
+    original: &Netlist,
+    design: &DesyncDesign,
+    library: &CellLibrary,
+    stimulus: &VectorSource,
+    cycles: usize,
+) -> Result<EquivalenceReport, desync_netlist::NetlistError> {
+    let config = sim_config_for(design);
+
+    // Synchronous reference run.
+    let mut sync_tb = SyncTestbench::new(original, library, config)?;
+    let sync_run = sync_tb.run(cycles, design.synchronous_period_ps(), stimulus);
+
+    // Desynchronized run: enables from the control model, inputs retimed to
+    // the captures of the input-fed master latches. The schedule starts only
+    // after the simulator has had one full synchronous period to settle the
+    // combinational logic from the reset state, so no enable event can race
+    // the initialization wave.
+    let start_offset = design.synchronous_period_ps() + 1_000.0;
+    let bundle = design.enable_schedule(cycles + 2, start_offset);
+    let latch_netlist = design.latch_netlist();
+    let mut inputs = Vec::new();
+    // Map the original primary-input net names onto the latch netlist.
+    for (k, &t) in bundle.input_vector_times.iter().enumerate() {
+        if k >= cycles {
+            break;
+        }
+        for (net, value) in stimulus.vector_for(k) {
+            let name = &original.net(net).name;
+            if let Some(mapped) = latch_netlist.find_net(name) {
+                inputs.push((t, mapped, value));
+            }
+        }
+    }
+    let mut async_tb = AsyncTestbench::new(latch_netlist, library, config);
+    let duration = bundle.horizon_ps + design.cycle_time_ps() + 1_000.0;
+    let async_run = async_tb.run(duration, cycles, &bundle.schedule, &inputs);
+
+    // Rename master-latch streams back to the original flip-flop names.
+    let mut mapped = FlowTrace::new();
+    for pair in &design.latch_design().pairs {
+        if let Some(stream) = async_run.flow_trace.stream(&pair.master) {
+            for &v in stream {
+                mapped.push(pair.register_name.clone(), v);
+            }
+        }
+    }
+    // Compare on the common prefix, capped by the requested cycle count.
+    let limit = cycles.min(mapped.min_stream_len()).min(
+        sync_run
+            .flow_trace
+            .min_stream_len(),
+    );
+    let equivalence = FlowEquivalence::compare_prefix(&sync_run.flow_trace, &mapped, limit);
+    Ok(EquivalenceReport {
+        equivalence,
+        compared_cycles: limit,
+        sync_run,
+        async_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Desynchronizer;
+    use crate::options::DesyncOptions;
+    use crate::Protocol;
+    use desync_netlist::{CellKind, Value};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    /// A 3-stage pipeline with an XOR mixing stage.
+    fn pipeline() -> Netlist {
+        let mut n = Netlist::new("pipe");
+        let clk = n.add_input("clk");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let q0 = n.add_net("q0");
+        let q1 = n.add_net("q1");
+        let w0 = n.add_net("w0");
+        let w1 = n.add_net("w1");
+        let q2 = n.add_net("q2");
+        let q3 = n.add_output("q3");
+        n.add_dff("r0", a, clk, q0).unwrap();
+        n.add_dff("r1", b, clk, q1).unwrap();
+        n.add_gate("g0", CellKind::Xor, &[q0, q1], w0).unwrap();
+        n.add_dff("r2", w0, clk, q2).unwrap();
+        n.add_gate("g1", CellKind::Not, &[q2], w1).unwrap();
+        n.add_dff("r3", w1, clk, q3).unwrap();
+        n
+    }
+
+    /// A self-contained circuit (no data inputs): a 3-bit counter.
+    fn counter() -> Netlist {
+        let mut n = Netlist::new("cnt");
+        let clk = n.add_input("clk");
+        let q: Vec<_> = (0..3).map(|i| n.add_net(format!("q{i}"))).collect();
+        // d0 = !q0; d1 = q1 ^ q0; d2 = q2 ^ (q1 & q0)
+        let d0 = n.add_net("d0");
+        let d1 = n.add_net("d1");
+        let d2 = n.add_net("d2");
+        let c01 = n.add_net("c01");
+        n.add_gate("i0", CellKind::Not, &[q[0]], d0).unwrap();
+        n.add_gate("x1", CellKind::Xor, &[q[1], q[0]], d1).unwrap();
+        n.add_gate("a1", CellKind::And, &[q[1], q[0]], c01).unwrap();
+        n.add_gate("x2", CellKind::Xor, &[q[2], c01], d2).unwrap();
+        n.add_dff("cnt_ff[0]", d0, clk, q[0]).unwrap();
+        n.add_dff("cnt_ff[1]", d1, clk, q[1]).unwrap();
+        n.add_dff("cnt_ff[2]", d2, clk, q[2]).unwrap();
+        for &qi in &q {
+            n.mark_output(qi);
+        }
+        n
+    }
+
+    #[test]
+    fn counter_is_flow_equivalent_without_stimulus() {
+        let n = counter();
+        let library = lib();
+        let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let report = verify_flow_equivalence(
+            &n,
+            &design,
+            &library,
+            &VectorSource::constant(vec![]),
+            20,
+        )
+        .unwrap();
+        assert!(report.is_equivalent(), "{}", report.equivalence);
+        assert!(report.compared_cycles >= 15);
+        assert!(report.sync_run.activity.total_transitions() > 0);
+        assert!(report.async_run.activity.total_transitions() > 0);
+    }
+
+    #[test]
+    fn pipeline_is_flow_equivalent_under_random_stimulus() {
+        let n = pipeline();
+        let library = lib();
+        let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        let stim = VectorSource::pseudo_random(vec![a, b], 7);
+        let report = verify_flow_equivalence(&n, &design, &library, &stim, 24).unwrap();
+        assert!(report.is_equivalent(), "{}", report.equivalence);
+        assert!(report.compared_cycles >= 20);
+    }
+
+    #[test]
+    fn pipeline_is_flow_equivalent_for_every_protocol() {
+        let n = pipeline();
+        let library = lib();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        for &protocol in Protocol::all() {
+            let design = Desynchronizer::new(
+                &n,
+                &library,
+                DesyncOptions::default().with_protocol(protocol),
+            )
+            .run()
+            .unwrap();
+            let stim = VectorSource::sequence(vec![
+                vec![(a, Value::One), (b, Value::Zero)],
+                vec![(a, Value::Zero), (b, Value::One)],
+                vec![(a, Value::One), (b, Value::One)],
+            ]);
+            let report = verify_flow_equivalence(&n, &design, &library, &stim, 18).unwrap();
+            assert!(
+                report.is_equivalent(),
+                "protocol {protocol}: {}",
+                report.equivalence
+            );
+        }
+    }
+
+    #[test]
+    fn sim_config_matches_timing_options() {
+        let n = counter();
+        let library = lib();
+        let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let cfg = sim_config_for(&design);
+        assert_eq!(
+            cfg.latch_d_to_q_ps,
+            design.options().timing.latch_d_to_q_ps
+        );
+        assert_eq!(cfg.clk_to_q_ps, design.options().timing.clk_to_q_ps);
+    }
+}

@@ -1,0 +1,374 @@
+//! Structural and behavioural analyses of marked graphs: liveness, safeness,
+//! strong connectivity and explicit reachability exploration.
+//!
+//! The classic marked-graph theorems (Commoner / Murata) make the two key
+//! properties of the desynchronization model cheap to check:
+//!
+//! * **Liveness** — a marked graph is live iff every directed cycle carries
+//!   at least one token, i.e. the subgraph of token-free places is acyclic.
+//! * **Safeness** — a live marked graph is safe (1-bounded) iff every place
+//!   belongs to a directed cycle whose total token count is exactly one.
+
+use crate::graph::{MarkedGraph, Marking, PlaceId, TransitionId};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Whether the marked graph is live: from the initial marking every
+/// transition can always eventually fire again.
+///
+/// By the marked-graph liveness theorem this holds iff no directed cycle is
+/// token-free, which is what this function checks (the subgraph induced by
+/// places with zero initial tokens must be acyclic).
+pub fn is_live(graph: &MarkedGraph) -> bool {
+    // Build adjacency over token-free places only.
+    let n = graph.num_transitions();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, p) in graph.places() {
+        if p.initial_tokens == 0 {
+            adj[p.from.index()].push(p.to.index());
+        }
+    }
+    !has_cycle(&adj)
+}
+
+fn has_cycle(adj: &[Vec<usize>]) -> bool {
+    let n = adj.len();
+    let mut color = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adj[node].len() {
+                let succ = adj[node][*next];
+                *next += 1;
+                match color[succ] {
+                    0 => {
+                        color[succ] = 1;
+                        stack.push((succ, 0));
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Whether the underlying directed graph (transitions as nodes, places as
+/// edges) is strongly connected.
+pub fn is_strongly_connected(graph: &MarkedGraph) -> bool {
+    let n = graph.num_transitions();
+    if n == 0 {
+        return true;
+    }
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, p) in graph.places() {
+        fwd[p.from.index()].push(p.to.index());
+        bwd[p.to.index()].push(p.from.index());
+    }
+    reachable_count(&fwd, 0) == n && reachable_count(&bwd, 0) == n
+}
+
+fn reachable_count(adj: &[Vec<usize>], start: usize) -> usize {
+    let mut seen = vec![false; adj.len()];
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    let mut count = 1;
+    while let Some(node) = queue.pop_front() {
+        for &succ in &adj[node] {
+            if !seen[succ] {
+                seen[succ] = true;
+                count += 1;
+                queue.push_back(succ);
+            }
+        }
+    }
+    count
+}
+
+/// The minimum number of tokens on any directed cycle through place `p`,
+/// or `None` if `p` lies on no cycle.
+///
+/// Computed as a shortest path (token count as length) from `p.to` back to
+/// `p.from`, plus the tokens of `p` itself.
+pub fn min_tokens_on_cycle_through(graph: &MarkedGraph, p: PlaceId) -> Option<u32> {
+    let place = graph.place(p);
+    let dist = token_shortest_paths(graph, place.to);
+    dist[place.from.index()].map(|d| d + place.initial_tokens)
+}
+
+/// Shortest token-count distance from `start` to every transition
+/// (Dijkstra over places weighted by their initial token count).
+fn token_shortest_paths(graph: &MarkedGraph, start: TransitionId) -> Vec<Option<u32>> {
+    let n = graph.num_transitions();
+    let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for (_, p) in graph.places() {
+        adj[p.from.index()].push((p.to.index(), p.initial_tokens));
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
+    dist[start.index()] = Some(0);
+    heap.push(std::cmp::Reverse((0, start.index())));
+    while let Some(std::cmp::Reverse((d, node))) = heap.pop() {
+        if dist[node] != Some(d) {
+            continue;
+        }
+        for &(succ, w) in &adj[node] {
+            let nd = d + w;
+            if dist[succ].map_or(true, |old| nd < old) {
+                dist[succ] = Some(nd);
+                heap.push(std::cmp::Reverse((nd, succ)));
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the marked graph is safe (no reachable marking puts more than one
+/// token in any place).
+///
+/// For live, strongly connected graphs this uses the structural
+/// characterization (every place lies on a cycle with exactly one token).
+/// For other graphs it falls back to an explicit reachability exploration
+/// bounded by [`DEFAULT_EXPLORATION_LIMIT`] markings; graphs that exceed the
+/// bound are conservatively reported unsafe.
+pub fn is_safe(graph: &MarkedGraph) -> bool {
+    if graph.num_places() == 0 {
+        return true;
+    }
+    if is_live(graph) && is_strongly_connected(graph) {
+        graph.places().all(|(id, p)| {
+            if p.initial_tokens > 1 {
+                return false;
+            }
+            match min_tokens_on_cycle_through(graph, id) {
+                Some(t) => t == 1,
+                None => false,
+            }
+        })
+    } else {
+        matches!(
+            max_bound_exhaustive(graph, DEFAULT_EXPLORATION_LIMIT),
+            Some(b) if b <= 1
+        )
+    }
+}
+
+/// Default cap on the number of distinct markings explored by the
+/// exhaustive analyses.
+pub const DEFAULT_EXPLORATION_LIMIT: usize = 200_000;
+
+/// Explores the reachability graph and returns the maximum token count
+/// observed in any single place, or `None` when more than `limit` distinct
+/// markings were reached (exploration aborted).
+pub fn max_bound_exhaustive(graph: &MarkedGraph, limit: usize) -> Option<u32> {
+    let initial = graph.initial_marking();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut queue = VecDeque::new();
+    let mut max = initial.0.iter().copied().max().unwrap_or(0);
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(m) = queue.pop_front() {
+        for t in graph.enabled(&m) {
+            let mut next = m.clone();
+            graph.fire(&mut next, t);
+            max = max.max(next.0.iter().copied().max().unwrap_or(0));
+            if !seen.contains(&next) {
+                if seen.len() >= limit {
+                    return None;
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Some(max)
+}
+
+/// The number of distinct reachable markings, up to `limit` (returns `None`
+/// when the limit is exceeded).
+pub fn count_reachable_markings(graph: &MarkedGraph, limit: usize) -> Option<usize> {
+    let initial = graph.initial_marking();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(m) = queue.pop_front() {
+        for t in graph.enabled(&m) {
+            let mut next = m.clone();
+            graph.fire(&mut next, t);
+            if !seen.contains(&next) {
+                if seen.len() >= limit {
+                    return None;
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Some(seen.len())
+}
+
+/// Whether there exists a reachable deadlock (a marking with no enabled
+/// transition). Exploration is bounded by `limit` markings; returns `None`
+/// when the bound is hit without finding a deadlock.
+pub fn find_deadlock(graph: &MarkedGraph, limit: usize) -> Option<Option<Marking>> {
+    let initial = graph.initial_marking();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(m) = queue.pop_front() {
+        let enabled = graph.enabled(&m);
+        if enabled.is_empty() {
+            return Some(Some(m));
+        }
+        for t in enabled {
+            let mut next = m.clone();
+            graph.fire(&mut next, t);
+            if !seen.contains(&next) {
+                if seen.len() >= limit {
+                    return None;
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Some(None)
+}
+
+/// Token count per transition-label pair, summed over all places between the
+/// two labels. Useful for asserting the shape of composed models in tests.
+pub fn token_matrix(graph: &MarkedGraph) -> HashMap<(String, String), u32> {
+    let mut map = HashMap::new();
+    for (_, p) in graph.places() {
+        let key = (
+            graph.transition(p.from).label.clone(),
+            graph.transition(p.to).label.clone(),
+        );
+        *map.entry(key).or_insert(0) += p.initial_tokens;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MarkedGraph;
+
+    fn ring(labels: &[&str], tokens_on_last: u32) -> MarkedGraph {
+        let mut g = MarkedGraph::new();
+        let ids: Vec<_> = labels.iter().map(|&l| g.add_transition(l)).collect();
+        for i in 0..ids.len() {
+            let next = (i + 1) % ids.len();
+            let tok = if next == 0 { tokens_on_last } else { 0 };
+            g.add_place(ids[i], ids[next], tok, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn marked_ring_is_live_and_safe() {
+        let g = ring(&["a", "b", "c"], 1);
+        assert!(is_live(&g));
+        assert!(is_safe(&g));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn tokenless_ring_is_dead() {
+        let g = ring(&["a", "b", "c"], 0);
+        assert!(!is_live(&g));
+        assert_eq!(find_deadlock(&g, 100), Some(Some(g.initial_marking())));
+    }
+
+    #[test]
+    fn two_token_ring_is_live_but_unsafe_structurally() {
+        let g = ring(&["a", "b"], 2);
+        assert!(is_live(&g));
+        assert!(!is_safe(&g));
+        // The exhaustive bound agrees.
+        assert_eq!(max_bound_exhaustive(&g, 1000), Some(2));
+    }
+
+    #[test]
+    fn parallel_rings_sharing_a_transition() {
+        // Two 1-token cycles through a shared transition: live and safe.
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        let c = g.add_transition("c");
+        g.add_place(a, b, 0, 1.0);
+        g.add_place(b, a, 1, 1.0);
+        g.add_place(a, c, 0, 1.0);
+        g.add_place(c, a, 1, 1.0);
+        assert!(is_live(&g));
+        assert!(is_safe(&g));
+        assert_eq!(count_reachable_markings(&g, 1000), Some(4));
+    }
+
+    #[test]
+    fn unsafe_when_cycle_has_two_tokens_through_place() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        // Both places marked: the cycle carries 2 tokens -> place can reach 2.
+        g.add_place(a, b, 1, 1.0);
+        g.add_place(b, a, 1, 1.0);
+        assert!(is_live(&g));
+        assert!(!is_safe(&g));
+        assert_eq!(max_bound_exhaustive(&g, 1000), Some(2));
+    }
+
+    #[test]
+    fn min_tokens_on_cycle() {
+        let g = ring(&["a", "b", "c"], 1);
+        for (id, _) in g.places() {
+            assert_eq!(min_tokens_on_cycle_through(&g, id), Some(1));
+        }
+    }
+
+    #[test]
+    fn place_not_on_cycle() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        let p = g.add_place(a, b, 0, 1.0);
+        assert_eq!(min_tokens_on_cycle_through(&g, p), None);
+        assert!(!is_strongly_connected(&g));
+        // Source transition `a` can fire unboundedly: exploration hits limit.
+        assert_eq!(max_bound_exhaustive(&g, 10), None);
+        assert!(!is_safe(&g));
+    }
+
+    #[test]
+    fn deadlock_free_marked_ring() {
+        let g = ring(&["a", "b", "c", "d"], 1);
+        assert_eq!(find_deadlock(&g, 10_000), Some(None));
+    }
+
+    #[test]
+    fn token_matrix_sums() {
+        let g = ring(&["a", "b"], 1);
+        let m = token_matrix(&g);
+        assert_eq!(m[&("b".to_string(), "a".to_string())], 1);
+        assert_eq!(m[&("a".to_string(), "b".to_string())], 0);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_fine() {
+        let g = MarkedGraph::new();
+        assert!(is_live(&g));
+        assert!(is_safe(&g));
+        assert!(is_strongly_connected(&g));
+    }
+}

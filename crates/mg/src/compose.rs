@@ -1,0 +1,182 @@
+//! Composition of marked graphs by synchronization on transition labels.
+//!
+//! The desynchronization method builds the circuit-level control
+//! specification (paper Figure 2) by composing one small pattern per pair of
+//! adjacent latches (paper Figure 4). Composition merges transitions that
+//! carry the same label and keeps every place of every component, which is
+//! exactly parallel composition with synchronization on common events.
+
+use crate::graph::{MarkedGraph, TransitionId};
+use std::collections::HashMap;
+
+/// Composes `components` into a single marked graph by merging transitions
+/// with equal labels.
+///
+/// Every place of every component is preserved (re-targeted to the merged
+/// transitions). Places that connect the same pair of merged transitions
+/// with the same token count are deduplicated, mirroring how repeated
+/// pairwise constraints collapse in the paper's model; when duplicates carry
+/// different delays the largest delay is kept (the binding constraint).
+pub fn compose(components: &[MarkedGraph]) -> MarkedGraph {
+    let mut result = MarkedGraph::new();
+    let mut by_label: HashMap<String, TransitionId> = HashMap::new();
+    // (from, to, tokens) -> place id in result
+    let mut place_dedup: HashMap<(TransitionId, TransitionId, u32), crate::graph::PlaceId> =
+        HashMap::new();
+
+    for comp in components {
+        // Map each component transition to the merged transition.
+        let mut map: HashMap<TransitionId, TransitionId> = HashMap::new();
+        for (id, t) in comp.transitions() {
+            let merged = *by_label
+                .entry(t.label.clone())
+                .or_insert_with(|| result.add_transition(t.label.clone()));
+            map.insert(id, merged);
+        }
+        for (_, p) in comp.places() {
+            let from = map[&p.from];
+            let to = map[&p.to];
+            let key = (from, to, p.initial_tokens);
+            match place_dedup.get(&key) {
+                Some(&existing) => {
+                    if result.place(existing).delay < p.delay {
+                        result.place_mut(existing).delay = p.delay;
+                    }
+                }
+                None => {
+                    let id = result.add_place(from, to, p.initial_tokens, p.delay);
+                    place_dedup.insert(key, id);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Builds a marked graph from `(from_label, to_label, tokens, delay)` tuples,
+/// creating transitions on first use. Convenient for specifying patterns and
+/// expected models in tests and in the figure binaries.
+pub fn from_edges<L: AsRef<str>>(edges: &[(L, L, u32, f64)]) -> MarkedGraph {
+    let mut g = MarkedGraph::new();
+    let mut ids: HashMap<String, TransitionId> = HashMap::new();
+    for (from, to, tokens, delay) in edges {
+        let f = *ids
+            .entry(from.as_ref().to_string())
+            .or_insert_with(|| g.add_transition(from.as_ref()));
+        let t = *ids
+            .entry(to.as_ref().to_string())
+            .or_insert_with(|| g.add_transition(to.as_ref()));
+        g.add_place(f, t, *tokens, *delay);
+    }
+    g
+}
+
+/// Whether two marked graphs are isomorphic *as labelled graphs with
+/// markings*: same label set and, for every ordered label pair, the same
+/// multiset of (tokens) on places between them.
+///
+/// Delays are ignored — this compares specification structure, which is what
+/// the Figure 4 → Figure 3 correspondence is about.
+pub fn same_structure(a: &MarkedGraph, b: &MarkedGraph) -> bool {
+    let labels = |g: &MarkedGraph| {
+        let mut v: Vec<String> = g.transitions().map(|(_, t)| t.label.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    if labels(a) != labels(b) {
+        return false;
+    }
+    let edge_multiset = |g: &MarkedGraph| {
+        let mut v: Vec<(String, String, u32)> = g
+            .places()
+            .map(|(_, p)| {
+                (
+                    g.transition(p.from).label.clone(),
+                    g.transition(p.to).label.clone(),
+                    p.initial_tokens,
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    edge_multiset(a) == edge_multiset(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_merges_shared_labels() {
+        let c1 = from_edges(&[("a+", "b+", 0u32, 1.0), ("b+", "a+", 1, 1.0)]);
+        let c2 = from_edges(&[("b+", "c+", 0u32, 1.0), ("c+", "b+", 1, 1.0)]);
+        let g = compose(&[c1, c2]);
+        assert_eq!(g.num_transitions(), 3);
+        assert_eq!(g.num_places(), 4);
+        assert!(g.is_live());
+        assert!(g.is_safe());
+    }
+
+    #[test]
+    fn compose_deduplicates_identical_places() {
+        let c1 = from_edges(&[("a", "b", 1u32, 2.0)]);
+        let c2 = from_edges(&[("a", "b", 1u32, 5.0)]);
+        let g = compose(&[c1, c2]);
+        assert_eq!(g.num_places(), 1);
+        // Largest delay wins.
+        let (_, p) = g.places().next().unwrap();
+        assert_eq!(p.delay, 5.0);
+    }
+
+    #[test]
+    fn compose_keeps_places_with_different_markings() {
+        let c1 = from_edges(&[("a", "b", 0u32, 1.0)]);
+        let c2 = from_edges(&[("a", "b", 1u32, 1.0)]);
+        let g = compose(&[c1, c2]);
+        assert_eq!(g.num_places(), 2);
+    }
+
+    #[test]
+    fn compose_of_nothing_is_empty() {
+        let g = compose(&[]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn same_structure_ignores_delays_and_order() {
+        let a = from_edges(&[("x", "y", 1u32, 1.0), ("y", "x", 0, 9.0)]);
+        let b = from_edges(&[("y", "x", 0u32, 3.0), ("x", "y", 1, 2.0)]);
+        assert!(same_structure(&a, &b));
+        let c = from_edges(&[("x", "y", 0u32, 1.0), ("y", "x", 1, 1.0)]);
+        assert!(!same_structure(&a, &c));
+        let d = from_edges(&[("x", "z", 1u32, 1.0), ("z", "x", 0, 1.0)]);
+        assert!(!same_structure(&a, &d));
+    }
+
+    #[test]
+    fn composition_preserves_liveness_of_pipeline_patterns() {
+        // Three pairwise patterns of a 4-stage pipeline, composed; the result
+        // must be live and safe just like the monolithic specification.
+        let mk_pair = |a: &str, b: &str, data_at_src: bool| {
+            let (tok_fwd, tok_bwd) = if data_at_src { (1, 0) } else { (0, 1) };
+            from_edges(&[
+                (format!("{a}+"), format!("{b}-"), tok_fwd, 1.0),
+                (format!("{b}-"), format!("{a}+"), tok_bwd, 1.0),
+                (format!("{a}+"), format!("{a}-"), 0, 1.0),
+                (format!("{a}-"), format!("{a}+"), 1, 1.0),
+                (format!("{b}+"), format!("{b}-"), 0, 1.0),
+                (format!("{b}-"), format!("{b}+"), 1, 1.0),
+            ])
+        };
+        let g = compose(&[
+            mk_pair("A", "B", true),
+            mk_pair("B", "C", false),
+            mk_pair("C", "D", true),
+        ]);
+        assert_eq!(g.num_transitions(), 8);
+        assert!(g.is_live());
+        assert!(g.is_safe());
+    }
+}

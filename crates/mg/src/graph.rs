@@ -1,0 +1,507 @@
+//! The [`MarkedGraph`] data structure and the untimed token game.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a transition in a [`MarkedGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TransitionId(pub u32);
+
+impl TransitionId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a place (arc) in a [`MarkedGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlaceId(pub u32);
+
+impl PlaceId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A labelled transition (an event such as `a+` or `a-`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Human-readable label; composition synchronizes on equal labels.
+    pub label: String,
+}
+
+/// A place of a marked graph: a single-input single-output buffer between
+/// two transitions, carrying an initial marking and a delay.
+///
+/// The delay is interpreted by the timed analyses as the time a token needs
+/// to travel from `from` to `to` (e.g. a combinational-logic propagation
+/// delay in the desynchronization model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Place {
+    /// Source transition.
+    pub from: TransitionId,
+    /// Destination transition.
+    pub to: TransitionId,
+    /// Tokens present in the initial marking.
+    pub initial_tokens: u32,
+    /// Token propagation delay (arbitrary time unit, picoseconds in the
+    /// desynchronization flow).
+    pub delay: f64,
+}
+
+/// A marking: the number of tokens in each place, indexed by [`PlaceId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Marking(pub Vec<u32>);
+
+impl Marking {
+    /// Tokens in place `p`.
+    pub fn tokens(&self, p: PlaceId) -> u32 {
+        self.0[p.index()]
+    }
+
+    /// Total number of tokens.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+}
+
+/// A marked graph: a Petri net where every place has exactly one producer
+/// and one consumer transition.
+///
+/// Construction is incremental via [`MarkedGraph::add_transition`] and
+/// [`MarkedGraph::add_place`]; the analyses live in [`crate::analysis`] and
+/// [`crate::timing`] but the most common ones are re-exported as methods
+/// (`is_live`, `is_safe`, `cycle_time`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MarkedGraph {
+    transitions: Vec<Transition>,
+    places: Vec<Place>,
+}
+
+impl MarkedGraph {
+    /// Creates an empty marked graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transition with the given label and returns its id.
+    pub fn add_transition(&mut self, label: impl Into<String>) -> TransitionId {
+        let id = TransitionId(self.transitions.len() as u32);
+        self.transitions.push(Transition {
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Adds a place from `from` to `to` with `tokens` initial tokens and the
+    /// given delay, returning its id.
+    pub fn add_place(
+        &mut self,
+        from: TransitionId,
+        to: TransitionId,
+        tokens: u32,
+        delay: f64,
+    ) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(Place {
+            from,
+            to,
+            initial_tokens: tokens,
+            delay,
+        });
+        id
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Whether the graph has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The transition with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// The place with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.index()]
+    }
+
+    /// Mutable access to a place (to adjust delays or initial tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn place_mut(&mut self, id: PlaceId) -> &mut Place {
+        &mut self.places[id.index()]
+    }
+
+    /// Iterates over `(TransitionId, &Transition)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransitionId(i as u32), t))
+    }
+
+    /// Iterates over `(PlaceId, &Place)`.
+    pub fn places(&self) -> impl Iterator<Item = (PlaceId, &Place)> {
+        self.places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PlaceId(i as u32), p))
+    }
+
+    /// Finds a transition by label.
+    pub fn find_transition(&self, label: &str) -> Option<TransitionId> {
+        self.transitions()
+            .find(|(_, t)| t.label == label)
+            .map(|(id, _)| id)
+    }
+
+    /// Finds the place between two transitions, if any.
+    pub fn find_place(&self, from: TransitionId, to: TransitionId) -> Option<PlaceId> {
+        self.places()
+            .find(|(_, p)| p.from == from && p.to == to)
+            .map(|(id, _)| id)
+    }
+
+    /// Input places of a transition.
+    pub fn preset(&self, t: TransitionId) -> Vec<PlaceId> {
+        self.places()
+            .filter(|(_, p)| p.to == t)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Output places of a transition.
+    pub fn postset(&self, t: TransitionId) -> Vec<PlaceId> {
+        self.places()
+            .filter(|(_, p)| p.from == t)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        Marking(self.places.iter().map(|p| p.initial_tokens).collect())
+    }
+
+    /// Transitions enabled in `marking` (all input places hold a token).
+    pub fn enabled(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions()
+            .map(|(id, _)| id)
+            .filter(|&t| self.is_enabled(marking, t))
+            .collect()
+    }
+
+    /// Whether transition `t` is enabled in `marking`.
+    ///
+    /// A transition with an empty preset (a source) is always enabled.
+    pub fn is_enabled(&self, marking: &Marking, t: TransitionId) -> bool {
+        self.places
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.to == t)
+            .all(|(i, _)| marking.0[i] > 0)
+    }
+
+    /// Fires transition `t`, consuming one token from every input place and
+    /// producing one token in every output place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled in `marking`; check with
+    /// [`MarkedGraph::is_enabled`] first.
+    pub fn fire(&self, marking: &mut Marking, t: TransitionId) {
+        assert!(
+            self.is_enabled(marking, t),
+            "transition {} ({}) is not enabled",
+            t,
+            self.transition(t).label
+        );
+        for (i, p) in self.places.iter().enumerate() {
+            if p.to == t {
+                marking.0[i] -= 1;
+            }
+        }
+        for (i, p) in self.places.iter().enumerate() {
+            if p.from == t {
+                marking.0[i] += 1;
+            }
+        }
+    }
+
+    /// Fires a sequence of transitions by label, returning the final marking.
+    ///
+    /// Returns `None` if any label is unknown or not enabled at its turn.
+    pub fn fire_sequence(&self, labels: &[&str]) -> Option<Marking> {
+        let mut marking = self.initial_marking();
+        for &label in labels {
+            let t = self.find_transition(label)?;
+            if !self.is_enabled(&marking, t) {
+                return None;
+            }
+            self.fire(&mut marking, t);
+        }
+        Some(marking)
+    }
+
+    /// A map from label to transition id; duplicate labels keep the first.
+    pub fn label_map(&self) -> HashMap<String, TransitionId> {
+        let mut map = HashMap::new();
+        for (id, t) in self.transitions() {
+            map.entry(t.label.clone()).or_insert(id);
+        }
+        map
+    }
+
+    /// Structural well-formedness for marked graphs built by composition:
+    /// no place may connect transitions that do not exist.
+    ///
+    /// (Construction via [`MarkedGraph::add_place`] cannot violate this, but
+    /// deserialized graphs can.)
+    pub fn is_well_formed(&self) -> bool {
+        self.places.iter().all(|p| {
+            p.from.index() < self.transitions.len() && p.to.index() < self.transitions.len()
+        })
+    }
+
+    // Convenience re-exports of the most used analyses.
+
+    /// Whether the marked graph is live (see [`crate::analysis::is_live`]).
+    pub fn is_live(&self) -> bool {
+        crate::analysis::is_live(self)
+    }
+
+    /// Whether the marked graph is safe (see [`crate::analysis::is_safe`]).
+    pub fn is_safe(&self) -> bool {
+        crate::analysis::is_safe(self)
+    }
+
+    /// The steady-state cycle time (see [`crate::timing::cycle_time`]).
+    pub fn cycle_time(&self) -> f64 {
+        crate::timing::cycle_time(self)
+    }
+
+    /// A compact textual rendering (one line per place), for debugging and
+    /// the figure-reproduction binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "marked graph: {} transitions, {} places",
+            self.num_transitions(),
+            self.num_places()
+        );
+        for (_, p) in self.places() {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  tokens={} delay={}",
+                self.transition(p.from).label,
+                self.transition(p.to).label,
+                p.initial_tokens,
+                p.delay
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> c -> a ring with one token on c->a.
+    fn ring3() -> MarkedGraph {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        let c = g.add_transition("c");
+        g.add_place(a, b, 0, 1.0);
+        g.add_place(b, c, 0, 1.0);
+        g.add_place(c, a, 1, 1.0);
+        g
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let g = ring3();
+        assert_eq!(g.num_transitions(), 3);
+        assert_eq!(g.num_places(), 3);
+        assert!(!g.is_empty());
+        let a = g.find_transition("a").unwrap();
+        let b = g.find_transition("b").unwrap();
+        assert!(g.find_place(a, b).is_some());
+        assert!(g.find_place(b, a).is_none());
+        assert_eq!(g.transition(a).label, "a");
+        assert!(g.is_well_formed());
+    }
+
+    #[test]
+    fn preset_postset() {
+        let g = ring3();
+        let a = g.find_transition("a").unwrap();
+        assert_eq!(g.preset(a).len(), 1);
+        assert_eq!(g.postset(a).len(), 1);
+    }
+
+    #[test]
+    fn token_game_on_ring() {
+        let g = ring3();
+        let mut m = g.initial_marking();
+        assert_eq!(m.total(), 1);
+        let a = g.find_transition("a").unwrap();
+        let b = g.find_transition("b").unwrap();
+        let c = g.find_transition("c").unwrap();
+        assert_eq!(g.enabled(&m), vec![a]);
+        g.fire(&mut m, a);
+        assert_eq!(g.enabled(&m), vec![b]);
+        g.fire(&mut m, b);
+        assert_eq!(g.enabled(&m), vec![c]);
+        g.fire(&mut m, c);
+        // Back to the initial marking: firing a full cycle is neutral.
+        assert_eq!(m, g.initial_marking());
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn firing_disabled_transition_panics() {
+        let g = ring3();
+        let mut m = g.initial_marking();
+        let b = g.find_transition("b").unwrap();
+        g.fire(&mut m, b);
+    }
+
+    #[test]
+    fn fire_sequence_by_label() {
+        let g = ring3();
+        let m = g.fire_sequence(&["a", "b", "c", "a"]).unwrap();
+        assert_eq!(m.total(), 1);
+        assert!(g.fire_sequence(&["b"]).is_none());
+        assert!(g.fire_sequence(&["nope"]).is_none());
+    }
+
+    #[test]
+    fn source_transition_always_enabled() {
+        let mut g = MarkedGraph::new();
+        let src = g.add_transition("src");
+        let dst = g.add_transition("dst");
+        g.add_place(src, dst, 0, 1.0);
+        let m = g.initial_marking();
+        assert!(g.is_enabled(&m, src));
+        assert!(!g.is_enabled(&m, dst));
+    }
+
+    #[test]
+    fn render_mentions_labels() {
+        let g = ring3();
+        let r = g.render();
+        assert!(r.contains("a -> b"));
+        assert!(r.contains("tokens=1"));
+    }
+
+    #[test]
+    fn label_map_keeps_first_duplicate() {
+        let mut g = MarkedGraph::new();
+        let a1 = g.add_transition("x");
+        let _a2 = g.add_transition("x");
+        assert_eq!(g.label_map()["x"], a1);
+    }
+}
+
+/// Graphviz (DOT) rendering of marked graphs, used to visually inspect the
+/// composed control models (`dot -Tsvg model.dot -o model.svg`).
+impl MarkedGraph {
+    /// Serializes the marked graph in Graphviz DOT syntax. Transitions become
+    /// boxes labelled with their event name; every place becomes an edge
+    /// annotated with its delay, with a filled dot on edges carrying an
+    /// initial token.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for (id, t) in self.transitions() {
+            let _ = writeln!(out, "  t{} [label=\"{}\"];", id.0, t.label);
+        }
+        for (_, p) in self.places() {
+            let style = if p.initial_tokens > 0 {
+                format!(", label=\"\u{25CF}{} {:.0}\", penwidth=2", p.initial_tokens, p.delay)
+            } else {
+                format!(", label=\"{:.0}\"", p.delay)
+            };
+            let _ = writeln!(
+                out,
+                "  t{} -> t{} [fontsize=8{}];",
+                p.from.0, p.to.0, style
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_all_transitions_and_places() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a+");
+        let b = g.add_transition("b-");
+        g.add_place(a, b, 1, 5.0);
+        g.add_place(b, a, 0, 7.0);
+        let dot = g.to_dot("toy");
+        assert!(dot.starts_with("digraph \"toy\""));
+        assert!(dot.contains("label=\"a+\""));
+        assert!(dot.contains("label=\"b-\""));
+        assert_eq!(dot.matches(" -> ").count(), 2);
+        // The marked place is highlighted.
+        assert!(dot.contains("penwidth=2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_empty_graph_is_valid() {
+        let dot = MarkedGraph::new().to_dot("empty");
+        assert!(dot.contains("digraph"));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Signal transition graphs (STGs): marked graphs whose transitions are the
+//! rising and falling edges of named signals.
+//!
+//! The desynchronization controllers are specified as STGs (the `a+` / `a-`
+//! events of the latch-enable signals in paper Figures 2–4). This module
+//! adds the signal-level view on top of [`MarkedGraph`]: parsing labels,
+//! consistency checking (rising and falling edges of each signal must
+//! strictly alternate along every firing sequence) and extraction of the
+//! signal alphabet.
+
+use crate::graph::{MarkedGraph, TransitionId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalDirection {
+    /// Rising edge (`a+`): the latch enable goes transparent.
+    Rise,
+    /// Falling edge (`a-`): the latch enable closes / captures.
+    Fall,
+}
+
+impl SignalDirection {
+    /// The opposite direction.
+    pub fn opposite(self) -> Self {
+        match self {
+            SignalDirection::Rise => SignalDirection::Fall,
+            SignalDirection::Fall => SignalDirection::Rise,
+        }
+    }
+
+    /// The suffix character used in labels.
+    pub fn suffix(self) -> char {
+        match self {
+            SignalDirection::Rise => '+',
+            SignalDirection::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for SignalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// A parsed signal transition label: signal name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignalEdge {
+    /// Signal name (e.g. the latch or controller name).
+    pub signal: String,
+    /// Rising or falling.
+    pub direction: SignalDirection,
+}
+
+impl SignalEdge {
+    /// Creates a rising edge for `signal`.
+    pub fn rise(signal: impl Into<String>) -> Self {
+        Self {
+            signal: signal.into(),
+            direction: SignalDirection::Rise,
+        }
+    }
+
+    /// Creates a falling edge for `signal`.
+    pub fn fall(signal: impl Into<String>) -> Self {
+        Self {
+            signal: signal.into(),
+            direction: SignalDirection::Fall,
+        }
+    }
+
+    /// Parses a label of the form `name+` / `name-`.
+    pub fn parse(label: &str) -> Option<Self> {
+        let (name, dir) = label.split_at(label.len().checked_sub(1)?);
+        let direction = match dir {
+            "+" => SignalDirection::Rise,
+            "-" => SignalDirection::Fall,
+            _ => return None,
+        };
+        if name.is_empty() {
+            return None;
+        }
+        Some(Self {
+            signal: name.to_string(),
+            direction,
+        })
+    }
+
+    /// The label string (`name+` / `name-`).
+    pub fn label(&self) -> String {
+        format!("{}{}", self.signal, self.direction.suffix())
+    }
+}
+
+impl fmt::Display for SignalEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.signal, self.direction)
+    }
+}
+
+/// A signal transition graph: a marked graph plus the interpretation of its
+/// labels as signal edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Stg {
+    /// The underlying marked graph.
+    pub graph: MarkedGraph,
+}
+
+impl Stg {
+    /// Creates an empty STG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing marked graph.
+    pub fn from_graph(graph: MarkedGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Adds (or reuses) the transition for a signal edge and returns its id.
+    pub fn transition_for(&mut self, edge: &SignalEdge) -> TransitionId {
+        let label = edge.label();
+        match self.graph.find_transition(&label) {
+            Some(id) => id,
+            None => self.graph.add_transition(label),
+        }
+    }
+
+    /// Adds a causality arc `from → to` with the given marking and delay.
+    pub fn add_arc(&mut self, from: &SignalEdge, to: &SignalEdge, tokens: u32, delay: f64) {
+        let f = self.transition_for(from);
+        let t = self.transition_for(to);
+        self.graph.add_place(f, t, tokens, delay);
+    }
+
+    /// The set of signal names appearing in the STG, sorted.
+    pub fn signals(&self) -> Vec<String> {
+        let mut set: HashSet<String> = HashSet::new();
+        for (_, t) in self.graph.transitions() {
+            if let Some(edge) = SignalEdge::parse(&t.label) {
+                set.insert(edge.signal);
+            }
+        }
+        let mut v: Vec<String> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether every transition label parses as a signal edge.
+    pub fn labels_are_signal_edges(&self) -> bool {
+        self.graph
+            .transitions()
+            .all(|(_, t)| SignalEdge::parse(&t.label).is_some())
+    }
+
+    /// Consistency check: along every reachable firing sequence, the rising
+    /// and falling transitions of each signal strictly alternate (so each
+    /// signal has a well-defined binary value at every reachable marking).
+    ///
+    /// Explores up to `limit` markings; returns `None` when the bound is
+    /// exceeded before a verdict.
+    pub fn is_consistent(&self, limit: usize) -> Option<bool> {
+        if !self.labels_are_signal_edges() {
+            return Some(false);
+        }
+        // State = (marking, phase of each signal). Phase: false = signal low
+        // (next edge must be +), true = high (next must be -). Initial phases
+        // are inferred: a signal whose first enabled edge is `-` starts high.
+        // We track phases as Option<bool> and fix them on first use.
+        let signals = self.signals();
+        let sig_index: HashMap<&str, usize> =
+            signals.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+        let edge_of: Vec<Option<(usize, SignalDirection)>> = self
+            .graph
+            .transitions()
+            .map(|(_, t)| {
+                SignalEdge::parse(&t.label).map(|e| (sig_index[e.signal.as_str()], e.direction))
+            })
+            .collect();
+
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        struct State {
+            marking: Vec<u32>,
+            phase: Vec<Option<bool>>,
+        }
+
+        let init = State {
+            marking: self.graph.initial_marking().0,
+            phase: vec![None; signals.len()],
+        };
+        let mut seen: HashSet<State> = HashSet::new();
+        seen.insert(init.clone());
+        let mut queue = VecDeque::new();
+        queue.push_back(init);
+        while let Some(state) = queue.pop_front() {
+            let marking = crate::graph::Marking(state.marking.clone());
+            for t in self.graph.enabled(&marking) {
+                let mut next_marking = marking.clone();
+                self.graph.fire(&mut next_marking, t);
+                let mut next_phase = state.phase.clone();
+                if let Some((sig, dir)) = edge_of[t.index()] {
+                    let want_high_before = dir == SignalDirection::Fall;
+                    match next_phase[sig] {
+                        Some(high) => {
+                            if high != want_high_before {
+                                return Some(false);
+                            }
+                        }
+                        None => {}
+                    }
+                    next_phase[sig] = Some(dir == SignalDirection::Rise);
+                }
+                let next = State {
+                    marking: next_marking.0,
+                    phase: next_phase,
+                };
+                if !seen.contains(&next) {
+                    if seen.len() >= limit {
+                        return None;
+                    }
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+        Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_edges() {
+        let e = SignalEdge::parse("lat3+").unwrap();
+        assert_eq!(e.signal, "lat3");
+        assert_eq!(e.direction, SignalDirection::Rise);
+        assert_eq!(e.label(), "lat3+");
+        assert_eq!(e.to_string(), "lat3+");
+        assert_eq!(SignalEdge::parse("x-").unwrap().direction, SignalDirection::Fall);
+        assert!(SignalEdge::parse("x").is_none());
+        assert!(SignalEdge::parse("+").is_none());
+        assert!(SignalEdge::parse("").is_none());
+        assert_eq!(SignalDirection::Rise.opposite(), SignalDirection::Fall);
+    }
+
+    fn handshake_stg() -> Stg {
+        // a+ -> a- -> a+ with one token on the return arc: a single signal
+        // toggling forever.
+        let mut stg = Stg::new();
+        let ap = SignalEdge::rise("a");
+        let am = SignalEdge::fall("a");
+        stg.add_arc(&ap, &am, 0, 1.0);
+        stg.add_arc(&am, &ap, 1, 1.0);
+        stg
+    }
+
+    #[test]
+    fn single_signal_toggle_is_consistent() {
+        let stg = handshake_stg();
+        assert!(stg.labels_are_signal_edges());
+        assert_eq!(stg.signals(), vec!["a".to_string()]);
+        assert_eq!(stg.is_consistent(1000), Some(true));
+        assert!(stg.graph.is_live());
+        assert!(stg.graph.is_safe());
+    }
+
+    #[test]
+    fn double_rise_is_inconsistent() {
+        // a+ -> a+ cycle: the signal would rise twice in a row.
+        let mut stg = Stg::new();
+        let ap = SignalEdge::rise("a");
+        let am = SignalEdge::fall("a");
+        // a+ -> a- -> a+ plus an extra token letting a+ fire twice in a row.
+        stg.add_arc(&ap, &am, 0, 1.0);
+        stg.add_arc(&am, &ap, 2, 1.0);
+        assert_eq!(stg.is_consistent(1000), Some(false));
+    }
+
+    #[test]
+    fn non_signal_labels_fail_consistency() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("notasignal");
+        let b = g.add_transition("b+");
+        g.add_place(a, b, 1, 1.0);
+        g.add_place(b, a, 0, 1.0);
+        let stg = Stg::from_graph(g);
+        assert!(!stg.labels_are_signal_edges());
+        assert_eq!(stg.is_consistent(100), Some(false));
+    }
+
+    #[test]
+    fn transition_for_reuses_existing() {
+        let mut stg = handshake_stg();
+        let before = stg.graph.num_transitions();
+        let id1 = stg.transition_for(&SignalEdge::rise("a"));
+        assert_eq!(stg.graph.num_transitions(), before);
+        let id2 = stg.transition_for(&SignalEdge::rise("z"));
+        assert_eq!(stg.graph.num_transitions(), before + 1);
+        assert_ne!(id1, id2);
+    }
+
+    #[test]
+    fn two_signal_pipeline_pattern_is_consistent() {
+        // The odd→even pattern of Figure 4: data at the source latch.
+        let mut stg = Stg::new();
+        let ap = SignalEdge::rise("A");
+        let am = SignalEdge::fall("A");
+        let bp = SignalEdge::rise("B");
+        let bm = SignalEdge::fall("B");
+        stg.add_arc(&ap, &bm, 1, 1.0);
+        stg.add_arc(&bm, &ap, 0, 1.0);
+        stg.add_arc(&ap, &am, 0, 1.0);
+        stg.add_arc(&am, &ap, 1, 1.0);
+        stg.add_arc(&bp, &bm, 0, 1.0);
+        stg.add_arc(&bm, &bp, 1, 1.0);
+        assert_eq!(stg.is_consistent(10_000), Some(true));
+        assert!(stg.graph.is_live());
+        assert!(stg.graph.is_safe());
+        assert_eq!(stg.signals(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn consistency_bound_returns_none() {
+        // A graph with many interleavings and a tiny limit.
+        let mut stg = Stg::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            stg.add_arc(&SignalEdge::rise(name), &SignalEdge::fall(name), 0, 1.0);
+            stg.add_arc(&SignalEdge::fall(name), &SignalEdge::rise(name), 1, 1.0);
+        }
+        assert_eq!(stg.is_consistent(2), None);
+    }
+}

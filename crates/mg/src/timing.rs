@@ -1,0 +1,322 @@
+//! Timed analysis of marked graphs: steady-state cycle time (maximum cycle
+//! ratio) and discrete-event simulation of the timed token game.
+//!
+//! In the desynchronization model the place delays carry the matched-delay /
+//! combinational-logic propagation times, so the cycle time computed here is
+//! the asynchronous equivalent of the clock period of the synchronous
+//! circuit (paper Table 1, "Cycle Time" row).
+
+use crate::graph::{MarkedGraph, TransitionId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The steady-state cycle time of a timed marked graph: the maximum over all
+/// directed cycles of (total delay on the cycle) / (tokens on the cycle).
+///
+/// Returns `0.0` for graphs without cycles (nothing constrains throughput)
+/// and `f64::INFINITY` for graphs with a token-free cycle (not live: some
+/// transition can never fire, so the period diverges).
+pub fn cycle_time(graph: &MarkedGraph) -> f64 {
+    if graph.num_places() == 0 || graph.num_transitions() == 0 {
+        return 0.0;
+    }
+    if !crate::analysis::is_live(graph) {
+        return f64::INFINITY;
+    }
+    // Binary search on lambda; lambda >= lambda* iff the graph with edge
+    // weights (delay - lambda * tokens) has no positive cycle.
+    if !has_positive_cycle(graph, 0.0) {
+        // No cycle with positive total delay: throughput is unconstrained.
+        return 0.0;
+    }
+    let total_delay: f64 = graph.places().map(|(_, p)| p.delay).sum();
+    let mut lo = 0.0_f64;
+    let mut hi = total_delay.max(1e-9);
+    if !has_positive_cycle(graph, hi) {
+        // hi is an upper bound by construction (any cycle has >= 1 token and
+        // delay sum <= total_delay), but guard anyway.
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if has_positive_cycle(graph, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    hi
+}
+
+/// Whether the graph with edge weights `delay - lambda * tokens` contains a
+/// positive-weight cycle (Bellman-Ford style relaxation on longest paths).
+fn has_positive_cycle(graph: &MarkedGraph, lambda: f64) -> bool {
+    let n = graph.num_transitions();
+    let mut dist = vec![0.0_f64; n];
+    // n iterations of relaxation; a further improvement implies a positive cycle.
+    for iter in 0..=n {
+        let mut changed = false;
+        for (_, p) in graph.places() {
+            let w = p.delay - lambda * p.initial_tokens as f64;
+            let cand = dist[p.from.index()] + w;
+            if cand > dist[p.to.index()] + 1e-12 {
+                dist[p.to.index()] = cand;
+                changed = true;
+                if iter == n {
+                    return true;
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    false
+}
+
+/// One firing of a transition in a timed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Firing {
+    /// The transition that fired.
+    pub transition: TransitionId,
+    /// Simulation time of the firing.
+    pub time: f64,
+}
+
+/// The result of a timed token-game simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedTrace {
+    /// All firings in chronological order.
+    pub firings: Vec<Firing>,
+    /// Number of completed iterations of the reference transition.
+    pub iterations: usize,
+    /// Estimated steady-state period (time between consecutive firings of
+    /// the reference transition, averaged over the second half of the run).
+    pub period: f64,
+}
+
+impl TimedTrace {
+    /// Firing times of a specific transition.
+    pub fn times_of(&self, t: TransitionId) -> Vec<f64> {
+        self.firings
+            .iter()
+            .filter(|f| f.transition == t)
+            .map(|f| f.time)
+            .collect()
+    }
+}
+
+/// Simulates the timed token game with earliest-firing semantics for
+/// `iterations` firings of transition `reference` (or of transition 0 if
+/// `reference` is `None`), returning the full trace and a period estimate.
+///
+/// Earliest-firing semantics: a transition fires as soon as every input
+/// place holds a token whose delay has elapsed. This is the behaviour of a
+/// speed-independent handshake implementation with matched delays.
+pub fn simulate_timed(
+    graph: &MarkedGraph,
+    iterations: usize,
+    reference: Option<TransitionId>,
+) -> TimedTrace {
+    let reference = reference.unwrap_or(TransitionId(0));
+    let n_places = graph.num_places();
+    // Token arrival-time queues per place.
+    let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n_places];
+    for (id, p) in graph.places() {
+        for _ in 0..p.initial_tokens {
+            queues[id.index()].push_back(0.0);
+        }
+    }
+    let presets: Vec<Vec<usize>> = graph
+        .transitions()
+        .map(|(t, _)| graph.preset(t).iter().map(|p| p.index()).collect())
+        .collect();
+    let postsets: Vec<Vec<usize>> = graph
+        .transitions()
+        .map(|(t, _)| graph.postset(t).iter().map(|p| p.index()).collect())
+        .collect();
+
+    let mut firings = Vec::new();
+    let mut ref_times = Vec::new();
+    let max_firings = iterations.saturating_mul(graph.num_transitions().max(1)) + 16;
+
+    for _ in 0..max_firings {
+        // Find the transition with the earliest possible firing time.
+        let mut best: Option<(usize, f64)> = None;
+        for (t_idx, preset) in presets.iter().enumerate() {
+            if preset.is_empty() {
+                continue; // sources would fire infinitely often; skip them
+            }
+            let mut ready = 0.0_f64;
+            let mut ok = true;
+            for &p in preset {
+                match queues[p].front() {
+                    Some(&arrival) => ready = ready.max(arrival),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && best.map_or(true, |(_, bt)| ready < bt) {
+                best = Some((t_idx, ready));
+            }
+        }
+        let Some((t_idx, time)) = best else { break };
+        let t = TransitionId(t_idx as u32);
+        for &p in &presets[t_idx] {
+            queues[p].pop_front();
+        }
+        for &p in &postsets[t_idx] {
+            let delay = graph.place(crate::graph::PlaceId(p as u32)).delay;
+            queues[p].push_back(time + delay);
+        }
+        firings.push(Firing {
+            transition: t,
+            time,
+        });
+        if t == reference {
+            ref_times.push(time);
+            if ref_times.len() >= iterations {
+                break;
+            }
+        }
+    }
+
+    let period = estimate_period(&ref_times);
+    TimedTrace {
+        firings,
+        iterations: ref_times.len(),
+        period,
+    }
+}
+
+/// Average separation between consecutive firing times over the second half
+/// of the sequence (ignoring the start-up transient).
+fn estimate_period(times: &[f64]) -> f64 {
+    if times.len() < 2 {
+        return 0.0;
+    }
+    let start = times.len() / 2;
+    let window = &times[start.saturating_sub(1)..];
+    if window.len() < 2 {
+        return times[times.len() - 1] - times[times.len() - 2];
+    }
+    (window[window.len() - 1] - window[0]) / (window.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MarkedGraph;
+
+    fn two_ring(d1: f64, d2: f64, tokens: u32) -> MarkedGraph {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        g.add_place(a, b, 0, d1);
+        g.add_place(b, a, tokens, d2);
+        g
+    }
+
+    #[test]
+    fn cycle_time_of_simple_ring() {
+        let g = two_ring(5.0, 7.0, 1);
+        assert!((cycle_time(&g) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_time_divides_by_tokens() {
+        let g = two_ring(5.0, 7.0, 2);
+        assert!((cycle_time(&g) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_time_of_dead_graph_is_infinite() {
+        let g = two_ring(5.0, 7.0, 0);
+        assert!(cycle_time(&g).is_infinite());
+    }
+
+    #[test]
+    fn cycle_time_takes_maximum_over_cycles() {
+        // Two cycles through a shared transition; the slower one dominates.
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        let c = g.add_transition("c");
+        g.add_place(a, b, 0, 3.0);
+        g.add_place(b, a, 1, 3.0); // cycle a-b: 6
+        g.add_place(a, c, 0, 10.0);
+        g.add_place(c, a, 1, 10.0); // cycle a-c: 20
+        assert!((cycle_time(&g) - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cycle_time_of_acyclic_graph_is_zero() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        g.add_place(a, b, 0, 4.0);
+        assert_eq!(cycle_time(&g), 0.0);
+        assert_eq!(cycle_time(&MarkedGraph::new()), 0.0);
+    }
+
+    #[test]
+    fn simulation_period_matches_cycle_time() {
+        let g = two_ring(5.0, 7.0, 1);
+        let a = g.find_transition("a").unwrap();
+        let trace = simulate_timed(&g, 50, Some(a));
+        assert!(trace.iterations >= 40);
+        assert!((trace.period - 12.0).abs() < 1e-6, "period {}", trace.period);
+        assert!((cycle_time(&g) - trace.period).abs() < 1e-5);
+    }
+
+    #[test]
+    fn simulation_trace_is_causally_ordered() {
+        let g = two_ring(2.0, 3.0, 1);
+        let trace = simulate_timed(&g, 20, None);
+        for w in trace.firings.windows(2) {
+            assert!(w[0].time <= w[1].time + 1e-12);
+        }
+        let a = g.find_transition("a").unwrap();
+        let times = trace.times_of(a);
+        assert!(times.len() >= 10);
+        // Strictly increasing firing times for the same transition.
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn multi_token_pipeline_simulation() {
+        // A 4-stage ring with 2 tokens: period = total delay / 2.
+        let mut g = MarkedGraph::new();
+        let t: Vec<_> = (0..4).map(|i| g.add_transition(format!("t{i}"))).collect();
+        for i in 0..4 {
+            let next = (i + 1) % 4;
+            let tokens = if i % 2 == 0 { 1 } else { 0 };
+            g.add_place(t[i], t[next], tokens, 4.0);
+        }
+        let expected = 16.0 / 2.0;
+        assert!((cycle_time(&g) - expected).abs() < 1e-5);
+        let trace = simulate_timed(&g, 60, Some(t[0]));
+        assert!((trace.period - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dead_graph_simulation_halts() {
+        let g = two_ring(1.0, 1.0, 0);
+        let trace = simulate_timed(&g, 10, None);
+        assert!(trace.firings.is_empty());
+        assert_eq!(trace.period, 0.0);
+    }
+
+    #[test]
+    fn estimate_period_short_sequences() {
+        assert_eq!(estimate_period(&[]), 0.0);
+        assert_eq!(estimate_period(&[1.0]), 0.0);
+        assert!((estimate_period(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

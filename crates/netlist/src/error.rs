@@ -1,0 +1,131 @@
+//! Error types shared by the netlist crate.
+
+use crate::cell::CellId;
+use crate::netlist::NetId;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was used twice.
+    DuplicateNet(String),
+    /// A cell instance name was used twice.
+    DuplicateCell(String),
+    /// A referenced net does not exist.
+    UnknownNet(String),
+    /// A referenced cell does not exist.
+    UnknownCell(String),
+    /// A net id is out of range for this netlist.
+    InvalidNetId(NetId),
+    /// A cell id is out of range for this netlist.
+    InvalidCellId(CellId),
+    /// A cell was instantiated with the wrong number of inputs.
+    ArityMismatch {
+        /// Instance name.
+        cell: String,
+        /// Number of inputs expected by the cell kind.
+        expected: usize,
+        /// Number of inputs actually supplied.
+        found: usize,
+    },
+    /// Two drivers (cells or primary inputs) drive the same net.
+    MultipleDrivers {
+        /// The net driven more than once.
+        net: String,
+    },
+    /// A net that is read (by a cell or primary output) has no driver.
+    UndrivenNet {
+        /// The floating net.
+        net: String,
+    },
+    /// The combinational core of the netlist contains a cycle.
+    CombinationalCycle {
+        /// Names of the cells on the detected cycle.
+        cells: Vec<String>,
+    },
+    /// The structural Verilog parser failed.
+    Parse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An operation required a clock net but the netlist has none or several.
+    ClockError(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net name `{n}`"),
+            NetlistError::DuplicateCell(n) => write!(f, "duplicate cell name `{n}`"),
+            NetlistError::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            NetlistError::UnknownCell(n) => write!(f, "unknown cell `{n}`"),
+            NetlistError::InvalidNetId(id) => write!(f, "net id {id:?} out of range"),
+            NetlistError::InvalidCellId(id) => write!(f, "cell id {id:?} out of range"),
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell `{cell}` expects {expected} inputs but {found} were connected"
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has more than one driver")
+            }
+            NetlistError::UndrivenNet { net } => write!(f, "net `{net}` is read but never driven"),
+            NetlistError::CombinationalCycle { cells } => write!(
+                f,
+                "combinational cycle through cells: {}",
+                cells.join(" -> ")
+            ),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::ClockError(msg) => write!(f, "clock error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            NetlistError::DuplicateNet("a".into()),
+            NetlistError::DuplicateCell("c".into()),
+            NetlistError::UnknownNet("n".into()),
+            NetlistError::ArityMismatch {
+                cell: "g".into(),
+                expected: 2,
+                found: 3,
+            },
+            NetlistError::MultipleDrivers { net: "y".into() },
+            NetlistError::UndrivenNet { net: "z".into() },
+            NetlistError::CombinationalCycle {
+                cells: vec!["a".into(), "b".into()],
+            },
+            NetlistError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+            NetlistError::ClockError("no clock".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Gate-level netlist intermediate representation for the desynchronization toolkit.
+//!
+//! This crate provides the substrate every other `desync-*` crate builds on:
+//!
+//! * [`Netlist`] — a flat, gate-level netlist with primary ports, nets and
+//!   cell instances (combinational gates, D flip-flops, level-sensitive
+//!   latches, and the Muller C-elements used by handshake controllers).
+//! * [`CellKind`] and [`Value`] — the logic model (two-valued plus unknown
+//!   `X`) and the evaluation semantics of every supported cell.
+//! * [`CellLibrary`] — a technology model assigning delay, area, input
+//!   capacitance and switching energy to each cell, used by the timing,
+//!   power and simulation crates.
+//! * [`analysis`] — structural analyses: topological ordering of the
+//!   combinational core, combinational-cycle detection, fan-out maps,
+//!   register-to-register stage extraction.
+//! * [`verilog`] — a reader and writer for a small structural-Verilog
+//!   subset, so netlists can be exchanged with external tools.
+//!
+//! # Example
+//!
+//! Build a tiny two-bit register feeding an XOR and inspect it:
+//!
+//! ```
+//! use desync_netlist::{Netlist, CellKind};
+//!
+//! # fn main() -> Result<(), desync_netlist::NetlistError> {
+//! let mut n = Netlist::new("toy");
+//! let clk = n.add_input("clk");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let qa = n.add_net("qa");
+//! let qb = n.add_net("qb");
+//! let y = n.add_net("y");
+//! n.add_dff("ra", a, clk, qa)?;
+//! n.add_dff("rb", b, clk, qb)?;
+//! n.add_gate("x0", CellKind::Xor, &[qa, qb], y)?;
+//! n.mark_output(y);
+//! n.validate()?;
+//! assert_eq!(n.num_flip_flops(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cell;
+pub mod error;
+pub mod library;
+pub mod netlist;
+pub mod value;
+pub mod verilog;
+
+pub use cell::{Cell, CellId, CellKind, PinRole};
+pub use error::NetlistError;
+pub use library::{CellLibrary, CellTemplate, DelaySpec};
+pub use netlist::{Net, NetId, Netlist, PortDirection};
+pub use value::Value;

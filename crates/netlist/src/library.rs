@@ -1,0 +1,258 @@
+//! Technology / cell library: delay, area, capacitance and energy per cell.
+//!
+//! The library plays the role of the standard-cell `.lib` used by the
+//! original flow. Delays are linear in fan-out load
+//! (`delay = intrinsic + load_factor * fanout`), which is enough to make the
+//! sync-vs-desync comparison meaningful while staying analytic.
+
+use crate::cell::CellKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Delay model of one cell: intrinsic delay plus a per-fan-out increment,
+/// in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelaySpec {
+    /// Intrinsic (unloaded) propagation delay in picoseconds.
+    pub intrinsic_ps: f64,
+    /// Additional delay per unit of fan-out, in picoseconds.
+    pub per_fanout_ps: f64,
+}
+
+impl DelaySpec {
+    /// Creates a new delay specification.
+    pub fn new(intrinsic_ps: f64, per_fanout_ps: f64) -> Self {
+        Self {
+            intrinsic_ps,
+            per_fanout_ps,
+        }
+    }
+
+    /// The propagation delay for a given fan-out count.
+    pub fn delay_ps(&self, fanout: usize) -> f64 {
+        self.intrinsic_ps + self.per_fanout_ps * fanout as f64
+    }
+}
+
+/// Per-cell technology characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTemplate {
+    /// Cell kind this template characterizes.
+    pub kind: CellKind,
+    /// Delay model.
+    pub delay: DelaySpec,
+    /// Cell area in square micrometres.
+    pub area_um2: f64,
+    /// Input pin capacitance in femtofarads (per pin).
+    pub input_cap_ff: f64,
+    /// Energy per output transition in femtojoules.
+    pub switch_energy_fj: f64,
+    /// Static leakage power in nanowatts.
+    pub leakage_nw: f64,
+}
+
+impl CellTemplate {
+    /// Additional area contributed per input pin beyond the second, for
+    /// N-ary gates (square micrometres).
+    pub const EXTRA_INPUT_AREA_UM2: f64 = 1.2;
+
+    /// Area of an instance with `num_inputs` inputs.
+    ///
+    /// For fixed-arity cells this is just [`CellTemplate::area_um2`]; N-ary
+    /// gates grow linearly with inputs beyond two.
+    pub fn instance_area_um2(&self, num_inputs: usize) -> f64 {
+        match self.kind.fixed_arity() {
+            Some(_) => self.area_um2,
+            None => {
+                let extra = num_inputs.saturating_sub(2) as f64;
+                self.area_um2 + extra * Self::EXTRA_INPUT_AREA_UM2
+            }
+        }
+    }
+
+    /// Delay of an instance with `num_inputs` inputs driving `fanout` sinks.
+    ///
+    /// N-ary gates get a small logarithmic penalty for wide inputs, modelling
+    /// the tree decomposition a real synthesizer would perform.
+    pub fn instance_delay_ps(&self, num_inputs: usize, fanout: usize) -> f64 {
+        let base = self.delay.delay_ps(fanout);
+        match self.kind.fixed_arity() {
+            Some(_) => base,
+            None => {
+                let n = num_inputs.max(2) as f64;
+                base * (1.0 + n.log2() * 0.25)
+            }
+        }
+    }
+}
+
+/// A collection of [`CellTemplate`]s indexed by [`CellKind`].
+///
+/// ```
+/// use desync_netlist::{CellLibrary, CellKind};
+/// let lib = CellLibrary::generic_90nm();
+/// let inv = lib.template(CellKind::Not);
+/// assert!(inv.delay.intrinsic_ps > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Library name.
+    pub name: String,
+    templates: BTreeMap<String, CellTemplate>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            templates: BTreeMap::new(),
+        }
+    }
+
+    /// A generic 90 nm-class library with plausible relative delay, area and
+    /// energy numbers. The absolute calibration is arbitrary; what matters
+    /// for the paper's experiments is that the *same* library is used for the
+    /// synchronous and the desynchronized design.
+    pub fn generic_90nm() -> Self {
+        let mut lib = Self::new("generic90");
+        let entries: &[(CellKind, f64, f64, f64, f64, f64, f64)] = &[
+            // kind, intrinsic ps, per-fanout ps, area um2, cap fF, energy fJ, leak nW
+            (CellKind::Const0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.5),
+            (CellKind::Const1, 0.0, 0.0, 1.0, 0.0, 0.0, 0.5),
+            (CellKind::Buf, 35.0, 6.0, 4.0, 1.8, 1.6, 2.0),
+            // The delay cell is a dedicated matched-delay element (a chain of
+            // weak inverters packed into one cell), so it is slow per unit
+            // of area compared to an ordinary buffer.
+            (CellKind::Delay, 150.0, 6.0, 5.0, 1.8, 1.7, 2.0),
+            (CellKind::Not, 22.0, 5.0, 2.5, 1.5, 1.2, 1.5),
+            (CellKind::And, 48.0, 6.5, 6.0, 1.9, 2.2, 3.0),
+            (CellKind::Nand, 32.0, 6.0, 4.5, 1.8, 1.8, 2.5),
+            (CellKind::Or, 50.0, 6.5, 6.0, 1.9, 2.3, 3.0),
+            (CellKind::Nor, 36.0, 6.5, 4.5, 1.8, 1.9, 2.5),
+            (CellKind::Xor, 65.0, 7.0, 9.0, 2.4, 3.4, 4.0),
+            (CellKind::Xnor, 66.0, 7.0, 9.0, 2.4, 3.4, 4.0),
+            (CellKind::Mux2, 58.0, 6.5, 8.0, 2.1, 2.9, 3.5),
+            (CellKind::AndOrInv, 54.0, 6.5, 7.5, 2.0, 2.7, 3.2),
+            (CellKind::Dff, 120.0, 7.0, 22.0, 2.6, 9.0, 8.0),
+            (CellKind::LatchLow, 70.0, 6.5, 11.0, 2.2, 4.5, 4.0),
+            (CellKind::LatchHigh, 70.0, 6.5, 11.0, 2.2, 4.5, 4.0),
+            (CellKind::CElement, 60.0, 6.5, 10.0, 2.2, 3.0, 3.5),
+        ];
+        for &(kind, ip, pf, area, cap, e, leak) in entries {
+            lib.insert(CellTemplate {
+                kind,
+                delay: DelaySpec::new(ip, pf),
+                area_um2: area,
+                input_cap_ff: cap,
+                switch_energy_fj: e,
+                leakage_nw: leak,
+            });
+        }
+        lib
+    }
+
+    /// Inserts (or replaces) the template for a kind.
+    pub fn insert(&mut self, template: CellTemplate) {
+        self.templates
+            .insert(template.kind.canonical_name().to_string(), template);
+    }
+
+    /// Returns the template for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no entry for `kind`; use
+    /// [`CellLibrary::get`] for a fallible lookup.
+    pub fn template(&self, kind: CellKind) -> &CellTemplate {
+        self.get(kind)
+            .unwrap_or_else(|| panic!("cell library `{}` has no template for {kind}", self.name))
+    }
+
+    /// Returns the template for `kind`, if present.
+    pub fn get(&self, kind: CellKind) -> Option<&CellTemplate> {
+        self.templates.get(kind.canonical_name())
+    }
+
+    /// Whether the library characterizes every [`CellKind`].
+    pub fn is_complete(&self) -> bool {
+        CellKind::all().iter().all(|&k| self.get(k).is_some())
+    }
+
+    /// Iterates over the templates in the library.
+    pub fn iter(&self) -> impl Iterator<Item = &CellTemplate> {
+        self.templates.values()
+    }
+
+    /// Number of characterized cells.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::generic_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_library_is_complete() {
+        let lib = CellLibrary::generic_90nm();
+        assert!(lib.is_complete());
+        assert_eq!(lib.len(), CellKind::all().len());
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn delay_grows_with_fanout() {
+        let lib = CellLibrary::generic_90nm();
+        let t = lib.template(CellKind::Nand);
+        assert!(t.delay.delay_ps(4) > t.delay.delay_ps(1));
+        assert!(t.instance_delay_ps(2, 4) > t.instance_delay_ps(2, 1));
+    }
+
+    #[test]
+    fn wide_gates_are_slower_and_bigger() {
+        let lib = CellLibrary::generic_90nm();
+        let t = lib.template(CellKind::And);
+        assert!(t.instance_delay_ps(8, 1) > t.instance_delay_ps(2, 1));
+        assert!(t.instance_area_um2(8) > t.instance_area_um2(2));
+        // Fixed-arity cells do not grow.
+        let mux = lib.template(CellKind::Mux2);
+        assert_eq!(mux.instance_area_um2(3), mux.instance_area_um2(3));
+    }
+
+    #[test]
+    fn dff_costs_about_as_much_as_its_two_latches() {
+        // A master/slave flip-flop is two latches, so the latch-based
+        // conversion should not by itself change the sequential area much.
+        let lib = CellLibrary::generic_90nm();
+        let dff = lib.template(CellKind::Dff);
+        let lat = lib.template(CellKind::LatchHigh);
+        assert!(dff.area_um2 > lat.area_um2);
+        let ratio = 2.0 * lat.area_um2 / dff.area_um2;
+        assert!((0.9..=1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn missing_template_lookup() {
+        let lib = CellLibrary::new("empty");
+        assert!(lib.get(CellKind::Nand).is_none());
+        assert!(!lib.is_complete());
+    }
+
+    #[test]
+    fn default_is_generic() {
+        assert_eq!(CellLibrary::default().name, "generic90");
+    }
+}

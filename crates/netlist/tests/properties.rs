@@ -1,0 +1,153 @@
+//! Property-based tests of the netlist crate: three-valued logic laws,
+//! Verilog round-tripping and structural analyses on random netlists.
+
+use desync_netlist::analysis::{
+    combinational_depth, find_combinational_cycle, kind_histogram, topological_order,
+    SequentialGraph,
+};
+use desync_netlist::value::evaluate;
+use desync_netlist::verilog::{from_verilog, to_verilog};
+use desync_netlist::{CellKind, CellLibrary, Netlist, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::Zero), Just(Value::One), Just(Value::X)]
+}
+
+/// A small random netlist builder used by the structural properties: gates
+/// only read already-created nets, so the result is always acyclic.
+fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    let mut n = Netlist::new(format!("prop_{seed}"));
+    let clk = n.add_input("clk");
+    let mut nets = vec![n.add_input("i0"), n.add_input("i1"), n.add_input("i2")];
+    let kinds = [
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Nand,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Not,
+        CellKind::Buf,
+        CellKind::Mux2,
+    ];
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for g in 0..gates {
+        let kind = kinds[(next() as usize) % kinds.len()];
+        let arity = kind.fixed_arity().unwrap_or(2 + (next() as usize) % 3);
+        let inputs: Vec<_> = (0..arity)
+            .map(|_| nets[(next() as usize) % nets.len()])
+            .collect();
+        let out = n.add_net(format!("w{g}"));
+        n.add_gate(format!("g{g}"), kind, &inputs, out).unwrap();
+        nets.push(out);
+        // Occasionally register the value.
+        if next() % 4 == 0 {
+            let q = n.add_net(format!("q{g}"));
+            n.add_dff(format!("r{g}"), out, clk, q).unwrap();
+            nets.push(q);
+        }
+    }
+    let out = *nets.last().unwrap();
+    n.mark_output(out);
+    n
+}
+
+proptest! {
+    #[test]
+    fn de_morgan_holds_in_three_valued_logic(a in value_strategy(), b in value_strategy()) {
+        prop_assert_eq!(!(a & b), !a | !b);
+        prop_assert_eq!(!(a | b), !a & !b);
+    }
+
+    #[test]
+    fn and_or_are_commutative_associative(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+        prop_assert_eq!(a ^ b, b ^ a);
+    }
+
+    #[test]
+    fn nand_nor_are_negated_and_or(inputs in proptest::collection::vec(value_strategy(), 1..6)) {
+        let and = evaluate(CellKind::And, &inputs);
+        let nand = evaluate(CellKind::Nand, &inputs);
+        prop_assert_eq!(nand, !and);
+        let or = evaluate(CellKind::Or, &inputs);
+        let nor = evaluate(CellKind::Nor, &inputs);
+        prop_assert_eq!(nor, !or);
+        let xor = evaluate(CellKind::Xor, &inputs);
+        let xnor = evaluate(CellKind::Xnor, &inputs);
+        prop_assert_eq!(xnor, !xor);
+    }
+
+    #[test]
+    fn mux_with_known_select_picks_a_leg(
+        a in value_strategy(),
+        b in value_strategy(),
+        sel in proptest::bool::ANY,
+    ) {
+        let out = evaluate(CellKind::Mux2, &[Value::from_bool(sel), a, b]);
+        prop_assert_eq!(out, if sel { b } else { a });
+    }
+
+    #[test]
+    fn random_netlists_validate_and_have_consistent_analyses(seed in 0u64..5000, gates in 1usize..40) {
+        let n = random_netlist(seed, gates);
+        prop_assert!(n.validate().is_ok());
+        // Acyclic by construction.
+        prop_assert!(find_combinational_cycle(&n).is_none());
+        let order = topological_order(&n).expect("acyclic");
+        prop_assert_eq!(order.len(), n.num_combinational());
+        prop_assert!(combinational_depth(&n) <= n.num_combinational());
+        // The histogram counts every cell exactly once.
+        let histogram = kind_histogram(&n);
+        let total: usize = histogram.values().sum();
+        prop_assert_eq!(total, n.num_cells());
+        // The sequential graph only mentions real registers.
+        let seq = SequentialGraph::build(&n);
+        prop_assert_eq!(seq.registers.len(), n.num_flip_flops());
+        for edge in &seq.edges {
+            prop_assert!(seq.registers.contains(&edge.from));
+            prop_assert!(seq.registers.contains(&edge.to));
+        }
+    }
+
+    #[test]
+    fn verilog_roundtrip_preserves_structure(seed in 0u64..5000, gates in 1usize..40) {
+        let original = random_netlist(seed, gates);
+        let text = to_verilog(&original);
+        let parsed = from_verilog(&text).expect("parse back");
+        prop_assert_eq!(parsed.num_cells(), original.num_cells());
+        prop_assert_eq!(parsed.num_flip_flops(), original.num_flip_flops());
+        prop_assert_eq!(parsed.inputs().len(), original.inputs().len());
+        prop_assert_eq!(parsed.outputs().len(), original.outputs().len());
+        prop_assert_eq!(kind_histogram(&parsed), kind_histogram(&original));
+        prop_assert!(parsed.validate().is_ok());
+        // Round-tripping twice is a fixpoint.
+        let text2 = to_verilog(&parsed);
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn library_costs_are_positive_and_monotone(fanout in 1usize..20, inputs in 2usize..10) {
+        let lib = CellLibrary::generic_90nm();
+        for template in lib.iter() {
+            prop_assert!(template.instance_area_um2(inputs) >= template.area_um2 - 1e-9);
+            let d1 = template.instance_delay_ps(inputs, fanout);
+            let d2 = template.instance_delay_ps(inputs, fanout + 1);
+            prop_assert!(d2 >= d1);
+            prop_assert!(d1 >= 0.0);
+        }
+    }
+}

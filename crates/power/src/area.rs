@@ -1,0 +1,158 @@
+//! Area accounting broken down by cell category.
+
+use desync_netlist::{CellKind, CellLibrary, Netlist};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area of a netlist split into the categories relevant to the
+/// synchronous-vs-desynchronized comparison.
+///
+/// Controllers and matched delays are identified by instance-name prefixes
+/// (the desynchronization flow names them `ctl_*` and `md_*`), so the
+/// overhead introduced by the flow is visible separately.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Combinational logic of the original datapath, µm².
+    pub combinational_um2: f64,
+    /// Flip-flops / latches of the datapath, µm².
+    pub sequential_um2: f64,
+    /// Matched-delay chains inserted by desynchronization, µm².
+    pub matched_delay_um2: f64,
+    /// Handshake controllers inserted by desynchronization, µm².
+    pub controller_um2: f64,
+    /// Clock-tree buffers (synchronous design only), µm².
+    pub clock_tree_um2: f64,
+}
+
+impl AreaReport {
+    /// Prefix identifying controller cells by instance name.
+    pub const CONTROLLER_PREFIX: &'static str = "ctl_";
+    /// Prefix identifying matched-delay cells by instance name.
+    pub const MATCHED_DELAY_PREFIX: &'static str = "md_";
+
+    /// Computes the area of `netlist` with the cells characterized by
+    /// `library`. The clock-tree contribution is added separately (it is not
+    /// part of the netlist) via [`AreaReport::with_clock_tree`].
+    pub fn of_netlist(netlist: &Netlist, library: &CellLibrary) -> Self {
+        let mut report = Self::default();
+        for (_, cell) in netlist.cells() {
+            let area = library
+                .template(cell.kind)
+                .instance_area_um2(cell.inputs.len().max(1));
+            if cell.name.starts_with(Self::CONTROLLER_PREFIX) {
+                report.controller_um2 += area;
+            } else if cell.name.starts_with(Self::MATCHED_DELAY_PREFIX)
+                || cell.kind == CellKind::Delay
+            {
+                report.matched_delay_um2 += area;
+            } else if cell.kind.is_sequential() {
+                report.sequential_um2 += area;
+            } else {
+                report.combinational_um2 += area;
+            }
+        }
+        report
+    }
+
+    /// Returns a copy with the clock-tree area set to `area_um2`.
+    pub fn with_clock_tree(mut self, area_um2: f64) -> Self {
+        self.clock_tree_um2 = area_um2;
+        self
+    }
+
+    /// Total area in square micrometres.
+    pub fn total_um2(&self) -> f64 {
+        self.combinational_um2
+            + self.sequential_um2
+            + self.matched_delay_um2
+            + self.controller_um2
+            + self.clock_tree_um2
+    }
+
+    /// Area added by desynchronization (controllers plus matched delays),
+    /// µm².
+    pub fn desync_overhead_um2(&self) -> f64 {
+        self.matched_delay_um2 + self.controller_um2
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "area [um^2]")?;
+        writeln!(f, "  combinational: {:>12.1}", self.combinational_um2)?;
+        writeln!(f, "  sequential:    {:>12.1}", self.sequential_um2)?;
+        writeln!(f, "  matched delay: {:>12.1}", self.matched_delay_um2)?;
+        writeln!(f, "  controllers:   {:>12.1}", self.controller_um2)?;
+        writeln!(f, "  clock tree:    {:>12.1}", self.clock_tree_um2)?;
+        write!(f, "  total:         {:>12.1}", self.total_um2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellKind;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    #[test]
+    fn categorizes_by_kind_and_prefix() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let a = n.add_input("a");
+        let w = n.add_net("w");
+        let q = n.add_net("q");
+        let en = n.add_net("en");
+        let md = n.add_net("md");
+        let c = n.add_output("c");
+        n.add_gate("g0", CellKind::Nand, &[a, q], w).unwrap();
+        n.add_dff("r0", w, clk, q).unwrap();
+        n.add_gate("ctl_c0", CellKind::CElement, &[a, q], en).unwrap();
+        n.add_gate("md_dly0", CellKind::Delay, &[en], md).unwrap();
+        n.add_gate("g1", CellKind::Buf, &[md], c).unwrap();
+        let report = AreaReport::of_netlist(&n, &lib());
+        assert!(report.combinational_um2 > 0.0);
+        assert!(report.sequential_um2 > 0.0);
+        assert!(report.controller_um2 > 0.0);
+        assert!(report.matched_delay_um2 > 0.0);
+        assert_eq!(report.clock_tree_um2, 0.0);
+        let total = report.total_um2();
+        assert!(total > 0.0);
+        let with_tree = report.with_clock_tree(100.0);
+        assert!((with_tree.total_um2() - total - 100.0).abs() < 1e-9);
+        assert!(with_tree.desync_overhead_um2() > 0.0);
+        assert!(with_tree.to_string().contains("total"));
+    }
+
+    #[test]
+    fn delay_cells_count_as_matched_delay_even_without_prefix() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("anything", CellKind::Delay, &[a], y).unwrap();
+        let report = AreaReport::of_netlist(&n, &lib());
+        assert!(report.matched_delay_um2 > 0.0);
+        assert_eq!(report.combinational_um2, 0.0);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_area() {
+        let report = AreaReport::of_netlist(&Netlist::new("e"), &lib());
+        assert_eq!(report.total_um2(), 0.0);
+    }
+
+    #[test]
+    fn sequential_controller_cells_use_prefix_category() {
+        // A C-element named with the controller prefix is controller area,
+        // not sequential area.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_c_element("ctl_c", &[a], y).unwrap();
+        let report = AreaReport::of_netlist(&n, &lib());
+        assert!(report.controller_um2 > 0.0);
+        assert_eq!(report.sequential_um2, 0.0);
+    }
+}

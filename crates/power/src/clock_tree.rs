@@ -1,0 +1,188 @@
+//! A buffered H-tree clock distribution model for the synchronous baseline.
+//!
+//! The paper's point is precisely that the desynchronized circuit does away
+//! with this structure. The model estimates, from the number of clock sinks
+//! (flip-flops), the buffers and wiring a clock-tree synthesizer would
+//! insert, and from those the area and the per-cycle switching power of the
+//! tree.
+
+use desync_netlist::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the clock-tree synthesis model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockTreeConfig {
+    /// Maximum number of sinks driven by one leaf buffer.
+    pub max_fanout: usize,
+    /// Wire capacitance added per sink, in femtofarads. This models the
+    /// *global* clock routing from the tree to each flip-flop clock pin,
+    /// which is long compared to the local latch-enable wiring of a
+    /// desynchronized design.
+    pub wire_cap_per_sink_ff: f64,
+    /// Energy per buffer output transition, femtojoules (taken from the
+    /// buffer cell if not overridden).
+    pub buffer_energy_fj: Option<f64>,
+    /// Supply voltage in volts (used to convert wire capacitance switching
+    /// into energy: `E = C * V^2` per full cycle, i.e. two transitions).
+    pub supply_v: f64,
+}
+
+impl Default for ClockTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_fanout: 16,
+            wire_cap_per_sink_ff: 12.0,
+            buffer_energy_fj: None,
+            supply_v: 1.0,
+        }
+    }
+}
+
+/// A synthesized clock tree: buffer levels sized for a given number of
+/// sinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    /// Number of clock sinks (flip-flop clock pins).
+    pub num_sinks: usize,
+    /// Buffers per tree level, from leaves (first entry) to the root (last
+    /// entry, always 1 for a non-empty tree).
+    pub buffers_per_level: Vec<usize>,
+    /// Total buffer count.
+    pub num_buffers: usize,
+    /// Total area of the tree buffers in square micrometres.
+    pub area_um2: f64,
+    /// Total capacitance switched every clock edge, in femtofarads
+    /// (buffer input caps plus wiring).
+    pub switched_cap_ff: f64,
+    /// Energy per clock cycle (two edges) in femtojoules.
+    pub energy_per_cycle_fj: f64,
+}
+
+impl ClockTree {
+    /// Synthesizes a clock tree for `num_sinks` flip-flops using buffer
+    /// characteristics from `library` and the given configuration.
+    ///
+    /// A design with zero sinks gets an empty tree (no buffers, no power).
+    pub fn synthesize(num_sinks: usize, library: &CellLibrary, config: ClockTreeConfig) -> Self {
+        let buf = library.template(CellKind::Buf);
+        let dff = library.template(CellKind::Dff);
+        if num_sinks == 0 {
+            return Self {
+                num_sinks,
+                buffers_per_level: Vec::new(),
+                num_buffers: 0,
+                area_um2: 0.0,
+                switched_cap_ff: 0.0,
+                energy_per_cycle_fj: 0.0,
+            };
+        }
+        let fanout = config.max_fanout.max(2);
+        let mut buffers_per_level = Vec::new();
+        let mut nodes = num_sinks;
+        loop {
+            let buffers = nodes.div_ceil(fanout);
+            buffers_per_level.push(buffers);
+            if buffers <= 1 {
+                break;
+            }
+            nodes = buffers;
+        }
+        let num_buffers: usize = buffers_per_level.iter().sum();
+        let area_um2 = num_buffers as f64 * buf.instance_area_um2(1);
+
+        // Capacitance switched on every clock edge: every buffer input, every
+        // sink (flip-flop clock pin) and the per-sink wiring.
+        let sink_cap = num_sinks as f64 * (dff.input_cap_ff + config.wire_cap_per_sink_ff);
+        let buffer_cap = num_buffers as f64 * buf.input_cap_ff;
+        let switched_cap_ff = sink_cap + buffer_cap;
+
+        let buffer_energy = config.buffer_energy_fj.unwrap_or(buf.switch_energy_fj);
+        // Per cycle the whole tree toggles twice (rise + fall).
+        let energy_per_cycle_fj = 2.0
+            * (num_buffers as f64 * buffer_energy
+                + switched_cap_ff * config.supply_v * config.supply_v);
+
+        Self {
+            num_sinks,
+            buffers_per_level,
+            num_buffers,
+            area_um2,
+            switched_cap_ff,
+            energy_per_cycle_fj,
+        }
+    }
+
+    /// Number of buffer levels.
+    pub fn depth(&self) -> usize {
+        self.buffers_per_level.len()
+    }
+
+    /// Average power of the tree at the given clock period, in milliwatts.
+    pub fn power_mw(&self, period_ps: f64) -> f64 {
+        if period_ps <= 0.0 {
+            return 0.0;
+        }
+        self.energy_per_cycle_fj / period_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellLibrary;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    #[test]
+    fn empty_tree_for_zero_sinks() {
+        let t = ClockTree::synthesize(0, &lib(), ClockTreeConfig::default());
+        assert_eq!(t.num_buffers, 0);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.power_mw(1000.0), 0.0);
+        assert_eq!(t.area_um2, 0.0);
+    }
+
+    #[test]
+    fn tree_grows_with_sinks() {
+        let small = ClockTree::synthesize(10, &lib(), ClockTreeConfig::default());
+        let large = ClockTree::synthesize(1000, &lib(), ClockTreeConfig::default());
+        assert!(large.num_buffers > small.num_buffers);
+        assert!(large.depth() >= small.depth());
+        assert!(large.area_um2 > small.area_um2);
+        assert!(large.energy_per_cycle_fj > small.energy_per_cycle_fj);
+        // The root level always has a single buffer.
+        assert_eq!(*large.buffers_per_level.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn fanout_bound_is_respected() {
+        let cfg = ClockTreeConfig {
+            max_fanout: 4,
+            ..ClockTreeConfig::default()
+        };
+        let t = ClockTree::synthesize(64, &lib(), cfg);
+        // 64 sinks / 4 = 16 leaves, 16/4 = 4, 4/4 = 1 -> 21 buffers, 3 levels.
+        assert_eq!(t.buffers_per_level, vec![16, 4, 1]);
+        assert_eq!(t.num_buffers, 21);
+    }
+
+    #[test]
+    fn power_scales_inversely_with_period() {
+        let t = ClockTree::synthesize(500, &lib(), ClockTreeConfig::default());
+        let fast = t.power_mw(2_000.0);
+        let slow = t.power_mw(4_000.0);
+        assert!(fast > slow);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+        assert_eq!(t.power_mw(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_sink_tree() {
+        let t = ClockTree::synthesize(1, &lib(), ClockTreeConfig::default());
+        assert_eq!(t.num_buffers, 1);
+        assert_eq!(t.depth(), 1);
+        assert!(t.energy_per_cycle_fj > 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Activity-based dynamic power and leakage estimation.
+
+use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::Activity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dynamic power in milliwatts: the sum over all cells of
+/// (transitions observed on the cell's output net) × (switching energy of
+/// the cell), divided by the simulated time.
+///
+/// Returns `0.0` when the activity has zero duration.
+pub fn dynamic_power_mw(netlist: &Netlist, library: &CellLibrary, activity: &Activity) -> f64 {
+    if activity.duration_ps <= 0.0 {
+        return 0.0;
+    }
+    let mut energy_fj = 0.0;
+    for (_, cell) in netlist.cells() {
+        let transitions = activity.transitions_on(cell.output) as f64;
+        let per_transition = library.template(cell.kind).switch_energy_fj;
+        energy_fj += transitions * per_transition;
+    }
+    // fJ / ps = mW  (1e-15 J / 1e-12 s = 1e-3 W).
+    energy_fj / activity.duration_ps
+}
+
+/// Static (leakage) power in milliwatts, summed over all cell instances.
+pub fn leakage_power_mw(netlist: &Netlist, library: &CellLibrary) -> f64 {
+    let leak_nw: f64 = netlist
+        .cells()
+        .map(|(_, c)| library.template(c.kind).leakage_nw)
+        .sum();
+    leak_nw * 1e-6
+}
+
+/// A combined power report for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Activity-based dynamic power of the netlist cells, in milliwatts.
+    pub dynamic_mw: f64,
+    /// Power dissipated by the global clock tree (zero for desynchronized
+    /// designs), in milliwatts.
+    pub clock_tree_mw: f64,
+    /// Static leakage power, in milliwatts.
+    pub leakage_mw: f64,
+}
+
+impl PowerReport {
+    /// Builds a report from its components.
+    pub fn new(dynamic_mw: f64, clock_tree_mw: f64, leakage_mw: f64) -> Self {
+        Self {
+            dynamic_mw,
+            clock_tree_mw,
+            leakage_mw,
+        }
+    }
+
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.clock_tree_mw + self.leakage_mw
+    }
+
+    /// Dynamic power including the clock tree (the quantity reported as
+    /// "Dyn. Power Cons." in the paper's Table 1).
+    pub fn total_dynamic_mw(&self) -> f64 {
+        self.dynamic_mw + self.clock_tree_mw
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dynamic {:.3} mW + clock tree {:.3} mW + leakage {:.3} mW = {:.3} mW",
+            self.dynamic_mw,
+            self.clock_tree_mw,
+            self.leakage_mw,
+            self.total_mw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::{CellKind, NetId};
+
+    fn toy() -> (Netlist, CellLibrary) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Not, &[a], y).unwrap();
+        (n, CellLibrary::generic_90nm())
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_activity() {
+        let (n, lib) = toy();
+        let mut act = Activity::new(n.num_nets());
+        act.duration_ps = 1000.0;
+        let y = n.find_net("y").unwrap();
+        act.record(y);
+        let p1 = dynamic_power_mw(&n, &lib, &act);
+        act.record(y);
+        let p2 = dynamic_power_mw(&n, &lib, &act);
+        assert!(p1 > 0.0);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_gives_zero_power() {
+        let (n, lib) = toy();
+        let act = Activity::new(n.num_nets());
+        assert_eq!(dynamic_power_mw(&n, &lib, &act), 0.0);
+    }
+
+    #[test]
+    fn transitions_on_input_nets_do_not_count() {
+        // Only cell outputs dissipate switching energy in this model.
+        let (n, lib) = toy();
+        let mut act = Activity::new(n.num_nets());
+        act.duration_ps = 1000.0;
+        act.record(NetId(0)); // primary input `a`
+        assert_eq!(dynamic_power_mw(&n, &lib, &act), 0.0);
+    }
+
+    #[test]
+    fn leakage_adds_per_cell() {
+        let (n, lib) = toy();
+        let single = leakage_power_mw(&n, &lib);
+        assert!(single > 0.0);
+        let mut n2 = Netlist::new("t2");
+        let a = n2.add_input("a");
+        let y1 = n2.add_net("y1");
+        let y2 = n2.add_output("y2");
+        n2.add_gate("g1", CellKind::Not, &[a], y1).unwrap();
+        n2.add_gate("g2", CellKind::Not, &[y1], y2).unwrap();
+        assert!((leakage_power_mw(&n2, &lib) - 2.0 * single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_totals_and_display() {
+        let r = PowerReport::new(10.0, 5.0, 0.5);
+        assert!((r.total_mw() - 15.5).abs() < 1e-12);
+        assert!((r.total_dynamic_mw() - 15.0).abs() < 1e-12);
+        assert!(r.to_string().contains("mW"));
+        assert_eq!(PowerReport::default().total_mw(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Power, area and clock-tree models.
+//!
+//! The paper's Table 1 compares the synchronous and desynchronized DLX on
+//! dynamic power and area after layout. This crate provides the analytical
+//! counterparts used by the reproduction:
+//!
+//! * [`dynamic_power_mw`] — activity-based dynamic power: every output
+//!   transition of a cell dissipates that cell's switching energy
+//!   (the switching activity comes from `desync-sim`).
+//! * [`leakage_power_mw`] — static power from the per-cell leakage numbers.
+//! * [`ClockTree`] — a buffered H-tree model for the synchronous design's
+//!   clock distribution: buffer count, area and the power burned by toggling
+//!   the tree every cycle. The desynchronized design has no global tree;
+//!   its overhead is the local controllers and matched delays, which are
+//!   real cells in the netlist and therefore appear in the ordinary area and
+//!   activity accounting.
+//! * [`AreaReport`] — area broken down by category (combinational,
+//!   sequential, matched delays, controllers, clock tree).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod clock_tree;
+pub mod energy;
+
+pub use area::AreaReport;
+pub use clock_tree::{ClockTree, ClockTreeConfig};
+pub use energy::{dynamic_power_mw, leakage_power_mw, PowerReport};

@@ -1,0 +1,144 @@
+//! Switching-activity accounting.
+//!
+//! The dynamic-power model of the paper's evaluation is activity based:
+//! every output transition of a cell dissipates that cell's switching
+//! energy. The simulator increments these counters as it commits events;
+//! `desync-power` converts them into milliwatts.
+
+use desync_netlist::{NetId, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Switching-activity counters collected during one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Activity {
+    /// Number of value transitions observed per net (indexed by net id).
+    pub transitions: Vec<u64>,
+    /// Total simulated time in picoseconds.
+    pub duration_ps: f64,
+}
+
+impl Activity {
+    /// Creates zeroed counters for a netlist with `num_nets` nets.
+    pub fn new(num_nets: usize) -> Self {
+        Self {
+            transitions: vec![0; num_nets],
+            duration_ps: 0.0,
+        }
+    }
+
+    /// Records one transition on `net`.
+    pub fn record(&mut self, net: NetId) {
+        if let Some(slot) = self.transitions.get_mut(net.index()) {
+            *slot += 1;
+        }
+    }
+
+    /// Transitions observed on `net`.
+    pub fn transitions_on(&self, net: NetId) -> u64 {
+        self.transitions.get(net.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of transitions across all nets.
+    pub fn total_transitions(&self) -> u64 {
+        self.transitions.iter().sum()
+    }
+
+    /// Average toggle rate of `net` in transitions per nanosecond.
+    pub fn toggle_rate_per_ns(&self, net: NetId) -> f64 {
+        if self.duration_ps <= 0.0 {
+            return 0.0;
+        }
+        self.transitions_on(net) as f64 / (self.duration_ps / 1000.0)
+    }
+
+    /// Transitions per named net, for reports.
+    pub fn by_name(&self, netlist: &Netlist) -> HashMap<String, u64> {
+        netlist
+            .nets()
+            .map(|(id, n)| (n.name.clone(), self.transitions_on(id)))
+            .collect()
+    }
+
+    /// Merges the counters of another run (e.g. to accumulate over several
+    /// stimulus segments). Durations add up; counter vectors must have the
+    /// same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two activities were collected on netlists with a
+    /// different number of nets.
+    pub fn merge(&mut self, other: &Activity) {
+        assert_eq!(
+            self.transitions.len(),
+            other.transitions.len(),
+            "activity counters belong to different netlists"
+        );
+        for (a, b) in self.transitions.iter_mut().zip(other.transitions.iter()) {
+            *a += b;
+        }
+        self.duration_ps += other.duration_ps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut a = Activity::new(3);
+        a.record(NetId(0));
+        a.record(NetId(0));
+        a.record(NetId(2));
+        a.duration_ps = 2000.0;
+        assert_eq!(a.transitions_on(NetId(0)), 2);
+        assert_eq!(a.transitions_on(NetId(1)), 0);
+        assert_eq!(a.total_transitions(), 3);
+        assert!((a.toggle_rate_per_ns(NetId(0)) - 1.0).abs() < 1e-12);
+        // Out-of-range nets are ignored rather than panicking.
+        a.record(NetId(99));
+        assert_eq!(a.transitions_on(NetId(99)), 0);
+    }
+
+    #[test]
+    fn zero_duration_toggle_rate_is_zero() {
+        let a = Activity::new(1);
+        assert_eq!(a.toggle_rate_per_ns(NetId(0)), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Activity::new(2);
+        a.record(NetId(0));
+        a.duration_ps = 100.0;
+        let mut b = Activity::new(2);
+        b.record(NetId(0));
+        b.record(NetId(1));
+        b.duration_ps = 50.0;
+        a.merge(&b);
+        assert_eq!(a.transitions_on(NetId(0)), 2);
+        assert_eq!(a.transitions_on(NetId(1)), 1);
+        assert_eq!(a.duration_ps, 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different netlists")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = Activity::new(2);
+        let b = Activity::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn by_name_reports_all_nets() {
+        let mut n = Netlist::new("t");
+        let x = n.add_input("x");
+        let _y = n.add_output("y");
+        let mut a = Activity::new(n.num_nets());
+        a.record(x);
+        let map = a.by_name(&n);
+        assert_eq!(map["x"], 1);
+        assert_eq!(map["y"], 0);
+    }
+}

@@ -1,0 +1,534 @@
+//! The core event-driven simulation engine.
+//!
+//! [`EventSimulator`] executes any [`Netlist`] — purely synchronous,
+//! latch-based, or containing handshake-controller cells — with per-cell
+//! propagation delays taken from a [`CellLibrary`] plus a linear wire-load
+//! term. It maintains three observable artifacts:
+//!
+//! * the switching [`Activity`] counters (for the power model),
+//! * an optional [`WaveformSet`] for watched nets (for the figure
+//!   reproductions), and
+//! * the list of register *captures* — the value latched by every flip-flop
+//!   at each rising clock edge and by every latch at each closing enable
+//!   edge — from which the flow-equivalence traces are built.
+
+use crate::activity::Activity;
+use crate::waveform::WaveformSet;
+use desync_netlist::value::{evaluate, evaluate_c_element, evaluate_latch};
+use desync_netlist::{CellId, CellKind, CellLibrary, NetId, Netlist, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Extra wire delay per fan-out sink, in picoseconds (matches the
+    /// wire-load model used by the timing analyzer).
+    pub wire_delay_per_fanout_ps: f64,
+    /// Flip-flop clock-to-Q delay in picoseconds.
+    pub clk_to_q_ps: f64,
+    /// Latch data-to-Q delay (when transparent) in picoseconds.
+    pub latch_d_to_q_ps: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            wire_delay_per_fanout_ps: 4.0,
+            clk_to_q_ps: 110.0,
+            latch_d_to_q_ps: 70.0,
+        }
+    }
+}
+
+/// One register capture: the value stored into a sequential cell at a
+/// capturing edge (clock rising edge for flip-flops, closing enable edge for
+/// latches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capture {
+    /// Simulation time of the capture, in picoseconds.
+    pub time_ps: f64,
+    /// The sequential cell that captured.
+    pub cell: CellId,
+    /// The captured value.
+    pub value: Value,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    net: NetId,
+    value: Value,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering so the BinaryHeap becomes a min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An event-driven gate-level simulator bound to one netlist.
+#[derive(Debug, Clone)]
+pub struct EventSimulator<'a> {
+    netlist: &'a Netlist,
+    config: SimConfig,
+    values: Vec<Value>,
+    /// The value most recently *scheduled* for each net (projected value).
+    /// Cells compare against this, not against the committed value, so that
+    /// a pending event is always followed by a corrective event when the
+    /// inputs change back before it commits.
+    projected: Vec<Value>,
+    readers: Vec<Vec<CellId>>,
+    cell_delay: Vec<f64>,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    time: f64,
+    watched: HashSet<NetId>,
+    /// Switching-activity counters (one slot per net).
+    pub activity: Activity,
+    /// Waveforms of the watched nets.
+    pub waveforms: WaveformSet,
+    /// Register captures in chronological order.
+    pub captures: Vec<Capture>,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Creates a simulator for `netlist` with delays from `library`.
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, config: SimConfig) -> Self {
+        let fanout = netlist.fanout_map();
+        let cell_delay = netlist
+            .cells()
+            .map(|(_, c)| {
+                let fo = fanout[c.output.index()].max(1);
+                let base = match c.kind {
+                    CellKind::Dff => config.clk_to_q_ps,
+                    CellKind::LatchLow | CellKind::LatchHigh => config.latch_d_to_q_ps,
+                    _ => library
+                        .template(c.kind)
+                        .instance_delay_ps(c.inputs.len().max(1), fo),
+                };
+                base + config.wire_delay_per_fanout_ps * fo as f64
+            })
+            .collect();
+        let mut sim = Self {
+            netlist,
+            config,
+            values: vec![Value::X; netlist.num_nets()],
+            projected: vec![Value::X; netlist.num_nets()],
+            readers: netlist.reader_map(),
+            cell_delay,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            time: 0.0,
+            watched: HashSet::new(),
+            activity: Activity::new(netlist.num_nets()),
+            waveforms: WaveformSet::new(),
+            captures: Vec::new(),
+        };
+        // Constant drivers have no inputs, so nothing would ever trigger
+        // their evaluation; seed their outputs at time zero.
+        for (_, cell) in netlist.cells() {
+            match cell.kind {
+                CellKind::Const0 => sim.schedule(cell.output, Value::Zero, 0.0),
+                CellKind::Const1 => sim.schedule(cell.output, Value::One, 0.0),
+                _ => {}
+            }
+        }
+        sim
+    }
+
+    /// The current simulation time in picoseconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current value of a net.
+    pub fn value(&self, net: NetId) -> Value {
+        self.values[net.index()]
+    }
+
+    /// The current value of a net looked up by name, or `X` for unknown
+    /// names.
+    pub fn value_by_name(&self, name: &str) -> Value {
+        self.netlist
+            .find_net(name)
+            .map(|n| self.value(n))
+            .unwrap_or(Value::X)
+    }
+
+    /// Starts recording a waveform for `net`.
+    pub fn watch(&mut self, net: NetId) {
+        self.watched.insert(net);
+    }
+
+    /// Starts recording waveforms for every net whose name is in `names`.
+    pub fn watch_named(&mut self, names: &[&str]) {
+        for &name in names {
+            if let Some(net) = self.netlist.find_net(name) {
+                self.watch(net);
+            }
+        }
+    }
+
+    /// Schedules a value change on `net` at absolute time `at_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ps` is in the past (before the current simulation
+    /// time).
+    pub fn schedule(&mut self, net: NetId, value: Value, at_ps: f64) {
+        assert!(
+            at_ps + 1e-9 >= self.time,
+            "cannot schedule an event in the past ({at_ps} < {})",
+            self.time
+        );
+        self.seq += 1;
+        self.projected[net.index()] = value;
+        self.queue.push(Event {
+            time: at_ps.max(self.time),
+            seq: self.seq,
+            net,
+            value,
+        });
+    }
+
+    /// Drives a primary input (or any net) to `value` at the current time.
+    pub fn set(&mut self, net: NetId, value: Value) {
+        self.schedule(net, value, self.time);
+    }
+
+    /// Forces the output nets of all flip-flops and latches to `value` at
+    /// the current time, modelling a global reset of the register state.
+    pub fn initialize_registers(&mut self, value: Value) {
+        let nets: Vec<NetId> = self
+            .netlist
+            .cells()
+            .filter(|(_, c)| c.kind == CellKind::Dff || c.kind.is_latch())
+            .map(|(_, c)| c.output)
+            .collect();
+        for net in nets {
+            self.schedule(net, value, self.time);
+        }
+    }
+
+    /// Runs the simulation until the event queue is empty or the next event
+    /// lies beyond `until_ps`; the simulation time is then advanced to
+    /// `until_ps`.
+    ///
+    /// Returns the number of committed events.
+    pub fn run_until(&mut self, until_ps: f64) -> usize {
+        let mut committed = 0usize;
+        while let Some(next) = self.queue.peek() {
+            if next.time > until_ps {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            self.time = event.time;
+            committed += self.commit(event);
+        }
+        self.time = self.time.max(until_ps);
+        self.activity.duration_ps = self.time;
+        committed
+    }
+
+    /// Runs until the event queue drains completely (combinational settling).
+    /// Returns the number of committed events.
+    ///
+    /// A safety cap of `max_events` guards against oscillating feedback
+    /// loops; the run stops early when the cap is reached.
+    pub fn settle(&mut self, max_events: usize) -> usize {
+        let mut committed = 0usize;
+        while committed < max_events {
+            let Some(event) = self.queue.pop() else { break };
+            self.time = event.time;
+            committed += self.commit(event);
+        }
+        self.activity.duration_ps = self.time;
+        committed
+    }
+
+    fn commit(&mut self, event: Event) -> usize {
+        let old = self.values[event.net.index()];
+        if old == event.value {
+            return 0;
+        }
+        self.values[event.net.index()] = event.value;
+        if old != Value::X {
+            // Transitions out of the unknown initialization state are not
+            // counted as switching activity.
+            self.activity.record(event.net);
+        }
+        if self.watched.contains(&event.net) {
+            self.waveforms
+                .push(&self.netlist.net(event.net).name, event.time, event.value);
+        }
+        // React: evaluate every reader of the changed net.
+        let readers = self.readers[event.net.index()].clone();
+        for cell_id in readers {
+            self.evaluate_cell(cell_id, event.net, old, event.value);
+        }
+        1
+    }
+
+    fn evaluate_cell(&mut self, cell_id: CellId, changed: NetId, old: Value, new: Value) {
+        let cell = self.netlist.cell(cell_id);
+        let delay = self.cell_delay[cell_id.index()];
+        let input_values: Vec<Value> = cell.inputs.iter().map(|&n| self.value(n)).collect();
+        match cell.kind {
+            CellKind::Dff => {
+                let clk = cell.inputs[1];
+                if changed == clk && new == Value::One && old != Value::One {
+                    // Rising clock edge: capture D.
+                    let d = self.value(cell.inputs[0]);
+                    self.captures.push(Capture {
+                        time_ps: self.time,
+                        cell: cell_id,
+                        value: d,
+                    });
+                    self.schedule(cell.output, d, self.time + delay);
+                }
+            }
+            CellKind::LatchLow | CellKind::LatchHigh => {
+                let transparent_high = cell.kind == CellKind::LatchHigh;
+                let d = input_values[0];
+                let en = input_values[1];
+                // The held state is the value the output is moving towards
+                // (the last scheduled value), so that pending events and the
+                // hold behaviour stay consistent.
+                let stored = self.projected[cell.output.index()];
+                let q = evaluate_latch(d, en, stored, transparent_high);
+                if q != self.projected[cell.output.index()] {
+                    self.schedule(cell.output, q, self.time + delay);
+                }
+                // A closing enable edge captures the current data value.
+                let enable_net = cell.inputs[1];
+                let closing = if transparent_high {
+                    Value::Zero
+                } else {
+                    Value::One
+                };
+                if changed == enable_net && new == closing && old != closing && old != Value::X {
+                    self.captures.push(Capture {
+                        time_ps: self.time,
+                        cell: cell_id,
+                        value: d,
+                    });
+                }
+            }
+            CellKind::CElement => {
+                let stored = self.projected[cell.output.index()];
+                let q = evaluate_c_element(&input_values, stored);
+                if q != self.projected[cell.output.index()] {
+                    self.schedule(cell.output, q, self.time + delay);
+                }
+            }
+            kind => {
+                let q = evaluate(kind, &input_values);
+                if q != self.projected[cell.output.index()] {
+                    self.schedule(cell.output, q, self.time + delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellLibrary;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    #[test]
+    fn combinational_propagation() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::And, &[a, b], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(a, Value::One);
+        sim.set(b, Value::One);
+        sim.settle(1000);
+        assert_eq!(sim.value(y), Value::One);
+        sim.set(b, Value::Zero);
+        sim.settle(1000);
+        assert_eq!(sim.value(y), Value::Zero);
+        assert_eq!(sim.value_by_name("y"), Value::Zero);
+        assert_eq!(sim.value_by_name("missing"), Value::X);
+    }
+
+    #[test]
+    fn gate_delay_is_respected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Buf, &[a], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(a, Value::One);
+        // Before the buffer delay elapses the output is still X.
+        sim.run_until(1.0);
+        assert_eq!(sim.value(y), Value::X);
+        sim.run_until(10_000.0);
+        assert_eq!(sim.value(y), Value::One);
+        assert!(sim.time() >= 10_000.0);
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let d = n.add_input("d");
+        let q = n.add_output("q");
+        n.add_dff("r", d, clk, q).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(clk, Value::Zero);
+        sim.set(d, Value::One);
+        sim.settle(100);
+        assert_eq!(sim.value(q), Value::X);
+        // Rising edge captures d = 1.
+        sim.schedule(clk, Value::One, sim.time() + 100.0);
+        sim.settle(100);
+        assert_eq!(sim.value(q), Value::One);
+        assert_eq!(sim.captures.len(), 1);
+        assert_eq!(sim.captures[0].value, Value::One);
+        // Falling edge does not capture.
+        sim.schedule(clk, Value::Zero, sim.time() + 100.0);
+        sim.settle(100);
+        assert_eq!(sim.captures.len(), 1);
+    }
+
+    #[test]
+    fn latch_transparency_and_capture() {
+        let mut n = Netlist::new("t");
+        let en = n.add_input("en");
+        let d = n.add_input("d");
+        let q = n.add_output("q");
+        n.add_latch("l", d, en, q, true).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(en, Value::Zero);
+        sim.set(d, Value::Zero);
+        sim.settle(100);
+        // Open the latch: output follows data.
+        sim.schedule(en, Value::One, 1000.0);
+        sim.schedule(d, Value::One, 1200.0);
+        sim.run_until(2000.0);
+        assert_eq!(sim.value(q), Value::One);
+        // Close the latch: capture recorded, further data changes ignored.
+        sim.schedule(en, Value::Zero, 2500.0);
+        sim.schedule(d, Value::Zero, 2600.0);
+        sim.run_until(4000.0);
+        assert_eq!(sim.value(q), Value::One);
+        assert_eq!(sim.captures.len(), 1);
+        assert_eq!(sim.captures[0].value, Value::One);
+    }
+
+    #[test]
+    fn c_element_waits_for_agreement() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_output("y");
+        n.add_c_element("c", &[a, b], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(a, Value::Zero);
+        sim.set(b, Value::Zero);
+        sim.settle(100);
+        assert_eq!(sim.value(y), Value::Zero);
+        sim.set(a, Value::One);
+        sim.settle(100);
+        assert_eq!(sim.value(y), Value::Zero, "output holds until both agree");
+        sim.set(b, Value::One);
+        sim.settle(100);
+        assert_eq!(sim.value(y), Value::One);
+    }
+
+    #[test]
+    fn activity_counts_transitions_not_initialization() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Not, &[a], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.set(a, Value::Zero);
+        sim.settle(100);
+        // X -> 0 / X -> 1 are not counted.
+        assert_eq!(sim.activity.total_transitions(), 0);
+        sim.set(a, Value::One);
+        sim.settle(100);
+        // a toggled and y toggled.
+        assert_eq!(sim.activity.transitions_on(a), 1);
+        assert_eq!(sim.activity.transitions_on(y), 1);
+    }
+
+    #[test]
+    fn waveform_recording_of_watched_nets() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Not, &[a], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.watch_named(&["y"]);
+        sim.set(a, Value::Zero);
+        sim.settle(100);
+        sim.set(a, Value::One);
+        sim.settle(100);
+        let w = sim.waveforms.get("y").unwrap();
+        assert!(w.len() >= 2);
+        assert!(sim.waveforms.get("a").is_none(), "a was not watched");
+    }
+
+    #[test]
+    fn initialize_registers_sets_outputs() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let d = n.add_input("d");
+        let q = n.add_output("q");
+        n.add_dff("r", d, clk, q).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.initialize_registers(Value::Zero);
+        sim.settle(100);
+        assert_eq!(sim.value(q), Value::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.mark_output(a);
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.run_until(100.0);
+        sim.schedule(a, Value::One, 5.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Matched-delay sizing.
+//!
+//! In the desynchronized circuit each combinational block is accompanied by
+//! a *matched delay*: a chain of delay cells whose total propagation delay
+//! exceeds the worst-case delay of the block by a safety margin. The
+//! handshake controller uses the matched delay as the completion signal of
+//! the block, so it must never be shorter than the true critical path.
+
+use desync_netlist::{CellKind, CellLibrary, NetId, Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// A sized matched delay: the target delay (combinational delay plus
+/// margin), the number of delay cells implementing it and the resulting
+/// chain delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchedDelay {
+    /// The combinational delay being matched, in picoseconds.
+    pub combinational_ps: f64,
+    /// The safety margin that was applied (0.10 = 10 %).
+    pub margin: f64,
+    /// The target delay = `combinational_ps * (1 + margin)`.
+    pub target_ps: f64,
+    /// Number of delay cells in the chain.
+    pub num_cells: usize,
+    /// Actual delay of the chain (`num_cells` delay cells in series), which
+    /// is the smallest chain delay greater than or equal to the target.
+    pub achieved_ps: f64,
+}
+
+impl MatchedDelay {
+    /// Sizes a matched delay for a combinational delay of `delay_ps` with
+    /// the given `margin`, using the delay-cell characterization in
+    /// `library`.
+    ///
+    /// The chain always contains at least one cell (the controller needs a
+    /// physical request path even for an empty combinational block).
+    pub fn for_delay(delay_ps: f64, margin: f64, library: &CellLibrary) -> Self {
+        let target = delay_ps.max(0.0) * (1.0 + margin.max(0.0));
+        let unit = library
+            .template(CellKind::Delay)
+            .instance_delay_ps(1, 1)
+            .max(1e-6);
+        let num_cells = ((target / unit).ceil() as usize).max(1);
+        Self {
+            combinational_ps: delay_ps.max(0.0),
+            margin: margin.max(0.0),
+            target_ps: target,
+            num_cells,
+            achieved_ps: num_cells as f64 * unit,
+        }
+    }
+
+    /// Whether the chain delay covers the combinational delay (the defining
+    /// safety property of a matched delay).
+    pub fn covers_logic(&self) -> bool {
+        self.achieved_ps + 1e-9 >= self.combinational_ps
+    }
+
+    /// Total area of the chain, in square micrometres.
+    pub fn area_um2(&self, library: &CellLibrary) -> f64 {
+        self.num_cells as f64 * library.template(CellKind::Delay).instance_area_um2(1)
+    }
+
+    /// Instantiates the delay chain in `netlist` from `input` to a newly
+    /// created output net, returning that net. Cell and net names are
+    /// prefixed with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from cell creation (e.g. duplicate
+    /// instance names when the prefix is reused).
+    pub fn instantiate(
+        &self,
+        netlist: &mut Netlist,
+        prefix: &str,
+        input: NetId,
+    ) -> Result<NetId, NetlistError> {
+        let mut current = input;
+        for i in 0..self.num_cells {
+            let out = netlist.add_net(format!("{prefix}_d{i}"));
+            netlist.add_gate(format!("{prefix}_dly{i}"), CellKind::Delay, &[current], out)?;
+            current = out;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellLibrary;
+
+    #[test]
+    fn sizing_covers_target() {
+        let lib = CellLibrary::generic_90nm();
+        let md = MatchedDelay::for_delay(1000.0, 0.1, &lib);
+        assert!(md.achieved_ps >= md.target_ps);
+        assert!(md.covers_logic());
+        assert!((md.target_ps - 1100.0).abs() < 1e-9);
+        assert!(md.num_cells > 0);
+    }
+
+    #[test]
+    fn zero_delay_still_gets_one_cell() {
+        let lib = CellLibrary::generic_90nm();
+        let md = MatchedDelay::for_delay(0.0, 0.1, &lib);
+        assert_eq!(md.num_cells, 1);
+        assert!(md.covers_logic());
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let lib = CellLibrary::generic_90nm();
+        let md = MatchedDelay::for_delay(-5.0, -0.3, &lib);
+        assert_eq!(md.combinational_ps, 0.0);
+        assert_eq!(md.margin, 0.0);
+        assert_eq!(md.num_cells, 1);
+    }
+
+    #[test]
+    fn larger_margin_means_no_fewer_cells() {
+        let lib = CellLibrary::generic_90nm();
+        let a = MatchedDelay::for_delay(800.0, 0.05, &lib);
+        let b = MatchedDelay::for_delay(800.0, 0.50, &lib);
+        assert!(b.num_cells >= a.num_cells);
+        assert!(b.area_um2(&lib) >= a.area_um2(&lib));
+    }
+
+    #[test]
+    fn instantiation_builds_a_chain() {
+        let lib = CellLibrary::generic_90nm();
+        let md = MatchedDelay::for_delay(300.0, 0.1, &lib);
+        let mut n = Netlist::new("t");
+        let req = n.add_input("req");
+        let out = md.instantiate(&mut n, "stage0", req).unwrap();
+        n.mark_output(out);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_cells(), md.num_cells);
+        // All cells are delay cells.
+        assert!(n.cells().all(|(_, c)| c.kind == CellKind::Delay));
+        // Reusing the same prefix collides on instance names.
+        let req2 = n.add_input("req2");
+        assert!(md.instantiate(&mut n, "stage0", req2).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! Longest-path static timing analysis over the combinational core of a
+//! netlist.
+
+use desync_netlist::analysis::topological_order;
+use desync_netlist::{CellId, CellKind, CellLibrary, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Global timing parameters: wire-load model, sequential cell overheads and
+/// the default matched-delay margin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Extra wire delay per fan-out sink, in picoseconds.
+    pub wire_delay_per_fanout_ps: f64,
+    /// Flip-flop / latch setup time in picoseconds.
+    pub setup_ps: f64,
+    /// Flip-flop clock-to-Q (or latch enable-to-Q) delay in picoseconds.
+    pub clk_to_q_ps: f64,
+    /// Latch D-to-Q propagation delay when transparent, in picoseconds.
+    pub latch_d_to_q_ps: f64,
+    /// Default safety margin applied when sizing matched delays
+    /// (0.10 = 10 %).
+    pub matched_delay_margin: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            wire_delay_per_fanout_ps: 4.0,
+            setup_ps: 40.0,
+            clk_to_q_ps: 110.0,
+            latch_d_to_q_ps: 70.0,
+            matched_delay_margin: 0.10,
+        }
+    }
+}
+
+/// The worst combinational path found by [`Sta::critical_path`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Total combinational delay along the path, in picoseconds.
+    pub delay_ps: f64,
+    /// Cells on the path, from source to sink.
+    pub cells: Vec<CellId>,
+    /// The net at which the worst arrival time was observed.
+    pub endpoint: NetId,
+}
+
+/// Worst-case combinational delay in front of one register, measured from
+/// the outputs of the registers (and primary inputs) feeding it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageDelay {
+    /// The destination register.
+    pub register: CellId,
+    /// Worst-case combinational delay at its data input, in picoseconds.
+    pub delay_ps: f64,
+}
+
+/// A static timing analyzer bound to one netlist and one cell library.
+#[derive(Debug, Clone)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    config: TimingConfig,
+    topo: Vec<CellId>,
+    driver: Vec<Option<CellId>>,
+    fanout: Vec<usize>,
+}
+
+impl<'a> Sta<'a> {
+    /// Creates an analyzer for `netlist` using `library` and `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational core of the netlist contains a cycle;
+    /// run [`Netlist::validate`] first to get a proper error.
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, config: TimingConfig) -> Self {
+        let topo = topological_order(netlist)
+            .expect("netlist has a combinational cycle; validate() it before timing analysis");
+        let driver = netlist.driver_map();
+        let fanout = netlist.fanout_map();
+        Self {
+            netlist,
+            library,
+            config,
+            topo,
+            driver,
+            fanout,
+        }
+    }
+
+    /// The timing configuration in use.
+    pub fn config(&self) -> &TimingConfig {
+        &self.config
+    }
+
+    /// The propagation delay of one cell instance, including the wire-load
+    /// contribution of its output net.
+    pub fn cell_delay_ps(&self, cell: CellId) -> f64 {
+        let c = self.netlist.cell(cell);
+        let fanout = self.fanout[c.output.index()].max(1);
+        let gate = self
+            .library
+            .template(c.kind)
+            .instance_delay_ps(c.inputs.len().max(1), fanout);
+        gate + self.config.wire_delay_per_fanout_ps * fanout as f64
+    }
+
+    /// Longest combinational delay from any net in `sources` to every net.
+    ///
+    /// Returns one entry per net: `None` when the net is not reachable from
+    /// the sources through combinational logic, otherwise the worst-case
+    /// arrival time in picoseconds (sources themselves arrive at 0).
+    pub fn arrival_from(&self, sources: &[NetId]) -> Vec<Option<f64>> {
+        let mut arrival: Vec<Option<f64>> = vec![None; self.netlist.num_nets()];
+        for &s in sources {
+            arrival[s.index()] = Some(0.0);
+        }
+        for &cell_id in &self.topo {
+            let cell = self.netlist.cell(cell_id);
+            debug_assert!(cell.kind.is_combinational());
+            let mut worst: Option<f64> = None;
+            for &input in &cell.inputs {
+                if let Some(a) = arrival[input.index()] {
+                    worst = Some(worst.map_or(a, |w: f64| w.max(a)));
+                }
+            }
+            if let Some(w) = worst {
+                let out_arrival = w + self.cell_delay_ps(cell_id);
+                let slot = &mut arrival[cell.output.index()];
+                *slot = Some(slot.map_or(out_arrival, |v| v.max(out_arrival)));
+            }
+        }
+        arrival
+    }
+
+    /// The source nets of register-to-register timing: outputs of all
+    /// sequential cells plus all primary inputs.
+    pub fn default_sources(&self) -> Vec<NetId> {
+        let mut sources: Vec<NetId> = self
+            .netlist
+            .sequential_cells()
+            .map(|(_, c)| c.output)
+            .collect();
+        sources.extend(self.netlist.inputs().iter().copied());
+        sources
+    }
+
+    /// Worst-case combinational arrival time at every net, measured from all
+    /// register outputs and primary inputs.
+    pub fn arrival_all(&self) -> Vec<Option<f64>> {
+        self.arrival_from(&self.default_sources())
+    }
+
+    /// The worst combinational path in the netlist (register/input to
+    /// register/output), with the cells along it.
+    pub fn critical_path(&self) -> CriticalPath {
+        let arrival = self.arrival_all();
+        // Endpoints: data inputs of sequential cells and primary outputs.
+        let mut endpoints: Vec<NetId> = Vec::new();
+        for (_, cell) in self.netlist.sequential_cells() {
+            if let Some(d) = cell.data_net() {
+                endpoints.push(d);
+            }
+        }
+        endpoints.extend(self.netlist.outputs().iter().copied());
+
+        let mut best_net = None;
+        let mut best = 0.0_f64;
+        for &net in &endpoints {
+            if let Some(a) = arrival[net.index()] {
+                if a > best {
+                    best = a;
+                    best_net = Some(net);
+                }
+            }
+        }
+        let endpoint = best_net.unwrap_or(NetId(0));
+        // Reconstruct the path by walking drivers backwards, always picking
+        // the input with the largest arrival.
+        let mut cells = Vec::new();
+        let mut net = endpoint;
+        let source_set: HashSet<NetId> = self.default_sources().into_iter().collect();
+        while let Some(cell_id) = self.driver[net.index()] {
+            let cell = self.netlist.cell(cell_id);
+            if !cell.kind.is_combinational() {
+                break;
+            }
+            cells.push(cell_id);
+            // Next net: the input with the largest arrival.
+            let mut next: Option<(NetId, f64)> = None;
+            for &input in &cell.inputs {
+                if let Some(a) = arrival[input.index()] {
+                    if next.map_or(true, |(_, na)| a > na) {
+                        next = Some((input, a));
+                    }
+                }
+            }
+            match next {
+                Some((n, _)) if !source_set.contains(&n) => net = n,
+                _ => break,
+            }
+        }
+        cells.reverse();
+        CriticalPath {
+            delay_ps: best,
+            cells,
+            endpoint,
+        }
+    }
+
+    /// Worst-case combinational delay at the data input of every register
+    /// (flip-flop or latch), measured from all register outputs and primary
+    /// inputs.
+    pub fn stage_delays(&self) -> Vec<StageDelay> {
+        let arrival = self.arrival_all();
+        self.netlist
+            .cells()
+            .filter(|(_, c)| c.kind == CellKind::Dff || c.kind.is_latch())
+            .map(|(id, c)| {
+                let delay = c
+                    .data_net()
+                    .and_then(|d| arrival[d.index()])
+                    .unwrap_or(0.0);
+                StageDelay {
+                    register: id,
+                    delay_ps: delay,
+                }
+            })
+            .collect()
+    }
+
+    /// Longest combinational delay from the outputs of the registers in
+    /// `src` (given as their output nets) to the data input of register
+    /// `dst`. Returns `None` when there is no combinational path.
+    pub fn path_delay(&self, src_outputs: &[NetId], dst: CellId) -> Option<f64> {
+        let arrival = self.arrival_from(src_outputs);
+        let d = self.netlist.cell(dst).data_net()?;
+        arrival[d.index()]
+    }
+
+    /// The worst combinational delay to any primary output.
+    pub fn output_delay(&self) -> f64 {
+        let arrival = self.arrival_all();
+        self.netlist
+            .outputs()
+            .iter()
+            .filter_map(|&o| arrival[o.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// The minimum clock period of the synchronous (flip-flop based)
+    /// netlist: worst stage delay plus clock-to-Q and setup.
+    pub fn clock_period(&self) -> f64 {
+        let worst_stage = self
+            .stage_delays()
+            .iter()
+            .map(|s| s.delay_ps)
+            .fold(0.0, f64::max)
+            .max(self.output_delay());
+        self.config.clk_to_q_ps + worst_stage + self.config.setup_ps
+    }
+
+    /// Sizes a matched delay for a combinational delay of `delay_ps`
+    /// picoseconds using the configured margin; see
+    /// [`MatchedDelay`](crate::MatchedDelay).
+    pub fn matched_delay(&self, delay_ps: f64) -> crate::MatchedDelay {
+        crate::MatchedDelay::for_delay(
+            delay_ps,
+            self.config.matched_delay_margin,
+            self.library,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellLibrary;
+
+    /// r0 -> inv -> inv -> r1, plus r0 -> (direct) -> output.
+    fn pipeline() -> Netlist {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let a = n.add_input("a");
+        let q0 = n.add_net("q0");
+        let w1 = n.add_net("w1");
+        let w2 = n.add_net("w2");
+        let q1 = n.add_net("q1");
+        let out = n.add_output("out");
+        n.add_dff("r0", a, clk, q0).unwrap();
+        n.add_gate("g1", CellKind::Not, &[q0], w1).unwrap();
+        n.add_gate("g2", CellKind::Not, &[w1], w2).unwrap();
+        n.add_dff("r1", w2, clk, q1).unwrap();
+        n.add_gate("g3", CellKind::Buf, &[q1], out).unwrap();
+        n
+    }
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    #[test]
+    fn cell_delay_positive_and_fanout_sensitive() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let g1 = n.find_cell("g1").unwrap();
+        assert!(sta.cell_delay_ps(g1) > 0.0);
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let arrival = sta.arrival_all();
+        let w1 = n.find_net("w1").unwrap();
+        let w2 = n.find_net("w2").unwrap();
+        let a1 = arrival[w1.index()].unwrap();
+        let a2 = arrival[w2.index()].unwrap();
+        assert!(a2 > a1);
+        assert!(a1 > 0.0);
+        // The clock net is not reachable combinationally from any source.
+        let clk = n.find_net("clk").unwrap();
+        // clk is itself a primary input so it is a source with arrival 0.
+        assert_eq!(arrival[clk.index()], Some(0.0));
+    }
+
+    #[test]
+    fn arrival_from_specific_source() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let q0 = n.find_net("q0").unwrap();
+        let arrival = sta.arrival_from(&[q0]);
+        let w2 = n.find_net("w2").unwrap();
+        assert!(arrival[w2.index()].unwrap() > 0.0);
+        // The input `a` is not reachable from q0.
+        let a = n.find_net("a").unwrap();
+        assert_eq!(arrival[a.index()], None);
+    }
+
+    #[test]
+    fn critical_path_goes_through_both_inverters() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let cp = sta.critical_path();
+        assert!(cp.delay_ps > 0.0);
+        let names: Vec<&str> = cp.cells.iter().map(|&c| n.cell(c).name.as_str()).collect();
+        assert_eq!(names, vec!["g1", "g2"]);
+        assert_eq!(cp.endpoint, n.find_net("w2").unwrap());
+    }
+
+    #[test]
+    fn stage_delays_per_register() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let stages = sta.stage_delays();
+        assert_eq!(stages.len(), 2);
+        let r0 = n.find_cell("r0").unwrap();
+        let r1 = n.find_cell("r1").unwrap();
+        let d0 = stages.iter().find(|s| s.register == r0).unwrap().delay_ps;
+        let d1 = stages.iter().find(|s| s.register == r1).unwrap().delay_ps;
+        // r0 is fed directly from a primary input: no gate delay.
+        assert_eq!(d0, 0.0);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn clock_period_exceeds_worst_stage() {
+        let n = pipeline();
+        let l = lib();
+        let cfg = TimingConfig::default();
+        let sta = Sta::new(&n, &l, cfg);
+        let worst = sta
+            .stage_delays()
+            .iter()
+            .map(|s| s.delay_ps)
+            .fold(0.0, f64::max);
+        assert!(sta.clock_period() >= worst + cfg.clk_to_q_ps + cfg.setup_ps - 1e-9);
+    }
+
+    #[test]
+    fn path_delay_between_registers() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let q0 = n.find_net("q0").unwrap();
+        let r1 = n.find_cell("r1").unwrap();
+        let r0 = n.find_cell("r0").unwrap();
+        assert!(sta.path_delay(&[q0], r1).unwrap() > 0.0);
+        // No path from r1's output back to r0.
+        let q1 = n.find_net("q1").unwrap();
+        assert_eq!(sta.path_delay(&[q1], r0), None);
+    }
+
+    #[test]
+    fn output_delay_counts_po_logic() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        assert!(sta.output_delay() > 0.0);
+    }
+
+    #[test]
+    fn combinational_only_netlist() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Nand, &[a, b], y).unwrap();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        assert!(sta.stage_delays().is_empty());
+        assert!(sta.clock_period() > 0.0); // still includes FF overheads
+        let cp = sta.critical_path();
+        assert_eq!(cp.cells.len(), 1);
+    }
+}

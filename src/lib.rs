@@ -1,0 +1,75 @@
+//! # desync — automatic desynchronization of synchronous circuits
+//!
+//! A Rust reproduction of Cortadella, Kondratyev, Lavagno, Lwin and
+//! Sotiriou, *"From synchronous to asynchronous: an automatic approach"*
+//! (DATE 2004): replace the clock tree of an ordinary synchronous gate-level
+//! netlist by a network of local handshake controllers, without touching the
+//! combinational logic, and lose (almost) nothing in cycle time, power or
+//! area.
+//!
+//! This facade crate re-exports the whole toolkit:
+//!
+//! * [`netlist`] — gate-level netlist IR, cell library, structural Verilog
+//!   subset.
+//! * [`mg`] — marked graphs / signal transition graphs: the token game,
+//!   liveness, safeness, cycle-time analysis and flow equivalence.
+//! * [`sta`] — static timing analysis and matched-delay sizing.
+//! * [`sim`] — event-driven gate-level simulation (synchronous and
+//!   desynchronized harnesses).
+//! * [`power`] — activity-based power, area and clock-tree models.
+//! * [`circuits`] — benchmark generators (DLX processor, pipelines, FIR,
+//!   counters).
+//! * [`core`] — the desynchronization flow itself.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use desync::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Take any synchronous flip-flop netlist (here: a small pipeline).
+//! let netlist = LinearPipelineConfig::balanced(4, 8, 3).generate()?;
+//! let library = CellLibrary::generic_90nm();
+//!
+//! // 2. Desynchronize it.
+//! let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default()).run()?;
+//!
+//! // 3. The control network is live, safe, and the circuit still works.
+//! assert!(design.control_model().is_live());
+//! assert!(design.control_model().is_safe());
+//! let report = verify_flow_equivalence(
+//!     &netlist,
+//!     &design,
+//!     &library,
+//!     &VectorSource::constant(vec![]),
+//!     16,
+//! )?;
+//! assert!(report.is_equivalent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use desync_circuits as circuits;
+pub use desync_core as core;
+pub use desync_mg as mg;
+pub use desync_netlist as netlist;
+pub use desync_power as power;
+pub use desync_sim as sim;
+pub use desync_sta as sta;
+
+/// The most commonly used items, importable with one `use desync::prelude::*`.
+pub mod prelude {
+    pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
+    pub use desync_core::{
+        verify_flow_equivalence, ClusteringStrategy, DesyncDesign, DesyncOptions, Desynchronizer,
+        Protocol,
+    };
+    pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
+    pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};
+    pub use desync_power::{dynamic_power_mw, leakage_power_mw, AreaReport, ClockTree, PowerReport};
+    pub use desync_sim::{AsyncTestbench, SimConfig, SyncTestbench, VectorSource};
+    pub use desync_sta::{MatchedDelay, Sta, TimingConfig};
+}

@@ -1,0 +1,116 @@
+//! Integration tests: the desynchronization flow on every benchmark circuit
+//! family of `desync-circuits` (counters, LFSR, ring counter, FIR filter),
+//! checking liveness, safeness and flow equivalence for each.
+
+use desync::circuits::counter::{binary_counter, lfsr, ring_counter};
+use desync::prelude::*;
+
+fn check_circuit(netlist: &Netlist, stimulus: &VectorSource, cycles: usize) {
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(netlist, &library, DesyncOptions::default())
+        .run()
+        .unwrap_or_else(|e| panic!("flow failed on `{}`: {e}", netlist.name()));
+    assert!(design.control_model().is_live(), "{}", netlist.name());
+    assert!(design.control_model().is_safe(), "{}", netlist.name());
+    assert!(
+        design.matched_delays().values().all(|m| m.covers_logic()),
+        "{}",
+        netlist.name()
+    );
+    let report = verify_flow_equivalence(netlist, &design, &library, stimulus, cycles)
+        .unwrap_or_else(|e| panic!("co-simulation failed on `{}`: {e}", netlist.name()));
+    assert!(
+        report.is_equivalent(),
+        "`{}` not flow equivalent: {}",
+        netlist.name(),
+        report.equivalence
+    );
+    assert!(report.compared_cycles + 4 >= cycles, "{}", netlist.name());
+}
+
+#[test]
+fn binary_counter_is_flow_equivalent() {
+    let netlist = binary_counter(8).expect("counter generation");
+    check_circuit(&netlist, &VectorSource::constant(vec![]), 24);
+}
+
+#[test]
+fn lfsr_is_flow_equivalent() {
+    let netlist = lfsr(8).expect("lfsr generation");
+    check_circuit(&netlist, &VectorSource::constant(vec![]), 24);
+}
+
+#[test]
+fn ring_counter_is_flow_equivalent() {
+    let netlist = ring_counter(6).expect("ring generation");
+    check_circuit(&netlist, &VectorSource::constant(vec![]), 24);
+}
+
+#[test]
+fn fir_filter_is_flow_equivalent_under_random_input() {
+    let netlist = FirConfig::with_taps(5, 8).generate().expect("fir generation");
+    let x: Vec<_> = (0..8)
+        .map(|i| netlist.find_net(&format!("x[{i}]")).expect("x bus"))
+        .collect();
+    check_circuit(&netlist, &VectorSource::pseudo_random(x, 99), 20);
+}
+
+#[test]
+fn unbalanced_pipeline_is_flow_equivalent() {
+    let netlist = LinearPipelineConfig::unbalanced(5, 6, 2, 3)
+        .generate()
+        .expect("pipeline generation");
+    let din: Vec<_> = (0..6)
+        .map(|i| netlist.find_net(&format!("din[{i}]")).expect("din bus"))
+        .collect();
+    check_circuit(&netlist, &VectorSource::pseudo_random(din, 5), 20);
+}
+
+#[test]
+fn per_register_clustering_also_works_on_the_fir() {
+    let netlist = FirConfig::with_taps(3, 6).generate().expect("fir generation");
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(
+        &netlist,
+        &library,
+        DesyncOptions::default().with_clustering(ClusteringStrategy::PerRegister),
+    )
+    .run()
+    .expect("flow");
+    assert!(design.control_model().is_live());
+    assert!(design.control_model().is_safe());
+    // Per-register clustering yields one cluster per flip-flop.
+    assert_eq!(design.clusters().len(), netlist.num_flip_flops());
+    let x: Vec<_> = (0..6)
+        .map(|i| netlist.find_net(&format!("x[{i}]")).expect("x bus"))
+        .collect();
+    let report = verify_flow_equivalence(
+        &netlist,
+        &design,
+        &library,
+        &VectorSource::pseudo_random(x, 3),
+        16,
+    )
+    .expect("co-simulation");
+    assert!(report.is_equivalent(), "{}", report.equivalence);
+}
+
+#[test]
+fn desynchronized_verilog_roundtrips() {
+    // The exported latch-based datapath is itself a valid netlist that can
+    // be written to Verilog and parsed back.
+    let netlist = binary_counter(6).expect("counter generation");
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+        .run()
+        .expect("flow");
+    let text = desync::netlist::verilog::to_verilog(design.latch_netlist());
+    let parsed = desync::netlist::verilog::from_verilog(&text).expect("parse back");
+    assert_eq!(parsed.num_latches(), design.latch_netlist().num_latches());
+    assert_eq!(parsed.num_cells(), design.latch_netlist().num_cells());
+    assert!(parsed.validate().is_ok());
+    // The overhead netlist (controllers + matched delays) round-trips too.
+    let overhead_text = desync::netlist::verilog::to_verilog(design.overhead_netlist());
+    let overhead = desync::netlist::verilog::from_verilog(&overhead_text).expect("parse back");
+    assert_eq!(overhead.num_cells(), design.overhead_netlist().num_cells());
+}

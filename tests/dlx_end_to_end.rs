@@ -1,0 +1,98 @@
+//! End-to-end integration test on the DLX processor: the Table 1 workload
+//! of the paper, exercised at reduced cycle counts so it stays fast in CI.
+
+use desync::prelude::*;
+use desync_circuits::dlx::{encode_instruction, instruction_nets};
+
+fn instruction_stream(netlist: &Netlist) -> VectorSource {
+    // A short loop of ALU, immediate, load and store instructions.
+    let nets = instruction_nets(netlist);
+    let program: Vec<u16> = vec![
+        encode_instruction(0b101, 1, 0, 0, 5), // ADDI r1, r0, 5
+        encode_instruction(0b101, 2, 1, 0, 3), // ADDI r2, r1, 3
+        encode_instruction(0b000, 3, 1, 2, 0), // ADD  r3, r1, r2
+        encode_instruction(0b001, 4, 3, 1, 0), // SUB  r4, r3, r1
+        encode_instruction(0b010, 5, 3, 2, 0), // AND  r5, r3, r2
+        encode_instruction(0b011, 6, 5, 4, 0), // OR   r6, r5, r4
+        encode_instruction(0b100, 7, 6, 3, 0), // XOR  r7, r6, r3
+        encode_instruction(0b111, 0, 2, 7, 1), // SW   [r2+1], r7
+        encode_instruction(0b110, 1, 2, 0, 1), // LW   r1, [r2+1]
+        encode_instruction(0b000, 2, 1, 7, 0), // ADD  r2, r1, r7
+    ];
+    let vectors = program
+        .iter()
+        .map(|&word| {
+            nets.iter()
+                .enumerate()
+                .map(|(i, &net)| (net, Value::from_bool(word >> i & 1 == 1)))
+                .collect()
+        })
+        .collect();
+    VectorSource::sequence(vectors)
+}
+
+#[test]
+fn dlx_desynchronization_is_live_safe_and_flow_equivalent() {
+    let netlist = DlxConfig::default().generate().expect("dlx generation");
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+        .run()
+        .expect("desynchronization");
+
+    // Structural expectations.
+    assert!(design.clusters().len() > 10, "DLX should have many clusters");
+    assert_eq!(
+        design.latch_netlist().num_latches(),
+        2 * netlist.num_flip_flops()
+    );
+    assert!(design.control_model().is_live());
+    assert!(design.control_model().is_safe());
+
+    // The cycle-time penalty of desynchronization stays small on a real
+    // pipeline (the paper reports ~1 %; the analytic model here lands within
+    // a modest margin).
+    let sync = design.synchronous_period_ps();
+    let desync = design.cycle_time_ps();
+    assert!(
+        desync < 1.35 * sync,
+        "cycle-time penalty too large: sync {sync} ps vs desync {desync} ps"
+    );
+    assert!(desync > 0.8 * sync, "desync cannot be much faster than sync");
+
+    // Flow equivalence over a short instruction stream.
+    let stim = instruction_stream(&netlist);
+    let report = verify_flow_equivalence(&netlist, &design, &library, &stim, 12)
+        .expect("co-simulation");
+    assert!(report.is_equivalent(), "{}", report.equivalence);
+    assert!(report.compared_cycles >= 10);
+}
+
+#[test]
+fn dlx_power_and_area_comparison_has_the_papers_shape() {
+    let netlist = DlxConfig::default().generate().expect("dlx generation");
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+        .run()
+        .expect("desynchronization");
+
+    // Area: the desynchronized design is slightly larger (controllers and
+    // matched delays replace the clock tree).
+    let tree = ClockTree::synthesize(
+        netlist.num_flip_flops(),
+        &library,
+        desync_power::ClockTreeConfig::default(),
+    );
+    let sync_area = AreaReport::of_netlist(&netlist, &library).with_clock_tree(tree.area_um2);
+    let mut desync_area = AreaReport::of_netlist(design.latch_netlist(), &library);
+    let overhead_area = AreaReport::of_netlist(design.overhead_netlist(), &library);
+    desync_area.controller_um2 += overhead_area.controller_um2;
+    desync_area.matched_delay_um2 += overhead_area.matched_delay_um2;
+
+    let ratio = desync_area.total_um2() / sync_area.total_um2();
+    assert!(
+        ratio > 1.0 && ratio < 1.35,
+        "desynchronized area should be slightly larger, ratio {ratio}"
+    );
+    assert!(sync_area.clock_tree_um2 > 0.0);
+    assert_eq!(desync_area.clock_tree_um2, 0.0);
+}

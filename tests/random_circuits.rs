@@ -1,0 +1,150 @@
+//! Property-based integration tests: the desynchronization flow preserves
+//! flow equivalence and produces live, safe control models on randomly
+//! generated circuits and pipelines.
+
+use desync::circuits::random::RandomCircuitConfig;
+use desync::prelude::*;
+use proptest::prelude::*;
+
+fn desynchronize_and_check(netlist: &Netlist, seed: u64, cycles: usize) {
+    let library = CellLibrary::generic_90nm();
+    let design = Desynchronizer::new(netlist, &library, DesyncOptions::default())
+        .run()
+        .expect("flow must succeed on valid netlists");
+    prop_assert_ok(design.control_model().is_live(), "model must be live");
+    prop_assert_ok(design.control_model().is_safe(), "model must be safe");
+
+    let inputs: Vec<_> = netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|&n| netlist.net(n).name != "clk")
+        .collect();
+    let stimulus = VectorSource::pseudo_random(inputs, seed);
+    let report = verify_flow_equivalence(netlist, &design, &library, &stimulus, cycles)
+        .expect("co-simulation");
+    assert!(
+        report.is_equivalent(),
+        "random circuit must stay flow equivalent: {}",
+        report.equivalence
+    );
+}
+
+fn prop_assert_ok(cond: bool, msg: &str) {
+    assert!(cond, "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random register/cloud circuits stay flow equivalent after
+    /// desynchronization, for both clustering strategies.
+    #[test]
+    fn random_circuits_stay_flow_equivalent(
+        seed in 0u64..500,
+        flip_flops in 2usize..12,
+        gates in 5usize..60,
+        per_register in proptest::bool::ANY,
+    ) {
+        let netlist = RandomCircuitConfig {
+            inputs: 3,
+            flip_flops,
+            gates,
+            outputs: 3,
+            seed,
+        }
+        .generate()
+        .expect("random generation");
+        let library = CellLibrary::generic_90nm();
+        let clustering = if per_register {
+            ClusteringStrategy::PerRegister
+        } else {
+            ClusteringStrategy::ByNamePrefix
+        };
+        let design = Desynchronizer::new(
+            &netlist,
+            &library,
+            DesyncOptions::default().with_clustering(clustering),
+        )
+        .run()
+        .expect("flow");
+        prop_assert!(design.control_model().is_live());
+        prop_assert!(design.control_model().is_safe());
+        let inputs: Vec<_> = netlist
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&n| netlist.net(n).name != "clk")
+            .collect();
+        let stimulus = VectorSource::pseudo_random(inputs, seed ^ 0xABCD);
+        let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 12)
+            .expect("co-simulation");
+        prop_assert!(
+            report.is_equivalent(),
+            "seed {seed}: {}",
+            report.equivalence
+        );
+    }
+
+    /// Pipelines of random shape stay flow equivalent and the matched delays
+    /// always cover the measured combinational delay.
+    #[test]
+    fn random_pipelines_stay_flow_equivalent(
+        stages in 1usize..6,
+        width in 1usize..8,
+        depth in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let netlist = LinearPipelineConfig::balanced(stages, width, depth)
+            .generate()
+            .expect("pipeline generation");
+        let library = CellLibrary::generic_90nm();
+        let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+            .run()
+            .expect("flow");
+        prop_assert!(design.matched_delays().values().all(|m| m.covers_logic()));
+        prop_assert!(design.control_model().is_live());
+        prop_assert!(design.control_model().is_safe());
+        desynchronize_and_check(&netlist, seed, 10);
+    }
+
+    /// The protocol choice never breaks flow equivalence on small random
+    /// circuits.
+    #[test]
+    fn protocols_preserve_equivalence_on_random_circuits(
+        seed in 0u64..200,
+        protocol_idx in 0usize..3,
+    ) {
+        let netlist = RandomCircuitConfig {
+            inputs: 2,
+            flip_flops: 6,
+            gates: 25,
+            outputs: 2,
+            seed,
+        }
+        .generate()
+        .expect("random generation");
+        let library = CellLibrary::generic_90nm();
+        let protocol = Protocol::all()[protocol_idx];
+        let design = Desynchronizer::new(
+            &netlist,
+            &library,
+            DesyncOptions::default().with_protocol(protocol),
+        )
+        .run()
+        .expect("flow");
+        let inputs: Vec<_> = netlist
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&n| netlist.net(n).name != "clk")
+            .collect();
+        let stimulus = VectorSource::pseudo_random(inputs, seed + 1);
+        let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 10)
+            .expect("co-simulation");
+        prop_assert!(report.is_equivalent(), "protocol {protocol}: {}", report.equivalence);
+    }
+}
