@@ -1,0 +1,41 @@
+//! Per-stage cost breakdown of the staged desynchronization flow
+//! ([`desync_core::DesyncFlow`]) on a mid-size pipeline and the DLX, plus
+//! the stage-reuse effect of a protocol sweep.
+//!
+//! ```text
+//! cargo run --release -p desync-bench --bin flow_stages
+//! ```
+
+use desync_circuits::{DlxConfig, LinearPipelineConfig};
+use desync_core::{DesyncFlow, DesyncOptions, Protocol};
+use desync_netlist::CellLibrary;
+
+fn main() {
+    let library = CellLibrary::generic_90nm();
+
+    let pipeline = LinearPipelineConfig::balanced(8, 16, 4)
+        .generate()
+        .expect("pipeline generation");
+    let mut flow =
+        DesyncFlow::new(&pipeline, &library, DesyncOptions::default()).expect("valid options");
+    flow.design().expect("desynchronization");
+    println!("{}\n", flow.report());
+
+    let dlx = DlxConfig::default().generate().expect("dlx generation");
+    let mut flow =
+        DesyncFlow::new(&dlx, &library, DesyncOptions::default()).expect("valid options");
+    flow.design().expect("desynchronization");
+    println!("{}\n", flow.report());
+
+    // A protocol sweep on the same flow: controller synthesis re-runs per
+    // protocol, everything before it is computed once.
+    for &protocol in Protocol::all() {
+        flow.set_protocol(protocol).expect("valid options");
+        flow.design().expect("desynchronization");
+    }
+    println!(
+        "after sweeping all {} protocols on the DLX flow:",
+        Protocol::all().len()
+    );
+    println!("{}", flow.report());
+}

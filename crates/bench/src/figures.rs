@@ -8,9 +8,7 @@
 
 use desync_core::cluster::Parity;
 use desync_core::controller::{initial_tokens, PairEvent, Protocol};
-use desync_core::{
-    verify_flow_equivalence, ClusteringStrategy, DesyncOptions, Desynchronizer,
-};
+use desync_core::{verify_flow_equivalence, ClusteringStrategy, DesyncFlow, DesyncOptions};
 use desync_mg::compose::{compose, same_structure};
 use desync_mg::{MarkedGraph, Stg};
 use desync_netlist::{CellKind, CellLibrary, Netlist};
@@ -41,9 +39,16 @@ pub struct Figure1 {
 
 impl fmt::Display for Figure1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 1 — synchronous circuit vs. de-synchronized circuit")?;
+        writeln!(
+            f,
+            "Figure 1 — synchronous circuit vs. de-synchronized circuit"
+        )?;
         writeln!(f, "  flip-flops:             {}", self.flip_flops)?;
-        writeln!(f, "  latches after conversion: {} (2 per flip-flop)", self.latches)?;
+        writeln!(
+            f,
+            "  latches after conversion: {} (2 per flip-flop)",
+            self.latches
+        )?;
         writeln!(
             f,
             "  combinational cells:    {} -> {} (untouched)",
@@ -64,12 +69,12 @@ pub fn figure1() -> Figure1 {
         .generate()
         .expect("pipeline generation");
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-        .run()
-        .expect("desynchronization");
+    let mut flow =
+        DesyncFlow::new(&netlist, &library, DesyncOptions::default()).expect("valid options");
     let stimulus = crate::workloads::bus_stimulus(&netlist, "din", 8, 11);
-    let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 24)
-        .expect("co-simulation");
+    flow.set_verification(stimulus, 24);
+    let report = flow.verified().expect("co-simulation").clone();
+    let design = flow.designed().expect("desynchronization");
     Figure1 {
         flip_flops: netlist.num_flip_flops(),
         latches: design.latch_netlist().num_latches(),
@@ -107,7 +112,10 @@ pub struct Figure2 {
 
 impl fmt::Display for Figure2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2 — netlist with fork/join and its de-synchronization model")?;
+        writeln!(
+            f,
+            "Figure 2 — netlist with fork/join and its de-synchronization model"
+        )?;
         writeln!(f, "  clusters (registers A..G): {}", self.clusters)?;
         writeln!(
             f,
@@ -119,7 +127,10 @@ impl fmt::Display for Figure2 {
         writeln!(f, "  safe:        {}", self.safe)?;
         match self.consistent {
             Some(value) => writeln!(f, "  consistent:  {value}")?,
-            None => writeln!(f, "  consistent:  unknown (state space beyond exploration bound)")?,
+            None => writeln!(
+                f,
+                "  consistent:  unknown (state space beyond exploration bound)"
+            )?,
         }
         write!(f, "  cycle time:  {:.1} ps", self.cycle_time_ps)
     }
@@ -147,7 +158,8 @@ pub fn figure2_netlist() -> Netlist {
     let w_fg = n.add_net("w_fg");
     n.add_dff("A", in_a, clk, qa).unwrap();
     n.add_dff("B", in_b, clk, qb).unwrap();
-    n.add_gate("g_join", CellKind::Xor, &[qa, qb], w_ab).unwrap();
+    n.add_gate("g_join", CellKind::Xor, &[qa, qb], w_ab)
+        .unwrap();
     n.add_dff("C", w_ab, clk, qc).unwrap();
     n.add_gate("g_cd", CellKind::Not, &[qc], w_cd).unwrap();
     n.add_gate("g_cf", CellKind::Buf, &[qc], w_cf).unwrap();
@@ -168,12 +180,13 @@ pub fn figure2_netlist() -> Netlist {
 pub fn figure2() -> Figure2 {
     let netlist = figure2_netlist();
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(
+    let design = DesyncFlow::new(
         &netlist,
         &library,
         DesyncOptions::default().with_clustering(ClusteringStrategy::PerRegister),
     )
-    .run()
+    .expect("valid options")
+    .design()
     .expect("desynchronization");
     let model = design.control_model();
     let stg = Stg::from_graph(model.graph.clone());
@@ -212,7 +225,10 @@ pub struct Figure3 {
 
 impl fmt::Display for Figure3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3 — pipeline de-synchronization ( # = transparent, _ = opaque )")?;
+        writeln!(
+            f,
+            "Figure 3 — pipeline de-synchronization ( # = transparent, _ = opaque )"
+        )?;
         for (name, strip) in &self.waveforms {
             writeln!(f, "  {name:>8} {strip}")?;
         }
@@ -256,12 +272,13 @@ pub fn figure3_netlist() -> Netlist {
 pub fn figure3() -> Figure3 {
     let netlist = figure3_netlist();
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(
+    let design = DesyncFlow::new(
         &netlist,
         &library,
         DesyncOptions::default().with_clustering(ClusteringStrategy::PerRegister),
     )
-    .run()
+    .expect("valid options")
+    .design()
     .expect("desynchronization");
 
     // Enable waveforms from the gate-level co-simulation.
@@ -307,15 +324,14 @@ pub fn figure3() -> Figure3 {
         }
         false
     };
-    let pulses_overlap = overlap("en_A_s", "en_B_s")
-        || overlap("en_B_s", "en_C_s")
-        || overlap("en_C_s", "en_D_s");
+    let pulses_overlap =
+        overlap("en_A_s", "en_B_s") || overlap("en_B_s", "en_C_s") || overlap("en_C_s", "en_D_s");
 
     // "Data overwriting can never occur" == flow equivalence.
     let din = netlist.find_net("din").expect("din exists");
     let stimulus = VectorSource::pseudo_random(vec![din], 5);
-    let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 24)
-        .expect("co-simulation");
+    let report =
+        verify_flow_equivalence(&netlist, &design, &library, &stimulus, 24).expect("co-simulation");
 
     Figure3 {
         waveforms,
@@ -358,9 +374,21 @@ impl fmt::Display for Figure4 {
         for line in self.odd_to_even.render().lines().skip(1) {
             writeln!(f, "    {line}")?;
         }
-        writeln!(f, "  patterns live and safe:        {}", self.patterns_live_and_safe)?;
-        writeln!(f, "  composed pipeline live & safe: {}", self.composition_live_and_safe)?;
-        write!(f, "  matches pipeline model:        {}", self.matches_pipeline_model)
+        writeln!(
+            f,
+            "  patterns live and safe:        {}",
+            self.patterns_live_and_safe
+        )?;
+        writeln!(
+            f,
+            "  composed pipeline live & safe: {}",
+            self.composition_live_and_safe
+        )?;
+        write!(
+            f,
+            "  matches pipeline model:        {}",
+            self.matches_pipeline_model
+        )
     }
 }
 
@@ -392,7 +420,10 @@ pub fn pairwise_pattern(
     }
     // Auxiliary arcs: the local cycles of both controllers, modelling the
     // abstracted predecessor of `src` and successor of `dst`.
-    for &(rise, fall, parity) in &[(src_rise, src_fall, src_parity), (dst_rise, dst_fall, dst_parity)] {
+    for &(rise, fall, parity) in &[
+        (src_rise, src_fall, src_parity),
+        (dst_rise, dst_fall, dst_parity),
+    ] {
         g.add_place(rise, fall, initial_tokens(parity, true, parity, false), 1.0);
         g.add_place(fall, rise, initial_tokens(parity, false, parity, true), 1.0);
     }
@@ -432,7 +463,7 @@ pub fn figure4() -> Figure4 {
     // The environment pair is disabled here: Figure 4 is about the bare
     // latch-to-latch patterns, whose composition is compared against the
     // circuit-only model.
-    let design = Desynchronizer::new(
+    let design = DesyncFlow::new(
         &netlist,
         &library,
         DesyncOptions::default()
@@ -440,7 +471,8 @@ pub fn figure4() -> Figure4 {
             .with_protocol(protocol)
             .with_environment(false),
     )
-    .run()
+    .expect("valid options")
+    .design()
     .expect("desynchronization");
     // The flow additionally forbids master/slave overlap inside one register
     // (an intra-pair `m- -> s+` arc), which the raw Figure 4 patterns do not
@@ -448,11 +480,22 @@ pub fn figure4() -> Figure4 {
     let composed_with_intra = compose(&[
         composed.clone(),
         desync_mg::compose::from_edges(&[
-            ("A_m-", "A_s+", initial_tokens(Parity::Even, false, Parity::Odd, true), 1.0),
-            ("B_m-", "B_s+", initial_tokens(Parity::Even, false, Parity::Odd, true), 1.0),
+            (
+                "A_m-",
+                "A_s+",
+                initial_tokens(Parity::Even, false, Parity::Odd, true),
+                1.0,
+            ),
+            (
+                "B_m-",
+                "B_s+",
+                initial_tokens(Parity::Even, false, Parity::Odd, true),
+                1.0,
+            ),
         ]),
     ]);
-    let matches_pipeline_model = same_structure(&composed_with_intra, &design.control_model().graph);
+    let matches_pipeline_model =
+        same_structure(&composed_with_intra, &design.control_model().graph);
 
     Figure4 {
         even_to_odd,
@@ -495,7 +538,10 @@ mod tests {
     fn figure3_overlap_and_no_overwriting() {
         let fig = figure3();
         assert!(fig.no_overwriting);
-        assert!(fig.pulses_overlap, "the overlapping protocol should overlap");
+        assert!(
+            fig.pulses_overlap,
+            "the overlapping protocol should overlap"
+        );
         assert_eq!(fig.waveforms.len(), 8);
         assert!(fig.cycle_time_ps > 0.0);
         assert!(fig.to_string().contains("Figure 3"));

@@ -4,7 +4,7 @@
 
 use crate::workloads::bus_stimulus;
 use desync_circuits::LinearPipelineConfig;
-use desync_core::{verify_flow_equivalence, DesyncOptions, Desynchronizer, Protocol};
+use desync_core::{DesyncFlow, DesyncOptions, Protocol};
 use desync_netlist::{CellLibrary, Netlist};
 use desync_power::AreaReport;
 use desync_sta::{Sta, TimingConfig};
@@ -37,7 +37,11 @@ pub struct ProtocolAblation {
 
 impl fmt::Display for ProtocolAblation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E6 — handshake protocol ablation (sync period {:.1} ps)", self.sync_period_ps)?;
+        writeln!(
+            f,
+            "E6 — handshake protocol ablation (sync period {:.1} ps)",
+            self.sync_period_ps
+        )?;
         writeln!(
             f,
             "  {:<18} {:>12} {:>10} {:>16} {:>10} {:>6}",
@@ -64,32 +68,37 @@ impl fmt::Display for ProtocolAblation {
 /// # Panics
 ///
 /// Panics if generation, the flow or the co-simulation fails.
-pub fn protocol_ablation(stages: usize, width: usize, depth: usize, cycles: usize) -> ProtocolAblation {
+pub fn protocol_ablation(
+    stages: usize,
+    width: usize,
+    depth: usize,
+    cycles: usize,
+) -> ProtocolAblation {
     let netlist = LinearPipelineConfig::balanced(stages, width, depth)
         .generate()
         .expect("pipeline generation");
     let library = CellLibrary::generic_90nm();
     let sync_period_ps = Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
     let stimulus = bus_stimulus(&netlist, "din", width, 17);
+    // One staged flow serves the whole ablation: clustering, latch
+    // conversion and delay sizing run once, controller synthesis and
+    // verification re-run per protocol.
+    let mut flow =
+        DesyncFlow::new(&netlist, &library, DesyncOptions::default()).expect("valid options");
     let rows = Protocol::all()
         .iter()
         .map(|&protocol| {
-            let design = Desynchronizer::new(
-                &netlist,
-                &library,
-                DesyncOptions::default().with_protocol(protocol),
-            )
-            .run()
-            .expect("desynchronization");
-            let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, cycles)
-                .expect("co-simulation");
+            flow.set_protocol(protocol).expect("valid options");
+            flow.set_verification(stimulus.clone(), cycles);
+            let flow_equivalent = flow.verified().expect("co-simulation").is_equivalent();
+            let design = flow.designed().expect("desynchronization");
             let overhead = AreaReport::of_netlist(design.overhead_netlist(), &library);
             ProtocolRow {
                 protocol,
                 cycle_time_ps: design.cycle_time_ps(),
                 controller_cells: design.summary().controller_cells,
                 controller_area_um2: overhead.controller_um2,
-                flow_equivalent: report.is_equivalent(),
+                flow_equivalent,
             }
         })
         .collect();
@@ -123,7 +132,11 @@ pub struct MarginSweep {
 
 impl fmt::Display for MarginSweep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E7 — matched-delay margin sweep (sync period {:.1} ps)", self.sync_period_ps)?;
+        writeln!(
+            f,
+            "E7 — matched-delay margin sweep (sync period {:.1} ps)",
+            self.sync_period_ps
+        )?;
         writeln!(
             f,
             "  {:>8} {:>12} {:>10} {:>12} {:>6}",
@@ -157,23 +170,22 @@ pub fn margin_sweep(margins: &[f64], cycles: usize) -> MarginSweep {
     let library = CellLibrary::generic_90nm();
     let sync_period_ps = Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
     let stimulus = bus_stimulus(&netlist, "din", width, 23);
+    // One staged flow serves the whole sweep: clustering and latch
+    // conversion run once, delay sizing onward re-runs per margin.
+    let mut flow =
+        DesyncFlow::new(&netlist, &library, DesyncOptions::default()).expect("valid options");
     let rows = margins
         .iter()
         .map(|&margin| {
-            let design = Desynchronizer::new(
-                &netlist,
-                &library,
-                DesyncOptions::default().with_margin(margin),
-            )
-            .run()
-            .expect("desynchronization");
-            let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, cycles)
-                .expect("co-simulation");
+            flow.set_margin(margin).expect("non-negative margin");
+            flow.set_verification(stimulus.clone(), cycles);
+            let flow_equivalent = flow.verified().expect("co-simulation").is_equivalent();
+            let design = flow.designed().expect("desynchronization");
             MarginRow {
                 margin,
                 cycle_time_ps: design.cycle_time_ps(),
                 delay_cells: design.summary().matched_delay_cells,
-                flow_equivalent: report.is_equivalent(),
+                flow_equivalent,
             }
         })
         .collect();
@@ -252,14 +264,18 @@ pub fn pipeline_sweep(depths: &[usize], imbalances: &[usize]) -> PipelineSweep {
             .expect("pipeline generation");
             let sync_period_ps =
                 Sta::new(&netlist, &library, TimingConfig::default()).clock_period();
-            let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-                .run()
-                .expect("desynchronization");
+            let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default())
+                .expect("valid options");
+            let cycle = flow
+                .controlled()
+                .expect("desynchronization")
+                .model
+                .cycle_time_ps();
             rows.push(PipelineRow {
                 stages,
                 imbalance,
                 sync_period_ps,
-                desync_cycle_ps: design.cycle_time_ps(),
+                desync_cycle_ps: cycle,
             });
         }
     }
@@ -276,8 +292,16 @@ mod tests {
         assert_eq!(report.rows.len(), 3);
         assert!(report.rows.iter().all(|r| r.flow_equivalent));
         // The fully-decoupled protocol is never slower than non-overlapping.
-        let fd = report.rows.iter().find(|r| r.protocol == Protocol::FullyDecoupled).unwrap();
-        let no = report.rows.iter().find(|r| r.protocol == Protocol::NonOverlapping).unwrap();
+        let fd = report
+            .rows
+            .iter()
+            .find(|r| r.protocol == Protocol::FullyDecoupled)
+            .unwrap();
+        let no = report
+            .rows
+            .iter()
+            .find(|r| r.protocol == Protocol::NonOverlapping)
+            .unwrap();
         assert!(fd.cycle_time_ps <= no.cycle_time_ps + 1e-6);
         // Its controllers are however larger.
         assert!(fd.controller_cells >= no.controller_cells);

@@ -58,9 +58,7 @@ pub fn ring_counter(width: usize) -> Result<Netlist, NetlistError> {
         builder.invert("empty", or_all)?
     };
     let d0 = builder.gate2("inj", CellKind::Or, q[width - 1], empty)?;
-    builder
-        .netlist()
-        .add_dff("ring_ff[0]", d0, clk, q[0])?;
+    builder.netlist().add_dff("ring_ff[0]", d0, clk, q[0])?;
     for i in 1..width {
         builder
             .netlist()

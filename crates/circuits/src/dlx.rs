@@ -176,10 +176,20 @@ impl DlxConfig {
             // MEM/WB forwarding first (older instruction), then EX/MEM
             // (younger, takes priority).
             let eq_wb = b.equals(&format!("{prefix}_eqwb"), rs, &memwb_rd)?;
-            let fwd_wb = b.gate2(&format!("{prefix}_fwb"), CellKind::And, eq_wb, memwb_regwrite)?;
+            let fwd_wb = b.gate2(
+                &format!("{prefix}_fwb"),
+                CellKind::And,
+                eq_wb,
+                memwb_regwrite,
+            )?;
             let after_wb = b.mux(&format!("{prefix}_muxwb"), fwd_wb, base, &memwb_result)?;
             let eq_ex = b.equals(&format!("{prefix}_eqex"), rs, &exmem_rd)?;
-            let fwd_ex = b.gate2(&format!("{prefix}_fex"), CellKind::And, eq_ex, exmem_regwrite)?;
+            let fwd_ex = b.gate2(
+                &format!("{prefix}_fex"),
+                CellKind::And,
+                eq_ex,
+                exmem_regwrite,
+            )?;
             b.mux(&format!("{prefix}_muxex"), fwd_ex, &after_wb, &exmem_result)
         };
         let a_fwd = forward_operand(&mut b, "fwd_a", &idex_a, &idex_rs1)?;
@@ -233,13 +243,8 @@ impl DlxConfig {
         let addr: Bus = exmem_result[0..2].to_vec();
         let addr_onehot = b.decoder("mem_adec", &addr)?;
         let mut mem_words: Vec<Bus> = Vec::with_capacity(SCRATCHPAD_WORDS);
-        for w in 0..SCRATCHPAD_WORDS {
-            let we = b.gate2(
-                &format!("mem_we{w}"),
-                CellKind::And,
-                exmem_is_sw,
-                addr_onehot[w],
-            )?;
+        for (w, &addr_line) in addr_onehot.iter().enumerate().take(SCRATCHPAD_WORDS) {
+            let we = b.gate2(&format!("mem_we{w}"), CellKind::And, exmem_is_sw, addr_line)?;
             let word = b.register_we(&format!("dmem{w}"), &exmem_store, we, clk)?;
             mem_words.push(word);
         }
@@ -272,7 +277,8 @@ impl DlxConfig {
             // q <= we ? wb_result : q  (mux + flop per bit).
             for (i, &q) in q_word.iter().enumerate() {
                 let next = b.mux_bit(&format!("rf{r}_wmux{i}"), we, q, memwb_result[i])?;
-                b.netlist().add_dff(format!("rf{r}_ff[{i}]"), next, clk, q)?;
+                b.netlist()
+                    .add_dff(format!("rf{r}_ff[{i}]"), next, clk, q)?;
             }
         }
 
@@ -322,8 +328,16 @@ mod tests {
         assert!(n.validate().is_ok());
         assert!(n.single_clock().is_ok());
         // Structure: a few hundred flip-flops, a few thousand gates.
-        assert!(n.num_flip_flops() > 200, "flip-flops: {}", n.num_flip_flops());
-        assert!(n.num_combinational() > 1000, "gates: {}", n.num_combinational());
+        assert!(
+            n.num_flip_flops() > 200,
+            "flip-flops: {}",
+            n.num_flip_flops()
+        );
+        assert!(
+            n.num_combinational() > 1000,
+            "gates: {}",
+            n.num_combinational()
+        );
         assert_eq!(n.inputs().len(), 1 + INSTRUCTION_WIDTH);
         assert_eq!(n.outputs().len(), 16 + 16);
     }
@@ -351,9 +365,9 @@ mod tests {
         assert_eq!(word >> 12 & 0xF, 0xA);
         let bits = instruction_bits(word);
         assert_eq!(bits.len(), INSTRUCTION_WIDTH);
-        assert_eq!(bits[0], true);
-        assert_eq!(bits[1], false);
-        assert_eq!(bits[2], true);
+        assert!(bits[0]);
+        assert!(!bits[1]);
+        assert!(bits[2]);
     }
 
     #[test]

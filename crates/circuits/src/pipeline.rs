@@ -66,7 +66,9 @@ impl LinearPipelineConfig {
     pub fn depth_of(&self, stage: usize) -> usize {
         match self.stage_logic_depth.as_slice() {
             [] => 1,
-            depths => *depths.get(stage).unwrap_or(depths.last().expect("non-empty")),
+            depths => *depths
+                .get(stage)
+                .unwrap_or(depths.last().expect("non-empty")),
         }
     }
 

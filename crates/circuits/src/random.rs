@@ -122,12 +122,7 @@ mod tests {
         let a = cfg.generate().unwrap();
         let b = cfg.generate().unwrap();
         assert_eq!(a, b);
-        let c = RandomCircuitConfig {
-            seed: 2,
-            ..cfg
-        }
-        .generate()
-        .unwrap();
+        let c = RandomCircuitConfig { seed: 2, ..cfg }.generate().unwrap();
         assert_ne!(a, c);
     }
 

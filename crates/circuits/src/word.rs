@@ -139,13 +139,7 @@ impl<'a> WordBuilder<'a> {
     /// # Panics
     ///
     /// Panics if the buses have different widths.
-    pub fn mux(
-        &mut self,
-        prefix: &str,
-        sel: NetId,
-        a: &Bus,
-        b: &Bus,
-    ) -> Result<Bus, NetlistError> {
+    pub fn mux(&mut self, prefix: &str, sel: NetId, a: &Bus, b: &Bus) -> Result<Bus, NetlistError> {
         assert_eq!(a.len(), b.len(), "bus width mismatch");
         a.iter()
             .zip(b.iter())
@@ -209,7 +203,12 @@ impl<'a> WordBuilder<'a> {
     /// # Panics
     ///
     /// Panics if the bus is empty.
-    pub fn reduce(&mut self, prefix: &str, kind: CellKind, bus: &Bus) -> Result<NetId, NetlistError> {
+    pub fn reduce(
+        &mut self,
+        prefix: &str,
+        kind: CellKind,
+        bus: &Bus,
+    ) -> Result<NetId, NetlistError> {
         assert!(!bus.is_empty(), "cannot reduce an empty bus");
         let mut acc = bus[0];
         for &bit in &bus[1..] {
@@ -226,12 +225,7 @@ impl<'a> WordBuilder<'a> {
 
     /// A register: one D flip-flop per bit of `d`, clocked by `clk`.
     /// Returns the Q bus. Register cells are named `prefix_ff[i]`.
-    pub fn register(
-        &mut self,
-        prefix: &str,
-        d: &Bus,
-        clk: NetId,
-    ) -> Result<Bus, NetlistError> {
+    pub fn register(&mut self, prefix: &str, d: &Bus, clk: NetId) -> Result<Bus, NetlistError> {
         let mut q = Vec::with_capacity(d.len());
         for (i, &bit) in d.iter().enumerate() {
             let out = self.netlist.add_net(format!("{prefix}_q[{i}]"));
@@ -274,7 +268,13 @@ impl<'a> WordBuilder<'a> {
         let mut outputs = Vec::with_capacity(n);
         for code in 0..n {
             let bits: Bus = (0..sel.len())
-                .map(|bit| if code >> bit & 1 == 1 { sel[bit] } else { inv[bit] })
+                .map(|bit| {
+                    if code >> bit & 1 == 1 {
+                        sel[bit]
+                    } else {
+                        inv[bit]
+                    }
+                })
                 .collect();
             outputs.push(self.reduce(prefix, CellKind::And, &bits)?);
         }
@@ -297,7 +297,10 @@ impl<'a> WordBuilder<'a> {
         assert!(!words.is_empty(), "onehot_mux needs at least one word");
         assert_eq!(selects.len(), words.len(), "one select line per word");
         let width = words[0].len();
-        assert!(words.iter().all(|w| w.len() == width), "word width mismatch");
+        assert!(
+            words.iter().all(|w| w.len() == width),
+            "word width mismatch"
+        );
         let mut out = Vec::with_capacity(width);
         for bit in 0..width {
             let mut acc: Option<NetId> = None;
@@ -344,7 +347,10 @@ mod tests {
         n.mark_output(cout);
         assert!(n.validate().is_ok());
         // 5 gates per full adder.
-        assert_eq!(n.cells().filter(|(_, c)| c.kind.is_combinational()).count(), 4 * 5 + 1);
+        assert_eq!(
+            n.cells().filter(|(_, c)| c.kind.is_combinational()).count(),
+            4 * 5 + 1
+        );
     }
 
     #[test]

@@ -118,10 +118,7 @@ impl ClusterGraph {
         // Deterministic cluster ordering by key.
         let mut grouped: BTreeMap<String, Vec<CellId>> = BTreeMap::new();
         for &reg in &seq.registers {
-            grouped
-                .entry(key_of[&reg].clone())
-                .or_default()
-                .push(reg);
+            grouped.entry(key_of[&reg].clone()).or_default().push(reg);
         }
         let clusters: Vec<Cluster> = grouped
             .into_iter()

@@ -57,11 +57,9 @@ impl Protocol {
         use PairEvent::*;
         match self {
             Protocol::FullyDecoupled => &[(SrcRise, DstFall), (DstFall, SrcRise)],
-            Protocol::SemiDecoupled => &[
-                (SrcRise, DstFall),
-                (DstFall, SrcRise),
-                (SrcFall, DstRise),
-            ],
+            Protocol::SemiDecoupled => {
+                &[(SrcRise, DstFall), (DstFall, SrcRise), (SrcFall, DstRise)]
+            }
             Protocol::NonOverlapping => &[
                 (SrcRise, DstFall),
                 (DstFall, SrcRise),
@@ -196,7 +194,11 @@ impl ControllerImpl {
         for i in 0..n_gates {
             let out = netlist.add_net(format!("{prefix}_g{i}_y"));
             let name = format!("{prefix}_g{i}");
-            let kind = if i % 2 == 0 { CellKind::Not } else { CellKind::Nand };
+            let kind = if i % 2 == 0 {
+                CellKind::Not
+            } else {
+                CellKind::Nand
+            };
             let inputs: Vec<NetId> = if kind == CellKind::Not {
                 vec![current]
             } else {
@@ -248,8 +250,7 @@ mod tests {
         }
         // More concurrency -> more arcs removed / fewer constraints.
         assert!(
-            Protocol::FullyDecoupled.pair_arcs().len()
-                < Protocol::NonOverlapping.pair_arcs().len()
+            Protocol::FullyDecoupled.pair_arcs().len() < Protocol::NonOverlapping.pair_arcs().len()
         );
     }
 
@@ -287,14 +288,17 @@ mod tests {
     #[test]
     fn controller_generation_produces_valid_overhead_netlist() {
         let mut n = Netlist::new("overhead");
-        let a = ControllerImpl::generate(&mut n, "stage0", Parity::Even, Protocol::FullyDecoupled, 16)
-            .unwrap();
-        let b = ControllerImpl::generate(&mut n, "stage0", Parity::Odd, Protocol::FullyDecoupled, 16)
-            .unwrap();
-        let c = ControllerImpl::generate(&mut n, "stage1", Parity::Even, Protocol::NonOverlapping, 40)
-            .unwrap();
+        let a =
+            ControllerImpl::generate(&mut n, "stage0", Parity::Even, Protocol::FullyDecoupled, 16)
+                .unwrap();
+        let b =
+            ControllerImpl::generate(&mut n, "stage0", Parity::Odd, Protocol::FullyDecoupled, 16)
+                .unwrap();
+        let c =
+            ControllerImpl::generate(&mut n, "stage1", Parity::Even, Protocol::NonOverlapping, 40)
+                .unwrap();
         assert!(n.validate().is_ok());
-        assert!(a.num_cells() >= 3 + 4 + 1);
+        assert!(a.num_cells() > 3 + 4);
         assert_eq!(a.parity, Parity::Even);
         assert_ne!(a.enable_net, b.enable_net);
         // Larger clusters need more enable buffers.

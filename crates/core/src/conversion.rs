@@ -97,7 +97,8 @@ fn copy_combinational_skeleton(source: &Netlist, name: &str, skip_input: Option<
     }
     for (_, cell) in source.cells() {
         if cell.kind.is_combinational() {
-            out.add_cell(cell.clone()).expect("copying a valid cell cannot fail");
+            out.add_cell(cell.clone())
+                .expect("copying a valid cell cannot fail");
         }
     }
     out
@@ -143,11 +144,8 @@ pub fn to_desynchronized_datapath(
 ) -> Result<LatchDesign, DesyncError> {
     check_input(source)?;
     let clk = source.single_clock().map_err(DesyncError::Netlist)?;
-    let mut netlist = copy_combinational_skeleton(
-        source,
-        &format!("{}_desync", source.name()),
-        Some(clk),
-    );
+    let mut netlist =
+        copy_combinational_skeleton(source, &format!("{}_desync", source.name()), Some(clk));
 
     // One enable-net pair per cluster, exported as primary inputs.
     let mut cluster_enables = Vec::with_capacity(clusters.len());

@@ -1,10 +1,10 @@
-//! Error type of the desynchronization flow.
+//! Error types of the desynchronization flow.
 
 use desync_netlist::NetlistError;
 use std::fmt;
 
 /// Errors produced by the desynchronization flow.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DesyncError {
     /// The input netlist is structurally invalid or uses features the flow
     /// does not support.
@@ -17,6 +17,65 @@ pub enum DesyncError {
     AlreadyLatchBased,
     /// The composed control model failed a correctness check.
     ModelCheck(String),
+    /// The flow options contain a nonsensical knob value; rejected by
+    /// [`DesyncOptions::validate`](crate::DesyncOptions::validate) before any
+    /// stage runs.
+    InvalidOptions(OptionsError),
+    /// The verification stage was asked to run on a netlist that has data
+    /// inputs, but no stimulus was configured via
+    /// [`DesyncFlow::set_verification`](crate::DesyncFlow::set_verification).
+    /// Without input vectors the equivalence check would pass vacuously.
+    MissingStimulus,
+}
+
+/// A rejected knob in [`DesyncOptions`](crate::DesyncOptions), produced by
+/// [`DesyncOptions::validate`](crate::DesyncOptions::validate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptionsError {
+    /// `matched_delay_margin` is negative: the matched delay would be sized
+    /// *below* the combinational delay it must cover, breaking the central
+    /// safety property of the method.
+    NegativeMatchedDelayMargin(f64),
+    /// `controller_delay_ps` is zero or negative: the timed control model
+    /// would contain zero-delay cycles and its cycle-time analysis would be
+    /// meaningless.
+    NonPositiveControllerDelay(f64),
+    /// A timing parameter that must be non-negative (wire load, setup,
+    /// clock-to-Q, latch D-to-Q) is negative.
+    NegativeTimingParameter {
+        /// Qualified name of the offending
+        /// [`TimingConfig`](desync_sta::TimingConfig) field
+        /// (e.g. `"timing.setup_ps"`).
+        parameter: &'static str,
+        /// The rejected value, in picoseconds.
+        value: f64,
+    },
+    /// A numeric knob is NaN or infinite.
+    NonFiniteParameter {
+        /// Qualified name of the offending field.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::NegativeMatchedDelayMargin(v) => {
+                write!(f, "matched_delay_margin must be >= 0, got {v}")
+            }
+            OptionsError::NonPositiveControllerDelay(v) => {
+                write!(f, "controller_delay_ps must be > 0, got {v}")
+            }
+            OptionsError::NegativeTimingParameter { parameter, value } => {
+                write!(f, "{parameter} must be >= 0, got {value}")
+            }
+            OptionsError::NonFiniteParameter { parameter, value } => {
+                write!(f, "{parameter} must be finite, got {value}")
+            }
+        }
+    }
 }
 
 impl fmt::Display for DesyncError {
@@ -25,9 +84,18 @@ impl fmt::Display for DesyncError {
             DesyncError::Netlist(e) => write!(f, "invalid input netlist: {e}"),
             DesyncError::NoRegisters => write!(f, "netlist has no flip-flops to desynchronize"),
             DesyncError::AlreadyLatchBased => {
-                write!(f, "netlist already contains latches; expected a flip-flop design")
+                write!(
+                    f,
+                    "netlist already contains latches; expected a flip-flop design"
+                )
             }
             DesyncError::ModelCheck(msg) => write!(f, "control model check failed: {msg}"),
+            DesyncError::InvalidOptions(e) => write!(f, "invalid flow options: {e}"),
+            DesyncError::MissingStimulus => write!(
+                f,
+                "netlist has data inputs but no verification stimulus was set; \
+                 call DesyncFlow::set_verification first"
+            ),
         }
     }
 }
@@ -47,6 +115,12 @@ impl From<NetlistError> for DesyncError {
     }
 }
 
+impl From<OptionsError> for DesyncError {
+    fn from(e: OptionsError) -> Self {
+        DesyncError::InvalidOptions(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,9 +132,34 @@ mod tests {
         assert!(e.to_string().contains("invalid input netlist"));
         assert!(e.source().is_some());
         assert!(DesyncError::NoRegisters.source().is_none());
-        assert!(DesyncError::NoRegisters.to_string().contains("no flip-flops"));
-        assert!(DesyncError::AlreadyLatchBased.to_string().contains("latches"));
-        assert!(DesyncError::ModelCheck("not live".into()).to_string().contains("not live"));
+        assert!(DesyncError::NoRegisters
+            .to_string()
+            .contains("no flip-flops"));
+        assert!(DesyncError::AlreadyLatchBased
+            .to_string()
+            .contains("latches"));
+        assert!(DesyncError::ModelCheck("not live".into())
+            .to_string()
+            .contains("not live"));
+    }
+
+    #[test]
+    fn option_errors_display_the_offending_value() {
+        let e = DesyncError::from(OptionsError::NegativeMatchedDelayMargin(-0.2));
+        assert!(e.to_string().contains("-0.2"));
+        assert!(e.to_string().contains("invalid flow options"));
+        let e = OptionsError::NonPositiveControllerDelay(0.0);
+        assert!(e.to_string().contains("controller_delay_ps"));
+        let e = OptionsError::NegativeTimingParameter {
+            parameter: "timing.setup_ps",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("timing.setup_ps"));
+        let e = OptionsError::NonFiniteParameter {
+            parameter: "matched_delay_margin",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("finite"));
     }
 
     #[test]

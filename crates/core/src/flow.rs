@@ -1,29 +1,31 @@
-//! The top-level desynchronization flow.
+//! The one-call desynchronization flow and its product.
 //!
-//! [`Desynchronizer::run`] executes the three steps of the paper on a
-//! synchronous flip-flop netlist and returns a [`DesyncDesign`]:
-//!
-//! 1. cluster the flip-flops and convert them into master/slave latch pairs,
-//! 2. run static timing analysis and size one matched delay per cluster
-//!    edge,
-//! 3. build the handshake controller network — both its gate-level
-//!    implementation (for area/power accounting) and its timed marked-graph
-//!    model (for correctness checks, cycle-time analysis and co-simulation).
+//! [`Desynchronizer::run`] is a thin convenience wrapper over the staged
+//! pipeline ([`DesyncFlow`](crate::DesyncFlow)): it advances a fresh flow
+//! through clustering, latch conversion, matched-delay sizing and controller
+//! synthesis, and bundles the artifacts into a [`DesyncDesign`]. Use the
+//! staged API directly when you need intermediate artifacts, want to resume
+//! after changing a knob, or need per-stage timing.
 
 use crate::cluster::{ClusterGraph, Parity};
 use crate::controller::ControllerImpl;
-use crate::conversion::{to_desynchronized_datapath, LatchDesign};
+use crate::conversion::LatchDesign;
 use crate::error::DesyncError;
-use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
+use crate::model::ControlModel;
 use crate::options::DesyncOptions;
+use crate::pipeline::DesyncFlow;
 use desync_netlist::{CellLibrary, Netlist, Value};
 use desync_sim::EnableSchedule;
-use desync_sta::{MatchedDelay, Sta};
+use desync_sta::MatchedDelay;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The desynchronization engine, bound to one netlist, library and option
 /// set.
+///
+/// This is the one-call entry point; it delegates to the staged
+/// [`DesyncFlow`](crate::DesyncFlow) and produces the identical
+/// [`DesyncDesign`].
 #[derive(Debug, Clone)]
 pub struct Desynchronizer<'a> {
     netlist: &'a Netlist,
@@ -46,10 +48,13 @@ impl<'a> Desynchronizer<'a> {
         &self.options
     }
 
-    /// Runs the complete flow.
+    /// Runs the complete flow by advancing a fresh
+    /// [`DesyncFlow`](crate::DesyncFlow) through every construction stage.
     ///
     /// # Errors
     ///
+    /// * [`DesyncError::InvalidOptions`] when the options fail
+    ///   [`DesyncOptions::validate`].
     /// * [`DesyncError::Netlist`] / [`DesyncError::NoRegisters`] /
     ///   [`DesyncError::AlreadyLatchBased`] when the input netlist is not a
     ///   valid single-clock flip-flop design.
@@ -57,199 +62,7 @@ impl<'a> Desynchronizer<'a> {
     ///   the liveness or safeness check (this indicates an internal error —
     ///   the construction is correct by design for valid inputs).
     pub fn run(&self) -> Result<DesyncDesign, DesyncError> {
-        let options = self.options;
-        // Step 0: cluster the registers.
-        let clusters = ClusterGraph::build(self.netlist, options.clustering);
-        // Step 1: latch conversion (also validates the input netlist).
-        let latch_design = to_desynchronized_datapath(self.netlist, &clusters)?;
-
-        // Step 2: timing analysis and matched delays.
-        let sta = Sta::new(self.netlist, self.library, options.timing);
-        let sync_clock_period_ps = sta.clock_period();
-        let mut matched_delays: HashMap<(usize, usize), MatchedDelay> = HashMap::new();
-        let mut launch_overhead_ps: HashMap<(usize, usize), f64> = HashMap::new();
-        for (src_idx, src) in clusters.clusters.iter().enumerate() {
-            let successors: Vec<usize> = clusters
-                .edges
-                .iter()
-                .filter(|e| e.from == src_idx)
-                .map(|e| e.to)
-                .collect();
-            if successors.is_empty() {
-                continue;
-            }
-            let src_outputs: Vec<_> = src
-                .registers
-                .iter()
-                .map(|&r| self.netlist.cell(r).output)
-                .collect();
-            let arrival = sta.arrival_from(&src_outputs);
-            // Launch overhead: the time from the source slave latch opening
-            // until its output carries the forwarded data item. In the worst
-            // case the master latch captured its data right at its closing
-            // edge, so the item still has to traverse the master latch (one
-            // latch delay plus the wire to the slave) and then the slave
-            // latch itself (one latch delay plus the wire load of its
-            // possibly high fan-out output net).
-            let fanout = self.netlist.fanout_map();
-            let max_fanout = src_outputs
-                .iter()
-                .map(|n| fanout[n.index()])
-                .max()
-                .unwrap_or(1)
-                .max(1);
-            let launch = 2.0 * options.timing.latch_d_to_q_ps
-                + options.timing.wire_delay_per_fanout_ps * (1 + max_fanout) as f64;
-            for dst_idx in successors {
-                let dst = &clusters.clusters[dst_idx];
-                let mut worst = 0.0_f64;
-                for &reg in &dst.registers {
-                    if let Some(d) = self.netlist.cell(reg).data_net() {
-                        if let Some(a) = arrival[d.index()] {
-                            worst = worst.max(a);
-                        }
-                    }
-                }
-                let matched =
-                    MatchedDelay::for_delay(worst, options.matched_delay_margin, self.library);
-                matched_delays.insert((src_idx, dst_idx), matched);
-                launch_overhead_ps.insert((src_idx, dst_idx), launch);
-            }
-        }
-
-        // Step 3a: gate-level controllers and matched-delay chains (the
-        // overhead netlist used for area/power accounting).
-        let mut overhead = Netlist::new(format!("{}_overhead", self.netlist.name()));
-        let mut controllers = Vec::new();
-        for cluster in &clusters.clusters {
-            for parity in [Parity::Even, Parity::Odd] {
-                let ctl = ControllerImpl::generate(
-                    &mut overhead,
-                    &cluster.name,
-                    parity,
-                    options.protocol,
-                    cluster.len(),
-                )?;
-                controllers.push(ctl);
-            }
-        }
-        // One physical delay line per destination cluster, sized for its
-        // worst incoming combinational block (the controller of the
-        // destination combines the requests of all predecessors with a
-        // C-element and delays the combined request once).
-        let mut worst_per_destination: HashMap<usize, MatchedDelay> = HashMap::new();
-        for (&(_, dst), matched) in &matched_delays {
-            let entry = worst_per_destination.entry(dst).or_insert(*matched);
-            if matched.achieved_ps > entry.achieved_ps {
-                *entry = *matched;
-            }
-        }
-        let mut destinations: Vec<usize> = worst_per_destination.keys().copied().collect();
-        destinations.sort_unstable();
-        for dst in destinations {
-            let matched = worst_per_destination[&dst];
-            let prefix = format!("md_{}", clusters.clusters[dst].name);
-            let req = overhead.add_input(format!("{prefix}_req"));
-            let out = matched.instantiate(&mut overhead, &prefix, req)?;
-            overhead.mark_output(out);
-        }
-        overhead.validate().map_err(DesyncError::Netlist)?;
-
-        // Step 3b: the timed marked-graph control model.
-        let model_delays = ModelDelays {
-            controller_ps: options.controller_delay_ps,
-            latch_ps: options.timing.latch_d_to_q_ps,
-            pulse_width_ps: options.timing.latch_d_to_q_ps + options.controller_delay_ps,
-        };
-        let edge_delay_ps: HashMap<(usize, usize), f64> = matched_delays
-            .iter()
-            .map(|(&edge, md)| {
-                let launch = launch_overhead_ps.get(&edge).copied().unwrap_or(0.0);
-                (edge, md.achieved_ps + launch)
-            })
-            .collect();
-        // Environment arcs (the paper's auxiliary arcs): the delay budget for
-        // data travelling from the primary inputs into each input-fed
-        // cluster, and from each output-feeding cluster to the primary
-        // outputs.
-        let environment = if options.environment {
-            let mut spec = EnvironmentSpec::default();
-            let input_arrival = sta.arrival_from(self.netlist.inputs());
-            for (idx, cluster) in clusters.clusters.iter().enumerate() {
-                if !clusters.input_fed[idx] {
-                    continue;
-                }
-                let mut worst = 0.0_f64;
-                for &reg in &cluster.registers {
-                    if let Some(d) = self.netlist.cell(reg).data_net() {
-                        if let Some(a) = input_arrival[d.index()] {
-                            worst = worst.max(a);
-                        }
-                    }
-                }
-                let matched =
-                    MatchedDelay::for_delay(worst, options.matched_delay_margin, self.library);
-                spec.input_delay_ps
-                    .insert(idx, matched.achieved_ps + options.timing.latch_d_to_q_ps);
-            }
-            for (idx, cluster) in clusters.clusters.iter().enumerate() {
-                if !clusters.output_feeding[idx] {
-                    continue;
-                }
-                let outputs: Vec<_> = cluster
-                    .registers
-                    .iter()
-                    .map(|&r| self.netlist.cell(r).output)
-                    .collect();
-                let arrival = sta.arrival_from(&outputs);
-                let worst = self
-                    .netlist
-                    .outputs()
-                    .iter()
-                    .filter_map(|&o| arrival[o.index()])
-                    .fold(0.0, f64::max);
-                let matched =
-                    MatchedDelay::for_delay(worst, options.matched_delay_margin, self.library);
-                spec.output_delay_ps.insert(
-                    idx,
-                    matched.achieved_ps
-                        + 2.0 * options.timing.latch_d_to_q_ps
-                        + options.timing.wire_delay_per_fanout_ps,
-                );
-            }
-            Some(spec)
-        } else {
-            None
-        };
-        let control_model = ControlModel::build_with_environment(
-            &clusters,
-            options.protocol,
-            &edge_delay_ps,
-            environment.as_ref(),
-            model_delays,
-        );
-        if !control_model.is_live() {
-            return Err(DesyncError::ModelCheck(
-                "composed control model is not live".into(),
-            ));
-        }
-        if !control_model.is_safe() {
-            return Err(DesyncError::ModelCheck(
-                "composed control model is not safe".into(),
-            ));
-        }
-
-        Ok(DesyncDesign {
-            original_name: self.netlist.name().to_string(),
-            options,
-            clusters,
-            latch_design,
-            overhead,
-            controllers,
-            matched_delays,
-            control_model,
-            sync_clock_period_ps,
-        })
+        DesyncFlow::new(self.netlist, self.library, self.options)?.design()
     }
 }
 
@@ -286,6 +99,33 @@ pub struct ScheduleBundle {
 }
 
 impl DesyncDesign {
+    /// Assembles a design from the staged pipeline's artifacts (used by
+    /// [`DesyncFlow::design`](crate::DesyncFlow::design)).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        original_name: String,
+        options: DesyncOptions,
+        clusters: ClusterGraph,
+        latch_design: LatchDesign,
+        overhead: Netlist,
+        controllers: Vec<ControllerImpl>,
+        matched_delays: HashMap<(usize, usize), MatchedDelay>,
+        control_model: ControlModel,
+        sync_clock_period_ps: f64,
+    ) -> Self {
+        Self {
+            original_name,
+            options,
+            clusters,
+            latch_design,
+            overhead,
+            controllers,
+            matched_delays,
+            control_model,
+            sync_clock_period_ps,
+        }
+    }
+
     /// Name of the original synchronous netlist.
     pub fn original_name(&self) -> &str {
         &self.original_name
@@ -510,11 +350,23 @@ impl std::fmt::Display for DesyncSummary {
         writeln!(f, "  protocol:            {}", self.protocol)?;
         writeln!(f, "  clusters:            {}", self.clusters)?;
         writeln!(f, "  cluster edges:       {}", self.cluster_edges)?;
-        writeln!(f, "  flip-flops -> latches: {} -> {}", self.flip_flops, self.latches)?;
-        writeln!(f, "  controllers:         {} ({} cells)", self.controllers, self.controller_cells)?;
+        writeln!(
+            f,
+            "  flip-flops -> latches: {} -> {}",
+            self.flip_flops, self.latches
+        )?;
+        writeln!(
+            f,
+            "  controllers:         {} ({} cells)",
+            self.controllers, self.controller_cells
+        )?;
         writeln!(f, "  matched-delay cells: {}", self.matched_delay_cells)?;
         writeln!(f, "  sync clock period:   {:.1} ps", self.sync_period_ps)?;
-        write!(f, "  desync cycle time:   {:.1} ps", self.desync_cycle_time_ps)
+        write!(
+            f,
+            "  desync cycle time:   {:.1} ps",
+            self.desync_cycle_time_ps
+        )
     }
 }
 
@@ -587,7 +439,10 @@ mod tests {
         // between registers, so the controller overhead dominates; the bound
         // here only checks the overhead stays within a small constant factor
         // (the DLX-scale comparison lives in the benchmark harness).
-        assert!(desync > 0.5 * sync && desync < 8.0 * sync, "sync {sync} desync {desync}");
+        assert!(
+            desync > 0.5 * sync && desync < 8.0 * sync,
+            "sync {sync} desync {desync}"
+        );
     }
 
     #[test]
@@ -657,6 +512,9 @@ mod tests {
         };
         let fd = cycle(Protocol::FullyDecoupled);
         let no = cycle(Protocol::NonOverlapping);
-        assert!(fd <= no + 1e-6 * fd.max(1.0), "fully-decoupled {fd} vs non-overlapping {no}");
+        assert!(
+            fd <= no + 1e-6 * fd.max(1.0),
+            "fully-decoupled {fd} vs non-overlapping {no}"
+        );
     }
 }

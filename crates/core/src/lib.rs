@@ -3,29 +3,34 @@
 //!
 //! This crate implements the method of Cortadella, Kondratyev, Lavagno, Lwin
 //! and Sotiriou, *"From synchronous to asynchronous: an automatic approach"*
-//! (DATE 2004). The flow takes an ordinary single-clock, flip-flop based
-//! gate-level netlist and produces a desynchronized design in three steps:
+//! (DATE 2004), as an explicit **staged pipeline**. [`DesyncFlow`] advances
+//! a single-clock flip-flop netlist through five typed stages, each owning
+//! one inspectable artifact:
 //!
-//! 1. **Latch conversion** ([`conversion`]) — every D flip-flop is split
-//!    into a master (even) and a slave (odd) level-sensitive latch.
-//! 2. **Matched delays** (via [`desync_sta`]) — for every combinational
-//!    block between latch clusters a delay line is sized that covers the
-//!    block's worst-case delay plus a margin.
-//! 3. **Controller network** ([`controller`], [`model`]) — each latch
-//!    cluster gets a local clock generator; adjacent controllers are
-//!    connected following the even→odd / odd→even patterns of the paper's
-//!    Figure 4, and the composition forms a marked graph (Figure 2) that is
-//!    live, safe and flow-equivalent to the synchronous circuit.
+//! | stage | artifact | paper step |
+//! |---|---|---|
+//! | [`Stage::Clustered`] | [`ClusterGraph`] | group flip-flops into latch clusters |
+//! | [`Stage::Latched`] | [`LatchDesign`] | split each flip-flop into master/slave latches (Figure 1) |
+//! | [`Stage::Timed`] | [`TimingTable`] | STA + one matched delay per cluster edge |
+//! | [`Stage::Controlled`] | [`ControlNetwork`] | local clock generators + timed marked-graph model (Figures 2/4) |
+//! | [`Stage::Verified`] | [`EquivalenceReport`] | flow-equivalence co-simulation |
 //!
-//! The top-level entry point is [`Desynchronizer`]; the result is a
-//! [`DesyncDesign`] bundling the latch-based datapath, the controller /
-//! matched-delay overhead netlist, the timed marked-graph control model and
-//! verification hooks (liveness, safeness, flow equivalence).
+//! Stages execute lazily, cache their artifacts, and resume from the
+//! earliest invalidated stage when an option changes
+//! ([`DesyncFlow::set_protocol`] re-runs only controller synthesis;
+//! [`DesyncFlow::set_margin`] re-runs delay sizing and controller synthesis;
+//! [`DesyncFlow::set_clustering`] restarts the pipeline). Matched-delay
+//! sizing — the hot path on large cluster graphs — fans out across worker
+//! threads, with results bit-identical to the serial path. Per-stage run
+//! counts and wall times are collected in a [`FlowReport`].
+//!
+//! [`Desynchronizer`] is the one-call convenience wrapper: it advances a
+//! fresh flow end to end and bundles the artifacts into a [`DesyncDesign`].
 //!
 //! # Example
 //!
 //! ```
-//! use desync_core::{Desynchronizer, DesyncOptions};
+//! use desync_core::{DesyncFlow, DesyncOptions, Protocol, Stage};
 //! use desync_netlist::{CellKind, CellLibrary, Netlist};
 //!
 //! # fn main() -> Result<(), desync_core::DesyncError> {
@@ -41,10 +46,21 @@
 //! n.add_dff("r1", w, clk, q1).unwrap();
 //!
 //! let library = CellLibrary::generic_90nm();
-//! let design = Desynchronizer::new(&n, &library, DesyncOptions::default()).run()?;
-//! assert!(design.control_model().is_live());
-//! assert!(design.control_model().is_safe());
-//! assert!(design.cycle_time_ps() > 0.0);
+//! let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default())?;
+//!
+//! // Inspect any intermediate artifact; predecessors run on demand.
+//! assert_eq!(flow.clustered()?.len(), 2);
+//! assert!(flow.timed()?.matched_delays.len() > 0);
+//! assert!(flow.controlled()?.model.is_live());
+//!
+//! // Sweep a knob: only the controller stage re-runs.
+//! for &protocol in Protocol::all() {
+//!     flow.set_protocol(protocol)?;
+//!     let design = flow.design()?;
+//!     assert!(design.cycle_time_ps() > 0.0);
+//! }
+//! assert_eq!(flow.stage_runs(Stage::Clustered), 1);
+//! assert_eq!(flow.stage_runs(Stage::Timed), 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -59,13 +75,15 @@ pub mod error;
 pub mod flow;
 pub mod model;
 pub mod options;
+pub mod pipeline;
 pub mod verify;
 
 pub use cluster::{Cluster, ClusterEdge, ClusterGraph, Parity};
 pub use controller::{ControllerImpl, Protocol};
 pub use conversion::{LatchDesign, LatchPair};
-pub use error::DesyncError;
+pub use error::{DesyncError, OptionsError};
 pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
 pub use model::ControlModel;
 pub use options::{ClusteringStrategy, DesyncOptions};
-pub use verify::{EquivalenceReport, verify_flow_equivalence};
+pub use pipeline::{ControlNetwork, DesyncFlow, FlowReport, Stage, StageReport, TimingTable};
+pub use verify::{verify_flow_equivalence, EquivalenceReport};

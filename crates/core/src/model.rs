@@ -127,9 +127,9 @@ impl ControlModel {
         let mut graph = MarkedGraph::new();
         let mut controllers = Vec::with_capacity(clusters.len() * 2 + 2);
         let make_controller_pair = |graph: &mut MarkedGraph,
-                                        controllers: &mut Vec<ControllerRef>,
-                                        idx: usize,
-                                        name: &str| {
+                                    controllers: &mut Vec<ControllerRef>,
+                                    idx: usize,
+                                    name: &str| {
             for parity in [Parity::Even, Parity::Odd] {
                 let signal = format!("{}_{}", name, parity.suffix());
                 let rise = graph.add_transition(format!("{signal}+"));
@@ -175,10 +175,10 @@ impl ControlModel {
 
         // Pairwise patterns.
         let add_pair = |graph: &mut MarkedGraph,
-                            src: &ControllerRef,
-                            dst: &ControllerRef,
-                            forward_delay: f64,
-                            arcs: &[(PairEvent, PairEvent)]| {
+                        src: &ControllerRef,
+                        dst: &ControllerRef,
+                        forward_delay: f64,
+                        arcs: &[(PairEvent, PairEvent)]| {
             for &(from, to) in arcs {
                 let (from_ctrl, from_rise) = match from {
                     PairEvent::SrcRise => (src, true),
@@ -192,12 +192,7 @@ impl ControlModel {
                     PairEvent::DstRise => (dst, true),
                     PairEvent::DstFall => (dst, false),
                 };
-                let tokens = initial_tokens(
-                    from_ctrl.parity,
-                    from_rise,
-                    to_ctrl.parity,
-                    to_rise,
-                );
+                let tokens = initial_tokens(from_ctrl.parity, from_rise, to_ctrl.parity, to_rise);
                 // The data-carrying arc src+ -> dst- gets the forward delay;
                 // every other (acknowledge) arc gets the controller delay.
                 let delay = if from == PairEvent::SrcRise && to == PairEvent::DstFall {
@@ -205,7 +200,11 @@ impl ControlModel {
                 } else {
                     delays.controller_ps
                 };
-                let from_t = if from_rise { from_ctrl.rise } else { from_ctrl.fall };
+                let from_t = if from_rise {
+                    from_ctrl.rise
+                } else {
+                    from_ctrl.fall
+                };
                 let to_t = if to_rise { to_ctrl.rise } else { to_ctrl.fall };
                 // Avoid duplicating an identical place (e.g. self-loop edges).
                 if graph
@@ -434,23 +433,14 @@ mod tests {
                     registers: vec![CellId(i as u32)],
                 })
                 .collect(),
-            edges: (1..n)
-                .map(|i| ClusterEdge {
-                    from: i - 1,
-                    to: i,
-                })
-                .collect(),
+            edges: (1..n).map(|i| ClusterEdge { from: i - 1, to: i }).collect(),
             input_fed: (0..n).map(|i| i == 0).collect(),
             output_feeding: (0..n).map(|i| i == n - 1).collect(),
         }
     }
 
     fn uniform_delays(clusters: &ClusterGraph, d: f64) -> HashMap<(usize, usize), f64> {
-        clusters
-            .edges
-            .iter()
-            .map(|e| ((e.from, e.to), d))
-            .collect()
+        clusters.edges.iter().map(|e| ((e.from, e.to), d)).collect()
     }
 
     #[test]

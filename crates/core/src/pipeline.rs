@@ -1,0 +1,1283 @@
+//! The staged desynchronization pipeline.
+//!
+//! [`DesyncFlow`] decomposes the flow of the paper into five explicit,
+//! individually inspectable stages:
+//!
+//! | stage | artifact | produced by |
+//! |---|---|---|
+//! | [`Stage::Clustered`] | [`ClusterGraph`] | flip-flop clustering |
+//! | [`Stage::Latched`] | [`LatchDesign`] | master/slave latch conversion |
+//! | [`Stage::Timed`] | [`TimingTable`] | STA + matched-delay sizing |
+//! | [`Stage::Controlled`] | [`ControlNetwork`] | controller synthesis + timed marked-graph model |
+//! | [`Stage::Verified`] | [`EquivalenceReport`] | gate-level co-simulation |
+//!
+//! Stages are computed lazily and cached: asking for a stage's artifact
+//! ([`DesyncFlow::clustered`], [`DesyncFlow::timed`], …) runs every missing
+//! predecessor exactly once. Changing an option mid-flow
+//! ([`DesyncFlow::set_protocol`], [`DesyncFlow::set_margin`], …) drops only
+//! the artifacts the change invalidates, so a protocol sweep re-runs
+//! controller synthesis per protocol while clustering, latch conversion and
+//! delay sizing are computed once. Matched-delay sizing — the hot path on
+//! large cluster graphs — fans out across worker threads; the result is
+//! bit-identical to the serial path because every cluster edge is sized
+//! independently.
+//!
+//! [`DesyncFlow::report`] returns a [`FlowReport`] with per-stage run counts
+//! and wall times, which the bench crate uses to attribute cost to stages.
+
+use crate::cluster::{ClusterGraph, Parity};
+use crate::controller::ControllerImpl;
+use crate::conversion::{to_desynchronized_datapath, LatchDesign};
+use crate::error::DesyncError;
+use crate::flow::DesyncDesign;
+use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
+use crate::options::DesyncOptions;
+use crate::verify::{verify_flow_equivalence, EquivalenceReport};
+use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::VectorSource;
+use desync_sta::{MatchedDelay, Sta, TimingConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The five stages of the desynchronization pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Flip-flops grouped into latch clusters ([`ClusterGraph`]).
+    Clustered,
+    /// Flip-flops split into master/slave latch pairs ([`LatchDesign`]).
+    Latched,
+    /// STA run and one matched delay sized per cluster edge
+    /// ([`TimingTable`]).
+    Timed,
+    /// Handshake controllers generated and the timed marked-graph model
+    /// composed and checked ([`ControlNetwork`]).
+    Controlled,
+    /// Flow equivalence against the synchronous reference established by
+    /// gate-level co-simulation ([`EquivalenceReport`]).
+    Verified,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Clustered,
+        Stage::Latched,
+        Stage::Timed,
+        Stage::Controlled,
+        Stage::Verified,
+    ];
+
+    /// Position of the stage in the pipeline (0-based).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Clustered => 0,
+            Stage::Latched => 1,
+            Stage::Timed => 2,
+            Stage::Controlled => 3,
+            Stage::Verified => 4,
+        }
+    }
+
+    /// Short lower-case stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Clustered => "clustered",
+            Stage::Latched => "latched",
+            Stage::Timed => "timed",
+            Stage::Controlled => "controlled",
+            Stage::Verified => "verified",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The artifact of [`Stage::Timed`]: the synchronous clock period and one
+/// sized matched delay (plus launch overhead) per cluster edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingTable {
+    /// Minimum clock period of the synchronous baseline (from STA), ps.
+    pub sync_clock_period_ps: f64,
+    /// Matched delay sized for each cluster edge `(from, to)`.
+    pub matched_delays: HashMap<(usize, usize), MatchedDelay>,
+    /// Per cluster edge: the time from the source slave latch opening until
+    /// its output carries the forwarded data item, ps.
+    pub launch_overhead_ps: HashMap<(usize, usize), f64>,
+    /// Delay budgets of the environment arcs. Always computed; whether the
+    /// control model actually includes the environment controller pair is
+    /// decided by the `environment` option at the [`Stage::Controlled`]
+    /// transition, so toggling that knob does not re-run timing.
+    pub environment: EnvironmentSpec,
+}
+
+impl TimingTable {
+    /// Total delay cells across all matched-delay lines.
+    pub fn total_delay_cells(&self) -> usize {
+        self.matched_delays.values().map(|m| m.num_cells).sum()
+    }
+
+    /// The per-edge forward-arc delay budget handed to the control model:
+    /// matched delay plus launch overhead.
+    pub fn edge_delay_ps(&self) -> HashMap<(usize, usize), f64> {
+        self.matched_delays
+            .iter()
+            .map(|(&edge, md)| {
+                let launch = self.launch_overhead_ps.get(&edge).copied().unwrap_or(0.0);
+                (edge, md.achieved_ps + launch)
+            })
+            .collect()
+    }
+}
+
+/// The artifact of [`Stage::Controlled`]: the gate-level controller /
+/// matched-delay overhead netlist and the timed marked-graph control model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlNetwork {
+    /// Overhead netlist: handshake controllers (`ctl_*`) and matched delay
+    /// lines (`md_*`), for area/power accounting.
+    pub overhead: Netlist,
+    /// The generated controllers (two per cluster).
+    pub controllers: Vec<ControllerImpl>,
+    /// The composed, timed marked-graph model (live and safe by
+    /// construction; both are re-checked when the stage runs).
+    pub model: ControlModel,
+}
+
+impl ControlNetwork {
+    /// Total cells across all controllers.
+    pub fn controller_cells(&self) -> usize {
+        self.controllers.iter().map(ControllerImpl::num_cells).sum()
+    }
+}
+
+/// Per-stage execution statistics of one [`DesyncFlow`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// The stage.
+    pub stage: Stage,
+    /// How many times the stage has executed over the flow's lifetime
+    /// (greater than one after option changes invalidated it).
+    pub runs: usize,
+    /// Wall time of the most recent execution.
+    pub last_wall: Duration,
+    /// Wall time summed over all executions.
+    pub total_wall: Duration,
+    /// Whether the stage's artifact is currently cached (not invalidated).
+    pub cached: bool,
+}
+
+/// Execution statistics and headline artifact numbers of a [`DesyncFlow`],
+/// for benchmark logs and reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Name of the netlist under desynchronization.
+    pub netlist: String,
+    /// One entry per stage, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Number of clusters, once [`Stage::Clustered`] has run.
+    pub clusters: Option<usize>,
+    /// Number of cluster edges, once [`Stage::Clustered`] has run.
+    pub cluster_edges: Option<usize>,
+    /// Latches in the converted datapath, once [`Stage::Latched`] has run.
+    pub latches: Option<usize>,
+    /// Total matched-delay cells, once [`Stage::Timed`] has run.
+    pub matched_delay_cells: Option<usize>,
+    /// Synchronous clock period (ps), once [`Stage::Timed`] has run.
+    pub sync_period_ps: Option<f64>,
+    /// Desynchronized cycle time (ps), once [`Stage::Controlled`] has run.
+    pub cycle_time_ps: Option<f64>,
+    /// Flow-equivalence verdict, once [`Stage::Verified`] has run.
+    pub flow_equivalent: Option<bool>,
+}
+
+impl FlowReport {
+    /// Wall time summed over every stage execution of the flow's lifetime.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.total_wall).sum()
+    }
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flow report for `{}`", self.netlist)?;
+        writeln!(
+            f,
+            "  {:<12} {:>5} {:>12} {:>12}  artifact",
+            "stage", "runs", "last [us]", "total [us]"
+        )?;
+        for s in &self.stages {
+            let artifact = match s.stage {
+                Stage::Clustered => match (self.clusters, self.cluster_edges) {
+                    (Some(c), Some(e)) => format!("{c} clusters, {e} edges"),
+                    _ => "—".into(),
+                },
+                Stage::Latched => self
+                    .latches
+                    .map(|l| format!("{l} latches"))
+                    .unwrap_or_else(|| "—".into()),
+                Stage::Timed => match (self.matched_delay_cells, self.sync_period_ps) {
+                    (Some(c), Some(p)) => format!("{c} delay cells, sync period {p:.1} ps"),
+                    _ => "—".into(),
+                },
+                Stage::Controlled => self
+                    .cycle_time_ps
+                    .map(|c| format!("cycle time {c:.1} ps"))
+                    .unwrap_or_else(|| "—".into()),
+                Stage::Verified => self
+                    .flow_equivalent
+                    .map(|eq| format!("flow equivalent: {eq}"))
+                    .unwrap_or_else(|| "—".into()),
+            };
+            let stale = if s.cached || s.runs == 0 {
+                ""
+            } else {
+                " (stale)"
+            };
+            writeln!(
+                f,
+                "  {:<12} {:>5} {:>12} {:>12}  {}{}",
+                s.stage.name(),
+                s.runs,
+                s.last_wall.as_micros(),
+                s.total_wall.as_micros(),
+                artifact,
+                stale,
+            )?;
+        }
+        write!(f, "  total wall time: {} us", self.total_wall().as_micros())
+    }
+}
+
+/// The staged desynchronization pipeline, bound to one netlist and library.
+///
+/// See the [module documentation](self) for the stage/artifact table. The
+/// one-call convenience wrapper is
+/// [`Desynchronizer`](crate::Desynchronizer), which is equivalent to
+/// creating a flow and immediately asking for [`DesyncFlow::design`].
+///
+/// # Example
+///
+/// ```
+/// use desync_core::{DesyncFlow, DesyncOptions, Protocol};
+/// use desync_netlist::{CellKind, CellLibrary, Netlist};
+///
+/// # fn main() -> Result<(), desync_core::DesyncError> {
+/// let mut n = Netlist::new("pipe");
+/// let clk = n.add_input("clk");
+/// let a = n.add_input("a");
+/// let q0 = n.add_net("q0");
+/// let w = n.add_net("w");
+/// let q1 = n.add_output("q1");
+/// n.add_dff("r0", a, clk, q0).unwrap();
+/// n.add_gate("g0", CellKind::Not, &[q0], w).unwrap();
+/// n.add_dff("r1", w, clk, q1).unwrap();
+/// let library = CellLibrary::generic_90nm();
+///
+/// let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default())?;
+/// // Inspect intermediate artifacts stage by stage.
+/// assert_eq!(flow.clustered()?.len(), 2);
+/// assert!(flow.timed()?.sync_clock_period_ps > 0.0);
+/// // Changing the protocol re-runs only controller synthesis.
+/// flow.set_protocol(Protocol::NonOverlapping)?;
+/// let design = flow.design()?;
+/// assert!(design.control_model().is_live());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesyncFlow<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    options: DesyncOptions,
+    stimulus: Option<VectorSource>,
+    verify_cycles: usize,
+    clustered: Option<ClusterGraph>,
+    latched: Option<LatchDesign>,
+    timed: Option<TimingTable>,
+    controlled: Option<ControlNetwork>,
+    assembled: Option<DesyncDesign>,
+    verified: Option<EquivalenceReport>,
+    runs: [usize; 5],
+    last_wall: [Duration; 5],
+    total_wall: [Duration; 5],
+}
+
+impl<'a> DesyncFlow<'a> {
+    /// Default number of captures compared by [`DesyncFlow::verified`] when
+    /// [`DesyncFlow::set_verification`] was not called.
+    pub const DEFAULT_VERIFY_CYCLES: usize = 16;
+
+    /// Creates a flow over `netlist` with validated `options`.
+    ///
+    /// No stage runs yet; stages execute lazily on first access.
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::InvalidOptions`] when a knob fails
+    /// [`DesyncOptions::validate`].
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+    ) -> Result<Self, DesyncError> {
+        options.validate()?;
+        Ok(Self {
+            netlist,
+            library,
+            options,
+            stimulus: None,
+            verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
+            clustered: None,
+            latched: None,
+            timed: None,
+            controlled: None,
+            assembled: None,
+            verified: None,
+            runs: [0; 5],
+            last_wall: [Duration::ZERO; 5],
+            total_wall: [Duration::ZERO; 5],
+        })
+    }
+
+    /// The netlist under desynchronization.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The cell library in use.
+    pub fn library(&self) -> &'a CellLibrary {
+        self.library
+    }
+
+    /// The options currently in effect.
+    pub fn options(&self) -> &DesyncOptions {
+        &self.options
+    }
+
+    // ---- option changes and invalidation --------------------------------
+
+    /// Replaces the whole option set, invalidating exactly the stages whose
+    /// inputs changed (see the table on [`DesyncOptions`]). Cached artifacts
+    /// of earlier stages survive and are reused on the next access.
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::InvalidOptions`] when the new options fail
+    /// [`DesyncOptions::validate`]; the flow keeps its previous options and
+    /// artifacts in that case.
+    pub fn set_options(&mut self, options: DesyncOptions) -> Result<&mut Self, DesyncError> {
+        options.validate()?;
+        if let Some(stage) = earliest_invalidated(&self.options, &options) {
+            self.invalidate_from(stage);
+        }
+        self.options = options;
+        Ok(self)
+    }
+
+    /// Changes the clustering strategy (invalidates from
+    /// [`Stage::Clustered`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`DesyncFlow::set_options`].
+    pub fn set_clustering(
+        &mut self,
+        clustering: crate::options::ClusteringStrategy,
+    ) -> Result<&mut Self, DesyncError> {
+        self.set_options(self.options.with_clustering(clustering))
+    }
+
+    /// Changes the matched-delay margin (invalidates from [`Stage::Timed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`DesyncFlow::set_options`].
+    pub fn set_margin(&mut self, margin: f64) -> Result<&mut Self, DesyncError> {
+        self.set_options(self.options.with_margin(margin))
+    }
+
+    /// Changes the handshake protocol (invalidates from
+    /// [`Stage::Controlled`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`DesyncFlow::set_options`].
+    pub fn set_protocol(
+        &mut self,
+        protocol: crate::controller::Protocol,
+    ) -> Result<&mut Self, DesyncError> {
+        self.set_options(self.options.with_protocol(protocol))
+    }
+
+    /// Enables or disables the explicit environment model (invalidates from
+    /// [`Stage::Controlled`] — the environment delay budgets are always
+    /// computed by the timing stage; the knob only controls whether the
+    /// control model includes the environment controller pair).
+    ///
+    /// # Errors
+    ///
+    /// See [`DesyncFlow::set_options`].
+    pub fn set_environment(&mut self, environment: bool) -> Result<&mut Self, DesyncError> {
+        self.set_options(self.options.with_environment(environment))
+    }
+
+    /// Changes the timing parameters (invalidates from [`Stage::Timed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`DesyncFlow::set_options`].
+    pub fn set_timing(&mut self, timing: TimingConfig) -> Result<&mut Self, DesyncError> {
+        self.set_options(self.options.with_timing(timing))
+    }
+
+    /// Sets the stimulus and capture count used by [`DesyncFlow::verified`]
+    /// (invalidates only [`Stage::Verified`]).
+    ///
+    /// Required before [`DesyncFlow::verified`] on any netlist with data
+    /// inputs; self-stimulating circuits (clock as the only input, like
+    /// counters) may skip it.
+    pub fn set_verification(&mut self, stimulus: VectorSource, cycles: usize) -> &mut Self {
+        self.stimulus = Some(stimulus);
+        self.verify_cycles = cycles;
+        self.invalidate_from(Stage::Verified);
+        self
+    }
+
+    /// Drops the cached artifacts of `stage` and every later stage; they are
+    /// recomputed on next access.
+    pub fn invalidate_from(&mut self, stage: Stage) {
+        if stage <= Stage::Clustered {
+            self.clustered = None;
+        }
+        if stage <= Stage::Latched {
+            self.latched = None;
+        }
+        if stage <= Stage::Timed {
+            self.timed = None;
+        }
+        if stage <= Stage::Controlled {
+            self.controlled = None;
+            self.assembled = None;
+        }
+        self.verified = None;
+    }
+
+    /// The deepest stage whose artifact is currently cached, or `None`
+    /// before any stage has run.
+    pub fn computed_through(&self) -> Option<Stage> {
+        if self.verified.is_some() {
+            Some(Stage::Verified)
+        } else if self.controlled.is_some() {
+            Some(Stage::Controlled)
+        } else if self.timed.is_some() {
+            Some(Stage::Timed)
+        } else if self.latched.is_some() {
+            Some(Stage::Latched)
+        } else if self.clustered.is_some() {
+            Some(Stage::Clustered)
+        } else {
+            None
+        }
+    }
+
+    /// How many times `stage` has executed over the flow's lifetime.
+    pub fn stage_runs(&self, stage: Stage) -> usize {
+        self.runs[stage.index()]
+    }
+
+    // ---- stage accessors ------------------------------------------------
+
+    /// The cluster graph, running [`Stage::Clustered`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// This stage itself cannot fail; the `Result` keeps the accessor
+    /// signatures uniform across stages.
+    pub fn clustered(&mut self) -> Result<&ClusterGraph, DesyncError> {
+        if self.clustered.is_none() {
+            let started = Instant::now();
+            let graph = ClusterGraph::build(self.netlist, self.options.clustering);
+            self.record(Stage::Clustered, started);
+            self.clustered = Some(graph);
+        }
+        Ok(self.clustered.as_ref().expect("just computed"))
+    }
+
+    /// The latch-converted datapath, running stages through
+    /// [`Stage::Latched`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::Netlist`] / [`DesyncError::NoRegisters`] /
+    /// [`DesyncError::AlreadyLatchBased`] when the input netlist is not a
+    /// valid single-clock flip-flop design.
+    pub fn latched(&mut self) -> Result<&LatchDesign, DesyncError> {
+        if self.latched.is_none() {
+            self.clustered()?;
+            let clusters = self.clustered.as_ref().expect("clustered stage ran");
+            let started = Instant::now();
+            let design = to_desynchronized_datapath(self.netlist, clusters)?;
+            self.record(Stage::Latched, started);
+            self.latched = Some(design);
+        }
+        Ok(self.latched.as_ref().expect("just computed"))
+    }
+
+    /// The timing table, running stages through [`Stage::Timed`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DesyncFlow::latched`].
+    pub fn timed(&mut self) -> Result<&TimingTable, DesyncError> {
+        if self.timed.is_none() {
+            self.latched()?;
+            let clusters = self.clustered.as_ref().expect("clustered stage ran");
+            let started = Instant::now();
+            let table = compute_timing(self.netlist, self.library, clusters, &self.options);
+            self.record(Stage::Timed, started);
+            self.timed = Some(table);
+        }
+        Ok(self.timed.as_ref().expect("just computed"))
+    }
+
+    /// The controller network and control model, running stages through
+    /// [`Stage::Controlled`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Earlier-stage errors, plus [`DesyncError::ModelCheck`] when the
+    /// composed model fails the liveness or safeness check (an internal
+    /// error — the construction is correct by design for valid inputs).
+    pub fn controlled(&mut self) -> Result<&ControlNetwork, DesyncError> {
+        if self.controlled.is_none() {
+            self.timed()?;
+            let clusters = self.clustered.as_ref().expect("clustered stage ran");
+            let timing = self.timed.as_ref().expect("timed stage ran");
+            let started = Instant::now();
+            let network = build_control_network(self.netlist, clusters, timing, &self.options)?;
+            self.record(Stage::Controlled, started);
+            self.controlled = Some(network);
+        }
+        Ok(self.controlled.as_ref().expect("just computed"))
+    }
+
+    /// The flow-equivalence report, running stages through
+    /// [`Stage::Verified`] if needed.
+    ///
+    /// Uses the stimulus and capture count from
+    /// [`DesyncFlow::set_verification`]. A netlist whose only primary input
+    /// is the clock (a counter, an LFSR) may skip `set_verification`; it is
+    /// then checked over [`DesyncFlow::DEFAULT_VERIFY_CYCLES`] captures with
+    /// no input vectors.
+    ///
+    /// # Errors
+    ///
+    /// Earlier-stage errors, plus:
+    ///
+    /// * [`DesyncError::MissingStimulus`] when the netlist has data inputs
+    ///   but no stimulus was configured — without input vectors the
+    ///   equivalence check would pass vacuously.
+    /// * [`DesyncError::Netlist`] when the co-simulation testbench rejects
+    ///   the netlist.
+    pub fn verified(&mut self) -> Result<&EquivalenceReport, DesyncError> {
+        if self.verified.is_none() {
+            self.ensure_assembled()?;
+            if self.stimulus.is_none() {
+                let clock = self.netlist.single_clock().ok();
+                let has_data_inputs = self.netlist.inputs().iter().any(|&n| Some(n) != clock);
+                if has_data_inputs {
+                    return Err(DesyncError::MissingStimulus);
+                }
+            }
+            let stimulus = self
+                .stimulus
+                .clone()
+                .unwrap_or_else(|| VectorSource::constant(vec![]));
+            let design = self.assembled.as_ref().expect("assembled above");
+            let started = Instant::now();
+            let report = verify_flow_equivalence(
+                self.netlist,
+                design,
+                self.library,
+                &stimulus,
+                self.verify_cycles,
+            )?;
+            self.record(Stage::Verified, started);
+            self.verified = Some(report);
+        }
+        Ok(self.verified.as_ref().expect("just computed"))
+    }
+
+    /// Assembles a [`DesyncDesign`] from the cached artifacts, running
+    /// stages through [`Stage::Controlled`] if needed.
+    ///
+    /// The result is identical to what
+    /// [`Desynchronizer::run`](crate::Desynchronizer::run) returns for the
+    /// same netlist, library and options. The assembled design is cached
+    /// (and invalidated together with [`Stage::Controlled`]), so this method
+    /// performs one clone per call; use [`DesyncFlow::designed`] when a
+    /// reference is enough.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DesyncFlow::controlled`].
+    pub fn design(&mut self) -> Result<DesyncDesign, DesyncError> {
+        self.ensure_assembled()?;
+        Ok(self.assembled.clone().expect("just assembled"))
+    }
+
+    /// Borrows the assembled [`DesyncDesign`] without cloning it, running
+    /// stages through [`Stage::Controlled`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DesyncFlow::controlled`].
+    pub fn designed(&mut self) -> Result<&DesyncDesign, DesyncError> {
+        self.ensure_assembled()?;
+        Ok(self.assembled.as_ref().expect("just assembled"))
+    }
+
+    fn ensure_assembled(&mut self) -> Result<(), DesyncError> {
+        if self.assembled.is_some() {
+            return Ok(());
+        }
+        self.controlled()?;
+        let clusters = self.clustered.as_ref().expect("clustered stage ran");
+        let latched = self.latched.as_ref().expect("latched stage ran");
+        let timing = self.timed.as_ref().expect("timed stage ran");
+        let network = self.controlled.as_ref().expect("controlled stage ran");
+        self.assembled = Some(DesyncDesign::from_parts(
+            self.netlist.name().to_string(),
+            self.options,
+            clusters.clone(),
+            latched.clone(),
+            network.overhead.clone(),
+            network.controllers.clone(),
+            timing.matched_delays.clone(),
+            network.model.clone(),
+            timing.sync_clock_period_ps,
+        ));
+        Ok(())
+    }
+
+    /// Per-stage execution statistics and headline artifact numbers.
+    pub fn report(&self) -> FlowReport {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&stage| StageReport {
+                stage,
+                runs: self.runs[stage.index()],
+                last_wall: self.last_wall[stage.index()],
+                total_wall: self.total_wall[stage.index()],
+                cached: match stage {
+                    Stage::Clustered => self.clustered.is_some(),
+                    Stage::Latched => self.latched.is_some(),
+                    Stage::Timed => self.timed.is_some(),
+                    Stage::Controlled => self.controlled.is_some(),
+                    Stage::Verified => self.verified.is_some(),
+                },
+            })
+            .collect();
+        FlowReport {
+            netlist: self.netlist.name().to_string(),
+            stages,
+            clusters: self.clustered.as_ref().map(ClusterGraph::len),
+            cluster_edges: self.clustered.as_ref().map(|c| c.edges.len()),
+            latches: self.latched.as_ref().map(|l| l.netlist.num_latches()),
+            matched_delay_cells: self.timed.as_ref().map(TimingTable::total_delay_cells),
+            sync_period_ps: self.timed.as_ref().map(|t| t.sync_clock_period_ps),
+            cycle_time_ps: self.controlled.as_ref().map(|c| c.model.cycle_time_ps()),
+            flow_equivalent: self.verified.as_ref().map(EquivalenceReport::is_equivalent),
+        }
+    }
+
+    fn record(&mut self, stage: Stage, started: Instant) {
+        let elapsed = started.elapsed();
+        let i = stage.index();
+        self.runs[i] += 1;
+        self.last_wall[i] = elapsed;
+        self.total_wall[i] += elapsed;
+    }
+}
+
+/// The earliest stage whose inputs differ between two option sets.
+fn earliest_invalidated(old: &DesyncOptions, new: &DesyncOptions) -> Option<Stage> {
+    if old.clustering != new.clustering {
+        Some(Stage::Clustered)
+    } else if old.timing != new.timing || old.matched_delay_margin != new.matched_delay_margin {
+        Some(Stage::Timed)
+    } else if old.protocol != new.protocol
+        || old.controller_delay_ps != new.controller_delay_ps
+        || old.environment != new.environment
+    {
+        Some(Stage::Controlled)
+    } else {
+        None
+    }
+}
+
+// ---- Stage::Timed ------------------------------------------------------
+
+/// Sizing job for one source cluster: every outgoing edge shares the
+/// source's arrival-time computation.
+fn size_source_cluster(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    sta: &Sta<'_>,
+    clusters: &ClusterGraph,
+    fanout: &[usize],
+    options: &DesyncOptions,
+    src_idx: usize,
+) -> Vec<((usize, usize), MatchedDelay, f64)> {
+    let successors: Vec<usize> = clusters
+        .edges
+        .iter()
+        .filter(|e| e.from == src_idx)
+        .map(|e| e.to)
+        .collect();
+    if successors.is_empty() {
+        return Vec::new();
+    }
+    let src = &clusters.clusters[src_idx];
+    let src_outputs: Vec<_> = src
+        .registers
+        .iter()
+        .map(|&r| netlist.cell(r).output)
+        .collect();
+    let arrival = sta.arrival_from(&src_outputs);
+    // Launch overhead: the time from the source slave latch opening until
+    // its output carries the forwarded data item. In the worst case the
+    // master latch captured its data right at its closing edge, so the item
+    // still has to traverse the master latch (one latch delay plus the wire
+    // to the slave) and then the slave latch itself (one latch delay plus
+    // the wire load of its possibly high fan-out output net).
+    let max_fanout = src_outputs
+        .iter()
+        .map(|n| fanout[n.index()])
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let launch = 2.0 * options.timing.latch_d_to_q_ps
+        + options.timing.wire_delay_per_fanout_ps * (1 + max_fanout) as f64;
+    successors
+        .into_iter()
+        .map(|dst_idx| {
+            let dst = &clusters.clusters[dst_idx];
+            let mut worst = 0.0_f64;
+            for &reg in &dst.registers {
+                if let Some(d) = netlist.cell(reg).data_net() {
+                    if let Some(a) = arrival[d.index()] {
+                        worst = worst.max(a);
+                    }
+                }
+            }
+            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
+            ((src_idx, dst_idx), matched, launch)
+        })
+        .collect()
+}
+
+fn compute_timing(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    clusters: &ClusterGraph,
+    options: &DesyncOptions,
+) -> TimingTable {
+    let sta = Sta::new(netlist, library, options.timing);
+    let sync_clock_period_ps = sta.clock_period();
+    let fanout = netlist.fanout_map();
+
+    let sources: Vec<usize> = (0..clusters.len()).collect();
+    let size_one = |src_idx: usize| {
+        size_source_cluster(netlist, library, &sta, clusters, &fanout, options, src_idx)
+    };
+    let sized: Vec<((usize, usize), MatchedDelay, f64)> =
+        if options.parallel_sizing && sources.len() > 1 {
+            // Fan the per-source jobs out over worker threads. Each edge is
+            // sized independently from read-only inputs, so the merged result
+            // is bit-identical to the serial path regardless of scheduling.
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(sources.len());
+            let chunk_size = sources.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let size_one = &size_one;
+                let handles: Vec<_> = sources
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .flat_map(|&src| size_one(src))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("matched-delay sizing worker panicked"))
+                    .collect()
+            })
+        } else {
+            sources.into_iter().flat_map(size_one).collect()
+        };
+
+    let mut matched_delays = HashMap::with_capacity(sized.len());
+    let mut launch_overhead_ps = HashMap::with_capacity(sized.len());
+    for (edge, matched, launch) in sized {
+        matched_delays.insert(edge, matched);
+        launch_overhead_ps.insert(edge, launch);
+    }
+
+    // Environment arcs (the paper's auxiliary arcs): the delay budget for
+    // data travelling from the primary inputs into each input-fed cluster,
+    // and from each output-feeding cluster to the primary outputs. Computed
+    // unconditionally so toggling `options.environment` (consumed at the
+    // Controlled transition) never invalidates this stage.
+    let environment = {
+        let mut spec = EnvironmentSpec::default();
+        let input_arrival = sta.arrival_from(netlist.inputs());
+        for (idx, cluster) in clusters.clusters.iter().enumerate() {
+            if !clusters.input_fed[idx] {
+                continue;
+            }
+            let mut worst = 0.0_f64;
+            for &reg in &cluster.registers {
+                if let Some(d) = netlist.cell(reg).data_net() {
+                    if let Some(a) = input_arrival[d.index()] {
+                        worst = worst.max(a);
+                    }
+                }
+            }
+            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
+            spec.input_delay_ps
+                .insert(idx, matched.achieved_ps + options.timing.latch_d_to_q_ps);
+        }
+        for (idx, cluster) in clusters.clusters.iter().enumerate() {
+            if !clusters.output_feeding[idx] {
+                continue;
+            }
+            let outputs: Vec<_> = cluster
+                .registers
+                .iter()
+                .map(|&r| netlist.cell(r).output)
+                .collect();
+            let arrival = sta.arrival_from(&outputs);
+            let worst = netlist
+                .outputs()
+                .iter()
+                .filter_map(|&o| arrival[o.index()])
+                .fold(0.0, f64::max);
+            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
+            spec.output_delay_ps.insert(
+                idx,
+                matched.achieved_ps
+                    + 2.0 * options.timing.latch_d_to_q_ps
+                    + options.timing.wire_delay_per_fanout_ps,
+            );
+        }
+        spec
+    };
+
+    TimingTable {
+        sync_clock_period_ps,
+        matched_delays,
+        launch_overhead_ps,
+        environment,
+    }
+}
+
+// ---- Stage::Controlled -------------------------------------------------
+
+fn build_control_network(
+    netlist: &Netlist,
+    clusters: &ClusterGraph,
+    timing: &TimingTable,
+    options: &DesyncOptions,
+) -> Result<ControlNetwork, DesyncError> {
+    // Gate-level controllers and matched-delay chains (the overhead netlist
+    // used for area/power accounting).
+    let mut overhead = Netlist::new(format!("{}_overhead", netlist.name()));
+    let mut controllers = Vec::new();
+    for cluster in &clusters.clusters {
+        for parity in [Parity::Even, Parity::Odd] {
+            let ctl = ControllerImpl::generate(
+                &mut overhead,
+                &cluster.name,
+                parity,
+                options.protocol,
+                cluster.len(),
+            )?;
+            controllers.push(ctl);
+        }
+    }
+    // One physical delay line per destination cluster, sized for its worst
+    // incoming combinational block (the controller of the destination
+    // combines the requests of all predecessors with a C-element and delays
+    // the combined request once).
+    let mut worst_per_destination: HashMap<usize, MatchedDelay> = HashMap::new();
+    for (&(_, dst), matched) in &timing.matched_delays {
+        let entry = worst_per_destination.entry(dst).or_insert(*matched);
+        if matched.achieved_ps > entry.achieved_ps {
+            *entry = *matched;
+        }
+    }
+    let mut destinations: Vec<usize> = worst_per_destination.keys().copied().collect();
+    destinations.sort_unstable();
+    for dst in destinations {
+        let matched = worst_per_destination[&dst];
+        let prefix = format!("md_{}", clusters.clusters[dst].name);
+        let req = overhead.add_input(format!("{prefix}_req"));
+        let out = matched.instantiate(&mut overhead, &prefix, req)?;
+        overhead.mark_output(out);
+    }
+    overhead.validate().map_err(DesyncError::Netlist)?;
+
+    // The timed marked-graph control model.
+    let model_delays = ModelDelays {
+        controller_ps: options.controller_delay_ps,
+        latch_ps: options.timing.latch_d_to_q_ps,
+        pulse_width_ps: options.timing.latch_d_to_q_ps + options.controller_delay_ps,
+    };
+    let environment = options.environment.then_some(&timing.environment);
+    let model = ControlModel::build_with_environment(
+        clusters,
+        options.protocol,
+        &timing.edge_delay_ps(),
+        environment,
+        model_delays,
+    );
+    if !model.is_live() {
+        return Err(DesyncError::ModelCheck(
+            "composed control model is not live".into(),
+        ));
+    }
+    if !model.is_safe() {
+        return Err(DesyncError::ModelCheck(
+            "composed control model is not safe".into(),
+        ));
+    }
+    Ok(ControlNetwork {
+        overhead,
+        controllers,
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Protocol;
+    use crate::flow::Desynchronizer;
+    use crate::options::ClusteringStrategy;
+    use desync_netlist::CellKind;
+
+    fn pipeline3() -> Netlist {
+        let mut n = Netlist::new("pipe3");
+        let clk = n.add_input("clk");
+        let a = n.add_input("a");
+        let q0 = n.add_net("q0");
+        let w0 = n.add_net("w0");
+        let q1 = n.add_net("q1");
+        let w1 = n.add_net("w1");
+        let q2 = n.add_output("q2");
+        n.add_dff("r0", a, clk, q0).unwrap();
+        n.add_gate("g0", CellKind::Not, &[q0], w0).unwrap();
+        n.add_dff("r1", w0, clk, q1).unwrap();
+        n.add_gate("g1", CellKind::Buf, &[q1], w1).unwrap();
+        n.add_dff("r2", w1, clk, q2).unwrap();
+        n
+    }
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_90nm()
+    }
+
+    #[test]
+    fn stages_run_lazily_and_exactly_once() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        assert_eq!(flow.computed_through(), None);
+        for stage in Stage::ALL {
+            assert_eq!(flow.stage_runs(stage), 0);
+        }
+        // Asking for the deepest stage runs every predecessor exactly once.
+        flow.controlled().unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+        for stage in [
+            Stage::Clustered,
+            Stage::Latched,
+            Stage::Timed,
+            Stage::Controlled,
+        ] {
+            assert_eq!(flow.stage_runs(stage), 1, "{stage}");
+        }
+        assert_eq!(flow.stage_runs(Stage::Verified), 0);
+        // Re-access hits the cache.
+        flow.clustered().unwrap();
+        flow.timed().unwrap();
+        flow.controlled().unwrap();
+        for stage in [
+            Stage::Clustered,
+            Stage::Latched,
+            Stage::Timed,
+            Stage::Controlled,
+        ] {
+            assert_eq!(flow.stage_runs(stage), 1, "{stage}");
+        }
+    }
+
+    #[test]
+    fn changing_protocol_reruns_only_controlled() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        flow.set_protocol(Protocol::NonOverlapping).unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Timed));
+        flow.controlled().unwrap();
+        assert_eq!(flow.stage_runs(Stage::Clustered), 1);
+        assert_eq!(flow.stage_runs(Stage::Latched), 1);
+        assert_eq!(flow.stage_runs(Stage::Timed), 1);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 2);
+    }
+
+    #[test]
+    fn changing_margin_reruns_timed_and_controlled_only() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        flow.set_margin(0.3).unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Latched));
+        flow.controlled().unwrap();
+        assert_eq!(flow.stage_runs(Stage::Clustered), 1);
+        assert_eq!(flow.stage_runs(Stage::Latched), 1);
+        assert_eq!(flow.stage_runs(Stage::Timed), 2);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 2);
+    }
+
+    #[test]
+    fn changing_clustering_reruns_everything() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        flow.set_clustering(ClusteringStrategy::PerRegister)
+            .unwrap();
+        assert_eq!(flow.computed_through(), None);
+        flow.controlled().unwrap();
+        assert_eq!(flow.stage_runs(Stage::Clustered), 2);
+        assert_eq!(flow.stage_runs(Stage::Latched), 2);
+        assert_eq!(flow.stage_runs(Stage::Timed), 2);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 2);
+    }
+
+    #[test]
+    fn unchanged_options_invalidate_nothing() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        let same = *flow.options();
+        flow.set_options(same).unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+        // Toggling only the parallelism knob invalidates nothing either.
+        flow.set_options(same.with_parallel_sizing(false)).unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+    }
+
+    #[test]
+    fn flow_design_equals_desynchronizer_run() {
+        let n = pipeline3();
+        let library = lib();
+        let via_wrapper = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        let via_stages = flow.design().unwrap();
+        assert_eq!(via_wrapper, via_stages);
+        // Also after a knob change and resume, the design matches a fresh
+        // wrapper run with the final options.
+        flow.set_margin(0.25).unwrap();
+        let resumed = flow.design().unwrap();
+        let fresh = Desynchronizer::new(&n, &library, DesyncOptions::default().with_margin(0.25))
+            .run()
+            .unwrap();
+        assert_eq!(resumed, fresh);
+    }
+
+    #[test]
+    fn parallel_and_serial_sizing_agree() {
+        let n = pipeline3();
+        let library = lib();
+        let mut parallel = DesyncFlow::new(
+            &n,
+            &library,
+            DesyncOptions::default().with_parallel_sizing(true),
+        )
+        .unwrap();
+        let mut serial = DesyncFlow::new(
+            &n,
+            &library,
+            DesyncOptions::default().with_parallel_sizing(false),
+        )
+        .unwrap();
+        assert_eq!(parallel.timed().unwrap(), serial.timed().unwrap());
+        // The assembled designs agree on every artifact (the stored options
+        // necessarily differ in the parallelism knob itself).
+        let p = parallel.design().unwrap();
+        let s = serial.design().unwrap();
+        assert_eq!(p.matched_delays(), s.matched_delays());
+        assert_eq!(p.overhead_netlist(), s.overhead_netlist());
+        assert_eq!(p.control_model(), s.control_model());
+        assert_eq!(p.cycle_time_ps(), s.cycle_time_ps());
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_and_preserve_state() {
+        let n = pipeline3();
+        let library = lib();
+        let err =
+            DesyncFlow::new(&n, &library, DesyncOptions::default().with_margin(-1.0)).unwrap_err();
+        assert!(matches!(err, DesyncError::InvalidOptions(_)));
+
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        let err = flow.set_margin(-0.5).unwrap_err();
+        assert!(matches!(err, DesyncError::InvalidOptions(_)));
+        // The failed update left options and artifacts untouched.
+        assert_eq!(flow.options().matched_delay_margin, 0.05);
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+    }
+
+    #[test]
+    fn verified_stage_reports_equivalence() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        let a = n.find_net("a").unwrap();
+        flow.set_verification(VectorSource::pseudo_random(vec![a], 11), 12);
+        let report = flow.verified().unwrap();
+        assert!(report.is_equivalent(), "{}", report.equivalence);
+        assert_eq!(flow.stage_runs(Stage::Verified), 1);
+        // A new stimulus invalidates only the verification.
+        flow.set_verification(VectorSource::pseudo_random(vec![a], 13), 12);
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+        flow.verified().unwrap();
+        assert_eq!(flow.stage_runs(Stage::Verified), 2);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 1);
+    }
+
+    #[test]
+    fn report_tracks_runs_and_artifacts() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        let empty = flow.report();
+        assert_eq!(empty.stages.len(), 5);
+        assert!(empty.stages.iter().all(|s| s.runs == 0 && !s.cached));
+        assert_eq!(empty.clusters, None);
+
+        flow.controlled().unwrap();
+        let report = flow.report();
+        assert_eq!(report.clusters, Some(3));
+        assert_eq!(report.latches, Some(6));
+        assert!(report.sync_period_ps.unwrap() > 0.0);
+        assert!(report.cycle_time_ps.unwrap() > 0.0);
+        assert_eq!(report.flow_equivalent, None);
+        assert!(report.matched_delay_cells.unwrap() > 0);
+        let text = report.to_string();
+        assert!(text.contains("flow report for `pipe3`"), "{text}");
+        assert!(text.contains("controlled"), "{text}");
+    }
+
+    #[test]
+    fn artifacts_expose_stage_data() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        assert_eq!(flow.clustered().unwrap().len(), 3);
+        assert_eq!(flow.latched().unwrap().netlist.num_latches(), 6);
+        let timed = flow.timed().unwrap();
+        assert_eq!(timed.matched_delays.len(), 2);
+        assert!(timed
+            .matched_delays
+            .values()
+            .all(MatchedDelay::covers_logic));
+        assert_eq!(timed.edge_delay_ps().len(), 2);
+        assert!(!timed.environment.input_delay_ps.is_empty());
+        let network = flow.controlled().unwrap();
+        assert_eq!(network.controllers.len(), 6);
+        assert!(network.controller_cells() > 0);
+        assert!(network.model.is_live() && network.model.is_safe());
+        assert!(network.overhead.validate().is_ok());
+    }
+
+    #[test]
+    fn verified_requires_stimulus_for_netlists_with_data_inputs() {
+        let n = pipeline3(); // has data input `a`
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        assert_eq!(flow.verified().unwrap_err(), DesyncError::MissingStimulus);
+        // Construction stages still completed; only verification refused.
+        assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+        // A self-stimulating circuit (clock-only inputs) verifies without an
+        // explicit stimulus.
+        let mut counter = Netlist::new("cnt");
+        let clk = counter.add_input("clk");
+        let q = counter.add_net("q");
+        let d = counter.add_net("d");
+        counter.add_gate("inv", CellKind::Not, &[q], d).unwrap();
+        counter.add_dff("r", d, clk, q).unwrap();
+        counter.mark_output(q);
+        let mut flow = DesyncFlow::new(&counter, &library, DesyncOptions::default()).unwrap();
+        assert!(flow.verified().unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn environment_toggle_reruns_only_controlled() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        assert!(flow.controlled().unwrap().model.has_environment());
+        flow.set_environment(false).unwrap();
+        assert_eq!(flow.computed_through(), Some(Stage::Timed));
+        assert!(!flow.controlled().unwrap().model.has_environment());
+        assert_eq!(flow.stage_runs(Stage::Timed), 1);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 2);
+    }
+
+    #[test]
+    fn designed_borrows_the_cached_assembly() {
+        let n = pipeline3();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        let cycle = flow.designed().unwrap().cycle_time_ps();
+        // design() hands out a clone of the same cached assembly.
+        let owned = flow.design().unwrap();
+        assert_eq!(owned.cycle_time_ps(), cycle);
+        // Invalidation drops the cached assembly along with Controlled.
+        flow.set_protocol(Protocol::NonOverlapping).unwrap();
+        let after = flow.designed().unwrap().options().protocol;
+        assert_eq!(after, Protocol::NonOverlapping);
+    }
+
+    #[test]
+    fn stage_ordering_and_names() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        assert!(Stage::Clustered < Stage::Verified);
+        assert_eq!(Stage::Timed.to_string(), "timed");
+    }
+}

@@ -104,11 +104,9 @@ pub fn verify_flow_equivalence(
         }
     }
     // Compare on the common prefix, capped by the requested cycle count.
-    let limit = cycles.min(mapped.min_stream_len()).min(
-        sync_run
-            .flow_trace
-            .min_stream_len(),
-    );
+    let limit = cycles
+        .min(mapped.min_stream_len())
+        .min(sync_run.flow_trace.min_stream_len());
     let equivalence = FlowEquivalence::compare_prefix(&sync_run.flow_trace, &mapped, limit);
     Ok(EquivalenceReport {
         equivalence,
@@ -181,14 +179,9 @@ mod tests {
         let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
             .run()
             .unwrap();
-        let report = verify_flow_equivalence(
-            &n,
-            &design,
-            &library,
-            &VectorSource::constant(vec![]),
-            20,
-        )
-        .unwrap();
+        let report =
+            verify_flow_equivalence(&n, &design, &library, &VectorSource::constant(vec![]), 20)
+                .unwrap();
         assert!(report.is_equivalent(), "{}", report.equivalence);
         assert!(report.compared_cycles >= 15);
         assert!(report.sync_run.activity.total_transitions() > 0);
@@ -246,10 +239,7 @@ mod tests {
             .run()
             .unwrap();
         let cfg = sim_config_for(&design);
-        assert_eq!(
-            cfg.latch_d_to_q_ps,
-            design.options().timing.latch_d_to_q_ps
-        );
+        assert_eq!(cfg.latch_d_to_q_ps, design.options().timing.latch_d_to_q_ps);
         assert_eq!(cfg.clk_to_q_ps, design.options().timing.clk_to_q_ps);
     }
 }

@@ -123,7 +123,7 @@ fn token_shortest_paths(graph: &MarkedGraph, start: TransitionId) -> Vec<Option<
         }
         for &(succ, w) in &adj[node] {
             let nd = d + w;
-            if dist[succ].map_or(true, |old| nd < old) {
+            if dist[succ].is_none_or(|old| nd < old) {
                 dist[succ] = Some(nd);
                 heap.push(std::cmp::Reverse((nd, succ)));
             }

@@ -462,15 +462,14 @@ impl MarkedGraph {
         }
         for (_, p) in self.places() {
             let style = if p.initial_tokens > 0 {
-                format!(", label=\"\u{25CF}{} {:.0}\", penwidth=2", p.initial_tokens, p.delay)
+                format!(
+                    ", label=\"\u{25CF}{} {:.0}\", penwidth=2",
+                    p.initial_tokens, p.delay
+                )
             } else {
                 format!(", label=\"{:.0}\"", p.delay)
             };
-            let _ = writeln!(
-                out,
-                "  t{} -> t{} [fontsize=8{}];",
-                p.from.0, p.to.0, style
-            );
+            let _ = writeln!(out, "  t{} -> t{} [fontsize=8{}];", p.from.0, p.to.0, style);
         }
         let _ = writeln!(out, "}}");
         out

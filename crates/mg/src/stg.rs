@@ -171,8 +171,11 @@ impl Stg {
         // are inferred: a signal whose first enabled edge is `-` starts high.
         // We track phases as Option<bool> and fix them on first use.
         let signals = self.signals();
-        let sig_index: HashMap<&str, usize> =
-            signals.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+        let sig_index: HashMap<&str, usize> = signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
         let edge_of: Vec<Option<(usize, SignalDirection)>> = self
             .graph
             .transitions()
@@ -203,13 +206,10 @@ impl Stg {
                 let mut next_phase = state.phase.clone();
                 if let Some((sig, dir)) = edge_of[t.index()] {
                     let want_high_before = dir == SignalDirection::Fall;
-                    match next_phase[sig] {
-                        Some(high) => {
-                            if high != want_high_before {
-                                return Some(false);
-                            }
+                    if let Some(high) = next_phase[sig] {
+                        if high != want_high_before {
+                            return Some(false);
                         }
-                        None => {}
                     }
                     next_phase[sig] = Some(dir == SignalDirection::Rise);
                 }
@@ -241,7 +241,10 @@ mod tests {
         assert_eq!(e.direction, SignalDirection::Rise);
         assert_eq!(e.label(), "lat3+");
         assert_eq!(e.to_string(), "lat3+");
-        assert_eq!(SignalEdge::parse("x-").unwrap().direction, SignalDirection::Fall);
+        assert_eq!(
+            SignalEdge::parse("x-").unwrap().direction,
+            SignalDirection::Fall
+        );
         assert!(SignalEdge::parse("x").is_none());
         assert!(SignalEdge::parse("+").is_none());
         assert!(SignalEdge::parse("").is_none());

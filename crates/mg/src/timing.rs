@@ -160,7 +160,7 @@ pub fn simulate_timed(
                     }
                 }
             }
-            if ok && best.map_or(true, |(_, bt)| ready < bt) {
+            if ok && best.is_none_or(|(_, bt)| ready < bt) {
                 best = Some((t_idx, ready));
             }
         }
@@ -269,7 +269,11 @@ mod tests {
         let a = g.find_transition("a").unwrap();
         let trace = simulate_timed(&g, 50, Some(a));
         assert!(trace.iterations >= 40);
-        assert!((trace.period - 12.0).abs() < 1e-6, "period {}", trace.period);
+        assert!(
+            (trace.period - 12.0).abs() < 1e-6,
+            "period {}",
+            trace.period
+        );
         assert!((cycle_time(&g) - trace.period).abs() < 1e-5);
     }
 

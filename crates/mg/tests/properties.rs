@@ -31,7 +31,12 @@ fn random_strongly_connected(seed: u64, n: usize, chords: usize) -> MarkedGraph 
         let a = (next() as usize) % n;
         let b = (next() as usize) % n;
         if a != b {
-            g.add_place(ids[a], ids[b], (next() % 2) as u32, 1.0 + (next() % 10) as f64);
+            g.add_place(
+                ids[a],
+                ids[b],
+                (next() % 2) as u32,
+                1.0 + (next() % 10) as f64,
+            );
         }
     }
     g
@@ -141,7 +146,7 @@ proptest! {
         prop_assert!(same_structure(&ab, &ba));
         // Composing with an empty component changes nothing beyond the
         // deduplication composition always performs.
-        let normalized = compose(&[a.clone()]);
+        let normalized = compose(std::slice::from_ref(&a));
         let with_empty = compose(&[a, MarkedGraph::new()]);
         prop_assert!(same_structure(&normalized, &with_empty));
     }

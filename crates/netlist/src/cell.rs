@@ -245,7 +245,9 @@ impl Cell {
     /// The net connected to the data pin, for sequential cells.
     pub fn data_net(&self) -> Option<NetId> {
         match self.kind {
-            CellKind::Dff | CellKind::LatchLow | CellKind::LatchHigh => self.inputs.first().copied(),
+            CellKind::Dff | CellKind::LatchLow | CellKind::LatchHigh => {
+                self.inputs.first().copied()
+            }
             _ => None,
         }
     }

@@ -705,7 +705,10 @@ mod tests {
         let floating = n.add_net("floating");
         let y = n.add_output("y");
         n.add_gate("g", CellKind::Not, &[floating], y).unwrap();
-        assert!(matches!(n.validate(), Err(NetlistError::UndrivenNet { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::UndrivenNet { .. })
+        ));
     }
 
     #[test]

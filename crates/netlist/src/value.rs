@@ -20,7 +20,9 @@ use std::ops::Not;
 /// assert_eq!(Value::One & Value::X, Value::X);
 /// assert_eq!(!Value::X, Value::X);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Value {
     /// Logic low.
     Zero,
@@ -87,6 +89,7 @@ impl Value {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)] // `impl Not` exists below; this is the named form
     pub fn not(self) -> Value {
         match self {
             Value::Zero => Value::One,

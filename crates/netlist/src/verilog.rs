@@ -70,7 +70,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         .chain(netlist.outputs().iter())
         .map(|&id| netlist.net(id).name.as_str())
         .collect();
-    let _ = writeln!(out, "module {} ({});", netlist.name(), port_names.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        netlist.name(),
+        port_names.join(", ")
+    );
     for &id in netlist.inputs() {
         let _ = writeln!(out, "  input {};", netlist.net(id).name);
     }
@@ -244,7 +249,9 @@ pub fn from_verilog(text: &str) -> Result<Netlist, NetlistError> {
     }
     lex.expect_symbol(';')?;
 
-    let mut pending_instances: Vec<(String, String, Vec<(String, String)>, usize)> = Vec::new();
+    // (cell kind keyword, instance name, port connections, source line).
+    type PendingInstance = (String, String, Vec<(String, String)>, usize);
+    let mut pending_instances: Vec<PendingInstance> = Vec::new();
     let mut declared_inputs: Vec<String> = Vec::new();
     let mut declared_outputs: Vec<String> = Vec::new();
     let mut declared_wires: Vec<String> = Vec::new();

@@ -109,7 +109,8 @@ mod tests {
         let c = n.add_output("c");
         n.add_gate("g0", CellKind::Nand, &[a, q], w).unwrap();
         n.add_dff("r0", w, clk, q).unwrap();
-        n.add_gate("ctl_c0", CellKind::CElement, &[a, q], en).unwrap();
+        n.add_gate("ctl_c0", CellKind::CElement, &[a, q], en)
+            .unwrap();
         n.add_gate("md_dly0", CellKind::Delay, &[en], md).unwrap();
         n.add_gate("g1", CellKind::Buf, &[md], c).unwrap();
         let report = AreaReport::of_netlist(&n, &lib());

@@ -317,10 +317,7 @@ mod tests {
         n.add_dff("r1", q0, clk, q1).unwrap();
         let l = lib();
         let mut tb = SyncTestbench::new(&n, &l, SimConfig::default()).unwrap();
-        let stim = VectorSource::sequence(vec![
-            vec![(din, Value::One)],
-            vec![(din, Value::Zero)],
-        ]);
+        let stim = VectorSource::sequence(vec![vec![(din, Value::One)], vec![(din, Value::Zero)]]);
         let run = tb.run(8, 4_000.0, &stim);
         let s0 = run.flow_trace.stream("r0").unwrap();
         let s1 = run.flow_trace.stream("r1").unwrap();

@@ -42,7 +42,10 @@ impl VectorSource {
     /// Panics if `vectors` is empty — use [`VectorSource::constant`] with an
     /// empty vector for "no stimulus".
     pub fn sequence(vectors: Vec<Vec<(NetId, Value)>>) -> Self {
-        assert!(!vectors.is_empty(), "sequence stimulus needs at least one vector");
+        assert!(
+            !vectors.is_empty(),
+            "sequence stimulus needs at least one vector"
+        );
         Self {
             kind: SourceKind::Sequence(vectors),
         }

@@ -97,7 +97,10 @@ impl WaveformSet {
 
     /// Records a change on the named signal.
     pub fn push(&mut self, name: &str, time_ps: f64, value: Value) {
-        self.waves.entry(name.to_string()).or_default().push(time_ps, value);
+        self.waves
+            .entry(name.to_string())
+            .or_default()
+            .push(time_ps, value);
     }
 
     /// The waveform of `name`, if recorded.

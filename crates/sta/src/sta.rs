@@ -191,7 +191,7 @@ impl<'a> Sta<'a> {
             let mut next: Option<(NetId, f64)> = None;
             for &input in &cell.inputs {
                 if let Some(a) = arrival[input.index()] {
-                    if next.map_or(true, |(_, na)| a > na) {
+                    if next.is_none_or(|(_, na)| a > na) {
                         next = Some((input, a));
                     }
                 }
@@ -218,10 +218,7 @@ impl<'a> Sta<'a> {
             .cells()
             .filter(|(_, c)| c.kind == CellKind::Dff || c.kind.is_latch())
             .map(|(id, c)| {
-                let delay = c
-                    .data_net()
-                    .and_then(|d| arrival[d.index()])
-                    .unwrap_or(0.0);
+                let delay = c.data_net().and_then(|d| arrival[d.index()]).unwrap_or(0.0);
                 StageDelay {
                     register: id,
                     delay_ps: delay,
@@ -265,11 +262,7 @@ impl<'a> Sta<'a> {
     /// picoseconds using the configured margin; see
     /// [`MatchedDelay`](crate::MatchedDelay).
     pub fn matched_delay(&self, delay_ps: f64) -> crate::MatchedDelay {
-        crate::MatchedDelay::for_delay(
-            delay_ps,
-            self.config.matched_delay_margin,
-            self.library,
-        )
+        crate::MatchedDelay::for_delay(delay_ps, self.config.matched_delay_margin, self.library)
     }
 }
 

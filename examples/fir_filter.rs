@@ -24,16 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sta.critical_path().cells.len()
     );
 
-    // Protocol ablation.
+    // One staged flow drives the whole exploration: each knob change resumes
+    // from the earliest invalidated stage instead of recomputing everything.
+    let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default())?;
+
+    // Protocol ablation: only controller synthesis re-runs per protocol.
     println!("protocol ablation (matched-delay margin 5 %):");
     println!("  protocol           cycle time    controllers    controller cells");
     for &protocol in Protocol::all() {
-        let design = Desynchronizer::new(
-            &netlist,
-            &library,
-            DesyncOptions::default().with_protocol(protocol),
-        )
-        .run()?;
+        flow.set_protocol(protocol)?;
+        let design = flow.design()?;
         let summary = design.summary();
         println!(
             "  {:<18} {:>8.1} ps   {:>8}        {:>8}",
@@ -44,28 +44,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Margin sweep: safety margin on the matched delays versus cycle time.
+    // Margin sweep: delay sizing and controller synthesis re-run, clustering
+    // and latch conversion are reused across the whole sweep.
     println!("\nmatched-delay margin sweep (fully-decoupled protocol):");
     println!("  margin    cycle time    delay cells    flow equivalent");
     let x: Vec<_> = (0..12)
         .map(|i| netlist.find_net(&format!("x[{i}]")).expect("x bus"))
         .collect();
+    flow.set_protocol(Protocol::FullyDecoupled)?;
     for margin in [0.0, 0.05, 0.10, 0.20, 0.40] {
-        let design = Desynchronizer::new(
-            &netlist,
-            &library,
-            DesyncOptions::default().with_margin(margin),
-        )
-        .run()?;
-        let stimulus = VectorSource::pseudo_random(x.clone(), 7);
-        let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 24)?;
+        flow.set_margin(margin)?;
+        flow.set_verification(VectorSource::pseudo_random(x.clone(), 7), 24);
+        let equivalent = flow.verified()?.is_equivalent();
+        let design = flow.design()?;
         println!(
             "  {:>5.2}   {:>8.1} ps   {:>8}           {}",
             margin,
             design.cycle_time_ps(),
             design.summary().matched_delay_cells,
-            report.is_equivalent()
+            equivalent
         );
     }
+
+    // The flow kept count: clustering and latch conversion ran once for the
+    // entire design-space exploration.
+    println!("\n{}", flow.report());
     Ok(())
 }

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 4-stage pipeline named after the paper's latches A, B, C, D.
     let netlist = LinearPipelineConfig::balanced(4, 4, 4).generate()?;
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default()).run()?;
+    let design = DesyncFlow::new(&netlist, &library, DesyncOptions::default())?.design()?;
 
     println!("{}\n", design.summary());
     println!("composed control marked graph (paper Figure 3, bottom):");
@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = design.synchronous_period_ps();
     let end = start + 6.0 * design.cycle_time_ps();
     let step = (end - start) / 96.0;
-    println!("\nlatch enable waveforms ({}..{} ps, one column = {:.0} ps):\n", start as u64, end as u64, step);
+    println!(
+        "\nlatch enable waveforms ({}..{} ps, one column = {:.0} ps):\n",
+        start as u64, end as u64, step
+    );
     for name in &enable_names {
         if let Some(wave) = run.waveforms.get(name) {
             println!("{name:>22} {}", wave.ascii(start, end, step));

@@ -1,5 +1,5 @@
-//! Quickstart: desynchronize a small synchronous pipeline and check that the
-//! result is correct by construction and by simulation.
+//! Quickstart: walk a small synchronous pipeline through the staged
+//! desynchronization flow, inspecting each stage's artifact along the way.
 //!
 //! Run with:
 //!
@@ -16,35 +16,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = CellLibrary::generic_90nm();
     println!("input design:\n{}\n", netlist.summary());
 
-    // 2. Run the desynchronization flow: latch conversion, matched delays,
-    //    handshake controller network.
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default()).run()?;
-    println!("{}\n", design.summary());
+    // 2. Open a staged flow. Nothing runs yet; each stage executes on first
+    //    access and caches its artifact.
+    let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default())?;
 
-    // 3. The composed control model is live and safe — the formal guarantee
-    //    behind the method.
-    println!("control model live:  {}", design.control_model().is_live());
-    println!("control model safe:  {}", design.control_model().is_safe());
+    // Stage 1 — Clustered: flip-flops grouped into latch clusters.
+    let clusters = flow.clustered()?;
     println!(
-        "sync clock period:   {:.1} ps",
-        design.synchronous_period_ps()
+        "clustered:  {} clusters, {} data-flow edges",
+        clusters.len(),
+        clusters.edges.len()
     );
-    println!("desync cycle time:   {:.1} ps", design.cycle_time_ps());
 
-    // 4. Gate-level co-simulation: the desynchronized circuit latches exactly
-    //    the same sequence of values into every register (flow equivalence).
+    // Stage 2 — Latched: every flip-flop split into master/slave latches.
+    let latched = flow.latched()?;
+    println!(
+        "latched:    {} latches (2 per flip-flop)",
+        latched.netlist.num_latches()
+    );
+
+    // Stage 3 — Timed: STA plus one matched delay per cluster edge (sized in
+    // parallel across source clusters).
+    let timed = flow.timed()?;
+    println!(
+        "timed:      sync period {:.1} ps, {} matched delays ({} delay cells)",
+        timed.sync_clock_period_ps,
+        timed.matched_delays.len(),
+        timed.total_delay_cells()
+    );
+
+    // Stage 4 — Controlled: handshake controllers and the timed marked-graph
+    // model, live and safe by construction.
+    let network = flow.controlled()?;
+    println!(
+        "controlled: {} controllers ({} cells), model live: {}, safe: {}",
+        network.controllers.len(),
+        network.controller_cells(),
+        network.model.is_live(),
+        network.model.is_safe()
+    );
+    println!(
+        "            desync cycle time {:.1} ps",
+        network.model.cycle_time_ps()
+    );
+
+    // Stage 5 — Verified: gate-level co-simulation shows the desynchronized
+    // circuit latches exactly the same value sequence into every register.
     let din: Vec<_> = (0..8)
         .map(|i| netlist.find_net(&format!("din[{i}]")).expect("din bus"))
         .collect();
-    let stimulus = VectorSource::pseudo_random(din, 42);
-    let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 32)?;
+    flow.set_verification(VectorSource::pseudo_random(din, 42), 32);
+    let report = flow.verified()?;
     println!(
-        "flow equivalent:     {} ({} captures per register compared)",
+        "verified:   flow equivalent: {} ({} captures per register compared)",
         report.is_equivalent(),
         report.compared_cycles
     );
 
-    // 5. Export the desynchronized datapath as structural Verilog.
+    // Changing one knob resumes from the earliest invalidated stage: a
+    // protocol change re-runs only controller synthesis (and verification).
+    flow.set_protocol(Protocol::NonOverlapping)?;
+    let design = flow.design()?;
+    println!(
+        "\nafter protocol change: cycle time {:.1} ps (clustering/timing stages reused)",
+        design.cycle_time_ps()
+    );
+
+    // The per-stage cost breakdown the flow collected along the way.
+    println!("\n{}", flow.report());
+
+    // Export the desynchronized datapath as structural Verilog.
     let verilog = desync::netlist::verilog::to_verilog(design.latch_netlist());
     println!(
         "\ndesynchronized datapath: {} lines of structural Verilog (first 5 shown)",

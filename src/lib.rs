@@ -21,6 +21,24 @@
 //!   counters).
 //! * [`core`] — the desynchronization flow itself.
 //!
+//! # The staged pipeline
+//!
+//! The flow is a staged pipeline ([`DesyncFlow`](core::DesyncFlow)) that
+//! advances through five typed stages, each owning an inspectable artifact:
+//!
+//! ```text
+//! Clustered ──▶ Latched ──▶ Timed ──▶ Controlled ──▶ Verified
+//! ClusterGraph  LatchDesign TimingTable ControlNetwork EquivalenceReport
+//! ```
+//!
+//! Stages run lazily and cache their artifacts; changing one knob re-runs
+//! only the invalidated suffix of the pipeline (a protocol sweep, for
+//! example, re-runs controller synthesis per protocol while clustering and
+//! delay sizing are computed once). Matched-delay sizing fans out across
+//! worker threads with results bit-identical to the serial path.
+//! [`Desynchronizer`](core::Desynchronizer) remains as a one-call wrapper
+//! that advances a fresh flow end to end.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -31,20 +49,25 @@
 //! let netlist = LinearPipelineConfig::balanced(4, 8, 3).generate()?;
 //! let library = CellLibrary::generic_90nm();
 //!
-//! // 2. Desynchronize it.
-//! let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default()).run()?;
+//! // 2. Open a staged flow and inspect the intermediate artifacts.
+//! let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default())?;
+//! assert!(flow.clustered()?.len() > 0);          // latch clusters
+//! assert!(flow.timed()?.sync_clock_period_ps > 0.0); // STA + matched delays
 //!
-//! // 3. The control network is live, safe, and the circuit still works.
-//! assert!(design.control_model().is_live());
-//! assert!(design.control_model().is_safe());
-//! let report = verify_flow_equivalence(
-//!     &netlist,
-//!     &design,
-//!     &library,
-//!     &VectorSource::constant(vec![]),
-//!     16,
-//! )?;
-//! assert!(report.is_equivalent());
+//! // 3. The control network is live and safe — the formal guarantee behind
+//! //    the method.
+//! assert!(flow.controlled()?.model.is_live());
+//! assert!(flow.controlled()?.model.is_safe());
+//!
+//! // 4. Gate-level co-simulation: the desynchronized circuit latches the
+//! //    same value sequence into every register (flow equivalence).
+//! flow.set_verification(VectorSource::constant(vec![]), 16);
+//! assert!(flow.verified()?.is_equivalent());
+//!
+//! // 5. Bundle everything into a design (identical to what the one-call
+//! //    `Desynchronizer::run` wrapper returns).
+//! let design = flow.design()?;
+//! assert!(design.cycle_time_ps() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,12 +87,15 @@ pub use desync_sta as sta;
 pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
-        verify_flow_equivalence, ClusteringStrategy, DesyncDesign, DesyncOptions, Desynchronizer,
-        Protocol,
+        verify_flow_equivalence, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncError,
+        DesyncFlow, DesyncOptions, Desynchronizer, EquivalenceReport, FlowReport, Protocol, Stage,
+        TimingTable,
     };
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};
-    pub use desync_power::{dynamic_power_mw, leakage_power_mw, AreaReport, ClockTree, PowerReport};
+    pub use desync_power::{
+        dynamic_power_mw, leakage_power_mw, AreaReport, ClockTree, PowerReport,
+    };
     pub use desync_sim::{AsyncTestbench, SimConfig, SyncTestbench, VectorSource};
     pub use desync_sta::{MatchedDelay, Sta, TimingConfig};
 }

@@ -7,17 +7,27 @@ use desync::prelude::*;
 
 fn check_circuit(netlist: &Netlist, stimulus: &VectorSource, cycles: usize) {
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(netlist, &library, DesyncOptions::default())
-        .run()
-        .unwrap_or_else(|e| panic!("flow failed on `{}`: {e}", netlist.name()));
-    assert!(design.control_model().is_live(), "{}", netlist.name());
-    assert!(design.control_model().is_safe(), "{}", netlist.name());
+    let mut flow = DesyncFlow::new(netlist, &library, DesyncOptions::default())
+        .unwrap_or_else(|e| panic!("flow construction failed on `{}`: {e}", netlist.name()));
+    // Matched delays cover the logic (Timed stage artifact).
+    let timed = flow
+        .timed()
+        .unwrap_or_else(|e| panic!("timing failed on `{}`: {e}", netlist.name()));
     assert!(
-        design.matched_delays().values().all(|m| m.covers_logic()),
+        timed.matched_delays.values().all(|m| m.covers_logic()),
         "{}",
         netlist.name()
     );
-    let report = verify_flow_equivalence(netlist, &design, &library, stimulus, cycles)
+    // The composed control model is live and safe (Controlled stage).
+    let network = flow
+        .controlled()
+        .unwrap_or_else(|e| panic!("flow failed on `{}`: {e}", netlist.name()));
+    assert!(network.model.is_live(), "{}", netlist.name());
+    assert!(network.model.is_safe(), "{}", netlist.name());
+    // Gate-level co-simulation stays flow equivalent (Verified stage).
+    flow.set_verification(stimulus.clone(), cycles);
+    let report = flow
+        .verified()
         .unwrap_or_else(|e| panic!("co-simulation failed on `{}`: {e}", netlist.name()));
     assert!(
         report.is_equivalent(),
@@ -48,7 +58,9 @@ fn ring_counter_is_flow_equivalent() {
 
 #[test]
 fn fir_filter_is_flow_equivalent_under_random_input() {
-    let netlist = FirConfig::with_taps(5, 8).generate().expect("fir generation");
+    let netlist = FirConfig::with_taps(5, 8)
+        .generate()
+        .expect("fir generation");
     let x: Vec<_> = (0..8)
         .map(|i| netlist.find_net(&format!("x[{i}]")).expect("x bus"))
         .collect();
@@ -68,30 +80,31 @@ fn unbalanced_pipeline_is_flow_equivalent() {
 
 #[test]
 fn per_register_clustering_also_works_on_the_fir() {
-    let netlist = FirConfig::with_taps(3, 6).generate().expect("fir generation");
+    let netlist = FirConfig::with_taps(3, 6)
+        .generate()
+        .expect("fir generation");
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(
-        &netlist,
-        &library,
-        DesyncOptions::default().with_clustering(ClusteringStrategy::PerRegister),
-    )
-    .run()
-    .expect("flow");
-    assert!(design.control_model().is_live());
-    assert!(design.control_model().is_safe());
+    // Start from the default clustering, then switch mid-flow: the staged
+    // pipeline restarts from the clustering stage.
+    let mut flow =
+        DesyncFlow::new(&netlist, &library, DesyncOptions::default()).expect("valid options");
+    let prefix_clusters = flow.clustered().expect("clustering").len();
+    flow.set_clustering(ClusteringStrategy::PerRegister)
+        .expect("valid options");
     // Per-register clustering yields one cluster per flip-flop.
-    assert_eq!(design.clusters().len(), netlist.num_flip_flops());
+    assert_eq!(
+        flow.clustered().expect("clustering").len(),
+        netlist.num_flip_flops()
+    );
+    assert!(netlist.num_flip_flops() >= prefix_clusters);
+    let network = flow.controlled().expect("flow");
+    assert!(network.model.is_live());
+    assert!(network.model.is_safe());
     let x: Vec<_> = (0..6)
         .map(|i| netlist.find_net(&format!("x[{i}]")).expect("x bus"))
         .collect();
-    let report = verify_flow_equivalence(
-        &netlist,
-        &design,
-        &library,
-        &VectorSource::pseudo_random(x, 3),
-        16,
-    )
-    .expect("co-simulation");
+    flow.set_verification(VectorSource::pseudo_random(x, 3), 16);
+    let report = flow.verified().expect("co-simulation");
     assert!(report.is_equivalent(), "{}", report.equivalence);
 }
 
@@ -101,8 +114,9 @@ fn desynchronized_verilog_roundtrips() {
     // be written to Verilog and parsed back.
     let netlist = binary_counter(6).expect("counter generation");
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-        .run()
+    let design = DesyncFlow::new(&netlist, &library, DesyncOptions::default())
+        .expect("valid options")
+        .design()
         .expect("flow");
     let text = desync::netlist::verilog::to_verilog(design.latch_netlist());
     let parsed = desync::netlist::verilog::from_verilog(&text).expect("parse back");

@@ -35,44 +35,59 @@ fn instruction_stream(netlist: &Netlist) -> VectorSource {
 fn dlx_desynchronization_is_live_safe_and_flow_equivalent() {
     let netlist = DlxConfig::default().generate().expect("dlx generation");
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-        .run()
-        .expect("desynchronization");
+    let mut flow =
+        DesyncFlow::new(&netlist, &library, DesyncOptions::default()).expect("valid options");
 
-    // Structural expectations.
-    assert!(design.clusters().len() > 10, "DLX should have many clusters");
+    // Structural expectations, stage by stage.
+    assert!(
+        flow.clustered().expect("clustering").len() > 10,
+        "DLX should have many clusters"
+    );
     assert_eq!(
-        design.latch_netlist().num_latches(),
+        flow.latched()
+            .expect("latch conversion")
+            .netlist
+            .num_latches(),
         2 * netlist.num_flip_flops()
     );
-    assert!(design.control_model().is_live());
-    assert!(design.control_model().is_safe());
+    let network = flow.controlled().expect("desynchronization");
+    assert!(network.model.is_live());
+    assert!(network.model.is_safe());
 
     // The cycle-time penalty of desynchronization stays small on a real
     // pipeline (the paper reports ~1 %; the analytic model here lands within
     // a modest margin).
-    let sync = design.synchronous_period_ps();
-    let desync = design.cycle_time_ps();
+    let sync = flow.timed().expect("timing").sync_clock_period_ps;
+    let desync = flow.controlled().expect("model").model.cycle_time_ps();
     assert!(
         desync < 1.35 * sync,
         "cycle-time penalty too large: sync {sync} ps vs desync {desync} ps"
     );
-    assert!(desync > 0.8 * sync, "desync cannot be much faster than sync");
+    assert!(
+        desync > 0.8 * sync,
+        "desync cannot be much faster than sync"
+    );
 
     // Flow equivalence over a short instruction stream.
     let stim = instruction_stream(&netlist);
-    let report = verify_flow_equivalence(&netlist, &design, &library, &stim, 12)
-        .expect("co-simulation");
+    flow.set_verification(stim, 12);
+    let report = flow.verified().expect("co-simulation");
     assert!(report.is_equivalent(), "{}", report.equivalence);
     assert!(report.compared_cycles >= 10);
+
+    // Every stage ran exactly once for the whole test.
+    for stage in Stage::ALL {
+        assert_eq!(flow.stage_runs(stage), 1, "{stage}");
+    }
 }
 
 #[test]
 fn dlx_power_and_area_comparison_has_the_papers_shape() {
     let netlist = DlxConfig::default().generate().expect("dlx generation");
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-        .run()
+    let design = DesyncFlow::new(&netlist, &library, DesyncOptions::default())
+        .expect("valid options")
+        .design()
         .expect("desynchronization");
 
     // Area: the desynchronized design is slightly larger (controllers and

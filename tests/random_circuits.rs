@@ -8,11 +8,13 @@ use proptest::prelude::*;
 
 fn desynchronize_and_check(netlist: &Netlist, seed: u64, cycles: usize) {
     let library = CellLibrary::generic_90nm();
-    let design = Desynchronizer::new(netlist, &library, DesyncOptions::default())
-        .run()
+    let mut flow = DesyncFlow::new(netlist, &library, DesyncOptions::default())
+        .expect("default options are valid");
+    let network = flow
+        .controlled()
         .expect("flow must succeed on valid netlists");
-    prop_assert_ok(design.control_model().is_live(), "model must be live");
-    prop_assert_ok(design.control_model().is_safe(), "model must be safe");
+    prop_assert_ok(network.model.is_live(), "model must be live");
+    prop_assert_ok(network.model.is_safe(), "model must be safe");
 
     let inputs: Vec<_> = netlist
         .inputs()
@@ -20,9 +22,8 @@ fn desynchronize_and_check(netlist: &Netlist, seed: u64, cycles: usize) {
         .copied()
         .filter(|&n| netlist.net(n).name != "clk")
         .collect();
-    let stimulus = VectorSource::pseudo_random(inputs, seed);
-    let report = verify_flow_equivalence(netlist, &design, &library, &stimulus, cycles)
-        .expect("co-simulation");
+    flow.set_verification(VectorSource::pseudo_random(inputs, seed), cycles);
+    let report = flow.verified().expect("co-simulation");
     assert!(
         report.is_equivalent(),
         "random circuit must stay flow equivalent: {}",
@@ -64,24 +65,23 @@ proptest! {
         } else {
             ClusteringStrategy::ByNamePrefix
         };
-        let design = Desynchronizer::new(
+        let mut flow = DesyncFlow::new(
             &netlist,
             &library,
             DesyncOptions::default().with_clustering(clustering),
         )
-        .run()
-        .expect("flow");
-        prop_assert!(design.control_model().is_live());
-        prop_assert!(design.control_model().is_safe());
+        .expect("valid options");
+        let network = flow.controlled().expect("flow");
+        prop_assert!(network.model.is_live());
+        prop_assert!(network.model.is_safe());
         let inputs: Vec<_> = netlist
             .inputs()
             .iter()
             .copied()
             .filter(|&n| netlist.net(n).name != "clk")
             .collect();
-        let stimulus = VectorSource::pseudo_random(inputs, seed ^ 0xABCD);
-        let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 12)
-            .expect("co-simulation");
+        flow.set_verification(VectorSource::pseudo_random(inputs, seed ^ 0xABCD), 12);
+        let report = flow.verified().expect("co-simulation");
         prop_assert!(
             report.is_equivalent(),
             "seed {seed}: {}",
@@ -102,12 +102,17 @@ proptest! {
             .generate()
             .expect("pipeline generation");
         let library = CellLibrary::generic_90nm();
-        let design = Desynchronizer::new(&netlist, &library, DesyncOptions::default())
-            .run()
-            .expect("flow");
-        prop_assert!(design.matched_delays().values().all(|m| m.covers_logic()));
-        prop_assert!(design.control_model().is_live());
-        prop_assert!(design.control_model().is_safe());
+        let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default())
+            .expect("valid options");
+        prop_assert!(flow
+            .timed()
+            .expect("timing")
+            .matched_delays
+            .values()
+            .all(|m| m.covers_logic()));
+        let network = flow.controlled().expect("flow");
+        prop_assert!(network.model.is_live());
+        prop_assert!(network.model.is_safe());
         desynchronize_and_check(&netlist, seed, 10);
     }
 
@@ -129,22 +134,20 @@ proptest! {
         .expect("random generation");
         let library = CellLibrary::generic_90nm();
         let protocol = Protocol::all()[protocol_idx];
-        let design = Desynchronizer::new(
+        let mut flow = DesyncFlow::new(
             &netlist,
             &library,
             DesyncOptions::default().with_protocol(protocol),
         )
-        .run()
-        .expect("flow");
+        .expect("valid options");
         let inputs: Vec<_> = netlist
             .inputs()
             .iter()
             .copied()
             .filter(|&n| netlist.net(n).name != "clk")
             .collect();
-        let stimulus = VectorSource::pseudo_random(inputs, seed + 1);
-        let report = verify_flow_equivalence(&netlist, &design, &library, &stimulus, 10)
-            .expect("co-simulation");
+        flow.set_verification(VectorSource::pseudo_random(inputs, seed + 1), 10);
+        let report = flow.verified().expect("co-simulation");
         prop_assert!(report.is_equivalent(), "protocol {protocol}: {}", report.equivalence);
     }
 }

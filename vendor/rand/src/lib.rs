@@ -1,0 +1,124 @@
+//! Offline stub of `rand` (0.8 API subset).
+//!
+//! Implements exactly the surface this workspace uses: `StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer ranges, and
+//! `SliceRandom::choose`. The generator is splitmix64-seeded xorshift64*,
+//! which is deterministic per seed — all the workspace needs (it never
+//! relies on matching the real `StdRng` stream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait of the stub: a 64-bit generator plus the derived helpers.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`low..high` or `low..=high`).
+    fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Seeding constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types usable with [`Rng::gen_range`] to produce a `T`.
+pub trait UniformRange<T> {
+    /// Maps one raw 64-bit draw onto the range.
+    fn sample(&self, raw: u64) -> T;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for Range<$t> {
+            fn sample(&self, raw: u64) -> $t {
+                let span = (self.end - self.start).max(1) as u64;
+                self.start + (raw % span) as $t
+            }
+        }
+        impl UniformRange<$t> for RangeInclusive<$t> {
+            fn sample(&self, raw: u64) -> $t {
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + (raw % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8);
+
+/// Random selection from slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+    /// Uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.next_u64() as usize % self.len())
+        }
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scrambles the seed so nearby seeds diverge.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Glob-import surface, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng, SliceRandom};
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names this workspace imports. The
+//! derive macros (re-exported from the stub `serde_derive`) expand to
+//! nothing, and the marker traits exist so `T: Serialize` bounds could be
+//! written; no code in the workspace serializes anything yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

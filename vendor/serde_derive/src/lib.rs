@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real crate generates `Serialize`/`Deserialize` implementations; this
+//! workspace only uses the derives as forward-compatibility markers (no code
+//! serializes anything yet), so both derives expand to nothing. This keeps
+//! every `#[derive(Serialize, Deserialize)]` in the tree compiling — for any
+//! type, with any generics — without pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+/// Stub `Serialize` derive: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `Deserialize` derive: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
