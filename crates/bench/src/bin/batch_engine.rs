@@ -1,0 +1,23 @@
+//! Batch/service-mode workload: pushes a mixed request stream (pipelines,
+//! FIR, counter, DLX under several option sets, repeated over three rounds)
+//! through one shared [`desync_core::DesyncEngine`] and compares it against
+//! engine-less baseline flows.
+//!
+//! Reports the cache hit/miss counters per stage, the wall-time speedup,
+//! and the headline check that a repeated request recomputes zero
+//! construction stages.
+//!
+//! ```text
+//! cargo run --release -p desync-bench --bin batch_engine
+//! ```
+
+use desync_bench::batch::run_batch;
+
+fn main() {
+    let report = run_batch().expect("batch workload");
+    println!("{report}");
+    assert_eq!(
+        report.repeat_request_stage_runs, 0,
+        "a repeated request must be served entirely from the engine cache"
+    );
+}

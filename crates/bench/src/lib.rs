@@ -15,10 +15,12 @@
 //! | protocol ablation (extension) | [`sweeps::protocol_ablation`] | `ablation_protocols` |
 //! | matched-delay margin sweep (extension) | [`sweeps::margin_sweep`] | `ablation_margin` |
 //! | pipeline depth/imbalance sweep (extension) | [`sweeps::pipeline_sweep`] | `sweep_pipeline` |
+//! | engine batch workload (extension) | [`batch::run_batch`] | `batch_engine` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod figures;
 pub mod sweeps;
 pub mod table1;

@@ -1,0 +1,616 @@
+//! The cross-flow artifact cache and persistent sizing pool.
+//!
+//! The desynchronization flow is deterministic: for one (netlist, library,
+//! options) triple every stage artifact is a pure function of its inputs.
+//! A [`DesyncEngine`] exploits that determinism across flows — a batch or
+//! service front-end pushing many requests through the toolkit attaches each
+//! [`DesyncFlow`](crate::DesyncFlow) to one shared engine
+//! ([`DesyncEngine::flow`]), and any stage whose inputs were already seen is
+//! served from a content-addressed cache instead of recomputed:
+//!
+//! * **Cache keys** pair an interned netlist/library identity (stable
+//!   [`Netlist::structural_hash`] plus a full equality check, so distinct
+//!   designs can never collide) with the options *prefix* each stage
+//!   consumes ([`DesyncOptions::stage_prefix`] — the same mapping that
+//!   drives stage invalidation, so cache validity and invalidation can
+//!   never drift apart).
+//! * **Cached artifacts** are the four construction stages:
+//!   [`ClusterGraph`], [`LatchDesign`],
+//!   [`TimingTable`](crate::TimingTable) and
+//!   [`ControlNetwork`](crate::ControlNetwork). Verification depends on the
+//!   per-flow stimulus and is never cached.
+//! * **The sizing pool** is spawned once per engine and reused by every
+//!   `timed()` run, replacing the former per-run thread spawn whose overhead
+//!   roughly cancelled the parallel win at DLX scale. Results remain
+//!   bit-identical to serial sizing (see
+//!   [`StaSnapshot`](desync_sta::StaSnapshot)). Flows without an engine
+//!   share one lazily-spawned process-wide pool.
+//!
+//! ```
+//! use desync_core::{DesyncEngine, DesyncOptions, Stage};
+//! use desync_netlist::{CellKind, CellLibrary, Netlist};
+//!
+//! # fn main() -> Result<(), desync_core::DesyncError> {
+//! let mut n = Netlist::new("pipe");
+//! let clk = n.add_input("clk");
+//! let a = n.add_input("a");
+//! let q0 = n.add_net("q0");
+//! let w = n.add_net("w");
+//! let q1 = n.add_output("q1");
+//! n.add_dff("r0", a, clk, q0).unwrap();
+//! n.add_gate("g0", CellKind::Not, &[q0], w).unwrap();
+//! n.add_dff("r1", w, clk, q1).unwrap();
+//! let library = CellLibrary::generic_90nm();
+//!
+//! let engine = DesyncEngine::new();
+//! let first = engine.flow(&n, &library, DesyncOptions::default())?.design()?;
+//! // A second flow over the identical request recomputes nothing.
+//! let mut resumed = engine.flow(&n, &library, DesyncOptions::default())?;
+//! let second = resumed.design()?;
+//! assert_eq!(first, second);
+//! assert_eq!(resumed.stage_runs(Stage::Controlled), 0);
+//! assert_eq!(resumed.cache_hits(Stage::Controlled), 1);
+//! assert!(engine.report().total_hits() >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cluster::ClusterGraph;
+use crate::conversion::LatchDesign;
+use crate::error::DesyncError;
+use crate::options::{DesyncOptions, StagePrefix};
+use crate::pipeline::{ControlNetwork, DesyncFlow, Stage, TimingTable};
+use desync_netlist::{CellLibrary, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+/// Number of stages the engine caches (`Clustered` through `Controlled`).
+const CACHED_STAGES: usize = 4;
+
+/// Interned identity of a netlist inside one engine (collision-free: the
+/// engine confirms every structural-hash match with a full equality check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct NetlistId(u32);
+
+/// Interned identity of a cell library inside one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct LibraryId(u32);
+
+/// Content address of one stage artifact: which design, which library, and
+/// the options prefix the stage consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct StageKey {
+    netlist: NetlistId,
+    library: LibraryId,
+    prefix: StagePrefix,
+}
+
+/// A flow's connection to its engine, carried inside
+/// [`DesyncFlow`](crate::DesyncFlow).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineHandle<'a> {
+    engine: &'a DesyncEngine,
+    netlist: NetlistId,
+    library: LibraryId,
+}
+
+impl<'a> EngineHandle<'a> {
+    /// The cache key of `stage` under `options`.
+    pub(crate) fn stage_key(&self, options: &DesyncOptions, stage: Stage) -> StageKey {
+        StageKey {
+            netlist: self.netlist,
+            library: self.library,
+            prefix: options.stage_prefix(stage),
+        }
+    }
+
+    /// The engine's persistent sizing pool.
+    pub(crate) fn pool(&self) -> &'a SizingPool {
+        &self.engine.pool
+    }
+
+    /// The interned copy of the flow's cell library (an `Arc` clone, not a
+    /// deep copy) for handing to pool workers.
+    pub(crate) fn library(&self) -> Arc<CellLibrary> {
+        self.engine.with_state(|s| {
+            Arc::clone(
+                s.libraries
+                    .get(self.library.0 as usize)
+                    .expect("interned library outlives its flows"),
+            )
+        })
+    }
+
+    pub(crate) fn lookup_clustered(&self, key: &StageKey) -> Option<Arc<ClusterGraph>> {
+        self.engine
+            .lookup(Stage::Clustered, |s| s.clustered.get(key).cloned())
+    }
+
+    pub(crate) fn store_clustered(&self, key: StageKey, value: &Arc<ClusterGraph>) {
+        self.engine.with_state(|s| {
+            s.clustered.insert(key, Arc::clone(value));
+        });
+    }
+
+    pub(crate) fn lookup_latched(&self, key: &StageKey) -> Option<Arc<LatchDesign>> {
+        self.engine
+            .lookup(Stage::Latched, |s| s.latched.get(key).cloned())
+    }
+
+    pub(crate) fn store_latched(&self, key: StageKey, value: &Arc<LatchDesign>) {
+        self.engine.with_state(|s| {
+            s.latched.insert(key, Arc::clone(value));
+        });
+    }
+
+    pub(crate) fn lookup_timed(&self, key: &StageKey) -> Option<Arc<TimingTable>> {
+        self.engine
+            .lookup(Stage::Timed, |s| s.timed.get(key).cloned())
+    }
+
+    pub(crate) fn store_timed(&self, key: StageKey, value: &Arc<TimingTable>) {
+        self.engine.with_state(|s| {
+            s.timed.insert(key, Arc::clone(value));
+        });
+    }
+
+    pub(crate) fn lookup_controlled(&self, key: &StageKey) -> Option<Arc<ControlNetwork>> {
+        self.engine
+            .lookup(Stage::Controlled, |s| s.controlled.get(key).cloned())
+    }
+
+    pub(crate) fn store_controlled(&self, key: StageKey, value: &Arc<ControlNetwork>) {
+        self.engine.with_state(|s| {
+            s.controlled.insert(key, Arc::clone(value));
+        });
+    }
+}
+
+/// Everything behind the engine's lock: the interning tables, the four
+/// per-stage artifact maps and the hit/miss counters.
+#[derive(Debug, Default)]
+struct EngineState {
+    /// Structural hash → interned netlists with that hash (almost always one
+    /// entry; equality is re-checked on attach, so a hash collision costs a
+    /// comparison, never a wrong artifact).
+    netlists: HashMap<u64, Vec<(Arc<Netlist>, NetlistId)>>,
+    num_netlists: u32,
+    libraries: Vec<Arc<CellLibrary>>,
+    clustered: HashMap<StageKey, Arc<ClusterGraph>>,
+    latched: HashMap<StageKey, Arc<LatchDesign>>,
+    timed: HashMap<StageKey, Arc<TimingTable>>,
+    controlled: HashMap<StageKey, Arc<ControlNetwork>>,
+    hits: [usize; CACHED_STAGES],
+    misses: [usize; CACHED_STAGES],
+}
+
+/// A cross-flow artifact cache plus a persistent matched-delay sizing pool.
+///
+/// See the [module documentation](self) for the caching model and an
+/// end-to-end example. An engine is `Sync`: many threads may drive flows
+/// against it concurrently (the cache is behind one mutex; stage computation
+/// itself happens outside the lock, so two racing flows may both compute a
+/// missing artifact — the values are identical, and the second store wins
+/// harmlessly).
+#[derive(Debug)]
+pub struct DesyncEngine {
+    state: Mutex<EngineState>,
+    pool: SizingPool,
+}
+
+impl Default for DesyncEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesyncEngine {
+    /// Creates an engine whose sizing pool has one worker per available CPU.
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    /// Creates an engine with an explicit sizing-pool size (clamped to at
+    /// least one worker). The pool threads are spawned here, once, and live
+    /// until the engine is dropped.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(EngineState::default()),
+            pool: SizingPool::new(workers),
+        }
+    }
+
+    /// Creates a [`DesyncFlow`] over `netlist` attached to this engine.
+    ///
+    /// The flow behaves exactly like one from [`DesyncFlow::new`], except
+    /// that every construction stage first consults the engine cache and
+    /// publishes its artifact on a miss, and matched-delay sizing runs on
+    /// the engine's persistent pool.
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::InvalidOptions`] when a knob fails
+    /// [`DesyncOptions::validate`].
+    pub fn flow<'a>(
+        &'a self,
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+    ) -> Result<DesyncFlow<'a>, DesyncError> {
+        DesyncFlow::with_engine(netlist, library, options, self)
+    }
+
+    /// Registers `netlist` and `library` with the interning tables and
+    /// returns the flow's handle.
+    pub(crate) fn attach<'a>(
+        &'a self,
+        netlist: &Netlist,
+        library: &CellLibrary,
+    ) -> EngineHandle<'a> {
+        // The deep netlist comparison (and the clone of a first-seen
+        // netlist) is O(design); doing it while holding the engine mutex
+        // would serialize concurrent flow creation on exactly the hot
+        // cache-hit path. Snapshot the candidates under the lock, compare
+        // outside it, and re-lock only to intern — re-scanning whatever a
+        // racing thread interned in between so identities stay canonical.
+        let hash = netlist.structural_hash();
+        let candidates: Vec<(Arc<Netlist>, NetlistId)> =
+            self.with_state(|s| s.netlists.get(&hash).cloned().unwrap_or_default());
+        let netlist_id = match candidates
+            .iter()
+            .find(|(stored, _)| stored.as_ref() == netlist)
+        {
+            Some((_, id)) => *id,
+            None => {
+                let interned = Arc::new(netlist.clone());
+                self.with_state(|s| {
+                    let fresh = NetlistId(s.num_netlists);
+                    let bucket = s.netlists.entry(hash).or_default();
+                    match bucket[candidates.len()..]
+                        .iter()
+                        .find(|(stored, _)| stored.as_ref() == netlist)
+                    {
+                        Some((_, id)) => *id,
+                        None => {
+                            bucket.push((interned, fresh));
+                            s.num_netlists += 1;
+                            fresh
+                        }
+                    }
+                })
+            }
+        };
+        let known_libraries: Vec<Arc<CellLibrary>> = self.with_state(|s| s.libraries.clone());
+        let library_id = match known_libraries
+            .iter()
+            .position(|stored| stored.as_ref() == library)
+        {
+            Some(index) => LibraryId(index as u32),
+            None => {
+                let interned = Arc::new(library.clone());
+                self.with_state(|s| {
+                    match s.libraries[known_libraries.len()..]
+                        .iter()
+                        .position(|stored| stored.as_ref() == library)
+                    {
+                        Some(offset) => LibraryId((known_libraries.len() + offset) as u32),
+                        None => {
+                            s.libraries.push(interned);
+                            LibraryId((s.libraries.len() - 1) as u32)
+                        }
+                    }
+                })
+            }
+        };
+        EngineHandle {
+            engine: self,
+            netlist: netlist_id,
+            library: library_id,
+        }
+    }
+
+    fn with_state<T>(&self, f: impl FnOnce(&mut EngineState) -> T) -> T {
+        f(&mut self.state.lock().expect("engine cache lock poisoned"))
+    }
+
+    fn lookup<T>(&self, stage: Stage, get: impl FnOnce(&EngineState) -> Option<T>) -> Option<T> {
+        self.with_state(|state| {
+            let found = get(state);
+            if found.is_some() {
+                state.hits[stage.index()] += 1;
+            } else {
+                state.misses[stage.index()] += 1;
+            }
+            found
+        })
+    }
+
+    /// Number of worker threads in the persistent sizing pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Drops every cached stage artifact.
+    ///
+    /// Interned netlists/libraries stay registered (flows created earlier
+    /// keep valid identities) and the hit/miss counters keep accumulating;
+    /// only the artifact maps are emptied.
+    pub fn clear(&self) {
+        self.with_state(|state| {
+            state.clustered.clear();
+            state.latched.clear();
+            state.timed.clear();
+            state.controlled.clear();
+        });
+    }
+
+    /// A snapshot of the engine's cache population and hit/miss counters.
+    pub fn report(&self) -> EngineReport {
+        self.with_state(|state| EngineReport {
+            netlists: state.num_netlists as usize,
+            libraries: state.libraries.len(),
+            pool_workers: self.pool.workers(),
+            stages: [
+                (Stage::Clustered, state.clustered.len()),
+                (Stage::Latched, state.latched.len()),
+                (Stage::Timed, state.timed.len()),
+                (Stage::Controlled, state.controlled.len()),
+            ]
+            .into_iter()
+            .map(|(stage, entries)| EngineStageStats {
+                stage,
+                entries,
+                hits: state.hits[stage.index()],
+                misses: state.misses[stage.index()],
+            })
+            .collect(),
+        })
+    }
+}
+
+/// Cache statistics of one stage of a [`DesyncEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStageStats {
+    /// The stage (one of the four construction stages; verification is
+    /// never cached).
+    pub stage: Stage,
+    /// Distinct artifacts currently cached for the stage.
+    pub entries: usize,
+    /// Lookups served from the cache since the engine was created.
+    pub hits: usize,
+    /// Lookups that had to compute (and then publish) the artifact.
+    pub misses: usize,
+}
+
+/// A snapshot of a [`DesyncEngine`]'s cache population and counters, see
+/// [`DesyncEngine::report`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Distinct netlists interned so far.
+    pub netlists: usize,
+    /// Distinct cell libraries interned so far.
+    pub libraries: usize,
+    /// Worker threads in the persistent sizing pool.
+    pub pool_workers: usize,
+    /// Per-stage statistics, in pipeline order.
+    pub stages: Vec<EngineStageStats>,
+}
+
+impl EngineReport {
+    /// Cache hits summed over all stages.
+    pub fn total_hits(&self) -> usize {
+        self.stages.iter().map(|s| s.hits).sum()
+    }
+
+    /// Cache misses summed over all stages.
+    pub fn total_misses(&self) -> usize {
+        self.stages.iter().map(|s| s.misses).sum()
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "desync engine: {} netlist(s), {} library(ies), {} sizing worker(s)",
+            self.netlists, self.libraries, self.pool_workers
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7}",
+            "stage", "entries", "hits", "misses"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<12} {:>7} {:>7} {:>7}",
+                s.stage.name(),
+                s.entries,
+                s.hits,
+                s.misses
+            )?;
+        }
+        write!(
+            f,
+            "  total: {} hit(s) / {} miss(es) ({:.1} % hit rate)",
+            self.total_hits(),
+            self.total_misses(),
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
+// ---- the persistent sizing pool ----------------------------------------
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool for matched-delay sizing.
+///
+/// Workers are spawned once (per engine, or once per process for the shared
+/// pool of engine-less flows) and block on a job queue between `timed()`
+/// runs, replacing the former per-run `std::thread::scope` fan-out whose
+/// spawn overhead roughly cancelled the parallel win at DLX scale.
+#[derive(Debug)]
+pub(crate) struct SizingPool {
+    sender: Option<mpsc::Sender<PoolJob>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SizingPool {
+    pub(crate) fn new(workers: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<PoolJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("desync-sizing-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let queue = receiver.lock().expect("sizing queue lock poisoned");
+                            queue.recv()
+                        };
+                        match job {
+                            // Survive a panicking job: the submitter detects
+                            // the missing result; the worker stays usable.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // pool handle dropped: drain out
+                        }
+                    })
+                    .expect("spawning sizing worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool, blocking until all complete, and returns
+    /// the results in task order (independent of completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panicked instead of returning a result.
+    pub(crate) fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let count = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let sender = self.sender.as_ref().expect("pool is alive until dropped");
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            sender
+                .send(Box::new(move || {
+                    let _ = tx.send((index, task()));
+                }))
+                .expect("sizing workers outlive the pool handle");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+        // Every task owns one sender clone; a panicked task drops its sender
+        // without sending, so recv() disconnects instead of deadlocking.
+        while let Ok((index, value)) = rx.recv() {
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("a sizing task panicked instead of returning"))
+            .collect()
+    }
+}
+
+impl Drop for SizingPool {
+    fn drop(&mut self) {
+        self.sender.take(); // disconnect the queue; workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool used by flows that are not attached to an engine,
+/// spawned lazily on the first parallel sizing run and reused for the rest
+/// of the process lifetime.
+pub(crate) fn shared_sizing_pool() -> &'static SizingPool {
+    static POOL: OnceLock<SizingPool> = OnceLock::new();
+    POOL.get_or_init(|| SizingPool::new(default_workers()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // A service front-end shares one engine across request threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesyncEngine>();
+        assert_send_sync::<EngineReport>();
+    }
+
+    #[test]
+    fn pool_returns_results_in_task_order() {
+        let pool = SizingPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 3 == 0 {
+                        thread::yield_now(); // scramble completion order
+                    }
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+        // The pool is reusable across runs (that is its whole point).
+        let again: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| 7), Box::new(|| 11)];
+        assert_eq!(pool.run(again), vec![7, 11]);
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_worker() {
+        let pool = SizingPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run::<u8>(Vec::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "sizing task panicked")]
+    fn pool_reports_a_panicked_task() {
+        let pool = SizingPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let _ = pool.run(tasks);
+    }
+}

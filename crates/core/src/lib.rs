@@ -24,6 +24,14 @@
 //! threads, with results bit-identical to the serial path. Per-stage run
 //! counts and wall times are collected in a [`FlowReport`].
 //!
+//! Because the flow is deterministic per (netlist, library, options),
+//! artifacts can also be shared *across* flows: a [`DesyncEngine`] is a
+//! content-addressed cross-flow cache plus a persistent matched-delay
+//! sizing pool, and [`DesyncEngine::flow`] creates flows that recompute
+//! nothing another flow over the same design already produced — the
+//! building block for batch and service front-ends (see the [`engine`]
+//! module documentation).
+//!
 //! [`Desynchronizer`] is the one-call convenience wrapper: it advances a
 //! fresh flow end to end and bundles the artifacts into a [`DesyncDesign`].
 //!
@@ -71,6 +79,7 @@
 pub mod cluster;
 pub mod controller;
 pub mod conversion;
+pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod model;
@@ -81,6 +90,7 @@ pub mod verify;
 pub use cluster::{Cluster, ClusterEdge, ClusterGraph, Parity};
 pub use controller::{ControllerImpl, Protocol};
 pub use conversion::{LatchDesign, LatchPair};
+pub use engine::{DesyncEngine, EngineReport, EngineStageStats};
 pub use error::{DesyncError, OptionsError};
 pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
 pub use model::ControlModel;

@@ -28,17 +28,19 @@
 use crate::cluster::{ClusterGraph, Parity};
 use crate::controller::ControllerImpl;
 use crate::conversion::{to_desynchronized_datapath, LatchDesign};
+use crate::engine::{shared_sizing_pool, DesyncEngine, EngineHandle, SizingPool};
 use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
 use crate::options::DesyncOptions;
 use crate::verify::{verify_flow_equivalence, EquivalenceReport};
-use desync_netlist::{CellLibrary, Netlist};
+use desync_netlist::{CellLibrary, NetId, Netlist};
 use desync_sim::VectorSource;
-use desync_sta::{MatchedDelay, Sta, TimingConfig};
+use desync_sta::{MatchedDelay, Sta, StaSnapshot, TimingConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The five stages of the desynchronization pipeline, in execution order.
@@ -164,6 +166,10 @@ pub struct StageReport {
     /// How many times the stage has executed over the flow's lifetime
     /// (greater than one after option changes invalidated it).
     pub runs: usize,
+    /// How many times the stage was served from an attached
+    /// [`DesyncEngine`]'s cross-flow cache instead of executing (always zero
+    /// for detached flows).
+    pub cache_hits: usize,
     /// Wall time of the most recent execution.
     pub last_wall: Duration,
     /// Wall time summed over all executions.
@@ -208,8 +214,8 @@ impl fmt::Display for FlowReport {
         writeln!(f, "flow report for `{}`", self.netlist)?;
         writeln!(
             f,
-            "  {:<12} {:>5} {:>12} {:>12}  artifact",
-            "stage", "runs", "last [us]", "total [us]"
+            "  {:<12} {:>5} {:>5} {:>12} {:>12}  artifact",
+            "stage", "runs", "hits", "last [us]", "total [us]"
         )?;
         for s in &self.stages {
             let artifact = match s.stage {
@@ -234,16 +240,17 @@ impl fmt::Display for FlowReport {
                     .map(|eq| format!("flow equivalent: {eq}"))
                     .unwrap_or_else(|| "—".into()),
             };
-            let stale = if s.cached || s.runs == 0 {
+            let stale = if s.cached || (s.runs == 0 && s.cache_hits == 0) {
                 ""
             } else {
                 " (stale)"
             };
             writeln!(
                 f,
-                "  {:<12} {:>5} {:>12} {:>12}  {}{}",
+                "  {:<12} {:>5} {:>5} {:>12} {:>12}  {}{}",
                 s.stage.name(),
                 s.runs,
+                s.cache_hits,
                 s.last_wall.as_micros(),
                 s.total_wall.as_micros(),
                 artifact,
@@ -295,15 +302,21 @@ pub struct DesyncFlow<'a> {
     netlist: &'a Netlist,
     library: &'a CellLibrary,
     options: DesyncOptions,
+    engine: Option<EngineHandle<'a>>,
+    /// Owned copy of `library` for pool workers, created lazily on the
+    /// first pooled sizing run of a detached flow and reused afterwards
+    /// (engine-attached flows use the engine's interned copy instead).
+    pool_library: Option<Arc<CellLibrary>>,
     stimulus: Option<VectorSource>,
     verify_cycles: usize,
-    clustered: Option<ClusterGraph>,
-    latched: Option<LatchDesign>,
-    timed: Option<TimingTable>,
-    controlled: Option<ControlNetwork>,
+    clustered: Option<Arc<ClusterGraph>>,
+    latched: Option<Arc<LatchDesign>>,
+    timed: Option<Arc<TimingTable>>,
+    controlled: Option<Arc<ControlNetwork>>,
     assembled: Option<DesyncDesign>,
     verified: Option<EquivalenceReport>,
     runs: [usize; 5],
+    cache_hits: [usize; 5],
     last_wall: [Duration; 5],
     total_wall: [Duration; 5],
 }
@@ -326,11 +339,46 @@ impl<'a> DesyncFlow<'a> {
         library: &'a CellLibrary,
         options: DesyncOptions,
     ) -> Result<Self, DesyncError> {
+        Self::build(netlist, library, options, None)
+    }
+
+    /// Creates a flow attached to a [`DesyncEngine`]: every construction
+    /// stage first consults the engine's cross-flow artifact cache
+    /// (publishing its artifact on a miss), and matched-delay sizing runs on
+    /// the engine's persistent worker pool. [`DesyncEngine::flow`] is the
+    /// ergonomic spelling of the same call.
+    ///
+    /// The produced artifacts and [`DesyncDesign`] are identical to a
+    /// detached flow's — the engine only changes *where* they come from.
+    /// Per-flow cache hits are visible through [`DesyncFlow::cache_hits`]
+    /// and the [`FlowReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::InvalidOptions`] when a knob fails
+    /// [`DesyncOptions::validate`].
+    pub fn with_engine(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+        engine: &'a DesyncEngine,
+    ) -> Result<Self, DesyncError> {
+        Self::build(netlist, library, options, Some(engine))
+    }
+
+    fn build(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+        engine: Option<&'a DesyncEngine>,
+    ) -> Result<Self, DesyncError> {
         options.validate()?;
         Ok(Self {
             netlist,
             library,
             options,
+            engine: engine.map(|e| e.attach(netlist, library)),
+            pool_library: None,
             stimulus: None,
             verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
             clustered: None,
@@ -340,6 +388,7 @@ impl<'a> DesyncFlow<'a> {
             assembled: None,
             verified: None,
             runs: [0; 5],
+            cache_hits: [0; 5],
             last_wall: [Duration::ZERO; 5],
             total_wall: [Duration::ZERO; 5],
         })
@@ -375,6 +424,12 @@ impl<'a> DesyncFlow<'a> {
         options.validate()?;
         if let Some(stage) = earliest_invalidated(&self.options, &options) {
             self.invalidate_from(stage);
+        } else if options != self.options {
+            // No stage consumes the changed knobs (parallel_sizing), but the
+            // assembled design embeds the option set verbatim — drop only
+            // the assembly so design() reports the current knobs. All stage
+            // artifacts survive; reassembly is a handful of clones.
+            self.assembled = None;
         }
         self.options = options;
         Ok(self)
@@ -487,8 +542,20 @@ impl<'a> DesyncFlow<'a> {
     }
 
     /// How many times `stage` has executed over the flow's lifetime.
+    ///
+    /// A stage served from an attached engine's cache does **not** count as
+    /// a run — see [`DesyncFlow::cache_hits`].
     pub fn stage_runs(&self, stage: Stage) -> usize {
         self.runs[stage.index()]
+    }
+
+    /// How many times `stage` was served from the attached
+    /// [`DesyncEngine`]'s cross-flow cache instead of executing.
+    ///
+    /// Always zero for detached flows and for [`Stage::Verified`] (which is
+    /// never cached).
+    pub fn cache_hits(&self, stage: Stage) -> usize {
+        self.cache_hits[stage.index()]
     }
 
     // ---- stage accessors ------------------------------------------------
@@ -501,12 +568,32 @@ impl<'a> DesyncFlow<'a> {
     /// signatures uniform across stages.
     pub fn clustered(&mut self) -> Result<&ClusterGraph, DesyncError> {
         if self.clustered.is_none() {
-            let started = Instant::now();
-            let graph = ClusterGraph::build(self.netlist, self.options.clustering);
-            self.record(Stage::Clustered, started);
+            let key = self
+                .engine
+                .map(|e| e.stage_key(&self.options, Stage::Clustered));
+            let cached = self
+                .engine
+                .zip(key)
+                .and_then(|(e, key)| e.lookup_clustered(&key));
+            let graph = match cached {
+                Some(hit) => {
+                    self.cache_hits[Stage::Clustered.index()] += 1;
+                    hit
+                }
+                None => {
+                    let started = Instant::now();
+                    let graph = ClusterGraph::build(self.netlist, self.options.clustering);
+                    self.record(Stage::Clustered, started);
+                    let graph = Arc::new(graph);
+                    if let (Some(engine), Some(key)) = (self.engine, key) {
+                        engine.store_clustered(key, &graph);
+                    }
+                    graph
+                }
+            };
             self.clustered = Some(graph);
         }
-        Ok(self.clustered.as_ref().expect("just computed"))
+        Ok(self.clustered.as_deref().expect("just computed"))
     }
 
     /// The latch-converted datapath, running stages through
@@ -520,13 +607,33 @@ impl<'a> DesyncFlow<'a> {
     pub fn latched(&mut self) -> Result<&LatchDesign, DesyncError> {
         if self.latched.is_none() {
             self.clustered()?;
-            let clusters = self.clustered.as_ref().expect("clustered stage ran");
-            let started = Instant::now();
-            let design = to_desynchronized_datapath(self.netlist, clusters)?;
-            self.record(Stage::Latched, started);
+            let key = self
+                .engine
+                .map(|e| e.stage_key(&self.options, Stage::Latched));
+            let cached = self
+                .engine
+                .zip(key)
+                .and_then(|(e, key)| e.lookup_latched(&key));
+            let design = match cached {
+                Some(hit) => {
+                    self.cache_hits[Stage::Latched.index()] += 1;
+                    hit
+                }
+                None => {
+                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
+                    let started = Instant::now();
+                    let design = to_desynchronized_datapath(self.netlist, clusters)?;
+                    self.record(Stage::Latched, started);
+                    let design = Arc::new(design);
+                    if let (Some(engine), Some(key)) = (self.engine, key) {
+                        engine.store_latched(key, &design);
+                    }
+                    design
+                }
+            };
             self.latched = Some(design);
         }
-        Ok(self.latched.as_ref().expect("just computed"))
+        Ok(self.latched.as_deref().expect("just computed"))
     }
 
     /// The timing table, running stages through [`Stage::Timed`] if needed.
@@ -537,13 +644,55 @@ impl<'a> DesyncFlow<'a> {
     pub fn timed(&mut self) -> Result<&TimingTable, DesyncError> {
         if self.timed.is_none() {
             self.latched()?;
-            let clusters = self.clustered.as_ref().expect("clustered stage ran");
-            let started = Instant::now();
-            let table = compute_timing(self.netlist, self.library, clusters, &self.options);
-            self.record(Stage::Timed, started);
+            let key = self
+                .engine
+                .map(|e| e.stage_key(&self.options, Stage::Timed));
+            let cached = self
+                .engine
+                .zip(key)
+                .and_then(|(e, key)| e.lookup_timed(&key));
+            let table = match cached {
+                Some(hit) => {
+                    self.cache_hits[Stage::Timed.index()] += 1;
+                    hit
+                }
+                None => {
+                    // Parallel sizing runs on a persistent pool: the attached
+                    // engine's own pool (with its interned library), or the
+                    // process-wide one for detached flows (with a per-flow
+                    // memoized library copy).
+                    let parallel = self.options.parallel_sizing
+                        && self.clustered.as_deref().is_some_and(|c| c.len() > 1);
+                    let pool = if parallel {
+                        Some(match &self.engine {
+                            Some(handle) => (handle.pool(), handle.library()),
+                            None => {
+                                if self.pool_library.is_none() {
+                                    self.pool_library = Some(Arc::new(self.library.clone()));
+                                }
+                                let library =
+                                    Arc::clone(self.pool_library.as_ref().expect("just filled"));
+                                (shared_sizing_pool(), library)
+                            }
+                        })
+                    } else {
+                        None
+                    };
+                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
+                    let started = Instant::now();
+                    let table =
+                        compute_timing(self.netlist, self.library, clusters, &self.options, pool);
+                    self.record(Stage::Timed, started);
+                    let table = Arc::new(table);
+                    if let (Some(engine), Some(key)) = (self.engine, key) {
+                        engine.store_timed(key, &table);
+                    }
+                    table
+                }
+            };
             self.timed = Some(table);
         }
-        Ok(self.timed.as_ref().expect("just computed"))
+        Ok(self.timed.as_deref().expect("just computed"))
     }
 
     /// The controller network and control model, running stages through
@@ -557,14 +706,35 @@ impl<'a> DesyncFlow<'a> {
     pub fn controlled(&mut self) -> Result<&ControlNetwork, DesyncError> {
         if self.controlled.is_none() {
             self.timed()?;
-            let clusters = self.clustered.as_ref().expect("clustered stage ran");
-            let timing = self.timed.as_ref().expect("timed stage ran");
-            let started = Instant::now();
-            let network = build_control_network(self.netlist, clusters, timing, &self.options)?;
-            self.record(Stage::Controlled, started);
+            let key = self
+                .engine
+                .map(|e| e.stage_key(&self.options, Stage::Controlled));
+            let cached = self
+                .engine
+                .zip(key)
+                .and_then(|(e, key)| e.lookup_controlled(&key));
+            let network = match cached {
+                Some(hit) => {
+                    self.cache_hits[Stage::Controlled.index()] += 1;
+                    hit
+                }
+                None => {
+                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
+                    let timing = self.timed.as_deref().expect("timed stage ran");
+                    let started = Instant::now();
+                    let network =
+                        build_control_network(self.netlist, clusters, timing, &self.options)?;
+                    self.record(Stage::Controlled, started);
+                    let network = Arc::new(network);
+                    if let (Some(engine), Some(key)) = (self.engine, key) {
+                        engine.store_controlled(key, &network);
+                    }
+                    network
+                }
+            };
             self.controlled = Some(network);
         }
-        Ok(self.controlled.as_ref().expect("just computed"))
+        Ok(self.controlled.as_deref().expect("just computed"))
     }
 
     /// The flow-equivalence report, running stages through
@@ -589,8 +759,17 @@ impl<'a> DesyncFlow<'a> {
         if self.verified.is_none() {
             self.ensure_assembled()?;
             if self.stimulus.is_none() {
-                let clock = self.netlist.single_clock().ok();
-                let has_data_inputs = self.netlist.inputs().iter().any(|&n| Some(n) != clock);
+                // Surface a clock problem as its own diagnostic instead of
+                // swallowing it (the old `single_clock().ok()` made every
+                // input of a multi-clock netlist — the clocks included —
+                // count as a data input and reported `MissingStimulus`).
+                // Today the Latched stage already rejects multi-clock
+                // netlists before this line can run, so this is
+                // defense-in-depth: it keeps the diagnostic correct even if
+                // stage construction (e.g. cross-flow artifact sourcing)
+                // ever stops funnelling through the conversion check.
+                let clock = self.netlist.single_clock().map_err(DesyncError::Netlist)?;
+                let has_data_inputs = self.netlist.inputs().iter().any(|&n| n != clock);
                 if has_data_inputs {
                     return Err(DesyncError::MissingStimulus);
                 }
@@ -648,10 +827,10 @@ impl<'a> DesyncFlow<'a> {
             return Ok(());
         }
         self.controlled()?;
-        let clusters = self.clustered.as_ref().expect("clustered stage ran");
-        let latched = self.latched.as_ref().expect("latched stage ran");
-        let timing = self.timed.as_ref().expect("timed stage ran");
-        let network = self.controlled.as_ref().expect("controlled stage ran");
+        let clusters = self.clustered.as_deref().expect("clustered stage ran");
+        let latched = self.latched.as_deref().expect("latched stage ran");
+        let timing = self.timed.as_deref().expect("timed stage ran");
+        let network = self.controlled.as_deref().expect("controlled stage ran");
         self.assembled = Some(DesyncDesign::from_parts(
             self.netlist.name().to_string(),
             self.options,
@@ -673,6 +852,7 @@ impl<'a> DesyncFlow<'a> {
             .map(|&stage| StageReport {
                 stage,
                 runs: self.runs[stage.index()],
+                cache_hits: self.cache_hits[stage.index()],
                 last_wall: self.last_wall[stage.index()],
                 total_wall: self.total_wall[stage.index()],
                 cached: match stage {
@@ -687,12 +867,12 @@ impl<'a> DesyncFlow<'a> {
         FlowReport {
             netlist: self.netlist.name().to_string(),
             stages,
-            clusters: self.clustered.as_ref().map(ClusterGraph::len),
-            cluster_edges: self.clustered.as_ref().map(|c| c.edges.len()),
-            latches: self.latched.as_ref().map(|l| l.netlist.num_latches()),
-            matched_delay_cells: self.timed.as_ref().map(TimingTable::total_delay_cells),
-            sync_period_ps: self.timed.as_ref().map(|t| t.sync_clock_period_ps),
-            cycle_time_ps: self.controlled.as_ref().map(|c| c.model.cycle_time_ps()),
+            clusters: self.clustered.as_deref().map(ClusterGraph::len),
+            cluster_edges: self.clustered.as_deref().map(|c| c.edges.len()),
+            latches: self.latched.as_deref().map(|l| l.netlist.num_latches()),
+            matched_delay_cells: self.timed.as_deref().map(TimingTable::total_delay_cells),
+            sync_period_ps: self.timed.as_deref().map(|t| t.sync_clock_period_ps),
+            cycle_time_ps: self.controlled.as_deref().map(|c| c.model.cycle_time_ps()),
             flow_equivalent: self.verified.as_ref().map(EquivalenceReport::is_equivalent),
         }
     }
@@ -707,127 +887,162 @@ impl<'a> DesyncFlow<'a> {
 }
 
 /// The earliest stage whose inputs differ between two option sets.
+///
+/// Defined in terms of [`DesyncOptions::stage_prefix`] — the same canonical
+/// knob → stage mapping that forms the options half of the
+/// [`DesyncEngine`] cache keys, so flow invalidation and cross-flow cache
+/// validity cannot drift apart.
 fn earliest_invalidated(old: &DesyncOptions, new: &DesyncOptions) -> Option<Stage> {
-    if old.clustering != new.clustering {
-        Some(Stage::Clustered)
-    } else if old.timing != new.timing || old.matched_delay_margin != new.matched_delay_margin {
-        Some(Stage::Timed)
-    } else if old.protocol != new.protocol
-        || old.controller_delay_ps != new.controller_delay_ps
-        || old.environment != new.environment
-    {
-        Some(Stage::Controlled)
-    } else {
-        None
-    }
+    Stage::ALL
+        .into_iter()
+        .find(|&stage| old.stage_prefix(stage) != new.stage_prefix(stage))
 }
 
 // ---- Stage::Timed ------------------------------------------------------
 
-/// Sizing job for one source cluster: every outgoing edge shares the
-/// source's arrival-time computation.
-fn size_source_cluster(
+/// One matched-delay sizing job: a source cluster with at least one
+/// successor. Fully owned (no borrows of the netlist or analyzer), so jobs
+/// can be moved onto the persistent pool's long-lived worker threads. The
+/// serial path runs the very same jobs in source order, so there is exactly
+/// one sizing implementation to keep correct.
+struct SourceSizingJob {
+    src_idx: usize,
+    /// Output nets of the source cluster's registers, in register order.
+    src_outputs: Vec<NetId>,
+    /// Launch overhead shared by every outgoing edge of the source.
+    launch_ps: f64,
+    /// Per successor cluster: its index and the data nets of its registers,
+    /// in register order (the same order the serial path folds over).
+    targets: Vec<(usize, Vec<NetId>)>,
+}
+
+/// Builds one [`SourceSizingJob`] per source cluster with successors.
+fn build_sizing_jobs(
     netlist: &Netlist,
-    library: &CellLibrary,
-    sta: &Sta<'_>,
     clusters: &ClusterGraph,
     fanout: &[usize],
     options: &DesyncOptions,
-    src_idx: usize,
-) -> Vec<((usize, usize), MatchedDelay, f64)> {
-    let successors: Vec<usize> = clusters
-        .edges
-        .iter()
-        .filter(|e| e.from == src_idx)
-        .map(|e| e.to)
-        .collect();
-    if successors.is_empty() {
-        return Vec::new();
-    }
-    let src = &clusters.clusters[src_idx];
-    let src_outputs: Vec<_> = src
-        .registers
-        .iter()
-        .map(|&r| netlist.cell(r).output)
-        .collect();
-    let arrival = sta.arrival_from(&src_outputs);
-    // Launch overhead: the time from the source slave latch opening until
-    // its output carries the forwarded data item. In the worst case the
-    // master latch captured its data right at its closing edge, so the item
-    // still has to traverse the master latch (one latch delay plus the wire
-    // to the slave) and then the slave latch itself (one latch delay plus
-    // the wire load of its possibly high fan-out output net).
-    let max_fanout = src_outputs
-        .iter()
-        .map(|n| fanout[n.index()])
-        .max()
-        .unwrap_or(1)
-        .max(1);
-    let launch = 2.0 * options.timing.latch_d_to_q_ps
-        + options.timing.wire_delay_per_fanout_ps * (1 + max_fanout) as f64;
-    successors
-        .into_iter()
-        .map(|dst_idx| {
-            let dst = &clusters.clusters[dst_idx];
-            let mut worst = 0.0_f64;
-            for &reg in &dst.registers {
-                if let Some(d) = netlist.cell(reg).data_net() {
-                    if let Some(a) = arrival[d.index()] {
-                        worst = worst.max(a);
-                    }
-                }
+) -> Vec<SourceSizingJob> {
+    (0..clusters.len())
+        .filter_map(|src_idx| {
+            let targets: Vec<(usize, Vec<NetId>)> = clusters
+                .edges
+                .iter()
+                .filter(|e| e.from == src_idx)
+                .map(|e| {
+                    let dst = &clusters.clusters[e.to];
+                    let data_nets = dst
+                        .registers
+                        .iter()
+                        .filter_map(|&reg| netlist.cell(reg).data_net())
+                        .collect();
+                    (e.to, data_nets)
+                })
+                .collect();
+            if targets.is_empty() {
+                return None;
             }
-            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
-            ((src_idx, dst_idx), matched, launch)
+            let src = &clusters.clusters[src_idx];
+            let src_outputs: Vec<NetId> = src
+                .registers
+                .iter()
+                .map(|&r| netlist.cell(r).output)
+                .collect();
+            // Launch overhead: the time from the source slave latch opening
+            // until its output carries the forwarded data item. In the worst
+            // case the master latch captured its data right at its closing
+            // edge, so the item still has to traverse the master latch (one
+            // latch delay plus the wire to the slave) and then the slave
+            // latch itself (one latch delay plus the wire load of its
+            // possibly high fan-out output net).
+            let max_fanout = src_outputs
+                .iter()
+                .map(|n| fanout[n.index()])
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let launch_ps = 2.0 * options.timing.latch_d_to_q_ps
+                + options.timing.wire_delay_per_fanout_ps * (1 + max_fanout) as f64;
+            Some(SourceSizingJob {
+                src_idx,
+                src_outputs,
+                launch_ps,
+                targets,
+            })
         })
         .collect()
 }
+
+/// Executes one sizing job against an owned arrival snapshot.
+///
+/// Both the serial and the pooled path run this exact function;
+/// [`StaSnapshot::arrival_from`] replays [`Sta::arrival_from`] bit-for-bit
+/// (asserted by a test in `desync-sta`), so scheduling cannot change a
+/// single bit of the result.
+fn run_sizing_job(
+    snapshot: &StaSnapshot,
+    library: &CellLibrary,
+    margin: f64,
+    job: &SourceSizingJob,
+) -> Vec<((usize, usize), MatchedDelay, f64)> {
+    let arrival = snapshot.arrival_from(&job.src_outputs);
+    job.targets
+        .iter()
+        .map(|(dst_idx, data_nets)| {
+            let mut worst = 0.0_f64;
+            for net in data_nets {
+                if let Some(a) = arrival[net.index()] {
+                    worst = worst.max(a);
+                }
+            }
+            let matched = MatchedDelay::for_delay(worst, margin, library);
+            ((job.src_idx, *dst_idx), matched, job.launch_ps)
+        })
+        .collect()
+}
+
+/// One sized cluster edge: `((from, to), matched delay, launch overhead)`.
+type SizedEdge = ((usize, usize), MatchedDelay, f64);
+/// A sizing task handed to the persistent pool.
+type SizingTask = Box<dyn FnOnce() -> Vec<SizedEdge> + Send>;
 
 fn compute_timing(
     netlist: &Netlist,
     library: &CellLibrary,
     clusters: &ClusterGraph,
     options: &DesyncOptions,
+    pool: Option<(&SizingPool, Arc<CellLibrary>)>,
 ) -> TimingTable {
     let sta = Sta::new(netlist, library, options.timing);
     let sync_clock_period_ps = sta.clock_period();
     let fanout = netlist.fanout_map();
 
-    let sources: Vec<usize> = (0..clusters.len()).collect();
-    let size_one = |src_idx: usize| {
-        size_source_cluster(netlist, library, &sta, clusters, &fanout, options, src_idx)
+    let jobs = build_sizing_jobs(netlist, clusters, &fanout, options);
+    let margin = options.matched_delay_margin;
+    let snapshot = sta.snapshot();
+    let sized: Vec<SizedEdge> = match pool {
+        Some((pool, shared_library)) => {
+            // Fan the per-source jobs out over the persistent worker pool.
+            // The jobs own their inputs (an arrival snapshot plus per-source
+            // net lists) and every edge is sized independently, so the
+            // merged result is bit-identical regardless of scheduling.
+            let snapshot = Arc::new(snapshot);
+            let tasks: Vec<SizingTask> = jobs
+                .into_iter()
+                .map(|job| {
+                    let snapshot = Arc::clone(&snapshot);
+                    let library = Arc::clone(&shared_library);
+                    Box::new(move || run_sizing_job(&snapshot, &library, margin, &job))
+                        as SizingTask
+                })
+                .collect();
+            pool.run(tasks).into_iter().flatten().collect()
+        }
+        None => jobs
+            .iter()
+            .flat_map(|job| run_sizing_job(&snapshot, library, margin, job))
+            .collect(),
     };
-    let sized: Vec<((usize, usize), MatchedDelay, f64)> =
-        if options.parallel_sizing && sources.len() > 1 {
-            // Fan the per-source jobs out over worker threads. Each edge is
-            // sized independently from read-only inputs, so the merged result
-            // is bit-identical to the serial path regardless of scheduling.
-            let workers = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .min(sources.len());
-            let chunk_size = sources.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let size_one = &size_one;
-                let handles: Vec<_> = sources
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .flat_map(|&src| size_one(src))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("matched-delay sizing worker panicked"))
-                    .collect()
-            })
-        } else {
-            sources.into_iter().flat_map(size_one).collect()
-        };
 
     let mut matched_delays = HashMap::with_capacity(sized.len());
     let mut launch_overhead_ps = HashMap::with_capacity(sized.len());
@@ -1090,9 +1305,13 @@ mod tests {
         let same = *flow.options();
         flow.set_options(same).unwrap();
         assert_eq!(flow.computed_through(), Some(Stage::Controlled));
-        // Toggling only the parallelism knob invalidates nothing either.
+        // Toggling only the parallelism knob invalidates nothing either...
         flow.set_options(same.with_parallel_sizing(false)).unwrap();
         assert_eq!(flow.computed_through(), Some(Stage::Controlled));
+        // ...but the assembled design must still report the current knobs
+        // (regression: it used to keep the pre-change option set).
+        assert!(!flow.design().unwrap().options().parallel_sizing);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 1);
     }
 
     #[test]
@@ -1270,6 +1489,204 @@ mod tests {
         flow.set_protocol(Protocol::NonOverlapping).unwrap();
         let after = flow.designed().unwrap().options().protocol;
         assert_eq!(after, Protocol::NonOverlapping);
+    }
+
+    #[test]
+    fn engine_serves_second_flow_without_recomputing() {
+        let n = pipeline3();
+        let library = lib();
+        let engine = crate::engine::DesyncEngine::with_workers(2);
+
+        let mut first = engine.flow(&n, &library, DesyncOptions::default()).unwrap();
+        let design_first = first.design().unwrap();
+        for stage in [
+            Stage::Clustered,
+            Stage::Latched,
+            Stage::Timed,
+            Stage::Controlled,
+        ] {
+            assert_eq!(first.stage_runs(stage), 1, "{stage}");
+            assert_eq!(first.cache_hits(stage), 0, "{stage}");
+        }
+
+        // The second flow over the identical request recomputes zero stages.
+        let mut second = engine.flow(&n, &library, DesyncOptions::default()).unwrap();
+        let design_second = second.design().unwrap();
+        assert_eq!(design_first, design_second);
+        for stage in [
+            Stage::Clustered,
+            Stage::Latched,
+            Stage::Timed,
+            Stage::Controlled,
+        ] {
+            assert_eq!(second.stage_runs(stage), 0, "{stage}");
+            assert_eq!(second.cache_hits(stage), 1, "{stage}");
+        }
+        let report = engine.report();
+        assert_eq!(report.netlists, 1);
+        assert_eq!(report.libraries, 1);
+        assert_eq!(report.total_hits(), 4);
+        assert_eq!(report.total_misses(), 4);
+        assert!(report.stages.iter().all(|s| s.entries == 1));
+        let text = report.to_string();
+        assert!(text.contains("desync engine"), "{text}");
+        assert!(text.contains("hit rate"), "{text}");
+    }
+
+    #[test]
+    fn engine_cache_keys_follow_option_prefixes() {
+        let n = pipeline3();
+        let library = lib();
+        let engine = crate::engine::DesyncEngine::with_workers(1);
+        engine
+            .flow(&n, &library, DesyncOptions::default())
+            .unwrap()
+            .design()
+            .unwrap();
+
+        // A different protocol shares everything up to Timed but must
+        // re-synthesize controllers.
+        let mut other = engine
+            .flow(
+                &n,
+                &library,
+                DesyncOptions::default().with_protocol(Protocol::NonOverlapping),
+            )
+            .unwrap();
+        other.design().unwrap();
+        assert_eq!(other.cache_hits(Stage::Clustered), 1);
+        assert_eq!(other.cache_hits(Stage::Latched), 1);
+        assert_eq!(other.cache_hits(Stage::Timed), 1);
+        assert_eq!(other.cache_hits(Stage::Controlled), 0);
+        assert_eq!(other.stage_runs(Stage::Controlled), 1);
+
+        // The parallelism knob is not part of any cache key.
+        let mut serial_knob = engine
+            .flow(
+                &n,
+                &library,
+                DesyncOptions::default().with_parallel_sizing(false),
+            )
+            .unwrap();
+        serial_knob.controlled().unwrap();
+        assert_eq!(serial_knob.cache_hits(Stage::Controlled), 1);
+
+        // A structurally different netlist misses everywhere.
+        let mut m = pipeline3();
+        m.set_name("other");
+        let mut fresh = engine.flow(&m, &library, DesyncOptions::default()).unwrap();
+        fresh.controlled().unwrap();
+        for stage in [
+            Stage::Clustered,
+            Stage::Latched,
+            Stage::Timed,
+            Stage::Controlled,
+        ] {
+            assert_eq!(fresh.cache_hits(stage), 0, "{stage}");
+            assert_eq!(fresh.stage_runs(stage), 1, "{stage}");
+        }
+        assert_eq!(engine.report().netlists, 2);
+    }
+
+    #[test]
+    fn engine_flow_resumes_and_republishes_after_option_change() {
+        let n = pipeline3();
+        let library = lib();
+        let engine = crate::engine::DesyncEngine::with_workers(1);
+        let mut flow = engine.flow(&n, &library, DesyncOptions::default()).unwrap();
+        flow.design().unwrap();
+        // The margin change invalidates Timed onward; the re-run publishes
+        // artifacts under the new key...
+        flow.set_margin(0.3).unwrap();
+        flow.design().unwrap();
+        assert_eq!(flow.stage_runs(Stage::Timed), 2);
+        // ...which a later flow with the same options picks up wholesale.
+        let mut later = engine
+            .flow(&n, &library, DesyncOptions::default().with_margin(0.3))
+            .unwrap();
+        let later_design = later.design().unwrap();
+        assert_eq!(later.stage_runs(Stage::Timed), 0);
+        assert_eq!(later.cache_hits(Stage::Timed), 1);
+        // Cached artifacts equal a from-scratch computation.
+        let fresh = DesyncFlow::new(&n, &library, DesyncOptions::default().with_margin(0.3))
+            .unwrap()
+            .design()
+            .unwrap();
+        assert_eq!(later_design, fresh);
+    }
+
+    #[test]
+    fn engine_pool_sizing_is_bit_identical_to_serial() {
+        let n = pipeline3();
+        let library = lib();
+        let engine = crate::engine::DesyncEngine::with_workers(3);
+        assert_eq!(engine.pool_workers(), 3);
+        let mut pooled = engine
+            .flow(
+                &n,
+                &library,
+                DesyncOptions::default().with_parallel_sizing(true),
+            )
+            .unwrap();
+        let mut serial = DesyncFlow::new(
+            &n,
+            &library,
+            DesyncOptions::default().with_parallel_sizing(false),
+        )
+        .unwrap();
+        assert_eq!(pooled.timed().unwrap(), serial.timed().unwrap());
+    }
+
+    #[test]
+    fn engine_clear_drops_artifacts_but_keeps_identities() {
+        let n = pipeline3();
+        let library = lib();
+        let engine = crate::engine::DesyncEngine::with_workers(1);
+        engine
+            .flow(&n, &library, DesyncOptions::default())
+            .unwrap()
+            .controlled()
+            .unwrap();
+        assert!(engine.report().stages.iter().all(|s| s.entries == 1));
+        engine.clear();
+        let report = engine.report();
+        assert!(report.stages.iter().all(|s| s.entries == 0));
+        assert_eq!(report.netlists, 1);
+        // Post-clear flows recompute and repopulate.
+        let mut flow = engine.flow(&n, &library, DesyncOptions::default()).unwrap();
+        flow.controlled().unwrap();
+        assert_eq!(flow.cache_hits(Stage::Controlled), 0);
+        assert_eq!(flow.stage_runs(Stage::Controlled), 1);
+        assert!(engine.report().stages.iter().all(|s| s.entries == 1));
+    }
+
+    #[test]
+    fn multi_clock_netlist_yields_clock_diagnostic_not_missing_stimulus() {
+        // The user-visible contract: a multi-clock netlist must fail
+        // `verified()` with a clock diagnostic, never with a misleading
+        // `MissingStimulus`. (Today the error comes from the Latched stage's
+        // conversion check; the guard inside `verified()` is defense-in-depth
+        // that no longer swallows the error via `single_clock().ok()`.)
+        let mut n = Netlist::new("twoclk");
+        let clk_a = n.add_input("clk_a");
+        let clk_b = n.add_input("clk_b");
+        let a = n.add_input("a");
+        let q0 = n.add_net("q0");
+        let q1 = n.add_output("q1");
+        n.add_dff("r0", a, clk_a, q0).unwrap();
+        n.add_dff("r1", q0, clk_b, q1).unwrap();
+        let library = lib();
+        let mut flow = DesyncFlow::new(&n, &library, DesyncOptions::default()).unwrap();
+        let err = flow.verified().unwrap_err();
+        assert_ne!(err, DesyncError::MissingStimulus);
+        assert!(
+            matches!(
+                &err,
+                DesyncError::Netlist(desync_netlist::NetlistError::ClockError(msg))
+                    if msg.contains("2 distinct clock nets")
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -29,12 +29,24 @@ pub fn cycle_time(graph: &MarkedGraph) -> f64 {
         // No cycle with positive total delay: throughput is unconstrained.
         return 0.0;
     }
-    let total_delay: f64 = graph.places().map(|(_, p)| p.delay).sum();
+    // Upper bound: every cycle carries >= 1 token (the graph is live), and a
+    // cycle's delay is at most the sum of all *positive* place delays — the
+    // plain total would under-bound lambda* as soon as any place has a
+    // negative delay, silently converging to a wrong cycle time.
+    let positive_delay: f64 = graph.places().map(|(_, p)| p.delay.max(0.0)).sum();
     let mut lo = 0.0_f64;
-    let mut hi = total_delay.max(1e-9);
-    if !has_positive_cycle(graph, hi) {
-        // hi is an upper bound by construction (any cycle has >= 1 token and
-        // delay sum <= total_delay), but guard anyway.
+    let mut hi = positive_delay.max(1e-9);
+    // Defense in depth: if rounding ever left lambda* above the analytic
+    // bound, double until the bound holds instead of bisecting against an
+    // invalid bracket. Divergence here would mean the liveness check above
+    // lied, so give up loudly with infinity after a generous budget.
+    let mut doublings = 0;
+    while has_positive_cycle(graph, hi) {
+        hi *= 2.0;
+        doublings += 1;
+        if doublings > 128 {
+            return f64::INFINITY;
+        }
     }
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);
@@ -94,6 +106,11 @@ pub struct TimedTrace {
     pub iterations: usize,
     /// Estimated steady-state period (time between consecutive firings of
     /// the reference transition, averaged over the second half of the run).
+    ///
+    /// With fewer than four reference firings there is no post-transient
+    /// half to average; the last inter-firing gap is reported instead and
+    /// may still contain start-up transient — simulate more iterations when
+    /// the period must match [`cycle_time`].
     pub period: f64,
 }
 
@@ -193,17 +210,31 @@ pub fn simulate_timed(
     }
 }
 
+/// Minimum number of firings before [`estimate_period`] trusts its
+/// second-half averaging window. Below this, the window would still contain
+/// the very first inter-firing gap — pure start-up transient — and the
+/// "steady-state" estimate could disagree arbitrarily with
+/// [`cycle_time`]. With 2–3 firings the *last* gap is the closest available
+/// approximation of steady state, so that is what the estimator returns;
+/// callers needing a trustworthy period should simulate at least this many
+/// reference firings.
+const MIN_STEADY_WINDOW: usize = 4;
+
 /// Average separation between consecutive firing times over the second half
 /// of the sequence (ignoring the start-up transient).
+///
+/// With fewer than [`MIN_STEADY_WINDOW`] firings there is no post-transient
+/// window to average; the last inter-firing gap is returned as a best-effort
+/// estimate (it may still reflect the start-up transient).
 fn estimate_period(times: &[f64]) -> f64 {
     if times.len() < 2 {
         return 0.0;
     }
-    let start = times.len() / 2;
-    let window = &times[start.saturating_sub(1)..];
-    if window.len() < 2 {
+    if times.len() < MIN_STEADY_WINDOW {
         return times[times.len() - 1] - times[times.len() - 2];
     }
+    let start = times.len() / 2;
+    let window = &times[start - 1..];
     (window[window.len() - 1] - window[0]) / (window.len() - 1) as f64
 }
 
@@ -322,5 +353,32 @@ mod tests {
         assert_eq!(estimate_period(&[]), 0.0);
         assert_eq!(estimate_period(&[1.0]), 0.0);
         assert!((estimate_period(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        // Three firings: the first gap (0 -> 3) is start-up transient; the
+        // estimate must use the last gap only, not average the transient in.
+        assert!((estimate_period(&[0.0, 3.0, 13.0]) - 10.0).abs() < 1e-12);
+        // At MIN_STEADY_WINDOW firings the second-half window kicks in and
+        // excludes the transient gap entirely.
+        assert!((estimate_period(&[0.0, 3.0, 13.0, 23.0]) - 10.0).abs() < 1e-12);
+        // A transient-free sequence gives the same answer either way.
+        assert!((estimate_period(&[0.0, 5.0, 10.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_time_upper_bound_survives_negative_delays() {
+        // Regression: the binary-search upper bound used to be the *signed*
+        // sum of place delays. A negative-delay place (a modelling idiom for
+        // credited time) pushed that sum below lambda*, and the empty guard
+        // at the top of the search let the bisection silently converge to
+        // the bogus bound instead of the true cycle time.
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("a");
+        let b = g.add_transition("b");
+        g.add_place(a, b, 0, 6.0);
+        g.add_place(b, a, 1, 6.0); // cycle a-b: lambda* = 12
+        let c = g.add_transition("c");
+        let d = g.add_transition("d");
+        g.add_place(c, d, 1, -5.0);
+        g.add_place(d, c, 1, -6.0); // negative credit ring: signed sum = 1
+        assert!((cycle_time(&g) - 12.0).abs() < 1e-6);
     }
 }

@@ -549,6 +549,51 @@ impl Netlist {
         Ok(())
     }
 
+    /// A stable 64-bit structural hash of the netlist.
+    ///
+    /// Covers everything the desynchronization flow reads: the module name,
+    /// every net name (in id order), the primary input/output lists and
+    /// every cell (name, kind, pin connections, in id order). Two netlists
+    /// built by the same sequence of builder calls therefore hash equal,
+    /// while any structural difference — a renamed instance, a rewired pin,
+    /// a different gate kind — changes the hash with overwhelming
+    /// probability.
+    ///
+    /// The hash is FNV-1a with fixed constants, so it is stable across
+    /// processes, platforms and compiler versions — suitable as a
+    /// content-address for cross-process artifact caches. It is **not** a
+    /// collision-proof identity: callers that must never confuse two
+    /// distinct netlists (artifact caches like `desync-core`'s
+    /// `DesyncEngine`) should confirm a hash match with a full equality
+    /// check.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_usize(self.nets.len());
+        for net in &self.nets {
+            h.write_str(&net.name);
+        }
+        h.write_usize(self.inputs.len());
+        for &input in &self.inputs {
+            h.write_u32(input.0);
+        }
+        h.write_usize(self.outputs.len());
+        for &output in &self.outputs {
+            h.write_u32(output.0);
+        }
+        h.write_usize(self.cells.len());
+        for cell in &self.cells {
+            h.write_str(&cell.name);
+            h.write_str(cell.kind.canonical_name());
+            h.write_usize(cell.inputs.len());
+            for &input in &cell.inputs {
+                h.write_u32(input.0);
+            }
+            h.write_u32(cell.output.0);
+        }
+        h.finish()
+    }
+
     /// Restores the name→id indices after deserialization.
     ///
     /// `serde` skips the lookup maps; call this after deserializing a
@@ -580,6 +625,42 @@ impl Netlist {
             inputs: self.inputs.len(),
             outputs: self.outputs.len(),
         }
+    }
+}
+
+/// FNV-1a with the standard 64-bit offset basis and prime. Deliberately not
+/// `std::hash::Hasher`-based: the result must be identical across processes
+/// and Rust versions (see [`Netlist::structural_hash`]).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` hash differently.
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_bytes(&(v as u64).to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -781,6 +862,66 @@ mod tests {
         n.rebuild_index();
         assert!(n.find_net("q1").is_some());
         assert!(n.find_cell("r2").is_some());
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_content_addressed() {
+        // Identical construction sequences hash identically (and clones do).
+        let a = two_stage_pipe();
+        let b = two_stage_pipe();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(a.structural_hash(), a.clone().structural_hash());
+
+        // Every structural perturbation moves the hash.
+        let base = a.structural_hash();
+        let mut renamed = two_stage_pipe();
+        renamed.set_name("other");
+        assert_ne!(renamed.structural_hash(), base);
+
+        let mut extra_net = two_stage_pipe();
+        extra_net.add_net("spare");
+        assert_ne!(extra_net.structural_hash(), base);
+
+        let mut extra_output = two_stage_pipe();
+        let q1 = extra_output.find_net("q1").unwrap();
+        extra_output.mark_output(q1);
+        assert_ne!(extra_output.structural_hash(), base);
+
+        // Different gate kind, same connectivity.
+        let mut n1 = Netlist::new("t");
+        let x = n1.add_input("a");
+        let y1 = n1.add_output("y");
+        n1.add_gate("g", CellKind::Not, &[x], y1).unwrap();
+        let mut n2 = Netlist::new("t");
+        let x2 = n2.add_input("a");
+        let y2 = n2.add_output("y");
+        n2.add_gate("g", CellKind::Buf, &[x2], y2).unwrap();
+        assert_ne!(n1.structural_hash(), n2.structural_hash());
+
+        // Same cells, different pin wiring.
+        let mut w1 = Netlist::new("t");
+        let a1 = w1.add_input("a");
+        let b1 = w1.add_input("b");
+        let o1 = w1.add_output("y");
+        w1.add_gate("g", CellKind::And, &[a1, b1], o1).unwrap();
+        let mut w2 = Netlist::new("t");
+        let a2 = w2.add_input("a");
+        let b2 = w2.add_input("b");
+        let o2 = w2.add_output("y");
+        w2.add_gate("g", CellKind::And, &[b2, a2], o2).unwrap();
+        assert_ne!(w1.structural_hash(), w2.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_resists_string_boundary_shifts() {
+        // Net-name boundaries are length-prefixed: ("ab","c") != ("a","bc").
+        let mut n1 = Netlist::new("t");
+        n1.add_net("ab");
+        n1.add_net("c");
+        let mut n2 = Netlist::new("t");
+        n2.add_net("a");
+        n2.add_net("bc");
+        assert_ne!(n1.structural_hash(), n2.structural_hash());
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub mod matched;
 pub mod sta;
 
 pub use matched::MatchedDelay;
-pub use sta::{CriticalPath, Sta, StageDelay, TimingConfig};
+pub use sta::{CriticalPath, Sta, StaSnapshot, StageDelay, TimingConfig};

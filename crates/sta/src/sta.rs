@@ -264,6 +264,86 @@ impl<'a> Sta<'a> {
     pub fn matched_delay(&self, delay_ps: f64) -> crate::MatchedDelay {
         crate::MatchedDelay::for_delay(delay_ps, self.config.matched_delay_margin, self.library)
     }
+
+    /// Captures an owned, borrow-free snapshot of the arrival-time engine.
+    ///
+    /// [`StaSnapshot::arrival_from`] reproduces [`Sta::arrival_from`]
+    /// bit-for-bit (same cells in the same topological order, the same
+    /// per-cell delay values, the same fold order), but the snapshot owns
+    /// all of its data, so it can be moved into `Arc` and shared across
+    /// long-lived worker threads — the borrow-bound [`Sta`] cannot.
+    pub fn snapshot(&self) -> StaSnapshot {
+        let cells = self
+            .topo
+            .iter()
+            .map(|&cell_id| {
+                let cell = self.netlist.cell(cell_id);
+                SnapshotCell {
+                    inputs: cell.inputs.clone(),
+                    output: cell.output,
+                    delay_ps: self.cell_delay_ps(cell_id),
+                }
+            })
+            .collect();
+        StaSnapshot {
+            num_nets: self.netlist.num_nets(),
+            cells,
+        }
+    }
+}
+
+/// One combinational cell of a [`StaSnapshot`], with its delay precomputed.
+#[derive(Debug, Clone)]
+struct SnapshotCell {
+    inputs: Vec<NetId>,
+    output: NetId,
+    delay_ps: f64,
+}
+
+/// An owned snapshot of a [`Sta`]'s arrival-time computation.
+///
+/// Created by [`Sta::snapshot`]; holds the combinational cells in
+/// topological order with their per-instance delays already evaluated.
+/// Because it borrows nothing it is `Send + Sync + 'static`, which lets a
+/// persistent worker pool size matched delays for many source clusters in
+/// parallel while the results stay bit-identical to the serial
+/// [`Sta::arrival_from`] path.
+#[derive(Debug, Clone)]
+pub struct StaSnapshot {
+    num_nets: usize,
+    cells: Vec<SnapshotCell>,
+}
+
+impl StaSnapshot {
+    /// Longest combinational delay from any net in `sources` to every net.
+    ///
+    /// Identical in contract *and in floating-point result* to
+    /// [`Sta::arrival_from`] on the analyzer the snapshot was taken from.
+    pub fn arrival_from(&self, sources: &[NetId]) -> Vec<Option<f64>> {
+        let mut arrival: Vec<Option<f64>> = vec![None; self.num_nets];
+        for &s in sources {
+            arrival[s.index()] = Some(0.0);
+        }
+        for cell in &self.cells {
+            let mut worst: Option<f64> = None;
+            for &input in &cell.inputs {
+                if let Some(a) = arrival[input.index()] {
+                    worst = Some(worst.map_or(a, |w: f64| w.max(a)));
+                }
+            }
+            if let Some(w) = worst {
+                let out_arrival = w + cell.delay_ps;
+                let slot = &mut arrival[cell.output.index()];
+                *slot = Some(slot.map_or(out_arrival, |v| v.max(out_arrival)));
+            }
+        }
+        arrival
+    }
+
+    /// Number of nets in the snapshotted netlist.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +476,26 @@ mod tests {
         let l = lib();
         let sta = Sta::new(&n, &l, TimingConfig::default());
         assert!(sta.output_delay() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_arrival_is_bit_identical_to_sta() {
+        let n = pipeline();
+        let l = lib();
+        let sta = Sta::new(&n, &l, TimingConfig::default());
+        let snapshot = sta.snapshot();
+        assert_eq!(snapshot.num_nets(), n.num_nets());
+        let q0 = n.find_net("q0").unwrap();
+        let a = n.find_net("a").unwrap();
+        let all: Vec<NetId> = n.nets().map(|(id, _)| id).collect();
+        for sources in [vec![q0], vec![a], vec![q0, a], vec![], all] {
+            // Exact equality, not approximate: the snapshot replays the very
+            // same float operations in the same order.
+            assert_eq!(sta.arrival_from(&sources), snapshot.arrival_from(&sources));
+        }
+        // The snapshot is borrow-free, so it can cross thread boundaries.
+        fn assert_static_send_sync<T: Send + Sync + 'static>(_: &T) {}
+        assert_static_send_sync(&snapshot);
     }
 
     #[test]

@@ -34,10 +34,14 @@
 //! Stages run lazily and cache their artifacts; changing one knob re-runs
 //! only the invalidated suffix of the pipeline (a protocol sweep, for
 //! example, re-runs controller synthesis per protocol while clustering and
-//! delay sizing are computed once). Matched-delay sizing fans out across
-//! worker threads with results bit-identical to the serial path.
+//! delay sizing are computed once). Matched-delay sizing fans out across a
+//! persistent worker pool with results bit-identical to the serial path.
 //! [`Desynchronizer`](core::Desynchronizer) remains as a one-call wrapper
-//! that advances a fresh flow end to end.
+//! that advances a fresh flow end to end, and a
+//! [`DesyncEngine`](core::DesyncEngine) shares stage artifacts *across*
+//! flows — a content-addressed cache keyed by netlist structure and option
+//! prefixes, for batch/service front-ends pushing many requests through one
+//! process.
 //!
 //! # Quickstart
 //!
@@ -87,9 +91,9 @@ pub use desync_sta as sta;
 pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
-        verify_flow_equivalence, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncError,
-        DesyncFlow, DesyncOptions, Desynchronizer, EquivalenceReport, FlowReport, Protocol, Stage,
-        TimingTable,
+        verify_flow_equivalence, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine,
+        DesyncError, DesyncFlow, DesyncOptions, Desynchronizer, EngineReport, EquivalenceReport,
+        FlowReport, Protocol, Stage, TimingTable,
     };
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};

@@ -101,6 +101,23 @@ fn parallel_sizing_is_deterministic_on_a_wide_cluster_graph() {
     let first = parallel.timed().expect("timing").clone();
     parallel.invalidate_from(Stage::Timed);
     assert_eq!(&first, parallel.timed().expect("timing"));
+    // An engine-attached flow sizes on the engine's persistent worker pool;
+    // the result is bit-identical to both detached paths.
+    let engine = DesyncEngine::with_workers(4);
+    let mut pooled = engine
+        .flow(
+            &netlist,
+            &library,
+            DesyncOptions::default().with_parallel_sizing(true),
+        )
+        .expect("valid options");
+    assert_eq!(&first, pooled.timed().expect("timing"));
+    // Repeated pool runs (cache cleared in between) agree as well.
+    engine.clear();
+    pooled.invalidate_from(Stage::Timed);
+    assert_eq!(&first, pooled.timed().expect("timing"));
+    assert_eq!(pooled.cache_hits(Stage::Timed), 0);
+    assert_eq!(pooled.stage_runs(Stage::Timed), 2);
 }
 
 #[test]
