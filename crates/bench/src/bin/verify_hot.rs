@@ -1,0 +1,34 @@
+//! Verification hot-path sweep: protocol × margin points through one
+//! [`desync_core::DesyncEngine`] with gate-level flow-equivalence
+//! verification on, reporting wall time, committed-event throughput and the
+//! sync-reference-run cache counters, and writing the headline numbers to
+//! `BENCH_sim.json` (schema `desync-verify-hot/1`, see ROADMAP.md).
+//!
+//! ```text
+//! cargo run --release -p desync-bench --bin verify_hot
+//! ```
+
+use desync_bench::verify_hot::run_verify_hot;
+
+fn main() {
+    let report = run_verify_hot();
+    println!("{report}");
+    // Hard properties of the sweep (checked in CI):
+    // one sync simulation per design, every other point served from the
+    // reference-run cache, and cache-indifferent (bit-identical) reports.
+    assert_eq!(
+        report.sync_run_misses, 2,
+        "each design must simulate its sync reference exactly once"
+    );
+    assert!(
+        report.sync_run_hits >= report.points.len() - 2,
+        "sweep points must reuse the cached sync reference"
+    );
+    assert!(
+        report.bit_identical_to_fresh,
+        "engine-served verification must equal a cache-less run bit for bit"
+    );
+    let json = report.to_json();
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json:\n{json}");
+}

@@ -189,14 +189,14 @@ pub fn figure2() -> Figure2 {
     .design()
     .expect("desynchronization");
     let model = design.control_model();
-    let stg = Stg::from_graph(model.graph.clone());
+    let stg = Stg::from_graph(model.graph().clone());
     Figure2 {
         clusters: design.clusters().len(),
         live: model.is_live(),
         safe: model.is_safe(),
         consistent: stg.is_consistent(500_000),
         cycle_time_ps: model.cycle_time_ps(),
-        model: model.graph.clone(),
+        model: model.graph().clone(),
     }
 }
 
@@ -495,7 +495,7 @@ pub fn figure4() -> Figure4 {
         ]),
     ]);
     let matches_pipeline_model =
-        same_structure(&composed_with_intra, &design.control_model().graph);
+        same_structure(&composed_with_intra, design.control_model().graph());
 
     Figure4 {
         even_to_odd,

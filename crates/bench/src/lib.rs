@@ -24,6 +24,7 @@ pub mod batch;
 pub mod figures;
 pub mod sweeps;
 pub mod table1;
+pub mod verify_hot;
 pub mod workloads;
 
 pub use table1::{run_table1, Table1, Table1Config};

@@ -1,0 +1,267 @@
+//! The verification hot-path benchmark: a sweep-shaped workload (protocol ×
+//! margin points over a pipeline and the DLX, all pushed through one
+//! [`DesyncEngine`] with gate-level verification on) that exercises exactly
+//! the path the rewritten simulation kernel and the sync-reference-run cache
+//! accelerate.
+//!
+//! [`run_verify_hot`] reports wall time, committed-event throughput and the
+//! reference-run cache counters, and cross-checks one sweep point against a
+//! cache-less detached flow for bit-identical results. The `verify_hot` bin
+//! prints the report and serializes it to `BENCH_sim.json` (see
+//! [`VerifyHotReport::to_json`]) as a perf-trajectory datapoint.
+
+use crate::workloads::{bus_stimulus, dlx_program, dlx_stimulus};
+use desync_circuits::{DlxConfig, LinearPipelineConfig};
+use desync_core::{DesyncEngine, DesyncFlow, DesyncOptions, Protocol};
+use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::VectorSource;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Captures compared per sweep point.
+pub const VERIFY_CYCLES: usize = 48;
+
+/// Matched-delay margins swept per protocol.
+pub const MARGINS: [f64; 3] = [0.05, 0.1, 0.2];
+
+/// One verified sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyHotPoint {
+    /// Design name.
+    pub design: String,
+    /// Handshake protocol of the point.
+    pub protocol: Protocol,
+    /// Matched-delay margin of the point.
+    pub margin: f64,
+    /// Flow-equivalence verdict.
+    pub equivalent: bool,
+    /// Events committed by the desynchronized co-simulation.
+    pub async_events: usize,
+    /// Events committed by the synchronous reference (0 when the reference
+    /// was served from the cache instead of simulated).
+    pub sync_events_simulated: usize,
+}
+
+/// The outcome of the verification hot-path sweep, see [`run_verify_hot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyHotReport {
+    /// One entry per sweep point, in execution order.
+    pub points: Vec<VerifyHotPoint>,
+    /// Wall time of the whole sweep (construction + verification).
+    pub wall: Duration,
+    /// Sweep points whose co-simulation stayed flow equivalent.
+    pub equivalent_points: usize,
+    /// Committed simulation events actually executed (async sides plus the
+    /// sync references that missed the cache).
+    pub events_simulated: usize,
+    /// Reference-run cache hits across the sweep.
+    pub sync_run_hits: usize,
+    /// Reference runs that had to simulate (one per distinct sync side).
+    pub sync_run_misses: usize,
+    /// Whether the cache-less cross-check reproduced the engine-served
+    /// report bit for bit.
+    pub bit_identical_to_fresh: bool,
+}
+
+impl VerifyHotReport {
+    /// Committed events per second of sweep wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events_simulated as f64 / secs
+    }
+
+    /// Serializes the headline numbers as a small JSON document (the
+    /// workspace vendors a stub `serde`, so this is written by hand — the
+    /// schema is part of the bench contract and documented in ROADMAP.md).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"desync-verify-hot/1\",\n",
+                "  \"points\": {},\n",
+                "  \"equivalent_points\": {},\n",
+                "  \"verify_cycles\": {},\n",
+                "  \"wall_ms\": {:.3},\n",
+                "  \"events_simulated\": {},\n",
+                "  \"events_per_sec\": {:.0},\n",
+                "  \"sync_run_hits\": {},\n",
+                "  \"sync_run_misses\": {},\n",
+                "  \"bit_identical_to_fresh\": {}\n",
+                "}}\n"
+            ),
+            self.points.len(),
+            self.equivalent_points,
+            VERIFY_CYCLES,
+            self.wall.as_secs_f64() * 1e3,
+            self.events_simulated,
+            self.events_per_sec(),
+            self.sync_run_hits,
+            self.sync_run_misses,
+            self.bit_identical_to_fresh,
+        )
+    }
+}
+
+impl fmt::Display for VerifyHotReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify-hot sweep: {} points x {} cycles, wall {} ms",
+            self.points.len(),
+            VERIFY_CYCLES,
+            self.wall.as_millis()
+        )?;
+        writeln!(
+            f,
+            "  events simulated: {} ({:.2} M events/s)",
+            self.events_simulated,
+            self.events_per_sec() / 1e6
+        )?;
+        writeln!(
+            f,
+            "  sync reference runs: {} simulated, {} served from cache",
+            self.sync_run_misses, self.sync_run_hits
+        )?;
+        writeln!(
+            f,
+            "  flow equivalent: {}/{} points; cache-less cross-check identical: {}",
+            self.equivalent_points,
+            self.points.len(),
+            self.bit_identical_to_fresh
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:<8} {:<16} margin {:>4.2}  equiv {:<5}  async events {:>6}  sync events {:>6}",
+                p.design,
+                p.protocol,
+                p.margin,
+                p.equivalent,
+                p.async_events,
+                p.sync_events_simulated
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The sweep workload: a balanced pipeline and the DLX, each verified under
+/// every protocol × margin combination.
+///
+/// # Panics
+///
+/// Panics if generation fails (it cannot for these fixed configurations).
+pub fn sweep_designs() -> Vec<(Netlist, VectorSource)> {
+    let pipe = LinearPipelineConfig::balanced(6, 8, 4)
+        .generate()
+        .expect("pipeline generation");
+    let pipe_stim = bus_stimulus(&pipe, "din", 8, 7);
+    let dlx = DlxConfig::default().generate().expect("dlx generation");
+    let dlx_stim = dlx_stimulus(&dlx, &dlx_program());
+    vec![(pipe, pipe_stim), (dlx, dlx_stim)]
+}
+
+/// Runs the verification hot-path sweep through one shared engine.
+///
+/// # Panics
+///
+/// Panics if the flow or the co-simulation fails on the stock workload.
+pub fn run_verify_hot() -> VerifyHotReport {
+    let library = CellLibrary::generic_90nm();
+    let designs = sweep_designs();
+
+    let engine = DesyncEngine::new();
+    let mut points = Vec::new();
+    let mut events_simulated = 0usize;
+    let started = Instant::now();
+    for (netlist, stim) in &designs {
+        for &protocol in Protocol::all() {
+            for &margin in &MARGINS {
+                let options = DesyncOptions::default()
+                    .with_protocol(protocol)
+                    .with_margin(margin);
+                let mut flow = engine.flow(netlist, &library, options).expect("options");
+                flow.set_verification(stim.clone(), VERIFY_CYCLES);
+                flow.verified().expect("co-simulation");
+                let reference_cached = flow.sync_run_cache_hits() > 0;
+                let report = flow.verified().expect("just verified");
+                let sync_events_simulated = if reference_cached {
+                    0
+                } else {
+                    report.sync_run.committed_events
+                };
+                events_simulated += report.async_run.committed_events + sync_events_simulated;
+                points.push(VerifyHotPoint {
+                    design: netlist.name().to_string(),
+                    protocol,
+                    margin,
+                    equivalent: report.is_equivalent(),
+                    async_events: report.async_run.committed_events,
+                    sync_events_simulated,
+                });
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    // Bit-identity cross-check: one sweep point re-verified by a detached,
+    // cache-less flow must reproduce the engine-served report exactly.
+    let (netlist, stim) = &designs[0];
+    let probe_options = DesyncOptions::default()
+        .with_protocol(Protocol::all()[1])
+        .with_margin(MARGINS[1]);
+    let mut engine_flow = engine
+        .flow(netlist, &library, probe_options)
+        .expect("options");
+    engine_flow.set_verification(stim.clone(), VERIFY_CYCLES);
+    let mut fresh_flow = DesyncFlow::new(netlist, &library, probe_options).expect("options");
+    fresh_flow.set_verification(stim.clone(), VERIFY_CYCLES);
+    let bit_identical_to_fresh =
+        engine_flow.verified().expect("cached") == fresh_flow.verified().expect("fresh");
+
+    let engine_report = engine.report();
+    VerifyHotReport {
+        equivalent_points: points.iter().filter(|p| p.equivalent).count(),
+        points,
+        wall,
+        events_simulated,
+        sync_run_hits: engine_report.sync_run_hits,
+        sync_run_misses: engine_report.sync_run_misses,
+        bit_identical_to_fresh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reuses_the_sync_reference_and_matches_fresh_runs() {
+        let report = run_verify_hot();
+        assert_eq!(report.points.len(), 2 * 3 * MARGINS.len());
+        // One sync simulation per design; every other point reuses it. (The
+        // bit-identity probe afterwards adds one more hit.)
+        assert_eq!(report.sync_run_misses, 2);
+        assert_eq!(report.sync_run_hits, report.points.len() - 2 + 1);
+        assert!(report.bit_identical_to_fresh);
+        // The pipeline points all verify; the DLX is equivalent under the
+        // paper's fully-decoupled protocol (the non-overlapping DLX
+        // non-equivalence is a pre-existing, deterministic finding tracked
+        // in ROADMAP.md).
+        assert!(report
+            .points
+            .iter()
+            .filter(|p| p.design != "dlx" || p.protocol == Protocol::FullyDecoupled)
+            .all(|p| p.equivalent));
+        assert!(report.events_simulated > 0);
+        assert!(report.events_per_sec() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"desync-verify-hot/1\""));
+        assert!(json.contains("\"sync_run_hits\""));
+        let text = report.to_string();
+        assert!(text.contains("verify-hot sweep"), "{text}");
+    }
+}

@@ -61,6 +61,7 @@ use crate::error::DesyncError;
 use crate::options::{DesyncOptions, StagePrefix};
 use crate::pipeline::{ControlNetwork, DesyncFlow, Stage, TimingTable};
 use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::{SimConfig, SimRun};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -88,6 +89,23 @@ pub(crate) struct StageKey {
     netlist: NetlistId,
     library: LibraryId,
     prefix: StagePrefix,
+}
+
+/// Content address of one synchronous reference simulation: everything the
+/// run is a pure function of. Protocol and margin knobs are deliberately
+/// absent — they only affect the desynchronized side, which is exactly why
+/// sweeps can share the reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SyncRunKey {
+    netlist: NetlistId,
+    library: LibraryId,
+    /// [`SimConfig`] as IEEE-754 bit patterns.
+    config: [u64; 3],
+    /// Clock period as an IEEE-754 bit pattern.
+    period: u64,
+    cycles: usize,
+    /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest).
+    stimulus: u64,
 }
 
 /// A flow's connection to its engine, carried inside
@@ -169,6 +187,43 @@ impl<'a> EngineHandle<'a> {
             s.controlled.insert(key, Arc::clone(value));
         });
     }
+
+    /// The cache key of the synchronous reference run under the given
+    /// simulation inputs.
+    pub(crate) fn sync_run_key(
+        &self,
+        config: SimConfig,
+        period_ps: f64,
+        cycles: usize,
+        stimulus_digest: u64,
+    ) -> SyncRunKey {
+        SyncRunKey {
+            netlist: self.netlist,
+            library: self.library,
+            config: config.key_bits(),
+            period: period_ps.to_bits(),
+            cycles,
+            stimulus: stimulus_digest,
+        }
+    }
+
+    pub(crate) fn lookup_sync_run(&self, key: &SyncRunKey) -> Option<Arc<SimRun>> {
+        self.engine.with_state(|s| {
+            let found = s.sync_runs.get(key).cloned();
+            if found.is_some() {
+                s.sync_run_hits += 1;
+            } else {
+                s.sync_run_misses += 1;
+            }
+            found
+        })
+    }
+
+    pub(crate) fn store_sync_run(&self, key: SyncRunKey, value: &Arc<SimRun>) {
+        self.engine.with_state(|s| {
+            s.sync_runs.insert(key, Arc::clone(value));
+        });
+    }
 }
 
 /// Everything behind the engine's lock: the interning tables, the four
@@ -187,6 +242,14 @@ struct EngineState {
     controlled: HashMap<StageKey, Arc<ControlNetwork>>,
     hits: [usize; CACHED_STAGES],
     misses: [usize; CACHED_STAGES],
+    /// Synchronous reference runs for incremental co-simulation. Unlike the
+    /// construction stages this is *within*-verification state: the full
+    /// `EquivalenceReport` still depends on the desynchronized side and is
+    /// never cached, but the sync half is a pure function of
+    /// [`SyncRunKey`] and is shared across protocol/margin sweep points.
+    sync_runs: HashMap<SyncRunKey, Arc<SimRun>>,
+    sync_run_hits: usize,
+    sync_run_misses: usize,
 }
 
 /// A cross-flow artifact cache plus a persistent matched-delay sizing pool.
@@ -346,6 +409,7 @@ impl DesyncEngine {
             state.latched.clear();
             state.timed.clear();
             state.controlled.clear();
+            state.sync_runs.clear();
         });
     }
 
@@ -355,6 +419,9 @@ impl DesyncEngine {
             netlists: state.num_netlists as usize,
             libraries: state.libraries.len(),
             pool_workers: self.pool.workers(),
+            sync_runs: state.sync_runs.len(),
+            sync_run_hits: state.sync_run_hits,
+            sync_run_misses: state.sync_run_misses,
             stages: [
                 (Stage::Clustered, state.clustered.len()),
                 (Stage::Latched, state.latched.len()),
@@ -397,6 +464,13 @@ pub struct EngineReport {
     pub libraries: usize,
     /// Worker threads in the persistent sizing pool.
     pub pool_workers: usize,
+    /// Synchronous reference runs currently cached for incremental
+    /// co-simulation.
+    pub sync_runs: usize,
+    /// Reference-run lookups served from the cache.
+    pub sync_run_hits: usize,
+    /// Reference-run lookups that had to simulate (and then publish).
+    pub sync_run_misses: usize,
     /// Per-stage statistics, in pipeline order.
     pub stages: Vec<EngineStageStats>,
 }
@@ -445,9 +519,14 @@ impl fmt::Display for EngineReport {
                 s.misses
             )?;
         }
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7}",
+            "sync-run", self.sync_runs, self.sync_run_hits, self.sync_run_misses
+        )?;
         write!(
             f,
-            "  total: {} hit(s) / {} miss(es) ({:.1} % hit rate)",
+            "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate; sync-run cache counted separately above)",
             self.total_hits(),
             self.total_misses(),
             100.0 * self.hit_rate()

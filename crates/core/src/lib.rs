@@ -96,4 +96,7 @@ pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
 pub use model::ControlModel;
 pub use options::{ClusteringStrategy, DesyncOptions};
 pub use pipeline::{ControlNetwork, DesyncFlow, FlowReport, Stage, StageReport, TimingTable};
-pub use verify::{verify_flow_equivalence, EquivalenceReport};
+pub use verify::{
+    sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
+    EquivalenceReport,
+};

@@ -80,13 +80,25 @@ impl ControllerRef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControlModel {
     /// The composed marked graph (transitions labelled `<cluster>_<m|s>+` /
-    /// `...-`, place delays in picoseconds).
-    pub graph: MarkedGraph,
+    /// `...-`, place delays in picoseconds). Private since the cycle-time /
+    /// reference-transition analysis is cached at build time — mutating the
+    /// graph afterwards would silently desynchronize the cache; read access
+    /// goes through [`ControlModel::graph`].
+    graph: MarkedGraph,
     /// One controller per cluster and parity, in cluster order (master
     /// first, then slave), optionally followed by the environment pair.
     pub controllers: Vec<ControllerRef>,
     delays: ModelDelays,
     has_environment: bool,
+    /// Steady-state cycle time (maximum cycle ratio over all components),
+    /// computed once at build time. The maximum-cycle-ratio search runs a
+    /// bisection of Bellman-Ford passes, so recomputing it on every
+    /// `cycle_time_ps()` call (reports, schedule horizons, sweep rows) was a
+    /// measurable share of the verification hot path.
+    steady_cycle_time_ps: f64,
+    /// Reference transition of the slowest component, cached for
+    /// [`ControlModel::simulate`].
+    reference: Option<TransitionId>,
 }
 
 impl ControlModel {
@@ -173,12 +185,19 @@ impl ControlModel {
             &controllers[cluster * 2 + usize::from(parity == Parity::Odd)]
         };
 
-        // Pairwise patterns.
-        let add_pair = |graph: &mut MarkedGraph,
-                        src: &ControllerRef,
-                        dst: &ControllerRef,
-                        forward_delay: f64,
-                        arcs: &[(PairEvent, PairEvent)]| {
+        // Pairwise patterns. The duplicate filter below is a set lookup over
+        // (from, to, tokens) instead of a scan of the whole place list per
+        // added place (which made model construction quadratic).
+        let mut existing_places: std::collections::HashSet<(TransitionId, TransitionId, u32)> =
+            graph
+                .places()
+                .map(|(_, p)| (p.from, p.to, p.initial_tokens))
+                .collect();
+        let mut add_pair = |graph: &mut MarkedGraph,
+                            src: &ControllerRef,
+                            dst: &ControllerRef,
+                            forward_delay: f64,
+                            arcs: &[(PairEvent, PairEvent)]| {
             for &(from, to) in arcs {
                 let (from_ctrl, from_rise) = match from {
                     PairEvent::SrcRise => (src, true),
@@ -207,10 +226,7 @@ impl ControlModel {
                 };
                 let to_t = if to_rise { to_ctrl.rise } else { to_ctrl.fall };
                 // Avoid duplicating an identical place (e.g. self-loop edges).
-                if graph
-                    .places()
-                    .any(|(_, p)| p.from == from_t && p.to == to_t && p.initial_tokens == tokens)
-                {
+                if !existing_places.insert((from_t, to_t, tokens)) {
                     continue;
                 }
                 graph.add_place(from_t, to_t, tokens, delay);
@@ -285,12 +301,34 @@ impl ControlModel {
             }
         }
 
-        Self {
+        let mut model = Self {
             graph,
             controllers,
             delays,
             has_environment,
+            steady_cycle_time_ps: 0.0,
+            reference: None,
+        };
+        // Cache the per-component cycle-time analysis: the maximum over all
+        // components is the steady-state cycle time, and the slowest
+        // component supplies the simulation reference transition (ties go to
+        // the later component, matching the previous `max_by` behaviour).
+        let mut slowest = f64::NEG_INFINITY;
+        for component in model.components() {
+            let cycle = model.component_graph(&component).cycle_time();
+            model.steady_cycle_time_ps = model.steady_cycle_time_ps.max(cycle);
+            if cycle >= slowest {
+                slowest = cycle;
+                model.reference = component.first().copied();
+            }
         }
+        model
+    }
+
+    /// The composed marked graph (read-only: the cycle-time analysis is
+    /// cached at build time, so the graph is immutable once built).
+    pub fn graph(&self) -> &MarkedGraph {
+        &self.graph
     }
 
     /// Whether the model contains the explicit environment controller pair.
@@ -390,31 +428,18 @@ impl ControlModel {
     }
 
     /// The steady-state cycle time of the desynchronized circuit: the
-    /// maximum cycle ratio over all components, in picoseconds.
+    /// maximum cycle ratio over all components, in picoseconds (computed
+    /// once at build time).
     pub fn cycle_time_ps(&self) -> f64 {
-        self.components()
-            .iter()
-            .map(|c| self.component_graph(c).cycle_time())
-            .fold(0.0, f64::max)
+        self.steady_cycle_time_ps
     }
 
     /// Simulates the timed token game for `iterations` firings of the
-    /// slowest component's reference transition and returns the trace
-    /// (used to derive the latch-enable schedule for gate-level
-    /// co-simulation).
+    /// slowest component's reference transition (cached at build time) and
+    /// returns the trace (used to derive the latch-enable schedule for
+    /// gate-level co-simulation).
     pub fn simulate(&self, iterations: usize) -> TimedTrace {
-        // Pick the reference transition from the slowest component so every
-        // controller gets at least `iterations` firings.
-        let components = self.components();
-        let reference = components
-            .iter()
-            .max_by(|a, b| {
-                let ca = self.component_graph(a).cycle_time();
-                let cb = self.component_graph(b).cycle_time();
-                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .and_then(|c| c.first().copied());
-        simulate_timed(&self.graph, iterations, reference)
+        simulate_timed(&self.graph, iterations, self.reference)
     }
 }
 
@@ -581,8 +606,8 @@ mod tests {
         let c = model.controller(1, Parity::Odd);
         assert_eq!(c.cluster, 1);
         assert_eq!(c.signal_name(), "st1_s");
-        assert_eq!(model.graph.transition(c.rise).label, "st1_s+");
-        assert_eq!(model.graph.transition(c.fall).label, "st1_s-");
+        assert_eq!(model.graph().transition(c.rise).label, "st1_s+");
+        assert_eq!(model.graph().transition(c.fall).label, "st1_s-");
         assert_eq!(model.delays().latch_ps, ModelDelays::default().latch_ps);
     }
 
@@ -595,7 +620,7 @@ mod tests {
             &uniform_delays(&clusters, 500.0),
             ModelDelays::default(),
         );
-        let stg = desync_mg::Stg::from_graph(model.graph.clone());
+        let stg = desync_mg::Stg::from_graph(model.graph().clone());
         assert_eq!(stg.is_consistent(200_000), Some(true));
     }
 }

@@ -33,9 +33,11 @@ use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
 use crate::options::DesyncOptions;
-use crate::verify::{verify_flow_equivalence, EquivalenceReport};
+use crate::verify::{
+    sim_config_for, sync_reference_run, verify_flow_equivalence_with_reference, EquivalenceReport,
+};
 use desync_netlist::{CellLibrary, NetId, Netlist};
-use desync_sim::VectorSource;
+use desync_sim::{SimRun, VectorSource};
 use desync_sta::{MatchedDelay, Sta, StaSnapshot, TimingConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -200,6 +202,9 @@ pub struct FlowReport {
     pub cycle_time_ps: Option<f64>,
     /// Flow-equivalence verdict, once [`Stage::Verified`] has run.
     pub flow_equivalent: Option<bool>,
+    /// How many verifications reused a cached synchronous reference run
+    /// (see [`DesyncFlow::sync_run_cache_hits`]).
+    pub sync_run_cache_hits: usize,
 }
 
 impl FlowReport {
@@ -309,6 +314,12 @@ pub struct DesyncFlow<'a> {
     pool_library: Option<Arc<CellLibrary>>,
     stimulus: Option<VectorSource>,
     verify_cycles: usize,
+    /// Per-flow memo of the synchronous reference run for detached flows
+    /// (engine-attached flows use the engine's cross-flow cache instead).
+    /// Keyed on everything the run depends on besides the flow-fixed
+    /// netlist and library, so a stale entry can never be served.
+    sync_memo: Option<(SyncMemoKey, Arc<SimRun>)>,
+    sync_run_hits: usize,
     clustered: Option<Arc<ClusterGraph>>,
     latched: Option<Arc<LatchDesign>>,
     timed: Option<Arc<TimingTable>>,
@@ -381,6 +392,8 @@ impl<'a> DesyncFlow<'a> {
             pool_library: None,
             stimulus: None,
             verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
+            sync_memo: None,
+            sync_run_hits: 0,
             clustered: None,
             latched: None,
             timed: None,
@@ -778,19 +791,78 @@ impl<'a> DesyncFlow<'a> {
                 .stimulus
                 .clone()
                 .unwrap_or_else(|| VectorSource::constant(vec![]));
-            let design = self.assembled.as_ref().expect("assembled above");
             let started = Instant::now();
-            let report = verify_flow_equivalence(
+            let reference = self.sync_reference(&stimulus)?;
+            let design = self.assembled.as_ref().expect("assembled above");
+            let report = verify_flow_equivalence_with_reference(
                 self.netlist,
                 design,
                 self.library,
                 &stimulus,
                 self.verify_cycles,
+                (*reference).clone(),
             )?;
             self.record(Stage::Verified, started);
             self.verified = Some(report);
         }
         Ok(self.verified.as_ref().expect("just computed"))
+    }
+
+    /// The synchronous reference run for the current verification inputs:
+    /// served from the attached engine's cross-flow cache, from the per-flow
+    /// memo (detached flows), or freshly simulated (and then published).
+    ///
+    /// The cache key covers everything the run is a function of — netlist
+    /// and library identity, the simulation config, the STA clock period,
+    /// the capture count and the stimulus digest — so protocol and margin
+    /// sweeps, which change none of these, simulate the sync side once.
+    fn sync_reference(&mut self, stimulus: &VectorSource) -> Result<Arc<SimRun>, DesyncError> {
+        let design = self.assembled.as_ref().expect("assembled before verify");
+        let config = sim_config_for(design);
+        let period_ps = design.synchronous_period_ps();
+        let cycles = self.verify_cycles;
+        let digest = stimulus.content_digest();
+        // Consult whichever cache tier this flow has; on a miss, both tiers
+        // simulate through the same call and publish the result.
+        let engine_key = self
+            .engine
+            .map(|handle| handle.sync_run_key(config, period_ps, cycles, digest));
+        let memo_key: SyncMemoKey = (config.key_bits(), period_ps.to_bits(), cycles, digest);
+        let cached = match (&self.engine, &engine_key) {
+            (Some(handle), Some(key)) => handle.lookup_sync_run(key),
+            _ => self
+                .sync_memo
+                .as_ref()
+                .filter(|(key, _)| *key == memo_key)
+                .map(|(_, run)| Arc::clone(run)),
+        };
+        if let Some(hit) = cached {
+            self.sync_run_hits += 1;
+            return Ok(hit);
+        }
+        let run = Arc::new(
+            sync_reference_run(
+                self.netlist,
+                self.library,
+                config,
+                period_ps,
+                cycles,
+                stimulus,
+            )
+            .map_err(DesyncError::Netlist)?,
+        );
+        match (&self.engine, engine_key) {
+            (Some(handle), Some(key)) => handle.store_sync_run(key, &run),
+            _ => self.sync_memo = Some((memo_key, Arc::clone(&run))),
+        }
+        Ok(run)
+    }
+
+    /// How many times [`DesyncFlow::verified`] reused a cached synchronous
+    /// reference run (engine cache or per-flow memo) instead of
+    /// re-simulating the sync side.
+    pub fn sync_run_cache_hits(&self) -> usize {
+        self.sync_run_hits
     }
 
     /// Assembles a [`DesyncDesign`] from the cached artifacts, running
@@ -874,6 +946,7 @@ impl<'a> DesyncFlow<'a> {
             sync_period_ps: self.timed.as_deref().map(|t| t.sync_clock_period_ps),
             cycle_time_ps: self.controlled.as_deref().map(|c| c.model.cycle_time_ps()),
             flow_equivalent: self.verified.as_ref().map(EquivalenceReport::is_equivalent),
+            sync_run_cache_hits: self.sync_run_hits,
         }
     }
 
@@ -885,6 +958,11 @@ impl<'a> DesyncFlow<'a> {
         self.total_wall[i] += elapsed;
     }
 }
+
+/// Key of a detached flow's synchronous-reference memo: `(SimConfig bits,
+/// period bits, cycles, stimulus digest)` — the netlist and library are
+/// fixed for the flow's lifetime and need no representation.
+type SyncMemoKey = ([u64; 3], u64, usize, u64);
 
 /// The earliest stage whose inputs differ between two option sets.
 ///

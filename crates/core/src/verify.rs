@@ -49,6 +49,32 @@ pub fn sim_config_for(design: &DesyncDesign) -> SimConfig {
     }
 }
 
+/// Runs just the synchronous reference side of a flow-equivalence check:
+/// `cycles` clock cycles of `original` at `period_ps` under `stimulus`.
+///
+/// The result is a pure function of `(original, library, config, period_ps,
+/// cycles, stimulus)` — the simulator is deterministic — which is what makes
+/// it cacheable across knob sweeps: protocol and margin changes alter only
+/// the desynchronized side, so [`DesyncEngine`](crate::DesyncEngine) and
+/// [`DesyncFlow`](crate::DesyncFlow) key a reference-run cache on exactly
+/// those inputs and feed [`verify_flow_equivalence_with_reference`].
+///
+/// # Errors
+///
+/// [`NetlistError::ClockError`](desync_netlist::NetlistError::ClockError)
+/// if `original` does not have exactly one clock net.
+pub fn sync_reference_run(
+    original: &Netlist,
+    library: &CellLibrary,
+    config: SimConfig,
+    period_ps: f64,
+    cycles: usize,
+    stimulus: &VectorSource,
+) -> Result<SimRun, desync_netlist::NetlistError> {
+    let mut sync_tb = SyncTestbench::new(original, library, config)?;
+    Ok(sync_tb.run(cycles, period_ps, stimulus))
+}
+
 /// Runs the synchronous netlist and its desynchronized design on the same
 /// input stream and checks flow equivalence over `cycles` captures.
 ///
@@ -64,10 +90,48 @@ pub fn verify_flow_equivalence(
     cycles: usize,
 ) -> Result<EquivalenceReport, desync_netlist::NetlistError> {
     let config = sim_config_for(design);
+    let sync_run = sync_reference_run(
+        original,
+        library,
+        config,
+        design.synchronous_period_ps(),
+        cycles,
+        stimulus,
+    )?;
+    verify_flow_equivalence_with_reference(original, design, library, stimulus, cycles, sync_run)
+}
 
-    // Synchronous reference run.
-    let mut sync_tb = SyncTestbench::new(original, library, config)?;
-    let sync_run = sync_tb.run(cycles, design.synchronous_period_ps(), stimulus);
+/// [`verify_flow_equivalence`] with a pre-computed synchronous reference
+/// run, so knob sweeps (protocol, margin) simulate the unchanged sync side
+/// once instead of once per sweep point.
+///
+/// `sync_run` must come from [`sync_reference_run`] over the same
+/// `(original, library, config, period, cycles, stimulus)` — the caches in
+/// [`DesyncEngine`](crate::DesyncEngine) enforce this by construction. The
+/// returned report is identical to a from-scratch
+/// [`verify_flow_equivalence`] call.
+///
+/// # Panics
+///
+/// Panics if `sync_run` covers a different number of cycles than `cycles`
+/// — the one key component a [`SimRun`] carries. (A mismatched reference
+/// would otherwise silently shrink the compared prefix and could report
+/// equivalence over fewer captures than requested.)
+pub fn verify_flow_equivalence_with_reference(
+    original: &Netlist,
+    design: &DesyncDesign,
+    library: &CellLibrary,
+    stimulus: &VectorSource,
+    cycles: usize,
+    sync_run: SimRun,
+) -> Result<EquivalenceReport, desync_netlist::NetlistError> {
+    assert_eq!(
+        sync_run.cycles, cycles,
+        "sync reference run covers {} cycles but the equivalence check asked for {cycles}; \
+         compute the reference with the same cycle count (see sync_reference_run)",
+        sync_run.cycles,
+    );
+    let config = sim_config_for(design);
 
     // Desynchronized run: enables from the control model, inputs retimed to
     // the captures of the input-fed master latches. The schedule starts only
@@ -94,13 +158,12 @@ pub fn verify_flow_equivalence(
     let duration = bundle.horizon_ps + design.cycle_time_ps() + 1_000.0;
     let async_run = async_tb.run(duration, cycles, &bundle.schedule, &inputs);
 
-    // Rename master-latch streams back to the original flip-flop names.
+    // Rename master-latch streams back to the original flip-flop names (one
+    // stream move per register, not one push per captured value).
     let mut mapped = FlowTrace::new();
     for pair in &design.latch_design().pairs {
         if let Some(stream) = async_run.flow_trace.stream(&pair.master) {
-            for &v in stream {
-                mapped.push(pair.register_name.clone(), v);
-            }
+            mapped.extend_stream(pair.register_name.clone(), stream.to_vec());
         }
     }
     // Compare on the common prefix, capped by the requested cycle count.
@@ -229,6 +292,37 @@ mod tests {
                 report.equivalence
             );
         }
+    }
+
+    #[test]
+    fn precomputed_reference_yields_identical_report() {
+        let n = pipeline();
+        let library = lib();
+        let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        let stim = VectorSource::pseudo_random(vec![a, b], 99);
+        let fresh = verify_flow_equivalence(&n, &design, &library, &stim, 16).unwrap();
+        // The same check fed a pre-computed sync reference run (what the
+        // engine cache serves during sweeps) must reproduce the report
+        // bit for bit — including the embedded sync run itself.
+        let config = sim_config_for(&design);
+        let reference = sync_reference_run(
+            &n,
+            &library,
+            config,
+            design.synchronous_period_ps(),
+            16,
+            &stim,
+        )
+        .unwrap();
+        assert_eq!(reference, fresh.sync_run);
+        let cached =
+            verify_flow_equivalence_with_reference(&n, &design, &library, &stim, 16, reference)
+                .unwrap();
+        assert_eq!(fresh, cached);
     }
 
     #[test]

@@ -145,12 +145,20 @@ pub fn is_safe(graph: &MarkedGraph) -> bool {
         return true;
     }
     if is_live(graph) && is_strongly_connected(graph) {
-        graph.places().all(|(id, p)| {
+        // One token-shortest-path tree per distinct place target, shared by
+        // every place entering the same transition (instead of one Dijkstra
+        // per place — places outnumber transitions several times over in
+        // composed controller networks).
+        let mut trees: HashMap<usize, Vec<Option<u32>>> = HashMap::new();
+        graph.places().all(|(_, p)| {
             if p.initial_tokens > 1 {
                 return false;
             }
-            match min_tokens_on_cycle_through(graph, id) {
-                Some(t) => t == 1,
+            let dist = trees
+                .entry(p.to.index())
+                .or_insert_with(|| token_shortest_paths(graph, p.to));
+            match dist[p.from.index()] {
+                Some(d) => d + p.initial_tokens == 1,
                 None => false,
             }
         })

@@ -34,6 +34,19 @@ impl FlowTrace {
         self.streams.entry(register.into()).or_default().push(value);
     }
 
+    /// Appends a whole batch of values to the stream of `register` with a
+    /// single map lookup. The capture-heavy simulation harnesses group their
+    /// captures per register first and land here once per register, instead
+    /// of paying one string allocation and tree lookup per captured value.
+    pub fn extend_stream(&mut self, register: impl Into<String>, values: Vec<u64>) {
+        let slot = self.streams.entry(register.into()).or_default();
+        if slot.is_empty() {
+            *slot = values;
+        } else {
+            slot.extend(values);
+        }
+    }
+
     /// The stream recorded for `register`, if any.
     pub fn stream(&self, register: &str) -> Option<&[u64]> {
         self.streams.get(register).map(|v| v.as_slice())

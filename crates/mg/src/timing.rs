@@ -125,6 +125,36 @@ impl TimedTrace {
     }
 }
 
+/// An event-queue key ordering firing candidates by `(time, transition)`.
+///
+/// Times are compared with [`f64::total_cmp`], so the order is total (place
+/// delays may legitimately be negative, and the sign-magnitude layout of raw
+/// bit patterns would order negatives backwards). The transition index
+/// tie-break reproduces the earliest-firing rule "among simultaneously
+/// enabled transitions, the lowest index fires first" that a linear scan
+/// over the transition list implements implicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    time: f64,
+    t_idx: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.t_idx.cmp(&other.t_idx))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Simulates the timed token game with earliest-firing semantics for
 /// `iterations` firings of transition `reference` (or of transition 0 if
 /// `reference` is `None`), returning the full trace and a period estimate.
@@ -132,6 +162,14 @@ impl TimedTrace {
 /// Earliest-firing semantics: a transition fires as soon as every input
 /// place holds a token whose delay has elapsed. This is the behaviour of a
 /// speed-independent handshake implementation with matched delays.
+///
+/// The simulation is event-driven: enabled transitions wait in a priority
+/// queue keyed by their ready time, and a firing re-examines only the
+/// transitions whose input places it touched (in a marked graph each place
+/// feeds exactly one consumer), instead of rescanning the whole transition
+/// list per firing. Queue entries are revalidated against the current
+/// marking when popped, so stale entries are dropped or re-keyed; the trace
+/// is identical to the former full-rescan implementation.
 pub fn simulate_timed(
     graph: &MarkedGraph,
     iterations: usize,
@@ -154,34 +192,61 @@ pub fn simulate_timed(
         .transitions()
         .map(|(t, _)| graph.postset(t).iter().map(|p| p.index()).collect())
         .collect();
+    // Place -> consuming transitions (exactly one in a well-formed marked
+    // graph, but composition is not trusted here).
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_places];
+    for (t_idx, preset) in presets.iter().enumerate() {
+        for &p in preset {
+            consumers[p].push(t_idx);
+        }
+    }
+
+    // The ready time of a transition under the current marking: the latest
+    // front-token arrival over its preset, or `None` when a preset place is
+    // empty. Source transitions (empty preset) would fire infinitely often
+    // and are excluded.
+    let ready = |queues: &[VecDeque<f64>], t_idx: usize| -> Option<f64> {
+        let preset = &presets[t_idx];
+        if preset.is_empty() {
+            return None;
+        }
+        let mut ready = 0.0_f64;
+        for &p in preset {
+            ready = ready.max(*queues[p].front()?);
+        }
+        Some(ready)
+    };
+
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Candidate>> =
+        std::collections::BinaryHeap::new();
+    for t_idx in 0..presets.len() {
+        if let Some(time) = ready(&queues, t_idx) {
+            heap.push(std::cmp::Reverse(Candidate { time, t_idx }));
+        }
+    }
 
     let mut firings = Vec::new();
     let mut ref_times = Vec::new();
     let max_firings = iterations.saturating_mul(graph.num_transitions().max(1)) + 16;
 
-    for _ in 0..max_firings {
-        // Find the transition with the earliest possible firing time.
-        let mut best: Option<(usize, f64)> = None;
-        for (t_idx, preset) in presets.iter().enumerate() {
-            if preset.is_empty() {
-                continue; // sources would fire infinitely often; skip them
-            }
-            let mut ready = 0.0_f64;
-            let mut ok = true;
-            for &p in preset {
-                match queues[p].front() {
-                    Some(&arrival) => ready = ready.max(arrival),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok && best.is_none_or(|(_, bt)| ready < bt) {
-                best = Some((t_idx, ready));
-            }
+    while firings.len() < max_firings {
+        let Some(std::cmp::Reverse(candidate)) = heap.pop() else {
+            break;
+        };
+        // Revalidate against the current marking: a stale entry is re-keyed
+        // (the transition is enabled at a different time now) or dropped
+        // (it is not enabled at all).
+        let Some(time) = ready(&queues, candidate.t_idx) else {
+            continue;
+        };
+        if time != candidate.time {
+            heap.push(std::cmp::Reverse(Candidate {
+                time,
+                t_idx: candidate.t_idx,
+            }));
+            continue;
         }
-        let Some((t_idx, time)) = best else { break };
+        let t_idx = candidate.t_idx;
         let t = TransitionId(t_idx as u32);
         for &p in &presets[t_idx] {
             queues[p].pop_front();
@@ -189,6 +254,24 @@ pub fn simulate_timed(
         for &p in &postsets[t_idx] {
             let delay = graph.place(crate::graph::PlaceId(p as u32)).delay;
             queues[p].push_back(time + delay);
+        }
+        // Only the fired transition and the consumers of its output places
+        // can have changed readiness.
+        if let Some(next) = ready(&queues, t_idx) {
+            heap.push(std::cmp::Reverse(Candidate { time: next, t_idx }));
+        }
+        for &p in &postsets[t_idx] {
+            for &c in &consumers[p] {
+                if c == t_idx {
+                    continue; // already re-queued above
+                }
+                if let Some(next) = ready(&queues, c) {
+                    heap.push(std::cmp::Reverse(Candidate {
+                        time: next,
+                        t_idx: c,
+                    }));
+                }
+            }
         }
         firings.push(Firing {
             transition: t,

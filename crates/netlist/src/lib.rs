@@ -55,5 +55,5 @@ pub mod verilog;
 pub use cell::{Cell, CellId, CellKind, PinRole};
 pub use error::NetlistError;
 pub use library::{CellLibrary, CellTemplate, DelaySpec};
-pub use netlist::{Net, NetId, Netlist, PortDirection};
+pub use netlist::{Fnv1a, Net, NetId, Netlist, PortDirection};
 pub use value::Value;

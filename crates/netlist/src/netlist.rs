@@ -630,15 +630,28 @@ impl Netlist {
 
 /// FNV-1a with the standard 64-bit offset basis and prime. Deliberately not
 /// `std::hash::Hasher`-based: the result must be identical across processes
-/// and Rust versions (see [`Netlist::structural_hash`]).
-struct Fnv1a(u64);
+/// and Rust versions, making it suitable for content-addressed cache keys
+/// (see [`Netlist::structural_hash`]; `desync-sim` uses the same primitive
+/// for `VectorSource::content_digest`). All multi-byte writes are
+/// little-endian; keep the two call sites on this single implementation so
+/// the stability guarantee cannot drift.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Fnv1a {
-    fn new() -> Self {
+    /// Creates a hasher at the FNV-1a 64-bit offset basis.
+    pub fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    /// Mixes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -646,20 +659,34 @@ impl Fnv1a {
     }
 
     /// Length-prefixed so `("ab", "c")` and `("a", "bc")` hash differently.
-    fn write_str(&mut self, s: &str) {
+    pub fn write_str(&mut self, s: &str) {
         self.write_usize(s.len());
         self.write_bytes(s.as_bytes());
     }
 
-    fn write_u32(&mut self, v: u32) {
+    /// Mixes a `u8`.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Mixes a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
         self.write_bytes(&v.to_le_bytes());
     }
 
-    fn write_usize(&mut self, v: usize) {
+    /// Mixes a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mixes a `usize`, widened to 64 bits so 32- and 64-bit platforms
+    /// agree.
+    pub fn write_usize(&mut self, v: usize) {
         self.write_bytes(&(v as u64).to_le_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
         self.0
     }
 }

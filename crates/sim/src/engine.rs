@@ -6,18 +6,50 @@
 //! term. It maintains three observable artifacts:
 //!
 //! * the switching [`Activity`] counters (for the power model),
-//! * an optional [`WaveformSet`] for watched nets (for the figure
-//!   reproductions), and
+//! * per-net waveforms for watched nets (recorded by [`NetId`] during the
+//!   run; names are resolved once at export time by
+//!   [`EventSimulator::waveforms`]), and
 //! * the list of register *captures* — the value latched by every flip-flop
 //!   at each rising clock edge and by every latch at each closing enable
 //!   edge — from which the flow-equivalence traces are built.
+//!
+//! # Kernel design
+//!
+//! The kernel is allocation-free on the hot path (after construction and
+//! queue warm-up, committing an event allocates nothing):
+//!
+//! * **Integer time keys.** Events are ordered by a `u64` key — the IEEE-754
+//!   bit pattern of the (always non-negative, finite) f64 picosecond time.
+//!   For non-negative finite doubles the bit pattern is order-isomorphic to
+//!   the numeric value, so integer comparison gives a *total* order that is
+//!   exactly the f64 order while converting back losslessly: event times are
+//!   bit-identical to an f64 kernel, with none of the `partial_cmp`
+//!   NaN-in-the-heap hazards. Non-finite times are rejected at the
+//!   [`EventSimulator::schedule`] boundary.
+//! * **Calendar queue.** The pending-event set is a bucketed calendar queue:
+//!   a window of fixed-width time buckets (each a small binary heap on
+//!   `(key, seq)`) plus a heap *overflow tier* for events beyond the window
+//!   horizon (e.g. an [`EnableSchedule`](crate::EnableSchedule) scheduled
+//!   hundreds of cycles up front). Pops scan forward from a cursor;
+//!   when the window drains, it is re-based onto the overflow minimum and
+//!   in-horizon events migrate back into buckets.
+//! * **CSR topology.** The net → reader-cells map and the per-cell input
+//!   pin lists are flat compressed-sparse-row arrays (offset + index), so
+//!   reacting to a committed event walks a contiguous slice instead of
+//!   cloning a per-net `Vec`, and evaluating a cell gathers its input
+//!   values into one reused scratch buffer instead of collecting a fresh
+//!   `Vec<Value>` per evaluation.
+//! * **Bitset watch list.** Whether a net is watched is one bit test; the
+//!   waveform of a watched net is appended to a dense per-net slot with no
+//!   name lookup on the commit path.
 
 use crate::activity::Activity;
-use crate::waveform::WaveformSet;
+use crate::waveform::{Waveform, WaveformSet};
 use desync_netlist::value::{evaluate, evaluate_c_element, evaluate_latch};
 use desync_netlist::{CellId, CellKind, CellLibrary, NetId, Netlist, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,6 +73,18 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// The configuration as stable bit patterns, for use in content-addressed
+    /// cache keys (see `desync-core`'s sync-reference-run cache).
+    pub fn key_bits(&self) -> [u64; 3] {
+        [
+            self.wire_delay_per_fanout_ps.to_bits(),
+            self.clk_to_q_ps.to_bits(),
+            self.latch_d_to_q_ps.to_bits(),
+        ]
+    }
+}
+
 /// One register capture: the value stored into a sequential cell at a
 /// capturing edge (clock rising edge for flip-flops, closing enable edge for
 /// latches).
@@ -54,30 +98,149 @@ pub struct Capture {
     pub value: Value,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// An event ordered by `(key, seq)` — both plain integers, so the order is
+/// total. `key` is the bit pattern of the non-negative f64 event time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Event {
-    time: f64,
+    key: u64,
     seq: u64,
     net: NetId,
     value: Value,
 }
 
-impl Eq for Event {}
-
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse ordering so the BinaryHeap becomes a min-heap on (time, seq).
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
+        (self.key, self.seq).cmp(&(other.key, other.seq))
     }
 }
 
 impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+impl Event {
+    fn time_ps(&self) -> f64 {
+        f64::from_bits(self.key)
+    }
+}
+
+/// Number of buckets in the calendar window.
+const CALENDAR_BUCKETS: usize = 256;
+/// Width of one calendar bucket in picoseconds. Gate delays in the generic
+/// library are tens of ps and clock periods a few thousand, so the window
+/// spans several clock periods while keeping buckets nearly singleton.
+const CALENDAR_BUCKET_WIDTH_PS: f64 = 64.0;
+
+/// A bucketed calendar queue with a heap overflow tier.
+///
+/// Invariants:
+/// * every queued event time is ≥ the time of the last popped event (the
+///   simulator never schedules into the past),
+/// * bucket `i` holds exactly the events with time in
+///   `[base + i·width, base + (i+1)·width)`; the overflow heap holds the
+///   events at or beyond `base + BUCKETS·width`,
+/// * `cursor` is ≤ the bucket index of the earliest queued event, so a pop
+///   scans forward only.
+#[derive(Debug, Clone)]
+struct CalendarQueue {
+    buckets: Vec<BinaryHeap<Reverse<Event>>>,
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Start of the bucket window, picoseconds.
+    base_ps: f64,
+    cursor: usize,
+    len: usize,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        Self {
+            buckets: (0..CALENDAR_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            overflow: BinaryHeap::new(),
+            base_ps: 0.0,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn span_ps(&self) -> f64 {
+        CALENDAR_BUCKET_WIDTH_PS * self.buckets.len() as f64
+    }
+
+    /// The bucket index of `time_ps`, or `None` when it lies beyond the
+    /// window horizon (→ overflow tier).
+    fn bucket_of(&self, time_ps: f64) -> Option<usize> {
+        let offset = ((time_ps - self.base_ps) / CALENDAR_BUCKET_WIDTH_PS).max(0.0) as usize;
+        (offset < self.buckets.len()).then_some(offset)
+    }
+
+    fn push(&mut self, event: Event) {
+        self.len += 1;
+        match self.bucket_of(event.time_ps()) {
+            Some(index) => {
+                // Defensive: a push at the current time lands in the cursor
+                // bucket; never ahead of it, but keep the cursor honest.
+                self.cursor = self.cursor.min(index);
+                self.buckets[index].push(Reverse(event));
+            }
+            None => self.overflow.push(Reverse(event)),
+        }
+    }
+
+    /// The earliest queued event, advancing the cursor over drained buckets.
+    ///
+    /// Any bucketed event precedes every overflow event (the overflow tier
+    /// only holds events beyond the window horizon), so the first non-empty
+    /// bucket holds the minimum; with the window empty the overflow minimum
+    /// is global.
+    fn peek(&mut self) -> Option<Event> {
+        while self.cursor < self.buckets.len() {
+            if let Some(&Reverse(event)) = self.buckets[self.cursor].peek() {
+                return Some(event);
+            }
+            self.cursor += 1;
+        }
+        self.overflow.peek().map(|&Reverse(event)| event)
+    }
+
+    /// Removes and returns the earliest event. When the window has drained
+    /// and the minimum comes from the overflow tier, the window is re-based
+    /// onto it and every overflow event inside the new horizon migrates
+    /// into its bucket.
+    fn pop(&mut self) -> Option<Event> {
+        while self.cursor < self.buckets.len() {
+            if let Some(Reverse(event)) = self.buckets[self.cursor].pop() {
+                self.len -= 1;
+                return Some(event);
+            }
+            self.cursor += 1;
+        }
+        let Reverse(event) = self.overflow.pop()?;
+        self.len -= 1;
+        // Re-base the (empty) window onto the popped event. The popped event
+        // becomes the new current time, so no later push can precede the new
+        // base.
+        let time = event.time_ps();
+        self.base_ps = (time / CALENDAR_BUCKET_WIDTH_PS).floor() * CALENDAR_BUCKET_WIDTH_PS;
+        self.cursor = 0;
+        let horizon = self.base_ps + self.span_ps();
+        while let Some(&Reverse(next)) = self.overflow.peek() {
+            if next.time_ps() >= horizon {
+                break;
+            }
+            let Reverse(next) = self.overflow.pop().expect("peeked overflow event exists");
+            let index = self
+                .bucket_of(next.time_ps())
+                .expect("event inside the horizon has a bucket");
+            self.buckets[index].push(Reverse(next));
+        }
+        Some(event)
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -92,16 +255,31 @@ pub struct EventSimulator<'a> {
     /// a pending event is always followed by a corrective event when the
     /// inputs change back before it commits.
     projected: Vec<Value>,
-    readers: Vec<Vec<CellId>>,
+    /// CSR net → reader cells: readers of net `n` are
+    /// `reader_cells[reader_offsets[n]..reader_offsets[n + 1]]`.
+    reader_offsets: Vec<u32>,
+    reader_cells: Vec<CellId>,
+    /// Flattened cell metadata (kind, output, input CSR), so the hot path
+    /// never chases the netlist's per-cell `Vec<NetId>` pin lists.
+    cell_kind: Vec<CellKind>,
+    cell_output: Vec<NetId>,
+    input_offsets: Vec<u32>,
+    input_nets: Vec<NetId>,
     cell_delay: Vec<f64>,
-    queue: BinaryHeap<Event>,
+    queue: CalendarQueue,
     seq: u64,
     time: f64,
-    watched: HashSet<NetId>,
+    committed: usize,
+    /// One bit per net: whether a waveform is recorded for it.
+    watched: Vec<u64>,
+    /// Net → index into `waves` (`u32::MAX` = not watched).
+    watch_slot: Vec<u32>,
+    waves: Vec<(NetId, Waveform)>,
+    /// Reused input-value gather buffer (cleared per evaluation, never
+    /// reallocated after warm-up).
+    scratch: Vec<Value>,
     /// Switching-activity counters (one slot per net).
     pub activity: Activity,
-    /// Waveforms of the watched nets.
-    pub waveforms: WaveformSet,
     /// Register captures in chronological order.
     pub captures: Vec<Capture>,
 }
@@ -110,33 +288,83 @@ impl<'a> EventSimulator<'a> {
     /// Creates a simulator for `netlist` with delays from `library`.
     pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, config: SimConfig) -> Self {
         let fanout = netlist.fanout_map();
-        let cell_delay = netlist
-            .cells()
-            .map(|(_, c)| {
-                let fo = fanout[c.output.index()].max(1);
-                let base = match c.kind {
-                    CellKind::Dff => config.clk_to_q_ps,
-                    CellKind::LatchLow | CellKind::LatchHigh => config.latch_d_to_q_ps,
-                    _ => library
-                        .template(c.kind)
-                        .instance_delay_ps(c.inputs.len().max(1), fo),
-                };
-                base + config.wire_delay_per_fanout_ps * fo as f64
-            })
-            .collect();
+        let num_nets = netlist.num_nets();
+        let num_cells = netlist.num_cells();
+
+        let mut cell_kind = Vec::with_capacity(num_cells);
+        let mut cell_output = Vec::with_capacity(num_cells);
+        let mut cell_delay = Vec::with_capacity(num_cells);
+        let mut input_offsets = Vec::with_capacity(num_cells + 1);
+        let mut input_nets = Vec::new();
+        input_offsets.push(0u32);
+        for (_, c) in netlist.cells() {
+            let fo = fanout[c.output.index()].max(1);
+            let base = match c.kind {
+                CellKind::Dff => config.clk_to_q_ps,
+                CellKind::LatchLow | CellKind::LatchHigh => config.latch_d_to_q_ps,
+                _ => library
+                    .template(c.kind)
+                    .instance_delay_ps(c.inputs.len().max(1), fo),
+            };
+            cell_kind.push(c.kind);
+            cell_output.push(c.output);
+            cell_delay.push(base + config.wire_delay_per_fanout_ps * fo as f64);
+            input_nets.extend_from_slice(&c.inputs);
+            input_offsets.push(input_nets.len() as u32);
+        }
+
+        // CSR reader map: count, prefix-sum, fill. A flip-flop only reacts
+        // to its clock pin (the data pin is merely sampled at the edge), so
+        // it is not registered as a reader of its data net — pruning the
+        // no-op evaluation that every data-net commit would otherwise
+        // trigger. (When data and clock share a net the reader must stay.)
+        let reads = |kind: CellKind, inputs: &[NetId], position: usize| -> bool {
+            !(kind == CellKind::Dff && position == 0 && inputs[0] != inputs[1])
+        };
+        let mut reader_offsets = vec![0u32; num_nets + 1];
+        for (_, c) in netlist.cells() {
+            for (position, &input) in c.inputs.iter().enumerate() {
+                if reads(c.kind, &c.inputs, position) {
+                    reader_offsets[input.index() + 1] += 1;
+                }
+            }
+        }
+        for i in 0..num_nets {
+            reader_offsets[i + 1] += reader_offsets[i];
+        }
+        let mut reader_cells = vec![CellId(0); reader_offsets[num_nets] as usize];
+        let mut fill = reader_offsets.clone();
+        for (id, c) in netlist.cells() {
+            for (position, &input) in c.inputs.iter().enumerate() {
+                if reads(c.kind, &c.inputs, position) {
+                    let slot = &mut fill[input.index()];
+                    reader_cells[*slot as usize] = id;
+                    *slot += 1;
+                }
+            }
+        }
+
         let mut sim = Self {
             netlist,
             config,
-            values: vec![Value::X; netlist.num_nets()],
-            projected: vec![Value::X; netlist.num_nets()],
-            readers: netlist.reader_map(),
+            values: vec![Value::X; num_nets],
+            projected: vec![Value::X; num_nets],
+            reader_offsets,
+            reader_cells,
+            cell_kind,
+            cell_output,
+            input_offsets,
+            input_nets,
             cell_delay,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             time: 0.0,
-            watched: HashSet::new(),
-            activity: Activity::new(netlist.num_nets()),
-            waveforms: WaveformSet::new(),
+            committed: 0,
+            watched: vec![0u64; num_nets.div_ceil(64)],
+            watch_slot: vec![u32::MAX; num_nets],
+            waves: Vec::new(),
+            scratch: Vec::new(),
+            activity: Activity::new(num_nets),
             captures: Vec::new(),
         };
         // Constant drivers have no inputs, so nothing would ever trigger
@@ -161,6 +389,11 @@ impl<'a> EventSimulator<'a> {
         &self.config
     }
 
+    /// Total number of committed events since construction.
+    pub fn committed_events(&self) -> usize {
+        self.committed
+    }
+
     /// The current value of a net.
     pub fn value(&self, net: NetId) -> Value {
         self.values[net.index()]
@@ -177,7 +410,12 @@ impl<'a> EventSimulator<'a> {
 
     /// Starts recording a waveform for `net`.
     pub fn watch(&mut self, net: NetId) {
-        self.watched.insert(net);
+        let index = net.index();
+        if self.watch_slot[index] == u32::MAX {
+            self.watched[index / 64] |= 1u64 << (index % 64);
+            self.watch_slot[index] = self.waves.len() as u32;
+            self.waves.push((net, Waveform::new()));
+        }
     }
 
     /// Starts recording waveforms for every net whose name is in `names`.
@@ -189,13 +427,38 @@ impl<'a> EventSimulator<'a> {
         }
     }
 
+    /// The waveform recorded for `net`, if it is watched.
+    pub fn waveform_of(&self, net: NetId) -> Option<&Waveform> {
+        match self.watch_slot.get(net.index()) {
+            Some(&slot) if slot != u32::MAX => Some(&self.waves[slot as usize].1),
+            _ => None,
+        }
+    }
+
+    /// The waveforms of all watched nets as a name-keyed set.
+    ///
+    /// Waveforms are recorded by [`NetId`] during the run; this resolves
+    /// each watched net's name exactly once, at export time.
+    pub fn waveforms(&self) -> WaveformSet {
+        let mut set = WaveformSet::new();
+        for (net, wave) in &self.waves {
+            set.insert(self.netlist.net(*net).name.clone(), wave.clone());
+        }
+        set
+    }
+
     /// Schedules a value change on `net` at absolute time `at_ps`.
     ///
     /// # Panics
     ///
-    /// Panics if `at_ps` is in the past (before the current simulation
-    /// time).
+    /// Panics if `at_ps` is not finite (NaN or ±∞ would corrupt the event
+    /// order), or if it is in the past (before the current simulation time).
     pub fn schedule(&mut self, net: NetId, value: Value, at_ps: f64) {
+        assert!(
+            at_ps.is_finite(),
+            "cannot schedule an event at non-finite time {at_ps} ps on net `{}`",
+            self.netlist.net(net).name
+        );
         assert!(
             at_ps + 1e-9 >= self.time,
             "cannot schedule an event in the past ({at_ps} < {})",
@@ -203,8 +466,12 @@ impl<'a> EventSimulator<'a> {
         );
         self.seq += 1;
         self.projected[net.index()] = value;
+        // `+ 0.0` normalizes a negative zero (whose bit pattern would sort
+        // *after* every positive time) to +0.0; clamped times are otherwise
+        // non-negative, so the key order equals the numeric order.
+        let time = at_ps.max(self.time) + 0.0;
         self.queue.push(Event {
-            time: at_ps.max(self.time),
+            key: time.to_bits(),
             seq: self.seq,
             net,
             value,
@@ -219,14 +486,11 @@ impl<'a> EventSimulator<'a> {
     /// Forces the output nets of all flip-flops and latches to `value` at
     /// the current time, modelling a global reset of the register state.
     pub fn initialize_registers(&mut self, value: Value) {
-        let nets: Vec<NetId> = self
-            .netlist
-            .cells()
-            .filter(|(_, c)| c.kind == CellKind::Dff || c.kind.is_latch())
-            .map(|(_, c)| c.output)
-            .collect();
-        for net in nets {
-            self.schedule(net, value, self.time);
+        let netlist = self.netlist;
+        for (_, cell) in netlist.cells() {
+            if cell.kind == CellKind::Dff || cell.kind.is_latch() {
+                self.schedule(cell.output, value, self.time);
+            }
         }
     }
 
@@ -238,11 +502,11 @@ impl<'a> EventSimulator<'a> {
     pub fn run_until(&mut self, until_ps: f64) -> usize {
         let mut committed = 0usize;
         while let Some(next) = self.queue.peek() {
-            if next.time > until_ps {
+            if next.time_ps() > until_ps {
                 break;
             }
             let event = self.queue.pop().expect("peeked event exists");
-            self.time = event.time;
+            self.time = event.time_ps();
             committed += self.commit(event);
         }
         self.time = self.time.max(until_ps);
@@ -259,7 +523,7 @@ impl<'a> EventSimulator<'a> {
         let mut committed = 0usize;
         while committed < max_events {
             let Some(event) = self.queue.pop() else { break };
-            self.time = event.time;
+            self.time = event.time_ps();
             committed += self.commit(event);
         }
         self.activity.duration_ps = self.time;
@@ -267,60 +531,79 @@ impl<'a> EventSimulator<'a> {
     }
 
     fn commit(&mut self, event: Event) -> usize {
-        let old = self.values[event.net.index()];
+        let net = event.net.index();
+        let old = self.values[net];
         if old == event.value {
             return 0;
         }
-        self.values[event.net.index()] = event.value;
+        self.values[net] = event.value;
+        self.committed += 1;
         if old != Value::X {
             // Transitions out of the unknown initialization state are not
             // counted as switching activity.
             self.activity.record(event.net);
         }
-        if self.watched.contains(&event.net) {
-            self.waveforms
-                .push(&self.netlist.net(event.net).name, event.time, event.value);
+        if self.watched[net / 64] & (1u64 << (net % 64)) != 0 {
+            let slot = self.watch_slot[net] as usize;
+            self.waves[slot].1.push(self.time, event.value);
         }
-        // React: evaluate every reader of the changed net.
-        let readers = self.readers[event.net.index()].clone();
-        for cell_id in readers {
+        // React: evaluate every reader of the changed net (a contiguous CSR
+        // slice — nothing is cloned).
+        let start = self.reader_offsets[net] as usize;
+        let end = self.reader_offsets[net + 1] as usize;
+        for i in start..end {
+            let cell_id = self.reader_cells[i];
             self.evaluate_cell(cell_id, event.net, old, event.value);
         }
         1
     }
 
+    /// Gathers the committed input values of cell `ci` into the reused
+    /// scratch buffer.
+    fn gather_inputs(&mut self, ci: usize) {
+        let start = self.input_offsets[ci] as usize;
+        let end = self.input_offsets[ci + 1] as usize;
+        self.scratch.clear();
+        let (scratch, values, input_nets) = (&mut self.scratch, &self.values, &self.input_nets);
+        scratch.extend(input_nets[start..end].iter().map(|n| values[n.index()]));
+    }
+
     fn evaluate_cell(&mut self, cell_id: CellId, changed: NetId, old: Value, new: Value) {
-        let cell = self.netlist.cell(cell_id);
-        let delay = self.cell_delay[cell_id.index()];
-        let input_values: Vec<Value> = cell.inputs.iter().map(|&n| self.value(n)).collect();
-        match cell.kind {
+        let ci = cell_id.index();
+        let kind = self.cell_kind[ci];
+        let delay = self.cell_delay[ci];
+        let pins = self.input_offsets[ci] as usize;
+        match kind {
             CellKind::Dff => {
-                let clk = cell.inputs[1];
+                let clk = self.input_nets[pins + 1];
                 if changed == clk && new == Value::One && old != Value::One {
-                    // Rising clock edge: capture D.
-                    let d = self.value(cell.inputs[0]);
+                    // Rising clock edge: capture D (read once, reused for
+                    // both the capture record and the scheduled output).
+                    let d = self.values[self.input_nets[pins].index()];
+                    let output = self.cell_output[ci];
                     self.captures.push(Capture {
                         time_ps: self.time,
                         cell: cell_id,
                         value: d,
                     });
-                    self.schedule(cell.output, d, self.time + delay);
+                    self.schedule(output, d, self.time + delay);
                 }
             }
             CellKind::LatchLow | CellKind::LatchHigh => {
-                let transparent_high = cell.kind == CellKind::LatchHigh;
-                let d = input_values[0];
-                let en = input_values[1];
+                let transparent_high = kind == CellKind::LatchHigh;
+                let d = self.values[self.input_nets[pins].index()];
+                let enable_net = self.input_nets[pins + 1];
+                let en = self.values[enable_net.index()];
+                let output = self.cell_output[ci];
                 // The held state is the value the output is moving towards
                 // (the last scheduled value), so that pending events and the
                 // hold behaviour stay consistent.
-                let stored = self.projected[cell.output.index()];
+                let stored = self.projected[output.index()];
                 let q = evaluate_latch(d, en, stored, transparent_high);
-                if q != self.projected[cell.output.index()] {
-                    self.schedule(cell.output, q, self.time + delay);
+                if q != stored {
+                    self.schedule(output, q, self.time + delay);
                 }
                 // A closing enable edge captures the current data value.
-                let enable_net = cell.inputs[1];
                 let closing = if transparent_high {
                     Value::Zero
                 } else {
@@ -335,16 +618,20 @@ impl<'a> EventSimulator<'a> {
                 }
             }
             CellKind::CElement => {
-                let stored = self.projected[cell.output.index()];
-                let q = evaluate_c_element(&input_values, stored);
-                if q != self.projected[cell.output.index()] {
-                    self.schedule(cell.output, q, self.time + delay);
+                self.gather_inputs(ci);
+                let output = self.cell_output[ci];
+                let stored = self.projected[output.index()];
+                let q = evaluate_c_element(&self.scratch, stored);
+                if q != stored {
+                    self.schedule(output, q, self.time + delay);
                 }
             }
             kind => {
-                let q = evaluate(kind, &input_values);
-                if q != self.projected[cell.output.index()] {
-                    self.schedule(cell.output, q, self.time + delay);
+                self.gather_inputs(ci);
+                let output = self.cell_output[ci];
+                let q = evaluate(kind, &self.scratch);
+                if q != self.projected[output.index()] {
+                    self.schedule(output, q, self.time + delay);
                 }
             }
         }
@@ -378,6 +665,7 @@ mod tests {
         assert_eq!(sim.value(y), Value::Zero);
         assert_eq!(sim.value_by_name("y"), Value::Zero);
         assert_eq!(sim.value_by_name("missing"), Value::X);
+        assert!(sim.committed_events() > 0);
     }
 
     #[test]
@@ -501,9 +789,15 @@ mod tests {
         sim.settle(100);
         sim.set(a, Value::One);
         sim.settle(100);
-        let w = sim.waveforms.get("y").unwrap();
+        let waves = sim.waveforms();
+        let w = waves.get("y").unwrap();
         assert!(w.len() >= 2);
-        assert!(sim.waveforms.get("a").is_none(), "a was not watched");
+        assert!(waves.get("a").is_none(), "a was not watched");
+        assert_eq!(sim.waveform_of(y).unwrap(), w);
+        assert!(sim.waveform_of(a).is_none());
+        // Watching twice does not reset the recorded waveform.
+        sim.watch(y);
+        assert_eq!(sim.waveform_of(y).unwrap().len(), w.len());
     }
 
     #[test]
@@ -530,5 +824,96 @@ mod tests {
         let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
         sim.run_until(100.0);
         sim.schedule(a, Value::One, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite time")]
+    fn scheduling_nan_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.mark_output(a);
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.schedule(a, Value::One, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite time")]
+    fn scheduling_infinity_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.mark_output(a);
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.schedule(a, Value::One, f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_zero_time_sorts_as_zero() {
+        // -0.0 passes the finite check; its raw bit pattern would sort
+        // after every positive time, so schedule() must normalize it.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Buf, &[a], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        sim.schedule(a, Value::One, -0.0);
+        sim.schedule(a, Value::Zero, 5.0);
+        sim.settle(100);
+        // The -0.0 event commits first (as time 0), the 5 ps event after.
+        assert_eq!(sim.value(a), Value::Zero);
+        assert_eq!(sim.activity.transitions_on(a), 1);
+    }
+
+    #[test]
+    fn far_future_events_pass_through_the_overflow_tier() {
+        // Events far beyond the calendar window land in the overflow heap
+        // and migrate back into buckets as the window re-bases.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_output("y");
+        n.add_gate("g", CellKind::Buf, &[a], y).unwrap();
+        let l = lib();
+        let mut sim = EventSimulator::new(&n, &l, SimConfig::default());
+        let span = CALENDAR_BUCKET_WIDTH_PS * CALENDAR_BUCKETS as f64;
+        // A mix of near, far and very far events, scheduled out of order.
+        sim.schedule(a, Value::One, 40.0 * span);
+        sim.schedule(a, Value::Zero, 2.5 * span);
+        sim.schedule(a, Value::One, 10.0);
+        sim.run_until(50.0 * span);
+        assert_eq!(sim.value(y), Value::One);
+        // a: X->1->0->1 gives two counted transitions; y follows.
+        assert_eq!(sim.activity.transitions_on(a), 2);
+        assert_eq!(sim.activity.transitions_on(y), 2);
+    }
+
+    #[test]
+    fn calendar_queue_orders_same_bucket_and_rebases() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        let ev = |t: f64, seq: u64| Event {
+            key: t.to_bits(),
+            seq,
+            net: NetId(0),
+            value: Value::One,
+        };
+        // Same bucket, inserted out of order; equal times tie-break by seq.
+        q.push(ev(30.0, 3));
+        q.push(ev(10.0, 1));
+        q.push(ev(10.0, 2));
+        // Far beyond the window: overflow tier.
+        let far = 1e9;
+        q.push(ev(far, 4));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.peek().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 3);
+        // The far event is reachable (window re-bases onto it).
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.seq, 4);
+        assert_eq!(popped.time_ps(), far);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
     }
 }

@@ -23,6 +23,9 @@ pub struct SimRun {
     pub cycles: usize,
     /// Total simulated time in picoseconds.
     pub duration_ps: f64,
+    /// Total number of events committed by the kernel during the run (the
+    /// denominator of events/second throughput figures).
+    pub committed_events: usize,
 }
 
 impl SimRun {
@@ -42,6 +45,27 @@ fn value_to_word(value: Value) -> u64 {
         Value::One => 1,
         Value::X => 2,
     }
+}
+
+/// Builds the per-register capture streams: captures are grouped by cell id
+/// first (dense, chronological per cell), so each register's name is
+/// resolved and cloned exactly once instead of once per captured value.
+fn collect_flow_trace(netlist: &Netlist, captures: &[crate::engine::Capture]) -> FlowTrace {
+    let mut per_cell: Vec<Vec<u64>> = vec![Vec::new(); netlist.num_cells()];
+    for cap in captures {
+        per_cell[cap.cell.index()].push(value_to_word(cap.value));
+    }
+    let mut flow_trace = FlowTrace::new();
+    for (index, values) in per_cell.into_iter().enumerate() {
+        if !values.is_empty() {
+            let name = netlist
+                .cell(desync_netlist::CellId(index as u32))
+                .name
+                .clone();
+            flow_trace.extend_stream(name, values);
+        }
+    }
+    flow_trace
 }
 
 /// A clocked testbench for flip-flop based (synchronous) netlists.
@@ -118,17 +142,13 @@ impl<'a> SyncTestbench<'a> {
         let end = start + (cycles as f64 + 1.0) * period_ps;
         sim.run_until(end);
 
-        let mut flow_trace = FlowTrace::new();
-        for cap in &sim.captures {
-            let name = self.netlist.cell(cap.cell).name.clone();
-            flow_trace.push(name, value_to_word(cap.value));
-        }
         SimRun {
-            flow_trace,
+            flow_trace: collect_flow_trace(self.netlist, &sim.captures),
             activity: sim.activity.clone(),
-            waveforms: sim.waveforms.clone(),
+            waveforms: sim.waveforms(),
             cycles,
             duration_ps: sim.time(),
+            committed_events: sim.committed_events(),
         }
     }
 }
@@ -158,7 +178,7 @@ impl EnableSchedule {
     /// All events, sorted by time.
     pub fn sorted_events(&self) -> Vec<(f64, NetId, Value)> {
         let mut v = self.events.clone();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
         v
     }
 
@@ -236,23 +256,19 @@ impl<'a> AsyncTestbench<'a> {
             sim.schedule(net, value, t.max(sim.time()));
         }
         let mut sorted_inputs: Vec<&(f64, NetId, Value)> = inputs.iter().collect();
-        sorted_inputs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        sorted_inputs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(t, net, value) in sorted_inputs {
             sim.schedule(net, value, t.max(sim.time()));
         }
         sim.run_until(duration_ps);
 
-        let mut flow_trace = FlowTrace::new();
-        for cap in &sim.captures {
-            let name = self.netlist.cell(cap.cell).name.clone();
-            flow_trace.push(name, value_to_word(cap.value));
-        }
         SimRun {
-            flow_trace,
+            flow_trace: collect_flow_trace(self.netlist, &sim.captures),
             activity: sim.activity.clone(),
-            waveforms: sim.waveforms.clone(),
+            waveforms: sim.waveforms(),
             cycles: iterations,
             duration_ps: sim.time(),
+            committed_events: sim.committed_events(),
         }
     }
 }

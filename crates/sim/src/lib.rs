@@ -16,6 +16,35 @@
 //!   whose latch-enable waveforms come from the timed marked-graph model of
 //!   the control network.
 //!
+//! # Kernel design
+//!
+//! Gate-level co-simulation is the hot path of flow-equivalence
+//! verification (every knob sweep ends in two simulations), so the kernel
+//! is built to commit events without allocating:
+//!
+//! * events are ordered by **integer time keys** (the IEEE-754 bit pattern
+//!   of the non-negative f64 picosecond time — order-isomorphic to the
+//!   numeric value, so the order is total and results stay bit-identical to
+//!   an f64 kernel); non-finite times are rejected at the
+//!   [`EventSimulator::schedule`] boundary,
+//! * the pending-event set is a **bucketed calendar queue** with a binary
+//!   heap overflow tier for far-future events (up-front enable schedules),
+//! * netlist topology (reader map, per-cell pin lists) is flattened into
+//!   **CSR arrays**, input values are gathered into one reused scratch
+//!   buffer, and flip-flops are not registered as readers of their data
+//!   nets (they only react to clock edges),
+//! * watched nets are a **bitset**, waveforms are recorded per [`NetId`]
+//!   and names are resolved once at export
+//!   ([`EventSimulator::waveforms`]), and capture streams are grouped per
+//!   register before any name is cloned.
+//!
+//! A golden-trace property suite (`desync-core/tests/sim_golden.rs`) pins
+//! the kernel's captures, activity counters and waveforms byte-identical to
+//! a straightforward reference implementation across random circuits and
+//! all three handshake protocols. [`VectorSource::content_digest`] provides
+//! the stimulus half of the content-addressed sync-reference-run cache that
+//! `desync-core` layers on top for incremental co-simulation.
+//!
 //! # Example
 //!
 //! ```

@@ -86,6 +86,54 @@ impl VectorSource {
     pub fn driven_nets(&self) -> Vec<NetId> {
         self.vector_for(0).into_iter().map(|(n, _)| n).collect()
     }
+
+    /// A stable 64-bit content digest of the stimulus.
+    ///
+    /// Two sources with equal digests produce the same vector stream with
+    /// overwhelming probability (FNV-1a over the flavour tag and the full
+    /// payload — assignments, vector lists, or net set plus seed). The
+    /// digest is stable across processes and platforms, making it usable as
+    /// the stimulus half of content-addressed simulation caches (the
+    /// sync-reference-run cache in `desync-core` keys on it).
+    pub fn content_digest(&self) -> u64 {
+        let mut hash = desync_netlist::Fnv1a::new();
+        let write_assignment = |hash: &mut desync_netlist::Fnv1a, net: NetId, value: Value| {
+            hash.write_u32(net.0);
+            hash.write_u8(match value {
+                Value::Zero => 0u8,
+                Value::One => 1,
+                Value::X => 2,
+            });
+        };
+        match &self.kind {
+            SourceKind::Constant(assignments) => {
+                hash.write_u8(1);
+                hash.write_usize(assignments.len());
+                for &(net, value) in assignments {
+                    write_assignment(&mut hash, net, value);
+                }
+            }
+            SourceKind::Sequence(vectors) => {
+                hash.write_u8(2);
+                hash.write_usize(vectors.len());
+                for vector in vectors {
+                    hash.write_usize(vector.len());
+                    for &(net, value) in vector {
+                        write_assignment(&mut hash, net, value);
+                    }
+                }
+            }
+            SourceKind::PseudoRandom { nets, seed } => {
+                hash.write_u8(3);
+                hash.write_usize(nets.len());
+                for net in nets {
+                    hash.write_u32(net.0);
+                }
+                hash.write_u64(*seed);
+            }
+        }
+        hash.finish()
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +161,40 @@ mod tests {
     #[should_panic(expected = "at least one vector")]
     fn empty_sequence_panics() {
         let _ = VectorSource::sequence(vec![]);
+    }
+
+    #[test]
+    fn content_digest_separates_sources_and_is_stable() {
+        let constant = VectorSource::constant(vec![(NetId(3), Value::One)]);
+        assert_eq!(constant.content_digest(), constant.content_digest());
+        // Each knob of each flavour moves the digest.
+        let other_net = VectorSource::constant(vec![(NetId(4), Value::One)]);
+        let other_value = VectorSource::constant(vec![(NetId(3), Value::Zero)]);
+        let empty = VectorSource::constant(vec![]);
+        let sequence = VectorSource::sequence(vec![vec![(NetId(3), Value::One)]]);
+        let random_a = VectorSource::pseudo_random(vec![NetId(3)], 1);
+        let random_b = VectorSource::pseudo_random(vec![NetId(3)], 2);
+        let digests = [
+            constant.content_digest(),
+            other_net.content_digest(),
+            other_value.content_digest(),
+            empty.content_digest(),
+            sequence.content_digest(),
+            random_a.content_digest(),
+            random_b.content_digest(),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // A one-vector sequence and an equal constant differ (different
+        // flavour tags), even though they stream identical vectors; the
+        // digest over-approximates inequality, never equality.
+        assert_ne!(constant.content_digest(), sequence.content_digest());
+        // Stability across processes: the digest is a fixed function with
+        // pinned constants, so pin one value as a regression anchor.
+        assert_eq!(empty.content_digest(), 0x529a_2cdc_8ff5_33ac);
     }
 
     #[test]

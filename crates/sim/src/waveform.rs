@@ -103,6 +103,14 @@ impl WaveformSet {
             .push(time_ps, value);
     }
 
+    /// Inserts a fully recorded waveform under `name`, replacing any
+    /// previous one. Used by the simulator's export path, which records
+    /// waveforms by net id during the run and resolves names only once at
+    /// the end.
+    pub fn insert(&mut self, name: String, waveform: Waveform) {
+        self.waves.insert(name, waveform);
+    }
+
     /// The waveform of `name`, if recorded.
     pub fn get(&self, name: &str) -> Option<&Waveform> {
         self.waves.get(name)
@@ -147,7 +155,7 @@ impl WaveformSet {
                 events.push((t, *id, v));
             }
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut last_time = f64::NEG_INFINITY;
         for (t, id, v) in events {
             if t != last_time {

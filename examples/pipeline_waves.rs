@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{}\n", design.summary());
     println!("composed control marked graph (paper Figure 3, bottom):");
-    print!("{}", design.control_model().graph.render());
+    print!("{}", design.control_model().graph().render());
 
     // Drive the latch datapath with the enable schedule of the control model
     // and record the enable waveforms.

@@ -91,9 +91,10 @@ pub use desync_sta as sta;
 pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
-        verify_flow_equivalence, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine,
-        DesyncError, DesyncFlow, DesyncOptions, Desynchronizer, EngineReport, EquivalenceReport,
-        FlowReport, Protocol, Stage, TimingTable,
+        sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
+        ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError, DesyncFlow,
+        DesyncOptions, Desynchronizer, EngineReport, EquivalenceReport, FlowReport, Protocol,
+        Stage, TimingTable,
     };
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};
