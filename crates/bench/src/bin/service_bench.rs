@@ -1,0 +1,38 @@
+//! Service-mode workload: duplicate-heavy batches through a
+//! [`desync_core::DesyncService`], once over an unbounded artifact store
+//! and once over a small bounded one, asserting that in-flight duplicates
+//! coalesce, that LRU eviction keeps the resident weight inside the
+//! capacity, and that evicted artifacts recompute bit-identically. Writes
+//! the headline numbers to `BENCH_service.json` (schema `desync-service/1`,
+//! see ROADMAP.md).
+//!
+//! ```text
+//! cargo run --release -p desync-bench --bin service_bench
+//! ```
+
+use desync_bench::service::run_service_bench;
+
+fn main() {
+    let report = run_service_bench();
+    println!("{report}");
+    // Hard properties of the workload (checked in CI):
+    assert!(
+        report.coalesced > 0,
+        "duplicate in-flight requests must coalesce onto one computation"
+    );
+    assert!(
+        report.evictions > 0,
+        "the bounded phase must exercise the eviction counters"
+    );
+    assert!(
+        report.resident_weight <= report.capacity,
+        "eviction must keep the resident weight inside the capacity"
+    );
+    assert!(
+        report.bounded_matches_unbounded,
+        "designs recomputed after eviction must stay bit-identical"
+    );
+    let json = report.to_json();
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json:\n{json}");
+}

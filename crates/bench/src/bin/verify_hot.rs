@@ -17,11 +17,12 @@ fn main() {
     // one sync simulation per design, every other point served from the
     // reference-run cache, and cache-indifferent (bit-identical) reports.
     assert_eq!(
-        report.sync_run_misses, 2,
+        report.sync_run_misses(),
+        2,
         "each design must simulate its sync reference exactly once"
     );
     assert!(
-        report.sync_run_hits >= report.points.len() - 2,
+        report.sync_run_hits() >= report.points.len() - 2,
         "sweep points must reuse the cached sync reference"
     );
     assert!(

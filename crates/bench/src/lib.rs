@@ -16,12 +16,15 @@
 //! | matched-delay margin sweep (extension) | [`sweeps::margin_sweep`] | `ablation_margin` |
 //! | pipeline depth/imbalance sweep (extension) | [`sweeps::pipeline_sweep`] | `sweep_pipeline` |
 //! | engine batch workload (extension) | [`batch::run_batch`] | `batch_engine` |
+//! | verification hot-path sweep (extension) | [`verify_hot::run_verify_hot`] | `verify_hot` |
+//! | service store workload (extension) | [`service::run_service_bench`] | `service_bench` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod figures;
+pub mod service;
 pub mod sweeps;
 pub mod table1;
 pub mod verify_hot;

@@ -1,0 +1,283 @@
+//! Service-mode workload: duplicate-heavy request batches through a
+//! [`DesyncService`], once over an unbounded store and once over a small
+//! bounded store, checking that coalescing, LRU eviction and recomputation
+//! all behave — and that the bounded service still returns bit-identical
+//! designs.
+//!
+//! The scenario is the ROADMAP's long-running-service north star: a request
+//! stream where identical in-flight requests recur (users iterating on the
+//! same design) and where the artifact store must not grow without bound.
+//! [`run_service_bench`] reports request/coalescing counts, the engine's
+//! hit/eviction counters and resident weight, and serializes the headline
+//! numbers to `BENCH_service.json` (schema `desync-service/1`) via
+//! [`ServiceBenchReport::to_json`].
+
+use crate::batch::{mixed_designs, mixed_options};
+use desync_core::{
+    DesyncDesign, DesyncEngine, DesyncError, DesyncService, ServiceRequest, StoreConfig,
+};
+use desync_netlist::CellLibrary;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many times each (design, options) pair appears in one batch.
+pub const DUPLICATES_PER_BATCH: usize = 2;
+
+/// How many batches each service phase runs (round two is served from the
+/// store where capacity allows).
+pub const ROUNDS: usize = 2;
+
+/// The outcome of the service benchmark, see [`run_service_bench`].
+#[derive(Debug, Clone)]
+pub struct ServiceBenchReport {
+    /// Requests submitted across both phases and all rounds.
+    pub requests: usize,
+    /// Requests coalesced onto another in-flight computation.
+    pub coalesced: usize,
+    /// Engine stage-cache hits across both phases.
+    pub cache_hits: usize,
+    /// Engine stage-cache misses across both phases.
+    pub cache_misses: usize,
+    /// Artifacts evicted (all from the bounded phase).
+    pub evictions: usize,
+    /// Resident store weight of the bounded engine after its final batch.
+    pub resident_weight: usize,
+    /// The capacity the bounded phase ran under (derived from the
+    /// unbounded phase's resident weight).
+    pub capacity: usize,
+    /// Resident weight of the unbounded engine after its final batch.
+    pub unbounded_resident_weight: usize,
+    /// Whether every bounded-phase design equals its unbounded twin.
+    pub bounded_matches_unbounded: bool,
+    /// Wall time over both phases.
+    pub wall: Duration,
+}
+
+impl ServiceBenchReport {
+    /// Serializes the headline numbers as a small JSON document (the
+    /// workspace vendors a stub `serde`, so this is written by hand — the
+    /// schema is part of the bench contract and documented in ROADMAP.md).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"desync-service/1\",\n",
+                "  \"requests\": {},\n",
+                "  \"coalesced\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"cache_misses\": {},\n",
+                "  \"evictions\": {},\n",
+                "  \"resident_weight\": {},\n",
+                "  \"capacity\": {},\n",
+                "  \"unbounded_resident_weight\": {},\n",
+                "  \"bounded_matches_unbounded\": {},\n",
+                "  \"wall_ms\": {:.3}\n",
+                "}}\n"
+            ),
+            self.requests,
+            self.coalesced,
+            self.cache_hits,
+            self.cache_misses,
+            self.evictions,
+            self.resident_weight,
+            self.capacity,
+            self.unbounded_resident_weight,
+            self.bounded_matches_unbounded,
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+impl fmt::Display for ServiceBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service workload: {} requests ({} coalesced), wall {} ms",
+            self.requests,
+            self.coalesced,
+            self.wall.as_millis()
+        )?;
+        writeln!(
+            f,
+            "  store traffic: {} hit(s) / {} miss(es), {} eviction(s)",
+            self.cache_hits, self.cache_misses, self.evictions
+        )?;
+        writeln!(
+            f,
+            "  bounded store: {} / {} weight resident (unbounded twin: {})",
+            self.resident_weight, self.capacity, self.unbounded_resident_weight
+        )?;
+        write!(
+            f,
+            "  bounded designs bit-identical to unbounded: {}",
+            self.bounded_matches_unbounded
+        )
+    }
+}
+
+/// One phase: `ROUNDS` duplicate-heavy batches through `service`. Returns
+/// the per-phase result list (of the final round) and accumulates the
+/// service-report counters.
+fn run_phase(
+    service: &DesyncService,
+    requests: &[ServiceRequest<'_>],
+    totals: &mut ServiceBenchReport,
+) -> Vec<Result<DesyncDesign, DesyncError>> {
+    let mut last = Vec::new();
+    for _ in 0..ROUNDS {
+        let outcome = service.run_batch(requests);
+        totals.requests += outcome.report.requests;
+        totals.coalesced += outcome.report.coalesced;
+        totals.cache_hits += outcome.report.cache_hits;
+        totals.cache_misses += outcome.report.cache_misses;
+        totals.evictions += outcome.report.evictions;
+        last = outcome.results;
+    }
+    last
+}
+
+/// Runs the two-phase service workload over the stock mixed designs.
+///
+/// # Panics
+///
+/// Panics if any request fails — the stock workload is known-good.
+pub fn run_service_bench() -> ServiceBenchReport {
+    let designs = mixed_designs();
+    let library = CellLibrary::generic_90nm();
+    let options = mixed_options();
+
+    // Duplicate-heavy batch: every (design, options) pair appears
+    // `DUPLICATES_PER_BATCH` times *in the same batch*, so the duplicates
+    // are genuinely in flight together.
+    let mut requests = Vec::new();
+    for _ in 0..DUPLICATES_PER_BATCH {
+        for design in &designs {
+            for &opts in &options {
+                requests.push(ServiceRequest::new(design, &library, opts));
+            }
+        }
+    }
+
+    let mut report = ServiceBenchReport {
+        requests: 0,
+        coalesced: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        evictions: 0,
+        resident_weight: 0,
+        capacity: 0,
+        unbounded_resident_weight: 0,
+        bounded_matches_unbounded: false,
+        wall: Duration::ZERO,
+    };
+    let started = Instant::now();
+
+    // Phase 1: unbounded store — the PR-2/PR-3 behaviour, reproducing the
+    // historical hit rates (no eviction can ever interfere).
+    let unbounded = DesyncService::new();
+    let unbounded_results = run_phase(&unbounded, &requests, &mut report);
+    report.unbounded_resident_weight = unbounded.engine().report().resident_weight;
+    assert_eq!(
+        unbounded.engine().report().total_evictions(),
+        0,
+        "an unbounded store must never evict"
+    );
+
+    // Phase 2: a store two-thirds the size of what the workload wants to
+    // keep resident, single-sharded so the budget is exact. Eviction must
+    // kick in, and every recomputed design must still be bit-identical.
+    let capacity = (report.unbounded_resident_weight * 2 / 3).max(1);
+    let bounded = DesyncService::with_engine(DesyncEngine::with_store(
+        StoreConfig::default()
+            .with_capacity(capacity)
+            .with_shards(1),
+    ));
+    let bounded_results = run_phase(&bounded, &requests, &mut report);
+    report.capacity = capacity;
+    report.resident_weight = bounded.engine().report().resident_weight;
+    report.bounded_matches_unbounded =
+        unbounded_results
+            .iter()
+            .zip(&bounded_results)
+            .all(|(a, b)| match (a, b) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            });
+
+    report.wall = started.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_circuits::{counter::binary_counter, LinearPipelineConfig};
+
+    #[test]
+    fn bounded_service_evicts_and_still_matches_unbounded() {
+        let designs = vec![
+            LinearPipelineConfig::balanced(3, 4, 1).generate().unwrap(),
+            LinearPipelineConfig::balanced(4, 6, 2).generate().unwrap(),
+            binary_counter(4).unwrap(),
+        ];
+        let library = CellLibrary::generic_90nm();
+        let options = mixed_options();
+        let mut requests = Vec::new();
+        for design in &designs {
+            for &opts in &options {
+                requests.push(ServiceRequest::new(design, &library, opts));
+                requests.push(ServiceRequest::new(design, &library, opts));
+            }
+        }
+
+        let unbounded = DesyncService::with_engine(DesyncEngine::with_workers(2));
+        let full = unbounded.run_batch(&requests);
+        assert_eq!(full.report.coalesced, requests.len() / 2);
+        assert_eq!(full.report.evictions, 0);
+        let total_weight = unbounded.engine().report().resident_weight;
+        assert!(total_weight > 0);
+
+        let capacity = (total_weight / 2).max(1);
+        let bounded = DesyncService::with_engine(DesyncEngine::with_store_and_runtime(
+            StoreConfig::default()
+                .with_capacity(capacity)
+                .with_shards(1),
+            desync_core::DesyncRuntime::with_workers(2),
+        ));
+        let small = bounded.run_batch(&requests);
+        // Eviction kicked in, the resident weight is bounded, and every
+        // design still came out bit-identical (recomputed where evicted).
+        assert!(small.report.evictions > 0, "{}", small.report);
+        assert!(
+            small.report.resident_weight <= capacity,
+            "{} > {capacity}",
+            small.report.resident_weight
+        );
+        for (a, b) in full.results.iter().zip(&small.results) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // A fresh flow after heavy eviction churn also still agrees.
+        let probe = requests[0];
+        let recomputed = bounded.run_batch(&[probe]).results.pop().unwrap().unwrap();
+        assert_eq!(&recomputed, full.results[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn stock_service_bench_exercises_coalescing_and_eviction() {
+        let report = run_service_bench();
+        assert_eq!(
+            report.requests,
+            2 * ROUNDS * DUPLICATES_PER_BATCH * 5 * 3,
+            "{report}"
+        );
+        assert!(report.coalesced > 0);
+        assert!(report.cache_hits > 0);
+        assert!(report.evictions > 0);
+        assert!(report.resident_weight <= report.capacity);
+        assert!(report.bounded_matches_unbounded);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"desync-service/1\""));
+        assert!(json.contains("\"coalesced\""));
+        assert!(json.contains("\"resident_weight\""));
+    }
+}

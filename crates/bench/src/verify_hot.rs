@@ -12,7 +12,7 @@
 
 use crate::workloads::{bus_stimulus, dlx_program, dlx_stimulus};
 use desync_circuits::{DlxConfig, LinearPipelineConfig};
-use desync_core::{DesyncEngine, DesyncFlow, DesyncOptions, Protocol};
+use desync_core::{DesyncEngine, DesyncFlow, DesyncOptions, EngineReport, Protocol};
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::VectorSource;
 use std::fmt;
@@ -54,16 +54,26 @@ pub struct VerifyHotReport {
     /// Committed simulation events actually executed (async sides plus the
     /// sync references that missed the cache).
     pub events_simulated: usize,
-    /// Reference-run cache hits across the sweep.
-    pub sync_run_hits: usize,
-    /// Reference runs that had to simulate (one per distinct sync side).
-    pub sync_run_misses: usize,
     /// Whether the cache-less cross-check reproduced the engine-served
     /// report bit for bit.
     pub bit_identical_to_fresh: bool,
+    /// The engine's cache counters after the sweep (its `Display` impl
+    /// replaces the counter lines this report used to hand-format).
+    pub engine_report: EngineReport,
 }
 
 impl VerifyHotReport {
+    /// Reference-run cache hits across the sweep (from the engine report).
+    pub fn sync_run_hits(&self) -> usize {
+        self.engine_report.sync_run_hits
+    }
+
+    /// Reference runs that had to simulate, one per distinct sync side
+    /// (from the engine report).
+    pub fn sync_run_misses(&self) -> usize {
+        self.engine_report.sync_run_misses
+    }
+
     /// Committed events per second of sweep wall time.
     pub fn events_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -98,8 +108,8 @@ impl VerifyHotReport {
             self.wall.as_secs_f64() * 1e3,
             self.events_simulated,
             self.events_per_sec(),
-            self.sync_run_hits,
-            self.sync_run_misses,
+            self.sync_run_hits(),
+            self.sync_run_misses(),
             self.bit_identical_to_fresh,
         )
     }
@@ -122,11 +132,6 @@ impl fmt::Display for VerifyHotReport {
         )?;
         writeln!(
             f,
-            "  sync reference runs: {} simulated, {} served from cache",
-            self.sync_run_misses, self.sync_run_hits
-        )?;
-        writeln!(
-            f,
             "  flow equivalent: {}/{} points; cache-less cross-check identical: {}",
             self.equivalent_points,
             self.points.len(),
@@ -144,7 +149,7 @@ impl fmt::Display for VerifyHotReport {
                 p.sync_events_simulated
             )?;
         }
-        Ok(())
+        write!(f, "{}", self.engine_report)
     }
 }
 
@@ -228,9 +233,8 @@ pub fn run_verify_hot() -> VerifyHotReport {
         points,
         wall,
         events_simulated,
-        sync_run_hits: engine_report.sync_run_hits,
-        sync_run_misses: engine_report.sync_run_misses,
         bit_identical_to_fresh,
+        engine_report,
     }
 }
 
@@ -244,8 +248,8 @@ mod tests {
         assert_eq!(report.points.len(), 2 * 3 * MARGINS.len());
         // One sync simulation per design; every other point reuses it. (The
         // bit-identity probe afterwards adds one more hit.)
-        assert_eq!(report.sync_run_misses, 2);
-        assert_eq!(report.sync_run_hits, report.points.len() - 2 + 1);
+        assert_eq!(report.sync_run_misses(), 2);
+        assert_eq!(report.sync_run_hits(), report.points.len() - 2 + 1);
         assert!(report.bit_identical_to_fresh);
         // The pipeline points all verify; the DLX is equivalent under the
         // paper's fully-decoupled protocol (the non-overlapping DLX

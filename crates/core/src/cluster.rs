@@ -203,6 +203,13 @@ impl ClusterGraph {
     }
 }
 
+impl crate::store::Weigh for ClusterGraph {
+    /// Weight: one unit per cluster node, grouped register and edge.
+    fn weight(&self) -> usize {
+        self.clusters.len() + self.num_registers() + self.edges.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

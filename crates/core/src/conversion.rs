@@ -79,6 +79,17 @@ impl LatchDesign {
     }
 }
 
+impl crate::store::Weigh for LatchDesign {
+    /// Weight: the dominant retained memory is the converted netlist (cells
+    /// and nets), plus one unit per latch pair and cluster-enable record.
+    fn weight(&self) -> usize {
+        self.netlist.num_cells()
+            + self.netlist.num_nets()
+            + self.pairs.len()
+            + self.cluster_enables.len()
+    }
+}
+
 /// Copies nets (with identical ids), primary inputs (optionally without the
 /// clock) and outputs, plus all combinational cells of `source` into a new
 /// netlist.

@@ -1,4 +1,4 @@
-//! The cross-flow artifact cache and persistent sizing pool.
+//! The cross-flow artifact cache, its runtime, and the engine report.
 //!
 //! The desynchronization flow is deterministic: for one (netlist, library,
 //! options) triple every stage artifact is a pure function of its inputs.
@@ -6,25 +6,30 @@
 //! service front-end pushing many requests through the toolkit attaches each
 //! [`DesyncFlow`](crate::DesyncFlow) to one shared engine
 //! ([`DesyncEngine::flow`]), and any stage whose inputs were already seen is
-//! served from a content-addressed cache instead of recomputed:
+//! served from a shared [`ArtifactStore`] instead of recomputed:
 //!
-//! * **Cache keys** pair an interned netlist/library identity (stable
-//!   [`Netlist::structural_hash`] plus a full equality check, so distinct
-//!   designs can never collide) with the options *prefix* each stage
-//!   consumes ([`DesyncOptions::stage_prefix`] — the same mapping that
-//!   drives stage invalidation, so cache validity and invalidation can
-//!   never drift apart).
-//! * **Cached artifacts** are the four construction stages:
+//! * **Cache keys** ([`ArtifactKey`]) pair an interned netlist/library
+//!   identity (stable [`Netlist::structural_hash`] plus a full equality
+//!   check, so distinct designs can never collide) with either the options
+//!   *prefix* a stage consumes ([`DesyncOptions::stage_prefix`] — the same
+//!   mapping that drives stage invalidation, so cache validity and
+//!   invalidation can never drift apart) or, for synchronous reference
+//!   runs, the simulation inputs the run is a pure function of.
+//! * **Cached artifacts** are the four construction stages —
 //!   [`ClusterGraph`], [`LatchDesign`],
-//!   [`TimingTable`](crate::TimingTable) and
-//!   [`ControlNetwork`](crate::ControlNetwork). Verification depends on the
-//!   per-flow stimulus and is never cached.
-//! * **The sizing pool** is spawned once per engine and reused by every
-//!   `timed()` run, replacing the former per-run thread spawn whose overhead
-//!   roughly cancelled the parallel win at DLX scale. Results remain
-//!   bit-identical to serial sizing (see
-//!   [`StaSnapshot`](desync_sta::StaSnapshot)). Flows without an engine
-//!   share one lazily-spawned process-wide pool.
+//!   [`TimingTable`](crate::TimingTable),
+//!   [`ControlNetwork`](crate::ControlNetwork) — plus the synchronous
+//!   reference runs of incremental co-simulation. Full verification
+//!   reports depend on the per-flow stimulus and are never cached.
+//! * **The store** is weight-accounted and sharded, with optional LRU
+//!   eviction: [`DesyncEngine::with_store`] bounds the resident weight for
+//!   long-running services, while the default engine is unbounded and
+//!   bit-identical to the historical per-stage maps (see the
+//!   [`store`](crate::store) module).
+//! * **The runtime** ([`DesyncRuntime`]) owns the persistent matched-delay
+//!   sizing pool. Every engine holds a runtime handle; engines (and the
+//!   [`DesyncService`](crate::DesyncService)) can share one explicitly, and
+//!   detached flows draw from [`DesyncRuntime::global`].
 //!
 //! ```
 //! use desync_core::{DesyncEngine, DesyncOptions, Stage};
@@ -51,6 +56,7 @@
 //! assert_eq!(resumed.stage_runs(Stage::Controlled), 0);
 //! assert_eq!(resumed.cache_hits(Stage::Controlled), 1);
 //! assert!(engine.report().total_hits() >= 4);
+//! assert!(engine.report().resident_weight > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,18 +66,26 @@ use crate::conversion::LatchDesign;
 use crate::error::DesyncError;
 use crate::options::{DesyncOptions, StagePrefix};
 use crate::pipeline::{ControlNetwork, DesyncFlow, Stage, TimingTable};
+use crate::store::{ArtifactStore, StoreConfig, StoreKey, Weigh};
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::{SimConfig, SimRun};
+use desync_sta::SizingPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
 /// Number of stages the engine caches (`Clustered` through `Controlled`).
 const CACHED_STAGES: usize = 4;
+
+/// Store kind index of the synchronous reference runs (after the four
+/// construction stages).
+const SYNC_RUN_KIND: usize = CACHED_STAGES;
+
+/// Total artifact kinds in the engine's store.
+const STORE_KINDS: usize = CACHED_STAGES + 1;
 
 /// Interned identity of a netlist inside one engine (collision-free: the
 /// engine confirms every structural-hash match with a full equality check).
@@ -82,30 +96,68 @@ pub(crate) struct NetlistId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct LibraryId(u32);
 
-/// Content address of one stage artifact: which design, which library, and
-/// the options prefix the stage consumes.
+/// The uniform content address of every cached artifact: which design,
+/// which library, and which facet of the flow the artifact belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct StageKey {
+pub(crate) struct ArtifactKey {
     netlist: NetlistId,
     library: LibraryId,
-    prefix: StagePrefix,
+    facet: Facet,
 }
 
-/// Content address of one synchronous reference simulation: everything the
-/// run is a pure function of. Protocol and margin knobs are deliberately
-/// absent — they only affect the desynchronized side, which is exactly why
-/// sweeps can share the reference run.
+/// The per-facet half of an [`ArtifactKey`]: the options prefix a
+/// construction stage consumes, or everything a synchronous reference run
+/// is a pure function of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct SyncRunKey {
-    netlist: NetlistId,
-    library: LibraryId,
-    /// [`SimConfig`] as IEEE-754 bit patterns.
-    config: [u64; 3],
-    /// Clock period as an IEEE-754 bit pattern.
-    period: u64,
-    cycles: usize,
-    /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest).
-    stimulus: u64,
+enum Facet {
+    /// A construction-stage artifact. The stage is part of the key because
+    /// adjacent stages can share an options prefix (clustering and latch
+    /// conversion consume the same knobs) while owning distinct artifacts.
+    Stage { stage: Stage, prefix: StagePrefix },
+    /// A synchronous reference simulation. Protocol and margin knobs are
+    /// deliberately absent — they only affect the desynchronized side,
+    /// which is exactly why sweeps can share the reference run.
+    SyncRun {
+        /// [`SimConfig`] as IEEE-754 bit patterns.
+        config: [u64; 3],
+        /// Clock period as an IEEE-754 bit pattern.
+        period: u64,
+        cycles: usize,
+        /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest).
+        stimulus: u64,
+    },
+}
+
+impl StoreKey for ArtifactKey {
+    fn kind(&self) -> usize {
+        match self.facet {
+            Facet::Stage { stage, .. } => stage.index(),
+            Facet::SyncRun { .. } => SYNC_RUN_KIND,
+        }
+    }
+}
+
+/// One cached value: a construction-stage artifact or a sync reference run,
+/// all shared by `Arc` so a store hit is a pointer clone.
+#[derive(Debug, Clone)]
+enum Artifact {
+    Clustered(Arc<ClusterGraph>),
+    Latched(Arc<LatchDesign>),
+    Timed(Arc<TimingTable>),
+    Controlled(Arc<ControlNetwork>),
+    SyncRun(Arc<SimRun>),
+}
+
+impl Weigh for Artifact {
+    fn weight(&self) -> usize {
+        match self {
+            Artifact::Clustered(v) => v.weight(),
+            Artifact::Latched(v) => v.weight(),
+            Artifact::Timed(v) => v.weight(),
+            Artifact::Controlled(v) => v.weight(),
+            Artifact::SyncRun(v) => v.weight(),
+        }
+    }
 }
 
 /// A flow's connection to its engine, carried inside
@@ -119,23 +171,26 @@ pub(crate) struct EngineHandle<'a> {
 
 impl<'a> EngineHandle<'a> {
     /// The cache key of `stage` under `options`.
-    pub(crate) fn stage_key(&self, options: &DesyncOptions, stage: Stage) -> StageKey {
-        StageKey {
+    pub(crate) fn stage_key(&self, options: &DesyncOptions, stage: Stage) -> ArtifactKey {
+        ArtifactKey {
             netlist: self.netlist,
             library: self.library,
-            prefix: options.stage_prefix(stage),
+            facet: Facet::Stage {
+                stage,
+                prefix: options.stage_prefix(stage),
+            },
         }
     }
 
     /// The engine's persistent sizing pool.
     pub(crate) fn pool(&self) -> &'a SizingPool {
-        &self.engine.pool
+        self.engine.runtime.pool()
     }
 
     /// The interned copy of the flow's cell library (an `Arc` clone, not a
     /// deep copy) for handing to pool workers.
     pub(crate) fn library(&self) -> Arc<CellLibrary> {
-        self.engine.with_state(|s| {
+        self.engine.with_intern(|s| {
             Arc::clone(
                 s.libraries
                     .get(self.library.0 as usize)
@@ -144,48 +199,56 @@ impl<'a> EngineHandle<'a> {
         })
     }
 
-    pub(crate) fn lookup_clustered(&self, key: &StageKey) -> Option<Arc<ClusterGraph>> {
+    pub(crate) fn lookup_clustered(&self, key: &ArtifactKey) -> Option<Arc<ClusterGraph>> {
+        match self.engine.store.get(key)? {
+            Artifact::Clustered(graph) => Some(graph),
+            _ => None, // unreachable: the key's facet names the stage
+        }
+    }
+
+    pub(crate) fn store_clustered(&self, key: ArtifactKey, value: &Arc<ClusterGraph>) {
         self.engine
-            .lookup(Stage::Clustered, |s| s.clustered.get(key).cloned())
+            .store
+            .insert(key, Artifact::Clustered(Arc::clone(value)));
     }
 
-    pub(crate) fn store_clustered(&self, key: StageKey, value: &Arc<ClusterGraph>) {
-        self.engine.with_state(|s| {
-            s.clustered.insert(key, Arc::clone(value));
-        });
+    pub(crate) fn lookup_latched(&self, key: &ArtifactKey) -> Option<Arc<LatchDesign>> {
+        match self.engine.store.get(key)? {
+            Artifact::Latched(design) => Some(design),
+            _ => None,
+        }
     }
 
-    pub(crate) fn lookup_latched(&self, key: &StageKey) -> Option<Arc<LatchDesign>> {
+    pub(crate) fn store_latched(&self, key: ArtifactKey, value: &Arc<LatchDesign>) {
         self.engine
-            .lookup(Stage::Latched, |s| s.latched.get(key).cloned())
+            .store
+            .insert(key, Artifact::Latched(Arc::clone(value)));
     }
 
-    pub(crate) fn store_latched(&self, key: StageKey, value: &Arc<LatchDesign>) {
-        self.engine.with_state(|s| {
-            s.latched.insert(key, Arc::clone(value));
-        });
+    pub(crate) fn lookup_timed(&self, key: &ArtifactKey) -> Option<Arc<TimingTable>> {
+        match self.engine.store.get(key)? {
+            Artifact::Timed(table) => Some(table),
+            _ => None,
+        }
     }
 
-    pub(crate) fn lookup_timed(&self, key: &StageKey) -> Option<Arc<TimingTable>> {
+    pub(crate) fn store_timed(&self, key: ArtifactKey, value: &Arc<TimingTable>) {
         self.engine
-            .lookup(Stage::Timed, |s| s.timed.get(key).cloned())
+            .store
+            .insert(key, Artifact::Timed(Arc::clone(value)));
     }
 
-    pub(crate) fn store_timed(&self, key: StageKey, value: &Arc<TimingTable>) {
-        self.engine.with_state(|s| {
-            s.timed.insert(key, Arc::clone(value));
-        });
+    pub(crate) fn lookup_controlled(&self, key: &ArtifactKey) -> Option<Arc<ControlNetwork>> {
+        match self.engine.store.get(key)? {
+            Artifact::Controlled(network) => Some(network),
+            _ => None,
+        }
     }
 
-    pub(crate) fn lookup_controlled(&self, key: &StageKey) -> Option<Arc<ControlNetwork>> {
+    pub(crate) fn store_controlled(&self, key: ArtifactKey, value: &Arc<ControlNetwork>) {
         self.engine
-            .lookup(Stage::Controlled, |s| s.controlled.get(key).cloned())
-    }
-
-    pub(crate) fn store_controlled(&self, key: StageKey, value: &Arc<ControlNetwork>) {
-        self.engine.with_state(|s| {
-            s.controlled.insert(key, Arc::clone(value));
-        });
+            .store
+            .insert(key, Artifact::Controlled(Arc::clone(value)));
     }
 
     /// The cache key of the synchronous reference run under the given
@@ -196,74 +259,124 @@ impl<'a> EngineHandle<'a> {
         period_ps: f64,
         cycles: usize,
         stimulus_digest: u64,
-    ) -> SyncRunKey {
-        SyncRunKey {
+    ) -> ArtifactKey {
+        ArtifactKey {
             netlist: self.netlist,
             library: self.library,
-            config: config.key_bits(),
-            period: period_ps.to_bits(),
-            cycles,
-            stimulus: stimulus_digest,
+            facet: Facet::SyncRun {
+                config: config.key_bits(),
+                period: period_ps.to_bits(),
+                cycles,
+                stimulus: stimulus_digest,
+            },
         }
     }
 
-    pub(crate) fn lookup_sync_run(&self, key: &SyncRunKey) -> Option<Arc<SimRun>> {
-        self.engine.with_state(|s| {
-            let found = s.sync_runs.get(key).cloned();
-            if found.is_some() {
-                s.sync_run_hits += 1;
-            } else {
-                s.sync_run_misses += 1;
-            }
-            found
-        })
+    pub(crate) fn lookup_sync_run(&self, key: &ArtifactKey) -> Option<Arc<SimRun>> {
+        match self.engine.store.get(key)? {
+            Artifact::SyncRun(run) => Some(run),
+            _ => None,
+        }
     }
 
-    pub(crate) fn store_sync_run(&self, key: SyncRunKey, value: &Arc<SimRun>) {
-        self.engine.with_state(|s| {
-            s.sync_runs.insert(key, Arc::clone(value));
-        });
+    pub(crate) fn store_sync_run(&self, key: ArtifactKey, value: &Arc<SimRun>) {
+        self.engine
+            .store
+            .insert(key, Artifact::SyncRun(Arc::clone(value)));
     }
 }
 
-/// Everything behind the engine's lock: the interning tables, the four
-/// per-stage artifact maps and the hit/miss counters.
+// ---- the runtime --------------------------------------------------------
+
+/// The execution runtime of the desynchronization toolkit: an explicit,
+/// shareable handle on the persistent matched-delay [`SizingPool`].
+///
+/// Every [`DesyncEngine`] owns a runtime (its own by default, or a shared
+/// one via [`DesyncEngine::with_runtime`]), and the
+/// [`DesyncService`](crate::DesyncService) derives its worker-concurrency
+/// bound from the same handle. Flows not attached to any engine draw from
+/// the process-wide [`DesyncRuntime::global`] runtime.
+///
+/// # Lifecycle
+///
+/// A runtime is a cheap clone (`Arc` inside). The pool's worker threads are
+/// spawned when the runtime is created and live until the **last** handle
+/// is dropped — so an explicitly created runtime cleans up with its owners,
+/// while the global runtime (spawned lazily on first use) lives for the
+/// rest of the process, which is exactly the old implicit behaviour made
+/// explicit and documented.
+#[derive(Debug, Clone)]
+pub struct DesyncRuntime {
+    pool: Arc<SizingPool>,
+}
+
+impl Default for DesyncRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesyncRuntime {
+    /// A runtime with one sizing worker per available CPU.
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    /// A runtime with an explicit worker count (clamped to at least one).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            pool: Arc::new(SizingPool::new(workers)),
+        }
+    }
+
+    /// The process-wide runtime used by flows that are not attached to an
+    /// engine, spawned lazily on the first parallel sizing run and alive
+    /// for the rest of the process.
+    pub fn global() -> &'static DesyncRuntime {
+        static GLOBAL: OnceLock<DesyncRuntime> = OnceLock::new();
+        GLOBAL.get_or_init(DesyncRuntime::new)
+    }
+
+    /// Number of sizing worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The underlying pool.
+    pub(crate) fn pool(&self) -> &SizingPool {
+        &self.pool
+    }
+}
+
+/// The interning tables behind the engine's identity lock: artifacts
+/// themselves live in the sharded [`ArtifactStore`], so this mutex is held
+/// only for identity resolution, never across artifact traffic.
 #[derive(Debug, Default)]
-struct EngineState {
+struct InternState {
     /// Structural hash → interned netlists with that hash (almost always one
     /// entry; equality is re-checked on attach, so a hash collision costs a
     /// comparison, never a wrong artifact).
     netlists: HashMap<u64, Vec<(Arc<Netlist>, NetlistId)>>,
     num_netlists: u32,
     libraries: Vec<Arc<CellLibrary>>,
-    clustered: HashMap<StageKey, Arc<ClusterGraph>>,
-    latched: HashMap<StageKey, Arc<LatchDesign>>,
-    timed: HashMap<StageKey, Arc<TimingTable>>,
-    controlled: HashMap<StageKey, Arc<ControlNetwork>>,
-    hits: [usize; CACHED_STAGES],
-    misses: [usize; CACHED_STAGES],
-    /// Synchronous reference runs for incremental co-simulation. Unlike the
-    /// construction stages this is *within*-verification state: the full
-    /// `EquivalenceReport` still depends on the desynchronized side and is
-    /// never cached, but the sync half is a pure function of
-    /// [`SyncRunKey`] and is shared across protocol/margin sweep points.
-    sync_runs: HashMap<SyncRunKey, Arc<SimRun>>,
-    sync_run_hits: usize,
-    sync_run_misses: usize,
 }
 
-/// A cross-flow artifact cache plus a persistent matched-delay sizing pool.
+/// A cross-flow artifact cache (one weight-accounted [`ArtifactStore`])
+/// plus a [`DesyncRuntime`] handle for matched-delay sizing.
 ///
 /// See the [module documentation](self) for the caching model and an
 /// end-to-end example. An engine is `Sync`: many threads may drive flows
-/// against it concurrently (the cache is behind one mutex; stage computation
-/// itself happens outside the lock, so two racing flows may both compute a
-/// missing artifact — the values are identical, and the second store wins
-/// harmlessly).
+/// against it concurrently. Artifact traffic goes through the store's
+/// sharded locks; stage computation itself happens outside any lock, so two
+/// racing flows may both compute a missing artifact — the values are
+/// identical, and the second store wins harmlessly (the
+/// [`DesyncService`](crate::DesyncService) additionally coalesces identical
+/// in-flight requests so they do not race at all).
 #[derive(Debug)]
 pub struct DesyncEngine {
-    state: Mutex<EngineState>,
-    pool: SizingPool,
+    intern: Mutex<InternState>,
+    store: ArtifactStore<ArtifactKey, Artifact>,
+    runtime: DesyncRuntime,
 }
 
 impl Default for DesyncEngine {
@@ -273,27 +386,44 @@ impl Default for DesyncEngine {
 }
 
 impl DesyncEngine {
-    /// Creates an engine whose sizing pool has one worker per available CPU.
+    /// Creates an unbounded engine whose own sizing pool has one worker per
+    /// available CPU.
     pub fn new() -> Self {
-        Self::with_workers(default_workers())
+        Self::with_store_and_runtime(StoreConfig::default(), DesyncRuntime::new())
     }
 
-    /// Creates an engine with an explicit sizing-pool size (clamped to at
-    /// least one worker). The pool threads are spawned here, once, and live
-    /// until the engine is dropped.
+    /// Creates an unbounded engine with an explicit sizing-pool size
+    /// (clamped to at least one worker).
     pub fn with_workers(workers: usize) -> Self {
+        Self::with_store_and_runtime(StoreConfig::default(), DesyncRuntime::with_workers(workers))
+    }
+
+    /// Creates an engine with an explicit store configuration (capacity in
+    /// [`Weigh`] units, shard count) and its own default runtime.
+    pub fn with_store(store: StoreConfig) -> Self {
+        Self::with_store_and_runtime(store, DesyncRuntime::new())
+    }
+
+    /// Creates an unbounded engine on a shared runtime.
+    pub fn with_runtime(runtime: DesyncRuntime) -> Self {
+        Self::with_store_and_runtime(StoreConfig::default(), runtime)
+    }
+
+    /// Creates an engine with full control over store and runtime.
+    pub fn with_store_and_runtime(store: StoreConfig, runtime: DesyncRuntime) -> Self {
         Self {
-            state: Mutex::new(EngineState::default()),
-            pool: SizingPool::new(workers),
+            intern: Mutex::new(InternState::default()),
+            store: ArtifactStore::new(STORE_KINDS, store),
+            runtime,
         }
     }
 
     /// Creates a [`DesyncFlow`] over `netlist` attached to this engine.
     ///
     /// The flow behaves exactly like one from [`DesyncFlow::new`], except
-    /// that every construction stage first consults the engine cache and
+    /// that every construction stage first consults the engine's store and
     /// publishes its artifact on a miss, and matched-delay sizing runs on
-    /// the engine's persistent pool.
+    /// the runtime's persistent pool.
     ///
     /// # Errors
     ///
@@ -316,14 +446,14 @@ impl DesyncEngine {
         library: &CellLibrary,
     ) -> EngineHandle<'a> {
         // The deep netlist comparison (and the clone of a first-seen
-        // netlist) is O(design); doing it while holding the engine mutex
+        // netlist) is O(design); doing it while holding the identity mutex
         // would serialize concurrent flow creation on exactly the hot
         // cache-hit path. Snapshot the candidates under the lock, compare
         // outside it, and re-lock only to intern — re-scanning whatever a
         // racing thread interned in between so identities stay canonical.
         let hash = netlist.structural_hash();
         let candidates: Vec<(Arc<Netlist>, NetlistId)> =
-            self.with_state(|s| s.netlists.get(&hash).cloned().unwrap_or_default());
+            self.with_intern(|s| s.netlists.get(&hash).cloned().unwrap_or_default());
         let netlist_id = match candidates
             .iter()
             .find(|(stored, _)| stored.as_ref() == netlist)
@@ -331,7 +461,7 @@ impl DesyncEngine {
             Some((_, id)) => *id,
             None => {
                 let interned = Arc::new(netlist.clone());
-                self.with_state(|s| {
+                self.with_intern(|s| {
                     let fresh = NetlistId(s.num_netlists);
                     let bucket = s.netlists.entry(hash).or_default();
                     match bucket[candidates.len()..]
@@ -348,7 +478,7 @@ impl DesyncEngine {
                 })
             }
         };
-        let known_libraries: Vec<Arc<CellLibrary>> = self.with_state(|s| s.libraries.clone());
+        let known_libraries: Vec<Arc<CellLibrary>> = self.with_intern(|s| s.libraries.clone());
         let library_id = match known_libraries
             .iter()
             .position(|stored| stored.as_ref() == library)
@@ -356,7 +486,7 @@ impl DesyncEngine {
             Some(index) => LibraryId(index as u32),
             None => {
                 let interned = Arc::new(library.clone());
-                self.with_state(|s| {
+                self.with_intern(|s| {
                     match s.libraries[known_libraries.len()..]
                         .iter()
                         .position(|stored| stored.as_ref() == library)
@@ -377,66 +507,73 @@ impl DesyncEngine {
         }
     }
 
-    fn with_state<T>(&self, f: impl FnOnce(&mut EngineState) -> T) -> T {
-        f(&mut self.state.lock().expect("engine cache lock poisoned"))
+    fn with_intern<T>(&self, f: impl FnOnce(&mut InternState) -> T) -> T {
+        f(&mut self.intern.lock().expect("engine intern lock poisoned"))
     }
 
-    fn lookup<T>(&self, stage: Stage, get: impl FnOnce(&EngineState) -> Option<T>) -> Option<T> {
-        self.with_state(|state| {
-            let found = get(state);
-            if found.is_some() {
-                state.hits[stage.index()] += 1;
-            } else {
-                state.misses[stage.index()] += 1;
-            }
-            found
-        })
+    /// The engine's runtime handle (clone it to share the sizing pool with
+    /// another engine or a [`DesyncService`](crate::DesyncService)).
+    pub fn runtime(&self) -> &DesyncRuntime {
+        &self.runtime
     }
 
-    /// Number of worker threads in the persistent sizing pool.
+    /// Number of worker threads in the runtime's sizing pool.
     pub fn pool_workers(&self) -> usize {
-        self.pool.workers()
+        self.runtime.workers()
     }
 
-    /// Drops every cached stage artifact.
+    /// The configured store capacity in [`Weigh`] units (`None` =
+    /// unbounded).
+    pub fn store_capacity(&self) -> Option<usize> {
+        self.store.capacity()
+    }
+
+    /// Drops every cached artifact.
     ///
     /// Interned netlists/libraries stay registered (flows created earlier
-    /// keep valid identities) and the hit/miss counters keep accumulating;
-    /// only the artifact maps are emptied.
+    /// keep valid identities) and the hit/miss/eviction counters keep
+    /// accumulating; only the store is emptied.
     pub fn clear(&self) {
-        self.with_state(|state| {
-            state.clustered.clear();
-            state.latched.clear();
-            state.timed.clear();
-            state.controlled.clear();
-            state.sync_runs.clear();
-        });
+        self.store.clear();
     }
 
-    /// A snapshot of the engine's cache population and hit/miss counters.
+    /// A snapshot of the engine's cache population and counters.
     pub fn report(&self) -> EngineReport {
-        self.with_state(|state| EngineReport {
-            netlists: state.num_netlists as usize,
-            libraries: state.libraries.len(),
-            pool_workers: self.pool.workers(),
-            sync_runs: state.sync_runs.len(),
-            sync_run_hits: state.sync_run_hits,
-            sync_run_misses: state.sync_run_misses,
+        let (netlists, libraries) =
+            self.with_intern(|s| (s.num_netlists as usize, s.libraries.len()));
+        let stats = self.store.stats();
+        let sync = stats.kinds[SYNC_RUN_KIND];
+        EngineReport {
+            netlists,
+            libraries,
+            pool_workers: self.runtime.workers(),
+            capacity: stats.capacity,
+            resident_weight: stats.resident_weight(),
+            sync_runs: sync.entries,
+            sync_run_hits: sync.hits,
+            sync_run_misses: sync.misses,
+            sync_run_evictions: sync.evictions,
+            sync_run_resident_weight: sync.resident_weight,
             stages: [
-                (Stage::Clustered, state.clustered.len()),
-                (Stage::Latched, state.latched.len()),
-                (Stage::Timed, state.timed.len()),
-                (Stage::Controlled, state.controlled.len()),
+                Stage::Clustered,
+                Stage::Latched,
+                Stage::Timed,
+                Stage::Controlled,
             ]
             .into_iter()
-            .map(|(stage, entries)| EngineStageStats {
-                stage,
-                entries,
-                hits: state.hits[stage.index()],
-                misses: state.misses[stage.index()],
+            .map(|stage| {
+                let k = stats.kinds[stage.index()];
+                EngineStageStats {
+                    stage,
+                    entries: k.entries,
+                    hits: k.hits,
+                    misses: k.misses,
+                    evictions: k.evictions,
+                    resident_weight: k.resident_weight,
+                }
             })
             .collect(),
-        })
+        }
     }
 }
 
@@ -448,10 +585,14 @@ pub struct EngineStageStats {
     pub stage: Stage,
     /// Distinct artifacts currently cached for the stage.
     pub entries: usize,
-    /// Lookups served from the cache since the engine was created.
+    /// Lookups served from the store since the engine was created.
     pub hits: usize,
     /// Lookups that had to compute (and then publish) the artifact.
     pub misses: usize,
+    /// Artifacts of this stage evicted by the capacity budget.
+    pub evictions: usize,
+    /// Summed [`Weigh`] weight of the stage's resident artifacts.
+    pub resident_weight: usize,
 }
 
 /// A snapshot of a [`DesyncEngine`]'s cache population and counters, see
@@ -462,15 +603,23 @@ pub struct EngineReport {
     pub netlists: usize,
     /// Distinct cell libraries interned so far.
     pub libraries: usize,
-    /// Worker threads in the persistent sizing pool.
+    /// Worker threads in the runtime's sizing pool.
     pub pool_workers: usize,
+    /// Configured store capacity in [`Weigh`] units (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Resident weight across every cached artifact (stages + sync runs).
+    pub resident_weight: usize,
     /// Synchronous reference runs currently cached for incremental
     /// co-simulation.
     pub sync_runs: usize,
-    /// Reference-run lookups served from the cache.
+    /// Reference-run lookups served from the store.
     pub sync_run_hits: usize,
     /// Reference-run lookups that had to simulate (and then publish).
     pub sync_run_misses: usize,
+    /// Reference runs evicted by the capacity budget.
+    pub sync_run_evictions: usize,
+    /// Summed weight of the resident reference runs.
+    pub sync_run_resident_weight: usize,
     /// Per-stage statistics, in pipeline order.
     pub stages: Vec<EngineStageStats>,
 }
@@ -486,7 +635,13 @@ impl EngineReport {
         self.stages.iter().map(|s| s.misses).sum()
     }
 
-    /// Fraction of lookups served from the cache (0.0 when none happened).
+    /// Evictions summed over all stages plus the sync-run cache.
+    pub fn total_evictions(&self) -> usize {
+        self.stages.iter().map(|s| s.evictions).sum::<usize>() + self.sync_run_evictions
+    }
+
+    /// Fraction of stage lookups served from the store (0.0 when none
+    /// happened).
     pub fn hit_rate(&self) -> f64 {
         let total = self.total_hits() + self.total_misses();
         if total == 0 {
@@ -499,134 +654,52 @@ impl EngineReport {
 
 impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let capacity = match self.capacity {
+            Some(c) => format!("{c}"),
+            None => "unbounded".to_string(),
+        };
         writeln!(
             f,
-            "desync engine: {} netlist(s), {} library(ies), {} sizing worker(s)",
-            self.netlists, self.libraries, self.pool_workers
+            "desync engine: {} netlist(s), {} library(ies), {} sizing worker(s), \
+             store {} / {} weight resident",
+            self.netlists, self.libraries, self.pool_workers, self.resident_weight, capacity
         )?;
         writeln!(
             f,
-            "  {:<12} {:>7} {:>7} {:>7}",
-            "stage", "entries", "hits", "misses"
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "stage", "entries", "hits", "misses", "evicted", "weight"
         )?;
         for s in &self.stages {
             writeln!(
                 f,
-                "  {:<12} {:>7} {:>7} {:>7}",
+                "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
                 s.stage.name(),
                 s.entries,
                 s.hits,
-                s.misses
+                s.misses,
+                s.evictions,
+                s.resident_weight,
             )?;
         }
         writeln!(
             f,
-            "  {:<12} {:>7} {:>7} {:>7}",
-            "sync-run", self.sync_runs, self.sync_run_hits, self.sync_run_misses
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "sync-run",
+            self.sync_runs,
+            self.sync_run_hits,
+            self.sync_run_misses,
+            self.sync_run_evictions,
+            self.sync_run_resident_weight,
         )?;
         write!(
             f,
-            "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate; sync-run cache counted separately above)",
+            "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate), {} eviction(s) overall \
+             (sync-run cache counted separately above)",
             self.total_hits(),
             self.total_misses(),
-            100.0 * self.hit_rate()
+            100.0 * self.hit_rate(),
+            self.total_evictions(),
         )
-    }
-}
-
-// ---- the persistent sizing pool ----------------------------------------
-
-type PoolJob = Box<dyn FnOnce() + Send + 'static>;
-
-/// A persistent worker pool for matched-delay sizing.
-///
-/// Workers are spawned once (per engine, or once per process for the shared
-/// pool of engine-less flows) and block on a job queue between `timed()`
-/// runs, replacing the former per-run `std::thread::scope` fan-out whose
-/// spawn overhead roughly cancelled the parallel win at DLX scale.
-#[derive(Debug)]
-pub(crate) struct SizingPool {
-    sender: Option<mpsc::Sender<PoolJob>>,
-    workers: Vec<thread::JoinHandle<()>>,
-}
-
-impl SizingPool {
-    pub(crate) fn new(workers: usize) -> Self {
-        let (sender, receiver) = mpsc::channel::<PoolJob>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                thread::Builder::new()
-                    .name(format!("desync-sizing-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let queue = receiver.lock().expect("sizing queue lock poisoned");
-                            queue.recv()
-                        };
-                        match job {
-                            // Survive a panicking job: the submitter detects
-                            // the missing result; the worker stays usable.
-                            Ok(job) => {
-                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                            }
-                            Err(_) => break, // pool handle dropped: drain out
-                        }
-                    })
-                    .expect("spawning sizing worker")
-            })
-            .collect();
-        Self {
-            sender: Some(sender),
-            workers,
-        }
-    }
-
-    pub(crate) fn workers(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Runs every task on the pool, blocking until all complete, and returns
-    /// the results in task order (independent of completion order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a task panicked instead of returning a result.
-    pub(crate) fn run<T: Send + 'static>(
-        &self,
-        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
-    ) -> Vec<T> {
-        let count = tasks.len();
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        let sender = self.sender.as_ref().expect("pool is alive until dropped");
-        for (index, task) in tasks.into_iter().enumerate() {
-            let tx = tx.clone();
-            sender
-                .send(Box::new(move || {
-                    let _ = tx.send((index, task()));
-                }))
-                .expect("sizing workers outlive the pool handle");
-        }
-        drop(tx);
-        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
-        // Every task owns one sender clone; a panicked task drops its sender
-        // without sending, so recv() disconnects instead of deadlocking.
-        while let Ok((index, value)) = rx.recv() {
-            slots[index] = Some(value);
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("a sizing task panicked instead of returning"))
-            .collect()
-    }
-}
-
-impl Drop for SizingPool {
-    fn drop(&mut self) {
-        self.sender.take(); // disconnect the queue; workers drain and exit
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 
@@ -634,14 +707,6 @@ fn default_workers() -> usize {
     thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-}
-
-/// The process-wide pool used by flows that are not attached to an engine,
-/// spawned lazily on the first parallel sizing run and reused for the rest
-/// of the process lifetime.
-pub(crate) fn shared_sizing_pool() -> &'static SizingPool {
-    static POOL: OnceLock<SizingPool> = OnceLock::new();
-    POOL.get_or_init(|| SizingPool::new(default_workers()))
 }
 
 #[cfg(test)]
@@ -654,42 +719,34 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DesyncEngine>();
         assert_send_sync::<EngineReport>();
+        assert_send_sync::<DesyncRuntime>();
     }
 
     #[test]
-    fn pool_returns_results_in_task_order() {
-        let pool = SizingPool::new(3);
-        assert_eq!(pool.workers(), 3);
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
-            .map(|i| {
-                Box::new(move || {
-                    if i % 3 == 0 {
-                        thread::yield_now(); // scramble completion order
-                    }
-                    i * i
-                }) as Box<dyn FnOnce() -> usize + Send>
-            })
-            .collect();
-        let results = pool.run(tasks);
-        assert_eq!(results, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
-        // The pool is reusable across runs (that is its whole point).
-        let again: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| 7), Box::new(|| 11)];
-        assert_eq!(pool.run(again), vec![7, 11]);
+    fn runtime_is_shared_by_clone() {
+        let runtime = DesyncRuntime::with_workers(2);
+        let a = DesyncEngine::with_runtime(runtime.clone());
+        let b = DesyncEngine::with_runtime(runtime.clone());
+        assert_eq!(a.pool_workers(), 2);
+        assert_eq!(b.pool_workers(), 2);
+        // Both engines draw from the very same pool.
+        assert!(Arc::ptr_eq(&a.runtime.pool, &b.runtime.pool));
+        assert!(Arc::ptr_eq(
+            &DesyncRuntime::global().pool,
+            &DesyncRuntime::global().pool
+        ));
     }
 
     #[test]
-    fn pool_clamps_to_at_least_one_worker() {
-        let pool = SizingPool::new(0);
-        assert_eq!(pool.workers(), 1);
-        assert_eq!(pool.run::<u8>(Vec::new()), Vec::<u8>::new());
-    }
-
-    #[test]
-    #[should_panic(expected = "sizing task panicked")]
-    fn pool_reports_a_panicked_task() {
-        let pool = SizingPool::new(2);
-        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> =
-            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
-        let _ = pool.run(tasks);
+    fn default_engine_is_unbounded() {
+        let engine = DesyncEngine::with_workers(1);
+        assert_eq!(engine.store_capacity(), None);
+        let report = engine.report();
+        assert_eq!(report.capacity, None);
+        assert_eq!(report.resident_weight, 0);
+        assert_eq!(report.total_evictions(), 0);
+        let text = report.to_string();
+        assert!(text.contains("unbounded"), "{text}");
+        assert!(text.contains("evicted"), "{text}");
     }
 }

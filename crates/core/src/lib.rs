@@ -3,9 +3,20 @@
 //!
 //! This crate implements the method of Cortadella, Kondratyev, Lavagno, Lwin
 //! and Sotiriou, *"From synchronous to asynchronous: an automatic approach"*
-//! (DATE 2004), as an explicit **staged pipeline**. [`DesyncFlow`] advances
-//! a single-clock flip-flop netlist through five typed stages, each owning
-//! one inspectable artifact:
+//! (DATE 2004), grown from a one-shot flow into the kernel of a synthesis
+//! service. The architecture is four layers, each usable on its own:
+//!
+//! | layer | type | role |
+//! |---|---|---|
+//! | pipeline | [`DesyncFlow`] | the staged flow: five typed stages, lazy, resumable |
+//! | store | [`ArtifactStore`](store::ArtifactStore) | weight-accounted, sharded LRU cache of every artifact |
+//! | engine | [`DesyncEngine`] | content-addressed cross-flow sharing on top of the store |
+//! | service | [`DesyncService`] | batch front-end: coalescing + bounded worker concurrency |
+//!
+//! # The staged pipeline
+//!
+//! [`DesyncFlow`] advances a single-clock flip-flop netlist through five
+//! typed stages, each owning one inspectable artifact:
 //!
 //! | stage | artifact | paper step |
 //! |---|---|---|
@@ -19,21 +30,39 @@
 //! earliest invalidated stage when an option changes
 //! ([`DesyncFlow::set_protocol`] re-runs only controller synthesis;
 //! [`DesyncFlow::set_margin`] re-runs delay sizing and controller synthesis;
-//! [`DesyncFlow::set_clustering`] restarts the pipeline). Matched-delay
-//! sizing — the hot path on large cluster graphs — fans out across worker
-//! threads, with results bit-identical to the serial path. Per-stage run
+//! [`DesyncFlow::set_clustering`] restarts the pipeline). Per-stage run
 //! counts and wall times are collected in a [`FlowReport`].
+//! [`Desynchronizer`] is the one-call convenience wrapper producing a
+//! [`DesyncDesign`].
+//!
+//! # The store and the engine
 //!
 //! Because the flow is deterministic per (netlist, library, options),
-//! artifacts can also be shared *across* flows: a [`DesyncEngine`] is a
-//! content-addressed cross-flow cache plus a persistent matched-delay
-//! sizing pool, and [`DesyncEngine::flow`] creates flows that recompute
-//! nothing another flow over the same design already produced — the
-//! building block for batch and service front-ends (see the [`engine`]
-//! module documentation).
+//! artifacts are shared *across* flows: a [`DesyncEngine`] keys every
+//! artifact — the four construction stages **and** the synchronous
+//! reference runs of incremental co-simulation — by content (interned
+//! netlist identity via [`Netlist::structural_hash`](desync_netlist::Netlist::structural_hash),
+//! library identity, and the per-stage options prefix that also drives flow
+//! invalidation). All cached values live in one
+//! [`ArtifactStore`](store::ArtifactStore): weight-accounted through the
+//! [`Weigh`](store::Weigh) trait, sharded so concurrent flows over
+//! different designs do not serialize on one lock, and optionally bounded —
+//! [`StoreConfig`] sets a capacity in weight units and the store evicts
+//! least-recently-used artifacts past it, with hit/miss/eviction/resident-
+//! weight counters in the [`EngineReport`]. The default engine is
+//! unbounded and bit-identical to the historical per-stage maps.
 //!
-//! [`Desynchronizer`] is the one-call convenience wrapper: it advances a
-//! fresh flow end to end and bundles the artifacts into a [`DesyncDesign`].
+//! Matched-delay sizing runs on the persistent pool of a
+//! [`DesyncRuntime`] — an explicit, shareable handle; detached flows draw
+//! from [`DesyncRuntime::global`].
+//!
+//! # The service
+//!
+//! [`DesyncService`] is the batch front-end: submit a slice of
+//! [`ServiceRequest`]s, identical in-flight requests coalesce onto one
+//! computation (instead of racing to fill the same store key), distinct
+//! requests execute with bounded concurrency derived from the runtime, and
+//! every batch yields a [`ServiceReport`].
 //!
 //! # Example
 //!
@@ -85,17 +114,21 @@ pub mod flow;
 pub mod model;
 pub mod options;
 pub mod pipeline;
+pub mod service;
+pub mod store;
 pub mod verify;
 
 pub use cluster::{Cluster, ClusterEdge, ClusterGraph, Parity};
 pub use controller::{ControllerImpl, Protocol};
 pub use conversion::{LatchDesign, LatchPair};
-pub use engine::{DesyncEngine, EngineReport, EngineStageStats};
+pub use engine::{DesyncEngine, DesyncRuntime, EngineReport, EngineStageStats};
 pub use error::{DesyncError, OptionsError};
 pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
 pub use model::ControlModel;
 pub use options::{ClusteringStrategy, DesyncOptions};
 pub use pipeline::{ControlNetwork, DesyncFlow, FlowReport, Stage, StageReport, TimingTable};
+pub use service::{DesyncService, ServiceOutcome, ServiceReport, ServiceRequest};
+pub use store::{StoreConfig, Weigh};
 pub use verify::{
     sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
     EquivalenceReport,

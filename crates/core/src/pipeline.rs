@@ -28,7 +28,7 @@
 use crate::cluster::{ClusterGraph, Parity};
 use crate::controller::ControllerImpl;
 use crate::conversion::{to_desynchronized_datapath, LatchDesign};
-use crate::engine::{shared_sizing_pool, DesyncEngine, EngineHandle, SizingPool};
+use crate::engine::{DesyncEngine, DesyncRuntime, EngineHandle};
 use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
@@ -38,7 +38,7 @@ use crate::verify::{
 };
 use desync_netlist::{CellLibrary, NetId, Netlist};
 use desync_sim::{SimRun, VectorSource};
-use desync_sta::{MatchedDelay, Sta, StaSnapshot, TimingConfig};
+use desync_sta::{MatchedDelay, SizingPool, Sta, StaSnapshot, TimingConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -157,6 +157,28 @@ impl ControlNetwork {
     /// Total cells across all controllers.
     pub fn controller_cells(&self) -> usize {
         self.controllers.iter().map(ControllerImpl::num_cells).sum()
+    }
+}
+
+impl crate::store::Weigh for TimingTable {
+    /// Weight: one unit per sized edge, launch-overhead record and
+    /// environment budget entry.
+    fn weight(&self) -> usize {
+        self.matched_delays.len()
+            + self.launch_overhead_ps.len()
+            + self.environment.input_delay_ps.len()
+            + self.environment.output_delay_ps.len()
+    }
+}
+
+impl crate::store::Weigh for ControlNetwork {
+    /// Weight: the overhead netlist (cells and nets) plus the marked-graph
+    /// model's transitions and places.
+    fn weight(&self) -> usize {
+        self.overhead.num_cells()
+            + self.overhead.num_nets()
+            + self.model.graph().num_transitions()
+            + self.model.graph().num_places()
     }
 }
 
@@ -685,7 +707,7 @@ impl<'a> DesyncFlow<'a> {
                                 }
                                 let library =
                                     Arc::clone(self.pool_library.as_ref().expect("just filled"));
-                                (shared_sizing_pool(), library)
+                                (DesyncRuntime::global().pool(), library)
                             }
                         })
                     } else {

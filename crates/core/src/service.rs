@@ -1,0 +1,406 @@
+//! The batch service front-end over [`DesyncEngine`].
+//!
+//! A [`DesyncService`] is what a synthesis server's request loop talks to:
+//! submit a whole batch of `(netlist, library, options)` requests with
+//! [`DesyncService::run_batch`] and get every design back, computed with
+//!
+//! * **coalesced scheduling** — identical in-flight requests are grouped
+//!   onto *one* computation instead of racing each other to fill the same
+//!   store key (the engine tolerates such races, but racing flows burn CPU
+//!   computing the same artifact twice); duplicates receive clones of the
+//!   shared result,
+//! * **bounded worker concurrency** — request groups execute on at most
+//!   [`DesyncService::concurrency`] threads, a bound derived from the
+//!   engine's [`DesyncRuntime`](crate::DesyncRuntime) so one handle sizes both the request
+//!   workers and the matched-delay sizing pool they fan into, and
+//! * **a per-batch [`ServiceReport`]** — request/coalescing counts plus the
+//!   engine's cache-hit, eviction and resident-weight deltas for the batch.
+//!
+//! The service owns its engine, so the cache (and its capacity policy, see
+//! [`StoreConfig`](crate::StoreConfig)) persists across batches: a second
+//! batch over the same designs is served from the store.
+//!
+//! ```
+//! use desync_core::{DesyncService, DesyncOptions, ServiceRequest};
+//! use desync_netlist::{CellKind, CellLibrary, Netlist};
+//!
+//! let mut n = Netlist::new("pipe");
+//! let clk = n.add_input("clk");
+//! let a = n.add_input("a");
+//! let q0 = n.add_net("q0");
+//! let w = n.add_net("w");
+//! let q1 = n.add_output("q1");
+//! n.add_dff("r0", a, clk, q0).unwrap();
+//! n.add_gate("g0", CellKind::Not, &[q0], w).unwrap();
+//! n.add_dff("r1", w, clk, q1).unwrap();
+//! let library = CellLibrary::generic_90nm();
+//!
+//! let service = DesyncService::new();
+//! // Three requests, two identical: the duplicate coalesces.
+//! let requests = vec![
+//!     ServiceRequest::new(&n, &library, DesyncOptions::default()),
+//!     ServiceRequest::new(&n, &library, DesyncOptions::default()),
+//!     ServiceRequest::new(&n, &library, DesyncOptions::default().with_margin(0.2)),
+//! ];
+//! let outcome = service.run_batch(&requests);
+//! assert_eq!(outcome.results.len(), 3);
+//! assert!(outcome.results.iter().all(|r| r.is_ok()));
+//! assert_eq!(outcome.report.coalesced, 1);
+//! assert_eq!(outcome.report.unique, 2);
+//! ```
+
+use crate::engine::DesyncEngine;
+use crate::error::DesyncError;
+use crate::flow::DesyncDesign;
+use crate::options::DesyncOptions;
+use desync_netlist::{CellLibrary, Netlist};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// One unit of work for [`DesyncService::run_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceRequest<'a> {
+    /// The synchronous netlist to desynchronize.
+    pub netlist: &'a Netlist,
+    /// The cell library to size against.
+    pub library: &'a CellLibrary,
+    /// The flow options.
+    pub options: DesyncOptions,
+}
+
+impl<'a> ServiceRequest<'a> {
+    /// Bundles one request.
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, options: DesyncOptions) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+        }
+    }
+
+    /// Whether two requests describe the identical computation (same
+    /// netlist content, library and options) and can therefore share one
+    /// result.
+    fn coalesces_with(&self, other: &Self) -> bool {
+        if self.options != other.options {
+            return false;
+        }
+        let same_netlist = std::ptr::eq(self.netlist, other.netlist)
+            || (self.netlist.structural_hash() == other.netlist.structural_hash()
+                && self.netlist == other.netlist);
+        same_netlist && (std::ptr::eq(self.library, other.library) || self.library == other.library)
+    }
+}
+
+/// The batch front-end: a [`DesyncEngine`] plus a worker-concurrency bound.
+///
+/// See the [module documentation](self) for the scheduling model.
+#[derive(Debug)]
+pub struct DesyncService {
+    engine: DesyncEngine,
+    concurrency: usize,
+}
+
+impl Default for DesyncService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesyncService {
+    /// A service over a fresh unbounded engine, with request concurrency
+    /// equal to the runtime's sizing-worker count.
+    pub fn new() -> Self {
+        Self::with_engine(DesyncEngine::new())
+    }
+
+    /// Wraps an existing engine (bring your own store capacity / runtime).
+    /// The concurrency bound defaults to the engine runtime's worker count.
+    pub fn with_engine(engine: DesyncEngine) -> Self {
+        let concurrency = engine.runtime().workers();
+        Self {
+            engine,
+            concurrency,
+        }
+    }
+
+    /// Returns the service with a different request-concurrency bound
+    /// (clamped to at least one).
+    pub fn with_concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = concurrency.max(1);
+        self
+    }
+
+    /// The maximum number of request groups executing at once.
+    pub fn concurrency(&self) -> usize {
+        self.concurrency
+    }
+
+    /// The engine behind the service (for reports or direct flows).
+    pub fn engine(&self) -> &DesyncEngine {
+        &self.engine
+    }
+
+    /// Runs a batch of requests and returns one result per request, in
+    /// request order, plus the batch report.
+    ///
+    /// Identical requests are coalesced onto one computation; distinct
+    /// requests run concurrently on at most [`DesyncService::concurrency`]
+    /// workers, every flow attached to the shared engine (so recurring
+    /// artifacts come from the store even across coalescing groups).
+    ///
+    /// Per-request errors (invalid options, unsupported netlists) land in
+    /// that request's result slot; they fail the request, never the batch.
+    pub fn run_batch(&self, requests: &[ServiceRequest<'_>]) -> ServiceOutcome {
+        let before = self.engine.report();
+        let started = Instant::now();
+
+        // Coalesce identical in-flight requests: one group per distinct
+        // computation, remembering which request slots it serves. The scan
+        // is quadratic in *groups* but each comparison short-circuits on a
+        // pointer check, then a structural hash, before any deep equality.
+        let mut groups: Vec<(ServiceRequest<'_>, Vec<usize>)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(leader, _)| leader.coalesces_with(request))
+            {
+                Some((_, members)) => members.push(index),
+                None => groups.push((*request, vec![index])),
+            }
+        }
+
+        // Execute each group once, on a bounded set of scoped workers. The
+        // workers are plain threads (not sizing-pool jobs): a flow blocks on
+        // `SizingPool::run` while its delay sizing fans out, and parking a
+        // pool worker on the pool's own queue would deadlock it.
+        let slots: Vec<OnceLock<Result<DesyncDesign, DesyncError>>> =
+            (0..groups.len()).map(|_| OnceLock::new()).collect();
+        let workers = self.concurrency.clamp(1, groups.len().max(1));
+        let next = AtomicUsize::new(0);
+        let run_group = |group: &ServiceRequest<'_>| -> Result<DesyncDesign, DesyncError> {
+            self.engine
+                .flow(group.netlist, group.library, group.options)?
+                .design()
+        };
+        if workers <= 1 || groups.len() <= 1 {
+            for (slot, (leader, _)) in slots.iter().zip(&groups) {
+                slot.set(run_group(leader)).expect("slot set once");
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((leader, _)) = groups.get(index) else {
+                            break;
+                        };
+                        slots[index].set(run_group(leader)).expect("slot set once");
+                    });
+                }
+            });
+        }
+
+        // Fan the shared results back out to every coalesced request slot:
+        // clones only for the coalesced duplicates, the group's own result
+        // is moved.
+        let mut results: Vec<Option<Result<DesyncDesign, DesyncError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (slot, (_, members)) in slots.into_iter().zip(&groups) {
+            let result = slot.into_inner().expect("every group executed");
+            for &index in &members[1..] {
+                results[index] = Some(result.clone());
+            }
+            results[members[0]] = Some(result);
+        }
+        let results: Vec<Result<DesyncDesign, DesyncError>> = results
+            .into_iter()
+            .map(|slot| slot.expect("every request mapped to a group"))
+            .collect();
+
+        let wall = started.elapsed();
+        let after = self.engine.report();
+        let report = ServiceReport {
+            requests: requests.len(),
+            unique: groups.len(),
+            coalesced: requests.len() - groups.len(),
+            workers,
+            wall,
+            cache_hits: after.total_hits() - before.total_hits(),
+            cache_misses: after.total_misses() - before.total_misses(),
+            evictions: after.total_evictions() - before.total_evictions(),
+            resident_weight: after.resident_weight,
+            failures: results.iter().filter(|r| r.is_err()).count(),
+        };
+        ServiceOutcome { results, report }
+    }
+}
+
+/// Everything [`DesyncService::run_batch`] produces.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// One result per submitted request, in request order. Coalesced
+    /// requests hold clones of their group's shared result.
+    pub results: Vec<Result<DesyncDesign, DesyncError>>,
+    /// The batch statistics.
+    pub report: ServiceReport,
+}
+
+/// Statistics of one [`DesyncService::run_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Distinct computations after coalescing.
+    pub unique: usize,
+    /// Requests served by another request's computation
+    /// (`requests - unique`).
+    pub coalesced: usize,
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Engine stage-cache hits during the batch.
+    pub cache_hits: usize,
+    /// Engine stage-cache misses during the batch.
+    pub cache_misses: usize,
+    /// Artifacts evicted during the batch (stages + sync runs).
+    pub evictions: usize,
+    /// Resident store weight after the batch.
+    pub resident_weight: usize,
+    /// Requests whose result is an error.
+    pub failures: usize,
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service batch: {} request(s), {} unique ({} coalesced), {} worker(s), wall {} us",
+            self.requests,
+            self.unique,
+            self.coalesced,
+            self.workers,
+            self.wall.as_micros()
+        )?;
+        write!(
+            f,
+            "  store: {} hit(s) / {} miss(es), {} eviction(s), {} weight resident; {} failure(s)",
+            self.cache_hits, self.cache_misses, self.evictions, self.resident_weight, self.failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desync_netlist::CellKind;
+
+    fn pipeline3() -> Netlist {
+        let mut n = Netlist::new("pipe3");
+        let clk = n.add_input("clk");
+        let a = n.add_input("a");
+        let q0 = n.add_net("q0");
+        let w0 = n.add_net("w0");
+        let q1 = n.add_net("q1");
+        let w1 = n.add_net("w1");
+        let q2 = n.add_output("q2");
+        n.add_dff("r0", a, clk, q0).unwrap();
+        n.add_gate("g0", CellKind::Not, &[q0], w0).unwrap();
+        n.add_dff("r1", w0, clk, q1).unwrap();
+        n.add_gate("g1", CellKind::Buf, &[q1], w1).unwrap();
+        n.add_dff("r2", w1, clk, q2).unwrap();
+        n
+    }
+
+    #[test]
+    fn batch_results_match_detached_flows_in_request_order() {
+        let n = pipeline3();
+        let mut other = pipeline3();
+        other.set_name("other");
+        let library = CellLibrary::generic_90nm();
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(2));
+        let requests = vec![
+            ServiceRequest::new(&n, &library, DesyncOptions::default()),
+            ServiceRequest::new(&other, &library, DesyncOptions::default()),
+            ServiceRequest::new(&n, &library, DesyncOptions::default().with_margin(0.2)),
+        ];
+        let outcome = service.run_batch(&requests);
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(outcome.report.coalesced, 0);
+        assert_eq!(outcome.report.unique, 3);
+        for (request, result) in requests.iter().zip(&outcome.results) {
+            let fresh =
+                crate::Desynchronizer::new(request.netlist, request.library, request.options)
+                    .run()
+                    .unwrap();
+            assert_eq!(result.as_ref().unwrap(), &fresh);
+        }
+    }
+
+    #[test]
+    fn identical_requests_coalesce_onto_one_computation() {
+        let n = pipeline3();
+        let library = CellLibrary::generic_90nm();
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(2)).with_concurrency(4);
+        let requests: Vec<_> = (0..6)
+            .map(|_| ServiceRequest::new(&n, &library, DesyncOptions::default()))
+            .collect();
+        let outcome = service.run_batch(&requests);
+        assert_eq!(outcome.report.requests, 6);
+        assert_eq!(outcome.report.unique, 1);
+        assert_eq!(outcome.report.coalesced, 5);
+        assert_eq!(outcome.report.failures, 0);
+        // One computation: the engine saw exactly one miss per construction
+        // stage and zero hits (nobody raced the same key).
+        assert_eq!(outcome.report.cache_misses, 4);
+        assert_eq!(outcome.report.cache_hits, 0);
+        let first = outcome.results[0].as_ref().unwrap();
+        for result in &outcome.results[1..] {
+            assert_eq!(result.as_ref().unwrap(), first);
+        }
+        // A second batch over the same request is served from the store.
+        let outcome = service.run_batch(&requests[..2]);
+        assert_eq!(outcome.report.cache_hits, 4);
+        assert_eq!(outcome.report.cache_misses, 0);
+        let text = outcome.report.to_string();
+        assert!(text.contains("coalesced"), "{text}");
+        assert!(text.contains("eviction"), "{text}");
+    }
+
+    #[test]
+    fn per_request_errors_fail_only_their_slot() {
+        let n = pipeline3();
+        let mut comb = Netlist::new("comb");
+        let a = comb.add_input("a");
+        let y = comb.add_output("y");
+        comb.add_gate("g", CellKind::Not, &[a], y).unwrap();
+        let library = CellLibrary::generic_90nm();
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(1));
+        let requests = vec![
+            ServiceRequest::new(&n, &library, DesyncOptions::default()),
+            ServiceRequest::new(&comb, &library, DesyncOptions::default()),
+            ServiceRequest::new(&n, &library, DesyncOptions::default().with_margin(-1.0)),
+        ];
+        let outcome = service.run_batch(&requests);
+        assert!(outcome.results[0].is_ok());
+        assert_eq!(outcome.results[1], Err(DesyncError::NoRegisters));
+        assert!(matches!(
+            outcome.results[2],
+            Err(DesyncError::InvalidOptions(_))
+        ));
+        assert_eq!(outcome.report.failures, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(1));
+        let outcome = service.run_batch(&[]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.report.requests, 0);
+        assert_eq!(outcome.report.unique, 0);
+        assert_eq!(outcome.report.coalesced, 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The unified, weight-accounted artifact store behind [`DesyncEngine`].
+//!
+//! Until this store existed the engine kept one unbounded `HashMap` per
+//! artifact class (four construction stages plus the sync-reference runs)
+//! behind a single mutex — fine for benches, disqualifying for a
+//! long-running service. [`ArtifactStore`] replaces all of them with one
+//! subsystem:
+//!
+//! * **One keyed store.** Every cached value lives behind a uniform key
+//!   type (the engine's [`ArtifactKey`](crate::engine) pairs the interned
+//!   netlist/library identity with a stage prefix or simulation key). A
+//!   persisted/shared tier can later sit behind the same keys because the
+//!   netlist half is a stable structural hash.
+//! * **Weight accounting.** Values implement [`Weigh`]; the store tracks
+//!   resident weight per kind and in total, so capacity is expressed in
+//!   artifact-size units (graph nodes, table entries, trace values) rather
+//!   than entry counts.
+//! * **LRU eviction.** With a configured capacity, inserting past the
+//!   budget evicts least-recently-used entries until the store fits again.
+//!   Without one the store is unbounded and behaves exactly like the old
+//!   per-stage maps (bit-identical hit patterns).
+//! * **Sharded locking.** Keys hash onto `shards` independent mutexes, so
+//!   concurrent flows over different designs do not serialize on one
+//!   whole-cache lock. The capacity budget is split evenly across shards
+//!   (the standard sharded-LRU approximation; the shard count is clamped so
+//!   the per-shard slices never sum past the capacity, making the global
+//!   bound hard). Splitting does mean a hot shard can evict while another
+//!   has headroom — configure one shard when exact LRU order matters more
+//!   than lock concurrency.
+//! * **Counters.** Hits, misses, evictions and resident weight are tracked
+//!   per kind and surfaced through
+//!   [`EngineReport`](crate::EngineReport).
+//!
+//! The store is deliberately generic over key and value so tests (and a
+//! future persisted tier) can instantiate it with toy types; the engine
+//! instantiates it with its artifact enum.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The approximate in-memory size of a cached artifact, in abstract units
+/// (graph nodes, table entries, trace values — anything proportional to
+/// retained bytes).
+///
+/// Weights feed the [`ArtifactStore`]'s capacity accounting: eviction keeps
+/// the summed weight of resident artifacts at or under the configured
+/// capacity. A weight of zero is clamped to one so every entry costs
+/// something.
+pub trait Weigh {
+    /// The artifact's weight in abstract size units.
+    fn weight(&self) -> usize;
+}
+
+/// A key type usable by the [`ArtifactStore`]: hashable, cheap to copy, and
+/// classifying itself into one of a fixed number of *kinds* (the engine
+/// uses one kind per cached stage plus one for sync-reference runs) for the
+/// per-kind counters.
+pub trait StoreKey: Eq + Hash + Copy {
+    /// The kind index of this key, `0 <= kind < kind_count`.
+    fn kind(&self) -> usize;
+}
+
+/// Capacity and sharding of an [`ArtifactStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Total weight budget across all shards; `None` means unbounded (no
+    /// eviction ever happens — the PR-2/PR-3 behaviour).
+    pub capacity: Option<usize>,
+    /// Number of independently locked shards (clamped to at least one).
+    /// More shards mean less lock contention but a coarser approximation of
+    /// the global LRU order; use one shard when exact capacity behaviour
+    /// matters more than concurrency (small bounded caches, tests).
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            capacity: None,
+            shards: 8,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// An unbounded store (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a total weight capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy with a different shard count (clamped to >= 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// One resident artifact plus its bookkeeping.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    /// Last-access tick from the store-wide logical clock; the shard's LRU
+    /// victim is the entry with the smallest tick.
+    tick: u64,
+}
+
+/// Everything behind one shard lock.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// Resident weight of this shard.
+    resident: usize,
+    /// Per-kind resident weight / entry counts / counters. Kept under the
+    /// shard lock (not atomics) so a report is a consistent snapshot of
+    /// each shard.
+    resident_by_kind: Vec<usize>,
+    entries_by_kind: Vec<usize>,
+    hits_by_kind: Vec<usize>,
+    misses_by_kind: Vec<usize>,
+    evictions_by_kind: Vec<usize>,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new(kinds: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            resident: 0,
+            resident_by_kind: vec![0; kinds],
+            entries_by_kind: vec![0; kinds],
+            hits_by_kind: vec![0; kinds],
+            misses_by_kind: vec![0; kinds],
+            evictions_by_kind: vec![0; kinds],
+        }
+    }
+}
+
+/// Counters of one artifact kind, see [`ArtifactStore::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreKindStats {
+    /// Resident entries of this kind.
+    pub entries: usize,
+    /// Lookups served from the store.
+    pub hits: usize,
+    /// Lookups that found nothing (the caller computes and publishes).
+    pub misses: usize,
+    /// Entries of this kind evicted by the capacity budget.
+    pub evictions: usize,
+    /// Summed weight of the resident entries of this kind.
+    pub resident_weight: usize,
+}
+
+/// A consistent snapshot of an [`ArtifactStore`]'s population and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-kind counters, indexed by [`StoreKey::kind`].
+    pub kinds: Vec<StoreKindStats>,
+    /// The configured total weight capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+impl StoreStats {
+    /// Resident weight summed over all kinds.
+    pub fn resident_weight(&self) -> usize {
+        self.kinds.iter().map(|k| k.resident_weight).sum()
+    }
+
+    /// Evictions summed over all kinds.
+    pub fn total_evictions(&self) -> usize {
+        self.kinds.iter().map(|k| k.evictions).sum()
+    }
+}
+
+/// A sharded, weight-accounted LRU cache for desynchronization artifacts.
+///
+/// See the [module documentation](self) for the design. The store is
+/// `Sync`; `get` and `insert` take one shard lock each.
+#[derive(Debug)]
+pub struct ArtifactStore<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Store-wide logical clock ordering accesses for LRU. A plain counter
+    /// (not wall time) so eviction order is deterministic under a single
+    /// thread.
+    clock: AtomicU64,
+    /// Per-shard slice of the capacity budget.
+    shard_budget: Option<usize>,
+    config: StoreConfig,
+    kinds: usize,
+}
+
+impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
+    /// Creates a store whose keys classify into `kinds` kinds.
+    pub fn new(kinds: usize, config: StoreConfig) -> Self {
+        // Bounded stores clamp the shard count so the per-shard budgets
+        // (integer division) sum to at most the capacity — the documented
+        // global bound is hard, never an approximation.
+        let shards = match config.capacity {
+            Some(capacity) => config.shards.clamp(1, capacity.max(1)),
+            None => config.shards.max(1),
+        };
+        let shard_budget = config.capacity.map(|c| c / shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(kinds))).collect(),
+            clock: AtomicU64::new(0),
+            shard_budget,
+            config: StoreConfig {
+                capacity: config.capacity,
+                shards,
+            },
+            kinds,
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.config.capacity
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, counting a hit or miss for its kind and refreshing
+    /// its LRU position on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let kind = key.kind();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let value = entry.value.clone();
+                shard.hits_by_kind[kind] += 1;
+                Some(value)
+            }
+            None => {
+                shard.misses_by_kind[kind] += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes `value` under `key`, then evicts least-recently-used
+    /// entries while the shard exceeds its weight budget.
+    ///
+    /// Replacing an existing key updates the weight accounting in place. A
+    /// single artifact heavier than the shard budget is evicted straight
+    /// away (it is, by definition, too big for the cache) — correctness is
+    /// unaffected because publishers always hold their own `Arc`. The
+    /// resident weight therefore never exceeds the configured capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let weight = value.weight().max(1);
+        let kind = key.kind();
+        let mut shard = self.shard_of(&key).lock().expect("store shard poisoned");
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                tick,
+            },
+        ) {
+            shard.resident -= old.weight;
+            shard.resident_by_kind[kind] -= old.weight;
+        } else {
+            shard.entries_by_kind[kind] += 1;
+        }
+        shard.resident += weight;
+        shard.resident_by_kind[kind] += weight;
+        if let Some(budget) = self.shard_budget {
+            while shard.resident > budget && !shard.map.is_empty() {
+                // The victim scan is O(resident entries); entries are
+                // whole stage artifacts (at most a handful per design x
+                // option prefix), so a linked LRU list would buy nothing
+                // at this granularity.
+                let victim = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.tick)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty checked");
+                let evicted = shard.map.remove(&victim).expect("victim resident");
+                let victim_kind = victim.kind();
+                shard.resident -= evicted.weight;
+                shard.resident_by_kind[victim_kind] -= evicted.weight;
+                shard.entries_by_kind[victim_kind] -= 1;
+                shard.evictions_by_kind[victim_kind] += 1;
+            }
+        }
+    }
+
+    /// Drops every resident entry. Counters keep accumulating (a clear is
+    /// not an eviction).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("store shard poisoned");
+            shard.map.clear();
+            shard.resident = 0;
+            shard.resident_by_kind.iter_mut().for_each(|w| *w = 0);
+            shard.entries_by_kind.iter_mut().for_each(|n| *n = 0);
+        }
+    }
+
+    /// Resident weight summed over all shards.
+    pub fn resident_weight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").resident)
+            .sum()
+    }
+
+    /// A snapshot of the per-kind counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut kinds = vec![StoreKindStats::default(); self.kinds];
+        for shard in &self.shards {
+            let shard = shard.lock().expect("store shard poisoned");
+            for (i, slot) in kinds.iter_mut().enumerate() {
+                slot.entries += shard.entries_by_kind[i];
+                slot.hits += shard.hits_by_kind[i];
+                slot.misses += shard.misses_by_kind[i];
+                slot.evictions += shard.evictions_by_kind[i];
+                slot.resident_weight += shard.resident_by_kind[i];
+            }
+        }
+        StoreStats {
+            kinds,
+            capacity: self.config.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy key: `(kind, id)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct Key(usize, u64);
+
+    impl StoreKey for Key {
+        fn kind(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// A toy value carrying its own weight.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Blob(usize);
+
+    impl Weigh for Blob {
+        fn weight(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn store(capacity: Option<usize>) -> ArtifactStore<Key, Blob> {
+        let mut config = StoreConfig::default().with_shards(1);
+        config.capacity = capacity;
+        ArtifactStore::new(2, config)
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts_and_counts_hits() {
+        let s = store(None);
+        assert_eq!(s.get(&Key(0, 1)), None);
+        s.insert(Key(0, 1), Blob(10));
+        s.insert(Key(1, 2), Blob(20));
+        assert_eq!(s.get(&Key(0, 1)), Some(Blob(10)));
+        assert_eq!(s.get(&Key(1, 2)), Some(Blob(20)));
+        assert_eq!(s.resident_weight(), 30);
+        let stats = s.stats();
+        assert_eq!(stats.capacity, None);
+        assert_eq!(stats.kinds[0].hits, 1);
+        assert_eq!(stats.kinds[0].misses, 1);
+        assert_eq!(stats.kinds[0].entries, 1);
+        assert_eq!(stats.kinds[0].resident_weight, 10);
+        assert_eq!(stats.kinds[1].resident_weight, 20);
+        assert_eq!(stats.total_evictions(), 0);
+        assert_eq!(stats.resident_weight(), 30);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_weight() {
+        let s = store(Some(30));
+        s.insert(Key(0, 1), Blob(10));
+        s.insert(Key(0, 2), Blob(10));
+        s.insert(Key(0, 3), Blob(10));
+        assert_eq!(s.resident_weight(), 30);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(s.get(&Key(0, 1)).is_some());
+        s.insert(Key(1, 4), Blob(10));
+        assert_eq!(s.resident_weight(), 30);
+        assert_eq!(s.get(&Key(0, 2)), None, "LRU entry must be evicted");
+        assert!(s.get(&Key(0, 1)).is_some());
+        assert!(s.get(&Key(0, 3)).is_some());
+        assert!(s.get(&Key(1, 4)).is_some());
+        let stats = s.stats();
+        assert_eq!(stats.kinds[0].evictions, 1);
+        assert_eq!(stats.kinds[1].evictions, 0);
+    }
+
+    #[test]
+    fn eviction_is_by_weight_not_entry_count() {
+        let s = store(Some(25));
+        s.insert(Key(0, 1), Blob(10));
+        s.insert(Key(0, 2), Blob(10));
+        // A heavy insert evicts as many light entries as needed.
+        s.insert(Key(0, 3), Blob(20));
+        assert!(s.resident_weight() <= 25, "{}", s.resident_weight());
+        assert!(s.get(&Key(0, 3)).is_some(), "newest entry survives");
+        assert!(s.stats().kinds[0].evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_artifact_is_not_retained() {
+        let s = store(Some(10));
+        s.insert(Key(0, 1), Blob(100));
+        // Too big for the cache: evicted straight away, so the capacity
+        // bound is hard. The publisher keeps its own Arc, so nothing is
+        // lost except reuse.
+        assert_eq!(s.get(&Key(0, 1)), None);
+        assert_eq!(s.resident_weight(), 0);
+        assert_eq!(s.stats().kinds[0].evictions, 1);
+        // Smaller values cache normally afterwards.
+        s.insert(Key(0, 2), Blob(5));
+        assert_eq!(s.get(&Key(0, 2)), Some(Blob(5)));
+        assert_eq!(s.resident_weight(), 5);
+    }
+
+    #[test]
+    fn tiny_capacities_clamp_the_shard_count() {
+        // 8 requested shards but a capacity of 4: unclamped, each shard
+        // would hold its own minimum slice and the global bound would leak.
+        let config = StoreConfig::default().with_capacity(4).with_shards(8);
+        let s: ArtifactStore<Key, Blob> = ArtifactStore::new(1, config);
+        assert!(s.shards() <= 4);
+        for id in 0..32 {
+            s.insert(Key(0, id), Blob(1));
+        }
+        assert!(s.resident_weight() <= 4, "{}", s.resident_weight());
+    }
+
+    #[test]
+    fn replacing_a_key_updates_weight_in_place() {
+        let s = store(None);
+        s.insert(Key(0, 1), Blob(10));
+        s.insert(Key(0, 1), Blob(30));
+        assert_eq!(s.resident_weight(), 30);
+        let stats = s.stats();
+        assert_eq!(stats.kinds[0].entries, 1);
+        assert_eq!(stats.kinds[0].evictions, 0);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let s = store(None);
+        s.insert(Key(0, 1), Blob(10));
+        assert!(s.get(&Key(0, 1)).is_some());
+        s.clear();
+        assert_eq!(s.resident_weight(), 0);
+        assert_eq!(s.get(&Key(0, 1)), None);
+        let stats = s.stats();
+        assert_eq!(stats.kinds[0].entries, 0);
+        assert_eq!(stats.kinds[0].hits, 1);
+        assert_eq!(stats.kinds[0].misses, 1);
+    }
+
+    #[test]
+    fn zero_weight_values_cost_at_least_one_unit() {
+        let s = store(None);
+        s.insert(Key(0, 1), Blob(0));
+        assert_eq!(s.resident_weight(), 1);
+    }
+
+    #[test]
+    fn sharded_store_still_bounds_total_weight() {
+        let config = StoreConfig::default().with_capacity(40).with_shards(4);
+        let s: ArtifactStore<Key, Blob> = ArtifactStore::new(1, config);
+        assert_eq!(s.shards(), 4);
+        for id in 0..64 {
+            s.insert(Key(0, id), Blob(5));
+        }
+        // Each shard holds its slice of the budget, so the global bound
+        // holds too.
+        assert!(s.resident_weight() <= 40, "{}", s.resident_weight());
+        assert!(s.stats().total_evictions() > 0);
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArtifactStore<Key, Blob>>();
+    }
+}

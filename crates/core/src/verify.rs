@@ -37,6 +37,21 @@ impl EquivalenceReport {
     }
 }
 
+impl crate::store::Weigh for SimRun {
+    /// Weight of a cached synchronous reference run: the retained memory is
+    /// dominated by the capture streams and recorded waveforms, so weigh
+    /// one unit per captured value and waveform change.
+    fn weight(&self) -> usize {
+        self.flow_trace.total_values()
+            + self
+                .waveforms
+                .iter()
+                .map(|(_, wave)| wave.len())
+                .sum::<usize>()
+            + self.cycles
+    }
+}
+
 /// Builds the [`SimConfig`] matching the timing configuration a design was
 /// desynchronized with, so STA, the control model and the simulator agree on
 /// delays.

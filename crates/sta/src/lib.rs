@@ -42,7 +42,9 @@
 #![warn(missing_docs)]
 
 pub mod matched;
+pub mod pool;
 pub mod sta;
 
 pub use matched::MatchedDelay;
+pub use pool::SizingPool;
 pub use sta::{CriticalPath, Sta, StaSnapshot, StageDelay, TimingConfig};

@@ -1,0 +1,155 @@
+//! A persistent worker pool for matched-delay sizing.
+//!
+//! Matched-delay sizing fans one independent job per source cluster out
+//! across threads, each job replaying arrival-time propagation on an owned
+//! [`StaSnapshot`](crate::StaSnapshot). Spawning threads per run roughly
+//! cancelled the parallel win at DLX scale, so the pool spawns its workers
+//! once and keeps them blocked on a job queue between runs.
+//!
+//! The pool is the execution half of the desynchronization *runtime*: the
+//! `desync-core` crate wraps one `SizingPool` in a shared `DesyncRuntime`
+//! handle that engines, services and detached flows all draw from, giving
+//! every consumer the same documented lifecycle (workers live exactly as
+//! long as the last runtime handle).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool executing independent, owned jobs.
+///
+/// Workers are spawned once in [`SizingPool::new`] and block on a shared
+/// queue; [`SizingPool::run`] fans a batch of tasks out and collects the
+/// results in task order (independent of completion order). Dropping the
+/// pool disconnects the queue; workers drain outstanding jobs and exit.
+#[derive(Debug)]
+pub struct SizingPool {
+    sender: Option<mpsc::Sender<PoolJob>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SizingPool {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<PoolJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("desync-sizing-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let queue = receiver.lock().expect("sizing queue lock poisoned");
+                            queue.recv()
+                        };
+                        match job {
+                            // Survive a panicking job: the submitter detects
+                            // the missing result; the worker stays usable.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // pool handle dropped: drain out
+                        }
+                    })
+                    .expect("spawning sizing worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool, blocking until all complete, and returns
+    /// the results in task order (independent of completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panicked instead of returning a result.
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let count = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let sender = self.sender.as_ref().expect("pool is alive until dropped");
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            sender
+                .send(Box::new(move || {
+                    let _ = tx.send((index, task()));
+                }))
+                .expect("sizing workers outlive the pool handle");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+        // Every task owns one sender clone; a panicked task drops its sender
+        // without sending, so recv() disconnects instead of deadlocking.
+        while let Ok((index, value)) = rx.recv() {
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("a sizing task panicked instead of returning"))
+            .collect()
+    }
+}
+
+impl Drop for SizingPool {
+    fn drop(&mut self) {
+        self.sender.take(); // disconnect the queue; workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_returns_results_in_task_order() {
+        let pool = SizingPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 3 == 0 {
+                        thread::yield_now(); // scramble completion order
+                    }
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+        // The pool is reusable across runs (that is its whole point).
+        let again: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| 7), Box::new(|| 11)];
+        assert_eq!(pool.run(again), vec![7, 11]);
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_worker() {
+        let pool = SizingPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run::<u8>(Vec::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "sizing task panicked")]
+    fn pool_reports_a_panicked_task() {
+        let pool = SizingPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let _ = pool.run(tasks);
+    }
+}

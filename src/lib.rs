@@ -39,9 +39,13 @@
 //! [`Desynchronizer`](core::Desynchronizer) remains as a one-call wrapper
 //! that advances a fresh flow end to end, and a
 //! [`DesyncEngine`](core::DesyncEngine) shares stage artifacts *across*
-//! flows — a content-addressed cache keyed by netlist structure and option
-//! prefixes, for batch/service front-ends pushing many requests through one
-//! process.
+//! flows — a content-addressed cache whose artifacts live in one
+//! weight-accounted, sharded [`ArtifactStore`](core::store::ArtifactStore)
+//! with optional LRU eviction ([`StoreConfig`](core::StoreConfig)). On top,
+//! a [`DesyncService`](core::DesyncService) batches whole request sets:
+//! identical in-flight requests coalesce onto one computation and distinct
+//! ones run with bounded concurrency from a shared
+//! [`DesyncRuntime`](core::DesyncRuntime).
 //!
 //! # Quickstart
 //!
@@ -93,8 +97,9 @@ pub mod prelude {
     pub use desync_core::{
         sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
         ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError, DesyncFlow,
-        DesyncOptions, Desynchronizer, EngineReport, EquivalenceReport, FlowReport, Protocol,
-        Stage, TimingTable,
+        DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, EngineReport,
+        EquivalenceReport, FlowReport, Protocol, ServiceReport, ServiceRequest, Stage, StoreConfig,
+        TimingTable,
     };
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};

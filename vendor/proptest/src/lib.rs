@@ -5,8 +5,15 @@
 //! attribute), range/`Just`/`prop_oneof!`/`collection::vec`/`bool::ANY`
 //! strategies, and the `prop_assert*` / `prop_assume!` macros. Each test
 //! body runs for [`ProptestConfig::cases`] pseudo-random samples seeded from
-//! the test name, so failures are reproducible. No shrinking is performed —
-//! the stub reports the first failing sample as-is.
+//! the test name, so failures are reproducible.
+//!
+//! On failure the harness performs **minimal shrinking**: integer-range and
+//! `collection::vec` strategies propose smaller candidates
+//! ([`Strategy::shrink`]), the failing sample is greedily reduced while it
+//! keeps failing, and the panic reports the shrunk counterexample next to
+//! the original failure. Strategies without a `shrink` implementation
+//! (`prop_oneof!`, `Just`, `bool::ANY`, float ranges) report the failing
+//! sample as-is, like the real crate with shrinking disabled.
 
 #![forbid(unsafe_code)]
 
@@ -83,12 +90,58 @@ impl TestRng {
     }
 }
 
-/// A value generator. The stub samples without shrinking.
+/// A value generator, optionally able to propose smaller variants of a
+/// failing value.
 pub trait Strategy {
     /// The generated value type.
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Proposes *simpler* candidates for `value` (each still inside the
+    /// strategy's domain), most aggressive first. The harness keeps the
+    /// first candidate that still fails and repeats until no candidate
+    /// fails. The default is no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Greedily shrinks a failing `value`: as long as some candidate from
+/// [`Strategy::shrink`] still fails `check`, adopt it (and its failure
+/// message) and continue from there. Returns the minimal failing value, its
+/// failure message and the number of successful shrink steps.
+///
+/// Used by the [`proptest!`] harness; public so strategy shrinkers can be
+/// tested directly.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    check: &impl Fn(&S::Value) -> TestCaseResult,
+) -> (S::Value, String, usize) {
+    let mut steps = 0usize;
+    // A generous cap so a pathological shrinker can never loop forever.
+    const MAX_STEPS: usize = 4096;
+    'outer: while steps < MAX_STEPS {
+        for candidate in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(msg)) = check(&candidate) {
+                value = candidate;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: `value` is locally minimal
+    }
+    (value, message, steps)
+}
+
+/// Ties a checker closure's parameter type to `strategy`'s value type, so
+/// the [`proptest!`] harness can define the closure before the first sample
+/// exists without tripping closure-parameter inference.
+pub fn check_fn<S: Strategy, F: Fn(&S::Value) -> TestCaseResult>(_strategy: &S, check: F) -> F {
+    check
 }
 
 /// Strategy yielding one fixed value (mirrors `proptest::strategy::Just`).
@@ -102,6 +155,29 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// The integer shrink ladder shared by both range strategies: jump to the
+/// lower bound, then bisect towards it, then step down by one — aggressive
+/// first, so the greedy harness converges in O(log value) adopted steps.
+macro_rules! int_shrink_candidates {
+    ($start:expr, $value:expr) => {{
+        let start = $start;
+        let value = $value;
+        let mut out = Vec::new();
+        if value > start {
+            out.push(start);
+            let mid = start + (value - start) / 2;
+            if mid != start && mid != value {
+                out.push(mid);
+            }
+            let prev = value - 1;
+            if prev != start && prev != mid {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -110,12 +186,18 @@ macro_rules! impl_range_strategy {
                 let span = (self.end - self.start).max(1) as u64;
                 self.start + (rng.next_u64() % span) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(self.start, *value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let span = (*self.end() - *self.start()) as u64 + 1;
                 *self.start() + (rng.next_u64() % span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*self.start(), *value)
             }
         }
     )*};
@@ -134,6 +216,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
     }
 }
 
@@ -232,15 +317,86 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = self.size.max - self.size.min + 1;
             let len = self.size.min + rng.next_u64() as usize % span;
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Length reductions first (halve towards the minimum, then drop
+            // single elements), then element-wise shrinks via the element
+            // strategy. Per-position work is capped so candidate lists stay
+            // small on long vectors; the greedy harness revisits shorter
+            // vectors with fresh candidates anyway.
+            const POSITION_CAP: usize = 8;
+            let min = self.size.min;
+            let len = value.len();
+            let mut out = Vec::new();
+            if len > min {
+                let half = (len + min) / 2; // keeps at least `min` elements
+                if half < len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[len - half..].to_vec());
+                }
+                for i in 0..len.min(POSITION_CAP) {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for i in 0..len.min(POSITION_CAP) {
+                for candidate in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
+
+/// Tuple strategies: the [`proptest!`] harness bundles every argument's
+/// strategy into one tuple strategy so one failing sample can be shrunk
+/// per-component.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                // Sampled left to right, matching the historical per-arg
+                // draw order so seeded runs reproduce old samples.
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 
 /// Glob-import surface, mirroring `proptest::prelude`.
 pub mod prelude {
@@ -262,17 +418,28 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                // One tuple strategy over all arguments, so a failing sample
+                // can be re-checked and shrunk as a unit.
+                let strategy = ($(($strat),)*);
+                let check = $crate::check_fn(&strategy, |__sample| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(__sample);
+                    (move || { $body Ok(()) })()
+                });
                 let mut accepted = 0u32;
                 let mut rejected = 0u32;
                 while accepted < config.cases && rejected < config.max_rejects {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
-                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
-                    match outcome {
+                    let sample = $crate::Strategy::sample(&strategy, &mut rng);
+                    match check(&sample) {
                         Ok(()) => accepted += 1,
                         Err($crate::TestCaseError::Reject) => rejected += 1,
                         Err($crate::TestCaseError::Fail(message)) => {
-                            panic!("property `{}` failed after {} cases: {}",
-                                   stringify!($name), accepted, message)
+                            let (minimal, message, shrink_steps) =
+                                $crate::shrink_failure(&strategy, sample, message, &check);
+                            panic!(
+                                "property `{}` failed after {} cases: {}\n  \
+                                 minimal failing input ({} shrink step(s)): {:?}",
+                                stringify!($name), accepted, message, shrink_steps, minimal
+                            )
                         }
                     }
                 }
@@ -341,4 +508,83 @@ macro_rules! prop_oneof {
     ($($strategy:expr),+ $(,)?) => {
         $crate::OneOf::new()$(.with($strategy))+
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_shrinking_finds_the_boundary_counterexample() {
+        // Property: x < 17. Any failing sample must shrink to exactly 17.
+        let strategy = (0usize..1000,);
+        let check = |sample: &(usize,)| -> TestCaseResult {
+            if sample.0 < 17 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{} is too big", sample.0)))
+            }
+        };
+        let (minimal, message, steps) =
+            shrink_failure(&strategy, (900,), "900 is too big".to_string(), &check);
+        assert_eq!(minimal, (17,), "greedy shrink must reach the boundary");
+        assert!(steps > 0);
+        assert_eq!(message, "17 is too big");
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements_and_shrinks_the_rest() {
+        // Property: no element >= 10. The minimal counterexample is `[10]`.
+        let strategy = (collection::vec(0usize..100, 0..20),);
+        let check = |sample: &(Vec<usize>,)| -> TestCaseResult {
+            match sample.0.iter().find(|&&v| v >= 10) {
+                None => Ok(()),
+                Some(v) => Err(TestCaseError::fail(format!("offending element {v}"))),
+            }
+        };
+        let failing = (vec![3, 42, 7, 99, 1, 0, 55],);
+        let (minimal, message, steps) =
+            shrink_failure(&strategy, failing, "seed".to_string(), &check);
+        assert_eq!(minimal, (vec![10],), "minimal vec is one boundary element");
+        assert!(steps > 0);
+        assert_eq!(message, "offending element 10");
+    }
+
+    #[test]
+    fn respects_the_minimum_vector_length() {
+        let strategy = collection::vec(0usize..100, 3..6);
+        let candidates = strategy.shrink(&vec![50, 60, 70]);
+        assert!(candidates.iter().all(|c| c.len() >= 3), "{candidates:?}");
+        // Element-wise shrinking still happens at the length floor.
+        assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn harness_panics_with_the_shrunk_counterexample() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+            fn boundary_property(x in 0usize..1000) {
+                prop_assert!(x < 17, "x = {x}");
+            }
+        }
+        let panic = std::panic::catch_unwind(boundary_property)
+            .expect_err("the property is falsifiable and must panic");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic message is a formatted string");
+        assert!(message.contains("minimal failing input"), "{message}");
+        assert!(message.contains("(17,)"), "{message}");
+    }
+
+    #[test]
+    fn passing_properties_and_rejection_still_work() {
+        proptest! {
+            fn all_samples_pass(x in 0usize..50, v in collection::vec(0u64..9, 0..4)) {
+                prop_assume!(x != 13);
+                prop_assert!(x < 50);
+                prop_assert!(v.iter().all(|&e| e < 9));
+            }
+        }
+        all_samples_pass();
+    }
 }
