@@ -1,8 +1,9 @@
-//! Verification hot-path sweep: protocol × margin points through one
-//! [`desync_core::DesyncEngine`] with gate-level flow-equivalence
-//! verification on, reporting wall time, committed-event throughput and the
-//! sync-reference-run cache counters, and writing the headline numbers to
-//! `BENCH_sim.json` (schema `desync-verify-hot/1`, see ROADMAP.md).
+//! Verification hot-path sweep: the full protocol × margin grid submitted
+//! to a [`desync_core::DesyncService`] as first-class sweep requests, run
+//! once on a single worker (serial baseline) and once on 4 workers, with
+//! per-point reports cross-checked bit for bit. Writes the headline
+//! numbers to `BENCH_sim.json` (schema `desync-verify-hot/2`, see
+//! ROADMAP.md).
 //!
 //! ```text
 //! cargo run --release -p desync-bench --bin verify_hot
@@ -14,20 +15,36 @@ fn main() {
     let report = run_verify_hot();
     println!("{report}");
     // Hard properties of the sweep (checked in CI):
-    // one sync simulation per design, every other point served from the
-    // reference-run cache, and cache-indifferent (bit-identical) reports.
+    // the 1-worker and 4-worker sweeps (and a detached cache-less flow)
+    // must agree bit for bit, and shared artifacts must be computed
+    // exactly once on the parallel engine — one sync reference
+    // simulation, one compiled datapath model (plus one sync model) and
+    // one sizing analysis per design, everything else served.
+    assert!(
+        report.bit_identical_to_fresh,
+        "serial, parallel and cache-less verification must agree bit for bit"
+    );
     assert_eq!(
         report.sync_run_misses(),
         2,
         "each design must simulate its sync reference exactly once"
     );
-    assert!(
-        report.sync_run_hits() >= report.points.len() - 2,
-        "sweep points must reuse the cached sync reference"
+    assert_eq!(
+        report.sync_run_hits(),
+        report.points.len() - 2,
+        "every other sweep point must reuse the cached sync reference"
+    );
+    assert_eq!(
+        report.engine_report.compiled_model_misses, 4,
+        "exactly one sync + one datapath model compile per design"
     );
     assert!(
-        report.bit_identical_to_fresh,
-        "engine-served verification must equal a cache-less run bit for bit"
+        report.compile_reuses >= report.points.len() - 2,
+        "sweep points must bind onto shared compiled models"
+    );
+    assert_eq!(
+        report.engine_report.sizing_misses, 2,
+        "exactly one arrival analysis per design"
     );
     let json = report.to_json();
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

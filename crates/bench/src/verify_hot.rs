@@ -1,18 +1,24 @@
 //! The verification hot-path benchmark: a sweep-shaped workload (protocol ×
-//! margin points over a pipeline and the DLX, all pushed through one
-//! [`DesyncEngine`] with gate-level verification on) that exercises exactly
-//! the path the rewritten simulation kernel and the sync-reference-run cache
-//! accelerate.
+//! margin points over a pipeline and the DLX, submitted to a
+//! [`DesyncService`] as first-class sweep requests with gate-level
+//! verification on) that exercises exactly the paths the compiled-model /
+//! runtime-parallel rework accelerates.
 //!
-//! [`run_verify_hot`] reports wall time, committed-event throughput and the
-//! reference-run cache counters, and cross-checks one sweep point against a
-//! cache-less detached flow for bit-identical results. The `verify_hot` bin
-//! prints the report and serializes it to `BENCH_sim.json` (see
+//! [`run_verify_hot`] runs the sweep twice — once on a single worker (the
+//! serial baseline) and once on [`SWEEP_THREADS`] workers — cross-checks
+//! every per-point [`EquivalenceReport`] bit-for-bit between the two (and
+//! against a detached, cache-less flow), and reports wall times,
+//! committed-event throughput, compiled-model reuses, sizing rebinds and
+//! the reference-run cache counters. The `verify_hot` bin prints the report
+//! and serializes it to `BENCH_sim.json` (schema `desync-verify-hot/2`, see
 //! [`VerifyHotReport::to_json`]) as a perf-trajectory datapoint.
 
 use crate::workloads::{bus_stimulus, dlx_program, dlx_stimulus};
 use desync_circuits::{DlxConfig, LinearPipelineConfig};
-use desync_core::{DesyncEngine, DesyncFlow, DesyncOptions, EngineReport, Protocol};
+use desync_core::{
+    DesyncEngine, DesyncFlow, DesyncOptions, DesyncRuntime, EngineReport, Protocol, StoreConfig,
+    SweepRequest,
+};
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::VectorSource;
 use std::fmt;
@@ -23,6 +29,10 @@ pub const VERIFY_CYCLES: usize = 48;
 
 /// Matched-delay margins swept per protocol.
 pub const MARGINS: [f64; 3] = [0.05, 0.1, 0.2];
+
+/// Worker threads of the parallel sweep phase (the benchmark's fixed
+/// comparison point; the speedup it buys depends on the host's cores).
+pub const SWEEP_THREADS: usize = 4;
 
 /// One verified sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,32 +48,45 @@ pub struct VerifyHotPoint {
     /// Events committed by the desynchronized co-simulation.
     pub async_events: usize,
     /// Events committed by the synchronous reference (0 when the reference
-    /// was served from the cache instead of simulated).
+    /// was served from the cache instead of simulated; in the serial
+    /// baseline exactly the first point of each design simulates it).
     pub sync_events_simulated: usize,
 }
 
 /// The outcome of the verification hot-path sweep, see [`run_verify_hot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyHotReport {
-    /// One entry per sweep point, in execution order.
+    /// One entry per sweep point, in submission order (from the
+    /// deterministic serial baseline).
     pub points: Vec<VerifyHotPoint>,
-    /// Wall time of the whole sweep (construction + verification).
+    /// Wall time of the parallel sweep at [`SWEEP_THREADS`] workers.
     pub wall: Duration,
+    /// Wall time of the single-worker baseline sweep.
+    pub wall_serial: Duration,
+    /// Worker threads of the parallel phase.
+    pub threads: usize,
     /// Sweep points whose co-simulation stayed flow equivalent.
     pub equivalent_points: usize,
-    /// Committed simulation events actually executed (async sides plus the
-    /// sync references that missed the cache).
+    /// Committed simulation events actually executed per sweep (async
+    /// sides plus the sync references that missed the cache) — identical
+    /// for both phases.
     pub events_simulated: usize,
-    /// Whether the cache-less cross-check reproduced the engine-served
-    /// report bit for bit.
+    /// Compiled-model store hits of the parallel sweep: simulations that
+    /// bound onto an already compiled topology.
+    pub compile_reuses: usize,
+    /// Timed stages of the parallel sweep served by re-binding matched
+    /// delays from a cached margin-independent sizing analysis.
+    pub rebinds: usize,
+    /// Whether the parallel sweep, the serial sweep and a detached
+    /// cache-less flow all produced bit-identical reports.
     pub bit_identical_to_fresh: bool,
-    /// The engine's cache counters after the sweep (its `Display` impl
-    /// replaces the counter lines this report used to hand-format).
+    /// The parallel engine's cache counters after its sweep.
     pub engine_report: EngineReport,
 }
 
 impl VerifyHotReport {
-    /// Reference-run cache hits across the sweep (from the engine report).
+    /// Reference-run cache hits across the parallel sweep (from the engine
+    /// report).
     pub fn sync_run_hits(&self) -> usize {
         self.engine_report.sync_run_hits
     }
@@ -74,7 +97,17 @@ impl VerifyHotReport {
         self.engine_report.sync_run_misses
     }
 
-    /// Committed events per second of sweep wall time.
+    /// Wall-time speedup of the parallel sweep over the serial baseline.
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.wall.as_secs_f64();
+        if parallel <= 0.0 {
+            return 0.0;
+        }
+        self.wall_serial.as_secs_f64() / parallel
+    }
+
+    /// Committed events per second of parallel sweep wall time (aggregate
+    /// throughput across workers).
     pub fn events_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
@@ -90,13 +123,18 @@ impl VerifyHotReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"desync-verify-hot/1\",\n",
+                "  \"schema\": \"desync-verify-hot/2\",\n",
                 "  \"points\": {},\n",
                 "  \"equivalent_points\": {},\n",
                 "  \"verify_cycles\": {},\n",
+                "  \"threads\": {},\n",
                 "  \"wall_ms\": {:.3},\n",
+                "  \"wall_ms_serial\": {:.3},\n",
+                "  \"speedup\": {:.2},\n",
                 "  \"events_simulated\": {},\n",
                 "  \"events_per_sec\": {:.0},\n",
+                "  \"compile_reuses\": {},\n",
+                "  \"rebinds\": {},\n",
                 "  \"sync_run_hits\": {},\n",
                 "  \"sync_run_misses\": {},\n",
                 "  \"bit_identical_to_fresh\": {}\n",
@@ -105,9 +143,14 @@ impl VerifyHotReport {
             self.points.len(),
             self.equivalent_points,
             VERIFY_CYCLES,
+            self.threads,
             self.wall.as_secs_f64() * 1e3,
+            self.wall_serial.as_secs_f64() * 1e3,
+            self.speedup(),
             self.events_simulated,
             self.events_per_sec(),
+            self.compile_reuses,
+            self.rebinds,
             self.sync_run_hits(),
             self.sync_run_misses(),
             self.bit_identical_to_fresh,
@@ -119,20 +162,26 @@ impl fmt::Display for VerifyHotReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "verify-hot sweep: {} points x {} cycles, wall {} ms",
+            "verify-hot sweep: {} points x {} cycles, wall {} ms at {} worker(s) \
+             (serial baseline {} ms, {:.2}x)",
             self.points.len(),
             VERIFY_CYCLES,
-            self.wall.as_millis()
+            self.wall.as_millis(),
+            self.threads,
+            self.wall_serial.as_millis(),
+            self.speedup(),
         )?;
         writeln!(
             f,
-            "  events simulated: {} ({:.2} M events/s)",
+            "  events simulated: {} ({:.2} M events/s); {} compiled-model reuse(s), {} rebind(s)",
             self.events_simulated,
-            self.events_per_sec() / 1e6
+            self.events_per_sec() / 1e6,
+            self.compile_reuses,
+            self.rebinds,
         )?;
         writeln!(
             f,
-            "  flow equivalent: {}/{} points; cache-less cross-check identical: {}",
+            "  flow equivalent: {}/{} points; serial / parallel / cache-less identical: {}",
             self.equivalent_points,
             self.points.len(),
             self.bit_identical_to_fresh
@@ -169,71 +218,138 @@ pub fn sweep_designs() -> Vec<(Netlist, VectorSource)> {
     vec![(pipe, pipe_stim), (dlx, dlx_stim)]
 }
 
-/// Runs the verification hot-path sweep through one shared engine.
-///
-/// # Panics
-///
-/// Panics if the flow or the co-simulation fails on the stock workload.
-pub fn run_verify_hot() -> VerifyHotReport {
-    let library = CellLibrary::generic_90nm();
-    let designs = sweep_designs();
-
-    let engine = DesyncEngine::new();
-    let mut points = Vec::new();
-    let mut events_simulated = 0usize;
-    let started = Instant::now();
-    for (netlist, stim) in &designs {
+/// Builds the full protocol × margin request grid over `designs`.
+fn sweep_requests<'a>(
+    designs: &'a [(Netlist, VectorSource)],
+    library: &'a CellLibrary,
+) -> Vec<SweepRequest<'a>> {
+    let mut requests = Vec::new();
+    for (netlist, stim) in designs {
         for &protocol in Protocol::all() {
             for &margin in &MARGINS {
                 let options = DesyncOptions::default()
                     .with_protocol(protocol)
                     .with_margin(margin);
-                let mut flow = engine.flow(netlist, &library, options).expect("options");
-                flow.set_verification(stim.clone(), VERIFY_CYCLES);
-                flow.verified().expect("co-simulation");
-                let reference_cached = flow.sync_run_cache_hits() > 0;
-                let report = flow.verified().expect("just verified");
-                let sync_events_simulated = if reference_cached {
-                    0
-                } else {
-                    report.sync_run.committed_events
-                };
-                events_simulated += report.async_run.committed_events + sync_events_simulated;
-                points.push(VerifyHotPoint {
-                    design: netlist.name().to_string(),
-                    protocol,
-                    margin,
-                    equivalent: report.is_equivalent(),
-                    async_events: report.async_run.committed_events,
-                    sync_events_simulated,
-                });
+                requests.push(SweepRequest::new(
+                    netlist,
+                    library,
+                    options,
+                    stim,
+                    VERIFY_CYCLES,
+                ));
             }
         }
     }
+    requests
+}
+
+/// Runs the verification hot-path sweep twice — a single-worker baseline
+/// and a [`SWEEP_THREADS`]-worker parallel phase, each through its own
+/// service — and cross-checks the reports bit for bit.
+///
+/// # Panics
+///
+/// Panics if a flow or co-simulation fails on the stock workload.
+pub fn run_verify_hot() -> VerifyHotReport {
+    let library = CellLibrary::generic_90nm();
+    let designs = sweep_designs();
+    let requests = sweep_requests(&designs, &library);
+
+    // Serial baseline: one worker, one-worker sizing pool. Points execute
+    // in submission order, so the per-point sync-simulation attribution
+    // below is deterministic.
+    let serial_service =
+        desync_core::DesyncService::with_engine(DesyncEngine::with_store_and_runtime(
+            StoreConfig::default(),
+            DesyncRuntime::with_workers(1),
+        ))
+        .with_concurrency(1);
+    let started = Instant::now();
+    let serial = serial_service.run_sweep(&requests);
+    let wall_serial = started.elapsed();
+    assert_eq!(
+        serial.report.failures, 0,
+        "serial sweep must verify cleanly"
+    );
+
+    // Parallel phase: a fresh service (cold store) at SWEEP_THREADS workers.
+    let parallel_service =
+        desync_core::DesyncService::with_engine(DesyncEngine::with_store_and_runtime(
+            StoreConfig::default(),
+            DesyncRuntime::with_workers(SWEEP_THREADS),
+        ))
+        .with_concurrency(SWEEP_THREADS);
+    let started = Instant::now();
+    let parallel = parallel_service.run_sweep(&requests);
     let wall = started.elapsed();
+    assert_eq!(
+        parallel.report.failures, 0,
+        "parallel sweep must verify cleanly"
+    );
 
-    // Bit-identity cross-check: one sweep point re-verified by a detached,
-    // cache-less flow must reproduce the engine-served report exactly.
-    let (netlist, stim) = &designs[0];
-    let probe_options = DesyncOptions::default()
-        .with_protocol(Protocol::all()[1])
-        .with_margin(MARGINS[1]);
-    let mut engine_flow = engine
-        .flow(netlist, &library, probe_options)
-        .expect("options");
-    engine_flow.set_verification(stim.clone(), VERIFY_CYCLES);
-    let mut fresh_flow = DesyncFlow::new(netlist, &library, probe_options).expect("options");
-    fresh_flow.set_verification(stim.clone(), VERIFY_CYCLES);
-    let bit_identical_to_fresh =
-        engine_flow.verified().expect("cached") == fresh_flow.verified().expect("fresh");
+    // Bit-identity: every parallel report equals its serial twin, and one
+    // probe point equals a detached, cache-less flow.
+    let mut bit_identical = serial
+        .results
+        .iter()
+        .zip(&parallel.results)
+        .all(|(a, b)| a.as_ref().expect("serial ok") == b.as_ref().expect("parallel ok"));
+    let probe = &requests[requests.len() / 2];
+    let mut fresh_flow =
+        DesyncFlow::new(probe.netlist, probe.library, probe.options).expect("options");
+    fresh_flow.set_verification(probe.stimulus.clone(), probe.cycles);
+    let fresh = fresh_flow.verified().expect("fresh co-simulation");
+    bit_identical &= serial.results[requests.len() / 2]
+        .as_ref()
+        .expect("serial ok")
+        == fresh;
 
-    let engine_report = engine.report();
+    // Per-point rows from the deterministic serial pass: the first point of
+    // each design simulated the sync reference, every other point reused it.
+    let mut seen_designs: Vec<&str> = Vec::new();
+    let mut points = Vec::new();
+    let mut events_simulated = 0usize;
+    for (request, result) in requests.iter().zip(&serial.results) {
+        let report = result.as_ref().expect("serial ok");
+        let design = request.netlist.name();
+        let sync_events_simulated = if seen_designs.contains(&design) {
+            0
+        } else {
+            seen_designs.push(design);
+            report.sync_run.committed_events
+        };
+        events_simulated += report.async_run.committed_events + sync_events_simulated;
+        points.push(VerifyHotPoint {
+            design: design.to_string(),
+            protocol: request.options.protocol,
+            margin: request.options.matched_delay_margin,
+            equivalent: report.is_equivalent(),
+            async_events: report.async_run.committed_events,
+            sync_events_simulated,
+        });
+    }
+    assert_eq!(
+        events_simulated,
+        serial.report.events_simulated(),
+        "per-point attribution must account for every committed event"
+    );
+    assert_eq!(
+        events_simulated,
+        parallel.report.events_simulated(),
+        "the parallel sweep must simulate exactly the serial event count"
+    );
+
+    let engine_report = parallel_service.engine().report();
     VerifyHotReport {
         equivalent_points: points.iter().filter(|p| p.equivalent).count(),
         points,
         wall,
+        wall_serial,
+        threads: SWEEP_THREADS,
         events_simulated,
-        bit_identical_to_fresh,
+        compile_reuses: parallel.report.compile_reuses,
+        rebinds: parallel.report.rebinds,
+        bit_identical_to_fresh: bit_identical,
         engine_report,
     }
 }
@@ -243,18 +359,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_reuses_the_sync_reference_and_matches_fresh_runs() {
+    fn sweep_reuses_shared_artifacts_and_matches_fresh_runs() {
         let report = run_verify_hot();
         assert_eq!(report.points.len(), 2 * 3 * MARGINS.len());
-        // One sync simulation per design; every other point reuses it. (The
-        // bit-identity probe afterwards adds one more hit.)
+        // One sync simulation per design on the parallel engine; every
+        // other point reused it (store hit or in-flight coalesce — the
+        // counters are scheduling-independent).
         assert_eq!(report.sync_run_misses(), 2);
-        assert_eq!(report.sync_run_hits(), report.points.len() - 2 + 1);
+        assert_eq!(report.sync_run_hits(), report.points.len() - 2);
         assert!(report.bit_identical_to_fresh);
+        // Compiled models: one async datapath + one sync model per design
+        // compiled; every other simulation bound onto a shared model.
+        assert_eq!(report.engine_report.compiled_model_misses, 4);
+        assert!(report.compile_reuses >= report.points.len() - 2);
+        // Sizing: one arrival analysis per design; the other margin points
+        // re-bound matched delays from it.
+        assert_eq!(report.engine_report.sizing_misses, 2);
+        assert_eq!(report.rebinds, 2 * (MARGINS.len() - 1));
         // The pipeline points all verify; the DLX is equivalent under the
-        // paper's fully-decoupled protocol (the non-overlapping DLX
+        // paper's decoupled protocols (the non-overlapping DLX
         // non-equivalence is a pre-existing, deterministic finding tracked
-        // in ROADMAP.md).
+        // in ROADMAP.md and pinned by crates/bench/tests/dlx_verdict.rs).
         assert!(report
             .points
             .iter()
@@ -263,9 +388,12 @@ mod tests {
         assert!(report.events_simulated > 0);
         assert!(report.events_per_sec() > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"desync-verify-hot/1\""));
-        assert!(json.contains("\"sync_run_hits\""));
+        assert!(json.contains("\"schema\": \"desync-verify-hot/2\""));
+        assert!(json.contains("\"wall_ms_serial\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"compile_reuses\""));
         let text = report.to_string();
         assert!(text.contains("verify-hot sweep"), "{text}");
+        assert!(text.contains("serial baseline"), "{text}");
     }
 }

@@ -22,6 +22,13 @@
 //! would adjust the input retiming (or the environment model) for
 //! non-overlapping schedules and then strengthen this test to expect
 //! equivalence.
+//!
+//! The pin now also records the **divergence window**
+//! ([`EquivalenceReport::divergence`](desync_core::EquivalenceReport::divergence)):
+//! first divergent capture index 2 and exactly the upper program-counter
+//! bits `pc_ff[2..=5]`, identical across all margins — the
+//! margin-independence is itself evidence for the retiming hypothesis (a
+//! timing hazard would move with the margin).
 
 use desync_bench::verify_hot::{MARGINS, VERIFY_CYCLES};
 use desync_bench::workloads::{dlx_program, dlx_stimulus};
@@ -68,12 +75,36 @@ fn dlx_non_overlapping_verdict_is_pinned() {
                     "{:?}",
                     report.equivalence.missing_registers
                 );
+                // Divergence window: the evidence for the suspected
+                // input-vector-retiming root cause. The program counter
+                // departs at capture index 2 — i.e. *after* the reset
+                // value and the first increment agree — and the window is
+                // identical at every margin, which is exactly what a
+                // schedule/retiming interaction (and not a
+                // margin-sensitive timing hazard) predicts. The diverging
+                // set is the upper PC bits `pc_ff[2..=5]`: the first two
+                // fetches agree, so divergence first shows where PC
+                // values 2 handshakes apart differ. A root-cause fix
+                // (adjusting the input retiming for non-overlapping
+                // schedules) must flip this to `divergence() == None`
+                // together with the equivalence pin above.
+                let window = report.divergence().expect("non-equivalent point");
+                assert_eq!(
+                    window.first_cycle, 2,
+                    "margin {margin}: the PC must first diverge at capture index 2"
+                );
+                assert_eq!(
+                    window.registers,
+                    vec!["pc_ff[2]", "pc_ff[3]", "pc_ff[4]", "pc_ff[5]"],
+                    "margin {margin}: the divergence window must cover exactly the upper PC bits"
+                );
             } else {
                 assert!(
                     report.is_equivalent(),
                     "dlx/{protocol} margin {margin} must verify clean: {}",
                     report.equivalence
                 );
+                assert!(report.divergence().is_none());
             }
         }
     }

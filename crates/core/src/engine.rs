@@ -18,9 +18,16 @@
 //! * **Cached artifacts** are the four construction stages —
 //!   [`ClusterGraph`], [`LatchDesign`],
 //!   [`TimingTable`](crate::TimingTable),
-//!   [`ControlNetwork`](crate::ControlNetwork) — plus the synchronous
-//!   reference runs of incremental co-simulation. Full verification
-//!   reports depend on the per-flow stimulus and are never cached.
+//!   [`ControlNetwork`](crate::ControlNetwork) — plus three simulation-side
+//!   artifact kinds: the synchronous reference runs of incremental
+//!   co-simulation, the **compiled simulation models**
+//!   ([`CompiledModel`] — one per netlist structure × `SimConfig`, shared
+//!   by every sweep point that simulates that structure) and the
+//!   **margin-independent sizing analyses**
+//!   ([`SizingAnalysis`](crate::SizingAnalysis) — margin sweep points
+//!   re-bind matched delays from them instead of re-running arrival
+//!   propagation). Full verification reports depend on the per-flow
+//!   stimulus and are never cached.
 //! * **The store** is weight-accounted and sharded, with optional LRU
 //!   eviction: [`DesyncEngine::with_store`] bounds the resident weight for
 //!   long-running services, while the default engine is unbounded and
@@ -65,10 +72,10 @@ use crate::cluster::ClusterGraph;
 use crate::conversion::LatchDesign;
 use crate::error::DesyncError;
 use crate::options::{DesyncOptions, StagePrefix};
-use crate::pipeline::{ControlNetwork, DesyncFlow, Stage, TimingTable};
-use crate::store::{ArtifactStore, StoreConfig, StoreKey, Weigh};
+use crate::pipeline::{ControlNetwork, DesyncFlow, SizingAnalysis, Stage, TimingTable};
+use crate::store::{ArtifactStore, Fetched, StoreConfig, StoreKey, Weigh};
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::{SimConfig, SimRun};
+use desync_sim::{CompiledModel, SimConfig, SimRun};
 use desync_sta::SizingPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -84,8 +91,14 @@ const CACHED_STAGES: usize = 4;
 /// construction stages).
 const SYNC_RUN_KIND: usize = CACHED_STAGES;
 
+/// Store kind index of the compiled simulation models.
+const COMPILED_KIND: usize = CACHED_STAGES + 1;
+
+/// Store kind index of the margin-independent sizing analyses.
+const SIZING_KIND: usize = CACHED_STAGES + 2;
+
 /// Total artifact kinds in the engine's store.
-const STORE_KINDS: usize = CACHED_STAGES + 1;
+const STORE_KINDS: usize = CACHED_STAGES + 3;
 
 /// Interned identity of a netlist inside one engine (collision-free: the
 /// engine confirms every structural-hash match with a full equality check).
@@ -126,6 +139,26 @@ enum Facet {
         /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest).
         stimulus: u64,
     },
+    /// A compiled simulation model ([`CompiledModel`]): the structure half
+    /// of a simulator, shared by every sweep point that simulates the same
+    /// netlist under the same [`SimConfig`].
+    Compiled {
+        /// `None` for the synchronous original; for the desynchronized
+        /// datapath, the [`Stage::Latched`] options prefix that determines
+        /// the latch netlist's structure (protocol and margin are absent —
+        /// all points of a sweep share one datapath model).
+        datapath: Option<StagePrefix>,
+        /// [`SimConfig`] as IEEE-754 bit patterns.
+        config: [u64; 3],
+    },
+    /// A margin-independent sizing analysis ([`SizingAnalysis`]): the
+    /// arrival-propagation half of [`Stage::Timed`], shared by every margin
+    /// point (each point only re-binds matched delays from it).
+    Sizing {
+        /// The [`Stage::Timed`] options prefix with the matched-delay
+        /// margin stripped (see `DesyncOptions::sizing_analysis_prefix`).
+        prefix: StagePrefix,
+    },
 }
 
 impl StoreKey for ArtifactKey {
@@ -133,12 +166,15 @@ impl StoreKey for ArtifactKey {
         match self.facet {
             Facet::Stage { stage, .. } => stage.index(),
             Facet::SyncRun { .. } => SYNC_RUN_KIND,
+            Facet::Compiled { .. } => COMPILED_KIND,
+            Facet::Sizing { .. } => SIZING_KIND,
         }
     }
 }
 
-/// One cached value: a construction-stage artifact or a sync reference run,
-/// all shared by `Arc` so a store hit is a pointer clone.
+/// One cached value: a construction-stage artifact, a sync reference run, a
+/// compiled simulation model or a sizing analysis, all shared by `Arc` so a
+/// store hit is a pointer clone.
 #[derive(Debug, Clone)]
 enum Artifact {
     Clustered(Arc<ClusterGraph>),
@@ -146,6 +182,8 @@ enum Artifact {
     Timed(Arc<TimingTable>),
     Controlled(Arc<ControlNetwork>),
     SyncRun(Arc<SimRun>),
+    Compiled(Arc<CompiledModel>),
+    Sizing(Arc<SizingAnalysis>),
 }
 
 impl Weigh for Artifact {
@@ -156,6 +194,8 @@ impl Weigh for Artifact {
             Artifact::Timed(v) => v.weight(),
             Artifact::Controlled(v) => v.weight(),
             Artifact::SyncRun(v) => v.weight(),
+            Artifact::Compiled(v) => v.weight(),
+            Artifact::Sizing(v) => v.weight(),
         }
     }
 }
@@ -187,68 +227,88 @@ impl<'a> EngineHandle<'a> {
         self.engine.runtime.pool()
     }
 
-    /// The interned copy of the flow's cell library (an `Arc` clone, not a
-    /// deep copy) for handing to pool workers.
-    pub(crate) fn library(&self) -> Arc<CellLibrary> {
-        self.engine.with_intern(|s| {
-            Arc::clone(
-                s.libraries
-                    .get(self.library.0 as usize)
-                    .expect("interned library outlives its flows"),
-            )
-        })
-    }
-
-    pub(crate) fn lookup_clustered(&self, key: &ArtifactKey) -> Option<Arc<ClusterGraph>> {
-        match self.engine.store.get(key)? {
-            Artifact::Clustered(graph) => Some(graph),
-            _ => None, // unreachable: the key's facet names the stage
-        }
-    }
-
-    pub(crate) fn store_clustered(&self, key: ArtifactKey, value: &Arc<ClusterGraph>) {
-        self.engine
+    /// Fetches the artifact under `key`, computing it at most once across
+    /// every racing flow on this engine (see
+    /// [`ArtifactStore::get_or_try_compute`]). `wrap`/`unwrap` convert
+    /// between the typed artifact and the store's enum; the unwrap cannot
+    /// fail because the key's facet names the variant.
+    fn fetch<T>(
+        &self,
+        key: ArtifactKey,
+        wrap: fn(Arc<T>) -> Artifact,
+        unwrap: fn(Artifact) -> Option<Arc<T>>,
+        compute: impl FnOnce() -> Result<Arc<T>, DesyncError>,
+    ) -> Result<(Arc<T>, Fetched), DesyncError> {
+        let (artifact, how) = self
+            .engine
             .store
-            .insert(key, Artifact::Clustered(Arc::clone(value)));
+            .get_or_try_compute(key, || compute().map(wrap))?;
+        let value = unwrap(artifact).expect("the key's facet names the artifact variant");
+        Ok((value, how))
     }
 
-    pub(crate) fn lookup_latched(&self, key: &ArtifactKey) -> Option<Arc<LatchDesign>> {
-        match self.engine.store.get(key)? {
-            Artifact::Latched(design) => Some(design),
-            _ => None,
-        }
+    pub(crate) fn clustered_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<ClusterGraph>, DesyncError>,
+    ) -> Result<(Arc<ClusterGraph>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Clustered,
+            |a| match a {
+                Artifact::Clustered(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
     }
 
-    pub(crate) fn store_latched(&self, key: ArtifactKey, value: &Arc<LatchDesign>) {
-        self.engine
-            .store
-            .insert(key, Artifact::Latched(Arc::clone(value)));
+    pub(crate) fn latched_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<LatchDesign>, DesyncError>,
+    ) -> Result<(Arc<LatchDesign>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Latched,
+            |a| match a {
+                Artifact::Latched(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
     }
 
-    pub(crate) fn lookup_timed(&self, key: &ArtifactKey) -> Option<Arc<TimingTable>> {
-        match self.engine.store.get(key)? {
-            Artifact::Timed(table) => Some(table),
-            _ => None,
-        }
+    pub(crate) fn timed_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<TimingTable>, DesyncError>,
+    ) -> Result<(Arc<TimingTable>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Timed,
+            |a| match a {
+                Artifact::Timed(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
     }
 
-    pub(crate) fn store_timed(&self, key: ArtifactKey, value: &Arc<TimingTable>) {
-        self.engine
-            .store
-            .insert(key, Artifact::Timed(Arc::clone(value)));
-    }
-
-    pub(crate) fn lookup_controlled(&self, key: &ArtifactKey) -> Option<Arc<ControlNetwork>> {
-        match self.engine.store.get(key)? {
-            Artifact::Controlled(network) => Some(network),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn store_controlled(&self, key: ArtifactKey, value: &Arc<ControlNetwork>) {
-        self.engine
-            .store
-            .insert(key, Artifact::Controlled(Arc::clone(value)));
+    pub(crate) fn controlled_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<ControlNetwork>, DesyncError>,
+    ) -> Result<(Arc<ControlNetwork>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Controlled,
+            |a| match a {
+                Artifact::Controlled(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
     }
 
     /// The cache key of the synchronous reference run under the given
@@ -272,17 +332,79 @@ impl<'a> EngineHandle<'a> {
         }
     }
 
-    pub(crate) fn lookup_sync_run(&self, key: &ArtifactKey) -> Option<Arc<SimRun>> {
-        match self.engine.store.get(key)? {
-            Artifact::SyncRun(run) => Some(run),
-            _ => None,
+    pub(crate) fn sync_run_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<SimRun>, DesyncError>,
+    ) -> Result<(Arc<SimRun>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::SyncRun,
+            |a| match a {
+                Artifact::SyncRun(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
+    }
+
+    /// The cache key of a compiled simulation model: `datapath` is `None`
+    /// for the synchronous original and the [`Stage::Latched`] prefix for
+    /// the desynchronized datapath (whose structure it determines).
+    pub(crate) fn compiled_key(
+        &self,
+        datapath: Option<StagePrefix>,
+        config: SimConfig,
+    ) -> ArtifactKey {
+        ArtifactKey {
+            netlist: self.netlist,
+            library: self.library,
+            facet: Facet::Compiled {
+                datapath,
+                config: config.key_bits(),
+            },
         }
     }
 
-    pub(crate) fn store_sync_run(&self, key: ArtifactKey, value: &Arc<SimRun>) {
-        self.engine
-            .store
-            .insert(key, Artifact::SyncRun(Arc::clone(value)));
+    pub(crate) fn compiled_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<CompiledModel>, DesyncError>,
+    ) -> Result<(Arc<CompiledModel>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Compiled,
+            |a| match a {
+                Artifact::Compiled(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
+    }
+
+    /// The cache key of the margin-independent sizing analysis.
+    pub(crate) fn sizing_key(&self, prefix: StagePrefix) -> ArtifactKey {
+        ArtifactKey {
+            netlist: self.netlist,
+            library: self.library,
+            facet: Facet::Sizing { prefix },
+        }
+    }
+
+    pub(crate) fn sizing_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<SizingAnalysis>, DesyncError>,
+    ) -> Result<(Arc<SizingAnalysis>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Sizing,
+            |a| match a {
+                Artifact::Sizing(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
     }
 }
 
@@ -367,11 +489,13 @@ struct InternState {
 /// See the [module documentation](self) for the caching model and an
 /// end-to-end example. An engine is `Sync`: many threads may drive flows
 /// against it concurrently. Artifact traffic goes through the store's
-/// sharded locks; stage computation itself happens outside any lock, so two
-/// racing flows may both compute a missing artifact — the values are
-/// identical, and the second store wins harmlessly (the
+/// sharded locks; stage computation itself happens outside any lock, and
+/// racing flows that miss the same key coalesce at the store's in-flight
+/// registry — exactly one computes while the rest wait briefly and are
+/// served, so every artifact is computed **exactly once** however many
+/// sweep points or service workers need it (the
 /// [`DesyncService`](crate::DesyncService) additionally coalesces identical
-/// in-flight requests so they do not race at all).
+/// whole requests so duplicates never even reach the store).
 #[derive(Debug)]
 pub struct DesyncEngine {
     intern: Mutex<InternState>,
@@ -543,17 +667,30 @@ impl DesyncEngine {
             self.with_intern(|s| (s.num_netlists as usize, s.libraries.len()));
         let stats = self.store.stats();
         let sync = stats.kinds[SYNC_RUN_KIND];
+        let compiled = stats.kinds[COMPILED_KIND];
+        let sizing = stats.kinds[SIZING_KIND];
         EngineReport {
             netlists,
             libraries,
             pool_workers: self.runtime.workers(),
             capacity: stats.capacity,
             resident_weight: stats.resident_weight(),
+            store_coalesced: stats.total_coalesced(),
             sync_runs: sync.entries,
             sync_run_hits: sync.hits,
             sync_run_misses: sync.misses,
             sync_run_evictions: sync.evictions,
             sync_run_resident_weight: sync.resident_weight,
+            compiled_models: compiled.entries,
+            compiled_model_hits: compiled.hits,
+            compiled_model_misses: compiled.misses,
+            compiled_model_evictions: compiled.evictions,
+            compiled_model_resident_weight: compiled.resident_weight,
+            sizing_analyses: sizing.entries,
+            sizing_hits: sizing.hits,
+            sizing_misses: sizing.misses,
+            sizing_evictions: sizing.evictions,
+            sizing_resident_weight: sizing.resident_weight,
             stages: [
                 Stage::Clustered,
                 Stage::Latched,
@@ -607,8 +744,13 @@ pub struct EngineReport {
     pub pool_workers: usize,
     /// Configured store capacity in [`Weigh`] units (`None` = unbounded).
     pub capacity: Option<usize>,
-    /// Resident weight across every cached artifact (stages + sync runs).
+    /// Resident weight across every cached artifact (stages, sync runs,
+    /// compiled models, sizing analyses).
     pub resident_weight: usize,
+    /// Lookups (of any kind) that coalesced onto another thread's in-flight
+    /// computation instead of recomputing — the store's exactly-once
+    /// guarantee at work under parallel sweeps.
+    pub store_coalesced: usize,
     /// Synchronous reference runs currently cached for incremental
     /// co-simulation.
     pub sync_runs: usize,
@@ -620,6 +762,29 @@ pub struct EngineReport {
     pub sync_run_evictions: usize,
     /// Summed weight of the resident reference runs.
     pub sync_run_resident_weight: usize,
+    /// Compiled simulation models currently cached.
+    pub compiled_models: usize,
+    /// Compiled-model lookups served from the store (sweep points binding
+    /// onto an already-compiled datapath).
+    pub compiled_model_hits: usize,
+    /// Compiled-model lookups that had to compile (and then publish).
+    pub compiled_model_misses: usize,
+    /// Compiled models evicted by the capacity budget.
+    pub compiled_model_evictions: usize,
+    /// Summed weight of the resident compiled models.
+    pub compiled_model_resident_weight: usize,
+    /// Margin-independent sizing analyses currently cached.
+    pub sizing_analyses: usize,
+    /// Sizing-analysis lookups served from the store — each one is a Timed
+    /// stage that only re-bound matched delays instead of re-running
+    /// arrival propagation.
+    pub sizing_hits: usize,
+    /// Sizing-analysis lookups that had to run arrival propagation.
+    pub sizing_misses: usize,
+    /// Sizing analyses evicted by the capacity budget.
+    pub sizing_evictions: usize,
+    /// Summed weight of the resident sizing analyses.
+    pub sizing_resident_weight: usize,
     /// Per-stage statistics, in pipeline order.
     pub stages: Vec<EngineStageStats>,
 }
@@ -635,9 +800,13 @@ impl EngineReport {
         self.stages.iter().map(|s| s.misses).sum()
     }
 
-    /// Evictions summed over all stages plus the sync-run cache.
+    /// Evictions summed over all stages plus the sync-run, compiled-model
+    /// and sizing-analysis caches.
     pub fn total_evictions(&self) -> usize {
-        self.stages.iter().map(|s| s.evictions).sum::<usize>() + self.sync_run_evictions
+        self.stages.iter().map(|s| s.evictions).sum::<usize>()
+            + self.sync_run_evictions
+            + self.compiled_model_evictions
+            + self.sizing_evictions
     }
 
     /// Fraction of stage lookups served from the store (0.0 when none
@@ -691,14 +860,36 @@ impl fmt::Display for EngineReport {
             self.sync_run_evictions,
             self.sync_run_resident_weight,
         )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "compiled",
+            self.compiled_models,
+            self.compiled_model_hits,
+            self.compiled_model_misses,
+            self.compiled_model_evictions,
+            self.compiled_model_resident_weight,
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "sizing",
+            self.sizing_analyses,
+            self.sizing_hits,
+            self.sizing_misses,
+            self.sizing_evictions,
+            self.sizing_resident_weight,
+        )?;
         write!(
             f,
-            "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate), {} eviction(s) overall \
-             (sync-run cache counted separately above)",
+            "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate), {} eviction(s) overall, \
+             {} coalesced in-flight wait(s) \
+             (sync-run / compiled / sizing caches counted separately above)",
             self.total_hits(),
             self.total_misses(),
             100.0 * self.hit_rate(),
             self.total_evictions(),
+            self.store_coalesced,
         )
     }
 }

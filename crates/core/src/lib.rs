@@ -9,9 +9,9 @@
 //! | layer | type | role |
 //! |---|---|---|
 //! | pipeline | [`DesyncFlow`] | the staged flow: five typed stages, lazy, resumable |
-//! | store | [`ArtifactStore`](store::ArtifactStore) | weight-accounted, sharded LRU cache of every artifact |
+//! | store | [`ArtifactStore`](store::ArtifactStore) | weight-accounted, sharded LRU cache of every artifact, with exactly-once in-flight coalescing |
 //! | engine | [`DesyncEngine`] | content-addressed cross-flow sharing on top of the store |
-//! | service | [`DesyncService`] | batch front-end: coalescing + bounded worker concurrency |
+//! | service | [`DesyncService`] | batch + sweep front-end: coalescing, bounded workers, deterministic merging |
 //!
 //! # The staged pipeline
 //!
@@ -56,13 +56,29 @@
 //! [`DesyncRuntime`] — an explicit, shareable handle; detached flows draw
 //! from [`DesyncRuntime::global`].
 //!
+//! # The store and the engine, continued: simulation artifacts
+//!
+//! Verification is the hot path of a sweep, so its shareable halves are
+//! first-class artifacts too: the synchronous reference run, the
+//! **compiled simulation model** ([`desync_sim::CompiledModel`] — the
+//! CSR topology/pin-list/delay half of a simulator, one per netlist
+//! structure, with [`EventSimulator`](desync_sim::EventSimulator) a cheap
+//! cursor over it) and the **margin-independent sizing analysis**
+//! ([`SizingAnalysis`]) whose matched delays each margin point merely
+//! re-binds. The store's
+//! [`get_or_try_compute`](store::ArtifactStore::get_or_try_compute)
+//! guarantees each is computed exactly once even when sweep points race.
+//!
 //! # The service
 //!
 //! [`DesyncService`] is the batch front-end: submit a slice of
-//! [`ServiceRequest`]s, identical in-flight requests coalesce onto one
-//! computation (instead of racing to fill the same store key), distinct
-//! requests execute with bounded concurrency derived from the runtime, and
-//! every batch yields a [`ServiceReport`].
+//! [`ServiceRequest`]s — or verification sweep points
+//! ([`SweepRequest`], via [`DesyncService::run_sweep`]) — identical
+//! in-flight requests coalesce onto one computation (instead of racing to
+//! fill the same store key), distinct requests execute with bounded
+//! concurrency derived from the runtime, results merge deterministically
+//! in request order, and every batch yields a [`ServiceReport`] /
+//! [`SweepReport`].
 //!
 //! # Example
 //!
@@ -126,10 +142,16 @@ pub use error::{DesyncError, OptionsError};
 pub use flow::{DesyncDesign, DesyncSummary, Desynchronizer};
 pub use model::ControlModel;
 pub use options::{ClusteringStrategy, DesyncOptions};
-pub use pipeline::{ControlNetwork, DesyncFlow, FlowReport, Stage, StageReport, TimingTable};
-pub use service::{DesyncService, ServiceOutcome, ServiceReport, ServiceRequest};
-pub use store::{StoreConfig, Weigh};
+pub use pipeline::{
+    ControlNetwork, DesyncFlow, FlowReport, SizingAnalysis, Stage, StageReport, TimingTable,
+};
+pub use service::{
+    DesyncService, ServiceOutcome, ServiceReport, ServiceRequest, SweepOutcome, SweepReport,
+    SweepRequest,
+};
+pub use store::{Fetched, StoreConfig, Weigh};
 pub use verify::{
-    sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
+    sync_reference_run, sync_reference_run_with_model, verify_flow_equivalence,
+    verify_flow_equivalence_with_parts, verify_flow_equivalence_with_reference, DivergenceWindow,
     EquivalenceReport,
 };

@@ -32,12 +32,14 @@ use crate::engine::{DesyncEngine, DesyncRuntime, EngineHandle};
 use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
-use crate::options::DesyncOptions;
+use crate::options::{DesyncOptions, StagePrefix};
+use crate::store::Fetched;
 use crate::verify::{
-    sim_config_for, sync_reference_run, verify_flow_equivalence_with_reference, EquivalenceReport,
+    sim_config_from, sync_reference_run_with_model, verify_flow_equivalence_with_parts,
+    EquivalenceReport,
 };
 use desync_netlist::{CellLibrary, NetId, Netlist};
-use desync_sim::{SimRun, VectorSource};
+use desync_sim::{CompiledModel, SimRun, VectorSource};
 use desync_sta::{MatchedDelay, SizingPool, Sta, StaSnapshot, TimingConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -227,6 +229,12 @@ pub struct FlowReport {
     /// How many verifications reused a cached synchronous reference run
     /// (see [`DesyncFlow::sync_run_cache_hits`]).
     pub sync_run_cache_hits: usize,
+    /// How many simulations reused an already compiled simulation model
+    /// (see [`DesyncFlow::compiled_model_cache_hits`]).
+    pub compiled_model_cache_hits: usize,
+    /// How many Timed executions only re-bound matched delays from a cached
+    /// sizing analysis (see [`DesyncFlow::sizing_rebinds`]).
+    pub sizing_rebinds: usize,
 }
 
 impl FlowReport {
@@ -330,10 +338,6 @@ pub struct DesyncFlow<'a> {
     library: &'a CellLibrary,
     options: DesyncOptions,
     engine: Option<EngineHandle<'a>>,
-    /// Owned copy of `library` for pool workers, created lazily on the
-    /// first pooled sizing run of a detached flow and reused afterwards
-    /// (engine-attached flows use the engine's interned copy instead).
-    pool_library: Option<Arc<CellLibrary>>,
     stimulus: Option<VectorSource>,
     verify_cycles: usize,
     /// Per-flow memo of the synchronous reference run for detached flows
@@ -341,7 +345,17 @@ pub struct DesyncFlow<'a> {
     /// Keyed on everything the run depends on besides the flow-fixed
     /// netlist and library, so a stale entry can never be served.
     sync_memo: Option<(SyncMemoKey, Arc<SimRun>)>,
+    /// Detached-flow memo of the compiled synchronous simulation model,
+    /// keyed by the `SimConfig` bits.
+    sync_model_memo: Option<([u64; 3], Arc<CompiledModel>)>,
+    /// Detached-flow memo of the compiled desynchronized-datapath model,
+    /// keyed by the latch-structure prefix and the `SimConfig` bits.
+    async_model_memo: Option<(AsyncModelKey, Arc<CompiledModel>)>,
+    /// Detached-flow memo of the margin-independent sizing analysis.
+    sizing_memo: Option<(StagePrefix, Arc<SizingAnalysis>)>,
     sync_run_hits: usize,
+    compiled_model_hits: usize,
+    sizing_rebinds: usize,
     clustered: Option<Arc<ClusterGraph>>,
     latched: Option<Arc<LatchDesign>>,
     timed: Option<Arc<TimingTable>>,
@@ -411,11 +425,15 @@ impl<'a> DesyncFlow<'a> {
             library,
             options,
             engine: engine.map(|e| e.attach(netlist, library)),
-            pool_library: None,
             stimulus: None,
             verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
             sync_memo: None,
+            sync_model_memo: None,
+            async_model_memo: None,
+            sizing_memo: None,
             sync_run_hits: 0,
+            compiled_model_hits: 0,
+            sizing_rebinds: 0,
             clustered: None,
             latched: None,
             timed: None,
@@ -603,26 +621,25 @@ impl<'a> DesyncFlow<'a> {
     /// signatures uniform across stages.
     pub fn clustered(&mut self) -> Result<&ClusterGraph, DesyncError> {
         if self.clustered.is_none() {
-            let key = self
-                .engine
-                .map(|e| e.stage_key(&self.options, Stage::Clustered));
-            let cached = self
-                .engine
-                .zip(key)
-                .and_then(|(e, key)| e.lookup_clustered(&key));
-            let graph = match cached {
-                Some(hit) => {
-                    self.cache_hits[Stage::Clustered.index()] += 1;
-                    hit
+            let netlist = self.netlist;
+            let clustering = self.options.clustering;
+            let graph = match self.engine {
+                Some(handle) => {
+                    let key = handle.stage_key(&self.options, Stage::Clustered);
+                    let mut elapsed = None;
+                    let (graph, how) = handle.clustered_or(key, || {
+                        let started = Instant::now();
+                        let graph = Arc::new(ClusterGraph::build(netlist, clustering));
+                        elapsed = Some(started.elapsed());
+                        Ok(graph)
+                    })?;
+                    self.note(Stage::Clustered, how, elapsed);
+                    graph
                 }
                 None => {
                     let started = Instant::now();
-                    let graph = ClusterGraph::build(self.netlist, self.options.clustering);
+                    let graph = Arc::new(ClusterGraph::build(netlist, clustering));
                     self.record(Stage::Clustered, started);
-                    let graph = Arc::new(graph);
-                    if let (Some(engine), Some(key)) = (self.engine, key) {
-                        engine.store_clustered(key, &graph);
-                    }
                     graph
                 }
             };
@@ -642,28 +659,26 @@ impl<'a> DesyncFlow<'a> {
     pub fn latched(&mut self) -> Result<&LatchDesign, DesyncError> {
         if self.latched.is_none() {
             self.clustered()?;
-            let key = self
-                .engine
-                .map(|e| e.stage_key(&self.options, Stage::Latched));
-            let cached = self
-                .engine
-                .zip(key)
-                .and_then(|(e, key)| e.lookup_latched(&key));
-            let design = match cached {
-                Some(hit) => {
-                    self.cache_hits[Stage::Latched.index()] += 1;
-                    hit
+            let netlist = self.netlist;
+            let clusters = Arc::clone(self.clustered.as_ref().expect("clustered stage ran"));
+            let design = match self.engine {
+                Some(handle) => {
+                    let key = handle.stage_key(&self.options, Stage::Latched);
+                    let mut elapsed = None;
+                    let (design, how) = handle.latched_or(key, || {
+                        let started = Instant::now();
+                        let design = to_desynchronized_datapath(netlist, &clusters)?;
+                        elapsed = Some(started.elapsed());
+                        Ok(Arc::new(design))
+                    })?;
+                    self.note(Stage::Latched, how, elapsed);
+                    design
                 }
                 None => {
-                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
                     let started = Instant::now();
-                    let design = to_desynchronized_datapath(self.netlist, clusters)?;
+                    let design = to_desynchronized_datapath(netlist, &clusters)?;
                     self.record(Stage::Latched, started);
-                    let design = Arc::new(design);
-                    if let (Some(engine), Some(key)) = (self.engine, key) {
-                        engine.store_latched(key, &design);
-                    }
-                    design
+                    Arc::new(design)
                 }
             };
             self.latched = Some(design);
@@ -673,59 +688,78 @@ impl<'a> DesyncFlow<'a> {
 
     /// The timing table, running stages through [`Stage::Timed`] if needed.
     ///
+    /// The stage is internally split: the expensive arrival-time
+    /// propagation lives in a margin-independent [`SizingAnalysis`]
+    /// (engine-cached, or memoized per flow when detached), and the margin
+    /// knob only *re-binds* matched delays from it — so a margin sweep runs
+    /// STA once per netlist structure ([`DesyncFlow::sizing_rebinds`]
+    /// counts the cheap bindings).
+    ///
     /// # Errors
     ///
     /// Same conditions as [`DesyncFlow::latched`].
     pub fn timed(&mut self) -> Result<&TimingTable, DesyncError> {
         if self.timed.is_none() {
             self.latched()?;
-            let key = self
-                .engine
-                .map(|e| e.stage_key(&self.options, Stage::Timed));
-            let cached = self
-                .engine
-                .zip(key)
-                .and_then(|(e, key)| e.lookup_timed(&key));
-            let table = match cached {
-                Some(hit) => {
-                    self.cache_hits[Stage::Timed.index()] += 1;
-                    hit
+            let netlist = self.netlist;
+            let library = self.library;
+            let options = self.options;
+            let clusters = Arc::clone(self.clustered.as_ref().expect("clustered stage ran"));
+            // Parallel sizing runs on a persistent pool: the attached
+            // engine's own pool, or the process-wide one for detached flows.
+            let parallel = options.parallel_sizing && clusters.len() > 1;
+            match self.engine {
+                Some(handle) => {
+                    let key = handle.stage_key(&options, Stage::Timed);
+                    let mut elapsed = None;
+                    let mut rebound = false;
+                    let (table, how) = handle.timed_or(key, || {
+                        let started = Instant::now();
+                        let analysis_key = handle.sizing_key(options.sizing_analysis_prefix());
+                        let (analysis, analysis_how) = handle.sizing_or(analysis_key, || {
+                            let pool = parallel.then(|| handle.pool());
+                            Ok(Arc::new(compute_sizing_analysis(
+                                netlist, library, &clusters, &options, pool,
+                            )))
+                        })?;
+                        rebound = analysis_how.served();
+                        let table = Arc::new(bind_timing(&analysis, &options, library));
+                        elapsed = Some(started.elapsed());
+                        Ok(table)
+                    })?;
+                    if rebound {
+                        self.sizing_rebinds += 1;
+                    }
+                    self.note(Stage::Timed, how, elapsed);
+                    self.timed = Some(table);
                 }
                 None => {
-                    // Parallel sizing runs on a persistent pool: the attached
-                    // engine's own pool (with its interned library), or the
-                    // process-wide one for detached flows (with a per-flow
-                    // memoized library copy).
-                    let parallel = self.options.parallel_sizing
-                        && self.clustered.as_deref().is_some_and(|c| c.len() > 1);
-                    let pool = if parallel {
-                        Some(match &self.engine {
-                            Some(handle) => (handle.pool(), handle.library()),
-                            None => {
-                                if self.pool_library.is_none() {
-                                    self.pool_library = Some(Arc::new(self.library.clone()));
-                                }
-                                let library =
-                                    Arc::clone(self.pool_library.as_ref().expect("just filled"));
-                                (DesyncRuntime::global().pool(), library)
-                            }
-                        })
-                    } else {
-                        None
-                    };
-                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
+                    let prefix = options.sizing_analysis_prefix();
+                    let memo = self
+                        .sizing_memo
+                        .as_ref()
+                        .filter(|(key, _)| *key == prefix)
+                        .map(|(_, analysis)| Arc::clone(analysis));
                     let started = Instant::now();
-                    let table =
-                        compute_timing(self.netlist, self.library, clusters, &self.options, pool);
+                    let analysis = match memo {
+                        Some(hit) => {
+                            self.sizing_rebinds += 1;
+                            hit
+                        }
+                        None => {
+                            let pool = parallel.then(|| DesyncRuntime::global().pool());
+                            let analysis = Arc::new(compute_sizing_analysis(
+                                netlist, library, &clusters, &options, pool,
+                            ));
+                            self.sizing_memo = Some((prefix, Arc::clone(&analysis)));
+                            analysis
+                        }
+                    };
+                    let table = Arc::new(bind_timing(&analysis, &options, library));
                     self.record(Stage::Timed, started);
-                    let table = Arc::new(table);
-                    if let (Some(engine), Some(key)) = (self.engine, key) {
-                        engine.store_timed(key, &table);
-                    }
-                    table
+                    self.timed = Some(table);
                 }
-            };
-            self.timed = Some(table);
+            }
         }
         Ok(self.timed.as_deref().expect("just computed"))
     }
@@ -741,30 +775,28 @@ impl<'a> DesyncFlow<'a> {
     pub fn controlled(&mut self) -> Result<&ControlNetwork, DesyncError> {
         if self.controlled.is_none() {
             self.timed()?;
-            let key = self
-                .engine
-                .map(|e| e.stage_key(&self.options, Stage::Controlled));
-            let cached = self
-                .engine
-                .zip(key)
-                .and_then(|(e, key)| e.lookup_controlled(&key));
-            let network = match cached {
-                Some(hit) => {
-                    self.cache_hits[Stage::Controlled.index()] += 1;
-                    hit
+            let netlist = self.netlist;
+            let options = self.options;
+            let clusters = Arc::clone(self.clustered.as_ref().expect("clustered stage ran"));
+            let timing = Arc::clone(self.timed.as_ref().expect("timed stage ran"));
+            let network = match self.engine {
+                Some(handle) => {
+                    let key = handle.stage_key(&options, Stage::Controlled);
+                    let mut elapsed = None;
+                    let (network, how) = handle.controlled_or(key, || {
+                        let started = Instant::now();
+                        let network = build_control_network(netlist, &clusters, &timing, &options)?;
+                        elapsed = Some(started.elapsed());
+                        Ok(Arc::new(network))
+                    })?;
+                    self.note(Stage::Controlled, how, elapsed);
+                    network
                 }
                 None => {
-                    let clusters = self.clustered.as_deref().expect("clustered stage ran");
-                    let timing = self.timed.as_deref().expect("timed stage ran");
                     let started = Instant::now();
-                    let network =
-                        build_control_network(self.netlist, clusters, timing, &self.options)?;
+                    let network = build_control_network(netlist, &clusters, &timing, &options)?;
                     self.record(Stage::Controlled, started);
-                    let network = Arc::new(network);
-                    if let (Some(engine), Some(key)) = (self.engine, key) {
-                        engine.store_controlled(key, &network);
-                    }
-                    network
+                    Arc::new(network)
                 }
             };
             self.controlled = Some(network);
@@ -815,14 +847,15 @@ impl<'a> DesyncFlow<'a> {
                 .unwrap_or_else(|| VectorSource::constant(vec![]));
             let started = Instant::now();
             let reference = self.sync_reference(&stimulus)?;
+            let async_model = self.async_model()?;
             let design = self.assembled.as_ref().expect("assembled above");
-            let report = verify_flow_equivalence_with_reference(
+            let report = verify_flow_equivalence_with_parts(
                 self.netlist,
                 design,
-                self.library,
                 &stimulus,
                 self.verify_cycles,
                 (*reference).clone(),
+                &async_model,
             )?;
             self.record(Stage::Verified, started);
             self.verified = Some(report);
@@ -838,46 +871,116 @@ impl<'a> DesyncFlow<'a> {
     /// and library identity, the simulation config, the STA clock period,
     /// the capture count and the stimulus digest — so protocol and margin
     /// sweeps, which change none of these, simulate the sync side once.
+    /// When the run does have to simulate, the synchronous netlist's
+    /// compiled model comes from its own cache tier.
     fn sync_reference(&mut self, stimulus: &VectorSource) -> Result<Arc<SimRun>, DesyncError> {
-        let design = self.assembled.as_ref().expect("assembled before verify");
-        let config = sim_config_for(design);
-        let period_ps = design.synchronous_period_ps();
+        let config = sim_config_from(&self.options.timing);
+        let period_ps = self
+            .timed
+            .as_ref()
+            .expect("timed stage ran before verify")
+            .sync_clock_period_ps;
         let cycles = self.verify_cycles;
         let digest = stimulus.content_digest();
-        // Consult whichever cache tier this flow has; on a miss, both tiers
-        // simulate through the same call and publish the result.
-        let engine_key = self
-            .engine
-            .map(|handle| handle.sync_run_key(config, period_ps, cycles, digest));
-        let memo_key: SyncMemoKey = (config.key_bits(), period_ps.to_bits(), cycles, digest);
-        let cached = match (&self.engine, &engine_key) {
-            (Some(handle), Some(key)) => handle.lookup_sync_run(key),
-            _ => self
-                .sync_memo
-                .as_ref()
-                .filter(|(key, _)| *key == memo_key)
-                .map(|(_, run)| Arc::clone(run)),
-        };
-        if let Some(hit) = cached {
-            self.sync_run_hits += 1;
-            return Ok(hit);
+        let netlist = self.netlist;
+        let library = self.library;
+        match self.engine {
+            Some(handle) => {
+                let key = handle.sync_run_key(config, period_ps, cycles, digest);
+                let mut model_served = false;
+                let (run, how) = handle.sync_run_or(key, || {
+                    let model_key = handle.compiled_key(None, config);
+                    let (model, model_how) = handle.compiled_or(model_key, || {
+                        Ok(Arc::new(CompiledModel::compile(netlist, library, config)))
+                    })?;
+                    model_served = model_how.served();
+                    let run =
+                        sync_reference_run_with_model(netlist, &model, period_ps, cycles, stimulus)
+                            .map_err(DesyncError::Netlist)?;
+                    Ok(Arc::new(run))
+                })?;
+                if model_served {
+                    self.compiled_model_hits += 1;
+                }
+                if how.served() {
+                    self.sync_run_hits += 1;
+                }
+                Ok(run)
+            }
+            None => {
+                let memo_key: SyncMemoKey =
+                    (config.key_bits(), period_ps.to_bits(), cycles, digest);
+                if let Some((key, run)) = &self.sync_memo {
+                    if *key == memo_key {
+                        self.sync_run_hits += 1;
+                        return Ok(Arc::clone(run));
+                    }
+                }
+                let model = match &self.sync_model_memo {
+                    Some((bits, model)) if *bits == config.key_bits() => {
+                        self.compiled_model_hits += 1;
+                        Arc::clone(model)
+                    }
+                    _ => {
+                        let model = Arc::new(CompiledModel::compile(netlist, library, config));
+                        self.sync_model_memo = Some((config.key_bits(), Arc::clone(&model)));
+                        model
+                    }
+                };
+                let run = Arc::new(
+                    sync_reference_run_with_model(netlist, &model, period_ps, cycles, stimulus)
+                        .map_err(DesyncError::Netlist)?,
+                );
+                self.sync_memo = Some((memo_key, Arc::clone(&run)));
+                Ok(run)
+            }
         }
-        let run = Arc::new(
-            sync_reference_run(
-                self.netlist,
-                self.library,
-                config,
-                period_ps,
-                cycles,
-                stimulus,
-            )
-            .map_err(DesyncError::Netlist)?,
-        );
-        match (&self.engine, engine_key) {
-            (Some(handle), Some(key)) => handle.store_sync_run(key, &run),
-            _ => self.sync_memo = Some((memo_key, Arc::clone(&run))),
+    }
+
+    /// The compiled model of the desynchronized datapath (the latch
+    /// netlist): every sweep point over one design shares it — protocol and
+    /// margin affect only the enable schedule that is *bound* onto the
+    /// model, never the datapath structure the model compiles.
+    fn async_model(&mut self) -> Result<Arc<CompiledModel>, DesyncError> {
+        let config = sim_config_from(&self.options.timing);
+        let prefix = self.options.stage_prefix(Stage::Latched);
+        let library = self.library;
+        match self.engine {
+            Some(handle) => {
+                let key = handle.compiled_key(Some(prefix), config);
+                let design = self.assembled.as_ref().expect("assembled before verify");
+                let (model, how) = handle.compiled_or(key, || {
+                    Ok(Arc::new(CompiledModel::compile(
+                        design.latch_netlist(),
+                        library,
+                        config,
+                    )))
+                })?;
+                if how.served() {
+                    self.compiled_model_hits += 1;
+                }
+                Ok(model)
+            }
+            None => {
+                let memo_key = (prefix, config.key_bits());
+                if let Some((key, model)) = &self.async_model_memo {
+                    if *key == memo_key {
+                        self.compiled_model_hits += 1;
+                        return Ok(Arc::clone(model));
+                    }
+                }
+                let model = {
+                    let design = self.assembled.as_ref().expect("assembled before verify");
+                    Arc::new(CompiledModel::compile(
+                        design.latch_netlist(),
+                        library,
+                        config,
+                    ))
+                };
+                self.async_model_memo = Some((memo_key, Arc::clone(&model)));
+                Ok(model)
+            }
         }
-        Ok(run)
     }
 
     /// How many times [`DesyncFlow::verified`] reused a cached synchronous
@@ -885,6 +988,20 @@ impl<'a> DesyncFlow<'a> {
     /// re-simulating the sync side.
     pub fn sync_run_cache_hits(&self) -> usize {
         self.sync_run_hits
+    }
+
+    /// How many times a simulation needed by [`DesyncFlow::verified`]
+    /// reused an already compiled [`CompiledModel`] (engine cache or
+    /// per-flow memo) instead of recompiling the topology.
+    pub fn compiled_model_cache_hits(&self) -> usize {
+        self.compiled_model_hits
+    }
+
+    /// How many [`Stage::Timed`] executions were served by *re-binding*
+    /// matched delays from a cached margin-independent [`SizingAnalysis`]
+    /// instead of re-running arrival propagation.
+    pub fn sizing_rebinds(&self) -> usize {
+        self.sizing_rebinds
     }
 
     /// Assembles a [`DesyncDesign`] from the cached artifacts, running
@@ -969,15 +1086,33 @@ impl<'a> DesyncFlow<'a> {
             cycle_time_ps: self.controlled.as_deref().map(|c| c.model.cycle_time_ps()),
             flow_equivalent: self.verified.as_ref().map(EquivalenceReport::is_equivalent),
             sync_run_cache_hits: self.sync_run_hits,
+            compiled_model_cache_hits: self.compiled_model_hits,
+            sizing_rebinds: self.sizing_rebinds,
         }
     }
 
     fn record(&mut self, stage: Stage, started: Instant) {
-        let elapsed = started.elapsed();
+        self.record_elapsed(stage, started.elapsed());
+    }
+
+    fn record_elapsed(&mut self, stage: Stage, elapsed: Duration) {
         let i = stage.index();
         self.runs[i] += 1;
         self.last_wall[i] = elapsed;
         self.total_wall[i] += elapsed;
+    }
+
+    /// Books an engine-served stage access: a hit (resident or coalesced
+    /// onto another flow's computation) counts as a cache hit; a
+    /// computation counts as a run with the wall time measured inside the
+    /// compute closure.
+    fn note(&mut self, stage: Stage, how: Fetched, elapsed: Option<Duration>) {
+        if how.served() {
+            self.cache_hits[stage.index()] += 1;
+        } else {
+            let elapsed = elapsed.expect("computed stages record their wall time");
+            self.record_elapsed(stage, elapsed);
+        }
     }
 }
 
@@ -985,6 +1120,10 @@ impl<'a> DesyncFlow<'a> {
 /// period bits, cycles, stimulus digest)` — the netlist and library are
 /// fixed for the flow's lifetime and need no representation.
 type SyncMemoKey = ([u64; 3], u64, usize, u64);
+
+/// Key of a detached flow's compiled-datapath-model memo: the
+/// latch-structure ([`Stage::Latched`]) prefix plus the `SimConfig` bits.
+type AsyncModelKey = (StagePrefix, [u64; 3]);
 
 /// The earliest stage whose inputs differ between two option sets.
 ///
@@ -1073,18 +1212,15 @@ fn build_sizing_jobs(
         .collect()
 }
 
-/// Executes one sizing job against an owned arrival snapshot.
+/// Executes one sizing job against an owned arrival snapshot, producing the
+/// worst-case combinational arrival per outgoing edge (margin-free — the
+/// margin is applied later by [`bind_timing`]).
 ///
 /// Both the serial and the pooled path run this exact function;
 /// [`StaSnapshot::arrival_from`] replays [`Sta::arrival_from`] bit-for-bit
 /// (asserted by a test in `desync-sta`), so scheduling cannot change a
 /// single bit of the result.
-fn run_sizing_job(
-    snapshot: &StaSnapshot,
-    library: &CellLibrary,
-    margin: f64,
-    job: &SourceSizingJob,
-) -> Vec<((usize, usize), MatchedDelay, f64)> {
+fn run_sizing_job(snapshot: &StaSnapshot, job: &SourceSizingJob) -> Vec<AnalyzedEdge> {
     let arrival = snapshot.arrival_from(&job.src_outputs);
     job.targets
         .iter()
@@ -1095,116 +1231,190 @@ fn run_sizing_job(
                     worst = worst.max(a);
                 }
             }
-            let matched = MatchedDelay::for_delay(worst, margin, library);
-            ((job.src_idx, *dst_idx), matched, job.launch_ps)
+            ((job.src_idx, *dst_idx), worst, job.launch_ps)
         })
         .collect()
 }
 
-/// One sized cluster edge: `((from, to), matched delay, launch overhead)`.
-type SizedEdge = ((usize, usize), MatchedDelay, f64);
+/// One analyzed cluster edge: `((from, to), worst arrival, launch
+/// overhead)`.
+type AnalyzedEdge = ((usize, usize), f64, f64);
 /// A sizing task handed to the persistent pool.
-type SizingTask = Box<dyn FnOnce() -> Vec<SizedEdge> + Send>;
+type SizingTask = Box<dyn FnOnce() -> Vec<AnalyzedEdge> + Send>;
 
-fn compute_timing(
+/// The margin-independent half of [`Stage::Timed`]: the results of every
+/// arrival-time propagation the stage needs, each edge and environment arc
+/// carried as a **zero-margin matched delay** — the chain sized to cover
+/// exactly the worst combinational arrival, with no safety margin applied
+/// yet — plus launch overheads and the synchronous clock period.
+///
+/// A margin sweep shares one analysis per netlist structure and derives
+/// each point's [`TimingTable`] through [`bind_timing`], which
+/// [`MatchedDelay::rebind`]s every base delay to the point's margin —
+/// bit-identical to a from-scratch timing run at that margin (rebinding
+/// re-sizes from the recorded combinational delay through the same
+/// [`MatchedDelay::for_delay`] arithmetic). [`DesyncEngine`] caches
+/// analyses under the margin-stripped Timed prefix; detached flows keep a
+/// per-flow memo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizingAnalysis {
+    /// Minimum clock period of the synchronous baseline (from STA), ps.
+    pub sync_clock_period_ps: f64,
+    /// Zero-margin matched delay per cluster edge `(from, to)` (its
+    /// `combinational_ps` is the edge's worst arrival).
+    pub edge_base: HashMap<(usize, usize), MatchedDelay>,
+    /// Launch overhead per cluster edge (see [`SourceSizingJob`]), ps.
+    pub launch_overhead_ps: HashMap<(usize, usize), f64>,
+    /// Zero-margin matched delay of the primary-input → register-data path
+    /// per input-fed cluster.
+    pub env_input_base: HashMap<usize, MatchedDelay>,
+    /// Zero-margin matched delay of the register → primary-output path per
+    /// output-feeding cluster.
+    pub env_output_base: HashMap<usize, MatchedDelay>,
+}
+
+impl crate::store::Weigh for SizingAnalysis {
+    /// Weight: one unit per analyzed edge and environment record.
+    fn weight(&self) -> usize {
+        self.edge_base.len()
+            + self.launch_overhead_ps.len()
+            + self.env_input_base.len()
+            + self.env_output_base.len()
+    }
+}
+
+/// Runs every arrival-time propagation of [`Stage::Timed`]: STA, one
+/// per-source-cluster job (optionally fanned out over the persistent
+/// sizing pool — bit-identical either way, every edge is independent) and
+/// the environment arcs. The result is margin-free; see [`bind_timing`].
+fn compute_sizing_analysis(
     netlist: &Netlist,
     library: &CellLibrary,
     clusters: &ClusterGraph,
     options: &DesyncOptions,
-    pool: Option<(&SizingPool, Arc<CellLibrary>)>,
-) -> TimingTable {
+    pool: Option<&SizingPool>,
+) -> SizingAnalysis {
     let sta = Sta::new(netlist, library, options.timing);
     let sync_clock_period_ps = sta.clock_period();
     let fanout = netlist.fanout_map();
 
     let jobs = build_sizing_jobs(netlist, clusters, &fanout, options);
-    let margin = options.matched_delay_margin;
     let snapshot = sta.snapshot();
-    let sized: Vec<SizedEdge> = match pool {
-        Some((pool, shared_library)) => {
+    let analyzed: Vec<AnalyzedEdge> = match pool {
+        Some(pool) => {
             // Fan the per-source jobs out over the persistent worker pool.
             // The jobs own their inputs (an arrival snapshot plus per-source
-            // net lists) and every edge is sized independently, so the
+            // net lists) and every edge is analyzed independently, so the
             // merged result is bit-identical regardless of scheduling.
             let snapshot = Arc::new(snapshot);
             let tasks: Vec<SizingTask> = jobs
                 .into_iter()
                 .map(|job| {
                     let snapshot = Arc::clone(&snapshot);
-                    let library = Arc::clone(&shared_library);
-                    Box::new(move || run_sizing_job(&snapshot, &library, margin, &job))
-                        as SizingTask
+                    Box::new(move || run_sizing_job(&snapshot, &job)) as SizingTask
                 })
                 .collect();
             pool.run(tasks).into_iter().flatten().collect()
         }
         None => jobs
             .iter()
-            .flat_map(|job| run_sizing_job(&snapshot, library, margin, job))
+            .flat_map(|job| run_sizing_job(&snapshot, job))
             .collect(),
     };
 
-    let mut matched_delays = HashMap::with_capacity(sized.len());
-    let mut launch_overhead_ps = HashMap::with_capacity(sized.len());
-    for (edge, matched, launch) in sized {
-        matched_delays.insert(edge, matched);
+    let mut edge_base = HashMap::with_capacity(analyzed.len());
+    let mut launch_overhead_ps = HashMap::with_capacity(analyzed.len());
+    for (edge, worst, launch) in analyzed {
+        edge_base.insert(edge, MatchedDelay::for_delay(worst, 0.0, library));
         launch_overhead_ps.insert(edge, launch);
     }
 
-    // Environment arcs (the paper's auxiliary arcs): the delay budget for
+    // Environment arcs (the paper's auxiliary arcs): the worst arrival for
     // data travelling from the primary inputs into each input-fed cluster,
     // and from each output-feeding cluster to the primary outputs. Computed
     // unconditionally so toggling `options.environment` (consumed at the
     // Controlled transition) never invalidates this stage.
-    let environment = {
-        let mut spec = EnvironmentSpec::default();
-        let input_arrival = sta.arrival_from(netlist.inputs());
-        for (idx, cluster) in clusters.clusters.iter().enumerate() {
-            if !clusters.input_fed[idx] {
-                continue;
-            }
-            let mut worst = 0.0_f64;
-            for &reg in &cluster.registers {
-                if let Some(d) = netlist.cell(reg).data_net() {
-                    if let Some(a) = input_arrival[d.index()] {
-                        worst = worst.max(a);
-                    }
+    let mut env_input_base = HashMap::new();
+    let mut env_output_base = HashMap::new();
+    let input_arrival = sta.arrival_from(netlist.inputs());
+    for (idx, cluster) in clusters.clusters.iter().enumerate() {
+        if !clusters.input_fed[idx] {
+            continue;
+        }
+        let mut worst = 0.0_f64;
+        for &reg in &cluster.registers {
+            if let Some(d) = netlist.cell(reg).data_net() {
+                if let Some(a) = input_arrival[d.index()] {
+                    worst = worst.max(a);
                 }
             }
-            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
-            spec.input_delay_ps
-                .insert(idx, matched.achieved_ps + options.timing.latch_d_to_q_ps);
         }
-        for (idx, cluster) in clusters.clusters.iter().enumerate() {
-            if !clusters.output_feeding[idx] {
-                continue;
-            }
-            let outputs: Vec<_> = cluster
-                .registers
-                .iter()
-                .map(|&r| netlist.cell(r).output)
-                .collect();
-            let arrival = sta.arrival_from(&outputs);
-            let worst = netlist
-                .outputs()
-                .iter()
-                .filter_map(|&o| arrival[o.index()])
-                .fold(0.0, f64::max);
-            let matched = MatchedDelay::for_delay(worst, options.matched_delay_margin, library);
-            spec.output_delay_ps.insert(
-                idx,
-                matched.achieved_ps
-                    + 2.0 * options.timing.latch_d_to_q_ps
-                    + options.timing.wire_delay_per_fanout_ps,
-            );
+        env_input_base.insert(idx, MatchedDelay::for_delay(worst, 0.0, library));
+    }
+    for (idx, cluster) in clusters.clusters.iter().enumerate() {
+        if !clusters.output_feeding[idx] {
+            continue;
         }
-        spec
-    };
+        let outputs: Vec<_> = cluster
+            .registers
+            .iter()
+            .map(|&r| netlist.cell(r).output)
+            .collect();
+        let arrival = sta.arrival_from(&outputs);
+        let worst = netlist
+            .outputs()
+            .iter()
+            .filter_map(|&o| arrival[o.index()])
+            .fold(0.0, f64::max);
+        env_output_base.insert(idx, MatchedDelay::for_delay(worst, 0.0, library));
+    }
 
-    TimingTable {
+    SizingAnalysis {
         sync_clock_period_ps,
-        matched_delays,
+        edge_base,
         launch_overhead_ps,
+        env_input_base,
+        env_output_base,
+    }
+}
+
+/// Binds a [`SizingAnalysis`] to a concrete matched-delay margin:
+/// [`MatchedDelay::rebind`]s every zero-margin base chain to the margin.
+/// This is the cheap, margin-dependent half of [`Stage::Timed`] — a rebind
+/// re-sizes from the recorded combinational delay through the same
+/// arithmetic the unsplit stage applied, so the produced [`TimingTable`]
+/// is bit-identical to a from-scratch run.
+fn bind_timing(
+    analysis: &SizingAnalysis,
+    options: &DesyncOptions,
+    library: &CellLibrary,
+) -> TimingTable {
+    let margin = options.matched_delay_margin;
+    let matched_delays = analysis
+        .edge_base
+        .iter()
+        .map(|(&edge, base)| (edge, base.rebind(margin, library)))
+        .collect();
+    let mut environment = EnvironmentSpec::default();
+    for (&idx, base) in &analysis.env_input_base {
+        let matched = base.rebind(margin, library);
+        environment
+            .input_delay_ps
+            .insert(idx, matched.achieved_ps + options.timing.latch_d_to_q_ps);
+    }
+    for (&idx, base) in &analysis.env_output_base {
+        let matched = base.rebind(margin, library);
+        environment.output_delay_ps.insert(
+            idx,
+            matched.achieved_ps
+                + 2.0 * options.timing.latch_d_to_q_ps
+                + options.timing.wire_delay_per_fanout_ps,
+        );
+    }
+    TimingTable {
+        sync_clock_period_ps: analysis.sync_clock_period_ps,
+        matched_delays,
+        launch_overhead_ps: analysis.launch_overhead_ps.clone(),
         environment,
     }
 }

@@ -1,24 +1,44 @@
 //! The batch service front-end over [`DesyncEngine`].
 //!
-//! A [`DesyncService`] is what a synthesis server's request loop talks to:
-//! submit a whole batch of `(netlist, library, options)` requests with
-//! [`DesyncService::run_batch`] and get every design back, computed with
+//! A [`DesyncService`] is what a synthesis server's request loop talks to.
+//! It accepts two kinds of work:
+//!
+//! * **Design batches** ([`DesyncService::run_batch`]): a slice of
+//!   `(netlist, library, options)` [`ServiceRequest`]s, each producing a
+//!   [`DesyncDesign`].
+//! * **Verification sweeps** ([`DesyncService::run_sweep`]): a slice of
+//!   [`SweepRequest`]s — `(netlist, library, options, stimulus, cycles)`
+//!   points, the protocol × margin × stimulus grid of a co-simulation
+//!   sweep — each producing an
+//!   [`EquivalenceReport`](crate::EquivalenceReport). Sweep points are
+//!   first-class service work: they are scheduled across the worker pool
+//!   like design requests, results are merged back **in request order**
+//!   (deterministic regardless of scheduling), and a [`SweepReport`]
+//!   accounts points, compiled-model reuses, sizing rebinds, sync-run
+//!   cache traffic and per-worker simulated events.
+//!
+//! Both entry points share the execution machinery:
 //!
 //! * **coalesced scheduling** — identical in-flight requests are grouped
-//!   onto *one* computation instead of racing each other to fill the same
-//!   store key (the engine tolerates such races, but racing flows burn CPU
-//!   computing the same artifact twice); duplicates receive clones of the
-//!   shared result,
+//!   onto *one* computation; duplicates receive clones of the shared
+//!   result. Below the request level, the engine's
+//!   [`ArtifactStore`](crate::store::ArtifactStore) additionally coalesces
+//!   racing computations of one *artifact*: when two distinct sweep points
+//!   both need a design's shared stage (or its sync reference run, or its
+//!   compiled datapath model), exactly one computes it and the other
+//!   blocks briefly and is served — artifacts are computed exactly once
+//!   per batch, never redundantly,
 //! * **bounded worker concurrency** — request groups execute on at most
 //!   [`DesyncService::concurrency`] threads, a bound derived from the
 //!   engine's [`DesyncRuntime`](crate::DesyncRuntime) so one handle sizes both the request
 //!   workers and the matched-delay sizing pool they fan into, and
-//! * **a per-batch [`ServiceReport`]** — request/coalescing counts plus the
-//!   engine's cache-hit, eviction and resident-weight deltas for the batch.
+//! * **per-batch reports** — [`ServiceReport`] / [`SweepReport`] with the
+//!   engine's cache-hit, eviction and resident-weight deltas.
 //!
 //! The service owns its engine, so the cache (and its capacity policy, see
 //! [`StoreConfig`](crate::StoreConfig)) persists across batches: a second
-//! batch over the same designs is served from the store.
+//! batch over the same designs is served from the store, and a sweep after
+//! a design batch reuses the construction stages the batch already built.
 //!
 //! ```
 //! use desync_core::{DesyncService, DesyncOptions, ServiceRequest};
@@ -53,11 +73,27 @@ use crate::engine::DesyncEngine;
 use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::options::DesyncOptions;
+use crate::verify::EquivalenceReport;
 use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::VectorSource;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether two `(netlist, library)` pairs denote the identical computation
+/// inputs. Short-circuits on pointer identity, then a structural hash,
+/// before any deep equality.
+fn same_inputs(
+    a_netlist: &Netlist,
+    a_library: &CellLibrary,
+    b_netlist: &Netlist,
+    b_library: &CellLibrary,
+) -> bool {
+    let same_netlist = std::ptr::eq(a_netlist, b_netlist)
+        || (a_netlist.structural_hash() == b_netlist.structural_hash() && a_netlist == b_netlist);
+    same_netlist && (std::ptr::eq(a_library, b_library) || a_library == b_library)
+}
 
 /// One unit of work for [`DesyncService::run_batch`].
 #[derive(Debug, Clone, Copy)]
@@ -84,13 +120,59 @@ impl<'a> ServiceRequest<'a> {
     /// netlist content, library and options) and can therefore share one
     /// result.
     fn coalesces_with(&self, other: &Self) -> bool {
-        if self.options != other.options {
-            return false;
+        self.options == other.options
+            && same_inputs(self.netlist, self.library, other.netlist, other.library)
+    }
+}
+
+/// One verification sweep point for [`DesyncService::run_sweep`]: a design
+/// request plus the co-simulation inputs (stimulus and capture count) its
+/// flow-equivalence check runs under.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRequest<'a> {
+    /// The synchronous netlist to desynchronize and verify against.
+    pub netlist: &'a Netlist,
+    /// The cell library to size and simulate against.
+    pub library: &'a CellLibrary,
+    /// The flow options of this point (protocol, margin, …).
+    pub options: DesyncOptions,
+    /// The input stimulus of the co-simulation.
+    pub stimulus: &'a VectorSource,
+    /// Number of captures compared per register.
+    pub cycles: usize,
+}
+
+impl<'a> SweepRequest<'a> {
+    /// Bundles one sweep point.
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+        stimulus: &'a VectorSource,
+        cycles: usize,
+    ) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+            stimulus,
+            cycles,
         }
-        let same_netlist = std::ptr::eq(self.netlist, other.netlist)
-            || (self.netlist.structural_hash() == other.netlist.structural_hash()
-                && self.netlist == other.netlist);
-        same_netlist && (std::ptr::eq(self.library, other.library) || self.library == other.library)
+    }
+
+    /// Whether two sweep points describe the identical verification (same
+    /// design computation and the same co-simulation inputs). The stimulus
+    /// short-circuits on pointer identity, then the content digest, and —
+    /// like the netlist's structural-hash check beside it — confirms a
+    /// digest match with full equality so a 64-bit collision can never
+    /// hand one point another point's report.
+    fn coalesces_with(&self, other: &Self) -> bool {
+        self.options == other.options
+            && self.cycles == other.cycles
+            && (std::ptr::eq(self.stimulus, other.stimulus)
+                || (self.stimulus.content_digest() == other.stimulus.content_digest()
+                    && self.stimulus == other.stimulus))
+            && same_inputs(self.netlist, self.library, other.netlist, other.library)
     }
 }
 
@@ -236,6 +318,128 @@ impl DesyncService {
         };
         ServiceOutcome { results, report }
     }
+
+    /// Runs a batch of verification sweep points and returns one
+    /// [`EquivalenceReport`] result per point, **in request order**, plus
+    /// the sweep statistics.
+    ///
+    /// Scheduling is identical to [`DesyncService::run_batch`]: identical
+    /// points coalesce onto one verification, distinct points run
+    /// concurrently on at most [`DesyncService::concurrency`] workers, and
+    /// every flow attaches to the shared engine. The engine's store
+    /// guarantees each underlying artifact — shared construction stages,
+    /// the per-design sync reference run, the per-design compiled datapath
+    /// model, the margin-independent sizing analysis — is computed
+    /// *exactly once* across the whole sweep (racing points coalesce at
+    /// the store), so the merged reports are bit-identical to running the
+    /// points serially in any order.
+    ///
+    /// Per-point errors (invalid options, missing stimulus, unsupported
+    /// netlists) land in that point's result slot; they fail the point,
+    /// never the sweep.
+    pub fn run_sweep(&self, requests: &[SweepRequest<'_>]) -> SweepOutcome {
+        let before = self.engine.report();
+        let started = Instant::now();
+
+        // Coalesce identical in-flight points, exactly like run_batch.
+        let mut groups: Vec<(SweepRequest<'_>, Vec<usize>)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(leader, _)| leader.coalesces_with(request))
+            {
+                Some((_, members)) => members.push(index),
+                None => groups.push((*request, vec![index])),
+            }
+        }
+
+        // One verification per group; each worker additionally accumulates
+        // the events its simulations actually committed (sync references
+        // served from the cache count zero — nothing was simulated).
+        let run_point =
+            |point: &SweepRequest<'_>| -> (Result<EquivalenceReport, DesyncError>, usize) {
+                let attempt = || -> Result<(EquivalenceReport, usize), DesyncError> {
+                    let mut flow = self
+                        .engine
+                        .flow(point.netlist, point.library, point.options)?;
+                    flow.set_verification(point.stimulus.clone(), point.cycles);
+                    let report = flow.verified()?.clone();
+                    let mut simulated = report.async_run.committed_events;
+                    if flow.sync_run_cache_hits() == 0 {
+                        simulated += report.sync_run.committed_events;
+                    }
+                    Ok((report, simulated))
+                };
+                match attempt() {
+                    Ok((report, simulated)) => (Ok(report), simulated),
+                    Err(error) => (Err(error), 0),
+                }
+            };
+
+        let slots: Vec<OnceLock<Result<EquivalenceReport, DesyncError>>> =
+            (0..groups.len()).map(|_| OnceLock::new()).collect();
+        let workers = self.concurrency.clamp(1, groups.len().max(1));
+        let mut per_worker_events = vec![0usize; workers];
+        if workers <= 1 || groups.len() <= 1 {
+            for (slot, (leader, _)) in slots.iter().zip(&groups) {
+                let (result, simulated) = run_point(leader);
+                per_worker_events[0] += simulated;
+                slot.set(result).expect("slot set once");
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (next, groups, slots, run_point) = (&next, &groups, &slots, &run_point);
+            std::thread::scope(|scope| {
+                for events in per_worker_events.iter_mut() {
+                    scope.spawn(move || loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((leader, _)) = groups.get(index) else {
+                            break;
+                        };
+                        let (result, simulated) = run_point(leader);
+                        *events += simulated;
+                        slots[index].set(result).expect("slot set once");
+                    });
+                }
+            });
+        }
+
+        // Deterministic merge: fan the shared results back out to every
+        // coalesced point slot, in request order.
+        let mut results: Vec<Option<Result<EquivalenceReport, DesyncError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (slot, (_, members)) in slots.into_iter().zip(&groups) {
+            let result = slot.into_inner().expect("every group executed");
+            for &index in &members[1..] {
+                results[index] = Some(result.clone());
+            }
+            results[members[0]] = Some(result);
+        }
+        let results: Vec<Result<EquivalenceReport, DesyncError>> = results
+            .into_iter()
+            .map(|slot| slot.expect("every point mapped to a group"))
+            .collect();
+
+        let wall = started.elapsed();
+        let after = self.engine.report();
+        let report = SweepReport {
+            points: requests.len(),
+            unique: groups.len(),
+            coalesced: requests.len() - groups.len(),
+            workers,
+            wall,
+            compile_reuses: after.compiled_model_hits - before.compiled_model_hits,
+            rebinds: after.sizing_hits - before.sizing_hits,
+            sync_run_hits: after.sync_run_hits - before.sync_run_hits,
+            sync_run_misses: after.sync_run_misses - before.sync_run_misses,
+            cache_hits: after.total_hits() - before.total_hits(),
+            cache_misses: after.total_misses() - before.total_misses(),
+            store_coalesced: after.store_coalesced - before.store_coalesced,
+            per_worker_events,
+            failures: results.iter().filter(|r| r.is_err()).count(),
+        };
+        SweepOutcome { results, report }
+    }
 }
 
 /// Everything [`DesyncService::run_batch`] produces.
@@ -289,6 +493,94 @@ impl fmt::Display for ServiceReport {
             f,
             "  store: {} hit(s) / {} miss(es), {} eviction(s), {} weight resident; {} failure(s)",
             self.cache_hits, self.cache_misses, self.evictions, self.resident_weight, self.failures
+        )
+    }
+}
+
+/// Everything [`DesyncService::run_sweep`] produces.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One result per submitted sweep point, in request order. Coalesced
+    /// points hold clones of their group's shared report.
+    pub results: Vec<Result<EquivalenceReport, DesyncError>>,
+    /// The sweep statistics.
+    pub report: SweepReport,
+}
+
+/// Statistics of one [`DesyncService::run_sweep`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Sweep points submitted.
+    pub points: usize,
+    /// Distinct verifications after coalescing.
+    pub unique: usize,
+    /// Points served by another point's verification (`points - unique`).
+    pub coalesced: usize,
+    /// Worker threads the sweep actually used.
+    pub workers: usize,
+    /// Wall time of the whole sweep.
+    pub wall: Duration,
+    /// Simulations that reused an already compiled model instead of
+    /// recompiling topology (compiled-model store hits during the sweep).
+    pub compile_reuses: usize,
+    /// Timed stages served by re-binding matched delays from a cached
+    /// margin-independent sizing analysis (sizing store hits).
+    pub rebinds: usize,
+    /// Sync reference runs served from the store during the sweep.
+    pub sync_run_hits: usize,
+    /// Sync reference runs that had to simulate (one per distinct sync
+    /// side when the store starts cold).
+    pub sync_run_misses: usize,
+    /// Engine stage-cache hits during the sweep.
+    pub cache_hits: usize,
+    /// Engine stage-cache misses during the sweep.
+    pub cache_misses: usize,
+    /// Artifact computations that coalesced onto another worker's
+    /// in-flight computation at the store (the exactly-once guarantee
+    /// under parallel scheduling).
+    pub store_coalesced: usize,
+    /// Events actually committed by each worker's simulations, indexed by
+    /// worker. The total is scheduling-independent; the split shows the
+    /// load balance.
+    pub per_worker_events: Vec<usize>,
+    /// Points whose result is an error.
+    pub failures: usize,
+}
+
+impl SweepReport {
+    /// Events committed across all workers.
+    pub fn events_simulated(&self) -> usize {
+        self.per_worker_events.iter().sum()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verification sweep: {} point(s), {} unique ({} coalesced), {} worker(s), wall {} us",
+            self.points,
+            self.unique,
+            self.coalesced,
+            self.workers,
+            self.wall.as_micros()
+        )?;
+        writeln!(
+            f,
+            "  reuse: {} compiled-model reuse(s), {} sizing rebind(s), \
+             sync runs {} hit(s) / {} miss(es), {} in-flight coalesced",
+            self.compile_reuses,
+            self.rebinds,
+            self.sync_run_hits,
+            self.sync_run_misses,
+            self.store_coalesced,
+        )?;
+        write!(
+            f,
+            "  events per worker: {:?} ({} total); {} failure(s)",
+            self.per_worker_events,
+            self.events_simulated(),
+            self.failures
         )
     }
 }
@@ -392,6 +684,84 @@ mod tests {
             Err(DesyncError::InvalidOptions(_))
         ));
         assert_eq!(outcome.report.failures, 2);
+    }
+
+    #[test]
+    fn sweep_results_match_detached_serial_flows_in_request_order() {
+        use crate::pipeline::DesyncFlow;
+        use crate::Protocol;
+
+        let n = pipeline3();
+        let library = CellLibrary::generic_90nm();
+        let a = n.find_net("a").unwrap();
+        let stim = VectorSource::pseudo_random(vec![a], 11);
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(3)).with_concurrency(3);
+        let mut requests = Vec::new();
+        for &protocol in Protocol::all() {
+            for margin in [0.05, 0.2] {
+                let options = DesyncOptions::default()
+                    .with_protocol(protocol)
+                    .with_margin(margin);
+                requests.push(SweepRequest::new(&n, &library, options, &stim, 12));
+            }
+        }
+        // A duplicate of the first point: must coalesce onto one check.
+        requests.push(requests[0]);
+
+        let outcome = service.run_sweep(&requests);
+        assert_eq!(outcome.results.len(), requests.len());
+        assert_eq!(outcome.report.points, 7);
+        assert_eq!(outcome.report.unique, 6);
+        assert_eq!(outcome.report.coalesced, 1);
+        assert_eq!(outcome.report.failures, 0);
+        // Deterministic merge: each slot equals a fresh detached flow.
+        for (request, result) in requests.iter().zip(&outcome.results) {
+            let mut fresh =
+                DesyncFlow::new(request.netlist, request.library, request.options).unwrap();
+            fresh.set_verification(request.stimulus.clone(), request.cycles);
+            assert_eq!(result.as_ref().unwrap(), fresh.verified().unwrap());
+        }
+        // Shared work was computed exactly once: one sync reference, one
+        // sync + one datapath model, one sizing analysis (the second
+        // margin re-bound from it).
+        assert_eq!(outcome.report.sync_run_misses, 1);
+        assert_eq!(outcome.report.sync_run_hits, 5);
+        assert_eq!(outcome.report.compile_reuses, 5);
+        assert_eq!(outcome.report.rebinds, 1);
+        assert!(outcome.report.events_simulated() > 0);
+        assert_eq!(
+            outcome.report.per_worker_events.len(),
+            outcome.report.workers
+        );
+        let text = outcome.report.to_string();
+        assert!(text.contains("verification sweep"), "{text}");
+        assert!(text.contains("rebind"), "{text}");
+    }
+
+    #[test]
+    fn sweep_errors_fail_only_their_point() {
+        let n = pipeline3();
+        let library = CellLibrary::generic_90nm();
+        let a = n.find_net("a").unwrap();
+        let stim = VectorSource::pseudo_random(vec![a], 3);
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(1));
+        let requests = vec![
+            SweepRequest::new(&n, &library, DesyncOptions::default(), &stim, 8),
+            SweepRequest::new(
+                &n,
+                &library,
+                DesyncOptions::default().with_margin(-1.0),
+                &stim,
+                8,
+            ),
+        ];
+        let outcome = service.run_sweep(&requests);
+        assert!(outcome.results[0].is_ok());
+        assert!(matches!(
+            outcome.results[1],
+            Err(DesyncError::InvalidOptions(_))
+        ));
+        assert_eq!(outcome.report.failures, 1);
     }
 
     #[test]

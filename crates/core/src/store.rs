@@ -27,8 +27,15 @@
 //!   bound hard). Splitting does mean a hot shard can evict while another
 //!   has headroom — configure one shard when exact LRU order matters more
 //!   than lock concurrency.
-//! * **Counters.** Hits, misses, evictions and resident weight are tracked
-//!   per kind and surfaced through
+//! * **In-flight coalescing.** [`ArtifactStore::get_or_try_compute`] keys
+//!   a registry of computations in progress: when several threads miss the
+//!   same key at once (a parallel verification sweep touching one design's
+//!   shared stages, say), exactly one computes and publishes while the
+//!   rest block on the in-flight cell and receive the shared value —
+//!   every artifact is computed *exactly once*, not merely "computed
+//!   redundantly but harmlessly" as with bare `get`/`insert`.
+//! * **Counters.** Hits, misses, evictions, coalesced waits and resident
+//!   weight are tracked per kind and surfaced through
 //!   [`EngineReport`](crate::EngineReport).
 //!
 //! The store is deliberately generic over key and value so tests (and a
@@ -39,7 +46,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The approximate in-memory size of a cached artifact, in abstract units
 /// (graph nodes, table entries, trace values — anything proportional to
@@ -155,6 +162,10 @@ pub struct StoreKindStats {
     pub misses: usize,
     /// Entries of this kind evicted by the capacity budget.
     pub evictions: usize,
+    /// [`ArtifactStore::get_or_try_compute`] calls that, after missing,
+    /// waited on another thread's in-flight computation of the same key
+    /// instead of computing themselves.
+    pub coalesced: usize,
     /// Summed weight of the resident entries of this kind.
     pub resident_weight: usize,
 }
@@ -178,12 +189,82 @@ impl StoreStats {
     pub fn total_evictions(&self) -> usize {
         self.kinds.iter().map(|k| k.evictions).sum()
     }
+
+    /// Coalesced in-flight waits summed over all kinds.
+    pub fn total_coalesced(&self) -> usize {
+        self.kinds.iter().map(|k| k.coalesced).sum()
+    }
+}
+
+/// One computation in progress, registered by
+/// [`ArtifactStore::get_or_try_compute`]. Followers block on `ready` until
+/// the leader resolves the state.
+#[derive(Debug)]
+struct Inflight<V> {
+    state: Mutex<InflightState<V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum InflightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published this value.
+    Done(V),
+    /// The leader's computation returned an error or panicked; a follower
+    /// should retry (and may become the next leader).
+    Failed,
+}
+
+/// Marks an in-flight computation as failed (waking its followers) and
+/// unregisters it if the leader unwinds or errors before publishing.
+struct InflightGuard<'a, K: StoreKey, V> {
+    registry: &'a Mutex<HashMap<K, Arc<Inflight<V>>>>,
+    cell: &'a Arc<Inflight<V>>,
+    key: K,
+    armed: bool,
+}
+
+impl<K: StoreKey, V> Drop for InflightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        *self.cell.state.lock().expect("inflight state poisoned") = InflightState::Failed;
+        self.cell.ready.notify_all();
+        self.registry
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(&self.key);
+    }
+}
+
+/// How [`ArtifactStore::get_or_try_compute`] obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched {
+    /// The value was resident in the store.
+    Hit,
+    /// Another thread was already computing the same key; this call waited
+    /// and received the shared value.
+    Coalesced,
+    /// This call computed (and published) the value.
+    Computed,
+}
+
+impl Fetched {
+    /// Whether the caller was spared the computation (resident hit or
+    /// coalesced onto another thread's computation).
+    pub fn served(self) -> bool {
+        !matches!(self, Fetched::Computed)
+    }
 }
 
 /// A sharded, weight-accounted LRU cache for desynchronization artifacts.
 ///
 /// See the [module documentation](self) for the design. The store is
-/// `Sync`; `get` and `insert` take one shard lock each.
+/// `Sync`; `get` and `insert` take one shard lock each, and
+/// [`ArtifactStore::get_or_try_compute`] additionally coordinates racing
+/// computations of one key through an in-flight registry.
 #[derive(Debug)]
 pub struct ArtifactStore<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
@@ -195,6 +276,13 @@ pub struct ArtifactStore<K, V> {
     shard_budget: Option<usize>,
     config: StoreConfig,
     kinds: usize,
+    /// Computations in progress, sharded by the same key hash as the
+    /// value shards so cold misses on unrelated designs do not serialize
+    /// on one registry lock. Entries live only while a leader computes;
+    /// the maps are normally empty.
+    inflight: Vec<Mutex<HashMap<K, Arc<Inflight<V>>>>>,
+    /// Per-kind count of calls that coalesced onto an in-flight leader.
+    coalesced: Vec<AtomicU64>,
 }
 
 impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
@@ -217,6 +305,101 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
                 shards,
             },
             kinds,
+            inflight: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            coalesced: (0..kinds).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Returns the value under `key`, computing it **exactly once** across
+    /// racing callers: a resident value is a plain hit; otherwise the first
+    /// caller (the *leader*) runs `compute` and publishes the result while
+    /// concurrent callers of the same key block and receive the shared
+    /// value. The [`Fetched`] tag says which of the three paths served this
+    /// call.
+    ///
+    /// A leader whose computation fails (or panics) wakes its followers,
+    /// which retry — one of them becomes the next leader, so an error never
+    /// wedges the key. Errors propagate only to the caller whose own
+    /// computation produced them.
+    ///
+    /// Counter semantics are *scheduling-independent*: a miss is counted
+    /// exactly when this call runs `compute` (so "misses" equals actual
+    /// computations no matter how many threads raced); every served call
+    /// counts a hit, and a call served by waiting on an in-flight leader
+    /// additionally increments the kind's `coalesced` counter. Under a
+    /// single thread this reproduces [`ArtifactStore::get`]'s hit/miss
+    /// accounting exactly.
+    pub fn get_or_try_compute<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, Fetched), E> {
+        let mut compute = Some(compute);
+        loop {
+            if let Some(value) = self.lookup_serving(&key) {
+                return Ok((value, Fetched::Hit));
+            }
+            // Register with the key's in-flight shard; first comer leads.
+            let registry = self.inflight_of(&key);
+            let (cell, leader) = {
+                let mut registry = registry.lock().expect("inflight registry poisoned");
+                match registry.get(&key) {
+                    Some(cell) => (Arc::clone(cell), false),
+                    None => {
+                        let cell = Arc::new(Inflight {
+                            state: Mutex::new(InflightState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        registry.insert(key, Arc::clone(&cell));
+                        (cell, true)
+                    }
+                }
+            };
+            if leader {
+                let mut guard = InflightGuard {
+                    registry,
+                    cell: &cell,
+                    key,
+                    armed: true,
+                };
+                // Double-check the store: a previous leader may have
+                // published (and unregistered) between this call's lookup
+                // and its registration. Serving the resident value keeps
+                // the exactly-once guarantee airtight.
+                if let Some(value) = self.lookup_serving(&key) {
+                    Self::resolve(&cell, &mut guard, registry, &key, value.clone());
+                    return Ok((value, Fetched::Hit));
+                }
+                // This call computes: that is the (one) miss of this key's
+                // computation, whatever raced it.
+                self.count_miss(&key);
+                // Compute outside every lock; the guard marks the cell
+                // failed if this unwinds.
+                let value = (compute.take().expect("leader runs compute once"))()?;
+                self.insert(key, value.clone());
+                Self::resolve(&cell, &mut guard, registry, &key, value.clone());
+                return Ok((value, Fetched::Computed));
+            }
+            // Follower: wait for the leader to resolve the cell.
+            let mut state = cell.state.lock().expect("inflight state poisoned");
+            while matches!(*state, InflightState::Pending) {
+                state = cell
+                    .ready
+                    .wait(state)
+                    .expect("inflight state poisoned while waiting");
+            }
+            match &*state {
+                InflightState::Done(value) => {
+                    let value = value.clone();
+                    drop(state);
+                    self.count_hit(&key);
+                    self.coalesced[key.kind()].fetch_add(1, Ordering::Relaxed);
+                    return Ok((value, Fetched::Coalesced));
+                }
+                // The leader failed; retry (possibly becoming the leader).
+                InflightState::Failed => continue,
+                InflightState::Pending => unreachable!("wait loop exits only when resolved"),
+            }
         }
     }
 
@@ -230,10 +413,70 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
         self.shards.len()
     }
 
-    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+    /// Marks an in-flight cell `Done(value)`, wakes its followers and
+    /// unregisters it; disarms `guard` so its failure path stays idle.
+    fn resolve(
+        cell: &Arc<Inflight<V>>,
+        guard: &mut InflightGuard<'_, K, V>,
+        registry: &Mutex<HashMap<K, Arc<Inflight<V>>>>,
+        key: &K,
+        value: V,
+    ) {
+        *cell.state.lock().expect("inflight state poisoned") = InflightState::Done(value);
+        cell.ready.notify_all();
+        guard.armed = false;
+        registry
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(key);
+    }
+
+    /// A lookup that counts a hit (and refreshes the LRU position) when the
+    /// key is resident, and counts *nothing* when it is not — the miss of a
+    /// [`ArtifactStore::get_or_try_compute`] call is booked by whichever
+    /// caller actually computes.
+    fn lookup_serving(&self, key: &K) -> Option<V> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let kind = key.kind();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let value = entry.value.clone();
+                shard.hits_by_kind[kind] += 1;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Books a hit for `key`'s kind (a coalesced call served off an
+    /// in-flight cell — the value never touched this caller's shard map).
+    fn count_hit(&self, key: &K) {
+        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        shard.hits_by_kind[key.kind()] += 1;
+    }
+
+    /// Books the miss of the one caller that computes `key`'s value.
+    fn count_miss(&self, key: &K) {
+        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        shard.misses_by_kind[key.kind()] += 1;
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// The in-flight registry shard of `key` (same hash as the value
+    /// shard, so unrelated keys register on independent locks).
+    fn inflight_of(&self, key: &K) -> &Mutex<HashMap<K, Arc<Inflight<V>>>> {
+        &self.inflight[self.shard_index(key)]
     }
 
     /// Looks `key` up, counting a hit or miss for its kind and refreshing
@@ -338,6 +581,9 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
                 slot.evictions += shard.evictions_by_kind[i];
                 slot.resident_weight += shard.resident_by_kind[i];
             }
+        }
+        for (slot, counter) in kinds.iter_mut().zip(&self.coalesced) {
+            slot.coalesced = counter.load(Ordering::Relaxed) as usize;
         }
         StoreStats {
             kinds,
@@ -507,5 +753,90 @@ mod tests {
     fn store_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ArtifactStore<Key, Blob>>();
+    }
+
+    #[test]
+    fn get_or_try_compute_hits_computes_and_propagates_errors() {
+        let s = store(None);
+        let (value, how) = s
+            .get_or_try_compute(Key(0, 1), || Ok::<_, ()>(Blob(7)))
+            .unwrap();
+        assert_eq!(value, Blob(7));
+        assert_eq!(how, Fetched::Computed);
+        assert!(!how.served());
+        // Second call: resident hit, the closure must not run.
+        let (value, how) = s
+            .get_or_try_compute(Key(0, 1), || -> Result<Blob, ()> {
+                panic!("must be served from the store")
+            })
+            .unwrap();
+        assert_eq!(value, Blob(7));
+        assert_eq!(how, Fetched::Hit);
+        assert!(how.served());
+        // Errors propagate and do not wedge the key.
+        let err = s.get_or_try_compute(Key(0, 2), || Err::<Blob, _>("boom"));
+        assert_eq!(err, Err("boom"));
+        let (value, how) = s
+            .get_or_try_compute(Key(0, 2), || Ok::<_, ()>(Blob(9)))
+            .unwrap();
+        assert_eq!((value, how), (Blob(9), Fetched::Computed));
+        let stats = s.stats();
+        assert_eq!(stats.kinds[0].hits, 1);
+        assert_eq!(stats.total_coalesced(), 0);
+    }
+
+    #[test]
+    fn racing_computations_of_one_key_coalesce_onto_one_leader() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let s = store(None);
+        let computations = AtomicUsize::new(0);
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let (value, _) = s
+                        .get_or_try_compute(Key(0, 42), || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Hold the cell open long enough that the other
+                            // threads genuinely race it.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<_, ()>(Blob(5))
+                        })
+                        .unwrap();
+                    assert_eq!(value, Blob(5));
+                });
+            }
+        });
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            1,
+            "exactly one leader computes; everyone else is served"
+        );
+        let stats = s.stats();
+        // Scheduling-independent counters: one miss (the computation),
+        // one hit per served thread; coalesced counts the subset that
+        // waited on the in-flight cell.
+        assert_eq!(stats.kinds[0].misses, 1, "{stats:?}");
+        assert_eq!(stats.kinds[0].hits, threads - 1, "{stats:?}");
+        assert!(stats.kinds[0].coalesced < threads, "{stats:?}");
+        assert_eq!(stats.total_coalesced(), stats.kinds[0].coalesced);
+    }
+
+    #[test]
+    fn a_panicking_leader_does_not_wedge_the_key() {
+        let s = store(None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.get_or_try_compute(Key(0, 3), || -> Result<Blob, ()> { panic!("leader") });
+        }));
+        assert!(result.is_err());
+        // The key is free again: the next caller becomes the leader.
+        let (value, how) = s
+            .get_or_try_compute(Key(0, 3), || Ok::<_, ()>(Blob(11)))
+            .unwrap();
+        assert_eq!((value, how), (Blob(11), Fetched::Computed));
     }
 }

@@ -12,8 +12,10 @@
 use crate::flow::DesyncDesign;
 use desync_mg::{FlowEquivalence, FlowTrace};
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::{AsyncTestbench, SimConfig, SimRun, SyncTestbench, VectorSource};
+use desync_sim::{AsyncTestbench, CompiledModel, SimConfig, SimRun, SyncTestbench, VectorSource};
+use desync_sta::TimingConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The outcome of a flow-equivalence check, together with the two underlying
 /// simulation runs (so callers can also extract activity for power
@@ -35,6 +37,38 @@ impl EquivalenceReport {
     pub fn is_equivalent(&self) -> bool {
         self.equivalence.is_equivalent()
     }
+
+    /// The divergence window of a non-equivalent report: the earliest
+    /// capture index at which any register's streams disagree, together
+    /// with the sorted set of diverging registers. `None` when the report
+    /// is equivalent (or the only failures are missing registers, which
+    /// have no position).
+    ///
+    /// This is the evidence a root-cause investigation starts from — e.g.
+    /// the pinned DLX/non-overlapping finding records *where* the program
+    /// counter first departs from the synchronous reference.
+    pub fn divergence(&self) -> Option<DivergenceWindow> {
+        let mismatches = &self.equivalence.mismatches;
+        let first_cycle = mismatches.iter().map(|m| m.position).min()?;
+        let mut registers: Vec<String> = mismatches.iter().map(|m| m.register.clone()).collect();
+        registers.sort();
+        registers.dedup();
+        Some(DivergenceWindow {
+            first_cycle,
+            registers,
+        })
+    }
+}
+
+/// Where a non-equivalent co-simulation first departs from the synchronous
+/// reference, see [`EquivalenceReport::divergence`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceWindow {
+    /// The earliest capture index with a disagreement (first divergent
+    /// cycle across all registers).
+    pub first_cycle: usize,
+    /// The registers whose capture streams diverge, sorted by name.
+    pub registers: Vec<String>,
 }
 
 impl crate::store::Weigh for SimRun {
@@ -52,16 +86,28 @@ impl crate::store::Weigh for SimRun {
     }
 }
 
-/// Builds the [`SimConfig`] matching the timing configuration a design was
-/// desynchronized with, so STA, the control model and the simulator agree on
-/// delays.
-pub fn sim_config_for(design: &DesyncDesign) -> SimConfig {
-    let timing = design.options().timing;
+impl crate::store::Weigh for CompiledModel {
+    /// Weight of a cached compiled simulation model: its flat-array
+    /// footprint (CSR entries, pin lists, delays).
+    fn weight(&self) -> usize {
+        self.footprint()
+    }
+}
+
+/// Builds the [`SimConfig`] matching a timing configuration, so STA, the
+/// control model and the simulator agree on delays.
+pub fn sim_config_from(timing: &TimingConfig) -> SimConfig {
     SimConfig {
         wire_delay_per_fanout_ps: timing.wire_delay_per_fanout_ps,
         clk_to_q_ps: timing.clk_to_q_ps,
         latch_d_to_q_ps: timing.latch_d_to_q_ps,
     }
+}
+
+/// Builds the [`SimConfig`] matching the timing configuration a design was
+/// desynchronized with ([`sim_config_from`] over the design's options).
+pub fn sim_config_for(design: &DesyncDesign) -> SimConfig {
+    sim_config_from(&design.options().timing)
 }
 
 /// Runs just the synchronous reference side of a flow-equivalence check:
@@ -87,6 +133,26 @@ pub fn sync_reference_run(
     stimulus: &VectorSource,
 ) -> Result<SimRun, desync_netlist::NetlistError> {
     let mut sync_tb = SyncTestbench::new(original, library, config)?;
+    Ok(sync_tb.run(cycles, period_ps, stimulus))
+}
+
+/// [`sync_reference_run`] over a pre-compiled simulation model of
+/// `original`, so repeated reference runs (distinct stimuli or cycle
+/// counts over one design) share a single topology compilation. The run is
+/// bit-identical to [`sync_reference_run`] with the model's compile inputs.
+///
+/// # Errors
+///
+/// [`NetlistError::ClockError`](desync_netlist::NetlistError::ClockError)
+/// if `original` does not have exactly one clock net.
+pub fn sync_reference_run_with_model(
+    original: &Netlist,
+    model: &Arc<CompiledModel>,
+    period_ps: f64,
+    cycles: usize,
+    stimulus: &VectorSource,
+) -> Result<SimRun, desync_netlist::NetlistError> {
+    let mut sync_tb = SyncTestbench::with_model(original, Arc::clone(model))?;
     Ok(sync_tb.run(cycles, period_ps, stimulus))
 }
 
@@ -140,13 +206,44 @@ pub fn verify_flow_equivalence_with_reference(
     cycles: usize,
     sync_run: SimRun,
 ) -> Result<EquivalenceReport, desync_netlist::NetlistError> {
+    let model = Arc::new(CompiledModel::compile(
+        design.latch_netlist(),
+        library,
+        sim_config_for(design),
+    ));
+    verify_flow_equivalence_with_parts(original, design, stimulus, cycles, sync_run, &model)
+}
+
+/// [`verify_flow_equivalence_with_reference`] over a pre-compiled model of
+/// the desynchronized datapath, so every point of a protocol × margin sweep
+/// binds its enable schedule onto one shared [`CompiledModel`] instead of
+/// recompiling the latch netlist's topology per point.
+///
+/// `async_model` must be compiled from `design.latch_netlist()` under
+/// [`sim_config_for`]`(design)` — the caches in
+/// [`DesyncEngine`](crate::DesyncEngine) enforce this by construction. The
+/// returned report is identical to a from-scratch
+/// [`verify_flow_equivalence`] call.
+///
+/// # Panics
+///
+/// Panics if `sync_run` covers a different number of cycles than `cycles`
+/// (see [`verify_flow_equivalence_with_reference`]), or if `async_model`
+/// was compiled from a different netlist structure.
+pub fn verify_flow_equivalence_with_parts(
+    original: &Netlist,
+    design: &DesyncDesign,
+    stimulus: &VectorSource,
+    cycles: usize,
+    sync_run: SimRun,
+    async_model: &Arc<CompiledModel>,
+) -> Result<EquivalenceReport, desync_netlist::NetlistError> {
     assert_eq!(
         sync_run.cycles, cycles,
         "sync reference run covers {} cycles but the equivalence check asked for {cycles}; \
          compute the reference with the same cycle count (see sync_reference_run)",
         sync_run.cycles,
     );
-    let config = sim_config_for(design);
 
     // Desynchronized run: enables from the control model, inputs retimed to
     // the captures of the input-fed master latches. The schedule starts only
@@ -169,7 +266,7 @@ pub fn verify_flow_equivalence_with_reference(
             }
         }
     }
-    let mut async_tb = AsyncTestbench::new(latch_netlist, library, config);
+    let mut async_tb = AsyncTestbench::with_model(latch_netlist, Arc::clone(async_model));
     let duration = bundle.horizon_ps + design.cycle_time_ps() + 1_000.0;
     let async_run = async_tb.run(duration, cycles, &bundle.schedule, &inputs);
 

@@ -68,10 +68,14 @@ fn bounded_engine_keeps_weight_inside_capacity_and_stays_correct() {
         "resident {} exceeds capacity {capacity}",
         report.resident_weight
     );
-    // Eviction counters surface per stage through the report.
+    // Eviction counters surface per kind through the report (stages plus
+    // the sync-run, compiled-model and sizing-analysis caches).
     assert_eq!(
         report.total_evictions(),
-        report.stages.iter().map(|s| s.evictions).sum::<usize>() + report.sync_run_evictions,
+        report.stages.iter().map(|s| s.evictions).sum::<usize>()
+            + report.sync_run_evictions
+            + report.compiled_model_evictions
+            + report.sizing_evictions,
     );
 
     // Every design equals its detached (cache-less) computation even

@@ -16,8 +16,18 @@
 //! # Kernel design
 //!
 //! The kernel is allocation-free on the hot path (after construction and
-//! queue warm-up, committing an event allocates nothing):
+//! queue warm-up, committing an event allocates nothing), and the
+//! structure-dependent half of construction is shareable:
 //!
+//! * **Compiled model + cursor split.** Everything derived from the netlist
+//!   structure and the library — CSR topology, pin lists, per-cell delays,
+//!   constant seeds, the register list — lives in an immutable
+//!   [`CompiledModel`] built once by [`CompiledModel::compile`]. An
+//!   `EventSimulator` is a cursor over an `Arc` of that model
+//!   ([`EventSimulator::with_model`]): it owns only the per-run mutable
+//!   state (net values, the calendar queue, activity, captures, the watch
+//!   list), so a verification sweep re-binds schedules and stimuli onto one
+//!   compiled model instead of recompiling topology per point.
 //! * **Integer time keys.** Events are ordered by a `u64` key — the IEEE-754
 //!   bit pattern of the (always non-negative, finite) f64 picosecond time.
 //!   For non-negative finite doubles the bit pattern is order-isomorphic to
@@ -44,12 +54,14 @@
 //!   name lookup on the commit path.
 
 use crate::activity::Activity;
+use crate::model::CompiledModel;
 use crate::waveform::{Waveform, WaveformSet};
 use desync_netlist::value::{evaluate, evaluate_c_element, evaluate_latch};
 use desync_netlist::{CellId, CellKind, CellLibrary, NetId, Netlist, Value};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -244,28 +256,21 @@ impl CalendarQueue {
     }
 }
 
-/// An event-driven gate-level simulator bound to one netlist.
+/// An event-driven gate-level simulator: a per-run *cursor* over a shared
+/// [`CompiledModel`] of one netlist.
 #[derive(Debug, Clone)]
 pub struct EventSimulator<'a> {
     netlist: &'a Netlist,
-    config: SimConfig,
+    /// The immutable structure half: topology, pin lists, delays. Shared
+    /// across cursors (and across sweep points, via `desync-core`'s
+    /// artifact store).
+    model: Arc<CompiledModel>,
     values: Vec<Value>,
     /// The value most recently *scheduled* for each net (projected value).
     /// Cells compare against this, not against the committed value, so that
     /// a pending event is always followed by a corrective event when the
     /// inputs change back before it commits.
     projected: Vec<Value>,
-    /// CSR net → reader cells: readers of net `n` are
-    /// `reader_cells[reader_offsets[n]..reader_offsets[n + 1]]`.
-    reader_offsets: Vec<u32>,
-    reader_cells: Vec<CellId>,
-    /// Flattened cell metadata (kind, output, input CSR), so the hot path
-    /// never chases the netlist's per-cell `Vec<NetId>` pin lists.
-    cell_kind: Vec<CellKind>,
-    cell_output: Vec<NetId>,
-    input_offsets: Vec<u32>,
-    input_nets: Vec<NetId>,
-    cell_delay: Vec<f64>,
     queue: CalendarQueue,
     seq: u64,
     time: f64,
@@ -285,77 +290,42 @@ pub struct EventSimulator<'a> {
 }
 
 impl<'a> EventSimulator<'a> {
-    /// Creates a simulator for `netlist` with delays from `library`.
-    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, config: SimConfig) -> Self {
-        let fanout = netlist.fanout_map();
-        let num_nets = netlist.num_nets();
-        let num_cells = netlist.num_cells();
+    /// Creates a simulator for `netlist` with delays from `library`,
+    /// compiling a private model. When several runs share one netlist
+    /// structure, compile once and use [`EventSimulator::with_model`].
+    pub fn new(netlist: &'a Netlist, library: &CellLibrary, config: SimConfig) -> Self {
+        Self::with_model(
+            netlist,
+            Arc::new(CompiledModel::compile(netlist, library, config)),
+        )
+    }
 
-        let mut cell_kind = Vec::with_capacity(num_cells);
-        let mut cell_output = Vec::with_capacity(num_cells);
-        let mut cell_delay = Vec::with_capacity(num_cells);
-        let mut input_offsets = Vec::with_capacity(num_cells + 1);
-        let mut input_nets = Vec::new();
-        input_offsets.push(0u32);
-        for (_, c) in netlist.cells() {
-            let fo = fanout[c.output.index()].max(1);
-            let base = match c.kind {
-                CellKind::Dff => config.clk_to_q_ps,
-                CellKind::LatchLow | CellKind::LatchHigh => config.latch_d_to_q_ps,
-                _ => library
-                    .template(c.kind)
-                    .instance_delay_ps(c.inputs.len().max(1), fo),
-            };
-            cell_kind.push(c.kind);
-            cell_output.push(c.output);
-            cell_delay.push(base + config.wire_delay_per_fanout_ps * fo as f64);
-            input_nets.extend_from_slice(&c.inputs);
-            input_offsets.push(input_nets.len() as u32);
-        }
-
-        // CSR reader map: count, prefix-sum, fill. A flip-flop only reacts
-        // to its clock pin (the data pin is merely sampled at the edge), so
-        // it is not registered as a reader of its data net — pruning the
-        // no-op evaluation that every data-net commit would otherwise
-        // trigger. (When data and clock share a net the reader must stay.)
-        let reads = |kind: CellKind, inputs: &[NetId], position: usize| -> bool {
-            !(kind == CellKind::Dff && position == 0 && inputs[0] != inputs[1])
-        };
-        let mut reader_offsets = vec![0u32; num_nets + 1];
-        for (_, c) in netlist.cells() {
-            for (position, &input) in c.inputs.iter().enumerate() {
-                if reads(c.kind, &c.inputs, position) {
-                    reader_offsets[input.index() + 1] += 1;
-                }
-            }
-        }
-        for i in 0..num_nets {
-            reader_offsets[i + 1] += reader_offsets[i];
-        }
-        let mut reader_cells = vec![CellId(0); reader_offsets[num_nets] as usize];
-        let mut fill = reader_offsets.clone();
-        for (id, c) in netlist.cells() {
-            for (position, &input) in c.inputs.iter().enumerate() {
-                if reads(c.kind, &c.inputs, position) {
-                    let slot = &mut fill[input.index()];
-                    reader_cells[*slot as usize] = id;
-                    *slot += 1;
-                }
-            }
-        }
-
+    /// Creates a cursor over a previously compiled `model` of `netlist`.
+    ///
+    /// The run is bit-identical to one from [`EventSimulator::new`] with
+    /// the inputs the model was compiled from — construction only allocates
+    /// the per-run state vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's dimensions do not match `netlist` (the model
+    /// was compiled from a different structure).
+    pub fn with_model(netlist: &'a Netlist, model: Arc<CompiledModel>) -> Self {
+        assert!(
+            model.num_nets() == netlist.num_nets() && model.num_cells() == netlist.num_cells(),
+            "compiled model ({} nets, {} cells) does not match netlist `{}` ({} nets, {} cells)",
+            model.num_nets(),
+            model.num_cells(),
+            netlist.name(),
+            netlist.num_nets(),
+            netlist.num_cells(),
+        );
+        let num_nets = model.num_nets();
         let mut sim = Self {
             netlist,
-            config,
+            model,
             values: vec![Value::X; num_nets],
             projected: vec![Value::X; num_nets],
-            reader_offsets,
-            reader_cells,
-            cell_kind,
-            cell_output,
-            input_offsets,
-            input_nets,
-            cell_delay,
             queue: CalendarQueue::new(),
             seq: 0,
             time: 0.0,
@@ -367,16 +337,19 @@ impl<'a> EventSimulator<'a> {
             activity: Activity::new(num_nets),
             captures: Vec::new(),
         };
-        // Constant drivers have no inputs, so nothing would ever trigger
-        // their evaluation; seed their outputs at time zero.
-        for (_, cell) in netlist.cells() {
-            match cell.kind {
-                CellKind::Const0 => sim.schedule(cell.output, Value::Zero, 0.0),
-                CellKind::Const1 => sim.schedule(cell.output, Value::One, 0.0),
-                _ => {}
-            }
+        // Seed the constant drivers at time zero, in the same (cell) order
+        // the old constructor used — the order fixes the event sequence
+        // numbers, keeping runs bit-identical.
+        for i in 0..sim.model.const_seeds.len() {
+            let (net, value) = sim.model.const_seeds[i];
+            sim.schedule(net, value, 0.0);
         }
         sim
+    }
+
+    /// The compiled model this cursor runs over.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
     }
 
     /// The current simulation time in picoseconds.
@@ -385,8 +358,8 @@ impl<'a> EventSimulator<'a> {
     }
 
     /// The configuration in use.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
+    pub fn config(&self) -> SimConfig {
+        self.model.config
     }
 
     /// Total number of committed events since construction.
@@ -486,11 +459,9 @@ impl<'a> EventSimulator<'a> {
     /// Forces the output nets of all flip-flops and latches to `value` at
     /// the current time, modelling a global reset of the register state.
     pub fn initialize_registers(&mut self, value: Value) {
-        let netlist = self.netlist;
-        for (_, cell) in netlist.cells() {
-            if cell.kind == CellKind::Dff || cell.kind.is_latch() {
-                self.schedule(cell.output, value, self.time);
-            }
+        for i in 0..self.model.register_outputs.len() {
+            let output = self.model.register_outputs[i];
+            self.schedule(output, value, self.time);
         }
     }
 
@@ -549,10 +520,10 @@ impl<'a> EventSimulator<'a> {
         }
         // React: evaluate every reader of the changed net (a contiguous CSR
         // slice — nothing is cloned).
-        let start = self.reader_offsets[net] as usize;
-        let end = self.reader_offsets[net + 1] as usize;
+        let start = self.model.reader_offsets[net] as usize;
+        let end = self.model.reader_offsets[net + 1] as usize;
         for i in start..end {
-            let cell_id = self.reader_cells[i];
+            let cell_id = self.model.reader_cells[i];
             self.evaluate_cell(cell_id, event.net, old, event.value);
         }
         1
@@ -561,26 +532,30 @@ impl<'a> EventSimulator<'a> {
     /// Gathers the committed input values of cell `ci` into the reused
     /// scratch buffer.
     fn gather_inputs(&mut self, ci: usize) {
-        let start = self.input_offsets[ci] as usize;
-        let end = self.input_offsets[ci + 1] as usize;
+        let start = self.model.input_offsets[ci] as usize;
+        let end = self.model.input_offsets[ci + 1] as usize;
         self.scratch.clear();
-        let (scratch, values, input_nets) = (&mut self.scratch, &self.values, &self.input_nets);
-        scratch.extend(input_nets[start..end].iter().map(|n| values[n.index()]));
+        let (scratch, values, model) = (&mut self.scratch, &self.values, &self.model);
+        scratch.extend(
+            model.input_nets[start..end]
+                .iter()
+                .map(|n| values[n.index()]),
+        );
     }
 
     fn evaluate_cell(&mut self, cell_id: CellId, changed: NetId, old: Value, new: Value) {
         let ci = cell_id.index();
-        let kind = self.cell_kind[ci];
-        let delay = self.cell_delay[ci];
-        let pins = self.input_offsets[ci] as usize;
+        let kind = self.model.cell_kind[ci];
+        let delay = self.model.cell_delay[ci];
+        let pins = self.model.input_offsets[ci] as usize;
         match kind {
             CellKind::Dff => {
-                let clk = self.input_nets[pins + 1];
+                let clk = self.model.input_nets[pins + 1];
                 if changed == clk && new == Value::One && old != Value::One {
                     // Rising clock edge: capture D (read once, reused for
                     // both the capture record and the scheduled output).
-                    let d = self.values[self.input_nets[pins].index()];
-                    let output = self.cell_output[ci];
+                    let d = self.values[self.model.input_nets[pins].index()];
+                    let output = self.model.cell_output[ci];
                     self.captures.push(Capture {
                         time_ps: self.time,
                         cell: cell_id,
@@ -591,10 +566,10 @@ impl<'a> EventSimulator<'a> {
             }
             CellKind::LatchLow | CellKind::LatchHigh => {
                 let transparent_high = kind == CellKind::LatchHigh;
-                let d = self.values[self.input_nets[pins].index()];
-                let enable_net = self.input_nets[pins + 1];
+                let d = self.values[self.model.input_nets[pins].index()];
+                let enable_net = self.model.input_nets[pins + 1];
                 let en = self.values[enable_net.index()];
-                let output = self.cell_output[ci];
+                let output = self.model.cell_output[ci];
                 // The held state is the value the output is moving towards
                 // (the last scheduled value), so that pending events and the
                 // hold behaviour stay consistent.
@@ -619,7 +594,7 @@ impl<'a> EventSimulator<'a> {
             }
             CellKind::CElement => {
                 self.gather_inputs(ci);
-                let output = self.cell_output[ci];
+                let output = self.model.cell_output[ci];
                 let stored = self.projected[output.index()];
                 let q = evaluate_c_element(&self.scratch, stored);
                 if q != stored {
@@ -628,7 +603,7 @@ impl<'a> EventSimulator<'a> {
             }
             kind => {
                 self.gather_inputs(ci);
-                let output = self.cell_output[ci];
+                let output = self.model.cell_output[ci];
                 let q = evaluate(kind, &self.scratch);
                 if q != self.projected[output.index()] {
                     self.schedule(output, q, self.time + delay);
@@ -886,6 +861,59 @@ mod tests {
         // a: X->1->0->1 gives two counted transitions; y follows.
         assert_eq!(sim.activity.transitions_on(a), 2);
         assert_eq!(sim.activity.transitions_on(y), 2);
+    }
+
+    #[test]
+    fn cursors_over_a_shared_model_match_a_private_compile() {
+        // Two cursors over one compiled model, versus a fresh `new` per
+        // run: committed values, captures and activity must coincide.
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let d = n.add_input("d");
+        let q = n.add_output("q");
+        let w = n.add_net("w");
+        n.add_gate("g", CellKind::Not, &[d], w).unwrap();
+        n.add_dff("r", w, clk, q).unwrap();
+        let l = lib();
+        let model = Arc::new(CompiledModel::compile(&n, &l, SimConfig::default()));
+        let drive = |sim: &mut EventSimulator<'_>| {
+            sim.initialize_registers(Value::Zero);
+            sim.set(clk, Value::Zero);
+            sim.set(d, Value::One);
+            sim.settle(1000);
+            sim.schedule(clk, Value::One, sim.time() + 100.0);
+            sim.settle(1000);
+        };
+        let mut fresh = EventSimulator::new(&n, &l, SimConfig::default());
+        drive(&mut fresh);
+        for _ in 0..2 {
+            let mut cursor = EventSimulator::with_model(&n, Arc::clone(&model));
+            drive(&mut cursor);
+            assert_eq!(cursor.value(q), fresh.value(q));
+            assert_eq!(cursor.captures, fresh.captures);
+            assert_eq!(cursor.committed_events(), fresh.committed_events());
+            assert_eq!(
+                cursor.activity.total_transitions(),
+                fresh.activity.total_transitions()
+            );
+            assert_eq!(cursor.config(), fresh.config());
+            assert_eq!(cursor.model().config(), fresh.model().config());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match netlist")]
+    fn mismatched_model_is_rejected() {
+        let mut a = Netlist::new("a");
+        let x = a.add_input("x");
+        a.mark_output(x);
+        let mut b = Netlist::new("b");
+        let y = b.add_input("y");
+        let z = b.add_output("z");
+        b.add_gate("g", CellKind::Buf, &[y], z).unwrap();
+        let l = lib();
+        let model = Arc::new(CompiledModel::compile(&a, &l, SimConfig::default()));
+        let _ = EventSimulator::with_model(&b, model);
     }
 
     #[test]

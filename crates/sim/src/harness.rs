@@ -3,11 +3,13 @@
 
 use crate::activity::Activity;
 use crate::engine::{EventSimulator, SimConfig};
+use crate::model::CompiledModel;
 use crate::stimulus::VectorSource;
 use crate::waveform::WaveformSet;
 use desync_mg::FlowTrace;
 use desync_netlist::{CellLibrary, NetId, Netlist, NetlistError, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The observable result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,6 +98,27 @@ impl<'a> SyncTestbench<'a> {
         Ok(Self {
             netlist,
             sim: EventSimulator::new(netlist, library, config),
+            clock,
+        })
+    }
+
+    /// Like [`SyncTestbench::new`] but over a previously compiled `model`
+    /// of `netlist`, so repeated testbenches share one topology compilation
+    /// (see [`CompiledModel`]). Runs are bit-identical to
+    /// [`SyncTestbench::new`] with the model's compile inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ClockError`] if the netlist does not have
+    /// exactly one clock net.
+    pub fn with_model(
+        netlist: &'a Netlist,
+        model: Arc<CompiledModel>,
+    ) -> Result<Self, NetlistError> {
+        let clock = netlist.single_clock()?;
+        Ok(Self {
+            netlist,
+            sim: EventSimulator::with_model(netlist, model),
             clock,
         })
     }
@@ -223,6 +246,17 @@ impl<'a> AsyncTestbench<'a> {
         Self {
             netlist,
             sim: EventSimulator::new(netlist, library, config),
+        }
+    }
+
+    /// Like [`AsyncTestbench::new`] but over a previously compiled `model`
+    /// of `netlist` — the sweep-point fast path: every protocol × margin
+    /// point of a verification sweep simulates the same latch datapath, so
+    /// they all bind their schedules onto one [`CompiledModel`].
+    pub fn with_model(netlist: &'a Netlist, model: Arc<CompiledModel>) -> Self {
+        Self {
+            netlist,
+            sim: EventSimulator::with_model(netlist, model),
         }
     }
 

@@ -16,27 +16,46 @@
 //!   whose latch-enable waveforms come from the timed marked-graph model of
 //!   the control network.
 //!
-//! # Kernel design
+//! # Kernel design: compiled model + cursor
 //!
 //! Gate-level co-simulation is the hot path of flow-equivalence
 //! verification (every knob sweep ends in two simulations), so the kernel
-//! is built to commit events without allocating:
+//! splits what is *shareable* from what is *per-run* and commits events
+//! without allocating:
 //!
-//! * events are ordered by **integer time keys** (the IEEE-754 bit pattern
+//! * **[`CompiledModel`]** holds everything derived from the netlist
+//!   structure and the library — the CSR-flattened topology (reader map,
+//!   per-cell pin lists), per-cell delays, constant-driver seeds and the
+//!   register list. It is a pure function of `(netlist, library,
+//!   [`SimConfig`])`, compiled once by [`CompiledModel::compile`] and
+//!   shared behind an `Arc`.
+//! * **[`EventSimulator`]** is a cheap *cursor* over a compiled model
+//!   ([`EventSimulator::with_model`]): it owns only the per-run mutable
+//!   state (net values, the pending-event queue, activity counters,
+//!   captures, the watch list). A verification sweep therefore compiles
+//!   each datapath once and re-binds per-point enable schedules and
+//!   stimuli onto the shared model; `desync-core` caches compiled models
+//!   in its artifact store next to the stage artifacts.
+//! * Events are ordered by **integer time keys** (the IEEE-754 bit pattern
 //!   of the non-negative f64 picosecond time — order-isomorphic to the
 //!   numeric value, so the order is total and results stay bit-identical to
 //!   an f64 kernel); non-finite times are rejected at the
-//!   [`EventSimulator::schedule`] boundary,
-//! * the pending-event set is a **bucketed calendar queue** with a binary
-//!   heap overflow tier for far-future events (up-front enable schedules),
-//! * netlist topology (reader map, per-cell pin lists) is flattened into
-//!   **CSR arrays**, input values are gathered into one reused scratch
-//!   buffer, and flip-flops are not registered as readers of their data
-//!   nets (they only react to clock edges),
-//! * watched nets are a **bitset**, waveforms are recorded per [`NetId`]
+//!   [`EventSimulator::schedule`] boundary.
+//! * The pending-event set is a **bucketed calendar queue** with a binary
+//!   heap overflow tier for far-future events (up-front enable schedules).
+//! * Input values are gathered into one reused scratch buffer, and
+//!   flip-flops are not registered as readers of their data nets (they
+//!   only react to clock edges).
+//! * Watched nets are a **bitset**, waveforms are recorded per [`NetId`]
 //!   and names are resolved once at export
 //!   ([`EventSimulator::waveforms`]), and capture streams are grouped per
 //!   register before any name is cloned.
+//!
+//! Both harnesses take either a `(library, config)` pair or a pre-compiled
+//! model ([`SyncTestbench::with_model`], [`AsyncTestbench::with_model`]);
+//! the two paths are bit-identical by construction — the cursor seeds
+//! constants in the same order the monolithic constructor did, so event
+//! sequence numbers (the tie-breakers of the total event order) coincide.
 //!
 //! A golden-trace property suite (`desync-core/tests/sim_golden.rs`) pins
 //! the kernel's captures, activity counters and waveforms byte-identical to
@@ -77,11 +96,13 @@
 pub mod activity;
 pub mod engine;
 pub mod harness;
+pub mod model;
 pub mod stimulus;
 pub mod waveform;
 
 pub use activity::Activity;
 pub use engine::{EventSimulator, SimConfig};
 pub use harness::{AsyncTestbench, EnableSchedule, SimRun, SyncTestbench};
+pub use model::CompiledModel;
 pub use stimulus::VectorSource;
 pub use waveform::{Waveform, WaveformSet};

@@ -50,6 +50,22 @@ impl MatchedDelay {
         }
     }
 
+    /// Re-sizes this delay for a different safety `margin` without
+    /// re-running arrival-time analysis: the worst-case combinational delay
+    /// being matched is already recorded in `self`, and the margin only
+    /// scales the target the chain is sized against.
+    ///
+    /// This is the per-point rebinding hook of margin sweeps: the
+    /// `desync-core` timing stage computes its arrival analysis once per
+    /// netlist structure, stores each edge as a *zero-margin* base chain,
+    /// and derives each margin point's delays by rebinding those bases.
+    /// A rebind goes through exactly the [`MatchedDelay::for_delay`]
+    /// arithmetic, so it is bit-identical to a from-scratch sizing at
+    /// that margin.
+    pub fn rebind(&self, margin: f64, library: &CellLibrary) -> Self {
+        Self::for_delay(self.combinational_ps, margin, library)
+    }
+
     /// Whether the chain delay covers the combinational delay (the defining
     /// safety property of a matched delay).
     pub fn covers_logic(&self) -> bool {
@@ -115,6 +131,21 @@ mod tests {
         assert_eq!(md.combinational_ps, 0.0);
         assert_eq!(md.margin, 0.0);
         assert_eq!(md.num_cells, 1);
+    }
+
+    #[test]
+    fn rebind_equals_fresh_sizing_at_the_new_margin() {
+        let lib = CellLibrary::generic_90nm();
+        for delay in [0.0, 137.5, 800.0, 4321.0] {
+            let base = MatchedDelay::for_delay(delay, 0.05, &lib);
+            for margin in [0.0, 0.05, 0.1, 0.2, 0.5] {
+                assert_eq!(
+                    base.rebind(margin, &lib),
+                    MatchedDelay::for_delay(delay, margin, &lib),
+                    "delay {delay} margin {margin}"
+                );
+            }
+        }
     }
 
     #[test]

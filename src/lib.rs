@@ -97,15 +97,15 @@ pub mod prelude {
     pub use desync_core::{
         sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
         ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError, DesyncFlow,
-        DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, EngineReport,
-        EquivalenceReport, FlowReport, Protocol, ServiceReport, ServiceRequest, Stage, StoreConfig,
-        TimingTable,
+        DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, DivergenceWindow,
+        EngineReport, EquivalenceReport, FlowReport, Protocol, ServiceReport, ServiceRequest,
+        SizingAnalysis, Stage, StoreConfig, SweepReport, SweepRequest, TimingTable,
     };
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};
     pub use desync_power::{
         dynamic_power_mw, leakage_power_mw, AreaReport, ClockTree, PowerReport,
     };
-    pub use desync_sim::{AsyncTestbench, SimConfig, SyncTestbench, VectorSource};
+    pub use desync_sim::{AsyncTestbench, CompiledModel, SimConfig, SyncTestbench, VectorSource};
     pub use desync_sta::{MatchedDelay, Sta, TimingConfig};
 }

@@ -7,13 +7,17 @@
 //! body runs for [`ProptestConfig::cases`] pseudo-random samples seeded from
 //! the test name, so failures are reproducible.
 //!
-//! On failure the harness performs **minimal shrinking**: integer-range and
-//! `collection::vec` strategies propose smaller candidates
-//! ([`Strategy::shrink`]), the failing sample is greedily reduced while it
-//! keeps failing, and the panic reports the shrunk counterexample next to
-//! the original failure. Strategies without a `shrink` implementation
-//! (`prop_oneof!`, `Just`, `bool::ANY`, float ranges) report the failing
-//! sample as-is, like the real crate with shrinking disabled.
+//! On failure the harness performs **minimal shrinking**: integer-range,
+//! `collection::vec`, `Just` and `prop_oneof!` strategies propose smaller
+//! candidates ([`Strategy::shrink`]), the failing sample is greedily
+//! reduced while it keeps failing, and the panic reports the shrunk
+//! counterexample next to the original failure. A `prop_oneof!` shrinks by
+//! first *jumping* to a canonical simpler alternative ([`Strategy::canonical`],
+//! e.g. a `Just` branch's fixed value) and then shrinking within every
+//! branch whose domain contains the candidate ([`Strategy::contains`]).
+//! Strategies without a `shrink` implementation (`bool::ANY`, float
+//! ranges) report the failing sample as-is, like the real crate with
+//! shrinking disabled.
 
 #![forbid(unsafe_code)]
 
@@ -105,6 +109,24 @@ pub trait Strategy {
         let _ = value;
         Vec::new()
     }
+
+    /// The canonical "simplest" value of this strategy, if it has one
+    /// ([`Just`] returns its fixed value). [`OneOf`] uses it to propose
+    /// *jumping* to a simpler alternative while shrinking — the analogue of
+    /// the real crate shrinking a union towards its earlier branches.
+    fn canonical(&self) -> Option<Self::Value> {
+        None
+    }
+
+    /// Whether `value` lies inside this strategy's domain, used by
+    /// [`OneOf`] to keep cross-branch shrink candidates inside the union's
+    /// domain. The conservative default accepts everything (strategies
+    /// that cannot cheaply decide membership never *produce*
+    /// out-of-domain candidates themselves).
+    fn contains(&self, value: &Self::Value) -> bool {
+        let _ = value;
+        true
+    }
 }
 
 /// Greedily shrinks a failing `value`: as long as some candidate from
@@ -145,13 +167,24 @@ pub fn check_fn<S: Strategy, F: Fn(&S::Value) -> TestCaseResult>(_strategy: &S, 
 }
 
 /// Strategy yielding one fixed value (mirrors `proptest::strategy::Just`).
+///
+/// A `Just` is already minimal, so [`Strategy::shrink`] proposes nothing;
+/// its contribution to shrinking is [`Strategy::canonical`] — inside a
+/// [`prop_oneof!`], a failing value can *jump* to a `Just` branch's fixed
+/// value, the simplest member of the union.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + PartialEq> Strategy for Just<T> {
     type Value = T;
     fn sample(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
+    }
+    fn canonical(&self) -> Option<T> {
+        Some(self.0.clone())
+    }
+    fn contains(&self, value: &T) -> bool {
+        *value == self.0
     }
 }
 
@@ -189,6 +222,9 @@ macro_rules! impl_range_strategy {
             fn shrink(&self, value: &$t) -> Vec<$t> {
                 int_shrink_candidates!(self.start, *value)
             }
+            fn contains(&self, value: &$t) -> bool {
+                self.start <= *value && *value < self.end
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -198,6 +234,9 @@ macro_rules! impl_range_strategy {
             }
             fn shrink(&self, value: &$t) -> Vec<$t> {
                 int_shrink_candidates!(*self.start(), *value)
+            }
+            fn contains(&self, value: &$t) -> bool {
+                self.start() <= value && value <= self.end()
             }
         }
     )*};
@@ -219,6 +258,12 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     }
     fn shrink(&self, value: &T) -> Vec<T> {
         (**self).shrink(value)
+    }
+    fn canonical(&self) -> Option<T> {
+        (**self).canonical()
+    }
+    fn contains(&self, value: &T) -> bool {
+        (**self).contains(value)
     }
 }
 
@@ -249,11 +294,62 @@ impl<T> Default for OneOf<T> {
     }
 }
 
-impl<T> Strategy for OneOf<T> {
+impl<T: Clone + PartialEq> Strategy for OneOf<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         let idx = rng.next_u64() as usize % self.options.len().max(1);
         self.options[idx].sample(rng)
+    }
+    /// Shrinks a union value in two tiers, most aggressive first:
+    ///
+    /// 1. **Branch jumps** — the canonical value of every branch *earlier*
+    ///    than the first branch whose domain contains the value (e.g. a
+    ///    `Just` alternative listed before the producing range), mirroring
+    ///    the real crate's shrink towards earlier branches. Restricting
+    ///    jumps to earlier branches keeps shrinking monotone: two failing
+    ///    `Just` branches can never propose each other in both directions
+    ///    and oscillate the greedy harness.
+    /// 2. **In-branch shrinks** — every branch's shrink candidates for the
+    ///    value, filtered through [`Strategy::contains`] so a branch that
+    ///    could not have produced the candidate cannot push the
+    ///    counterexample outside the union's domain.
+    ///
+    /// Candidates equal to the current value are dropped (a self-candidate
+    /// would let the greedy harness loop without progress).
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let mut out: Vec<T> = Vec::new();
+        let mut push = |candidate: T| {
+            if candidate != *value && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        };
+        // The branch the value is attributed to: the first whose domain
+        // contains it (every branch is jumpable when none does — the value
+        // came from outside the union, e.g. a caller-provided seed).
+        let producer = self
+            .options
+            .iter()
+            .position(|option| option.contains(value))
+            .unwrap_or(self.options.len());
+        for option in &self.options[..producer] {
+            if let Some(canonical) = option.canonical() {
+                push(canonical);
+            }
+        }
+        for option in &self.options {
+            for candidate in option.shrink(value) {
+                if self.options.iter().any(|o| o.contains(&candidate)) {
+                    push(candidate);
+                }
+            }
+        }
+        out
+    }
+    fn canonical(&self) -> Option<T> {
+        self.options.iter().find_map(|option| option.canonical())
+    }
+    fn contains(&self, value: &T) -> bool {
+        self.options.iter().any(|option| option.contains(value))
     }
 }
 
@@ -557,6 +653,81 @@ mod tests {
         assert!(candidates.iter().all(|c| c.len() >= 3), "{candidates:?}");
         // Element-wise shrinking still happens at the length floor.
         assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn oneof_shrinks_within_the_producing_union_domain() {
+        // Property: x < 120. A failing sample from the high branch must
+        // shrink to exactly 120, never leaving the union's domain
+        // (candidates from the low branch are filtered by `contains`).
+        let strategy = (prop_oneof![0usize..50, 100usize..200],);
+        let check = |sample: &(usize,)| -> TestCaseResult {
+            if sample.0 < 120 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{} is too big", sample.0)))
+            }
+        };
+        let (minimal, message, steps) =
+            shrink_failure(&strategy, (180,), "180 is too big".to_string(), &check);
+        assert_eq!(minimal, (120,), "greedy shrink must reach the boundary");
+        assert!(steps > 0);
+        assert_eq!(message, "120 is too big");
+    }
+
+    #[test]
+    fn oneof_jumps_to_a_just_alternative() {
+        // Property fails everywhere, so the minimum of the union — the
+        // `Just(0)` branch — is the canonical counterexample the shrinker
+        // must land on from any starting sample.
+        let strategy = (prop_oneof![Just(0usize), 64usize..1000],);
+        let check = |_: &(usize,)| -> TestCaseResult {
+            Err(TestCaseError::fail("always fails".to_string()))
+        };
+        let (minimal, _, steps) =
+            shrink_failure(&strategy, (800,), "always fails".to_string(), &check);
+        assert_eq!(minimal, (0,), "the Just branch is the simplest member");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn just_is_already_minimal_and_exposes_its_canonical_value() {
+        let just = Just(7usize);
+        assert_eq!(just.canonical(), Some(7));
+        assert!(just.shrink(&7).is_empty());
+        assert!(just.contains(&7));
+        assert!(!just.contains(&8));
+        // A union's canonical value is its first canonical branch. Branch
+        // jumps are monotone (towards *earlier* branches only): the first
+        // branch's value is already minimal and proposes nothing, so two
+        // failing Just branches can never oscillate the greedy harness.
+        let union = prop_oneof![Just(5usize), Just(6usize)];
+        assert_eq!(union.canonical(), Some(5));
+        assert_eq!(union.shrink(&5), Vec::<usize>::new());
+        assert_eq!(union.shrink(&6), vec![5]);
+        assert!(union.contains(&6));
+        assert!(!union.contains(&7));
+        // A value outside the whole union (caller-provided) may jump to
+        // any canonical branch.
+        assert_eq!(union.shrink(&9), vec![5, 6]);
+    }
+
+    #[test]
+    fn oneof_shrinking_composes_with_the_harness() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+            fn union_boundary(x in prop_oneof![Just(0usize), 10usize..1000]) {
+                prop_assert!(x < 17, "x = {x}");
+            }
+        }
+        let panic = std::panic::catch_unwind(union_boundary)
+            .expect_err("the property is falsifiable and must panic");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic message is a formatted string");
+        // The boundary counterexample 17 lives in the range branch; the
+        // Just(0) jump passes the property so greedy shrink settles at 17.
+        assert!(message.contains("(17,)"), "{message}");
     }
 
     #[test]
