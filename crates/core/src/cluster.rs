@@ -110,8 +110,8 @@ impl ClusterGraph {
         for &reg in &seq.registers {
             let name = &netlist.cell(reg).name;
             let key = match strategy {
-                ClusteringStrategy::PerRegister => name.clone(),
-                ClusteringStrategy::ByNamePrefix => cluster_name_of(name),
+                ClusteringStrategy::PerRegister => name.to_string(),
+                ClusteringStrategy::ByNamePrefix => cluster_name_of(name.as_str()),
             };
             key_of.insert(reg, key);
         }

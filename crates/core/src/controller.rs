@@ -223,7 +223,7 @@ impl ControllerImpl {
             cluster: cluster.to_string(),
             parity,
             cells,
-            enable_net: netlist.net(enable_net).name.clone(),
+            enable_net: netlist.net(enable_net).name.to_string(),
         })
     }
 
@@ -306,6 +306,8 @@ mod tests {
         // Non-overlapping controllers are smaller than fully-decoupled ones.
         assert!(c.num_cells() < a.num_cells());
         // All cells carry the ctl_ prefix for area accounting.
-        assert!(n.cells().all(|(_, cell)| cell.name.starts_with("ctl_")));
+        assert!(n
+            .cells()
+            .all(|(_, cell)| cell.name.as_str().starts_with("ctl_")));
     }
 }

@@ -96,7 +96,7 @@ impl crate::store::Weigh for LatchDesign {
 fn copy_combinational_skeleton(source: &Netlist, name: &str, skip_input: Option<NetId>) -> Netlist {
     let mut out = Netlist::new(name.to_string());
     for (_, net) in source.nets() {
-        out.add_net(net.name.clone());
+        out.add_net(net.name);
     }
     for &input in source.inputs() {
         if Some(input) != skip_input {
@@ -166,8 +166,8 @@ pub fn to_desynchronized_datapath(
         let s = netlist.add_input(format!("en_{}_s", cluster.name));
         cluster_enables.push((
             cluster.name.clone(),
-            netlist.net(m).name.clone(),
-            netlist.net(s).name.clone(),
+            netlist.net(m).name.to_string(),
+            netlist.net(s).name.to_string(),
         ));
         enables.push((m, s));
     }
@@ -196,7 +196,7 @@ pub fn to_desynchronized_datapath(
         netlist.add_latch(&slave, mid, en_s, q, true)?;
         pairs.push(LatchPair {
             register: id,
-            register_name: cell.name.clone(),
+            register_name: cell.name.to_string(),
             master,
             slave,
             cluster,

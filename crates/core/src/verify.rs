@@ -260,8 +260,8 @@ pub fn verify_flow_equivalence_with_parts(
             break;
         }
         for (net, value) in stimulus.vector_for(k) {
-            let name = &original.net(net).name;
-            if let Some(mapped) = latch_netlist.find_net(name) {
+            let name = original.net(net).name;
+            if let Some(mapped) = latch_netlist.find_net_symbol(name) {
                 inputs.push((t, mapped, value));
             }
         }

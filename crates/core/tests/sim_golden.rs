@@ -181,8 +181,11 @@ impl<'a> RefSim<'a> {
             self.transitions[event.net.index()] += 1;
         }
         if self.watched.contains(&event.net) {
-            self.waveforms
-                .push(&self.netlist.net(event.net).name, event.time, event.value);
+            self.waveforms.push(
+                self.netlist.net(event.net).name.as_str(),
+                event.time,
+                event.value,
+            );
         }
         let readers = self.readers[event.net.index()].clone();
         for cell_id in readers {
@@ -511,8 +514,8 @@ proptest! {
                 break;
             }
             for (net, value) in stim.vector_for(k) {
-                let name = &netlist.net(net).name;
-                if let Some(mapped) = latch_netlist.find_net(name) {
+                let name = netlist.net(net).name;
+                if let Some(mapped) = latch_netlist.find_net_symbol(name) {
                     inputs.push((t, mapped, value));
                 }
             }
@@ -523,7 +526,7 @@ proptest! {
             .inputs()
             .iter()
             .take(2)
-            .map(|&n| latch_netlist.net(n).name.clone())
+            .map(|&n| latch_netlist.net(n).name.to_string())
             .collect();
         let watch: Vec<&str> = watch_owned.iter().map(String::as_str).collect();
         let sim = new_async_run(

@@ -181,6 +181,18 @@ pub fn fanin_cone(netlist: &Netlist, net: NetId) -> Vec<CellId> {
 pub fn sequential_fanin(netlist: &Netlist, net: NetId) -> (Vec<CellId>, bool) {
     let driver = netlist.driver_map();
     let input_set: HashSet<NetId> = netlist.inputs().iter().copied().collect();
+    sequential_fanin_with(netlist, net, &driver, &input_set)
+}
+
+/// [`sequential_fanin`] against precomputed driver/input maps, so bulk
+/// callers ([`SequentialGraph::build`]) pay the O(cells) map construction
+/// once instead of once per queried net.
+fn sequential_fanin_with(
+    netlist: &Netlist,
+    net: NetId,
+    driver: &[Option<CellId>],
+    input_set: &HashSet<NetId>,
+) -> (Vec<CellId>, bool) {
     let mut seen_nets: HashSet<NetId> = HashSet::new();
     let mut result = Vec::new();
     let mut reaches_input = false;
@@ -245,8 +257,15 @@ pub struct SequentialGraph {
 impl SequentialGraph {
     /// Builds the sequential graph of `netlist`.
     pub fn build(netlist: &Netlist) -> Self {
+        // One driver map and input set for the whole build, and hash-set
+        // dedup next to the order-preserving vectors: per-register map
+        // rebuilds and linear `contains` scans made this quadratic in the
+        // register count before.
+        let driver = netlist.driver_map();
+        let input_set: HashSet<NetId> = netlist.inputs().iter().copied().collect();
         let mut registers = Vec::new();
         let mut edges = Vec::new();
+        let mut edge_set: HashSet<SeqEdge> = HashSet::new();
         let mut fed_by_inputs = Vec::new();
         for (id, cell) in netlist.cells() {
             if !(cell.kind == CellKind::Dff || cell.kind.is_latch()) {
@@ -254,10 +273,10 @@ impl SequentialGraph {
             }
             registers.push(id);
             if let Some(data) = cell.data_net() {
-                let (preds, from_input) = sequential_fanin(netlist, data);
+                let (preds, from_input) = sequential_fanin_with(netlist, data, &driver, &input_set);
                 for p in preds {
                     let e = SeqEdge { from: p, to: id };
-                    if !edges.contains(&e) {
+                    if edge_set.insert(e) {
                         edges.push(e);
                     }
                 }
@@ -267,10 +286,11 @@ impl SequentialGraph {
             }
         }
         let mut feeding_outputs = Vec::new();
+        let mut feeding_set: HashSet<CellId> = HashSet::new();
         for &out in netlist.outputs() {
-            let (preds, _) = sequential_fanin(netlist, out);
+            let (preds, _) = sequential_fanin_with(netlist, out, &driver, &input_set);
             for p in preds {
-                if !feeding_outputs.contains(&p) {
+                if feeding_set.insert(p) {
                     feeding_outputs.push(p);
                 }
             }

@@ -1,5 +1,6 @@
 //! Cell kinds, cell instances and pin roles.
 
+use crate::intern::Symbol;
 use crate::netlist::NetId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -168,6 +169,96 @@ impl CellKind {
         Some(kind)
     }
 
+    /// Canonical input pin names for an instance of this kind with `n`
+    /// inputs, as a static slice — no allocation per cell.
+    ///
+    /// Fixed-layout kinds have their documented pin names (`D`/`CK` for
+    /// flip-flops, `D`/`EN` for latches, `S`/`A`/`B` for the mux); N-ary
+    /// gates use alphabetical pins `A`, `B`, ... (wrapping to `A1`, `B1`,
+    /// ... past 26). Both netlist readers (structural Verilog and EDIF) and
+    /// the writers route through this single table, so pin naming cannot
+    /// drift between frontends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the static table (52 pins) — far beyond any
+    /// library cell this toolkit models.
+    pub fn input_pin_names(self, n: usize) -> &'static [&'static str] {
+        /// `A`..`Z`, then `A1`..`Z1` — matches the historical generated
+        /// names, now as one static table.
+        const ALPHA: [&str; 52] = [
+            "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q",
+            "R", "S", "T", "U", "V", "W", "X", "Y", "Z", "A1", "B1", "C1", "D1", "E1", "F1", "G1",
+            "H1", "I1", "J1", "K1", "L1", "M1", "N1", "O1", "P1", "Q1", "R1", "S1", "T1", "U1",
+            "V1", "W1", "X1", "Y1", "Z1",
+        ];
+        match self {
+            CellKind::Dff => &["D", "CK"],
+            CellKind::LatchLow | CellKind::LatchHigh => &["D", "EN"],
+            CellKind::Mux2 => &["S", "A", "B"],
+            _ => {
+                assert!(n <= ALPHA.len(), "unsupported arity {n} for {self}");
+                &ALPHA[..n]
+            }
+        }
+    }
+
+    /// Canonical output pin name: `Q` for state-holding cells, `Y`
+    /// otherwise.
+    pub fn output_pin_name(self) -> &'static str {
+        match self {
+            CellKind::Dff | CellKind::LatchLow | CellKind::LatchHigh => "Q",
+            _ => "Y",
+        }
+    }
+
+    /// Orders named pin connections into this kind's canonical input layout
+    /// and extracts the output net. Shared by the structural-Verilog reader
+    /// and the EDIF flattener so both accept the same pin vocabulary.
+    ///
+    /// Pin matching is case-insensitive and accepts the common aliases
+    /// `CLK` (for `CK`) and `E` (for `EN`). N-ary gates take their inputs
+    /// in alphabetical pin order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first missing required pin.
+    pub fn order_connections(
+        self,
+        conns: &[(String, NetId)],
+    ) -> Result<(Vec<NetId>, NetId), &'static str> {
+        let find = |names: &[&str]| -> Option<NetId> {
+            conns
+                .iter()
+                .find(|(pin, _)| names.iter().any(|n| pin.eq_ignore_ascii_case(n)))
+                .map(|&(_, net)| net)
+        };
+        let out_pin = self.output_pin_name();
+        let output = find(&[out_pin]).ok_or(out_pin)?;
+        let inputs = match self {
+            CellKind::Dff => vec![find(&["D"]).ok_or("D")?, find(&["CK", "CLK"]).ok_or("CK")?],
+            CellKind::LatchLow | CellKind::LatchHigh => {
+                vec![find(&["D"]).ok_or("D")?, find(&["EN", "E"]).ok_or("EN")?]
+            }
+            CellKind::Mux2 => vec![
+                find(&["S"]).ok_or("S")?,
+                find(&["A"]).ok_or("A")?,
+                find(&["B"]).ok_or("B")?,
+            ],
+            _ => {
+                // Input pins in alphabetical order of their names.
+                let mut named: Vec<(&String, NetId)> = conns
+                    .iter()
+                    .filter(|(p, _)| !p.eq_ignore_ascii_case(out_pin))
+                    .map(|(p, n)| (p, *n))
+                    .collect();
+                named.sort_by(|a, b| a.0.cmp(b.0));
+                named.into_iter().map(|(_, id)| id).collect()
+            }
+        };
+        Ok((inputs, output))
+    }
+
     /// All cell kinds, useful for building libraries and property tests.
     pub fn all() -> &'static [CellKind] {
         &[
@@ -215,8 +306,9 @@ pub enum PinRole {
 /// A cell instance: a named occurrence of a [`CellKind`] wired to nets.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cell {
-    /// Instance name (unique within the netlist).
-    pub name: String,
+    /// Instance name (unique within the netlist), interned in the global
+    /// [`Symbol`] table.
+    pub name: Symbol,
     /// Functional kind.
     pub kind: CellKind,
     /// Input nets, in pin order (see [`CellKind`] for the layout).

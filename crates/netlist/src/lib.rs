@@ -1,18 +1,41 @@
 //! Gate-level netlist intermediate representation for the desynchronization toolkit.
 //!
-//! This crate provides the substrate every other `desync-*` crate builds on:
+//! This crate provides the substrate every other `desync-*` crate builds on.
+//! It is organized in two layers:
+//!
+//! **Names.** Every net, cell and module name is an interned [`Symbol`] — a
+//! `Copy` handle into a global, process-wide string table ([`intern`]).
+//! Equality and hashing are O(1) on a `u32`, so the name-keyed indexes on
+//! the million-cell hot paths (`net_index`, `cell_index`, duplicate-name
+//! suffix counters) never touch string data; strings materialize only at
+//! display/export time via [`Symbol::as_str`]. Because raw symbol ids are
+//! interning-order dependent, anything content-addressed — notably
+//! [`Netlist::structural_hash`] — hashes each symbol's stable per-string
+//! digest ([`Symbol::content_hash`]) instead of its id.
+//!
+//! **Structure.**
 //!
 //! * [`Netlist`] — a flat, gate-level netlist with primary ports, nets and
 //!   cell instances (combinational gates, D flip-flops, level-sensitive
 //!   latches, and the Muller C-elements used by handshake controllers).
 //! * [`CellKind`] and [`Value`] — the logic model (two-valued plus unknown
-//!   `X`) and the evaluation semantics of every supported cell.
+//!   `X`) and the evaluation semantics of every supported cell, plus the
+//!   canonical pin tables ([`CellKind::input_pin_names`],
+//!   [`CellKind::order_connections`]) shared by every frontend.
 //! * [`CellLibrary`] — a technology model assigning delay, area, input
 //!   capacitance and switching energy to each cell, used by the timing,
 //!   power and simulation crates.
 //! * [`analysis`] — structural analyses: topological ordering of the
 //!   combinational core, combinational-cycle detection, fan-out maps,
 //!   register-to-register stage extraction.
+//!
+//! **Frontends.** Two file formats feed the flow; both resolve instance
+//! pins through the same [`CellKind`] tables, and both have writers whose
+//! output round-trips to full [`Netlist`] equality:
+//!
+//! * [`edif`] — an EDIF 2 0 0 reader (positioned S-expression parser →
+//!   typed AST → worklist-driven hierarchy flattener with `/`-joined
+//!   names) and writer. This is how real synthesis output enters the flow.
 //! * [`verilog`] — a reader and writer for a small structural-Verilog
 //!   subset, so netlists can be exchanged with external tools.
 //!
@@ -46,14 +69,18 @@
 
 pub mod analysis;
 pub mod cell;
+pub mod edif;
 pub mod error;
+pub mod intern;
 pub mod library;
 pub mod netlist;
 pub mod value;
 pub mod verilog;
 
 pub use cell::{Cell, CellId, CellKind, PinRole};
+pub use edif::{from_edif, to_edif, EdifError};
 pub use error::NetlistError;
+pub use intern::Symbol;
 pub use library::{CellLibrary, CellTemplate, DelaySpec};
 pub use netlist::{Fnv1a, Net, NetId, Netlist, PortDirection};
 pub use value::Value;

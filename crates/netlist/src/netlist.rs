@@ -2,6 +2,7 @@
 
 use crate::cell::{Cell, CellId, CellKind};
 use crate::error::NetlistError;
+use crate::intern::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -33,10 +34,11 @@ pub enum PortDirection {
 }
 
 /// A named wire.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Net {
-    /// Net name (unique within the netlist).
-    pub name: String,
+    /// Net name (unique within the netlist), interned in the global
+    /// [`Symbol`] table.
+    pub name: Symbol,
 }
 
 /// A flat gate-level netlist.
@@ -47,20 +49,26 @@ pub struct Net {
 /// [`crate::analysis`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
-    name: String,
+    name: Symbol,
     nets: Vec<Net>,
     cells: Vec<Cell>,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
     #[serde(skip)]
-    net_index: HashMap<String, NetId>,
+    net_index: HashMap<Symbol, NetId>,
     #[serde(skip)]
-    cell_index: HashMap<String, CellId>,
+    cell_index: HashMap<Symbol, CellId>,
+    /// Next numeric suffix to try per duplicated base name, so
+    /// [`Netlist::add_net`] stays O(1) amortized when a flattener emits many
+    /// copies of the same base (rebuilt lazily, see
+    /// [`Netlist::rebuild_index`]).
+    #[serde(skip)]
+    net_suffix: HashMap<Symbol, u32>,
 }
 
 impl Netlist {
     /// Creates an empty netlist with the given module name.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         Self {
             name: name.into(),
             nets: Vec::new(),
@@ -69,16 +77,22 @@ impl Netlist {
             outputs: Vec::new(),
             net_index: HashMap::new(),
             cell_index: HashMap::new(),
+            net_suffix: HashMap::new(),
         }
     }
 
     /// The module name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The module name as its interned symbol.
+    pub fn name_symbol(&self) -> Symbol {
+        self.name
     }
 
     /// Renames the module.
-    pub fn set_name(&mut self, name: impl Into<String>) {
+    pub fn set_name(&mut self, name: impl Into<Symbol>) {
         self.name = name.into();
     }
 
@@ -90,19 +104,22 @@ impl Netlist {
     ///
     /// If the name is already taken, a numeric suffix is appended so the
     /// builder can be used without bookkeeping; use [`Netlist::try_add_net`]
-    /// when duplicate names must be an error.
-    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
-        let base: String = name.into();
+    /// when duplicate names must be an error. A per-base next-suffix counter
+    /// keeps this O(1) amortized even when a hierarchy flattener emits
+    /// thousands of copies of the same base name.
+    pub fn add_net(&mut self, name: impl Into<Symbol>) -> NetId {
+        let base: Symbol = name.into();
         if !self.net_index.contains_key(&base) {
             return self.push_net(base);
         }
-        let mut i = 1usize;
+        let mut i = self.net_suffix.get(&base).copied().unwrap_or(1);
         loop {
-            let candidate = format!("{base}_{i}");
+            let candidate = Symbol::intern(&format!("{base}_{i}"));
+            i += 1;
             if !self.net_index.contains_key(&candidate) {
+                self.net_suffix.insert(base, i);
                 return self.push_net(candidate);
             }
-            i += 1;
         }
     }
 
@@ -112,23 +129,23 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::DuplicateNet`] if a net with the same name
     /// already exists.
-    pub fn try_add_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
-        let name = name.into();
+    pub fn try_add_net(&mut self, name: impl Into<Symbol>) -> Result<NetId, NetlistError> {
+        let name: Symbol = name.into();
         if self.net_index.contains_key(&name) {
-            return Err(NetlistError::DuplicateNet(name));
+            return Err(NetlistError::DuplicateNet(name.to_string()));
         }
         Ok(self.push_net(name))
     }
 
-    fn push_net(&mut self, name: String) -> NetId {
+    fn push_net(&mut self, name: Symbol) -> NetId {
         let id = NetId(self.nets.len() as u32);
-        self.net_index.insert(name.clone(), id);
+        self.net_index.insert(name, id);
         self.nets.push(Net { name });
         id
     }
 
     /// Adds a primary input: a fresh net marked as externally driven.
-    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+    pub fn add_input(&mut self, name: impl Into<Symbol>) -> NetId {
         let id = self.add_net(name);
         self.inputs.push(id);
         id
@@ -138,7 +155,7 @@ impl Netlist {
     ///
     /// The returned net must later be driven by some cell (checked by
     /// [`Netlist::validate`]).
-    pub fn add_output(&mut self, name: impl Into<String>) -> NetId {
+    pub fn add_output(&mut self, name: impl Into<Symbol>) -> NetId {
         let id = self.add_net(name);
         self.outputs.push(id);
         id
@@ -168,7 +185,7 @@ impl Netlist {
     /// * [`NetlistError::InvalidNetId`] if a net id is out of range.
     pub fn add_gate(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         kind: CellKind,
         inputs: &[NetId],
         output: NetId,
@@ -188,7 +205,7 @@ impl Netlist {
     /// Same conditions as [`Netlist::add_gate`].
     pub fn add_dff(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         d: NetId,
         clk: NetId,
         q: NetId,
@@ -212,7 +229,7 @@ impl Netlist {
     /// Same conditions as [`Netlist::add_gate`].
     pub fn add_latch(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         d: NetId,
         enable: NetId,
         q: NetId,
@@ -238,7 +255,7 @@ impl Netlist {
     /// Same conditions as [`Netlist::add_gate`].
     pub fn add_c_element(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         inputs: &[NetId],
         output: NetId,
     ) -> Result<CellId, NetlistError> {
@@ -257,7 +274,7 @@ impl Netlist {
     /// Same conditions as [`Netlist::add_gate`].
     pub fn add_const(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         value: bool,
         output: NetId,
     ) -> Result<CellId, NetlistError> {
@@ -284,12 +301,12 @@ impl Netlist {
     /// * [`NetlistError::InvalidNetId`] if any referenced net does not exist.
     pub fn add_cell(&mut self, cell: Cell) -> Result<CellId, NetlistError> {
         if self.cell_index.contains_key(&cell.name) {
-            return Err(NetlistError::DuplicateCell(cell.name));
+            return Err(NetlistError::DuplicateCell(cell.name.to_string()));
         }
         if let Some(expected) = cell.kind.fixed_arity() {
             if cell.inputs.len() != expected {
                 return Err(NetlistError::ArityMismatch {
-                    cell: cell.name,
+                    cell: cell.name.to_string(),
                     expected,
                     found: cell.inputs.len(),
                 });
@@ -301,7 +318,7 @@ impl Netlist {
             }
         }
         let id = CellId(self.cells.len() as u32);
-        self.cell_index.insert(cell.name.clone(), id);
+        self.cell_index.insert(cell.name, id);
         self.cells.push(cell);
         Ok(id)
     }
@@ -329,13 +346,26 @@ impl Netlist {
     }
 
     /// Looks up a net by name.
+    ///
+    /// Probes the global interner without growing it, so lookups of unknown
+    /// names stay allocation-free.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_index.get(name).copied()
+        Symbol::probe(name).and_then(|s| self.net_index.get(&s).copied())
+    }
+
+    /// Looks up a net by its interned symbol (the O(1) hot-path variant).
+    pub fn find_net_symbol(&self, name: Symbol) -> Option<NetId> {
+        self.net_index.get(&name).copied()
     }
 
     /// Looks up a cell by name.
     pub fn find_cell(&self, name: &str) -> Option<CellId> {
-        self.cell_index.get(name).copied()
+        Symbol::probe(name).and_then(|s| self.cell_index.get(&s).copied())
+    }
+
+    /// Looks up a cell by its interned symbol (the O(1) hot-path variant).
+    pub fn find_cell_symbol(&self, name: Symbol) -> Option<CellId> {
+        self.cell_index.get(&name).copied()
     }
 
     /// Iterates over `(NetId, &Net)` pairs.
@@ -456,14 +486,7 @@ impl Netlist {
     pub fn clock_nets(&self) -> Vec<NetId> {
         let mut clocks = Vec::new();
         for cell in &self.cells {
-            if let Some(clk) = (Cell {
-                name: String::new(),
-                kind: cell.kind,
-                inputs: cell.inputs.clone(),
-                output: cell.output,
-            })
-            .clock_net()
-            {
+            if let Some(clk) = cell.clock_net() {
                 if !clocks.contains(&clk) {
                     clocks.push(clk);
                 }
@@ -516,7 +539,7 @@ impl Netlist {
         for (i, &count) in drivers.iter().enumerate() {
             if count > 1 {
                 return Err(NetlistError::MultipleDrivers {
-                    net: self.nets[i].name.clone(),
+                    net: self.nets[i].name.to_string(),
                 });
             }
         }
@@ -533,7 +556,7 @@ impl Netlist {
         for (i, (&r, &d)) in read.iter().zip(drivers.iter()).enumerate() {
             if r && d == 0 {
                 return Err(NetlistError::UndrivenNet {
-                    net: self.nets[i].name.clone(),
+                    net: self.nets[i].name.to_string(),
                 });
             }
         }
@@ -542,7 +565,7 @@ impl Netlist {
             return Err(NetlistError::CombinationalCycle {
                 cells: cycle
                     .into_iter()
-                    .map(|id| self.cell(id).name.clone())
+                    .map(|id| self.cell(id).name.to_string())
                     .collect(),
             });
         }
@@ -559,8 +582,16 @@ impl Netlist {
     /// a different gate kind — changes the hash with overwhelming
     /// probability.
     ///
-    /// The hash is FNV-1a with fixed constants, so it is stable across
-    /// processes, platforms and compiler versions — suitable as a
+    /// Names are interned [`Symbol`]s whose raw `u32` ids are process-local
+    /// (they depend on interning order), so the hash never mixes an id.
+    /// Instead each name contributes its [`Symbol::content_hash`] — a
+    /// stable FNV-1a digest of the string, computed once at interning time —
+    /// which keeps this a *content* address (identical netlists hash equal
+    /// in any process, under any interning order) while making the per-name
+    /// cost O(1) instead of O(string length) on million-cell designs.
+    ///
+    /// The outer hash is FNV-1a with fixed constants, so it is stable
+    /// across processes, platforms and compiler versions — suitable as a
     /// content-address for cross-process artifact caches. It is **not** a
     /// collision-proof identity: callers that must never confuse two
     /// distinct netlists (artifact caches like `desync-core`'s
@@ -568,10 +599,10 @@ impl Netlist {
     /// check.
     pub fn structural_hash(&self) -> u64 {
         let mut h = Fnv1a::new();
-        h.write_str(&self.name);
+        h.write_u64(self.name.content_hash());
         h.write_usize(self.nets.len());
         for net in &self.nets {
-            h.write_str(&net.name);
+            h.write_u64(net.name.content_hash());
         }
         h.write_usize(self.inputs.len());
         for &input in &self.inputs {
@@ -583,7 +614,7 @@ impl Netlist {
         }
         h.write_usize(self.cells.len());
         for cell in &self.cells {
-            h.write_str(&cell.name);
+            h.write_u64(cell.name.content_hash());
             h.write_str(cell.kind.canonical_name());
             h.write_usize(cell.inputs.len());
             for &input in &cell.inputs {
@@ -598,25 +629,28 @@ impl Netlist {
     ///
     /// `serde` skips the lookup maps; call this after deserializing a
     /// netlist before using [`Netlist::find_net`] / [`Netlist::find_cell`].
+    /// The duplicate-suffix counters are also reset; they re-warm lazily on
+    /// the next colliding [`Netlist::add_net`].
     pub fn rebuild_index(&mut self) {
         self.net_index = self
             .nets
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.name.clone(), NetId(i as u32)))
+            .map(|(i, n)| (n.name, NetId(i as u32)))
             .collect();
         self.cell_index = self
             .cells
             .iter()
             .enumerate()
-            .map(|(i, c)| (c.name.clone(), CellId(i as u32)))
+            .map(|(i, c)| (c.name, CellId(i as u32)))
             .collect();
+        self.net_suffix.clear();
     }
 
     /// A short multi-line summary of the netlist composition.
     pub fn summary(&self) -> NetlistSummary {
         NetlistSummary {
-            name: self.name.clone(),
+            name: self.name.to_string(),
             nets: self.num_nets(),
             cells: self.num_cells(),
             flip_flops: self.num_flip_flops(),

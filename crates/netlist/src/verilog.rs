@@ -27,34 +27,19 @@
 
 use crate::cell::{CellId, CellKind};
 use crate::error::NetlistError;
+use crate::intern::Symbol;
 use crate::netlist::{NetId, Netlist};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// Pin names used by the writer for a cell kind with `n` inputs.
-fn pin_names(kind: CellKind, n: usize) -> (Vec<String>, &'static str) {
-    match kind {
-        CellKind::Dff => (vec!["D".into(), "CK".into()], "Q"),
-        CellKind::LatchLow | CellKind::LatchHigh => (vec!["D".into(), "EN".into()], "Q"),
-        CellKind::Mux2 => (vec!["S".into(), "A".into(), "B".into()], "Y"),
-        _ => {
-            let letters: Vec<String> = (0..n)
-                .map(|i| {
-                    let c = (b'A' + (i % 26) as u8) as char;
-                    if i < 26 {
-                        c.to_string()
-                    } else {
-                        format!("{c}{}", i / 26)
-                    }
-                })
-                .collect();
-            (letters, "Y")
-        }
-    }
+/// Pin names used by the writer for a cell kind with `n` inputs — the
+/// canonical static tables shared with the EDIF frontend (see
+/// [`CellKind::input_pin_names`]); no per-cell allocation.
+fn pin_names(kind: CellKind, n: usize) -> (&'static [&'static str], &'static str) {
+    (kind.input_pin_names(n), kind.output_pin_name())
 }
 
 /// Library cell name emitted for an instance (arity-suffixed for N-ary gates).
-fn instance_cell_name(kind: CellKind, num_inputs: usize) -> String {
+pub(crate) fn instance_cell_name(kind: CellKind, num_inputs: usize) -> String {
     match kind.fixed_arity() {
         Some(_) => kind.canonical_name().to_string(),
         None => format!("{}{}", kind.canonical_name(), num_inputs),
@@ -233,7 +218,6 @@ pub fn from_verilog(text: &str) -> Result<Netlist, NetlistError> {
     }
     let module_name = lex.expect_ident()?;
     let mut netlist = Netlist::new(module_name);
-    let mut net_ids: HashMap<String, NetId> = HashMap::new();
 
     // Port list (names only; directions come from the declarations).
     lex.expect_symbol('(')?;
@@ -313,19 +297,18 @@ pub fn from_verilog(text: &str) -> Result<Netlist, NetlistError> {
     }
 
     // Create nets: inputs, outputs, then wires; any net referenced only by an
-    // instance is created on demand.
+    // instance is created on demand. The netlist's own symbol-keyed index is
+    // the lookup structure — no shadow string map.
     for name in &declared_inputs {
-        let id = netlist.add_input(name.clone());
-        net_ids.insert(name.clone(), id);
+        netlist.add_input(name.as_str());
     }
     for name in &declared_outputs {
-        let id = netlist.add_output(name.clone());
-        net_ids.insert(name.clone(), id);
+        netlist.add_output(name.as_str());
     }
     for name in &declared_wires {
-        if !net_ids.contains_key(name) {
-            let id = netlist.add_net(name.clone());
-            net_ids.insert(name.clone(), id);
+        let sym = Symbol::intern(name);
+        if netlist.find_net_symbol(sym).is_none() {
+            netlist.add_net(sym);
         }
     }
 
@@ -334,83 +317,25 @@ pub fn from_verilog(text: &str) -> Result<Netlist, NetlistError> {
             line,
             message: format!("unknown cell `{cell_name}`"),
         })?;
-        let mut lookup = |name: &str, netlist: &mut Netlist| -> NetId {
-            if let Some(&id) = net_ids.get(name) {
-                id
-            } else {
-                let id = netlist.add_net(name.to_string());
-                net_ids.insert(name.to_string(), id);
-                id
+        let lookup = |name: &str, netlist: &mut Netlist| -> NetId {
+            let sym = Symbol::intern(name);
+            match netlist.find_net_symbol(sym) {
+                Some(id) => id,
+                None => netlist.add_net(sym),
             }
         };
-        let mut pins: HashMap<String, NetId> = HashMap::new();
-        for (pin, net) in &conns {
-            let id = lookup(net, &mut netlist);
-            pins.insert(pin.to_ascii_uppercase(), id);
-        }
-        let output_pin = match kind {
-            CellKind::Dff | CellKind::LatchLow | CellKind::LatchHigh => "Q",
-            _ => "Y",
-        };
-        let output = *pins.get(output_pin).ok_or(NetlistError::Parse {
-            line,
-            message: format!("instance `{inst_name}` missing output pin `{output_pin}`"),
-        })?;
-        let inputs: Vec<NetId> = match kind {
-            CellKind::Dff => {
-                let d = *pins.get("D").ok_or(NetlistError::Parse {
+        let resolved: Vec<(String, NetId)> = conns
+            .iter()
+            .map(|(pin, net)| (pin.clone(), lookup(net, &mut netlist)))
+            .collect();
+        let (inputs, output) =
+            kind.order_connections(&resolved)
+                .map_err(|pin| NetlistError::Parse {
                     line,
-                    message: format!("instance `{inst_name}` missing pin `D`"),
+                    message: format!("instance `{inst_name}` missing pin `{pin}`"),
                 })?;
-                let ck = pins.get("CK").or_else(|| pins.get("CLK")).copied().ok_or(
-                    NetlistError::Parse {
-                        line,
-                        message: format!("instance `{inst_name}` missing pin `CK`"),
-                    },
-                )?;
-                vec![d, ck]
-            }
-            CellKind::LatchLow | CellKind::LatchHigh => {
-                let d = *pins.get("D").ok_or(NetlistError::Parse {
-                    line,
-                    message: format!("instance `{inst_name}` missing pin `D`"),
-                })?;
-                let en = pins.get("EN").or_else(|| pins.get("E")).copied().ok_or(
-                    NetlistError::Parse {
-                        line,
-                        message: format!("instance `{inst_name}` missing pin `EN`"),
-                    },
-                )?;
-                vec![d, en]
-            }
-            CellKind::Mux2 => {
-                let s = *pins.get("S").ok_or(NetlistError::Parse {
-                    line,
-                    message: format!("instance `{inst_name}` missing pin `S`"),
-                })?;
-                let a = *pins.get("A").ok_or(NetlistError::Parse {
-                    line,
-                    message: format!("instance `{inst_name}` missing pin `A`"),
-                })?;
-                let b = *pins.get("B").ok_or(NetlistError::Parse {
-                    line,
-                    message: format!("instance `{inst_name}` missing pin `B`"),
-                })?;
-                vec![s, a, b]
-            }
-            _ => {
-                // Input pins in alphabetical order of their names.
-                let mut named: Vec<(&String, NetId)> = conns
-                    .iter()
-                    .filter(|(p, _)| !p.eq_ignore_ascii_case(output_pin))
-                    .map(|(p, n)| (p, *net_ids.get(n).expect("net created above")))
-                    .collect();
-                named.sort_by(|a, b| a.0.cmp(b.0));
-                named.into_iter().map(|(_, id)| id).collect()
-            }
-        };
         netlist.add_cell(crate::cell::Cell {
-            name: inst_name,
+            name: inst_name.into(),
             kind,
             inputs,
             output,
@@ -447,7 +372,7 @@ pub fn to_report(netlist: &Netlist) -> String {
 pub fn cells_with_prefix(netlist: &Netlist, prefix: &str) -> Vec<CellId> {
     netlist
         .cells()
-        .filter(|(_, c)| c.name.starts_with(prefix))
+        .filter(|(_, c)| c.name.as_str().starts_with(prefix))
         .map(|(id, _)| id)
         .collect()
 }

@@ -39,9 +39,9 @@ impl AreaReport {
             let area = library
                 .template(cell.kind)
                 .instance_area_um2(cell.inputs.len().max(1));
-            if cell.name.starts_with(Self::CONTROLLER_PREFIX) {
+            if cell.name.as_str().starts_with(Self::CONTROLLER_PREFIX) {
                 report.controller_um2 += area;
-            } else if cell.name.starts_with(Self::MATCHED_DELAY_PREFIX)
+            } else if cell.name.as_str().starts_with(Self::MATCHED_DELAY_PREFIX)
                 || cell.kind == CellKind::Delay
             {
                 report.matched_delay_um2 += area;

@@ -56,7 +56,7 @@ impl Activity {
     pub fn by_name(&self, netlist: &Netlist) -> HashMap<String, u64> {
         netlist
             .nets()
-            .map(|(id, n)| (n.name.clone(), self.transitions_on(id)))
+            .map(|(id, n)| (n.name.to_string(), self.transitions_on(id)))
             .collect()
     }
 

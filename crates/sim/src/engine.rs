@@ -415,7 +415,7 @@ impl<'a> EventSimulator<'a> {
     pub fn waveforms(&self) -> WaveformSet {
         let mut set = WaveformSet::new();
         for (net, wave) in &self.waves {
-            set.insert(self.netlist.net(*net).name.clone(), wave.clone());
+            set.insert(self.netlist.net(*net).name.to_string(), wave.clone());
         }
         set
     }

@@ -63,7 +63,7 @@ fn collect_flow_trace(netlist: &Netlist, captures: &[crate::engine::Capture]) ->
             let name = netlist
                 .cell(desync_netlist::CellId(index as u32))
                 .name
-                .clone();
+                .to_string();
             flow_trace.extend_stream(name, values);
         }
     }

@@ -175,7 +175,7 @@ impl WaveformSet {
     /// Convenience: the waveform of a net, looked up through the netlist's
     /// net names.
     pub fn of_net(&self, netlist: &Netlist, net: NetId) -> Option<&Waveform> {
-        self.get(&netlist.net(net).name)
+        self.get(netlist.net(net).name.as_str())
     }
 }
 

@@ -249,6 +249,37 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         self.start + (self.end - self.start) * rng.next_f64()
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // Pull towards the range start, most aggressive candidate first:
+        // the start itself, then `value - span/2`, `value - span/4`, ...
+        // Adopting the first still-failing candidate halves the distance to
+        // the failure boundary each step (a greedy bisection), so the
+        // harness converges geometrically instead of stalling at 2x the
+        // boundary the way a bare midpoint candidate would.
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let mut delta = (*value - self.start) / 2.0;
+            while delta > 0.0 && out.len() < 48 {
+                let candidate = *value - delta;
+                if candidate > self.start && candidate < *value {
+                    out.push(candidate);
+                }
+                let next = delta / 2.0;
+                if next == delta {
+                    break;
+                }
+                delta = next;
+            }
+        }
+        out
+    }
+    fn canonical(&self) -> Option<f64> {
+        (self.start < self.end).then_some(self.start)
+    }
+    fn contains(&self, value: &f64) -> bool {
+        self.start <= *value && *value < self.end
+    }
 }
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {
@@ -368,6 +399,17 @@ pub mod bool {
         type Value = bool;
         fn sample(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            // `false` is the simpler boolean, exactly as in the real crate.
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+        fn canonical(&self) -> Option<bool> {
+            Some(false)
         }
     }
 }
@@ -745,6 +787,56 @@ mod tests {
             .expect("panic message is a formatted string");
         assert!(message.contains("minimal failing input"), "{message}");
         assert!(message.contains("(17,)"), "{message}");
+    }
+
+    #[test]
+    fn float_range_shrinks_to_the_boundary() {
+        // Property: x < 250.0 over 0.0..1000.0. Greedy shrinking must pull
+        // any failing sample down to (a hair above) the boundary.
+        let strategy = 0.0f64..1000.0;
+        let check = |x: &f64| -> TestCaseResult {
+            if *x < 250.0 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("x = {x}")))
+            }
+        };
+        let (minimal, _, steps) = shrink_failure(&strategy, 900.0, "seed".into(), &check);
+        assert!(minimal >= 250.0, "shrunk value must still fail: {minimal}");
+        assert!(
+            minimal < 250.0 + 1e-6,
+            "greedy halving must reach the boundary, got {minimal}"
+        );
+        assert!(steps > 0, "at least one shrink step must be taken");
+        // Domain and canonical pins.
+        assert!(strategy.contains(&0.0) && !strategy.contains(&1000.0));
+        assert_eq!(strategy.canonical(), Some(0.0));
+        assert!(strategy.shrink(&0.0).is_empty(), "the minimum is minimal");
+    }
+
+    #[test]
+    fn bool_any_shrinks_true_to_false() {
+        assert_eq!(bool::ANY.shrink(&true), vec![false]);
+        assert!(bool::ANY.shrink(&false).is_empty());
+        assert_eq!(bool::ANY.canonical(), Some(false));
+        // End-to-end: a property that only fails on `true` must report the
+        // original `true` (false passes, so shrinking keeps true) — and a
+        // property failing on both must settle on `false`.
+        let check_fails_on_true = |b: &bool| -> TestCaseResult {
+            if *b {
+                Err(TestCaseError::fail("true fails"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, steps) =
+            shrink_failure(&bool::ANY, true, "seed".into(), &check_fails_on_true);
+        assert!(minimal, "false passes, so true is the minimal failure");
+        assert_eq!(steps, 0);
+        let check_fails_always =
+            |_: &bool| -> TestCaseResult { Err(TestCaseError::fail("always")) };
+        let (minimal, _, _) = shrink_failure(&bool::ANY, true, "seed".into(), &check_fails_always);
+        assert!(!minimal, "always-failing property shrinks to false");
     }
 
     #[test]
