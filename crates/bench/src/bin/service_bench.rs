@@ -1,10 +1,11 @@
 //! Service-mode workload: duplicate-heavy batches through a
 //! [`desync_core::DesyncService`], once over an unbounded artifact store
 //! and once over a small bounded one, asserting that in-flight duplicates
-//! coalesce, that LRU eviction keeps the resident weight inside the
-//! capacity, and that evicted artifacts recompute bit-identically. Writes
-//! the headline numbers to `BENCH_service.json` (schema `desync-service/1`,
-//! see ROADMAP.md).
+//! coalesce, that a salted-in malformed design is lint-rejected at
+//! admission (every round, both phases), that LRU eviction keeps the
+//! resident weight inside the capacity, and that evicted artifacts
+//! recompute bit-identically. Writes the headline numbers to
+//! `BENCH_service.json` (schema `desync-service/2`, see ROADMAP.md).
 //!
 //! ```text
 //! cargo run --release -p desync-bench --bin service_bench
@@ -27,6 +28,14 @@ fn main() {
     assert!(
         report.resident_weight <= report.capacity,
         "eviction must keep the resident weight inside the capacity"
+    );
+    assert!(
+        report.lint_rejections > 0,
+        "the poisoned design must be rejected at admission"
+    );
+    assert!(
+        report.lint_cache_hits > 0,
+        "repeat submissions must serve the cached lint report"
     );
     assert!(
         report.bounded_matches_unbounded,

@@ -6,17 +6,19 @@
 //!
 //! The scenario is the ROADMAP's long-running-service north star: a request
 //! stream where identical in-flight requests recur (users iterating on the
-//! same design) and where the artifact store must not grow without bound.
+//! same design), where the occasional *malformed* design must be turned
+//! away at admission by the static lint without costing any stage work,
+//! and where the artifact store must not grow without bound.
 //! [`run_service_bench`] reports request/coalescing counts, the engine's
-//! hit/eviction counters and resident weight, and serializes the headline
-//! numbers to `BENCH_service.json` (schema `desync-service/1`) via
-//! [`ServiceBenchReport::to_json`].
+//! hit/eviction counters, lint admission counters and resident weight, and
+//! serializes the headline numbers to `BENCH_service.json` (schema
+//! `desync-service/2`) via [`ServiceBenchReport::to_json`].
 
 use crate::batch::{mixed_designs, mixed_options};
 use desync_core::{
     DesyncDesign, DesyncEngine, DesyncError, DesyncService, ServiceRequest, StoreConfig,
 };
-use desync_netlist::CellLibrary;
+use desync_netlist::{CellKind, CellLibrary, Netlist};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -47,7 +49,14 @@ pub struct ServiceBenchReport {
     pub capacity: usize,
     /// Resident weight of the unbounded engine after its final batch.
     pub unbounded_resident_weight: usize,
-    /// Whether every bounded-phase design equals its unbounded twin.
+    /// Requests rejected at admission by the static pre-flight lint (the
+    /// workload salts every batch with a known-bad multi-driven design).
+    pub lint_rejections: usize,
+    /// Lint reports served from the store instead of re-analyzed.
+    pub lint_cache_hits: usize,
+    /// Whether every bounded-phase result equals its unbounded twin —
+    /// designs bit-identical where both succeed, and payload-equal
+    /// `LintRejected` reports where both are turned away.
     pub bounded_matches_unbounded: bool,
     /// Wall time over both phases.
     pub wall: Duration,
@@ -61,7 +70,7 @@ impl ServiceBenchReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"desync-service/1\",\n",
+                "  \"schema\": \"desync-service/2\",\n",
                 "  \"requests\": {},\n",
                 "  \"coalesced\": {},\n",
                 "  \"cache_hits\": {},\n",
@@ -70,6 +79,8 @@ impl ServiceBenchReport {
                 "  \"resident_weight\": {},\n",
                 "  \"capacity\": {},\n",
                 "  \"unbounded_resident_weight\": {},\n",
+                "  \"lint_rejections\": {},\n",
+                "  \"lint_cache_hits\": {},\n",
                 "  \"bounded_matches_unbounded\": {},\n",
                 "  \"wall_ms\": {:.3}\n",
                 "}}\n"
@@ -82,6 +93,8 @@ impl ServiceBenchReport {
             self.resident_weight,
             self.capacity,
             self.unbounded_resident_weight,
+            self.lint_rejections,
+            self.lint_cache_hits,
             self.bounded_matches_unbounded,
             self.wall.as_secs_f64() * 1e3,
         )
@@ -107,9 +120,14 @@ impl fmt::Display for ServiceBenchReport {
             "  bounded store: {} / {} weight resident (unbounded twin: {})",
             self.resident_weight, self.capacity, self.unbounded_resident_weight
         )?;
+        writeln!(
+            f,
+            "  lint: {} rejection(s) at admission, {} cached report(s)",
+            self.lint_rejections, self.lint_cache_hits
+        )?;
         write!(
             f,
-            "  bounded designs bit-identical to unbounded: {}",
+            "  bounded results bit-identical to unbounded: {}",
             self.bounded_matches_unbounded
         )
     }
@@ -131,24 +149,46 @@ fn run_phase(
         totals.cache_hits += outcome.report.cache_hits;
         totals.cache_misses += outcome.report.cache_misses;
         totals.evictions += outcome.report.evictions;
+        totals.lint_rejections += outcome.report.lint_rejections;
+        totals.lint_cache_hits += outcome.report.lint_cache_hits;
         last = outcome.results;
     }
     last
 }
 
-/// Runs the two-phase service workload over the stock mixed designs.
-///
-/// # Panics
-///
-/// Panics if any request fails — the stock workload is known-good.
+/// A deliberately malformed design: a three-stage pipeline whose middle
+/// net has two drivers (NL001). The service must turn it away at admission
+/// — rejections are pure lint work, zero stage computations.
+pub fn poisoned_design() -> Netlist {
+    let mut n = Netlist::new("poisoned");
+    let clk = n.add_input("clk");
+    let a = n.add_input("a");
+    let q0 = n.add_net("q0");
+    let w = n.add_net("w");
+    let y = n.add_output("y");
+    n.add_dff("r0", a, clk, q0).expect("poisoned dff");
+    n.add_gate("g0", CellKind::Not, &[q0], w)
+        .expect("poisoned gate");
+    n.add_gate("dup", CellKind::Buf, &[a], w)
+        .expect("poisoned dup driver");
+    n.add_dff("r1", w, clk, y).expect("poisoned dff");
+    n
+}
+
+/// Runs the two-phase service workload over the stock mixed designs plus
+/// the [`poisoned_design`] (whose requests must all be lint-rejected at
+/// admission).
 pub fn run_service_bench() -> ServiceBenchReport {
-    let designs = mixed_designs();
+    let mut designs = mixed_designs();
+    designs.push(poisoned_design());
     let library = CellLibrary::generic_90nm();
     let options = mixed_options();
 
     // Duplicate-heavy batch: every (design, options) pair appears
     // `DUPLICATES_PER_BATCH` times *in the same batch*, so the duplicates
-    // are genuinely in flight together.
+    // are genuinely in flight together. The poisoned design rides along
+    // under every option set — admission control must reject each of its
+    // requests with the same witness-bearing lint report.
     let mut requests = Vec::new();
     for _ in 0..DUPLICATES_PER_BATCH {
         for design in &designs {
@@ -167,6 +207,8 @@ pub fn run_service_bench() -> ServiceBenchReport {
         resident_weight: 0,
         capacity: 0,
         unbounded_resident_weight: 0,
+        lint_rejections: 0,
+        lint_cache_hits: 0,
         bounded_matches_unbounded: false,
         wall: Duration::ZERO,
     };
@@ -195,14 +237,13 @@ pub fn run_service_bench() -> ServiceBenchReport {
     let bounded_results = run_phase(&bounded, &requests, &mut report);
     report.capacity = capacity;
     report.resident_weight = bounded.engine().report().resident_weight;
-    report.bounded_matches_unbounded =
-        unbounded_results
-            .iter()
-            .zip(&bounded_results)
-            .all(|(a, b)| match (a, b) {
-                (Ok(a), Ok(b)) => a == b,
-                _ => false,
-            });
+    // Plain result equality: designs must be bit-identical where both
+    // phases succeed, and lint rejections must carry payload-equal reports
+    // (DesyncError::LintRejected compares the diagnostics, not the Arc).
+    report.bounded_matches_unbounded = unbounded_results
+        .iter()
+        .zip(&bounded_results)
+        .all(|(a, b)| a == b);
 
     report.wall = started.elapsed();
     report
@@ -260,24 +301,40 @@ mod tests {
         let probe = requests[0];
         let recomputed = bounded.run_batch(&[probe]).results.pop().unwrap().unwrap();
         assert_eq!(&recomputed, full.results[0].as_ref().unwrap());
+        // The engine report accounts the lint kind in its own table row.
+        let engine_text = bounded.engine().report().to_string();
+        assert!(engine_text.contains("lint"), "{engine_text}");
     }
 
     #[test]
-    fn stock_service_bench_exercises_coalescing_and_eviction() {
+    fn stock_service_bench_exercises_coalescing_eviction_and_admission() {
         let report = run_service_bench();
+        // 5 stock designs + the poisoned one, under 3 option sets each.
         assert_eq!(
             report.requests,
-            2 * ROUNDS * DUPLICATES_PER_BATCH * 5 * 3,
+            2 * ROUNDS * DUPLICATES_PER_BATCH * 6 * 3,
             "{report}"
         );
         assert!(report.coalesced > 0);
         assert!(report.cache_hits > 0);
         assert!(report.evictions > 0);
         assert!(report.resident_weight <= report.capacity);
+        // Every poisoned request was turned away at admission, in both
+        // phases and every round.
+        assert_eq!(
+            report.lint_rejections,
+            2 * ROUNDS * DUPLICATES_PER_BATCH * 3,
+            "{report}"
+        );
+        assert!(report.lint_cache_hits > 0, "{report}");
         assert!(report.bounded_matches_unbounded);
+        let text = report.to_string();
+        assert!(text.contains("rejection(s) at admission"), "{text}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"desync-service/1\""));
+        assert!(json.contains("\"schema\": \"desync-service/2\""));
         assert!(json.contains("\"coalesced\""));
         assert!(json.contains("\"resident_weight\""));
+        assert!(json.contains("\"lint_rejections\""));
+        assert!(json.contains("\"lint_cache_hits\""));
     }
 }

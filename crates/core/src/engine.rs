@@ -74,6 +74,7 @@ use crate::error::DesyncError;
 use crate::options::{DesyncOptions, StagePrefix};
 use crate::pipeline::{ControlNetwork, DesyncFlow, SizingAnalysis, Stage, TimingTable};
 use crate::store::{ArtifactStore, Fetched, StoreConfig, StoreKey, Weigh};
+use desync_lint::LintReport;
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::{CompiledModel, SimConfig, SimRun};
 use desync_sta::SizingPool;
@@ -97,8 +98,11 @@ const COMPILED_KIND: usize = CACHED_STAGES + 1;
 /// Store kind index of the margin-independent sizing analyses.
 const SIZING_KIND: usize = CACHED_STAGES + 2;
 
+/// Store kind index of the pre-flight lint reports.
+const LINT_KIND: usize = CACHED_STAGES + 3;
+
 /// Total artifact kinds in the engine's store.
-const STORE_KINDS: usize = CACHED_STAGES + 3;
+const STORE_KINDS: usize = CACHED_STAGES + 4;
 
 /// Interned identity of a netlist inside one engine (collision-free: the
 /// engine confirms every structural-hash match with a full equality check).
@@ -159,6 +163,11 @@ enum Facet {
         /// margin stripped (see `DesyncOptions::sizing_analysis_prefix`).
         prefix: StagePrefix,
     },
+    /// A pre-flight lint report ([`LintReport`]): a pure function of the
+    /// netlist alone (options are validated separately per request), so the
+    /// facet carries no parameters — the interned netlist identity is the
+    /// whole key.
+    Lint,
 }
 
 impl StoreKey for ArtifactKey {
@@ -168,6 +177,7 @@ impl StoreKey for ArtifactKey {
             Facet::SyncRun { .. } => SYNC_RUN_KIND,
             Facet::Compiled { .. } => COMPILED_KIND,
             Facet::Sizing { .. } => SIZING_KIND,
+            Facet::Lint => LINT_KIND,
         }
     }
 }
@@ -184,6 +194,7 @@ enum Artifact {
     SyncRun(Arc<SimRun>),
     Compiled(Arc<CompiledModel>),
     Sizing(Arc<SizingAnalysis>),
+    Lint(Arc<LintReport>),
 }
 
 impl Weigh for Artifact {
@@ -196,6 +207,7 @@ impl Weigh for Artifact {
             Artifact::SyncRun(v) => v.weight(),
             Artifact::Compiled(v) => v.weight(),
             Artifact::Sizing(v) => v.weight(),
+            Artifact::Lint(v) => v.weight(),
         }
     }
 }
@@ -401,6 +413,32 @@ impl<'a> EngineHandle<'a> {
             Artifact::Sizing,
             |a| match a {
                 Artifact::Sizing(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
+    }
+
+    /// The cache key of the pre-flight lint report (netlist identity only;
+    /// the report ignores options and library).
+    pub(crate) fn lint_key(&self) -> ArtifactKey {
+        ArtifactKey {
+            netlist: self.netlist,
+            library: self.library,
+            facet: Facet::Lint,
+        }
+    }
+
+    pub(crate) fn lint_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<LintReport>, DesyncError>,
+    ) -> Result<(Arc<LintReport>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::Lint,
+            |a| match a {
+                Artifact::Lint(v) => Some(v),
                 _ => None,
             },
             compute,
@@ -669,6 +707,7 @@ impl DesyncEngine {
         let sync = stats.kinds[SYNC_RUN_KIND];
         let compiled = stats.kinds[COMPILED_KIND];
         let sizing = stats.kinds[SIZING_KIND];
+        let lint = stats.kinds[LINT_KIND];
         EngineReport {
             netlists,
             libraries,
@@ -691,6 +730,11 @@ impl DesyncEngine {
             sizing_misses: sizing.misses,
             sizing_evictions: sizing.evictions,
             sizing_resident_weight: sizing.resident_weight,
+            lint_reports: lint.entries,
+            lint_hits: lint.hits,
+            lint_misses: lint.misses,
+            lint_evictions: lint.evictions,
+            lint_resident_weight: lint.resident_weight,
             stages: [
                 Stage::Clustered,
                 Stage::Latched,
@@ -785,6 +829,17 @@ pub struct EngineReport {
     pub sizing_evictions: usize,
     /// Summed weight of the resident sizing analyses.
     pub sizing_resident_weight: usize,
+    /// Pre-flight lint reports currently cached.
+    pub lint_reports: usize,
+    /// Lint lookups served from the store — admissions decided without
+    /// re-running a single pass.
+    pub lint_hits: usize,
+    /// Lint lookups that had to run the pass suites (and then publish).
+    pub lint_misses: usize,
+    /// Lint reports evicted by the capacity budget.
+    pub lint_evictions: usize,
+    /// Summed weight of the resident lint reports.
+    pub lint_resident_weight: usize,
     /// Per-stage statistics, in pipeline order.
     pub stages: Vec<EngineStageStats>,
 }
@@ -800,13 +855,14 @@ impl EngineReport {
         self.stages.iter().map(|s| s.misses).sum()
     }
 
-    /// Evictions summed over all stages plus the sync-run, compiled-model
-    /// and sizing-analysis caches.
+    /// Evictions summed over all stages plus the sync-run, compiled-model,
+    /// sizing-analysis and lint caches.
     pub fn total_evictions(&self) -> usize {
         self.stages.iter().map(|s| s.evictions).sum::<usize>()
             + self.sync_run_evictions
             + self.compiled_model_evictions
             + self.sizing_evictions
+            + self.lint_evictions
     }
 
     /// Fraction of stage lookups served from the store (0.0 when none
@@ -880,11 +936,21 @@ impl fmt::Display for EngineReport {
             self.sizing_evictions,
             self.sizing_resident_weight,
         )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "lint",
+            self.lint_reports,
+            self.lint_hits,
+            self.lint_misses,
+            self.lint_evictions,
+            self.lint_resident_weight,
+        )?;
         write!(
             f,
             "  stage total: {} hit(s) / {} miss(es) ({:.1} % hit rate), {} eviction(s) overall, \
              {} coalesced in-flight wait(s) \
-             (sync-run / compiled / sizing caches counted separately above)",
+             (sync-run / compiled / sizing / lint caches counted separately above)",
             self.total_hits(),
             self.total_misses(),
             100.0 * self.hit_rate(),

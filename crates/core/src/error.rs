@@ -1,7 +1,9 @@
 //! Error types of the desynchronization flow.
 
+use desync_lint::LintReport;
 use desync_netlist::NetlistError;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by the desynchronization flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +28,12 @@ pub enum DesyncError {
     /// [`DesyncFlow::set_verification`](crate::DesyncFlow::set_verification).
     /// Without input vectors the equivalence check would pass vacuously.
     MissingStimulus,
+    /// The design was rejected by the static pre-flight lint: the attached
+    /// report carries every diagnostic with its witness. Produced by
+    /// [`DesyncService`](crate::DesyncService) admission control before any
+    /// stage computes (the report is `Arc`-shared, so cloning the error is
+    /// cheap and payloads stay bit-identical across worker threads).
+    LintRejected(Arc<LintReport>),
 }
 
 /// A rejected knob in [`DesyncOptions`](crate::DesyncOptions), produced by
@@ -96,6 +104,17 @@ impl fmt::Display for DesyncError {
                 "netlist has data inputs but no verification stimulus was set; \
                  call DesyncFlow::set_verification first"
             ),
+            DesyncError::LintRejected(report) => {
+                write!(
+                    f,
+                    "design rejected by static lint ({} error(s)): ",
+                    report.num_errors()
+                )?;
+                match report.errors().next() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "no diagnostics recorded"),
+                }
+            }
         }
     }
 }
@@ -166,5 +185,26 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DesyncError>();
+    }
+
+    #[test]
+    fn lint_rejection_displays_the_first_error_and_compares_by_content() {
+        use desync_lint::{Diagnostic, LintCode};
+        let report = || {
+            Arc::new(LintReport {
+                diagnostics: vec![Diagnostic::new(
+                    LintCode::MultiDrivenNet,
+                    "bus".into(),
+                    "driven 2 times",
+                )],
+            })
+        };
+        let e = DesyncError::LintRejected(report());
+        assert!(e.to_string().contains("rejected by static lint"), "{e}");
+        assert!(e.to_string().contains("NL001"), "{e}");
+        assert!(e.to_string().contains("bus"), "{e}");
+        // Distinct Arcs with equal payloads compare equal — the property the
+        // cross-thread bit-identity guarantee rests on.
+        assert_eq!(e, DesyncError::LintRejected(report()));
     }
 }

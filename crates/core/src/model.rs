@@ -427,6 +427,24 @@ impl ControlModel {
             .all(|c| self.component_graph(c).is_safe())
     }
 
+    /// Witness-producing proof of the model's structural correctness: runs
+    /// the `desync-lint` marked-graph suite on every weakly connected
+    /// component and merges the diagnostics.
+    ///
+    /// A clean report is the static certificate behind
+    /// [`ControlModel::is_live`] / [`ControlModel::is_safe`]; a dirty one
+    /// names the exact token-free or overloaded cycle (as transition
+    /// labels), which the bare booleans cannot.
+    pub fn lint(&self) -> desync_lint::LintReport {
+        let mut report = desync_lint::LintReport::new();
+        for component in self.components() {
+            report.merge(desync_lint::lint_marked_graph(
+                &self.component_graph(&component),
+            ));
+        }
+        report
+    }
+
     /// The steady-state cycle time of the desynchronized circuit: the
     /// maximum cycle ratio over all components, in picoseconds (computed
     /// once at build time).

@@ -38,6 +38,7 @@ use crate::verify::{
     sim_config_from, sync_reference_run_with_model, verify_flow_equivalence_with_parts,
     EquivalenceReport,
 };
+use desync_lint::{lint_design, LintReport};
 use desync_netlist::{CellLibrary, NetId, Netlist};
 use desync_sim::{CompiledModel, SimRun, VectorSource};
 use desync_sta::{MatchedDelay, SizingPool, Sta, StaSnapshot, TimingConfig};
@@ -356,6 +357,10 @@ pub struct DesyncFlow<'a> {
     sync_run_hits: usize,
     compiled_model_hits: usize,
     sizing_rebinds: usize,
+    /// The pre-flight lint report (computed once per flow; engine-attached
+    /// flows share it across flows through the cross-flow store).
+    lint: Option<Arc<LintReport>>,
+    lint_hits: usize,
     clustered: Option<Arc<ClusterGraph>>,
     latched: Option<Arc<LatchDesign>>,
     timed: Option<Arc<TimingTable>>,
@@ -434,6 +439,8 @@ impl<'a> DesyncFlow<'a> {
             sync_run_hits: 0,
             compiled_model_hits: 0,
             sizing_rebinds: 0,
+            lint: None,
+            lint_hits: 0,
             clustered: None,
             latched: None,
             timed: None,
@@ -612,6 +619,55 @@ impl<'a> DesyncFlow<'a> {
     }
 
     // ---- stage accessors ------------------------------------------------
+
+    /// The static pre-flight lint report for the input netlist, running the
+    /// full `desync-lint` design suite
+    /// ([`lint_design`](desync_lint::lint_design)) on first access.
+    ///
+    /// The report is a pure function of the netlist alone (options are
+    /// validated separately when the flow is constructed), so
+    /// engine-attached flows cache it in the cross-flow store under the
+    /// interned netlist identity — a service admitting many requests over
+    /// the same design lints it exactly once. Detached flows memoize it per
+    /// flow.
+    ///
+    /// The accessor itself never fails on a dirty design; callers decide
+    /// what the report means. [`DesyncService`](crate::DesyncService)
+    /// rejects designs whose report is not
+    /// [clean](LintReport::is_clean) with [`DesyncError::LintRejected`]
+    /// before any stage computes. The construction stages keep their own
+    /// per-stage error behaviour for direct flow users.
+    ///
+    /// # Errors
+    ///
+    /// This pre-flight itself cannot fail; the `Result` keeps the accessor
+    /// signatures uniform across stages.
+    pub fn lint(&mut self) -> Result<Arc<LintReport>, DesyncError> {
+        if self.lint.is_none() {
+            let netlist = self.netlist;
+            let report = match self.engine {
+                Some(handle) => {
+                    let key = handle.lint_key();
+                    let (report, how) =
+                        handle.lint_or(key, || Ok(Arc::new(lint_design(netlist))))?;
+                    if how.served() {
+                        self.lint_hits += 1;
+                    }
+                    report
+                }
+                None => Arc::new(lint_design(netlist)),
+            };
+            self.lint = Some(report);
+        }
+        Ok(Arc::clone(self.lint.as_ref().expect("just computed")))
+    }
+
+    /// How many times the attached engine served this flow's lint report
+    /// from the cross-flow store instead of running the pass suites (always
+    /// zero for detached flows).
+    pub fn lint_cache_hits(&self) -> usize {
+        self.lint_hits
+    }
 
     /// The cluster graph, running [`Stage::Clustered`] if needed.
     ///

@@ -19,6 +19,14 @@
 //!
 //! Both entry points share the execution machinery:
 //!
+//! * **static admission control** — before any stage computes, each request
+//!   group runs the `desync-lint` pre-flight
+//!   ([`DesyncFlow::lint`](crate::DesyncFlow::lint), cached per netlist in
+//!   the engine's store). A design with error-severity diagnostics is
+//!   rejected with [`DesyncError::LintRejected`] carrying the full
+//!   witness-bearing report — the request fails in O(V+E) with zero stage
+//!   computations, and [`ServiceReport::lint_rejections`] /
+//!   [`ServiceReport::lint_cache_hits`] account for the traffic,
 //! * **coalesced scheduling** — identical in-flight requests are grouped
 //!   onto *one* computation; duplicates receive clones of the shared
 //!   result. Below the request level, the engine's
@@ -263,9 +271,17 @@ impl DesyncService {
         let workers = self.concurrency.clamp(1, groups.len().max(1));
         let next = AtomicUsize::new(0);
         let run_group = |group: &ServiceRequest<'_>| -> Result<DesyncDesign, DesyncError> {
-            self.engine
-                .flow(group.netlist, group.library, group.options)?
-                .design()
+            let mut flow = self
+                .engine
+                .flow(group.netlist, group.library, group.options)?;
+            // Admission control: the O(V+E) lint pre-flight runs (or is
+            // served from the store) before any stage computes, so a
+            // malformed design costs the service nothing but the lint.
+            let lint = flow.lint()?;
+            if !lint.is_clean() {
+                return Err(DesyncError::LintRejected(lint));
+            }
+            flow.design()
         };
         if workers <= 1 || groups.len() <= 1 {
             for (slot, (leader, _)) in slots.iter().zip(&groups) {
@@ -314,6 +330,11 @@ impl DesyncService {
             cache_misses: after.total_misses() - before.total_misses(),
             evictions: after.total_evictions() - before.total_evictions(),
             resident_weight: after.resident_weight,
+            lint_rejections: results
+                .iter()
+                .filter(|r| matches!(r, Err(DesyncError::LintRejected(_))))
+                .count(),
+            lint_cache_hits: after.lint_hits - before.lint_hits,
             failures: results.iter().filter(|r| r.is_err()).count(),
         };
         ServiceOutcome { results, report }
@@ -362,6 +383,12 @@ impl DesyncService {
                     let mut flow = self
                         .engine
                         .flow(point.netlist, point.library, point.options)?;
+                    // Same admission gate as run_batch: reject statically
+                    // before any stage or simulation runs.
+                    let lint = flow.lint()?;
+                    if !lint.is_clean() {
+                        return Err(DesyncError::LintRejected(lint));
+                    }
                     flow.set_verification(point.stimulus.clone(), point.cycles);
                     let report = flow.verified()?.clone();
                     let mut simulated = report.async_run.committed_events;
@@ -436,6 +463,11 @@ impl DesyncService {
             cache_misses: after.total_misses() - before.total_misses(),
             store_coalesced: after.store_coalesced - before.store_coalesced,
             per_worker_events,
+            lint_rejections: results
+                .iter()
+                .filter(|r| matches!(r, Err(DesyncError::LintRejected(_))))
+                .count(),
+            lint_cache_hits: after.lint_hits - before.lint_hits,
             failures: results.iter().filter(|r| r.is_err()).count(),
         };
         SweepOutcome { results, report }
@@ -474,6 +506,13 @@ pub struct ServiceReport {
     pub evictions: usize,
     /// Resident store weight after the batch.
     pub resident_weight: usize,
+    /// Requests rejected at admission by the static pre-flight lint
+    /// (their result slot holds [`DesyncError::LintRejected`] with the
+    /// witness-bearing report; counted inside `failures` too).
+    pub lint_rejections: usize,
+    /// Lint pre-flight reports served from the engine's store instead of
+    /// re-analyzed (repeat submissions of an already-linted netlist).
+    pub lint_cache_hits: usize,
     /// Requests whose result is an error.
     pub failures: usize,
 }
@@ -489,10 +528,15 @@ impl fmt::Display for ServiceReport {
             self.workers,
             self.wall.as_micros()
         )?;
-        write!(
+        writeln!(
             f,
             "  store: {} hit(s) / {} miss(es), {} eviction(s), {} weight resident; {} failure(s)",
             self.cache_hits, self.cache_misses, self.evictions, self.resident_weight, self.failures
+        )?;
+        write!(
+            f,
+            "  lint: {} rejection(s) at admission, {} report(s) served from cache",
+            self.lint_rejections, self.lint_cache_hits
         )
     }
 }
@@ -543,6 +587,12 @@ pub struct SweepReport {
     /// worker. The total is scheduling-independent; the split shows the
     /// load balance.
     pub per_worker_events: Vec<usize>,
+    /// Points rejected at admission by the static pre-flight lint
+    /// (counted inside `failures` too).
+    pub lint_rejections: usize,
+    /// Lint pre-flight reports served from the engine's store instead of
+    /// re-analyzed.
+    pub lint_cache_hits: usize,
     /// Points whose result is an error.
     pub failures: usize,
 }
@@ -575,12 +625,17 @@ impl fmt::Display for SweepReport {
             self.sync_run_misses,
             self.store_coalesced,
         )?;
-        write!(
+        writeln!(
             f,
             "  events per worker: {:?} ({} total); {} failure(s)",
             self.per_worker_events,
             self.events_simulated(),
             self.failures
+        )?;
+        write!(
+            f,
+            "  lint: {} rejection(s) at admission, {} report(s) served from cache",
+            self.lint_rejections, self.lint_cache_hits
         )
     }
 }
@@ -657,6 +712,10 @@ mod tests {
         let outcome = service.run_batch(&requests[..2]);
         assert_eq!(outcome.report.cache_hits, 4);
         assert_eq!(outcome.report.cache_misses, 0);
+        // The pre-flight lint of a clean design is cached alongside the
+        // stages (counted separately, so the stage numbers above hold).
+        assert_eq!(outcome.report.lint_cache_hits, 1);
+        assert_eq!(outcome.report.lint_rejections, 0);
         let text = outcome.report.to_string();
         assert!(text.contains("coalesced"), "{text}");
         assert!(text.contains("eviction"), "{text}");
@@ -678,12 +737,122 @@ mod tests {
         ];
         let outcome = service.run_batch(&requests);
         assert!(outcome.results[0].is_ok());
-        assert_eq!(outcome.results[1], Err(DesyncError::NoRegisters));
+        // The register-free netlist is turned away at admission: the lint
+        // pre-flight catches FL001 before any stage would have reported
+        // NoRegisters.
+        match &outcome.results[1] {
+            Err(DesyncError::LintRejected(report)) => {
+                assert!(report.has(desync_lint::LintCode::NoRegisters), "{report}");
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        // Invalid options still fail at flow construction, before lint.
         assert!(matches!(
             outcome.results[2],
             Err(DesyncError::InvalidOptions(_))
         ));
         assert_eq!(outcome.report.failures, 2);
+        assert_eq!(outcome.report.lint_rejections, 1);
+    }
+
+    #[test]
+    fn multi_driven_design_is_rejected_at_admission_without_stage_work() {
+        // pipeline3 with a duplicate driver on q0: registers exist, so only
+        // NL001 stands between this design and the construction stages.
+        let mut n = pipeline3();
+        let a = n.find_net("a").unwrap();
+        let q0 = n.find_net("q0").unwrap();
+        n.add_gate("dup", CellKind::Buf, &[a], q0).unwrap();
+        let library = CellLibrary::generic_90nm();
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(2));
+        let requests: Vec<_> = (0..3)
+            .map(|_| ServiceRequest::new(&n, &library, DesyncOptions::default()))
+            .collect();
+        let outcome = service.run_batch(&requests);
+        for result in &outcome.results {
+            match result {
+                Err(DesyncError::LintRejected(report)) => {
+                    let d = report.find(desync_lint::LintCode::MultiDrivenNet).unwrap();
+                    assert_eq!(d.subject.as_str(), "q0");
+                    let drivers: Vec<_> = d.witness.iter().map(|s| s.as_str()).collect();
+                    assert_eq!(drivers, vec!["r0", "dup"], "witness in cell-id order");
+                }
+                other => panic!("expected a lint rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(outcome.report.lint_rejections, 3);
+        assert_eq!(outcome.report.failures, 3);
+        // Zero stage computations: the stage-kind cache saw no traffic at
+        // all — the lint pre-flight was the only work the batch did.
+        assert_eq!(outcome.report.cache_misses, 0);
+        assert_eq!(outcome.report.cache_hits, 0);
+        // Resubmitting serves the cached lint report instead of re-linting.
+        let outcome = service.run_batch(&requests[..1]);
+        assert_eq!(outcome.report.lint_rejections, 1);
+        assert_eq!(outcome.report.lint_cache_hits, 1);
+        assert_eq!(outcome.report.cache_misses, 0);
+        let text = outcome.report.to_string();
+        assert!(text.contains("1 rejection(s) at admission"), "{text}");
+        assert!(text.contains("1 report(s) served from cache"), "{text}");
+    }
+
+    #[test]
+    fn lint_rejections_are_bit_identical_across_worker_counts() {
+        let mut bad = pipeline3();
+        let a = bad.find_net("a").unwrap();
+        let q0 = bad.find_net("q0").unwrap();
+        bad.add_gate("dup", CellKind::Buf, &[a], q0).unwrap();
+        let good = pipeline3();
+        let library = CellLibrary::generic_90nm();
+        let run = |concurrency: usize| {
+            let service = DesyncService::with_engine(DesyncEngine::with_workers(1))
+                .with_concurrency(concurrency);
+            let requests = vec![
+                ServiceRequest::new(&bad, &library, DesyncOptions::default()),
+                ServiceRequest::new(&good, &library, DesyncOptions::default()),
+                ServiceRequest::new(&bad, &library, DesyncOptions::default().with_margin(0.2)),
+            ];
+            service.run_batch(&requests).results
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel, "results must not depend on scheduling");
+        assert!(matches!(serial[0], Err(DesyncError::LintRejected(_))));
+        assert!(serial[1].is_ok());
+        // Same netlist under different options: the same lint verdict,
+        // payload-equal diagnostics and witnesses.
+        assert_eq!(serial[0], serial[2]);
+    }
+
+    #[test]
+    fn sweep_points_are_gated_by_admission_too() {
+        let mut bad = pipeline3();
+        let a = bad.find_net("a").unwrap();
+        let q0 = bad.find_net("q0").unwrap();
+        bad.add_gate("dup", CellKind::Buf, &[a], q0).unwrap();
+        let library = CellLibrary::generic_90nm();
+        let stim = VectorSource::pseudo_random(vec![a], 3);
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(1));
+        let requests = vec![SweepRequest::new(
+            &bad,
+            &library,
+            DesyncOptions::default(),
+            &stim,
+            8,
+        )];
+        let outcome = service.run_sweep(&requests);
+        assert!(matches!(
+            outcome.results[0],
+            Err(DesyncError::LintRejected(_))
+        ));
+        assert_eq!(outcome.report.lint_rejections, 1);
+        assert_eq!(outcome.report.failures, 1);
+        // No stage, simulation or compile work happened for the bad point.
+        assert_eq!(outcome.report.cache_misses, 0);
+        assert_eq!(outcome.report.sync_run_misses, 0);
+        assert_eq!(outcome.report.events_simulated(), 0);
+        let text = outcome.report.to_string();
+        assert!(text.contains("rejection(s) at admission"), "{text}");
     }
 
     #[test]

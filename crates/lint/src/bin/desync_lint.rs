@@ -1,0 +1,102 @@
+//! Command-line front door to the static verification layer.
+//!
+//! ```text
+//! desync_lint [--json] <design.edif|design.edf|design.v>...
+//! ```
+//!
+//! Lints each file with the full pre-flow suite ([`desync_lint::lint_design`])
+//! and prints either a human-readable report or one `desync-lint/1` JSON
+//! object per file (`--json`). Exit status: `0` when every file is clean
+//! (warnings allowed), `1` when any error-severity diagnostic fires, `2`
+//! when a file cannot be read or parsed.
+
+use desync_lint::lint_design;
+use desync_netlist::edif::from_edif;
+use desync_netlist::verilog::from_verilog;
+use desync_netlist::Netlist;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    match path.extension().and_then(|x| x.to_str()) {
+        Some("edif") | Some("edf") => from_edif(&text).map_err(|e| e.to_string()),
+        Some("v") => from_verilog(&text).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unsupported input extension {other:?} (expected .edif, .edf or .v)"
+        )),
+    }
+}
+
+/// Escapes a path for embedding in the JSON wrapper object.
+fn json_path(path: &Path) -> String {
+    let mut out = String::from("\"");
+    for c in path.display().to_string().chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: desync_lint [--json] <design.edif|design.edf|design.v>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: desync_lint [--json] <design.edif|design.edf|design.v>...");
+        return ExitCode::from(2);
+    }
+
+    let mut worst = 0u8;
+    for file in &files {
+        let path = Path::new(file);
+        let netlist = match load(path) {
+            Ok(n) => n,
+            Err(e) => {
+                if json {
+                    println!(
+                        "{{\"schema\":\"desync-lint/1\",\"file\":{},\"error\":true}}",
+                        json_path(path)
+                    );
+                }
+                eprintln!("{}: error: {e}", path.display());
+                worst = worst.max(2);
+                continue;
+            }
+        };
+        let report = lint_design(&netlist);
+        if json {
+            // Wrap the report object with the file it describes.
+            let body = report.to_json();
+            let rest = body
+                .strip_prefix("{\"schema\":\"desync-lint/1\"")
+                .expect("report schema prefix");
+            println!(
+                "{{\"schema\":\"desync-lint/1\",\"file\":{}{rest}",
+                json_path(path)
+            );
+        } else if report.diagnostics.is_empty() {
+            println!("{}: clean", path.display());
+        } else {
+            print!("{}: {report}", path.display());
+        }
+        if !report.is_clean() {
+            worst = worst.max(1);
+        }
+    }
+    ExitCode::from(worst)
+}

@@ -1,0 +1,121 @@
+//! The linter over the on-disk EDIF corpus: the known-good example design
+//! must come out clean, and each `lint_*.edif` fixture in the netlist
+//! crate's malformed corpus must produce exactly the defect it was built to
+//! exhibit — with a concrete witness. CI runs the `desync_lint` binary over
+//! the same files; this test pins the library-level verdicts the binary's
+//! exit codes are derived from.
+
+use desync_lint::{lint_design, LintCode, LintReport, Severity};
+use desync_netlist::{from_edif, Netlist};
+
+fn load(relative: &str) -> Netlist {
+    let path = format!("{}/{relative}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    from_edif(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn lint(relative: &str) -> LintReport {
+    lint_design(&load(relative))
+}
+
+#[test]
+fn the_example_pipeline_is_clean() {
+    let report = lint("../../examples/data/pipeline_4x8.edif");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.num_errors(), 0);
+}
+
+#[test]
+fn multi_driver_fixture_reports_nl001_with_both_drivers() {
+    let report = lint("../netlist/tests/data/lint_multi_driver.edif");
+    assert!(!report.is_clean(), "{report}");
+    let d = report.find(LintCode::MultiDrivenNet).expect("NL001 fires");
+    assert_eq!(d.subject.as_str(), "w");
+    let drivers: Vec<_> = d.witness.iter().map(|s| s.as_str()).collect();
+    assert_eq!(
+        drivers,
+        vec!["g0", "g1"],
+        "witness lists drivers in id order"
+    );
+    // NL001 is the only error: the fixture isolates one defect.
+    assert!(report.errors().all(|d| d.code == LintCode::MultiDrivenNet));
+}
+
+#[test]
+fn floating_input_fixture_reports_nl002_on_the_ghost_net() {
+    let report = lint("../netlist/tests/data/lint_floating_input.edif");
+    assert!(!report.is_clean(), "{report}");
+    let d = report.find(LintCode::FloatingInput).expect("NL002 fires");
+    assert_eq!(d.subject.as_str(), "ghost");
+    assert!(report.errors().all(|d| d.code == LintCode::FloatingInput));
+}
+
+#[test]
+fn comb_loop_fixture_reports_nl005_with_the_canonical_cycle() {
+    let report = lint("../netlist/tests/data/lint_comb_loop.edif");
+    assert!(!report.is_clean(), "{report}");
+    let d = report
+        .find(LintCode::CombinationalCycle)
+        .expect("NL005 fires");
+    let cycle: Vec<_> = d.witness.iter().map(|s| s.as_str()).collect();
+    assert_eq!(cycle, vec!["la", "lb"], "canonical rotation, id order");
+    assert!(report
+        .errors()
+        .all(|d| d.code == LintCode::CombinationalCycle));
+}
+
+#[test]
+fn corpus_verdicts_are_bit_identical_across_runs() {
+    for fixture in [
+        "../../examples/data/pipeline_4x8.edif",
+        "../netlist/tests/data/lint_multi_driver.edif",
+        "../netlist/tests/data/lint_floating_input.edif",
+        "../netlist/tests/data/lint_comb_loop.edif",
+    ] {
+        let first = lint(fixture);
+        for _ in 0..3 {
+            assert_eq!(lint(fixture), first, "{fixture}");
+        }
+        assert_eq!(first.to_json(), lint(fixture).to_json(), "{fixture}");
+    }
+}
+
+#[test]
+fn corpus_json_has_the_stable_schema_shape() {
+    let json = lint("../netlist/tests/data/lint_multi_driver.edif").to_json();
+    assert!(json.starts_with(r#"{"schema":"desync-lint/1""#), "{json}");
+    for key in [
+        r#""clean":false"#,
+        r#""errors":1"#,
+        r#""diagnostics":["#,
+        r#""code":"NL001""#,
+        r#""severity":"error""#,
+        r#""witness":["g0","g1"]"#,
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn every_corpus_error_carries_a_checkable_witness_or_subject() {
+    for fixture in [
+        "../netlist/tests/data/lint_multi_driver.edif",
+        "../netlist/tests/data/lint_floating_input.edif",
+        "../netlist/tests/data/lint_comb_loop.edif",
+    ] {
+        let netlist = load(fixture);
+        let report = lint_design(&netlist);
+        for d in report.diagnostics.iter() {
+            assert!(!d.subject.as_str().is_empty(), "{fixture}: {d}");
+            if d.severity() == Severity::Error {
+                // Witness names must resolve against the design they came
+                // from: every named net or cell exists.
+                for name in d.witness.iter().map(|s| s.as_str()) {
+                    let known =
+                        netlist.find_net(name).is_some() || netlist.find_cell(name).is_some();
+                    assert!(known, "{fixture}: unknown witness name {name}");
+                }
+            }
+        }
+    }
+}

@@ -12,12 +12,125 @@
 use crate::graph::{MarkedGraph, Marking, PlaceId, TransitionId};
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
+/// A directed cycle of a marked graph, reported as the places traversed in
+/// order (place `i` ends at the transition place `i + 1` leaves, wrapping at
+/// the end) plus the cycle's total initial token count.
+///
+/// Witnesses are **canonical**: the cycle is rotated so its minimum
+/// [`PlaceId`] comes first, and the producing traversals visit transitions
+/// and places in id order — the same graph always yields the identical
+/// witness, across runs, processes and refactors of the traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWitness {
+    /// The places on the cycle, in traversal order, starting at the
+    /// minimum place id.
+    pub places: Vec<PlaceId>,
+    /// Initial tokens summed over the cycle's places.
+    pub tokens: u32,
+}
+
+impl CycleWitness {
+    /// Checks that this witness really is a directed cycle of `graph` and
+    /// that [`CycleWitness::tokens`] matches the places' token sum. Used by
+    /// callers (and the property suite) to confirm a verdict instead of
+    /// trusting it.
+    pub fn verify(&self, graph: &MarkedGraph) -> bool {
+        if self.places.is_empty() {
+            return false;
+        }
+        let mut tokens = 0;
+        for (i, &id) in self.places.iter().enumerate() {
+            let place = graph.place(id);
+            let next = graph.place(self.places[(i + 1) % self.places.len()]);
+            if place.to != next.from {
+                return false;
+            }
+            tokens += place.initial_tokens;
+        }
+        tokens == self.tokens
+    }
+}
+
+/// Rotates a cycle of places so it starts at its minimum [`PlaceId`].
+fn canonicalize_cycle(places: &mut [PlaceId]) {
+    if let Some(min) = places
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, id)| *id)
+        .map(|(pos, _)| pos)
+    {
+        places.rotate_left(min);
+    }
+}
+
+/// Finds a **token-free directed cycle** — the witness that the marked
+/// graph is not live (the transitions on it can never fire) — or `None`
+/// when every cycle carries a token and the graph is therefore live.
+///
+/// [`is_live`] is this function's boolean projection; callers that need to
+/// report *why* a control network deadlocks get the named cycle here.
+pub fn token_free_cycle(graph: &MarkedGraph) -> Option<CycleWitness> {
+    // Adjacency over token-free places only, edges tagged with the place
+    // that contributes them, in place-id order.
+    let n = graph.num_transitions();
+    let mut adj: Vec<Vec<(usize, PlaceId)>> = vec![Vec::new(); n];
+    for (id, p) in graph.places() {
+        if p.initial_tokens == 0 {
+            adj[p.from.index()].push((p.to.index(), id));
+        }
+    }
+    // Iterative DFS in transition-id order; `path` carries the place used
+    // to enter each stacked transition (the root has none).
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        let mut path: Vec<(usize, Option<PlaceId>)> = vec![(start, None)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adj[node].len() {
+                let (succ, place) = adj[node][*next];
+                *next += 1;
+                match color[succ] {
+                    0 => {
+                        color[succ] = 1;
+                        stack.push((succ, 0));
+                        path.push((succ, Some(place)));
+                    }
+                    1 => {
+                        // Cycle closed at `succ`: collect the entering
+                        // places from `succ`'s successor on the path, then
+                        // the closing place.
+                        let pos = path
+                            .iter()
+                            .position(|&(t, _)| t == succ)
+                            .expect("grey transition is on the path");
+                        let mut places: Vec<PlaceId> =
+                            path[pos + 1..].iter().filter_map(|&(_, p)| p).collect();
+                        places.push(place);
+                        canonicalize_cycle(&mut places);
+                        return Some(CycleWitness { places, tokens: 0 });
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
 /// Whether the marked graph is live: from the initial marking every
 /// transition can always eventually fire again.
 ///
 /// By the marked-graph liveness theorem this holds iff no directed cycle is
-/// token-free, which is what this function checks (the subgraph induced by
-/// places with zero initial tokens must be acyclic).
+/// token-free (the boolean projection of [`token_free_cycle`], which names
+/// the offending cycle).
 pub fn is_live(graph: &MarkedGraph) -> bool {
     // Build adjacency over token-free places only.
     let n = graph.num_transitions();
@@ -74,6 +187,155 @@ pub fn is_strongly_connected(graph: &MarkedGraph) -> bool {
         bwd[p.to.index()].push(p.from.index());
     }
     reachable_count(&fwd, 0) == n && reachable_count(&bwd, 0) == n
+}
+
+/// The strongly connected components of the underlying directed graph
+/// (transitions as nodes, places as edges), each sorted ascending, the
+/// component list ordered by its minimum transition id — a canonical
+/// connectivity report for diagnostics on graphs that fail
+/// [`is_strongly_connected`].
+pub fn strongly_connected_components(graph: &MarkedGraph) -> Vec<Vec<TransitionId>> {
+    // Kosaraju: forward DFS finish order (transitions visited in id order),
+    // then backward DFS over the reversed edges in that order.
+    let n = graph.num_transitions();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, p) in graph.places() {
+        fwd[p.from.index()].push(p.to.index());
+        bwd[p.to.index()].push(p.from.index());
+    }
+    let mut finish = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < fwd[node].len() {
+                let succ = fwd[node][*next];
+                *next += 1;
+                if !seen[succ] {
+                    seen[succ] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                finish.push(node);
+                stack.pop();
+            }
+        }
+    }
+    let mut components = Vec::new();
+    let mut assigned = vec![false; n];
+    for &root in finish.iter().rev() {
+        if assigned[root] {
+            continue;
+        }
+        let mut component = vec![root];
+        assigned[root] = true;
+        let mut queue = vec![root];
+        while let Some(node) = queue.pop() {
+            for &pred in &bwd[node] {
+                if !assigned[pred] {
+                    assigned[pred] = true;
+                    component.push(pred);
+                    queue.push(pred);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(
+            component
+                .into_iter()
+                .map(|t| TransitionId(t as u32))
+                .collect(),
+        );
+    }
+    components.sort_unstable_by_key(|c: &Vec<TransitionId>| c[0]);
+    components
+}
+
+/// Finds a directed cycle carrying **more than one token** such that no
+/// cycle through one of its places carries fewer — the structural witness
+/// that a live, strongly connected marked graph is unsafe (the place can
+/// actually accumulate that many tokens) — or `None` when every place lies
+/// on a one-token cycle.
+///
+/// Places are examined in id order and the first offending place produces
+/// the witness, so the result is a pure function of the graph. Places on no
+/// cycle are skipped (they belong to the non-strongly-connected regime,
+/// reported by [`strongly_connected_components`], where safety falls back
+/// to explicit exploration).
+pub fn multi_token_cycle(graph: &MarkedGraph) -> Option<CycleWitness> {
+    // One shortest-path tree (with parent edges) per distinct target
+    // transition, shared by every place entering it — mirrors `is_safe`.
+    let mut trees: HashMap<usize, TokenPathTree> = HashMap::new();
+    for (id, p) in graph.places() {
+        let (dist, parent) = trees
+            .entry(p.to.index())
+            .or_insert_with(|| token_shortest_paths_with_parents(graph, p.to));
+        let Some(back) = dist[p.from.index()] else {
+            continue; // `p` lies on no cycle.
+        };
+        if back + p.initial_tokens <= 1 {
+            continue;
+        }
+        // Reconstruct the shortest token path p.to -> ... -> p.from, then
+        // close the cycle with `p` itself.
+        let mut places = Vec::new();
+        let mut node = p.from.index();
+        while node != p.to.index() {
+            let (pred, via) = parent[node].expect("reached nodes have parents");
+            places.push(via);
+            node = pred;
+        }
+        places.reverse();
+        places.push(id);
+        canonicalize_cycle(&mut places);
+        return Some(CycleWitness {
+            places,
+            tokens: back + p.initial_tokens,
+        });
+    }
+    None
+}
+
+/// Shortest-path tree of [`token_shortest_paths_with_parents`]: per
+/// transition, the token distance from the start (if reached) and the
+/// parent edge (predecessor transition and the place traversed).
+type TokenPathTree = (Vec<Option<u32>>, Vec<Option<(usize, PlaceId)>>);
+
+/// [`token_shortest_paths`] plus the parent edge (predecessor transition
+/// and the place traversed) of every reached transition, for witness
+/// reconstruction. Ties break deterministically: the heap orders by
+/// (distance, transition id) and parents update only on strict improvement,
+/// with places relaxed in id order.
+fn token_shortest_paths_with_parents(graph: &MarkedGraph, start: TransitionId) -> TokenPathTree {
+    let n = graph.num_transitions();
+    let mut adj: Vec<Vec<(usize, u32, PlaceId)>> = vec![Vec::new(); n];
+    for (id, p) in graph.places() {
+        adj[p.from.index()].push((p.to.index(), p.initial_tokens, id));
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut parent: Vec<Option<(usize, PlaceId)>> = vec![None; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
+    dist[start.index()] = Some(0);
+    heap.push(std::cmp::Reverse((0, start.index())));
+    while let Some(std::cmp::Reverse((d, node))) = heap.pop() {
+        if dist[node] != Some(d) {
+            continue;
+        }
+        for &(succ, w, place) in &adj[node] {
+            let nd = d + w;
+            if dist[succ].is_none_or(|old| nd < old) {
+                dist[succ] = Some(nd);
+                parent[succ] = Some((node, place));
+                heap.push(std::cmp::Reverse((nd, succ)));
+            }
+        }
+    }
+    (dist, parent)
 }
 
 fn reachable_count(adj: &[Vec<usize>], start: usize) -> usize {

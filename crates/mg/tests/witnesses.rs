@@ -1,0 +1,158 @@
+//! Property suite for the witness-producing marked-graph analyses: every
+//! negative verdict of the boolean checks must come with a concrete,
+//! independently checkable witness.
+//!
+//! * `is_live == false` ⟺ [`token_free_cycle`] names a real directed cycle
+//!   whose places carry zero tokens.
+//! * For live, strongly connected graphs, `is_safe == false` ⟺
+//!   [`multi_token_cycle`] names a real directed cycle whose token count
+//!   exceeds one.
+//! * [`strongly_connected_components`] agrees with the boolean
+//!   [`is_strongly_connected`] and partitions the transitions.
+//!
+//! Graphs are generated from a seed: a base ring over every transition
+//! (strong connectivity by construction) plus random chord places, token
+//! counts drawn from a xorshift stream so liveness and safety both vary
+//! across cases.
+
+use desync_mg::analysis::{
+    is_live, is_safe, is_strongly_connected, multi_token_cycle, strongly_connected_components,
+    token_free_cycle,
+};
+use desync_mg::MarkedGraph;
+use proptest::prelude::*;
+
+/// Small deterministic generator (xorshift64*) so cases are reproducible
+/// from the proptest-chosen seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A strongly connected marked graph: a ring over `transitions` nodes plus
+/// `chords` extra places, tokens in `0..=max_tokens` per place.
+fn random_graph(seed: u64, transitions: usize, chords: usize, max_tokens: u64) -> MarkedGraph {
+    let mut rng = Rng(seed);
+    let mut g = MarkedGraph::new();
+    let ids: Vec<_> = (0..transitions)
+        .map(|i| g.add_transition(format!("t{i}")))
+        .collect();
+    for i in 0..transitions {
+        let tokens = rng.below(max_tokens + 1) as u32;
+        g.add_place(ids[i], ids[(i + 1) % transitions], tokens, 1.0);
+    }
+    for _ in 0..chords {
+        let from = rng.below(transitions as u64) as usize;
+        let to = rng.below(transitions as u64) as usize;
+        let tokens = rng.below(max_tokens + 1) as u32;
+        g.add_place(ids[from], ids[to], tokens, 1.0);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn non_liveness_always_has_a_token_free_cycle_witness(
+        seed in 0u64..3000,
+        transitions in 1usize..10,
+        chords in 0usize..8,
+    ) {
+        let g = random_graph(seed, transitions, chords, 1);
+        match token_free_cycle(&g) {
+            Some(witness) => {
+                prop_assert!(!is_live(&g), "witness implies non-liveness");
+                prop_assert!(witness.verify(&g), "witness must be a real cycle");
+                prop_assert_eq!(witness.tokens, 0);
+                for &p in &witness.places {
+                    prop_assert_eq!(g.place(p).initial_tokens, 0);
+                }
+            }
+            None => prop_assert!(is_live(&g), "no witness implies liveness"),
+        }
+    }
+
+    #[test]
+    fn structural_unsafety_always_has_a_multi_token_cycle_witness(
+        seed in 0u64..3000,
+        transitions in 1usize..10,
+        chords in 0usize..8,
+        max_tokens in 1u64..4,
+    ) {
+        let g = random_graph(seed, transitions, chords, max_tokens);
+        // The structural safety theorem applies to live, strongly connected
+        // graphs; the generator guarantees strong connectivity (base ring),
+        // liveness depends on the drawn tokens.
+        prop_assert!(is_strongly_connected(&g));
+        if !is_live(&g) {
+            return Ok(());
+        }
+        match multi_token_cycle(&g) {
+            Some(witness) => {
+                prop_assert!(!is_safe(&g), "witness implies unsafety");
+                prop_assert!(witness.verify(&g), "witness must be a real cycle");
+                prop_assert!(witness.tokens > 1, "tokens = {}", witness.tokens);
+            }
+            None => prop_assert!(is_safe(&g), "no witness implies safety"),
+        }
+    }
+
+    #[test]
+    fn witnesses_are_bit_identical_across_repeated_runs(
+        seed in 0u64..500,
+        transitions in 1usize..8,
+        chords in 0usize..6,
+    ) {
+        let g = random_graph(seed, transitions, chords, 2);
+        let live = token_free_cycle(&g);
+        let safe = multi_token_cycle(&g);
+        let components = strongly_connected_components(&g);
+        for _ in 0..3 {
+            prop_assert_eq!(&token_free_cycle(&g), &live);
+            prop_assert_eq!(&multi_token_cycle(&g), &safe);
+            prop_assert_eq!(&strongly_connected_components(&g), &components);
+        }
+    }
+
+    #[test]
+    fn components_partition_and_agree_with_the_boolean_check(
+        seed in 0u64..1000,
+        transitions in 1usize..8,
+        extra in 0usize..4,
+    ) {
+        // A ring plus a dangling chain: never strongly connected when the
+        // chain is non-empty.
+        let mut g = random_graph(seed, transitions, 2, 1);
+        let mut prev = None;
+        for i in 0..extra {
+            let t = g.add_transition(format!("x{i}"));
+            let from = prev.unwrap_or_else(|| {
+                g.transitions().next().map(|(id, _)| id).unwrap()
+            });
+            g.add_place(from, t, 0, 1.0);
+            prev = Some(t);
+        }
+        let components = strongly_connected_components(&g);
+        prop_assert_eq!(
+            is_strongly_connected(&g),
+            components.len() <= 1,
+            "boolean and component report must agree"
+        );
+        let mut seen: Vec<_> = components.into_iter().flatten().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen.len(), g.num_transitions(), "partition covers all");
+        seen.dedup();
+        prop_assert_eq!(seen.len(), g.num_transitions(), "no transition twice");
+    }
+}

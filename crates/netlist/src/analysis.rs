@@ -65,13 +65,23 @@ pub fn topological_order(netlist: &Netlist) -> Option<Vec<CellId>> {
 
 /// Finds a cycle in the combinational core, if one exists, returned as the
 /// list of cells on the cycle (in traversal order).
+///
+/// The witness is **canonical**: DFS roots are visited in cell-id order
+/// (never hash-map order) and the reported cycle is rotated to start at its
+/// minimum [`CellId`], so the same netlist always yields the same witness —
+/// across runs, processes and refactors of the traversal — and diagnostics
+/// built on it stay byte-stable.
 pub fn find_combinational_cycle(netlist: &Netlist) -> Option<Vec<CellId>> {
     let driver = netlist.driver_map();
     // Iterative DFS with colors: 0 = white, 1 = grey (on stack), 2 = black.
+    // Roots are taken in cell-id order so the first cycle found is a pure
+    // function of the netlist, not of hash-map iteration order.
     let mut color: HashMap<CellId, u8> = HashMap::new();
+    let mut ids: Vec<CellId> = Vec::new();
     for (id, cell) in netlist.cells() {
         if cell.kind.is_combinational() {
             color.insert(id, 0);
+            ids.push(id);
         }
     }
     let comb_preds = |id: CellId| -> Vec<CellId> {
@@ -84,7 +94,6 @@ pub fn find_combinational_cycle(netlist: &Netlist) -> Option<Vec<CellId>> {
             .collect()
     };
 
-    let ids: Vec<CellId> = color.keys().copied().collect();
     for start in ids {
         if color[&start] != 0 {
             continue;
@@ -107,7 +116,9 @@ pub fn find_combinational_cycle(netlist: &Netlist) -> Option<Vec<CellId>> {
                     1 => {
                         // Found a cycle: slice the current path from p onwards.
                         let pos = path.iter().position(|&c| c == p).unwrap_or(0);
-                        return Some(path[pos..].to_vec());
+                        let mut cycle = path[pos..].to_vec();
+                        canonicalize_cycle(&mut cycle);
+                        return Some(cycle);
                     }
                     _ => {}
                 }
@@ -119,6 +130,20 @@ pub fn find_combinational_cycle(netlist: &Netlist) -> Option<Vec<CellId>> {
         }
     }
     None
+}
+
+/// Rotates a cycle in place so it starts at its minimum [`CellId`], keeping
+/// the edge order intact. Two traversals that discover the same cycle at
+/// different entry points therefore report the identical witness.
+fn canonicalize_cycle(cycle: &mut [CellId]) {
+    if let Some(min) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, id)| *id)
+        .map(|(pos, _)| pos)
+    {
+        cycle.rotate_left(min);
+    }
 }
 
 /// The number of logic levels (cells on the longest combinational path).
@@ -403,6 +428,60 @@ mod tests {
     #[test]
     fn no_cycle_in_chain() {
         assert!(find_combinational_cycle(&chain()).is_none());
+    }
+
+    /// Two disjoint combinational cycles: the witness must be the one
+    /// reachable from the lowest cell id, rotated to start at its minimum
+    /// cell id — a pure function of the netlist, pinned here exactly.
+    #[test]
+    fn cycle_witness_is_deterministic_and_canonical() {
+        let mut n = Netlist::new("two_loops");
+        let a = n.add_input("a");
+        // First loop: g0 -> g1 -> g2 -> g0 (cells c0, c1, c2).
+        let x0 = n.add_net("x0");
+        let x1 = n.add_net("x1");
+        let x2 = n.add_net("x2");
+        n.add_gate("g0", CellKind::And, &[a, x2], x0).unwrap();
+        n.add_gate("g1", CellKind::Buf, &[x0], x1).unwrap();
+        n.add_gate("g2", CellKind::Buf, &[x1], x2).unwrap();
+        // Second loop: h0 <-> h1 (cells c3, c4).
+        let y0 = n.add_net("y0");
+        let y1 = n.add_net("y1");
+        n.add_gate("h0", CellKind::And, &[a, y1], y0).unwrap();
+        n.add_gate("h1", CellKind::Buf, &[y0], y1).unwrap();
+
+        let g0 = n.find_cell("g0").unwrap();
+        let g1 = n.find_cell("g1").unwrap();
+        let g2 = n.find_cell("g2").unwrap();
+        // DFS explores *predecessors*, so from g0 the path walks g0, g2, g1
+        // before closing the loop at g0; canonical rotation keeps g0 first.
+        let expected = vec![g0, g2, g1];
+        for _ in 0..50 {
+            assert_eq!(find_combinational_cycle(&n), Some(expected.clone()));
+        }
+    }
+
+    /// The canonical witness starts at the minimum cell id even when the
+    /// DFS enters the cycle elsewhere (the cycle is reachable only through
+    /// a feeder cell with a lower id than part of the loop).
+    #[test]
+    fn cycle_witness_rotates_to_minimum_cell_id() {
+        let mut n = Netlist::new("rotated");
+        let a = n.add_input("a");
+        let w = n.add_net("w");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        let z = n.add_net("z");
+        // c0 ("feeder") reads the loop; the loop itself is c1 -> c2 -> c1.
+        n.add_gate("feeder", CellKind::Buf, &[y], w).unwrap();
+        n.add_gate("l0", CellKind::And, &[a, z], y).unwrap();
+        n.add_gate("l1", CellKind::Buf, &[y], z).unwrap();
+        let _ = (w, x);
+        let l0 = n.find_cell("l0").unwrap();
+        let l1 = n.find_cell("l1").unwrap();
+        let cycle = find_combinational_cycle(&n).unwrap();
+        assert_eq!(cycle[0], l0.min(l1), "witness starts at the minimum id");
+        assert_eq!(cycle, vec![l0, l1]);
     }
 
     #[test]

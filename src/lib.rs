@@ -13,6 +13,9 @@
 //!   subset.
 //! * [`mg`] — marked graphs / signal transition graphs: the token game,
 //!   liveness, safeness, cycle-time analysis and flow equivalence.
+//! * [`lint`] — static verification: witness-producing netlist and
+//!   control-network pass suites with stable diagnostic codes, backing the
+//!   flow's cached pre-flight and the service's admission control.
 //! * [`sta`] — static timing analysis and matched-delay sizing.
 //! * [`sim`] — event-driven gate-level simulation (synchronous and
 //!   desynchronized harnesses).
@@ -85,6 +88,7 @@
 
 pub use desync_circuits as circuits;
 pub use desync_core as core;
+pub use desync_lint as lint;
 pub use desync_mg as mg;
 pub use desync_netlist as netlist;
 pub use desync_power as power;
@@ -101,6 +105,7 @@ pub mod prelude {
         EngineReport, EquivalenceReport, FlowReport, Protocol, ServiceReport, ServiceRequest,
         SizingAnalysis, Stage, StoreConfig, SweepReport, SweepRequest, TimingTable,
     };
+    pub use desync_lint::{lint_design, Diagnostic, LintCode, LintReport, Severity};
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
     pub use desync_netlist::{CellKind, CellLibrary, Netlist, NetlistError, Value};
     pub use desync_power::{
