@@ -4,11 +4,17 @@
 //! coalesce, that a salted-in malformed design is lint-rejected at
 //! admission (every round, both phases), that LRU eviction keeps the
 //! resident weight inside the capacity, and that evicted artifacts
-//! recompute bit-identically. Writes the headline numbers to
-//! `BENCH_service.json` (schema `desync-service/2`, see ROADMAP.md).
+//! recompute bit-identically. A faulty-traffic phase then drives the
+//! asynchronous submission queue: overload must shed as typed `QueueFull`
+//! errors on the reject-new policy, the block-submitter policy must drain
+//! without deadlocking, cancellations and deadlines must resolve typed,
+//! and — under `--features failpoints` — injected worker panics must be
+//! contained per-request. Writes the headline numbers to
+//! `BENCH_service.json` (schema `desync-service/3`, see ROADMAP.md).
 //!
 //! ```text
 //! cargo run --release -p desync-bench --bin service_bench
+//! cargo run --release -p desync-bench --bin service_bench --features failpoints
 //! ```
 
 use desync_bench::service::run_service_bench;
@@ -40,6 +46,26 @@ fn main() {
     assert!(
         report.bounded_matches_unbounded,
         "designs recomputed after eviction must stay bit-identical"
+    );
+    assert!(
+        report.shed > 0,
+        "the bounded reject-new queue must shed its overload as QueueFull"
+    );
+    assert!(
+        report.block_policy_completed,
+        "the block-submitter policy must drain the faulty batch without deadlock"
+    );
+    assert!(
+        report.cancelled > 0 && report.deadline_exceeded > 0,
+        "cancelled and deadline-busted requests must resolve with typed errors"
+    );
+    assert!(
+        report.faulty_survivors_match,
+        "surviving faulty-phase requests must stay bit-identical to fault-free runs"
+    );
+    assert!(
+        cfg!(not(feature = "failpoints")) || report.panics_contained > 0,
+        "the failpoints build must contain at least one injected worker panic"
     );
     let json = report.to_json();
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");

@@ -9,17 +9,28 @@
 //! same design), where the occasional *malformed* design must be turned
 //! away at admission by the static lint without costing any stage work,
 //! and where the artifact store must not grow without bound.
+//! A third, *faulty-traffic* phase drives the asynchronous submission
+//! queue directly: a bounded reject-new queue that must shed overload as
+//! typed [`DesyncError::QueueFull`] errors, a block-submitter queue that
+//! must drain the same traffic without deadlocking, pre-cancelled and
+//! deadline-busted requests, and — under `--features failpoints` —
+//! injected worker panics whose containment (typed
+//! [`DesyncError::StagePanicked`], bystanders bit-identical) is asserted.
+//!
 //! [`run_service_bench`] reports request/coalescing counts, the engine's
-//! hit/eviction counters, lint admission counters and resident weight, and
-//! serializes the headline numbers to `BENCH_service.json` (schema
-//! `desync-service/2`) via [`ServiceBenchReport::to_json`].
+//! hit/eviction counters, lint admission counters, resident weight and the
+//! faulty-phase queue counters, and serializes the headline numbers to
+//! `BENCH_service.json` (schema `desync-service/3`) via
+//! [`ServiceBenchReport::to_json`].
 
 use crate::batch::{mixed_designs, mixed_options};
 use desync_core::{
-    DesyncDesign, DesyncEngine, DesyncError, DesyncService, ServiceRequest, StoreConfig,
+    AdmissionPolicy, CancelToken, DesyncDesign, DesyncEngine, DesyncError, DesyncService,
+    QueueConfig, QueueRequest, ServiceQueue, ServiceRequest, StoreConfig, SubmitOptions,
 };
 use desync_netlist::{CellKind, CellLibrary, Netlist};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many times each (design, options) pair appears in one batch.
@@ -58,7 +69,28 @@ pub struct ServiceBenchReport {
     /// designs bit-identical where both succeed, and payload-equal
     /// `LintRejected` reports where both are turned away.
     pub bounded_matches_unbounded: bool,
-    /// Wall time over both phases.
+    /// Configured pending-depth bound of the faulty-traffic phase's
+    /// reject-new queue.
+    pub queue_depth: usize,
+    /// Highest pending depth any faulty-phase queue reached.
+    pub queue_high_water: usize,
+    /// Overload requests shed with [`DesyncError::QueueFull`] by the
+    /// reject-new admission policy.
+    pub shed: usize,
+    /// Faulty-phase requests resolved [`DesyncError::Cancelled`].
+    pub cancelled: usize,
+    /// Faulty-phase requests resolved [`DesyncError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
+    /// Worker panics contained as typed [`DesyncError::StagePanicked`]
+    /// errors. Zero unless built with `--features failpoints`.
+    pub panics_contained: usize,
+    /// Whether the block-submitter queue drained the whole faulty batch
+    /// without deadlocking (every ticket resolved, nothing shed).
+    pub block_policy_completed: bool,
+    /// Whether every *surviving* faulty-phase request returned a design
+    /// bit-identical to its fault-free baseline.
+    pub faulty_survivors_match: bool,
+    /// Wall time over all phases.
     pub wall: Duration,
 }
 
@@ -70,7 +102,7 @@ impl ServiceBenchReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"desync-service/2\",\n",
+                "  \"schema\": \"desync-service/3\",\n",
                 "  \"requests\": {},\n",
                 "  \"coalesced\": {},\n",
                 "  \"cache_hits\": {},\n",
@@ -82,6 +114,14 @@ impl ServiceBenchReport {
                 "  \"lint_rejections\": {},\n",
                 "  \"lint_cache_hits\": {},\n",
                 "  \"bounded_matches_unbounded\": {},\n",
+                "  \"queue_depth\": {},\n",
+                "  \"queue_high_water\": {},\n",
+                "  \"shed\": {},\n",
+                "  \"cancelled\": {},\n",
+                "  \"deadline_exceeded\": {},\n",
+                "  \"panics_contained\": {},\n",
+                "  \"block_policy_completed\": {},\n",
+                "  \"faulty_survivors_match\": {},\n",
                 "  \"wall_ms\": {:.3}\n",
                 "}}\n"
             ),
@@ -96,6 +136,14 @@ impl ServiceBenchReport {
             self.lint_rejections,
             self.lint_cache_hits,
             self.bounded_matches_unbounded,
+            self.queue_depth,
+            self.queue_high_water,
+            self.shed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.panics_contained,
+            self.block_policy_completed,
+            self.faulty_survivors_match,
             self.wall.as_secs_f64() * 1e3,
         )
     }
@@ -125,10 +173,24 @@ impl fmt::Display for ServiceBenchReport {
             "  lint: {} rejection(s) at admission, {} cached report(s)",
             self.lint_rejections, self.lint_cache_hits
         )?;
-        write!(
+        writeln!(
             f,
             "  bounded results bit-identical to unbounded: {}",
             self.bounded_matches_unbounded
+        )?;
+        writeln!(
+            f,
+            "  faulty traffic: depth {} (high water {}), {} shed, {} cancelled, {} past deadline",
+            self.queue_depth,
+            self.queue_high_water,
+            self.shed,
+            self.cancelled,
+            self.deadline_exceeded
+        )?;
+        write!(
+            f,
+            "  containment: {} panic(s) contained, block policy drained: {}, survivors match: {}",
+            self.panics_contained, self.block_policy_completed, self.faulty_survivors_match
         )
     }
 }
@@ -175,9 +237,209 @@ pub fn poisoned_design() -> Netlist {
     n
 }
 
-/// Runs the two-phase service workload over the stock mixed designs plus
-/// the [`poisoned_design`] (whose requests must all be lint-rejected at
-/// admission).
+/// A clean three-stage pipeline for the faulty-traffic phase; `name`
+/// varies the structural hash, giving each design a distinct fault tag.
+fn faulty_phase_design(name: &str) -> Netlist {
+    let mut n = Netlist::new(name);
+    let clk = n.add_input("clk");
+    let a = n.add_input("a");
+    let q0 = n.add_net("q0");
+    let w0 = n.add_net("w0");
+    let q1 = n.add_net("q1");
+    let w1 = n.add_net("w1");
+    let q2 = n.add_output("q2");
+    n.add_dff("r0", a, clk, q0).expect("faulty-phase dff");
+    n.add_gate("g0", CellKind::Not, &[q0], w0)
+        .expect("faulty-phase gate");
+    n.add_dff("r1", w0, clk, q1).expect("faulty-phase dff");
+    n.add_gate("g1", CellKind::Buf, &[q1], w1)
+        .expect("faulty-phase gate");
+    n.add_dff("r2", w1, clk, q2).expect("faulty-phase dff");
+    n
+}
+
+/// Pending-depth bound of the faulty phase's reject-new queue.
+const FAULTY_QUEUE_DEPTH: usize = 5;
+
+/// Phase 3: faulty traffic through the asynchronous submission queue.
+///
+/// Two sub-scenarios share one pair of designs (a `victim` that injected
+/// faults target by content tag, and a `bystander` that must come through
+/// untouched):
+///
+/// 1. a **reject-new** queue of depth [`FAULTY_QUEUE_DEPTH`], paused so
+///    the whole burst lands at once — the overload past the bound must
+///    shed as [`DesyncError::QueueFull`], pre-cancelled /
+///    deadline-busted requests must resolve with their typed errors
+///    without costing engine work, and a salted-in [`poisoned_design`]
+///    must be turned away at admission with `LintRejected`;
+/// 2. a **block-submitter** queue of depth 1 fed more requests than it
+///    can hold — admission must throttle the submitter and the batch must
+///    drain without deadlock.
+///
+/// Under `--features failpoints` a fault plan panics the victim's timed
+/// stage; containment (typed [`DesyncError::StagePanicked`], bystanders
+/// bit-identical, no wedged in-flight keys) is folded into the report's
+/// `panics_contained` / `faulty_survivors_match` fields.
+fn run_faulty_phase(report: &mut ServiceBenchReport) {
+    let library = CellLibrary::generic_90nm();
+    let victim = faulty_phase_design("faulty_victim");
+    let bystander = faulty_phase_design("faulty_bystander");
+    let options = desync_core::DesyncOptions::default();
+
+    // Fault-free baselines, computed before any plan is installed.
+    let baseline_service = DesyncService::new();
+    let baselines = baseline_service.run_batch(&[
+        ServiceRequest::new(&victim, &library, options),
+        ServiceRequest::new(&bystander, &library, options),
+    ]);
+    let baseline_victim = baselines.results[0].as_ref().expect("baseline victim");
+    let baseline_bystander = baselines.results[1].as_ref().expect("baseline bystander");
+
+    // With the harness compiled in, panic the victim's timed stage.
+    #[cfg(feature = "failpoints")]
+    let scope = desync_core::failpoints::FaultScope::install(
+        desync_core::failpoints::FaultPlan::new().with_fault(
+            "stage::timed",
+            victim.structural_hash(),
+            desync_core::failpoints::FaultAction::Panic,
+        ),
+    );
+
+    let mut survivors_match = true;
+    let mut check_survivor = |result: &Result<DesyncDesign, DesyncError>, is_victim: bool| {
+        if let Ok(design) = result {
+            let baseline = if is_victim {
+                baseline_victim
+            } else {
+                baseline_bystander
+            };
+            survivors_match &= design == baseline;
+        }
+    };
+
+    // Scenario 1: bounded reject-new queue under a paused burst. The first
+    // two admitted requests are a pre-cancelled and a deadline-busted one
+    // (they resolve without engine work), then victim/bystander fill the
+    // queue, and the rest of the burst sheds at admission.
+    {
+        let engine = Arc::new(DesyncEngine::with_workers(2));
+        let queue = ServiceQueue::new(
+            Arc::clone(&engine),
+            QueueConfig::with_workers(2)
+                .with_depth(FAULTY_QUEUE_DEPTH)
+                .with_admission(AdmissionPolicy::RejectNew),
+        );
+        let request = |netlist: &Netlist| {
+            QueueRequest::new(
+                engine.intern_netlist(netlist),
+                engine.intern_library(&library),
+                options,
+            )
+        };
+        queue.pause();
+        let doomed = CancelToken::new();
+        let cancelled_ticket = queue.submit(
+            request(&bystander),
+            SubmitOptions::new().with_cancel(doomed.clone()),
+        );
+        doomed.cancel();
+        let late_ticket = queue.submit(
+            request(&bystander),
+            SubmitOptions::new().with_deadline(Duration::ZERO),
+        );
+        let victim_ticket = queue.submit(request(&victim), SubmitOptions::new());
+        let bystander_ticket = queue.submit(request(&bystander), SubmitOptions::new());
+        let poisoned = poisoned_design();
+        let poisoned_ticket = queue.submit(request(&poisoned), SubmitOptions::new());
+        let overload: Vec<_> = (0..4)
+            .map(|_| queue.submit(request(&bystander), SubmitOptions::new()))
+            .collect();
+        queue.resume();
+
+        assert_eq!(
+            cancelled_ticket.wait(),
+            Err(DesyncError::Cancelled),
+            "a pre-cancelled request must resolve without engine work"
+        );
+        assert_eq!(late_ticket.wait(), Err(DesyncError::DeadlineExceeded));
+        check_survivor(&victim_ticket.wait(), true);
+        check_survivor(&bystander_ticket.wait(), false);
+        assert!(
+            matches!(poisoned_ticket.wait(), Err(DesyncError::LintRejected(_))),
+            "the malformed design must be turned away at admission"
+        );
+        for ticket in overload {
+            assert_eq!(
+                ticket.wait(),
+                Err(DesyncError::QueueFull),
+                "overload past the bound must shed at admission"
+            );
+        }
+        let counters = queue.counters();
+        report.queue_depth = FAULTY_QUEUE_DEPTH;
+        report.queue_high_water = report.queue_high_water.max(counters.high_water);
+        report.shed += counters.shed;
+        report.cancelled += counters.cancelled;
+        report.deadline_exceeded += counters.deadline_exceeded;
+        report.panics_contained += counters.panics_contained;
+        assert_eq!(
+            engine.inflight_artifacts(),
+            0,
+            "faulty traffic must never wedge the in-flight registry"
+        );
+    }
+
+    // Scenario 2: depth-1 block-submitter queue fed a burst larger than
+    // its bound — admission throttles this thread while the workers drain,
+    // and every ticket must still resolve (no deadlock, nothing shed).
+    {
+        let engine = Arc::new(DesyncEngine::with_workers(2));
+        let queue = ServiceQueue::new(
+            Arc::clone(&engine),
+            QueueConfig::with_workers(2)
+                .with_depth(1)
+                .with_admission(AdmissionPolicy::BlockSubmitter),
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                let netlist = if i % 2 == 0 { &victim } else { &bystander };
+                let request = QueueRequest::new(
+                    engine.intern_netlist(netlist),
+                    engine.intern_library(&library),
+                    options,
+                );
+                (i % 2 == 0, queue.submit(request, SubmitOptions::new()))
+            })
+            .collect();
+        let mut drained = true;
+        for (is_victim, ticket) in tickets {
+            let result = ticket.wait();
+            drained &= !matches!(result, Err(DesyncError::QueueFull));
+            check_survivor(&result, is_victim);
+        }
+        let counters = queue.counters();
+        report.block_policy_completed = drained && counters.shed == 0;
+        report.queue_high_water = report.queue_high_water.max(counters.high_water);
+        report.panics_contained += counters.panics_contained;
+        assert_eq!(engine.inflight_artifacts(), 0);
+    }
+
+    #[cfg(feature = "failpoints")]
+    {
+        assert!(
+            scope.total_fired() > 0,
+            "the failpoints build must actually inject faults"
+        );
+        drop(scope);
+    }
+    report.faulty_survivors_match = survivors_match;
+}
+
+/// Runs the two store phases over the stock mixed designs plus the
+/// [`poisoned_design`] (whose requests must all be lint-rejected at
+/// admission), then the faulty-traffic [phase 3](run_faulty_phase) over
+/// the asynchronous submission queue.
 pub fn run_service_bench() -> ServiceBenchReport {
     let mut designs = mixed_designs();
     designs.push(poisoned_design());
@@ -210,6 +472,14 @@ pub fn run_service_bench() -> ServiceBenchReport {
         lint_rejections: 0,
         lint_cache_hits: 0,
         bounded_matches_unbounded: false,
+        queue_depth: 0,
+        queue_high_water: 0,
+        shed: 0,
+        cancelled: 0,
+        deadline_exceeded: 0,
+        panics_contained: 0,
+        block_policy_completed: false,
+        faulty_survivors_match: false,
         wall: Duration::ZERO,
     };
     let started = Instant::now();
@@ -244,6 +514,9 @@ pub fn run_service_bench() -> ServiceBenchReport {
         .iter()
         .zip(&bounded_results)
         .all(|(a, b)| a == b);
+
+    // Phase 3: faulty traffic through the asynchronous submission queue.
+    run_faulty_phase(&mut report);
 
     report.wall = started.elapsed();
     report
@@ -328,13 +601,33 @@ mod tests {
         );
         assert!(report.lint_cache_hits > 0, "{report}");
         assert!(report.bounded_matches_unbounded);
+        // The faulty-traffic phase: the reject queue shed its overload,
+        // the block queue drained, the typed cancel/deadline errors were
+        // counted, and every survivor stayed bit-identical.
+        assert_eq!(report.queue_depth, FAULTY_QUEUE_DEPTH, "{report}");
+        assert_eq!(report.shed, 4, "{report}");
+        assert_eq!(report.cancelled, 1, "{report}");
+        assert_eq!(report.deadline_exceeded, 1, "{report}");
+        assert!(report.queue_high_water >= FAULTY_QUEUE_DEPTH, "{report}");
+        assert!(report.block_policy_completed, "{report}");
+        assert!(report.faulty_survivors_match, "{report}");
+        // Panic containment fires exactly when the harness is compiled in.
+        if cfg!(feature = "failpoints") {
+            assert!(report.panics_contained > 0, "{report}");
+        } else {
+            assert_eq!(report.panics_contained, 0, "{report}");
+        }
         let text = report.to_string();
         assert!(text.contains("rejection(s) at admission"), "{text}");
+        assert!(text.contains("faulty traffic"), "{text}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"desync-service/2\""));
+        assert!(json.contains("\"schema\": \"desync-service/3\""));
         assert!(json.contains("\"coalesced\""));
         assert!(json.contains("\"resident_weight\""));
         assert!(json.contains("\"lint_rejections\""));
         assert!(json.contains("\"lint_cache_hits\""));
+        assert!(json.contains("\"shed\": 4"));
+        assert!(json.contains("\"block_policy_completed\": true"));
+        assert!(json.contains("\"faulty_survivors_match\": true"));
     }
 }

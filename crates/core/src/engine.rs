@@ -607,6 +607,32 @@ impl DesyncEngine {
         netlist: &Netlist,
         library: &CellLibrary,
     ) -> EngineHandle<'a> {
+        let (_, netlist_id) = self.intern_netlist_entry(netlist);
+        let (_, library_id) = self.intern_library_entry(library);
+        EngineHandle {
+            engine: self,
+            netlist: netlist_id,
+            library: library_id,
+        }
+    }
+
+    /// Interns `netlist` and returns the engine's canonical `Arc` for it —
+    /// the same `Arc` every flow over an equal netlist shares. Submitting
+    /// through [`ServiceQueue`](crate::ServiceQueue) requires owned
+    /// (`'static`) request inputs; interning here means repeat submissions
+    /// of one design clone the netlist exactly once, engine-wide.
+    pub fn intern_netlist(&self, netlist: &Netlist) -> Arc<Netlist> {
+        self.intern_netlist_entry(netlist).0
+    }
+
+    /// Interns `library` and returns the engine's canonical `Arc` for it.
+    pub fn intern_library(&self, library: &CellLibrary) -> Arc<CellLibrary> {
+        self.intern_library_entry(library).0
+    }
+
+    /// Interns `netlist`, returning the canonical stored `Arc` plus the
+    /// stable identity the store keys artifacts under.
+    pub(crate) fn intern_netlist_entry(&self, netlist: &Netlist) -> (Arc<Netlist>, NetlistId) {
         // The deep netlist comparison (and the clone of a first-seen
         // netlist) is O(design); doing it while holding the identity mutex
         // would serialize concurrent flow creation on exactly the hot
@@ -616,61 +642,82 @@ impl DesyncEngine {
         let hash = netlist.structural_hash();
         let candidates: Vec<(Arc<Netlist>, NetlistId)> =
             self.with_intern(|s| s.netlists.get(&hash).cloned().unwrap_or_default());
-        let netlist_id = match candidates
+        match candidates
             .iter()
             .find(|(stored, _)| stored.as_ref() == netlist)
         {
-            Some((_, id)) => *id,
+            Some((stored, id)) => (Arc::clone(stored), *id),
             None => {
                 let interned = Arc::new(netlist.clone());
-                self.with_intern(|s| {
+                self.with_intern(move |s| {
                     let fresh = NetlistId(s.num_netlists);
                     let bucket = s.netlists.entry(hash).or_default();
                     match bucket[candidates.len()..]
                         .iter()
                         .find(|(stored, _)| stored.as_ref() == netlist)
                     {
-                        Some((_, id)) => *id,
+                        Some((stored, id)) => (Arc::clone(stored), *id),
                         None => {
-                            bucket.push((interned, fresh));
+                            bucket.push((Arc::clone(&interned), fresh));
                             s.num_netlists += 1;
-                            fresh
+                            (interned, fresh)
                         }
                     }
                 })
             }
-        };
+        }
+    }
+
+    /// Interns `library`, returning the canonical stored `Arc` plus its
+    /// stable identity.
+    pub(crate) fn intern_library_entry(
+        &self,
+        library: &CellLibrary,
+    ) -> (Arc<CellLibrary>, LibraryId) {
         let known_libraries: Vec<Arc<CellLibrary>> = self.with_intern(|s| s.libraries.clone());
-        let library_id = match known_libraries
+        match known_libraries
             .iter()
             .position(|stored| stored.as_ref() == library)
         {
-            Some(index) => LibraryId(index as u32),
+            Some(index) => (Arc::clone(&known_libraries[index]), LibraryId(index as u32)),
             None => {
                 let interned = Arc::new(library.clone());
-                self.with_intern(|s| {
+                self.with_intern(move |s| {
                     match s.libraries[known_libraries.len()..]
                         .iter()
                         .position(|stored| stored.as_ref() == library)
                     {
-                        Some(offset) => LibraryId((known_libraries.len() + offset) as u32),
+                        Some(offset) => {
+                            let index = known_libraries.len() + offset;
+                            (Arc::clone(&s.libraries[index]), LibraryId(index as u32))
+                        }
                         None => {
-                            s.libraries.push(interned);
-                            LibraryId((s.libraries.len() - 1) as u32)
+                            s.libraries.push(Arc::clone(&interned));
+                            (interned, LibraryId((s.libraries.len() - 1) as u32))
                         }
                     }
                 })
             }
-        };
-        EngineHandle {
-            engine: self,
-            netlist: netlist_id,
-            library: library_id,
         }
     }
 
     fn with_intern<T>(&self, f: impl FnOnce(&mut InternState) -> T) -> T {
-        f(&mut self.intern.lock().expect("engine intern lock poisoned"))
+        // Recover a poisoned identity table: interning either completed its
+        // bucket push or never started it (no user code runs under the
+        // lock), so the state is consistent and a panicked thread elsewhere
+        // must not brick every later flow creation.
+        f(&mut self
+            .intern
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Number of artifact computations currently registered in the store's
+    /// in-flight leader/follower registry (zero whenever no computation is
+    /// mid-flight — the fault-injection suite asserts this after every
+    /// faulted batch to prove a panicked leader never wedges a key).
+    pub fn inflight_artifacts(&self) -> usize {
+        self.store.inflight_len()
     }
 
     /// The engine's runtime handle (clone it to share the sizing pool with

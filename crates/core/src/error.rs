@@ -34,6 +34,42 @@ pub enum DesyncError {
     /// stage computes (the report is `Arc`-shared, so cloning the error is
     /// cheap and payloads stay bit-identical across worker threads).
     LintRejected(Arc<LintReport>),
+    /// The request was cancelled cooperatively before it completed: its
+    /// [`CancelToken`](crate::CancelToken) fired, or the owning
+    /// [`ServiceQueue`](crate::ServiceQueue) was dropped with the request
+    /// still pending. Checked at every stage boundary of
+    /// [`DesyncFlow`](crate::DesyncFlow), so a cancelled request stops at the
+    /// next stage edge rather than mid-computation.
+    Cancelled,
+    /// The request's deadline elapsed before a stage boundary was reached.
+    /// Like cancellation this is cooperative: deadlines are checked when the
+    /// request is picked up and at every stage edge, never mid-stage.
+    DeadlineExceeded,
+    /// The submission queue was at its configured depth bound and the
+    /// admission policy is
+    /// [`AdmissionPolicy::RejectNew`](crate::AdmissionPolicy::RejectNew):
+    /// the request was shed instead of enqueued.
+    QueueFull,
+    /// A worker panicked while computing this request. The panic was
+    /// contained per-request (`catch_unwind` at the queue worker), the stage
+    /// that was executing is recorded, and neither the worker thread nor the
+    /// store's in-flight registry is left wedged.
+    StagePanicked {
+        /// Name of the pipeline stage that was executing when the panic
+        /// unwound (`"clustered"`, `"latched"`, `"timed"`, `"controlled"`,
+        /// `"verified"`, or `"request"` if it fired outside any stage).
+        stage: &'static str,
+        /// The panic payload, if it was a string; a placeholder otherwise.
+        message: String,
+    },
+    /// A fault-injection failpoint fired with an `Error` action. Only ever
+    /// produced with the `failpoints` cargo feature enabled (the variant is
+    /// unconditionally present so exhaustive matches don't grow
+    /// feature-dependent arms).
+    FaultInjected {
+        /// The failpoint site that fired (e.g. `"stage::timed"`).
+        site: &'static str,
+    },
 }
 
 /// A rejected knob in [`DesyncOptions`](crate::DesyncOptions), produced by
@@ -115,6 +151,22 @@ impl fmt::Display for DesyncError {
                     None => write!(f, "no diagnostics recorded"),
                 }
             }
+            DesyncError::Cancelled => write!(f, "request was cancelled before it completed"),
+            DesyncError::DeadlineExceeded => {
+                write!(f, "request deadline elapsed before completion")
+            }
+            DesyncError::QueueFull => {
+                write!(
+                    f,
+                    "submission queue is full; request shed by admission policy"
+                )
+            }
+            DesyncError::StagePanicked { stage, message } => {
+                write!(f, "worker panicked in stage '{stage}': {message}")
+            }
+            DesyncError::FaultInjected { site } => {
+                write!(f, "injected fault fired at failpoint '{site}'")
+            }
         }
     }
 }
@@ -179,6 +231,25 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn service_outcome_errors_display_their_cause() {
+        assert!(DesyncError::Cancelled.to_string().contains("cancelled"));
+        assert!(DesyncError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(DesyncError::QueueFull.to_string().contains("queue is full"));
+        let e = DesyncError::StagePanicked {
+            stage: "timed",
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("stage 'timed'"), "{e}");
+        assert!(e.to_string().contains("boom"), "{e}");
+        let e = DesyncError::FaultInjected {
+            site: "store::insert",
+        };
+        assert!(e.to_string().contains("store::insert"), "{e}");
     }
 
     #[test]

@@ -126,12 +126,14 @@ pub mod controller;
 pub mod conversion;
 pub mod engine;
 pub mod error;
+pub mod failpoints;
 pub mod flow;
 pub mod model;
 pub mod options;
 pub mod pipeline;
 pub mod service;
 pub mod store;
+pub mod submit;
 pub mod verify;
 
 pub use cluster::{Cluster, ClusterEdge, ClusterGraph, Parity};
@@ -150,6 +152,10 @@ pub use service::{
     SweepRequest,
 };
 pub use store::{Fetched, StoreConfig, Weigh};
+pub use submit::{
+    AdmissionPolicy, CancelToken, Interrupt, QueueConfig, QueueCounters, QueueRequest,
+    QueueSweepRequest, ServiceQueue, SubmitOptions, TicketHandle,
+};
 pub use verify::{
     sync_reference_run, sync_reference_run_with_model, verify_flow_equivalence,
     verify_flow_equivalence_with_parts, verify_flow_equivalence_with_reference, DivergenceWindow,

@@ -30,10 +30,12 @@ use crate::controller::ControllerImpl;
 use crate::conversion::{to_desynchronized_datapath, LatchDesign};
 use crate::engine::{DesyncEngine, DesyncRuntime, EngineHandle};
 use crate::error::DesyncError;
+use crate::failpoints;
 use crate::flow::DesyncDesign;
 use crate::model::{ControlModel, EnvironmentSpec, ModelDelays};
 use crate::options::{DesyncOptions, StagePrefix};
 use crate::store::Fetched;
+use crate::submit::{stage_trace, Interrupt};
 use crate::verify::{
     sim_config_from, sync_reference_run_with_model, verify_flow_equivalence_with_parts,
     EquivalenceReport,
@@ -339,6 +341,9 @@ pub struct DesyncFlow<'a> {
     library: &'a CellLibrary,
     options: DesyncOptions,
     engine: Option<EngineHandle<'a>>,
+    /// The interrupt condition (cancellation + deadline) checked at every
+    /// stage boundary; defaults to never firing for plain flows.
+    interrupt: Interrupt,
     stimulus: Option<VectorSource>,
     verify_cycles: usize,
     /// Per-flow memo of the synchronous reference run for detached flows
@@ -430,6 +435,7 @@ impl<'a> DesyncFlow<'a> {
             library,
             options,
             engine: engine.map(|e| e.attach(netlist, library)),
+            interrupt: Interrupt::none(),
             stimulus: None,
             verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
             sync_memo: None,
@@ -564,6 +570,21 @@ impl<'a> DesyncFlow<'a> {
         self
     }
 
+    /// Attaches an [`Interrupt`] (cancellation token and/or deadline) to the
+    /// flow. Every stage accessor checks it at entry — i.e. at stage
+    /// *boundaries* — and returns [`DesyncError::Cancelled`] /
+    /// [`DesyncError::DeadlineExceeded`] instead of computing further.
+    /// Cancellation is cooperative: a stage already executing runs to
+    /// completion (and its artifact may still be published to an attached
+    /// engine, where it benefits other requests).
+    ///
+    /// [`ServiceQueue`](crate::ServiceQueue) sets this on every request's
+    /// flow; plain flows default to an interrupt that never fires.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) -> &mut Self {
+        self.interrupt = interrupt;
+        self
+    }
+
     /// Drops the cached artifacts of `stage` and every later stage; they are
     /// recomputed on next access.
     pub fn invalidate_from(&mut self, stage: Stage) {
@@ -644,6 +665,7 @@ impl<'a> DesyncFlow<'a> {
     /// signatures uniform across stages.
     pub fn lint(&mut self) -> Result<Arc<LintReport>, DesyncError> {
         if self.lint.is_none() {
+            self.interrupt.check()?;
             let netlist = self.netlist;
             let report = match self.engine {
                 Some(handle) => {
@@ -677,6 +699,8 @@ impl<'a> DesyncFlow<'a> {
     /// signatures uniform across stages.
     pub fn clustered(&mut self) -> Result<&ClusterGraph, DesyncError> {
         if self.clustered.is_none() {
+            self.interrupt.check()?;
+            stage_trace::enter("clustered");
             let netlist = self.netlist;
             let clustering = self.options.clustering;
             let graph = match self.engine {
@@ -684,6 +708,7 @@ impl<'a> DesyncFlow<'a> {
                     let key = handle.stage_key(&self.options, Stage::Clustered);
                     let mut elapsed = None;
                     let (graph, how) = handle.clustered_or(key, || {
+                        failpoints::hit("stage::clustered")?;
                         let started = Instant::now();
                         let graph = Arc::new(ClusterGraph::build(netlist, clustering));
                         elapsed = Some(started.elapsed());
@@ -693,6 +718,7 @@ impl<'a> DesyncFlow<'a> {
                     graph
                 }
                 None => {
+                    failpoints::hit("stage::clustered")?;
                     let started = Instant::now();
                     let graph = Arc::new(ClusterGraph::build(netlist, clustering));
                     self.record(Stage::Clustered, started);
@@ -715,6 +741,8 @@ impl<'a> DesyncFlow<'a> {
     pub fn latched(&mut self) -> Result<&LatchDesign, DesyncError> {
         if self.latched.is_none() {
             self.clustered()?;
+            self.interrupt.check()?;
+            stage_trace::enter("latched");
             let netlist = self.netlist;
             let clusters = Arc::clone(self.clustered.as_ref().expect("clustered stage ran"));
             let design = match self.engine {
@@ -722,6 +750,7 @@ impl<'a> DesyncFlow<'a> {
                     let key = handle.stage_key(&self.options, Stage::Latched);
                     let mut elapsed = None;
                     let (design, how) = handle.latched_or(key, || {
+                        failpoints::hit("stage::latched")?;
                         let started = Instant::now();
                         let design = to_desynchronized_datapath(netlist, &clusters)?;
                         elapsed = Some(started.elapsed());
@@ -731,6 +760,7 @@ impl<'a> DesyncFlow<'a> {
                     design
                 }
                 None => {
+                    failpoints::hit("stage::latched")?;
                     let started = Instant::now();
                     let design = to_desynchronized_datapath(netlist, &clusters)?;
                     self.record(Stage::Latched, started);
@@ -757,6 +787,8 @@ impl<'a> DesyncFlow<'a> {
     pub fn timed(&mut self) -> Result<&TimingTable, DesyncError> {
         if self.timed.is_none() {
             self.latched()?;
+            self.interrupt.check()?;
+            stage_trace::enter("timed");
             let netlist = self.netlist;
             let library = self.library;
             let options = self.options;
@@ -770,6 +802,7 @@ impl<'a> DesyncFlow<'a> {
                     let mut elapsed = None;
                     let mut rebound = false;
                     let (table, how) = handle.timed_or(key, || {
+                        failpoints::hit("stage::timed")?;
                         let started = Instant::now();
                         let analysis_key = handle.sizing_key(options.sizing_analysis_prefix());
                         let (analysis, analysis_how) = handle.sizing_or(analysis_key, || {
@@ -790,6 +823,7 @@ impl<'a> DesyncFlow<'a> {
                     self.timed = Some(table);
                 }
                 None => {
+                    failpoints::hit("stage::timed")?;
                     let prefix = options.sizing_analysis_prefix();
                     let memo = self
                         .sizing_memo
@@ -831,6 +865,8 @@ impl<'a> DesyncFlow<'a> {
     pub fn controlled(&mut self) -> Result<&ControlNetwork, DesyncError> {
         if self.controlled.is_none() {
             self.timed()?;
+            self.interrupt.check()?;
+            stage_trace::enter("controlled");
             let netlist = self.netlist;
             let options = self.options;
             let clusters = Arc::clone(self.clustered.as_ref().expect("clustered stage ran"));
@@ -840,6 +876,7 @@ impl<'a> DesyncFlow<'a> {
                     let key = handle.stage_key(&options, Stage::Controlled);
                     let mut elapsed = None;
                     let (network, how) = handle.controlled_or(key, || {
+                        failpoints::hit("stage::controlled")?;
                         let started = Instant::now();
                         let network = build_control_network(netlist, &clusters, &timing, &options)?;
                         elapsed = Some(started.elapsed());
@@ -849,6 +886,7 @@ impl<'a> DesyncFlow<'a> {
                     network
                 }
                 None => {
+                    failpoints::hit("stage::controlled")?;
                     let started = Instant::now();
                     let network = build_control_network(netlist, &clusters, &timing, &options)?;
                     self.record(Stage::Controlled, started);
@@ -881,6 +919,8 @@ impl<'a> DesyncFlow<'a> {
     pub fn verified(&mut self) -> Result<&EquivalenceReport, DesyncError> {
         if self.verified.is_none() {
             self.ensure_assembled()?;
+            self.interrupt.check()?;
+            stage_trace::enter("verified");
             if self.stimulus.is_none() {
                 // Surface a clock problem as its own diagnostic instead of
                 // swallowing it (the old `single_clock().ok()` made every
@@ -913,6 +953,9 @@ impl<'a> DesyncFlow<'a> {
                 (*reference).clone(),
                 &async_model,
             )?;
+            // The commit boundary: both simulations ran and agreed, the
+            // report is about to become the flow's verified artifact.
+            failpoints::hit("sim::commit")?;
             self.record(Stage::Verified, started);
             self.verified = Some(report);
         }
@@ -1363,11 +1406,17 @@ fn compute_sizing_analysis(
             // net lists) and every edge is analyzed independently, so the
             // merged result is bit-identical regardless of scheduling.
             let snapshot = Arc::new(snapshot);
+            // Pool tasks hop threads: capture the request tag here so the
+            // dispatch failpoint still matches on the worker thread.
+            let tag = failpoints::current_tag();
             let tasks: Vec<SizingTask> = jobs
                 .into_iter()
                 .map(|job| {
                     let snapshot = Arc::clone(&snapshot);
-                    Box::new(move || run_sizing_job(&snapshot, &job)) as SizingTask
+                    Box::new(move || {
+                        failpoints::hit_in_pool("pool::dispatch", tag);
+                        run_sizing_job(&snapshot, &job)
+                    }) as SizingTask
                 })
                 .collect();
             pool.run(tasks).into_iter().flatten().collect()

@@ -48,6 +48,44 @@
 //! batch over the same designs is served from the store, and a sweep after
 //! a design batch reuses the construction stages the batch already built.
 //!
+//! # The asynchronous core underneath
+//!
+//! Both entry points are thin synchronous wrappers over the async
+//! submission front-end, [`ServiceQueue`](crate::ServiceQueue) (module
+//! [`submit`](crate::submit)). A caller that wants the full lifecycle —
+//! non-blocking submission with per-request [`TicketHandle`](crate::TicketHandle)s
+//! (`poll` / `try_wait` / `wait`), cooperative cancellation through
+//! [`CancelToken`](crate::CancelToken)s checked at every
+//! [`DesyncFlow`](crate::DesyncFlow) stage boundary, per-request deadlines,
+//! and backpressure via a bounded queue with a configurable
+//! [`AdmissionPolicy`](crate::AdmissionPolicy) — creates a queue directly
+//! with [`DesyncService::queue_with`] and keeps it alive across requests.
+//!
+//! The wrappers stage a batch deterministically: the queue is **paused**,
+//! every coalesced group is submitted, then the queue resumes — so the
+//! whole batch is formed before any worker picks up work, exactly like the
+//! historical all-at-once batch execution, and the queue's high-water mark
+//! is pinned at the group count regardless of worker timing. Results are
+//! bit-identical to the historical synchronous implementation; the reports
+//! additionally carry the queue's traffic counters (high water, sheds,
+//! contained panics, cancellations, deadline misses — all zero for a
+//! healthy fault-free batch).
+//!
+//! Robustness guarantees (proven deterministically by the fault-injection
+//! suite under the `failpoints` feature, see [`failpoints`](crate::failpoints)
+//! for the failpoint catalog):
+//!
+//! * a worker panic is contained to *its* request — the ticket resolves
+//!   [`DesyncError::StagePanicked`] naming the stage, the batch and the
+//!   workers survive, and the store's in-flight leader/follower registry
+//!   is never wedged (followers of a failed leader retry or surface the
+//!   error),
+//! * a cancelled request stops at the next stage boundary with
+//!   [`DesyncError::Cancelled`]; an expired one with
+//!   [`DesyncError::DeadlineExceeded`],
+//! * a full bounded queue sheds with [`DesyncError::QueueFull`] (or blocks
+//!   the submitter, by policy) instead of growing without bound.
+//!
 //! ```
 //! use desync_core::{DesyncService, DesyncOptions, ServiceRequest};
 //! use desync_netlist::{CellKind, CellLibrary, Netlist};
@@ -81,12 +119,15 @@ use crate::engine::DesyncEngine;
 use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::options::DesyncOptions;
+use crate::submit::{
+    QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, SubmitOptions,
+    TicketHandle,
+};
 use crate::verify::EquivalenceReport;
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::VectorSource;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Whether two `(netlist, library)` pairs denote the identical computation
@@ -189,7 +230,7 @@ impl<'a> SweepRequest<'a> {
 /// See the [module documentation](self) for the scheduling model.
 #[derive(Debug)]
 pub struct DesyncService {
-    engine: DesyncEngine,
+    engine: Arc<DesyncEngine>,
     concurrency: usize,
 }
 
@@ -209,6 +250,13 @@ impl DesyncService {
     /// Wraps an existing engine (bring your own store capacity / runtime).
     /// The concurrency bound defaults to the engine runtime's worker count.
     pub fn with_engine(engine: DesyncEngine) -> Self {
+        Self::with_shared_engine(Arc::new(engine))
+    }
+
+    /// Wraps an engine that is already shared (e.g. with long-lived
+    /// [`ServiceQueue`]s). The concurrency bound defaults to the engine
+    /// runtime's worker count.
+    pub fn with_shared_engine(engine: Arc<DesyncEngine>) -> Self {
         let concurrency = engine.runtime().workers();
         Self {
             engine,
@@ -231,6 +279,27 @@ impl DesyncService {
     /// The engine behind the service (for reports or direct flows).
     pub fn engine(&self) -> &DesyncEngine {
         &self.engine
+    }
+
+    /// The shared handle to the engine (for building long-lived
+    /// [`ServiceQueue`]s or other co-owners of the store).
+    pub fn shared_engine(&self) -> Arc<DesyncEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Spawns a standalone async submission queue over this service's
+    /// engine: unbounded depth, reject-new admission, and as many workers
+    /// as the service's concurrency bound. The queue shares the engine's
+    /// store, so its requests reuse (and feed) the same artifact cache as
+    /// the synchronous wrappers.
+    pub fn queue(&self) -> ServiceQueue {
+        self.queue_with(QueueConfig::with_workers(self.concurrency))
+    }
+
+    /// Spawns a standalone async submission queue with an explicit
+    /// [`QueueConfig`] (depth bound, admission policy, worker count).
+    pub fn queue_with(&self, config: QueueConfig) -> ServiceQueue {
+        ServiceQueue::new(Arc::clone(&self.engine), config)
     }
 
     /// Runs a batch of requests and returns one result per request, in
@@ -262,52 +331,42 @@ impl DesyncService {
             }
         }
 
-        // Execute each group once, on a bounded set of scoped workers. The
-        // workers are plain threads (not sizing-pool jobs): a flow blocks on
-        // `SizingPool::run` while its delay sizing fans out, and parking a
-        // pool worker on the pool's own queue would deadlock it.
-        let slots: Vec<OnceLock<Result<DesyncDesign, DesyncError>>> =
-            (0..groups.len()).map(|_| OnceLock::new()).collect();
+        // Execute each group once through the async submission core. The
+        // queue is paused while the batch stages its groups and resumed
+        // only when all of them are enqueued: the whole batch is formed
+        // before the first worker picks anything up — reproducing the
+        // historical all-at-once batch semantics and pinning the queue's
+        // high-water mark at the group count, independent of scheduling.
         let workers = self.concurrency.clamp(1, groups.len().max(1));
-        let next = AtomicUsize::new(0);
-        let run_group = |group: &ServiceRequest<'_>| -> Result<DesyncDesign, DesyncError> {
-            let mut flow = self
-                .engine
-                .flow(group.netlist, group.library, group.options)?;
-            // Admission control: the O(V+E) lint pre-flight runs (or is
-            // served from the store) before any stage computes, so a
-            // malformed design costs the service nothing but the lint.
-            let lint = flow.lint()?;
-            if !lint.is_clean() {
-                return Err(DesyncError::LintRejected(lint));
-            }
-            flow.design()
-        };
-        if workers <= 1 || groups.len() <= 1 {
-            for (slot, (leader, _)) in slots.iter().zip(&groups) {
-                slot.set(run_group(leader)).expect("slot set once");
-            }
+        let mut queue_counters = QueueCounters::default();
+        let group_results: Vec<Result<DesyncDesign, DesyncError>> = if groups.is_empty() {
+            Vec::new()
         } else {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((leader, _)) = groups.get(index) else {
-                            break;
-                        };
-                        slots[index].set(run_group(leader)).expect("slot set once");
-                    });
-                }
-            });
-        }
+            let queue = self.queue_with(QueueConfig::with_workers(workers));
+            queue.pause();
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|(leader, _)| {
+                    let request = QueueRequest::new(
+                        self.engine.intern_netlist(leader.netlist),
+                        self.engine.intern_library(leader.library),
+                        leader.options,
+                    );
+                    queue.submit(request, SubmitOptions::default())
+                })
+                .collect();
+            queue.resume();
+            let results = handles.into_iter().map(TicketHandle::wait).collect();
+            queue_counters = queue.counters();
+            results
+        };
 
         // Fan the shared results back out to every coalesced request slot:
         // clones only for the coalesced duplicates, the group's own result
         // is moved.
         let mut results: Vec<Option<Result<DesyncDesign, DesyncError>>> =
             (0..requests.len()).map(|_| None).collect();
-        for (slot, (_, members)) in slots.into_iter().zip(&groups) {
-            let result = slot.into_inner().expect("every group executed");
+        for (result, (_, members)) in group_results.into_iter().zip(&groups) {
             for &index in &members[1..] {
                 results[index] = Some(result.clone());
             }
@@ -336,6 +395,11 @@ impl DesyncService {
                 .count(),
             lint_cache_hits: after.lint_hits - before.lint_hits,
             failures: results.iter().filter(|r| r.is_err()).count(),
+            queue_high_water: queue_counters.high_water,
+            shed: queue_counters.shed,
+            panics_contained: queue_counters.panics_contained,
+            cancelled: queue_counters.cancelled,
+            deadline_exceeded: queue_counters.deadline_exceeded,
         };
         ServiceOutcome { results, report }
     }
@@ -374,69 +438,44 @@ impl DesyncService {
             }
         }
 
-        // One verification per group; each worker additionally accumulates
-        // the events its simulations actually committed (sync references
-        // served from the cache count zero — nothing was simulated).
-        let run_point =
-            |point: &SweepRequest<'_>| -> (Result<EquivalenceReport, DesyncError>, usize) {
-                let attempt = || -> Result<(EquivalenceReport, usize), DesyncError> {
-                    let mut flow = self
-                        .engine
-                        .flow(point.netlist, point.library, point.options)?;
-                    // Same admission gate as run_batch: reject statically
-                    // before any stage or simulation runs.
-                    let lint = flow.lint()?;
-                    if !lint.is_clean() {
-                        return Err(DesyncError::LintRejected(lint));
-                    }
-                    flow.set_verification(point.stimulus.clone(), point.cycles);
-                    let report = flow.verified()?.clone();
-                    let mut simulated = report.async_run.committed_events;
-                    if flow.sync_run_cache_hits() == 0 {
-                        simulated += report.sync_run.committed_events;
-                    }
-                    Ok((report, simulated))
-                };
-                match attempt() {
-                    Ok((report, simulated)) => (Ok(report), simulated),
-                    Err(error) => (Err(error), 0),
-                }
-            };
-
-        let slots: Vec<OnceLock<Result<EquivalenceReport, DesyncError>>> =
-            (0..groups.len()).map(|_| OnceLock::new()).collect();
+        // One verification per group, through the async submission core
+        // (pause → stage all groups → resume, exactly like run_batch). The
+        // queue's workers additionally accumulate the events their
+        // simulations actually committed (sync references served from the
+        // cache count zero — nothing was simulated).
         let workers = self.concurrency.clamp(1, groups.len().max(1));
+        let mut queue_counters = QueueCounters::default();
         let mut per_worker_events = vec![0usize; workers];
-        if workers <= 1 || groups.len() <= 1 {
-            for (slot, (leader, _)) in slots.iter().zip(&groups) {
-                let (result, simulated) = run_point(leader);
-                per_worker_events[0] += simulated;
-                slot.set(result).expect("slot set once");
-            }
+        let group_results: Vec<Result<EquivalenceReport, DesyncError>> = if groups.is_empty() {
+            Vec::new()
         } else {
-            let next = AtomicUsize::new(0);
-            let (next, groups, slots, run_point) = (&next, &groups, &slots, &run_point);
-            std::thread::scope(|scope| {
-                for events in per_worker_events.iter_mut() {
-                    scope.spawn(move || loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((leader, _)) = groups.get(index) else {
-                            break;
-                        };
-                        let (result, simulated) = run_point(leader);
-                        *events += simulated;
-                        slots[index].set(result).expect("slot set once");
-                    });
-                }
-            });
-        }
+            let queue = self.queue_with(QueueConfig::with_workers(workers));
+            queue.pause();
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|(leader, _)| {
+                    let request = QueueSweepRequest::new(
+                        self.engine.intern_netlist(leader.netlist),
+                        self.engine.intern_library(leader.library),
+                        leader.options,
+                        leader.stimulus.clone(),
+                        leader.cycles,
+                    );
+                    queue.submit_sweep(request, SubmitOptions::default())
+                })
+                .collect();
+            queue.resume();
+            let results = handles.into_iter().map(TicketHandle::wait).collect();
+            queue_counters = queue.counters();
+            per_worker_events = queue.worker_events();
+            results
+        };
 
         // Deterministic merge: fan the shared results back out to every
         // coalesced point slot, in request order.
         let mut results: Vec<Option<Result<EquivalenceReport, DesyncError>>> =
             (0..requests.len()).map(|_| None).collect();
-        for (slot, (_, members)) in slots.into_iter().zip(&groups) {
-            let result = slot.into_inner().expect("every group executed");
+        for (result, (_, members)) in group_results.into_iter().zip(&groups) {
             for &index in &members[1..] {
                 results[index] = Some(result.clone());
             }
@@ -469,6 +508,11 @@ impl DesyncService {
                 .count(),
             lint_cache_hits: after.lint_hits - before.lint_hits,
             failures: results.iter().filter(|r| r.is_err()).count(),
+            queue_high_water: queue_counters.high_water,
+            shed: queue_counters.shed,
+            panics_contained: queue_counters.panics_contained,
+            cancelled: queue_counters.cancelled,
+            deadline_exceeded: queue_counters.deadline_exceeded,
         };
         SweepOutcome { results, report }
     }
@@ -515,6 +559,20 @@ pub struct ServiceReport {
     pub lint_cache_hits: usize,
     /// Requests whose result is an error.
     pub failures: usize,
+    /// Highest pending depth the submission queue reached. With the
+    /// pause-stage-resume wrappers this equals `unique` (the whole batch
+    /// is staged before execution starts), deterministically.
+    pub queue_high_water: usize,
+    /// Requests shed with [`DesyncError::QueueFull`] (always zero for the
+    /// synchronous wrappers, which run an unbounded queue).
+    pub shed: usize,
+    /// Worker panics contained into per-request
+    /// [`DesyncError::StagePanicked`] results (counted inside `failures`).
+    pub panics_contained: usize,
+    /// Requests resolved [`DesyncError::Cancelled`].
+    pub cancelled: usize,
+    /// Requests resolved [`DesyncError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
 }
 
 impl fmt::Display for ServiceReport {
@@ -533,10 +591,19 @@ impl fmt::Display for ServiceReport {
             "  store: {} hit(s) / {} miss(es), {} eviction(s), {} weight resident; {} failure(s)",
             self.cache_hits, self.cache_misses, self.evictions, self.resident_weight, self.failures
         )?;
-        write!(
+        writeln!(
             f,
             "  lint: {} rejection(s) at admission, {} report(s) served from cache",
             self.lint_rejections, self.lint_cache_hits
+        )?;
+        write!(
+            f,
+            "  queue: high water {}, {} shed, {} panic(s) contained, {} cancelled, {} past deadline",
+            self.queue_high_water,
+            self.shed,
+            self.panics_contained,
+            self.cancelled,
+            self.deadline_exceeded
         )
     }
 }
@@ -595,6 +662,19 @@ pub struct SweepReport {
     pub lint_cache_hits: usize,
     /// Points whose result is an error.
     pub failures: usize,
+    /// Highest pending depth the submission queue reached (equals `unique`
+    /// under the pause-stage-resume wrappers, deterministically).
+    pub queue_high_water: usize,
+    /// Points shed with [`DesyncError::QueueFull`] (always zero for the
+    /// synchronous wrappers, which run an unbounded queue).
+    pub shed: usize,
+    /// Worker panics contained into per-point
+    /// [`DesyncError::StagePanicked`] results (counted inside `failures`).
+    pub panics_contained: usize,
+    /// Points resolved [`DesyncError::Cancelled`].
+    pub cancelled: usize,
+    /// Points resolved [`DesyncError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
 }
 
 impl SweepReport {
@@ -632,10 +712,19 @@ impl fmt::Display for SweepReport {
             self.events_simulated(),
             self.failures
         )?;
-        write!(
+        writeln!(
             f,
             "  lint: {} rejection(s) at admission, {} report(s) served from cache",
             self.lint_rejections, self.lint_cache_hits
+        )?;
+        write!(
+            f,
+            "  queue: high water {}, {} shed, {} panic(s) contained, {} cancelled, {} past deadline",
+            self.queue_high_water,
+            self.shed,
+            self.panics_contained,
+            self.cancelled,
+            self.deadline_exceeded
         )
     }
 }

@@ -37,6 +37,16 @@
 //! * **Counters.** Hits, misses, evictions, coalesced waits and resident
 //!   weight are tracked per kind and surfaced through
 //!   [`EngineReport`](crate::EngineReport).
+//! * **Poison recovery.** Computations always run outside every lock, and
+//!   each critical section finishes its structural mutation (map insert or
+//!   remove plus the matching weight/entry bookkeeping) before anything
+//!   that can unwind executes, so a panic that poisons a shard or registry
+//!   mutex (a panicking value `Clone`, say) can at worst lose a counter
+//!   increment or an LRU refresh — never the map/weight invariants. Every
+//!   acquisition therefore recovers with
+//!   `unwrap_or_else(PoisonError::into_inner)` instead of cascading the
+//!   panic: one panicked request must not brick every later store access
+//!   in a long-running service.
 //!
 //! The store is deliberately generic over key and value so tests (and a
 //! future persisted tier) can instantiate it with toy types; the engine
@@ -46,7 +56,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// The approximate in-memory size of a cached artifact, in abstract units
 /// (graph nodes, table entries, trace values — anything proportional to
@@ -230,11 +240,15 @@ impl<K: StoreKey, V> Drop for InflightGuard<'_, K, V> {
         if !self.armed {
             return;
         }
-        *self.cell.state.lock().expect("inflight state poisoned") = InflightState::Failed;
+        *self
+            .cell
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = InflightState::Failed;
         self.cell.ready.notify_all();
         self.registry
             .lock()
-            .expect("inflight registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&self.key);
     }
 }
@@ -342,7 +356,7 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
             // Register with the key's in-flight shard; first comer leads.
             let registry = self.inflight_of(&key);
             let (cell, leader) = {
-                let mut registry = registry.lock().expect("inflight registry poisoned");
+                let mut registry = registry.lock().unwrap_or_else(PoisonError::into_inner);
                 match registry.get(&key) {
                     Some(cell) => (Arc::clone(cell), false),
                     None => {
@@ -381,12 +395,12 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
                 return Ok((value, Fetched::Computed));
             }
             // Follower: wait for the leader to resolve the cell.
-            let mut state = cell.state.lock().expect("inflight state poisoned");
+            let mut state = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
             while matches!(*state, InflightState::Pending) {
                 state = cell
                     .ready
                     .wait(state)
-                    .expect("inflight state poisoned while waiting");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             match &*state {
                 InflightState::Done(value) => {
@@ -413,6 +427,20 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
         self.shards.len()
     }
 
+    /// Number of computations currently registered in the in-flight
+    /// leader/follower registry, summed over all shards.
+    ///
+    /// Entries live only while a leader computes, so outside an active
+    /// `get_or_try_compute` this is zero — the fault-injection suite asserts
+    /// exactly that after every faulted batch to prove a panicked leader
+    /// never wedges a key.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight
+            .iter()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
     /// Marks an in-flight cell `Done(value)`, wakes its followers and
     /// unregisters it; disarms `guard` so its failure path stays idle.
     fn resolve(
@@ -422,12 +450,12 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
         key: &K,
         value: V,
     ) {
-        *cell.state.lock().expect("inflight state poisoned") = InflightState::Done(value);
+        *cell.state.lock().unwrap_or_else(PoisonError::into_inner) = InflightState::Done(value);
         cell.ready.notify_all();
         guard.armed = false;
         registry
             .lock()
-            .expect("inflight registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(key);
     }
 
@@ -437,7 +465,10 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     /// caller actually computes.
     fn lookup_serving(&self, key: &K) -> Option<V> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let mut shard = self
+            .shard_of(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let kind = key.kind();
         match shard.map.get_mut(key) {
             Some(entry) => {
@@ -453,13 +484,19 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     /// Books a hit for `key`'s kind (a coalesced call served off an
     /// in-flight cell — the value never touched this caller's shard map).
     fn count_hit(&self, key: &K) {
-        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let mut shard = self
+            .shard_of(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.hits_by_kind[key.kind()] += 1;
     }
 
     /// Books the miss of the one caller that computes `key`'s value.
     fn count_miss(&self, key: &K) {
-        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let mut shard = self
+            .shard_of(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.misses_by_kind[key.kind()] += 1;
     }
 
@@ -483,7 +520,10 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     /// its LRU position on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(key).lock().expect("store shard poisoned");
+        let mut shard = self
+            .shard_of(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let kind = key.kind();
         match shard.map.get_mut(key) {
             Some(entry) => {
@@ -508,10 +548,16 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     /// unaffected because publishers always hold their own `Arc`. The
     /// resident weight therefore never exceeds the configured capacity.
     pub fn insert(&self, key: K, value: V) {
+        // Unit failpoint at the publication boundary (before any lock is
+        // held, so an injected panic can never poison a shard from here).
+        crate::failpoints::hit_unit("store::insert");
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let weight = value.weight().max(1);
         let kind = key.kind();
-        let mut shard = self.shard_of(&key).lock().expect("store shard poisoned");
+        let mut shard = self
+            .shard_of(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(old) = shard.map.insert(
             key,
             Entry {
@@ -553,7 +599,7 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     /// not an eviction).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("store shard poisoned");
+            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             shard.map.clear();
             shard.resident = 0;
             shard.resident_by_kind.iter_mut().for_each(|w| *w = 0);
@@ -565,7 +611,7 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     pub fn resident_weight(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("store shard poisoned").resident)
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).resident)
             .sum()
     }
 
@@ -573,7 +619,7 @@ impl<K: StoreKey, V: Weigh + Clone> ArtifactStore<K, V> {
     pub fn stats(&self) -> StoreStats {
         let mut kinds = vec![StoreKindStats::default(); self.kinds];
         for shard in &self.shards {
-            let shard = shard.lock().expect("store shard poisoned");
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             for (i, slot) in kinds.iter_mut().enumerate() {
                 slot.entries += shard.entries_by_kind[i];
                 slot.hits += shard.hits_by_kind[i];
@@ -660,6 +706,59 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.kinds[0].evictions, 1);
         assert_eq!(stats.kinds[1].evictions, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_locks_recover_instead_of_cascading() {
+        use std::sync::atomic::AtomicBool;
+
+        /// A value whose `Clone` panics exactly once, poisoning whatever
+        /// lock is held at the time.
+        #[derive(Debug)]
+        struct Volatile(Arc<AtomicBool>, usize);
+
+        impl Clone for Volatile {
+            fn clone(&self) -> Self {
+                if self.0.swap(false, Ordering::SeqCst) {
+                    panic!("clone bomb");
+                }
+                Volatile(Arc::clone(&self.0), self.1)
+            }
+        }
+
+        impl Weigh for Volatile {
+            fn weight(&self) -> usize {
+                1
+            }
+        }
+
+        let armed = Arc::new(AtomicBool::new(false));
+        let s: ArtifactStore<Key, Volatile> =
+            ArtifactStore::new(2, StoreConfig::default().with_shards(1));
+        s.insert(Key(0, 1), Volatile(Arc::clone(&armed), 7));
+        // Arm the bomb and poison the (single) shard lock from a scratch
+        // thread: `get` clones the resident value while holding the lock.
+        armed.store(true, Ordering::SeqCst);
+        std::thread::scope(|scope| {
+            let poisoner = scope.spawn(|| {
+                let _ = s.get(&Key(0, 1));
+            });
+            assert!(poisoner.join().is_err(), "the clone bomb must have fired");
+        });
+        // Every later access recovers the poisoned lock and keeps serving.
+        assert_eq!(s.get(&Key(0, 1)).map(|v| v.1), Some(7));
+        s.insert(Key(1, 2), Volatile(Arc::clone(&armed), 9));
+        assert_eq!(s.get(&Key(1, 2)).map(|v| v.1), Some(9));
+        assert_eq!(s.resident_weight(), 2);
+        let (value, fetched) = s
+            .get_or_try_compute::<()>(Key(0, 3), || Ok(Volatile(Arc::clone(&armed), 11)))
+            .unwrap();
+        assert_eq!(value.1, 11);
+        assert_eq!(fetched, Fetched::Computed);
+        assert_eq!(s.inflight_len(), 0);
+        let stats = s.stats();
+        assert_eq!(stats.kinds[0].entries, 2);
+        assert_eq!(stats.kinds[1].entries, 1);
     }
 
     #[test]

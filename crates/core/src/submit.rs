@@ -1,0 +1,866 @@
+//! The asynchronous submission front-end: bounded queue, tickets,
+//! cancellation, deadlines and per-request fault containment.
+//!
+//! [`ServiceQueue`] is the execution core that
+//! [`DesyncService`](crate::DesyncService) layers its synchronous
+//! `run_batch`/`run_sweep` wrappers over. Callers **submit** work — a
+//! design request ([`QueueRequest`]) or a verification sweep point
+//! ([`QueueSweepRequest`]) — and immediately receive a [`TicketHandle`]
+//! they can poll, block on, or abandon; a fixed set of worker threads
+//! drains the queue in FIFO order and resolves each ticket with a
+//! `Result`.
+//!
+//! # Lifecycle of a request
+//!
+//! 1. **Admission.** If the queue has a depth bound and is full, the
+//!    configured [`AdmissionPolicy`] decides: `RejectNew` resolves the
+//!    ticket right away with [`DesyncError::QueueFull`] (the request is
+//!    *shed*, counted in [`QueueCounters::shed`]); `BlockSubmitter` parks
+//!    the submitting thread until a slot frees.
+//! 2. **Pickup.** A worker pops the request, first checking its
+//!    [`CancelToken`] and deadline — a request cancelled while queued is
+//!    resolved [`DesyncError::Cancelled`] without touching the engine, an
+//!    expired one [`DesyncError::DeadlineExceeded`].
+//! 3. **Execution.** The worker runs the flow attached to the shared
+//!    engine. The request's [`Interrupt`] travels inside the flow and is
+//!    re-checked at **every stage boundary** (cooperative cancellation:
+//!    a cancelled request stops at the next stage edge, never mid-stage).
+//! 4. **Containment.** The whole execution runs under `catch_unwind`: a
+//!    panicking stage resolves *that request's* ticket with
+//!    [`DesyncError::StagePanicked`] (carrying the stage name from the
+//!    sticky [`stage_trace`]) and the worker survives. The store's
+//!    in-flight registry is unwound by its own drop guard, so followers of
+//!    a failed leader retry instead of hanging — no wedged keys.
+//! 5. **Resolution.** The ticket resolves exactly once (first write wins);
+//!    waiters wake via condvar.
+//!
+//! Dropping the queue cancels every still-pending request (their tickets
+//! resolve [`DesyncError::Cancelled`]), lets in-progress work finish, and
+//! joins the workers.
+//!
+//! # Determinism
+//!
+//! The queue adds *scheduling*, never *content*: results are pure
+//! functions of the request, so any interleaving of workers produces
+//! bit-identical tickets. The sync wrappers additionally need
+//! deterministic *counters*; they use [`ServiceQueue::pause`] /
+//! [`ServiceQueue::resume`] to submit a whole batch before execution
+//! starts, which pins [`QueueCounters::high_water`] (and, under a depth
+//! bound, the shed pattern) independent of worker timing.
+
+use crate::engine::DesyncEngine;
+use crate::error::DesyncError;
+use crate::failpoints;
+use crate::flow::DesyncDesign;
+use crate::options::DesyncOptions;
+use crate::verify::EquivalenceReport;
+use desync_netlist::{CellLibrary, Netlist};
+use desync_sim::VectorSource;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Records which pipeline stage the current thread is executing, so panic
+/// containment can name the stage that blew up.
+///
+/// The marker is **sticky**: a stage sets it on entry and nothing clears
+/// it on exit — deliberately, because a panic unwinds through `Drop` impls
+/// (which would wipe a guard-based marker before `catch_unwind` gets to
+/// read it). The queue worker clears the marker before each request and
+/// takes it after a catch, so the last stage entered before the panic is
+/// exactly what the error reports.
+pub(crate) mod stage_trace {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CURRENT: Cell<Option<&'static str>> = const { Cell::new(None) };
+    }
+
+    /// Marks `stage` as executing on this thread (sticky; see module doc).
+    pub(crate) fn enter(stage: &'static str) {
+        CURRENT.with(|c| c.set(Some(stage)));
+    }
+
+    /// Clears the marker (queue workers call this before each request).
+    pub(crate) fn clear() {
+        CURRENT.with(|c| c.set(None));
+    }
+
+    /// Takes the last stage entered on this thread, clearing the marker.
+    pub(crate) fn take() -> Option<&'static str> {
+        CURRENT.with(|c| c.take())
+    }
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A shared flag requesting cooperative cancellation of one request.
+///
+/// Cloning shares the flag. Cancellation is *cooperative*: the request
+/// observes the token at pickup and at every [`DesyncFlow`](crate::DesyncFlow)
+/// stage boundary, then resolves its ticket [`DesyncError::Cancelled`] —
+/// an already-running stage finishes (its artifact may still be published
+/// to the store, where it benefits other requests).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// The interrupt condition a request executes under: its cancel token plus
+/// an optional absolute deadline. Checked at request pickup and at every
+/// stage boundary of [`DesyncFlow`](crate::DesyncFlow).
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl Interrupt {
+    /// An interrupt that never fires (detached flows default to this).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An interrupt observing `cancel` and, optionally, an absolute
+    /// `deadline`.
+    pub fn new(cancel: Option<CancelToken>, deadline: Option<Instant>) -> Self {
+        Self { cancel, deadline }
+    }
+
+    /// Whether either condition could ever fire (used to skip per-stage
+    /// checks entirely for plain synchronous flows).
+    pub fn is_armed(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// Checks both conditions: cancellation wins over the deadline when
+    /// both have fired.
+    ///
+    /// # Errors
+    ///
+    /// [`DesyncError::Cancelled`] / [`DesyncError::DeadlineExceeded`].
+    pub fn check(&self) -> Result<(), DesyncError> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Err(DesyncError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(DesyncError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The write-once result slot behind a [`TicketHandle`].
+#[derive(Debug)]
+struct TicketCell<T> {
+    slot: Mutex<Option<Result<T, DesyncError>>>,
+    ready: Condvar,
+}
+
+impl<T> TicketCell<T> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Resolves the ticket; the first write wins (a request cancelled in
+    /// the same instant its worker finishes keeps exactly one outcome).
+    fn resolve(&self, result: Result<T, DesyncError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A per-request completion handle returned by
+/// [`ServiceQueue::submit`] / [`ServiceQueue::submit_sweep`].
+///
+/// The handle is also the request's cancellation surface:
+/// [`TicketHandle::cancel`] fires the request's [`CancelToken`].
+#[derive(Debug)]
+pub struct TicketHandle<T> {
+    cell: Arc<TicketCell<T>>,
+    cancel: CancelToken,
+}
+
+impl<T: Clone> TicketHandle<T> {
+    /// Non-blocking completion check: `Some(result)` once resolved (the
+    /// result is cloned out; [`TicketHandle::wait`] moves it instead).
+    pub fn try_wait(&self) -> Option<Result<T, DesyncError>> {
+        self.cell
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Blocks until resolution or `timeout`, whichever first.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, DesyncError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self
+            .cell
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if slot.is_some() {
+                return slot.clone();
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .cell
+                .ready
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+}
+
+impl<T> TicketHandle<T> {
+    /// Whether the request has resolved (without consuming the result).
+    pub fn poll(&self) -> bool {
+        self.cell
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Blocks until the request resolves and moves the result out.
+    ///
+    /// Resolution is guaranteed as long as the owning [`ServiceQueue`] is
+    /// eventually dropped: every submitted request is executed, shed,
+    /// or drain-cancelled.
+    pub fn wait(self) -> Result<T, DesyncError> {
+        let mut slot = self
+            .cell
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Requests cooperative cancellation of this request (see
+    /// [`CancelToken`]). The ticket still resolves — with
+    /// [`DesyncError::Cancelled`] if cancellation won, or with the result
+    /// if the computation finished first.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The request's cancel token (clone to cancel from elsewhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+/// An owned design request for [`ServiceQueue::submit`].
+///
+/// Unlike the borrowing [`ServiceRequest`](crate::ServiceRequest), queue
+/// requests own their inputs (`Arc`-shared — intern through
+/// [`DesyncEngine::intern_netlist`] to avoid deep clones), because the
+/// queue's workers outlive any caller stack frame.
+#[derive(Debug, Clone)]
+pub struct QueueRequest {
+    /// The synchronous netlist to desynchronize.
+    pub netlist: Arc<Netlist>,
+    /// The cell library to size against.
+    pub library: Arc<CellLibrary>,
+    /// The flow options.
+    pub options: DesyncOptions,
+}
+
+impl QueueRequest {
+    /// Bundles one owned request.
+    pub fn new(netlist: Arc<Netlist>, library: Arc<CellLibrary>, options: DesyncOptions) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+        }
+    }
+}
+
+/// An owned verification sweep point for [`ServiceQueue::submit_sweep`].
+#[derive(Debug, Clone)]
+pub struct QueueSweepRequest {
+    /// The synchronous netlist to desynchronize and verify against.
+    pub netlist: Arc<Netlist>,
+    /// The cell library to size and simulate against.
+    pub library: Arc<CellLibrary>,
+    /// The flow options of this point (protocol, margin, …).
+    pub options: DesyncOptions,
+    /// The input stimulus of the co-simulation.
+    pub stimulus: VectorSource,
+    /// Number of captures compared per register.
+    pub cycles: usize,
+}
+
+impl QueueSweepRequest {
+    /// Bundles one owned sweep point.
+    pub fn new(
+        netlist: Arc<Netlist>,
+        library: Arc<CellLibrary>,
+        options: DesyncOptions,
+        stimulus: VectorSource,
+        cycles: usize,
+    ) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+            stimulus,
+            cycles,
+        }
+    }
+}
+
+/// Per-request submission knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Relative deadline: the request must *complete* within this budget
+    /// (measured from submission) or resolve
+    /// [`DesyncError::DeadlineExceeded`] at the next checkpoint.
+    pub deadline: Option<Duration>,
+    /// An external cancel token (e.g. tied to a client connection). When
+    /// `None` the queue creates one; either way the returned
+    /// [`TicketHandle`] can cancel.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SubmitOptions {
+    /// Defaults: no deadline, fresh cancel token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the options with a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the options observing an external cancel token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+/// What happens when a submission meets a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Shed the new request: its ticket resolves
+    /// [`DesyncError::QueueFull`] immediately and
+    /// [`QueueCounters::shed`] increments. The service stays responsive;
+    /// callers retry with backoff.
+    #[default]
+    RejectNew,
+    /// Park the submitting thread until a slot frees — backpressure
+    /// propagates to the producer. No deadlock: workers drain
+    /// independently of submitters (unless the queue is paused and never
+    /// resumed, which is a caller bug).
+    BlockSubmitter,
+}
+
+/// Configuration of a [`ServiceQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Worker threads draining the queue (clamped to at least one).
+    pub workers: usize,
+    /// Maximum pending (queued, not yet picked up) requests; `None` =
+    /// unbounded.
+    pub depth: Option<usize>,
+    /// Full-queue behaviour (only meaningful with a depth bound).
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            depth: None,
+            admission: AdmissionPolicy::RejectNew,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// `workers` threads, unbounded depth, reject-new admission.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Returns the config with a depth bound.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Returns the config with an admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// A snapshot of a [`ServiceQueue`]'s traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueCounters {
+    /// Requests accepted into the queue (sheds not included).
+    pub submitted: usize,
+    /// Requests whose execution ran to completion (successfully or with a
+    /// typed per-request error other than cancellation/deadline).
+    pub completed: usize,
+    /// Requests shed by [`AdmissionPolicy::RejectNew`] on a full queue.
+    pub shed: usize,
+    /// Requests resolved [`DesyncError::Cancelled`] (while queued, at a
+    /// stage boundary, or drained on queue drop).
+    pub cancelled: usize,
+    /// Requests resolved [`DesyncError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
+    /// Worker panics contained into [`DesyncError::StagePanicked`]
+    /// resolutions (the batch and the workers survived every one).
+    pub panics_contained: usize,
+    /// Requests pending (queued, not picked up) at snapshot time.
+    pub depth: usize,
+    /// Highest pending depth ever observed.
+    pub high_water: usize,
+}
+
+/// One queued unit of work.
+///
+/// Counter discipline: every path updates the queue counters **before**
+/// resolving the ticket, so a caller that observed a resolution (wait,
+/// try_wait, poll) also observes the matching counter state — the sync
+/// wrappers' reports depend on this.
+struct Job {
+    /// Executes the request, updates the counters, resolves its ticket.
+    /// Receives the shared queue state and the worker index.
+    run: JobRun,
+    /// Resolves the ticket with an error without executing (pre-pickup
+    /// interrupt, drain-cancel, panic containment). Does not touch
+    /// counters — callers bump the appropriate one first.
+    fail: Box<dyn FnOnce(DesyncError) + Send>,
+    /// Checked at pickup, before any engine work.
+    interrupt: Interrupt,
+}
+
+/// A [`Job`]'s executable body: `(shared, worker_index)`.
+type JobRun = Box<dyn FnOnce(&QueueShared, usize) + Send>;
+
+/// Everything the workers and the handle share.
+struct QueueShared {
+    engine: Arc<DesyncEngine>,
+    state: Mutex<QueueState>,
+    /// Signals workers: work available, unpaused, or shutdown.
+    jobs_ready: Condvar,
+    /// Signals blocked submitters: a slot freed.
+    space_ready: Condvar,
+    depth: Option<usize>,
+    admission: AdmissionPolicy,
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+    shed: AtomicUsize,
+    cancelled: AtomicUsize,
+    deadline_exceeded: AtomicUsize,
+    panics_contained: AtomicUsize,
+    /// Simulation events committed per worker (sweep jobs only).
+    worker_events: Vec<AtomicUsize>,
+}
+
+struct QueueState {
+    pending: VecDeque<Job>,
+    paused: bool,
+    shutdown: bool,
+    high_water: usize,
+}
+
+impl QueueShared {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The bounded asynchronous submission queue over a shared
+/// [`DesyncEngine`]. See the [module documentation](self) for the request
+/// lifecycle and determinism notes.
+#[derive(Debug)]
+pub struct ServiceQueue {
+    shared: Arc<QueueShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QueueShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueShared")
+            .field("depth", &self.depth)
+            .field("admission", &self.admission)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceQueue {
+    /// Spawns a queue with `config` over `engine`.
+    pub fn new(engine: Arc<DesyncEngine>, config: QueueConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(QueueShared {
+            engine,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                paused: false,
+                shutdown: false,
+                high_water: 0,
+            }),
+            jobs_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            depth: config.depth,
+            admission: config.admission,
+            submitted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            cancelled: AtomicUsize::new(0),
+            deadline_exceeded: AtomicUsize::new(0),
+            panics_contained: AtomicUsize::new(0),
+            worker_events: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        let workers = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("desync-request-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning queue worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The engine the workers execute against.
+    pub fn engine(&self) -> &Arc<DesyncEngine> {
+        &self.shared.engine
+    }
+
+    /// Submits a design request; the returned ticket resolves with its
+    /// [`DesyncDesign`] or a typed error.
+    pub fn submit(
+        &self,
+        request: QueueRequest,
+        options: SubmitOptions,
+    ) -> TicketHandle<DesyncDesign> {
+        let engine = Arc::clone(&self.shared.engine);
+        let tag = request.netlist.structural_hash();
+        self.submit_job(options, move |interrupt| {
+            let result = failpoints::with_tag(tag, || run_design(&engine, &request, interrupt));
+            (result, 0)
+        })
+    }
+
+    /// Submits a verification sweep point; the returned ticket resolves
+    /// with its [`EquivalenceReport`] or a typed error.
+    pub fn submit_sweep(
+        &self,
+        request: QueueSweepRequest,
+        options: SubmitOptions,
+    ) -> TicketHandle<EquivalenceReport> {
+        let engine = Arc::clone(&self.shared.engine);
+        let tag = request.netlist.structural_hash();
+        self.submit_job(options, move |interrupt| {
+            match failpoints::with_tag(tag, || run_sweep_point(&engine, &request, interrupt)) {
+                Ok((report, simulated)) => (Ok(report), simulated),
+                Err(error) => (Err(error), 0),
+            }
+        })
+    }
+
+    /// The shared submission path: admission control, ticket creation,
+    /// enqueue. `execute` returns the request's result plus the simulation
+    /// events it committed (zero for design requests).
+    fn submit_job<T: Send + 'static>(
+        &self,
+        options: SubmitOptions,
+        execute: impl FnOnce(&Interrupt) -> (Result<T, DesyncError>, usize) + Send + 'static,
+    ) -> TicketHandle<T> {
+        let cancel = options.cancel.unwrap_or_default();
+        let deadline = options.deadline.map(|d| Instant::now() + d);
+        let interrupt = Interrupt::new(Some(cancel.clone()), deadline);
+        let cell = Arc::new(TicketCell::new());
+        let handle = TicketHandle {
+            cell: Arc::clone(&cell),
+            cancel,
+        };
+
+        let mut state = self.shared.lock_state();
+        if let Some(bound) = self.shared.depth {
+            match self.shared.admission {
+                AdmissionPolicy::RejectNew => {
+                    if state.pending.len() >= bound {
+                        drop(state);
+                        self.shared.shed.fetch_add(1, Ordering::SeqCst);
+                        cell.resolve(Err(DesyncError::QueueFull));
+                        return handle;
+                    }
+                }
+                AdmissionPolicy::BlockSubmitter => {
+                    while state.pending.len() >= bound && !state.shutdown {
+                        state = self
+                            .shared
+                            .space_ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        }
+
+        let run_cell = Arc::clone(&cell);
+        let run_interrupt = interrupt.clone();
+        let fail_cell = Arc::clone(&cell);
+        state.pending.push_back(Job {
+            run: Box::new(move |shared: &QueueShared, worker: usize| {
+                let (result, simulated) = execute(&run_interrupt);
+                // Counters strictly before resolution (see `Job` docs).
+                match &result {
+                    Err(DesyncError::Cancelled) => {
+                        shared.cancelled.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(DesyncError::DeadlineExceeded) => {
+                        shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {
+                        shared.completed.fetch_add(1, Ordering::SeqCst);
+                        if simulated > 0 {
+                            shared.worker_events[worker].fetch_add(simulated, Ordering::SeqCst);
+                        }
+                    }
+                }
+                run_cell.resolve(result);
+            }),
+            fail: Box::new(move |error| fail_cell.resolve(Err(error))),
+            interrupt,
+        });
+        state.high_water = state.high_water.max(state.pending.len());
+        self.shared.submitted.fetch_add(1, Ordering::SeqCst);
+        drop(state);
+        self.shared.jobs_ready.notify_one();
+        handle
+    }
+
+    /// Pauses pickup: workers finish their current request and park;
+    /// submissions keep queueing. With [`ServiceQueue::resume`] this lets
+    /// a caller stage a whole batch before execution starts — the sync
+    /// wrappers use it to make `high_water` (and shed patterns under a
+    /// depth bound) deterministic.
+    pub fn pause(&self) {
+        self.shared.lock_state().paused = true;
+    }
+
+    /// Resumes pickup after [`ServiceQueue::pause`].
+    pub fn resume(&self) {
+        self.shared.lock_state().paused = false;
+        self.shared.jobs_ready.notify_all();
+    }
+
+    /// A snapshot of the queue's traffic counters.
+    pub fn counters(&self) -> QueueCounters {
+        let (depth, high_water) = {
+            let state = self.shared.lock_state();
+            (state.pending.len(), state.high_water)
+        };
+        QueueCounters {
+            submitted: self.shared.submitted.load(Ordering::SeqCst),
+            completed: self.shared.completed.load(Ordering::SeqCst),
+            shed: self.shared.shed.load(Ordering::SeqCst),
+            cancelled: self.shared.cancelled.load(Ordering::SeqCst),
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::SeqCst),
+            panics_contained: self.shared.panics_contained.load(Ordering::SeqCst),
+            depth,
+            high_water,
+        }
+    }
+
+    /// Simulation events committed per worker (sweep requests only),
+    /// indexed by worker. The total is scheduling-independent; the split
+    /// shows the load balance.
+    pub fn worker_events(&self) -> Vec<usize> {
+        self.shared
+            .worker_events
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .collect()
+    }
+}
+
+impl Drop for ServiceQueue {
+    fn drop(&mut self) {
+        let drained: Vec<Job> = {
+            let mut state = self.shared.lock_state();
+            state.shutdown = true;
+            state.paused = false;
+            state.pending.drain(..).collect()
+        };
+        // Resolve every still-pending ticket Cancelled so no waiter hangs.
+        for job in drained {
+            self.shared.cancelled.fetch_add(1, Ordering::SeqCst);
+            (job.fail)(DesyncError::Cancelled);
+        }
+        self.shared.jobs_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Executes one design request against the shared engine: lint admission
+/// gate, then the full construction pipeline. Mirrors the synchronous
+/// service exactly (the wrappers' bit-identity to PR-7 rests on this).
+fn run_design(
+    engine: &DesyncEngine,
+    request: &QueueRequest,
+    interrupt: &Interrupt,
+) -> Result<DesyncDesign, DesyncError> {
+    let mut flow = engine.flow(&request.netlist, &request.library, request.options)?;
+    flow.set_interrupt(interrupt.clone());
+    // Admission control: the O(V+E) lint pre-flight runs (or is served
+    // from the store) before any stage computes.
+    let lint = flow.lint()?;
+    if !lint.is_clean() {
+        return Err(DesyncError::LintRejected(lint));
+    }
+    flow.design()
+}
+
+/// Executes one verification sweep point, returning the report plus the
+/// events its simulations actually committed (cached sync references count
+/// zero — nothing was simulated).
+fn run_sweep_point(
+    engine: &DesyncEngine,
+    request: &QueueSweepRequest,
+    interrupt: &Interrupt,
+) -> Result<(EquivalenceReport, usize), DesyncError> {
+    let mut flow = engine.flow(&request.netlist, &request.library, request.options)?;
+    flow.set_interrupt(interrupt.clone());
+    let lint = flow.lint()?;
+    if !lint.is_clean() {
+        return Err(DesyncError::LintRejected(lint));
+    }
+    flow.set_verification(request.stimulus.clone(), request.cycles);
+    let report = flow.verified()?.clone();
+    let mut simulated = report.async_run.committed_events;
+    if flow.sync_run_cache_hits() == 0 {
+        simulated += report.sync_run.committed_events;
+    }
+    Ok((report, simulated))
+}
+
+fn worker_loop(shared: &QueueShared, index: usize) {
+    loop {
+        let job = {
+            let mut state = shared.lock_state();
+            loop {
+                if !state.paused {
+                    if let Some(job) = state.pending.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                } else if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .jobs_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // A slot freed: wake one blocked submitter.
+        shared.space_ready.notify_one();
+
+        // Pre-start checkpoint: a request cancelled or expired while
+        // queued never touches the engine. Counters before resolution.
+        if let Err(error) = job.interrupt.check() {
+            match &error {
+                DesyncError::Cancelled => shared.cancelled.fetch_add(1, Ordering::SeqCst),
+                _ => shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst),
+            };
+            (job.fail)(error);
+            continue;
+        }
+
+        // Containment: the request executes under catch_unwind with a
+        // clean stage trace; a panic resolves this ticket StagePanicked
+        // (naming the stage) and the worker survives. The job updates the
+        // counters and resolves its own ticket on the non-panic paths.
+        stage_trace::clear();
+        let run = job.run;
+        if let Err(payload) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || run(shared, index)))
+        {
+            shared.panics_contained.fetch_add(1, Ordering::SeqCst);
+            let stage = stage_trace::take().unwrap_or("request");
+            (job.fail)(DesyncError::StagePanicked {
+                stage,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+    }
+}

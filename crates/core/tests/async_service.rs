@@ -1,0 +1,316 @@
+//! Lifecycle tests of the async submission front-end: tickets,
+//! cancellation, deadlines, backpressure and drop-drain — all without
+//! fault injection (the `failpoints` suite covers injected faults).
+//!
+//! Every blocking assertion here is bounded: tickets are waited with
+//! [`TicketHandle::wait_timeout`] wherever a hang is conceivable, and CI
+//! additionally runs this whole binary under a hard `timeout`, so a
+//! deadlock in the cancellation/deadline machinery fails loudly instead of
+//! wedging the suite.
+
+use desync_core::{
+    AdmissionPolicy, CancelToken, DesyncEngine, DesyncError, DesyncFlow, DesyncOptions,
+    DesyncService, Interrupt, QueueConfig, QueueRequest, ServiceRequest, SubmitOptions,
+};
+use desync_netlist::{CellKind, CellLibrary, Netlist};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A three-stage synchronous pipeline (the service-test workhorse).
+fn pipeline3(name: &str) -> Netlist {
+    let mut n = Netlist::new(name);
+    let clk = n.add_input("clk");
+    let a = n.add_input("a");
+    let q0 = n.add_net("q0");
+    let w0 = n.add_net("w0");
+    let q1 = n.add_net("q1");
+    let w1 = n.add_net("w1");
+    let q2 = n.add_output("q2");
+    n.add_dff("r0", a, clk, q0).unwrap();
+    n.add_gate("g0", CellKind::Not, &[q0], w0).unwrap();
+    n.add_dff("r1", w0, clk, q1).unwrap();
+    n.add_gate("g1", CellKind::Buf, &[q1], w1).unwrap();
+    n.add_dff("r2", w1, clk, q2).unwrap();
+    n
+}
+
+fn request(engine: &DesyncEngine, netlist: &Netlist, library: &CellLibrary) -> QueueRequest {
+    QueueRequest::new(
+        engine.intern_netlist(netlist),
+        engine.intern_library(library),
+        DesyncOptions::default(),
+    )
+}
+
+const WAIT: Duration = Duration::from_secs(60);
+
+#[test]
+fn tickets_poll_try_wait_and_wait() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let netlist = pipeline3("poll");
+    let library = CellLibrary::generic_90nm();
+
+    let ticket = queue.submit(request(&engine, &netlist, &library), SubmitOptions::new());
+    let cloned = ticket
+        .wait_timeout(WAIT)
+        .expect("request completes")
+        .expect("request succeeds");
+    assert!(ticket.poll(), "resolved ticket must poll ready");
+    let via_try = ticket
+        .try_wait()
+        .expect("resolved ticket serves try_wait")
+        .expect("same success");
+    assert_eq!(via_try, cloned);
+    let moved = ticket.wait().expect("wait moves the result out");
+    assert_eq!(moved, cloned);
+
+    // The design equals a fresh detached flow: the queue adds scheduling,
+    // never content.
+    let fresh = desync_core::Desynchronizer::new(&netlist, &library, DesyncOptions::default())
+        .run()
+        .unwrap();
+    assert_eq!(moved, fresh);
+
+    let counters = queue.counters();
+    assert_eq!(counters.submitted, 1);
+    assert_eq!(counters.completed, 1);
+    assert_eq!(counters.shed, 0);
+    assert_eq!(counters.panics_contained, 0);
+}
+
+#[test]
+fn cancelled_while_queued_resolves_without_engine_work() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let netlist = pipeline3("precancel");
+    let library = CellLibrary::generic_90nm();
+
+    // Pause so the cancellation deterministically beats pickup.
+    queue.pause();
+    let ticket = queue.submit(request(&engine, &netlist, &library), SubmitOptions::new());
+    ticket.cancel();
+    queue.resume();
+
+    let outcome = ticket.wait_timeout(WAIT).expect("ticket resolves");
+    assert_eq!(outcome.unwrap_err(), DesyncError::Cancelled);
+    assert_eq!(queue.counters().cancelled, 1);
+    assert_eq!(queue.counters().completed, 0);
+    // The request never touched the engine: no artifact traffic at all.
+    assert_eq!(engine.report().total_misses(), 0);
+}
+
+#[test]
+fn expired_deadline_resolves_deadline_exceeded() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let netlist = pipeline3("deadline");
+    let library = CellLibrary::generic_90nm();
+
+    // A zero deadline is already expired at pickup; pausing first makes
+    // that deterministic rather than a race against the worker.
+    queue.pause();
+    let ticket = queue.submit(
+        request(&engine, &netlist, &library),
+        SubmitOptions::new().with_deadline(Duration::ZERO),
+    );
+    queue.resume();
+
+    let outcome = ticket.wait_timeout(WAIT).expect("ticket resolves");
+    assert_eq!(outcome.unwrap_err(), DesyncError::DeadlineExceeded);
+    assert_eq!(queue.counters().deadline_exceeded, 1);
+}
+
+#[test]
+fn interrupts_fire_at_stage_boundaries_of_a_flow() {
+    let netlist = pipeline3("boundary");
+    let library = CellLibrary::generic_90nm();
+
+    // Cancellation wins at the first stage boundary.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default()).unwrap();
+    flow.set_interrupt(Interrupt::new(Some(cancel), None));
+    assert_eq!(flow.clustered().unwrap_err(), DesyncError::Cancelled);
+    assert_eq!(flow.design().unwrap_err(), DesyncError::Cancelled);
+
+    // An elapsed deadline likewise.
+    let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default()).unwrap();
+    flow.set_interrupt(Interrupt::new(
+        None,
+        Some(Instant::now() - Duration::from_secs(1)),
+    ));
+    assert_eq!(flow.timed().unwrap_err(), DesyncError::DeadlineExceeded);
+
+    // A cancel token fired *after* a stage completed does not un-compute
+    // it, but stops the next boundary.
+    let cancel = CancelToken::new();
+    let mut flow = DesyncFlow::new(&netlist, &library, DesyncOptions::default()).unwrap();
+    flow.set_interrupt(Interrupt::new(Some(cancel.clone()), None));
+    assert!(flow.clustered().is_ok());
+    cancel.cancel();
+    assert!(flow.clustered().is_ok(), "cached artifact stays served");
+    assert_eq!(flow.latched().unwrap_err(), DesyncError::Cancelled);
+}
+
+#[test]
+fn reject_new_admission_sheds_past_the_bound() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(
+        Arc::clone(&engine),
+        QueueConfig::with_workers(1)
+            .with_depth(2)
+            .with_admission(AdmissionPolicy::RejectNew),
+    );
+    let library = CellLibrary::generic_90nm();
+    let netlists: Vec<Netlist> = (0..4).map(|i| pipeline3(&format!("shed{i}"))).collect();
+
+    // Paused queue: the first two submissions fill the bound, the rest
+    // shed deterministically.
+    queue.pause();
+    let tickets: Vec<_> = netlists
+        .iter()
+        .map(|n| queue.submit(request(&engine, n, &library), SubmitOptions::new()))
+        .collect();
+    // Shed tickets resolve immediately, even while the queue is paused.
+    for shed in &tickets[2..] {
+        assert!(shed.poll(), "shed ticket must resolve at submission");
+        assert_eq!(
+            shed.try_wait().unwrap().unwrap_err(),
+            DesyncError::QueueFull
+        );
+    }
+    let counters = queue.counters();
+    assert_eq!(counters.shed, 2);
+    assert_eq!(counters.submitted, 2);
+    assert_eq!(counters.high_water, 2);
+    queue.resume();
+
+    for admitted in tickets.into_iter().take(2) {
+        assert!(admitted.wait_timeout(WAIT).expect("resolves").is_ok());
+    }
+    assert_eq!(queue.counters().completed, 2);
+}
+
+#[test]
+fn block_submitter_admission_blocks_without_deadlock() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = Arc::new(desync_core::ServiceQueue::new(
+        Arc::clone(&engine),
+        QueueConfig::with_workers(1)
+            .with_depth(1)
+            .with_admission(AdmissionPolicy::BlockSubmitter),
+    ));
+    let library = CellLibrary::generic_90nm();
+    let netlists: Vec<Netlist> = (0..3).map(|i| pipeline3(&format!("block{i}"))).collect();
+
+    // Submit from a separate thread: the bound-1 queue forces the
+    // submitter to block while workers drain; everything must complete.
+    let submitter = {
+        let queue = Arc::clone(&queue);
+        let requests: Vec<QueueRequest> = netlists
+            .iter()
+            .map(|n| request(&engine, n, &library))
+            .collect();
+        std::thread::spawn(move || {
+            requests
+                .into_iter()
+                .map(|r| queue.submit(r, SubmitOptions::new()))
+                .collect::<Vec<_>>()
+        })
+    };
+    let tickets = submitter.join().expect("submitter never deadlocks");
+    for ticket in tickets {
+        assert!(ticket.wait_timeout(WAIT).expect("resolves").is_ok());
+    }
+    let counters = queue.counters();
+    assert_eq!(counters.completed, 3);
+    assert_eq!(counters.shed, 0, "blocking admission never sheds");
+}
+
+#[test]
+fn dropping_the_queue_cancels_pending_requests() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let netlist = pipeline3("dropped");
+    let library = CellLibrary::generic_90nm();
+
+    // Paused forever: the requests are pending when the queue drops.
+    queue.pause();
+    let tickets: Vec<_> = (0..3)
+        .map(|_| queue.submit(request(&engine, &netlist, &library), SubmitOptions::new()))
+        .collect();
+    drop(queue);
+    for ticket in tickets {
+        assert_eq!(
+            ticket
+                .wait_timeout(WAIT)
+                .expect("drain resolves")
+                .unwrap_err(),
+            DesyncError::Cancelled
+        );
+    }
+}
+
+#[test]
+fn wrapper_reports_carry_deterministic_queue_counters() {
+    let n = pipeline3("wrapped");
+    let mut other = pipeline3("wrapped");
+    other.set_name("other");
+    let library = CellLibrary::generic_90nm();
+    let service = DesyncService::with_engine(DesyncEngine::with_workers(2)).with_concurrency(4);
+    let requests = vec![
+        ServiceRequest::new(&n, &library, DesyncOptions::default()),
+        ServiceRequest::new(&n, &library, DesyncOptions::default()),
+        ServiceRequest::new(&other, &library, DesyncOptions::default()),
+        ServiceRequest::new(&n, &library, DesyncOptions::default().with_margin(0.2)),
+    ];
+    let outcome = service.run_batch(&requests);
+    assert_eq!(outcome.report.unique, 3);
+    // Pause-stage-resume pins the high-water mark at the group count,
+    // independent of worker scheduling.
+    assert_eq!(outcome.report.queue_high_water, 3);
+    assert_eq!(outcome.report.shed, 0);
+    assert_eq!(outcome.report.panics_contained, 0);
+    assert_eq!(outcome.report.cancelled, 0);
+    assert_eq!(outcome.report.deadline_exceeded, 0);
+    let text = outcome.report.to_string();
+    assert!(text.contains("queue: high water 3"), "{text}");
+}
+
+#[test]
+fn external_cancel_tokens_are_shared_across_requests() {
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let library = CellLibrary::generic_90nm();
+    let doomed_a = pipeline3("doomed_a");
+    let doomed_b = pipeline3("doomed_b");
+    let alive = pipeline3("alive");
+
+    // One connection token covering two requests; a third is independent.
+    let connection = CancelToken::new();
+    queue.pause();
+    let ta = queue.submit(
+        request(&engine, &doomed_a, &library),
+        SubmitOptions::new().with_cancel(connection.clone()),
+    );
+    let tb = queue.submit(
+        request(&engine, &doomed_b, &library),
+        SubmitOptions::new().with_cancel(connection.clone()),
+    );
+    let tc = queue.submit(request(&engine, &alive, &library), SubmitOptions::new());
+    connection.cancel();
+    queue.resume();
+
+    assert_eq!(
+        ta.wait_timeout(WAIT).unwrap().unwrap_err(),
+        DesyncError::Cancelled
+    );
+    assert_eq!(
+        tb.wait_timeout(WAIT).unwrap().unwrap_err(),
+        DesyncError::Cancelled
+    );
+    assert!(tc.wait_timeout(WAIT).unwrap().is_ok());
+    assert_eq!(queue.counters().cancelled, 2);
+    assert_eq!(queue.counters().completed, 1);
+}

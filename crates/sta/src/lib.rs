@@ -46,5 +46,5 @@ pub mod pool;
 pub mod sta;
 
 pub use matched::MatchedDelay;
-pub use pool::SizingPool;
+pub use pool::{PoolPanic, SizingPool};
 pub use sta::{CriticalPath, Sta, StaSnapshot, StageDelay, TimingConfig};

@@ -12,11 +12,51 @@
 //! every consumer the same documented lifecycle (workers live exactly as
 //! long as the last runtime handle).
 
+use std::fmt;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 
 type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A sizing task panicked instead of returning a result.
+///
+/// Carried out of [`SizingPool::try_run`] so callers can surface the failure
+/// as a typed error (the service layer maps it onto a per-request
+/// `StagePanicked` outcome) instead of the pool silently dropping the job.
+/// When several tasks in one batch panic, the lowest task index is reported
+/// so the error is deterministic regardless of completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    /// Index of the panicked task within the submitted batch.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common `panic!("...")`
+    /// case); `"non-string panic payload"` otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sizing task {} panicked instead of returning: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A persistent worker pool executing independent, owned jobs.
 ///
@@ -46,8 +86,11 @@ impl SizingPool {
                             queue.recv()
                         };
                         match job {
-                            // Survive a panicking job: the submitter detects
-                            // the missing result; the worker stays usable.
+                            // Jobs built by `try_run` catch their own panics
+                            // and report them through the result channel; this
+                            // outer guard is a last line of defense keeping
+                            // the worker alive if the reporting path itself
+                            // unwinds (e.g. a panicking Drop in a payload).
                             Ok(job) => {
                                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                             }
@@ -73,33 +116,69 @@ impl SizingPool {
     ///
     /// # Panics
     ///
-    /// Panics if a task panicked instead of returning a result.
+    /// Panics if a task panicked instead of returning a result; the panic
+    /// message names the task index and carries the original payload text.
+    /// Callers that need to contain the failure use [`SizingPool::try_run`].
     pub fn run<T: Send + 'static>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
     ) -> Vec<T> {
+        match self.try_run(tasks) {
+            Ok(results) => results,
+            Err(panic) => panic!("a sizing task panicked instead of returning: {panic}"),
+        }
+    }
+
+    /// Runs every task on the pool, blocking until all complete, and returns
+    /// the results in task order — or a typed [`PoolPanic`] if any task
+    /// panicked.
+    ///
+    /// Each task runs under `catch_unwind`, so a panicking task never takes
+    /// a worker thread down and never poisons pool state; the payload text is
+    /// recorded and surfaced. When several tasks panic in one batch, the
+    /// lowest task index wins deterministically.
+    pub fn try_run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Result<Vec<T>, PoolPanic> {
         let count = tasks.len();
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
         let sender = self.sender.as_ref().expect("pool is alive until dropped");
         for (index, task) in tasks.into_iter().enumerate() {
             let tx = tx.clone();
             sender
                 .send(Box::new(move || {
-                    let _ = tx.send((index, task()));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    let _ = tx.send((index, outcome));
                 }))
                 .expect("sizing workers outlive the pool handle");
         }
         drop(tx);
         let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
-        // Every task owns one sender clone; a panicked task drops its sender
-        // without sending, so recv() disconnects instead of deadlocking.
-        while let Ok((index, value)) = rx.recv() {
-            slots[index] = Some(value);
+        let mut first_panic: Option<PoolPanic> = None;
+        // Every task owns one sender clone; all clones are dropped once the
+        // batch drains, so recv() disconnects instead of deadlocking even if
+        // the channel machinery itself misbehaves.
+        while let Ok((index, outcome)) = rx.recv() {
+            match outcome {
+                Ok(value) => slots[index] = Some(value),
+                Err(message) => {
+                    let panicked = PoolPanic { index, message };
+                    match &first_panic {
+                        Some(existing) if existing.index <= panicked.index => {}
+                        _ => first_panic = Some(panicked),
+                    }
+                }
+            }
         }
-        slots
+        if let Some(panic) = first_panic {
+            return Err(panic);
+        }
+        Ok(slots
             .into_iter()
-            .map(|slot| slot.expect("a sizing task panicked instead of returning"))
-            .collect()
+            .map(|slot| slot.expect("every non-panicked sizing task sent a result"))
+            .collect())
     }
 }
 
@@ -151,5 +230,39 @@ mod tests {
         let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> =
             vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
         let _ = pool.run(tasks);
+    }
+
+    #[test]
+    fn try_run_surfaces_a_typed_panic_and_keeps_the_pool_usable() {
+        let pool = SizingPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let err = pool.try_run(tasks).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.message, "boom");
+        assert!(err.to_string().contains("sizing task 1 panicked"));
+        // A panicked task must not take its worker down or poison the pool.
+        let again: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 5), Box::new(|| 9)];
+        assert_eq!(pool.try_run(again).unwrap(), vec![5, 9]);
+    }
+
+    #[test]
+    fn try_run_reports_the_lowest_panicked_index_deterministically() {
+        let pool = SizingPool::new(4);
+        for _ in 0..8 {
+            let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> = (0..16usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i % 5 == 3 {
+                            panic!("task {i} failed");
+                        }
+                        i as u8
+                    }) as Box<dyn FnOnce() -> u8 + Send>
+                })
+                .collect();
+            let err = pool.try_run(tasks).unwrap_err();
+            assert_eq!(err.index, 3);
+            assert_eq!(err.message, "task 3 failed");
+        }
     }
 }

@@ -48,7 +48,15 @@
 //! a [`DesyncService`](core::DesyncService) batches whole request sets:
 //! identical in-flight requests coalesce onto one computation and distinct
 //! ones run with bounded concurrency from a shared
-//! [`DesyncRuntime`](core::DesyncRuntime).
+//! [`DesyncRuntime`](core::DesyncRuntime). The service's core is an
+//! asynchronous submission queue ([`ServiceQueue`](core::ServiceQueue)):
+//! requests return per-ticket handles ([`TicketHandle`](core::TicketHandle))
+//! with cooperative cancellation ([`CancelToken`](core::CancelToken)),
+//! per-request deadlines, bounded depth with an admission policy
+//! ([`AdmissionPolicy`](core::AdmissionPolicy)), and per-request panic
+//! containment — a worker panic resolves that one ticket with a typed
+//! [`DesyncError::StagePanicked`](core::DesyncError) and never poisons the
+//! shared engine.
 //!
 //! # Quickstart
 //!
@@ -100,10 +108,12 @@ pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
         sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
-        ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError, DesyncFlow,
-        DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, DivergenceWindow,
-        EngineReport, EquivalenceReport, FlowReport, Protocol, ServiceReport, ServiceRequest,
-        SizingAnalysis, Stage, StoreConfig, SweepReport, SweepRequest, TimingTable,
+        AdmissionPolicy, CancelToken, ClusteringStrategy, ControlNetwork, DesyncDesign,
+        DesyncEngine, DesyncError, DesyncFlow, DesyncOptions, DesyncRuntime, DesyncService,
+        Desynchronizer, DivergenceWindow, EngineReport, EquivalenceReport, FlowReport, Protocol,
+        QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, ServiceReport,
+        ServiceRequest, SizingAnalysis, Stage, StoreConfig, SubmitOptions, SweepReport,
+        SweepRequest, TicketHandle, TimingTable,
     };
     pub use desync_lint::{lint_design, Diagnostic, LintCode, LintReport, Severity};
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
