@@ -1,9 +1,12 @@
 //! Verification hot-path sweep: the full protocol × margin grid submitted
 //! to a [`desync_core::DesyncService`] as first-class sweep requests, run
 //! once on a single worker (serial baseline) and once on 4 workers, with
-//! per-point reports cross-checked bit for bit. Writes the headline
-//! numbers to `BENCH_sim.json` (schema `desync-verify-hot/2`, see
-//! ROADMAP.md).
+//! per-point reports cross-checked bit for bit — then a third time as a
+//! 64-seed packed campaign through the bit-parallel kernel, with probe
+//! lanes cross-checked against detached scalar flows. Writes the headline
+//! numbers to `BENCH_sim.json` (schema `desync-verify-hot/3`, see
+//! ROADMAP.md) — word-level and scalar-equivalent lane throughput are
+//! reported separately.
 //!
 //! ```text
 //! cargo run --release -p desync-bench --bin verify_hot
@@ -45,6 +48,18 @@ fn main() {
     assert_eq!(
         report.engine_report.sizing_misses, 2,
         "exactly one arrival analysis per design"
+    );
+    // Packed campaign gates: probe lanes must match detached scalar flows
+    // bit for bit, and the bit-parallel kernel must clear the 5x floor in
+    // scalar-equivalent lane events per second.
+    assert!(
+        report.bit_identical_packed,
+        "probed campaign lanes must be bit-identical to scalar flows"
+    );
+    assert!(
+        report.packed_speedup() >= 5.0,
+        "packed campaign must deliver >= 5x scalar-equivalent lane events/s, got {:.1}x",
+        report.packed_speedup()
     );
     let json = report.to_json();
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

@@ -7,20 +7,27 @@
 //! [`run_verify_hot`] runs the sweep twice — once on a single worker (the
 //! serial baseline) and once on [`SWEEP_THREADS`] workers — cross-checks
 //! every per-point [`EquivalenceReport`] bit-for-bit between the two (and
-//! against a detached, cache-less flow), and reports wall times,
-//! committed-event throughput, compiled-model reuses, sizing rebinds and
-//! the reference-run cache counters. The `verify_hot` bin prints the report
-//! and serializes it to `BENCH_sim.json` (schema `desync-verify-hot/2`, see
-//! [`VerifyHotReport::to_json`]) as a perf-trajectory datapoint.
+//! against a detached, cache-less flow), then runs the same grid a third
+//! time as a **packed campaign**: every point verified under
+//! [`CAMPAIGN_LANES`] pseudo-random stimulus seeds at once through the
+//! bit-parallel kernel, with probe lanes cross-checked bit-for-bit against
+//! detached scalar flows. Throughput is reported on both axes — word-level
+//! committed events per second (what the calendar queue actually executed)
+//! and scalar-equivalent lane events per second (what those words are worth
+//! in single-stimulus runs) — because conflating the two is exactly the
+//! `events_per_sec` ambiguity schema `/2` had. The `verify_hot` bin prints
+//! the report and serializes it to `BENCH_sim.json` (schema
+//! `desync-verify-hot/3`, see [`VerifyHotReport::to_json`]) as a
+//! perf-trajectory datapoint.
 
 use crate::workloads::{bus_stimulus, dlx_program, dlx_stimulus};
 use desync_circuits::{DlxConfig, LinearPipelineConfig};
 use desync_core::{
-    DesyncEngine, DesyncFlow, DesyncOptions, DesyncRuntime, EngineReport, Protocol, StoreConfig,
-    SweepRequest,
+    CampaignRequest, DesyncEngine, DesyncFlow, DesyncOptions, DesyncRuntime, EngineReport,
+    Protocol, StoreConfig, SweepRequest,
 };
-use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::VectorSource;
+use desync_netlist::{CellLibrary, NetId, Netlist};
+use desync_sim::{PackedVectorSource, VectorSource, MAX_LANES};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -33,6 +40,10 @@ pub const MARGINS: [f64; 3] = [0.05, 0.1, 0.2];
 /// Worker threads of the parallel sweep phase (the benchmark's fixed
 /// comparison point; the speedup it buys depends on the host's cores).
 pub const SWEEP_THREADS: usize = 4;
+
+/// Stimulus lanes per packed campaign point: a full 64-lane word, so the
+/// campaign phase measures the kernel at its native width.
+pub const CAMPAIGN_LANES: usize = MAX_LANES;
 
 /// One verified sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +93,24 @@ pub struct VerifyHotReport {
     pub bit_identical_to_fresh: bool,
     /// The parallel engine's cache counters after its sweep.
     pub engine_report: EngineReport,
+    /// Stimulus lanes carried per packed campaign point.
+    pub campaign_lanes: usize,
+    /// Wall time of the packed multi-seed campaign over the same grid at
+    /// [`SWEEP_THREADS`] workers (fresh service, cold store — comparable
+    /// to the scalar parallel phase).
+    pub campaign_wall: Duration,
+    /// Word-level events the packed campaign actually committed (one per
+    /// calendar-queue commit, regardless of lane count).
+    pub campaign_word_events: usize,
+    /// Scalar-equivalent events of the campaign: each committed word
+    /// credited once per lane whose payload it carried.
+    pub campaign_lane_events: usize,
+    /// Lane verdicts that stayed flow equivalent, summed over all campaign
+    /// points (out of `points.len() * campaign_lanes`).
+    pub campaign_equivalent_lanes: usize,
+    /// Whether the probed campaign lanes were bit-identical to detached
+    /// scalar flows run with the matching single-seed stimulus.
+    pub bit_identical_packed: bool,
 }
 
 impl VerifyHotReport {
@@ -107,13 +136,47 @@ impl VerifyHotReport {
     }
 
     /// Committed events per second of parallel sweep wall time (aggregate
-    /// throughput across workers).
+    /// throughput across workers). Scalar runs carry one lane per word, so
+    /// this is simultaneously the sweep's word-level and lane-level rate.
     pub fn events_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
             return 0.0;
         }
         self.events_simulated as f64 / secs
+    }
+
+    /// Word-level committed events per second of campaign wall time: the
+    /// rate at which the packed kernel's calendar queue actually retires
+    /// events.
+    pub fn campaign_word_events_per_sec(&self) -> f64 {
+        let secs = self.campaign_wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.campaign_word_events as f64 / secs
+    }
+
+    /// Scalar-equivalent lane events per second of campaign wall time: what
+    /// the campaign's committed words are worth in single-stimulus runs.
+    pub fn campaign_lane_events_per_sec(&self) -> f64 {
+        let secs = self.campaign_wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.campaign_lane_events as f64 / secs
+    }
+
+    /// Effective speedup of the packed kernel: the campaign's
+    /// scalar-equivalent lane throughput over the scalar parallel sweep's
+    /// event throughput, both measured at [`SWEEP_THREADS`] workers on a
+    /// cold store.
+    pub fn packed_speedup(&self) -> f64 {
+        let scalar = self.events_per_sec();
+        if scalar <= 0.0 {
+            return 0.0;
+        }
+        self.campaign_lane_events_per_sec() / scalar
     }
 
     /// Serializes the headline numbers as a small JSON document (the
@@ -123,7 +186,7 @@ impl VerifyHotReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"desync-verify-hot/2\",\n",
+                "  \"schema\": \"desync-verify-hot/3\",\n",
                 "  \"points\": {},\n",
                 "  \"equivalent_points\": {},\n",
                 "  \"verify_cycles\": {},\n",
@@ -137,7 +200,15 @@ impl VerifyHotReport {
                 "  \"rebinds\": {},\n",
                 "  \"sync_run_hits\": {},\n",
                 "  \"sync_run_misses\": {},\n",
-                "  \"bit_identical_to_fresh\": {}\n",
+                "  \"bit_identical_to_fresh\": {},\n",
+                "  \"campaign_lanes\": {},\n",
+                "  \"campaign_wall_ms\": {:.3},\n",
+                "  \"campaign_word_events\": {},\n",
+                "  \"campaign_word_events_per_sec\": {:.0},\n",
+                "  \"campaign_lane_events\": {},\n",
+                "  \"campaign_lane_events_per_sec\": {:.0},\n",
+                "  \"packed_speedup\": {:.2},\n",
+                "  \"bit_identical_packed\": {}\n",
                 "}}\n"
             ),
             self.points.len(),
@@ -154,6 +225,14 @@ impl VerifyHotReport {
             self.sync_run_hits(),
             self.sync_run_misses(),
             self.bit_identical_to_fresh,
+            self.campaign_lanes,
+            self.campaign_wall.as_secs_f64() * 1e3,
+            self.campaign_word_events,
+            self.campaign_word_events_per_sec(),
+            self.campaign_lane_events,
+            self.campaign_lane_events_per_sec(),
+            self.packed_speedup(),
+            self.bit_identical_packed,
         )
     }
 }
@@ -185,6 +264,22 @@ impl fmt::Display for VerifyHotReport {
             self.equivalent_points,
             self.points.len(),
             self.bit_identical_to_fresh
+        )?;
+        writeln!(
+            f,
+            "  packed campaign: {} lanes/point, wall {} ms; {} word events ({:.2} M/s), \
+             {} lane events ({:.2} M/s), {:.1}x scalar; lane verdicts equivalent {}/{}; \
+             probe lanes scalar-identical: {}",
+            self.campaign_lanes,
+            self.campaign_wall.as_millis(),
+            self.campaign_word_events,
+            self.campaign_word_events_per_sec() / 1e6,
+            self.campaign_lane_events,
+            self.campaign_lane_events_per_sec() / 1e6,
+            self.packed_speedup(),
+            self.campaign_equivalent_lanes,
+            self.points.len() * self.campaign_lanes,
+            self.bit_identical_packed,
         )?;
         for p in &self.points {
             writeln!(
@@ -243,9 +338,66 @@ fn sweep_requests<'a>(
     requests
 }
 
+/// Distinct per-lane stimulus seeds of the campaign phase, derived from
+/// one base constant.
+fn campaign_seeds() -> Vec<u64> {
+    (0..CAMPAIGN_LANES as u64)
+        .map(|lane| 0xbead_cafe ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(lane))
+        .collect()
+}
+
+/// Non-clock primary inputs of `netlist` — the nets the campaign's
+/// pseudo-random lanes drive.
+fn campaign_inputs(netlist: &Netlist) -> Vec<NetId> {
+    netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|&n| netlist.net(n).name != "clk")
+        .collect()
+}
+
+/// One interleaved [`CAMPAIGN_LANES`]-seed packed stimulus per design.
+fn campaign_stimuli(designs: &[(Netlist, VectorSource)]) -> Vec<PackedVectorSource> {
+    let seeds = campaign_seeds();
+    designs
+        .iter()
+        .map(|(netlist, _)| PackedVectorSource::pseudo_random(campaign_inputs(netlist), &seeds))
+        .collect()
+}
+
+/// The campaign grid: the same protocol × margin points as
+/// [`sweep_requests`], each under its design's packed multi-seed stimulus.
+fn campaign_requests<'a>(
+    designs: &'a [(Netlist, VectorSource)],
+    stimuli: &'a [PackedVectorSource],
+    library: &'a CellLibrary,
+) -> Vec<CampaignRequest<'a>> {
+    let mut requests = Vec::new();
+    for ((netlist, _), stimulus) in designs.iter().zip(stimuli) {
+        for &protocol in Protocol::all() {
+            for &margin in &MARGINS {
+                let options = DesyncOptions::default()
+                    .with_protocol(protocol)
+                    .with_margin(margin);
+                requests.push(CampaignRequest::new(
+                    netlist,
+                    library,
+                    options,
+                    stimulus,
+                    VERIFY_CYCLES,
+                ));
+            }
+        }
+    }
+    requests
+}
+
 /// Runs the verification hot-path sweep twice — a single-worker baseline
 /// and a [`SWEEP_THREADS`]-worker parallel phase, each through its own
-/// service — and cross-checks the reports bit for bit.
+/// service — cross-checks the reports bit for bit, then runs the grid a
+/// third time as a [`CAMPAIGN_LANES`]-seed packed campaign with probe
+/// lanes cross-checked against detached scalar flows.
 ///
 /// # Panics
 ///
@@ -304,6 +456,60 @@ pub fn run_verify_hot() -> VerifyHotReport {
         .expect("serial ok")
         == fresh;
 
+    // Packed campaign phase: the same grid, every point verified under
+    // CAMPAIGN_LANES pseudo-random seeds at once through the bit-parallel
+    // kernel — on its own fresh service so the scalar phases' exact store
+    // counters stay unperturbed.
+    let stimuli = campaign_stimuli(&designs);
+    let campaign_grid = campaign_requests(&designs, &stimuli, &library);
+    let campaign_service =
+        desync_core::DesyncService::with_engine(DesyncEngine::with_store_and_runtime(
+            StoreConfig::default(),
+            DesyncRuntime::with_workers(SWEEP_THREADS),
+        ))
+        .with_concurrency(SWEEP_THREADS);
+    let started = Instant::now();
+    let campaign = campaign_service.run_campaign(&campaign_grid);
+    let campaign_wall = started.elapsed();
+    assert_eq!(
+        campaign.report.failures, 0,
+        "packed campaign must verify cleanly"
+    );
+    let campaign_word_events = campaign.report.events_simulated();
+    let campaign_lane_events = campaign.lane_events_simulated;
+    assert!(
+        campaign_lane_events >= campaign_word_events,
+        "a committed word carries at least one lane"
+    );
+    let campaign_equivalent_lanes = campaign
+        .results
+        .iter()
+        .map(|r| r.as_ref().expect("campaign ok").equivalent_lanes())
+        .sum();
+
+    // Packed/scalar bit-identity gate: probe the first point of each
+    // design on three lanes (first, middle, last) against detached,
+    // cache-less scalar flows driven by the matching single-seed stimulus.
+    let seeds = campaign_seeds();
+    let mut bit_identical_packed = true;
+    for design_idx in 0..designs.len() {
+        let probe_idx = design_idx * Protocol::all().len() * MARGINS.len();
+        let probe = &campaign_grid[probe_idx];
+        let packed_report = campaign.results[probe_idx].as_ref().expect("campaign ok");
+        let nets = campaign_inputs(probe.netlist);
+        for &lane in &[0, CAMPAIGN_LANES / 2, CAMPAIGN_LANES - 1] {
+            let mut fresh_probe =
+                DesyncFlow::new(probe.netlist, probe.library, probe.options).expect("options");
+            fresh_probe.set_verification(
+                VectorSource::pseudo_random(nets.clone(), seeds[lane]),
+                probe.cycles,
+            );
+            let scalar = fresh_probe.verified().expect("fresh scalar co-simulation");
+            bit_identical_packed &= packed_report.lane_equivalence[lane] == scalar.equivalence
+                && packed_report.compared_cycles[lane] == scalar.compared_cycles;
+        }
+    }
+
     // Per-point rows from the deterministic serial pass: the first point of
     // each design simulated the sync reference, every other point reused it.
     let mut seen_designs: Vec<&str> = Vec::new();
@@ -351,6 +557,12 @@ pub fn run_verify_hot() -> VerifyHotReport {
         rebinds: parallel.report.rebinds,
         bit_identical_to_fresh: bit_identical,
         engine_report,
+        campaign_lanes: CAMPAIGN_LANES,
+        campaign_wall,
+        campaign_word_events,
+        campaign_lane_events,
+        campaign_equivalent_lanes,
+        bit_identical_packed,
     }
 }
 
@@ -387,13 +599,42 @@ mod tests {
             .all(|p| p.equivalent));
         assert!(report.events_simulated > 0);
         assert!(report.events_per_sec() > 0.0);
+        // Campaign phase: full 64-lane words, probed lanes bit-identical
+        // to detached scalar flows, and the ISSUE acceptance floor — the
+        // packed kernel must deliver at least 5x the scalar sweep's
+        // throughput in scalar-equivalent lane events per second.
+        assert_eq!(report.campaign_lanes, 64);
+        assert!(report.bit_identical_packed);
+        assert!(report.campaign_word_events > 0);
+        assert!(
+            report.campaign_lane_events > report.campaign_word_events,
+            "64-lane words must be worth more than one scalar event each"
+        );
+        assert!(
+            report.packed_speedup() >= 5.0,
+            "packed campaign must deliver >= 5x scalar-equivalent lane events/s, got {:.1}x",
+            report.packed_speedup()
+        );
+        // Every lane of every pipeline point verifies; the DLX keeps its
+        // per-protocol verdict structure under randomized seeds too, so at
+        // least the fully-decoupled DLX lanes are all equivalent.
+        assert!(
+            report.campaign_equivalent_lanes
+                >= (report.points.len() - 2 * MARGINS.len()) * report.campaign_lanes,
+            "campaign lane verdicts: {} equivalent",
+            report.campaign_equivalent_lanes
+        );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"desync-verify-hot/2\""));
+        assert!(json.contains("\"schema\": \"desync-verify-hot/3\""));
         assert!(json.contains("\"wall_ms_serial\""));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"compile_reuses\""));
+        assert!(json.contains("\"campaign_word_events_per_sec\""));
+        assert!(json.contains("\"campaign_lane_events_per_sec\""));
+        assert!(json.contains("\"packed_speedup\""));
         let text = report.to_string();
         assert!(text.contains("verify-hot sweep"), "{text}");
         assert!(text.contains("serial baseline"), "{text}");
+        assert!(text.contains("packed campaign"), "{text}");
     }
 }

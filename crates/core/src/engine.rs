@@ -76,7 +76,7 @@ use crate::pipeline::{ControlNetwork, DesyncFlow, SizingAnalysis, Stage, TimingT
 use crate::store::{ArtifactStore, Fetched, StoreConfig, StoreKey, Weigh};
 use desync_lint::LintReport;
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::{CompiledModel, SimConfig, SimRun};
+use desync_sim::{CompiledModel, PackedSimRun, SimConfig, SimRun};
 use desync_sta::SizingPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -140,8 +140,16 @@ enum Facet {
         /// Clock period as an IEEE-754 bit pattern.
         period: u64,
         cycles: usize,
-        /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest).
+        /// [`VectorSource::content_digest`](desync_sim::VectorSource::content_digest)
+        /// for scalar runs,
+        /// [`PackedVectorSource::content_digest`](desync_sim::PackedVectorSource::content_digest)
+        /// for packed runs (the digests carry distinct flavour tags).
         stimulus: u64,
+        /// Stimulus lane count: 1 for scalar reference runs, the packed
+        /// lane count (1..=64) for multi-seed campaign references. Keeps a
+        /// one-lane packed run and a scalar run of the same stimulus from
+        /// colliding on one artifact slot.
+        lanes: u32,
     },
     /// A compiled simulation model ([`CompiledModel`]): the structure half
     /// of a simulator, shared by every sweep point that simulates the same
@@ -192,6 +200,7 @@ enum Artifact {
     Timed(Arc<TimingTable>),
     Controlled(Arc<ControlNetwork>),
     SyncRun(Arc<SimRun>),
+    PackedSyncRun(Arc<PackedSimRun>),
     Compiled(Arc<CompiledModel>),
     Sizing(Arc<SizingAnalysis>),
     Lint(Arc<LintReport>),
@@ -205,6 +214,7 @@ impl Weigh for Artifact {
             Artifact::Timed(v) => v.weight(),
             Artifact::Controlled(v) => v.weight(),
             Artifact::SyncRun(v) => v.weight(),
+            Artifact::PackedSyncRun(v) => v.weight(),
             Artifact::Compiled(v) => v.weight(),
             Artifact::Sizing(v) => v.weight(),
             Artifact::Lint(v) => v.weight(),
@@ -323,8 +333,8 @@ impl<'a> EngineHandle<'a> {
         )
     }
 
-    /// The cache key of the synchronous reference run under the given
-    /// simulation inputs.
+    /// The cache key of the scalar synchronous reference run under the
+    /// given simulation inputs.
     pub(crate) fn sync_run_key(
         &self,
         config: SimConfig,
@@ -340,6 +350,31 @@ impl<'a> EngineHandle<'a> {
                 period: period_ps.to_bits(),
                 cycles,
                 stimulus: stimulus_digest,
+                lanes: 1,
+            },
+        }
+    }
+
+    /// The cache key of a packed (multi-lane) synchronous reference run:
+    /// the sim-key facet grown by the lane count and the packed stimulus
+    /// digest.
+    pub(crate) fn packed_sync_run_key(
+        &self,
+        config: SimConfig,
+        period_ps: f64,
+        cycles: usize,
+        stimulus_digest: u64,
+        lanes: u32,
+    ) -> ArtifactKey {
+        ArtifactKey {
+            netlist: self.netlist,
+            library: self.library,
+            facet: Facet::SyncRun {
+                config: config.key_bits(),
+                period: period_ps.to_bits(),
+                cycles,
+                stimulus: stimulus_digest,
+                lanes,
             },
         }
     }
@@ -354,6 +389,22 @@ impl<'a> EngineHandle<'a> {
             Artifact::SyncRun,
             |a| match a {
                 Artifact::SyncRun(v) => Some(v),
+                _ => None,
+            },
+            compute,
+        )
+    }
+
+    pub(crate) fn packed_sync_run_or(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<Arc<PackedSimRun>, DesyncError>,
+    ) -> Result<(Arc<PackedSimRun>, Fetched), DesyncError> {
+        self.fetch(
+            key,
+            Artifact::PackedSyncRun,
+            |a| match a {
+                Artifact::PackedSyncRun(v) => Some(v),
                 _ => None,
             },
             compute,

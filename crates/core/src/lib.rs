@@ -148,16 +148,18 @@ pub use pipeline::{
     ControlNetwork, DesyncFlow, FlowReport, SizingAnalysis, Stage, StageReport, TimingTable,
 };
 pub use service::{
-    DesyncService, ServiceOutcome, ServiceReport, ServiceRequest, SweepOutcome, SweepReport,
-    SweepRequest,
+    CampaignOutcome, CampaignRequest, DesyncService, ServiceOutcome, ServiceReport, ServiceRequest,
+    SweepOutcome, SweepReport, SweepRequest,
 };
 pub use store::{Fetched, StoreConfig, Weigh};
 pub use submit::{
-    AdmissionPolicy, CancelToken, Interrupt, QueueConfig, QueueCounters, QueueRequest,
-    QueueSweepRequest, ServiceQueue, SubmitOptions, TicketHandle,
+    AdmissionPolicy, CampaignPointOutcome, CancelToken, Interrupt, QueueCampaignRequest,
+    QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, SubmitOptions,
+    TicketHandle,
 };
 pub use verify::{
-    sync_reference_run, sync_reference_run_with_model, verify_flow_equivalence,
-    verify_flow_equivalence_with_parts, verify_flow_equivalence_with_reference, DivergenceWindow,
-    EquivalenceReport,
+    packed_sync_reference_run, packed_sync_reference_run_with_model, sync_reference_run,
+    sync_reference_run_with_model, verify_flow_equivalence, verify_flow_equivalence_packed,
+    verify_flow_equivalence_packed_with_parts, verify_flow_equivalence_with_parts,
+    verify_flow_equivalence_with_reference, DivergenceWindow, EquivalenceReport, MultiSeedReport,
 };

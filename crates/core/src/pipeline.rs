@@ -37,12 +37,13 @@ use crate::options::{DesyncOptions, StagePrefix};
 use crate::store::Fetched;
 use crate::submit::{stage_trace, Interrupt};
 use crate::verify::{
-    sim_config_from, sync_reference_run_with_model, verify_flow_equivalence_with_parts,
-    EquivalenceReport,
+    packed_sync_reference_run_with_model, sim_config_from, sync_reference_run_with_model,
+    verify_flow_equivalence_packed_with_parts, verify_flow_equivalence_with_parts,
+    EquivalenceReport, MultiSeedReport,
 };
 use desync_lint::{lint_design, LintReport};
 use desync_netlist::{CellLibrary, NetId, Netlist};
-use desync_sim::{CompiledModel, SimRun, VectorSource};
+use desync_sim::{CompiledModel, PackedSimRun, PackedVectorSource, SimRun, VectorSource};
 use desync_sta::{MatchedDelay, SizingPool, Sta, StaSnapshot, TimingConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -351,6 +352,10 @@ pub struct DesyncFlow<'a> {
     /// Keyed on everything the run depends on besides the flow-fixed
     /// netlist and library, so a stale entry can never be served.
     sync_memo: Option<(SyncMemoKey, Arc<SimRun>)>,
+    /// Detached-flow memo of the packed (multi-lane) synchronous reference
+    /// run — the campaign-path sibling of `sync_memo`, additionally keyed
+    /// on the lane count.
+    packed_sync_memo: Option<(PackedSyncMemoKey, Arc<PackedSimRun>)>,
     /// Detached-flow memo of the compiled synchronous simulation model,
     /// keyed by the `SimConfig` bits.
     sync_model_memo: Option<([u64; 3], Arc<CompiledModel>)>,
@@ -439,6 +444,7 @@ impl<'a> DesyncFlow<'a> {
             stimulus: None,
             verify_cycles: Self::DEFAULT_VERIFY_CYCLES,
             sync_memo: None,
+            packed_sync_memo: None,
             sync_model_memo: None,
             async_model_memo: None,
             sizing_memo: None,
@@ -962,6 +968,49 @@ impl<'a> DesyncFlow<'a> {
         Ok(self.verified.as_ref().expect("just computed"))
     }
 
+    /// Packed multi-seed flow-equivalence verification: one bit-parallel
+    /// co-simulation carries up to 64 independent stimulus lanes through
+    /// [`Stage::Verified`] and returns a per-lane verdict.
+    ///
+    /// The packed kernel's event schedule is stimulus-independent under
+    /// matched delays, so the whole campaign costs roughly one scalar
+    /// verification; every lane's verdict is bit-identical to running
+    /// [`DesyncFlow::verified`] with that lane's scalar stimulus. Unlike
+    /// `verified`, the report is returned by value and not cached on the
+    /// flow — campaigns own their reports, and the scalar
+    /// [`EquivalenceReport`] stays the flow's verified artifact.
+    ///
+    /// # Errors
+    ///
+    /// Earlier-stage errors, plus [`DesyncError::Netlist`] when a
+    /// co-simulation testbench rejects the netlist.
+    pub fn verify_packed(
+        &mut self,
+        stimulus: &PackedVectorSource,
+        cycles: usize,
+    ) -> Result<MultiSeedReport, DesyncError> {
+        self.ensure_assembled()?;
+        self.interrupt.check()?;
+        stage_trace::enter("verified");
+        let started = Instant::now();
+        let reference = self.packed_sync_reference(stimulus, cycles)?;
+        let async_model = self.async_model()?;
+        let design = self.assembled.as_ref().expect("assembled above");
+        let report = verify_flow_equivalence_packed_with_parts(
+            self.netlist,
+            design,
+            stimulus,
+            cycles,
+            &reference,
+            &async_model,
+        )?;
+        // One packed commit verifies all lanes: the failpoint fires once
+        // per campaign point, not once per lane.
+        failpoints::hit("sim::commit")?;
+        self.record(Stage::Verified, started);
+        Ok(report)
+    }
+
     /// The synchronous reference run for the current verification inputs:
     /// served from the attached engine's cross-flow cache, from the per-flow
     /// memo (detached flows), or freshly simulated (and then published).
@@ -1031,6 +1080,87 @@ impl<'a> DesyncFlow<'a> {
                         .map_err(DesyncError::Netlist)?,
                 );
                 self.sync_memo = Some((memo_key, Arc::clone(&run)));
+                Ok(run)
+            }
+        }
+    }
+
+    /// The packed synchronous reference run: the campaign-path sibling of
+    /// [`DesyncFlow::sync_reference`], sharing the scalar path's compiled
+    /// synchronous model tier (the topology does not depend on how many
+    /// stimulus lanes ride through it) but keyed additionally on the lane
+    /// count and the packed stimulus digest.
+    fn packed_sync_reference(
+        &mut self,
+        stimulus: &PackedVectorSource,
+        cycles: usize,
+    ) -> Result<Arc<PackedSimRun>, DesyncError> {
+        let config = sim_config_from(&self.options.timing);
+        let period_ps = self
+            .timed
+            .as_ref()
+            .expect("timed stage ran before verify")
+            .sync_clock_period_ps;
+        let digest = stimulus.content_digest();
+        let lanes = stimulus.lanes() as u32;
+        let netlist = self.netlist;
+        let library = self.library;
+        match self.engine {
+            Some(handle) => {
+                let key = handle.packed_sync_run_key(config, period_ps, cycles, digest, lanes);
+                let mut model_served = false;
+                let (run, how) = handle.packed_sync_run_or(key, || {
+                    let model_key = handle.compiled_key(None, config);
+                    let (model, model_how) = handle.compiled_or(model_key, || {
+                        Ok(Arc::new(CompiledModel::compile(netlist, library, config)))
+                    })?;
+                    model_served = model_how.served();
+                    let run = packed_sync_reference_run_with_model(
+                        netlist, &model, period_ps, cycles, stimulus,
+                    )
+                    .map_err(DesyncError::Netlist)?;
+                    Ok(Arc::new(run))
+                })?;
+                if model_served {
+                    self.compiled_model_hits += 1;
+                }
+                if how.served() {
+                    self.sync_run_hits += 1;
+                }
+                Ok(run)
+            }
+            None => {
+                let memo_key: PackedSyncMemoKey = (
+                    config.key_bits(),
+                    period_ps.to_bits(),
+                    cycles,
+                    digest,
+                    lanes,
+                );
+                if let Some((key, run)) = &self.packed_sync_memo {
+                    if *key == memo_key {
+                        self.sync_run_hits += 1;
+                        return Ok(Arc::clone(run));
+                    }
+                }
+                let model = match &self.sync_model_memo {
+                    Some((bits, model)) if *bits == config.key_bits() => {
+                        self.compiled_model_hits += 1;
+                        Arc::clone(model)
+                    }
+                    _ => {
+                        let model = Arc::new(CompiledModel::compile(netlist, library, config));
+                        self.sync_model_memo = Some((config.key_bits(), Arc::clone(&model)));
+                        model
+                    }
+                };
+                let run = Arc::new(
+                    packed_sync_reference_run_with_model(
+                        netlist, &model, period_ps, cycles, stimulus,
+                    )
+                    .map_err(DesyncError::Netlist)?,
+                );
+                self.packed_sync_memo = Some((memo_key, Arc::clone(&run)));
                 Ok(run)
             }
         }
@@ -1219,6 +1349,10 @@ impl<'a> DesyncFlow<'a> {
 /// period bits, cycles, stimulus digest)` — the netlist and library are
 /// fixed for the flow's lifetime and need no representation.
 type SyncMemoKey = ([u64; 3], u64, usize, u64);
+
+/// Key of a detached flow's *packed* synchronous-reference memo: the scalar
+/// key grown by the lane count, exactly like the engine's sim-key facet.
+type PackedSyncMemoKey = ([u64; 3], u64, usize, u64, u32);
 
 /// Key of a detached flow's compiled-datapath-model memo: the
 /// latch-structure ([`Stage::Latched`]) prefix plus the `SimConfig` bits.

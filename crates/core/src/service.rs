@@ -16,6 +16,14 @@
 //!   (deterministic regardless of scheduling), and a [`SweepReport`]
 //!   accounts points, compiled-model reuses, sizing rebinds, sync-run
 //!   cache traffic and per-worker simulated events.
+//! * **Randomized-stimulus equivalence campaigns**
+//!   ([`DesyncService::run_campaign`]): sweep points verified against up
+//!   to 64 independent stimulus lanes each, executed by the bit-parallel
+//!   packed simulation kernel at roughly the cost of one scalar
+//!   verification per point. Each point produces a
+//!   [`MultiSeedReport`](crate::MultiSeedReport) whose per-lane verdicts
+//!   are bit-identical to 64 scalar [`DesyncService::run_sweep`] points,
+//!   merged back in request order like any sweep.
 //!
 //! Both entry points share the execution machinery:
 //!
@@ -120,12 +128,12 @@ use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::options::DesyncOptions;
 use crate::submit::{
-    QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, SubmitOptions,
-    TicketHandle,
+    CampaignPointOutcome, QueueCampaignRequest, QueueConfig, QueueCounters, QueueRequest,
+    QueueSweepRequest, ServiceQueue, SubmitOptions, TicketHandle,
 };
-use crate::verify::EquivalenceReport;
+use crate::verify::{EquivalenceReport, MultiSeedReport};
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::VectorSource;
+use desync_sim::{PackedVectorSource, VectorSource};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -215,6 +223,55 @@ impl<'a> SweepRequest<'a> {
     /// like the netlist's structural-hash check beside it — confirms a
     /// digest match with full equality so a 64-bit collision can never
     /// hand one point another point's report.
+    fn coalesces_with(&self, other: &Self) -> bool {
+        self.options == other.options
+            && self.cycles == other.cycles
+            && (std::ptr::eq(self.stimulus, other.stimulus)
+                || (self.stimulus.content_digest() == other.stimulus.content_digest()
+                    && self.stimulus == other.stimulus))
+            && same_inputs(self.netlist, self.library, other.netlist, other.library)
+    }
+}
+
+/// One randomized-stimulus equivalence campaign point for
+/// [`DesyncService::run_campaign`]: a design request plus the packed
+/// multi-lane stimulus its flow-equivalence check runs under.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRequest<'a> {
+    /// The synchronous netlist to desynchronize and verify against.
+    pub netlist: &'a Netlist,
+    /// The cell library to size and simulate against.
+    pub library: &'a CellLibrary,
+    /// The flow options of this point (protocol, margin, …).
+    pub options: DesyncOptions,
+    /// The interleaved multi-lane stimulus (up to 64 seeds per point).
+    pub stimulus: &'a PackedVectorSource,
+    /// Number of captures compared per register, per lane.
+    pub cycles: usize,
+}
+
+impl<'a> CampaignRequest<'a> {
+    /// Bundles one campaign point.
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        options: DesyncOptions,
+        stimulus: &'a PackedVectorSource,
+        cycles: usize,
+    ) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+            stimulus,
+            cycles,
+        }
+    }
+
+    /// Whether two campaign points describe the identical verification —
+    /// the same discipline as [`SweepRequest::coalesces_with`], with the
+    /// packed stimulus digest (which covers lane count, lane order and
+    /// per-lane content) in place of the scalar one.
     fn coalesces_with(&self, other: &Self) -> bool {
         self.options == other.options
             && self.cycles == other.cycles
@@ -516,6 +573,122 @@ impl DesyncService {
         };
         SweepOutcome { results, report }
     }
+
+    /// Runs a batch of randomized-stimulus equivalence campaign points and
+    /// returns one [`MultiSeedReport`] result per point, **in request
+    /// order**, plus the sweep statistics and the total scalar-equivalent
+    /// lane events.
+    ///
+    /// Each point is verified by a single bit-parallel co-simulation
+    /// carrying all its stimulus lanes, so a 64-seed campaign point costs
+    /// roughly one scalar [`DesyncService::run_sweep`] point. Scheduling,
+    /// coalescing and the deterministic request-order merge are identical
+    /// to `run_sweep`; the [`SweepReport`]'s `per_worker_events` count
+    /// word-level committed events (one per packed net change), while
+    /// [`CampaignOutcome::lane_events_simulated`] counts the
+    /// scalar-equivalent work those words carried.
+    pub fn run_campaign(&self, requests: &[CampaignRequest<'_>]) -> CampaignOutcome {
+        let before = self.engine.report();
+        let started = Instant::now();
+
+        // Coalesce identical in-flight points, exactly like run_sweep.
+        let mut groups: Vec<(CampaignRequest<'_>, Vec<usize>)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(leader, _)| leader.coalesces_with(request))
+            {
+                Some((_, members)) => members.push(index),
+                None => groups.push((*request, vec![index])),
+            }
+        }
+
+        let workers = self.concurrency.clamp(1, groups.len().max(1));
+        let mut queue_counters = QueueCounters::default();
+        let mut per_worker_events = vec![0usize; workers];
+        let group_results: Vec<Result<CampaignPointOutcome, DesyncError>> = if groups.is_empty() {
+            Vec::new()
+        } else {
+            let queue = self.queue_with(QueueConfig::with_workers(workers));
+            queue.pause();
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|(leader, _)| {
+                    let request = QueueCampaignRequest::new(
+                        self.engine.intern_netlist(leader.netlist),
+                        self.engine.intern_library(leader.library),
+                        leader.options,
+                        leader.stimulus.clone(),
+                        leader.cycles,
+                    );
+                    queue.submit_campaign(request, SubmitOptions::default())
+                })
+                .collect();
+            queue.resume();
+            let results = handles.into_iter().map(TicketHandle::wait).collect();
+            queue_counters = queue.counters();
+            per_worker_events = queue.worker_events();
+            results
+        };
+
+        // Lane events are summed over the executed groups only — coalesced
+        // duplicates share a computation and must not double-count it.
+        let lane_events_simulated = group_results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|outcome| outcome.lane_events)
+            .sum();
+
+        // Deterministic merge, in request order (reports only; the lane
+        // event totals are batch-level).
+        let mut results: Vec<Option<Result<MultiSeedReport, DesyncError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (result, (_, members)) in group_results.into_iter().zip(&groups) {
+            let result = result.map(|outcome| outcome.report);
+            for &index in &members[1..] {
+                results[index] = Some(result.clone());
+            }
+            results[members[0]] = Some(result);
+        }
+        let results: Vec<Result<MultiSeedReport, DesyncError>> = results
+            .into_iter()
+            .map(|slot| slot.expect("every point mapped to a group"))
+            .collect();
+
+        let wall = started.elapsed();
+        let after = self.engine.report();
+        let report = SweepReport {
+            points: requests.len(),
+            unique: groups.len(),
+            coalesced: requests.len() - groups.len(),
+            workers,
+            wall,
+            compile_reuses: after.compiled_model_hits - before.compiled_model_hits,
+            rebinds: after.sizing_hits - before.sizing_hits,
+            sync_run_hits: after.sync_run_hits - before.sync_run_hits,
+            sync_run_misses: after.sync_run_misses - before.sync_run_misses,
+            cache_hits: after.total_hits() - before.total_hits(),
+            cache_misses: after.total_misses() - before.total_misses(),
+            store_coalesced: after.store_coalesced - before.store_coalesced,
+            per_worker_events,
+            lint_rejections: results
+                .iter()
+                .filter(|r| matches!(r, Err(DesyncError::LintRejected(_))))
+                .count(),
+            lint_cache_hits: after.lint_hits - before.lint_hits,
+            failures: results.iter().filter(|r| r.is_err()).count(),
+            queue_high_water: queue_counters.high_water,
+            shed: queue_counters.shed,
+            panics_contained: queue_counters.panics_contained,
+            cancelled: queue_counters.cancelled,
+            deadline_exceeded: queue_counters.deadline_exceeded,
+        };
+        CampaignOutcome {
+            results,
+            report,
+            lane_events_simulated,
+        }
+    }
 }
 
 /// Everything [`DesyncService::run_batch`] produces.
@@ -616,6 +789,22 @@ pub struct SweepOutcome {
     pub results: Vec<Result<EquivalenceReport, DesyncError>>,
     /// The sweep statistics.
     pub report: SweepReport,
+}
+
+/// Everything [`DesyncService::run_campaign`] produces.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One result per submitted campaign point, in request order.
+    /// Coalesced points hold clones of their group's shared report.
+    pub results: Vec<Result<MultiSeedReport, DesyncError>>,
+    /// The campaign statistics ([`SweepReport::per_worker_events`] counts
+    /// word-level committed events — one per packed net change).
+    pub report: SweepReport,
+    /// Scalar-equivalent lane events the campaign's simulations committed:
+    /// what 64 scalar sweep points would have had to simulate to produce
+    /// the same per-lane verdicts. The packed-over-scalar throughput win
+    /// is this number against the same wall clock.
+    pub lane_events_simulated: usize,
 }
 
 /// Statistics of one [`DesyncService::run_sweep`] call.
@@ -994,6 +1183,65 @@ mod tests {
         let text = outcome.report.to_string();
         assert!(text.contains("verification sweep"), "{text}");
         assert!(text.contains("rebind"), "{text}");
+    }
+
+    #[test]
+    fn campaign_results_match_scalar_sweep_verdicts_per_lane() {
+        use crate::Protocol;
+
+        let n = pipeline3();
+        let library = CellLibrary::generic_90nm();
+        let a = n.find_net("a").unwrap();
+        let seeds = [3u64, 5, 8, 13, 21];
+        let packed = PackedVectorSource::pseudo_random(vec![a], &seeds);
+        let service = DesyncService::with_engine(DesyncEngine::with_workers(2)).with_concurrency(2);
+        let mut requests = Vec::new();
+        for &protocol in Protocol::all() {
+            let options = DesyncOptions::default().with_protocol(protocol);
+            requests.push(CampaignRequest::new(&n, &library, options, &packed, 12));
+        }
+        // A duplicate of the first point: must coalesce onto one check.
+        requests.push(requests[0]);
+
+        let outcome = service.run_campaign(&requests);
+        assert_eq!(outcome.results.len(), requests.len());
+        assert_eq!(outcome.report.points, 4);
+        assert_eq!(outcome.report.unique, 3);
+        assert_eq!(outcome.report.coalesced, 1);
+        assert_eq!(outcome.report.failures, 0);
+        // One packed sync reference shared across protocols.
+        assert_eq!(outcome.report.sync_run_misses, 1);
+        assert_eq!(outcome.report.sync_run_hits, 2);
+        // The packed word events are a fraction of the lane-equivalent
+        // work the campaign actually verified.
+        assert!(outcome.lane_events_simulated > outcome.report.events_simulated());
+
+        // Each lane's verdict equals the scalar sweep point with that seed.
+        let scalar_service =
+            DesyncService::with_engine(DesyncEngine::with_workers(2)).with_concurrency(2);
+        for (request, result) in requests.iter().zip(&outcome.results) {
+            let report = result.as_ref().unwrap();
+            assert_eq!(report.lanes, seeds.len());
+            let scalar_stims: Vec<_> = seeds
+                .iter()
+                .map(|&seed| VectorSource::pseudo_random(vec![a], seed))
+                .collect();
+            let scalar_requests: Vec<_> = scalar_stims
+                .iter()
+                .map(|stim| {
+                    SweepRequest::new(request.netlist, request.library, request.options, stim, 12)
+                })
+                .collect();
+            let scalar = scalar_service.run_sweep(&scalar_requests);
+            for (lane, scalar_result) in scalar.results.iter().enumerate() {
+                let scalar_report = scalar_result.as_ref().unwrap();
+                assert_eq!(
+                    report.lane_equivalence[lane], scalar_report.equivalence,
+                    "lane {lane} verdict must equal the scalar sweep point"
+                );
+                assert_eq!(report.compared_cycles[lane], scalar_report.compared_cycles);
+            }
+        }
     }
 
     #[test]

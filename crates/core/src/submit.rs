@@ -53,9 +53,9 @@ use crate::error::DesyncError;
 use crate::failpoints;
 use crate::flow::DesyncDesign;
 use crate::options::DesyncOptions;
-use crate::verify::EquivalenceReport;
+use crate::verify::{EquivalenceReport, MultiSeedReport};
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::VectorSource;
+use desync_sim::{PackedVectorSource, VectorSource};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -364,6 +364,55 @@ impl QueueSweepRequest {
     }
 }
 
+/// An owned randomized-stimulus equivalence campaign point for
+/// [`ServiceQueue::submit_campaign`]: one design point verified against up
+/// to 64 independent stimulus lanes in a single packed co-simulation.
+#[derive(Debug, Clone)]
+pub struct QueueCampaignRequest {
+    /// The synchronous netlist to desynchronize and verify against.
+    pub netlist: Arc<Netlist>,
+    /// The cell library to size and simulate against.
+    pub library: Arc<CellLibrary>,
+    /// The flow options of this point (protocol, margin, …).
+    pub options: DesyncOptions,
+    /// The interleaved multi-lane stimulus of the packed co-simulation.
+    pub stimulus: PackedVectorSource,
+    /// Number of captures compared per register, per lane.
+    pub cycles: usize,
+}
+
+impl QueueCampaignRequest {
+    /// Bundles one owned campaign point.
+    pub fn new(
+        netlist: Arc<Netlist>,
+        library: Arc<CellLibrary>,
+        options: DesyncOptions,
+        stimulus: PackedVectorSource,
+        cycles: usize,
+    ) -> Self {
+        Self {
+            netlist,
+            library,
+            options,
+            stimulus,
+            cycles,
+        }
+    }
+}
+
+/// The resolution of one campaign point: the per-lane verdicts plus the
+/// scalar-equivalent lane events its simulations committed (the word-level
+/// committed events are booked into [`ServiceQueue::worker_events`], same
+/// as scalar sweep points — one word commit carries all lanes).
+#[derive(Debug, Clone)]
+pub struct CampaignPointOutcome {
+    /// The merged per-lane equivalence report.
+    pub report: MultiSeedReport,
+    /// Scalar-equivalent lane events committed for this point (cached sync
+    /// references count zero, exactly like the scalar sweep accounting).
+    pub lane_events: usize,
+}
+
 /// Per-request submission knobs.
 #[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
@@ -630,6 +679,26 @@ impl ServiceQueue {
         })
     }
 
+    /// Submits a packed equivalence campaign point; the returned ticket
+    /// resolves with its [`CampaignPointOutcome`] or a typed error. The
+    /// `sim::commit` failpoint fires once per packed commit — per *point*,
+    /// not per lane — so tag-targeted fault plans hit a campaign point
+    /// exactly as often as the equivalent scalar sweep point.
+    pub fn submit_campaign(
+        &self,
+        request: QueueCampaignRequest,
+        options: SubmitOptions,
+    ) -> TicketHandle<CampaignPointOutcome> {
+        let engine = Arc::clone(&self.shared.engine);
+        let tag = request.netlist.structural_hash();
+        self.submit_job(options, move |interrupt| {
+            match failpoints::with_tag(tag, || run_campaign_point(&engine, &request, interrupt)) {
+                Ok((outcome, simulated)) => (Ok(outcome), simulated),
+                Err(error) => (Err(error), 0),
+            }
+        })
+    }
+
     /// The shared submission path: admission control, ticket creation,
     /// enqueue. `execute` returns the request's result plus the simulation
     /// events it committed (zero for design requests).
@@ -809,6 +878,38 @@ fn run_sweep_point(
         simulated += report.sync_run.committed_events;
     }
     Ok((report, simulated))
+}
+
+/// Executes one packed campaign point, returning the outcome plus the
+/// word-level events its simulations committed (the packed kernel commits
+/// one word event per net change regardless of lane count; cached packed
+/// sync references count zero, mirroring the scalar discipline).
+fn run_campaign_point(
+    engine: &DesyncEngine,
+    request: &QueueCampaignRequest,
+    interrupt: &Interrupt,
+) -> Result<(CampaignPointOutcome, usize), DesyncError> {
+    let mut flow = engine.flow(&request.netlist, &request.library, request.options)?;
+    flow.set_interrupt(interrupt.clone());
+    let lint = flow.lint()?;
+    if !lint.is_clean() {
+        return Err(DesyncError::LintRejected(lint));
+    }
+    let report = flow.verify_packed(&request.stimulus, request.cycles)?;
+    let sync_cached = flow.sync_run_cache_hits() > 0;
+    let mut word_events = report.async_word_events;
+    let mut lane_events = report.async_lane_events;
+    if !sync_cached {
+        word_events += report.sync_word_events;
+        lane_events += report.sync_lane_events;
+    }
+    Ok((
+        CampaignPointOutcome {
+            report,
+            lane_events,
+        },
+        word_events,
+    ))
 }
 
 fn worker_loop(shared: &QueueShared, index: usize) {

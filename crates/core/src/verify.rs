@@ -12,7 +12,10 @@
 use crate::flow::DesyncDesign;
 use desync_mg::{FlowEquivalence, FlowTrace};
 use desync_netlist::{CellLibrary, Netlist};
-use desync_sim::{AsyncTestbench, CompiledModel, SimConfig, SimRun, SyncTestbench, VectorSource};
+use desync_sim::{
+    AsyncTestbench, CompiledModel, PackedAsyncTestbench, PackedSimRun, PackedSyncTestbench,
+    PackedValue, PackedVectorSource, SimConfig, SimRun, SyncTestbench, VectorSource,
+};
 use desync_sta::TimingConfig;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -48,16 +51,22 @@ impl EquivalenceReport {
     /// the pinned DLX/non-overlapping finding records *where* the program
     /// counter first departs from the synchronous reference.
     pub fn divergence(&self) -> Option<DivergenceWindow> {
-        let mismatches = &self.equivalence.mismatches;
-        let first_cycle = mismatches.iter().map(|m| m.position).min()?;
-        let mut registers: Vec<String> = mismatches.iter().map(|m| m.register.clone()).collect();
-        registers.sort();
-        registers.dedup();
-        Some(DivergenceWindow {
-            first_cycle,
-            registers,
-        })
+        divergence_of(&self.equivalence)
     }
+}
+
+/// The divergence window of one [`FlowEquivalence`] verdict (see
+/// [`EquivalenceReport::divergence`]).
+fn divergence_of(equivalence: &FlowEquivalence) -> Option<DivergenceWindow> {
+    let mismatches = &equivalence.mismatches;
+    let first_cycle = mismatches.iter().map(|m| m.position).min()?;
+    let mut registers: Vec<String> = mismatches.iter().map(|m| m.register.clone()).collect();
+    registers.sort();
+    registers.dedup();
+    Some(DivergenceWindow {
+        first_cycle,
+        registers,
+    })
 }
 
 /// Where a non-equivalent co-simulation first departs from the synchronous
@@ -291,6 +300,255 @@ pub fn verify_flow_equivalence_with_parts(
     })
 }
 
+/// The outcome of a multi-seed (packed) flow-equivalence campaign point:
+/// one per-lane verdict for each stimulus seed, plus the word- and
+/// lane-level event accounting of the two packed runs.
+///
+/// Unlike [`EquivalenceReport`] this does not retain the simulation runs —
+/// a 64-lane campaign point would otherwise hold 64 full capture/waveform
+/// sets; the per-lane verdicts and counters are what sweeps aggregate.
+/// Lane order follows the stimulus lane order, so verdicts merge
+/// deterministically regardless of worker scheduling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeedReport {
+    /// Number of stimulus lanes verified (1..=64).
+    pub lanes: usize,
+    /// Per-lane stream-comparison verdicts, in stimulus lane order.
+    pub lane_equivalence: Vec<FlowEquivalence>,
+    /// Per-lane number of capture values compared per register.
+    pub compared_cycles: Vec<usize>,
+    /// Word events committed by the packed synchronous reference run.
+    pub sync_word_events: usize,
+    /// Scalar-equivalent events of the synchronous side (sum over lanes).
+    pub sync_lane_events: usize,
+    /// Word events committed by the packed desynchronized run.
+    pub async_word_events: usize,
+    /// Scalar-equivalent events of the desynchronized side (sum over lanes).
+    pub async_lane_events: usize,
+}
+
+impl MultiSeedReport {
+    /// Number of lanes whose executions are flow equivalent.
+    pub fn equivalent_lanes(&self) -> usize {
+        self.lane_equivalence
+            .iter()
+            .filter(|eq| eq.is_equivalent())
+            .count()
+    }
+
+    /// Whether every lane is flow equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        self.equivalent_lanes() == self.lanes
+    }
+
+    /// Whether lane `lane` is flow equivalent.
+    pub fn lane_is_equivalent(&self, lane: usize) -> bool {
+        self.lane_equivalence[lane].is_equivalent()
+    }
+
+    /// The divergence window of lane `lane`, `None` when it is equivalent
+    /// (see [`EquivalenceReport::divergence`]).
+    pub fn lane_divergence(&self, lane: usize) -> Option<DivergenceWindow> {
+        divergence_of(&self.lane_equivalence[lane])
+    }
+
+    /// Total word events committed across both packed runs (the work the
+    /// kernel actually did).
+    pub fn word_events(&self) -> usize {
+        self.sync_word_events + self.async_word_events
+    }
+
+    /// Total scalar-equivalent lane events across both packed runs (what an
+    /// equivalent all-scalar campaign would have committed).
+    pub fn lane_events(&self) -> usize {
+        self.sync_lane_events + self.async_lane_events
+    }
+}
+
+impl crate::store::Weigh for PackedSimRun {
+    /// Weight of a cached packed reference run: the sum of its extracted
+    /// per-lane runs' weights.
+    fn weight(&self) -> usize {
+        self.lane_runs
+            .iter()
+            .map(crate::store::Weigh::weight)
+            .sum::<usize>()
+            .max(1)
+    }
+}
+
+/// The packed counterpart of [`sync_reference_run_with_model`]: one packed
+/// synchronous run carrying every stimulus lane, over the *same* compiled
+/// models the scalar path caches. Each extracted lane is bit-identical to
+/// [`sync_reference_run`] with that lane's stimulus.
+///
+/// # Errors
+///
+/// [`NetlistError::ClockError`](desync_netlist::NetlistError::ClockError)
+/// if `original` does not have exactly one clock net.
+pub fn packed_sync_reference_run_with_model(
+    original: &Netlist,
+    model: &Arc<CompiledModel>,
+    period_ps: f64,
+    cycles: usize,
+    stimulus: &PackedVectorSource,
+) -> Result<PackedSimRun, desync_netlist::NetlistError> {
+    let mut sync_tb =
+        PackedSyncTestbench::with_model(original, Arc::clone(model), stimulus.lanes())?;
+    Ok(sync_tb.run(cycles, period_ps, stimulus))
+}
+
+/// [`packed_sync_reference_run_with_model`] with a private compile.
+///
+/// # Errors
+///
+/// [`NetlistError::ClockError`](desync_netlist::NetlistError::ClockError)
+/// if `original` does not have exactly one clock net.
+pub fn packed_sync_reference_run(
+    original: &Netlist,
+    library: &CellLibrary,
+    config: SimConfig,
+    period_ps: f64,
+    cycles: usize,
+    stimulus: &PackedVectorSource,
+) -> Result<PackedSimRun, desync_netlist::NetlistError> {
+    let model = Arc::new(CompiledModel::compile(original, library, config));
+    packed_sync_reference_run_with_model(original, &model, period_ps, cycles, stimulus)
+}
+
+/// The multi-seed packed path of [`verify_flow_equivalence`]: verifies all
+/// stimulus lanes of `stimulus` in one packed co-simulation pass — two
+/// packed runs instead of `2 × lanes` scalar runs — and reports one
+/// per-lane verdict each.
+///
+/// Each lane's verdict is bit-identical to the `equivalence` of a scalar
+/// [`verify_flow_equivalence`] call with that lane's stimulus (the golden
+/// suite `sim_packed_golden.rs` pins this).
+pub fn verify_flow_equivalence_packed(
+    original: &Netlist,
+    design: &DesyncDesign,
+    library: &CellLibrary,
+    stimulus: &PackedVectorSource,
+    cycles: usize,
+) -> Result<MultiSeedReport, desync_netlist::NetlistError> {
+    let config = sim_config_for(design);
+    let sync_run = packed_sync_reference_run(
+        original,
+        library,
+        config,
+        design.synchronous_period_ps(),
+        cycles,
+        stimulus,
+    )?;
+    let async_model = Arc::new(CompiledModel::compile(
+        design.latch_netlist(),
+        library,
+        config,
+    ));
+    verify_flow_equivalence_packed_with_parts(
+        original,
+        design,
+        stimulus,
+        cycles,
+        &sync_run,
+        &async_model,
+    )
+}
+
+/// [`verify_flow_equivalence_packed`] over a pre-computed packed reference
+/// run and a pre-compiled model of the desynchronized datapath — the
+/// campaign fast path, mirroring [`verify_flow_equivalence_with_parts`].
+///
+/// `sync_run` must come from [`packed_sync_reference_run`] over the same
+/// `(original, library, config, period, cycles, stimulus)`, and
+/// `async_model` from `design.latch_netlist()` under
+/// [`sim_config_for`]`(design)` — the caches in
+/// [`DesyncEngine`](crate::DesyncEngine) enforce this by construction.
+///
+/// # Panics
+///
+/// Panics if `sync_run` covers a different lane or cycle count than
+/// `stimulus` and `cycles`, or if `async_model` was compiled from a
+/// different netlist structure.
+pub fn verify_flow_equivalence_packed_with_parts(
+    original: &Netlist,
+    design: &DesyncDesign,
+    stimulus: &PackedVectorSource,
+    cycles: usize,
+    sync_run: &PackedSimRun,
+    async_model: &Arc<CompiledModel>,
+) -> Result<MultiSeedReport, desync_netlist::NetlistError> {
+    assert_eq!(
+        sync_run.lanes(),
+        stimulus.lanes(),
+        "packed sync reference carries {} lanes but the stimulus has {}",
+        sync_run.lanes(),
+        stimulus.lanes(),
+    );
+    for lane_run in &sync_run.lane_runs {
+        assert_eq!(
+            lane_run.cycles, cycles,
+            "sync reference run covers {} cycles but the equivalence check asked for {cycles}; \
+             compute the reference with the same cycle count (see packed_sync_reference_run)",
+            lane_run.cycles,
+        );
+    }
+
+    // Identical setup to the scalar path: the enable schedule and the input
+    // vector times are stimulus-independent, so they are computed once and
+    // shared by every lane; only the input *payloads* widen.
+    let start_offset = design.synchronous_period_ps() + 1_000.0;
+    let bundle = design.enable_schedule(cycles + 2, start_offset);
+    let latch_netlist = design.latch_netlist();
+    let mut inputs: Vec<(f64, desync_netlist::NetId, PackedValue)> = Vec::new();
+    for (k, &t) in bundle.input_vector_times.iter().enumerate() {
+        if k >= cycles {
+            break;
+        }
+        for (net, value) in stimulus.packed_vector_for(k) {
+            let name = original.net(net).name;
+            if let Some(mapped) = latch_netlist.find_net_symbol(name) {
+                inputs.push((t, mapped, value));
+            }
+        }
+    }
+    let mut async_tb =
+        PackedAsyncTestbench::with_model(latch_netlist, Arc::clone(async_model), stimulus.lanes());
+    let duration = bundle.horizon_ps + design.cycle_time_ps() + 1_000.0;
+    let async_run = async_tb.run(duration, cycles, &bundle.schedule, &inputs);
+
+    let mut lane_equivalence = Vec::with_capacity(stimulus.lanes());
+    let mut compared_cycles = Vec::with_capacity(stimulus.lanes());
+    for lane in 0..stimulus.lanes() {
+        let sync_lane = &sync_run.lane_runs[lane];
+        let async_lane = &async_run.lane_runs[lane];
+        let mut mapped = FlowTrace::new();
+        for pair in &design.latch_design().pairs {
+            if let Some(stream) = async_lane.flow_trace.stream(&pair.master) {
+                mapped.extend_stream(pair.register_name.clone(), stream.to_vec());
+            }
+        }
+        let limit = cycles
+            .min(mapped.min_stream_len())
+            .min(sync_lane.flow_trace.min_stream_len());
+        lane_equivalence.push(FlowEquivalence::compare_prefix(
+            &sync_lane.flow_trace,
+            &mapped,
+            limit,
+        ));
+        compared_cycles.push(limit);
+    }
+    Ok(MultiSeedReport {
+        lanes: stimulus.lanes(),
+        lane_equivalence,
+        compared_cycles,
+        sync_word_events: sync_run.word_committed_events,
+        sync_lane_events: sync_run.lane_committed_events(),
+        async_word_events: async_run.word_committed_events,
+        async_lane_events: async_run.lane_committed_events(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +693,45 @@ mod tests {
             verify_flow_equivalence_with_reference(&n, &design, &library, &stim, 16, reference)
                 .unwrap();
         assert_eq!(fresh, cached);
+    }
+
+    #[test]
+    fn packed_multi_seed_matches_scalar_verdicts_per_lane() {
+        let n = pipeline();
+        let library = lib();
+        let design = Desynchronizer::new(&n, &library, DesyncOptions::default())
+            .run()
+            .unwrap();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        let seeds = [3u64, 5, 8, 13];
+        let packed = PackedVectorSource::pseudo_random(vec![a, b], &seeds);
+        let report = verify_flow_equivalence_packed(&n, &design, &library, &packed, 20).unwrap();
+        assert_eq!(report.lanes, seeds.len());
+        assert!(report.is_equivalent());
+        assert!(report.word_events() > 0);
+        assert!(report.lane_events() >= report.word_events());
+        let mut sync_lane_events = 0;
+        let mut async_lane_events = 0;
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let stim = VectorSource::pseudo_random(vec![a, b], seed);
+            let scalar = verify_flow_equivalence(&n, &design, &library, &stim, 20).unwrap();
+            assert_eq!(
+                report.lane_equivalence[lane], scalar.equivalence,
+                "lane {lane}"
+            );
+            assert_eq!(report.compared_cycles[lane], scalar.compared_cycles);
+            assert!(report.lane_is_equivalent(lane));
+            assert!(report.lane_divergence(lane).is_none());
+            sync_lane_events += scalar.sync_run.committed_events;
+            async_lane_events += scalar.async_run.committed_events;
+        }
+        // The packed lane-event accounting is exactly what the scalar runs
+        // would have committed, while the word-event work is far smaller.
+        assert_eq!(report.sync_lane_events, sync_lane_events);
+        assert_eq!(report.async_lane_events, async_lane_events);
+        assert!(report.sync_word_events <= sync_lane_events);
+        assert!(report.async_word_events <= async_lane_events);
     }
 
     #[test]

@@ -356,6 +356,85 @@ fn sim_commit_faults_fail_only_targeted_sweep_points() {
 }
 
 #[test]
+fn sim_commit_faults_fire_once_per_packed_campaign_point() {
+    use desync_core::CampaignRequest;
+    use desync_sim::PackedVectorSource;
+
+    let victim = pipeline3("campaign_victim");
+    let bystander = pipeline3("campaign_fine");
+    let library = CellLibrary::generic_90nm();
+    let seeds: Vec<u64> = (1..=64).collect();
+    let stim_v = PackedVectorSource::pseudo_random(vec![victim.find_net("a").unwrap()], &seeds);
+    let stim_b = PackedVectorSource::pseudo_random(vec![bystander.find_net("a").unwrap()], &seeds);
+    let points = vec![
+        CampaignRequest::new(&victim, &library, DesyncOptions::default(), &stim_v, 8),
+        CampaignRequest::new(&bystander, &library, DesyncOptions::default(), &stim_b, 8),
+        CampaignRequest::new(
+            &victim,
+            &library,
+            DesyncOptions::default().with_margin(0.2),
+            &stim_v,
+            8,
+        ),
+    ];
+
+    let clean = DesyncService::with_engine(DesyncEngine::with_workers(1)).run_campaign(&points);
+    assert_eq!(clean.report.failures, 0);
+
+    let scope = FaultScope::install(FaultPlan::new().with_fault(
+        "sim::commit",
+        victim.structural_hash(),
+        FaultAction::Error,
+    ));
+    let service = DesyncService::with_engine(DesyncEngine::with_workers(2)).with_concurrency(2);
+    let outcome = service.run_campaign(&points);
+    assert_eq!(service.engine().inflight_artifacts(), 0);
+    for index in [0usize, 2] {
+        assert_eq!(
+            outcome.results[index].as_ref().unwrap_err(),
+            &DesyncError::FaultInjected {
+                site: "sim::commit"
+            }
+        );
+    }
+    assert_eq!(
+        outcome.results[1].as_ref().unwrap(),
+        clean.results[1].as_ref().unwrap(),
+        "the bystander campaign point must be bit-identical to fault-free"
+    );
+    assert_eq!(outcome.report.failures, 2);
+    // The failpoint fires once per packed commit — per *point*, not per
+    // lane: two victim points, two firings, despite 64 lanes each.
+    assert_eq!(scope.total_fired(), 2);
+    drop(scope);
+
+    // Tag-targeted plans treat scalar sweep points and packed campaign
+    // points identically: the same plan against the scalar sweep yields
+    // the same typed error on the victim.
+    let scalar_stim = VectorSource::pseudo_random(vec![victim.find_net("a").unwrap()], 1);
+    let scalar_points = vec![SweepRequest::new(
+        &victim,
+        &library,
+        DesyncOptions::default(),
+        &scalar_stim,
+        8,
+    )];
+    let _scope = FaultScope::install(FaultPlan::new().with_fault(
+        "sim::commit",
+        victim.structural_hash(),
+        FaultAction::Error,
+    ));
+    let scalar_outcome =
+        DesyncService::with_engine(DesyncEngine::with_workers(1)).run_sweep(&scalar_points);
+    assert_eq!(
+        scalar_outcome.results[0].as_ref().unwrap_err(),
+        &DesyncError::FaultInjected {
+            site: "sim::commit"
+        }
+    );
+}
+
+#[test]
 fn wrapper_batches_contain_panics_and_report_them() {
     let victim = pipeline3("reported");
     let bystander = pipeline3("unharmed");

@@ -112,28 +112,42 @@ pub struct Capture {
 
 /// An event ordered by `(key, seq)` — both plain integers, so the order is
 /// total. `key` is the bit pattern of the non-negative f64 event time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    key: u64,
-    seq: u64,
-    net: NetId,
-    value: Value,
+///
+/// Generic over the payload `P`: the scalar kernel carries one [`Value`],
+/// the packed kernel ([`crate::PackedSimulator`]) a
+/// [`PackedValue`](crate::PackedValue) of 64 lanes. Ordering ignores the
+/// payload entirely, so both kernels pop events in the identical
+/// `(time, sequence)` order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event<P> {
+    pub(crate) key: u64,
+    pub(crate) seq: u64,
+    pub(crate) net: NetId,
+    pub(crate) value: P,
 }
 
-impl Ord for Event {
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.seq) == (other.key, other.seq)
+    }
+}
+
+impl<P> Eq for Event<P> {}
+
+impl<P> Ord for Event<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.key, self.seq).cmp(&(other.key, other.seq))
     }
 }
 
-impl PartialOrd for Event {
+impl<P> PartialOrd for Event<P> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Event {
-    fn time_ps(&self) -> f64 {
+impl<P> Event<P> {
+    pub(crate) fn time_ps(&self) -> f64 {
         f64::from_bits(self.key)
     }
 }
@@ -156,17 +170,17 @@ const CALENDAR_BUCKET_WIDTH_PS: f64 = 64.0;
 /// * `cursor` is ≤ the bucket index of the earliest queued event, so a pop
 ///   scans forward only.
 #[derive(Debug, Clone)]
-struct CalendarQueue {
-    buckets: Vec<BinaryHeap<Reverse<Event>>>,
-    overflow: BinaryHeap<Reverse<Event>>,
+pub(crate) struct CalendarQueue<P> {
+    buckets: Vec<BinaryHeap<Reverse<Event<P>>>>,
+    overflow: BinaryHeap<Reverse<Event<P>>>,
     /// Start of the bucket window, picoseconds.
     base_ps: f64,
     cursor: usize,
     len: usize,
 }
 
-impl CalendarQueue {
-    fn new() -> Self {
+impl<P: Copy> CalendarQueue<P> {
+    pub(crate) fn new() -> Self {
         Self {
             buckets: (0..CALENDAR_BUCKETS).map(|_| BinaryHeap::new()).collect(),
             overflow: BinaryHeap::new(),
@@ -187,7 +201,7 @@ impl CalendarQueue {
         (offset < self.buckets.len()).then_some(offset)
     }
 
-    fn push(&mut self, event: Event) {
+    pub(crate) fn push(&mut self, event: Event<P>) {
         self.len += 1;
         match self.bucket_of(event.time_ps()) {
             Some(index) => {
@@ -206,7 +220,7 @@ impl CalendarQueue {
     /// only holds events beyond the window horizon), so the first non-empty
     /// bucket holds the minimum; with the window empty the overflow minimum
     /// is global.
-    fn peek(&mut self) -> Option<Event> {
+    pub(crate) fn peek(&mut self) -> Option<Event<P>> {
         while self.cursor < self.buckets.len() {
             if let Some(&Reverse(event)) = self.buckets[self.cursor].peek() {
                 return Some(event);
@@ -220,7 +234,7 @@ impl CalendarQueue {
     /// and the minimum comes from the overflow tier, the window is re-based
     /// onto it and every overflow event inside the new horizon migrates
     /// into its bucket.
-    fn pop(&mut self) -> Option<Event> {
+    pub(crate) fn pop(&mut self) -> Option<Event<P>> {
         while self.cursor < self.buckets.len() {
             if let Some(Reverse(event)) = self.buckets[self.cursor].pop() {
                 self.len -= 1;
@@ -271,7 +285,7 @@ pub struct EventSimulator<'a> {
     /// a pending event is always followed by a corrective event when the
     /// inputs change back before it commits.
     projected: Vec<Value>,
-    queue: CalendarQueue,
+    queue: CalendarQueue<Value>,
     seq: u64,
     time: f64,
     committed: usize,
@@ -501,7 +515,7 @@ impl<'a> EventSimulator<'a> {
         committed
     }
 
-    fn commit(&mut self, event: Event) -> usize {
+    fn commit(&mut self, event: Event<Value>) -> usize {
         let net = event.net.index();
         let old = self.values[net];
         if old == event.value {
@@ -918,7 +932,7 @@ mod tests {
 
     #[test]
     fn calendar_queue_orders_same_bucket_and_rebases() {
-        let mut q = CalendarQueue::new();
+        let mut q = CalendarQueue::<Value>::new();
         assert!(q.is_empty());
         let ev = |t: f64, seq: u64| Event {
             key: t.to_bits(),

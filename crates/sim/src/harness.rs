@@ -41,7 +41,7 @@ impl SimRun {
     }
 }
 
-fn value_to_word(value: Value) -> u64 {
+pub(crate) fn value_to_word(value: Value) -> u64 {
     match value {
         Value::Zero => 0,
         Value::One => 1,
@@ -52,7 +52,10 @@ fn value_to_word(value: Value) -> u64 {
 /// Builds the per-register capture streams: captures are grouped by cell id
 /// first (dense, chronological per cell), so each register's name is
 /// resolved and cloned exactly once instead of once per captured value.
-fn collect_flow_trace(netlist: &Netlist, captures: &[crate::engine::Capture]) -> FlowTrace {
+pub(crate) fn collect_flow_trace(
+    netlist: &Netlist,
+    captures: &[crate::engine::Capture],
+) -> FlowTrace {
     let mut per_cell: Vec<Vec<u64>> = vec![Vec::new(); netlist.num_cells()];
     for cap in captures {
         per_cell[cap.cell.index()].push(value_to_word(cap.value));

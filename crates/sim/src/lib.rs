@@ -16,6 +16,36 @@
 //!   whose latch-enable waveforms come from the timed marked-graph model of
 //!   the control network.
 //!
+//! # Two kernels: scalar golden reference, packed throughput
+//!
+//! The crate ships a *pair* of kernels over one shared [`CompiledModel`]:
+//!
+//! * **[`EventSimulator`]** — the scalar kernel; one 4-state [`Value`] per
+//!   net per run. It is the golden reference: every other execution mode is
+//!   defined (and property-tested) as bit-identical to it.
+//! * **[`PackedSimulator`]** — the bit-parallel kernel; each net carries a
+//!   [`PackedValue`] of 64 independent stimulus lanes encoded as two `u64`
+//!   bit-planes (`lo` = definitely-One, `hi` = possibly-One, so
+//!   `Zero = 00`, `One = 11`, `X = 01` per lane). Every [`CellKind`] is
+//!   evaluated with branch-free word-wide logic — NOT swaps and complements
+//!   the planes, AND/OR are per-plane `&`/`|`, and the rest compose from
+//!   plane masks. Under matched delays the event *schedule* is
+//!   stimulus-independent, so the calendar queue, the CSR topology walk and
+//!   the scheduling rules are byte-for-byte the scalar kernel's — only the
+//!   payloads widen. Per-lane extraction ([`PackedSimRun`]) returns
+//!   captures, activity and waveforms bit-identical to 64 scalar runs at
+//!   roughly the cost of one, which is what makes 64-seed equivalence
+//!   campaigns ~1× the price of a single-seed verification.
+//!
+//! [`PackedSyncTestbench`] / [`PackedAsyncTestbench`] mirror the scalar
+//! harnesses' drive scripts exactly (control nets are broadcast across
+//! lanes), and [`PackedVectorSource`] interleaves up to 64 scalar
+//! [`VectorSource`] lanes with a combined content digest for the
+//! sync-reference-run cache.
+//!
+//! [`Value`]: desync_netlist::Value
+//! [`CellKind`]: desync_netlist::CellKind
+//!
 //! # Kernel design: compiled model + cursor
 //!
 //! Gate-level co-simulation is the hot path of flow-equivalence
@@ -58,11 +88,14 @@
 //! sequence numbers (the tie-breakers of the total event order) coincide.
 //!
 //! A golden-trace property suite (`desync-core/tests/sim_golden.rs`) pins
-//! the kernel's captures, activity counters and waveforms byte-identical to
-//! a straightforward reference implementation across random circuits and
-//! all three handshake protocols. [`VectorSource::content_digest`] provides
-//! the stimulus half of the content-addressed sync-reference-run cache that
-//! `desync-core` layers on top for incremental co-simulation.
+//! the scalar kernel's captures, activity counters and waveforms
+//! byte-identical to a straightforward reference implementation across
+//! random circuits and all three handshake protocols; a second suite
+//! (`desync-core/tests/sim_packed_golden.rs`) pins the packed kernel's
+//! plane-extracted lanes bit-identical to scalar runs the same way.
+//! [`VectorSource::content_digest`] provides the stimulus half of the
+//! content-addressed sync-reference-run cache that `desync-core` layers on
+//! top for incremental co-simulation.
 //!
 //! # Example
 //!
@@ -97,6 +130,7 @@ pub mod activity;
 pub mod engine;
 pub mod harness;
 pub mod model;
+pub mod packed;
 pub mod stimulus;
 pub mod waveform;
 
@@ -104,5 +138,9 @@ pub use activity::Activity;
 pub use engine::{EventSimulator, SimConfig};
 pub use harness::{AsyncTestbench, EnableSchedule, SimRun, SyncTestbench};
 pub use model::CompiledModel;
-pub use stimulus::VectorSource;
+pub use packed::{
+    PackedAsyncTestbench, PackedCapture, PackedSimRun, PackedSimulator, PackedSyncTestbench,
+    PackedValue, MAX_LANES,
+};
+pub use stimulus::{PackedVectorSource, VectorSource};
 pub use waveform::{Waveform, WaveformSet};

@@ -1,5 +1,6 @@
 //! Input-vector generation for the simulation harnesses.
 
+use crate::packed::{PackedValue, MAX_LANES};
 use desync_netlist::{NetId, Value};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,123 @@ impl VectorSource {
     }
 }
 
+/// Up to 64 interleaved [`VectorSource`] lanes driving one packed run.
+///
+/// Every lane must drive the same nets in the same per-cycle order (the
+/// packed harness asserts this), because the packed kernel widens the
+/// *payloads* of a shared event schedule — it cannot give different lanes
+/// different event times. Unused tail lanes replicate the last live lane,
+/// so they never create events the live lanes would not have created.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedVectorSource {
+    lanes: Vec<VectorSource>,
+}
+
+impl PackedVectorSource {
+    /// Interleaves `lanes` sources into one packed source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty or holds more than 64 sources.
+    pub fn interleave(lanes: Vec<VectorSource>) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes.len()),
+            "packed stimulus carries 1..=64 lanes, got {}",
+            lanes.len()
+        );
+        Self { lanes }
+    }
+
+    /// One pseudo-random lane per seed over the same `nets` — the standard
+    /// multi-seed equivalence-campaign stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or holds more than 64 seeds.
+    pub fn pseudo_random(nets: Vec<NetId>, seeds: &[u64]) -> Self {
+        Self::interleave(
+            seeds
+                .iter()
+                .map(|&seed| VectorSource::pseudo_random(nets.clone(), seed))
+                .collect(),
+        )
+    }
+
+    /// Number of live lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The scalar source of lane `lane`.
+    pub fn lane(&self, lane: usize) -> &VectorSource {
+        &self.lanes[lane]
+    }
+
+    /// All lane sources in lane order.
+    pub fn lane_sources(&self) -> &[VectorSource] {
+        &self.lanes
+    }
+
+    /// The nets this source drives (identical for every lane).
+    pub fn driven_nets(&self) -> Vec<NetId> {
+        self.lanes[0].driven_nets()
+    }
+
+    /// The packed assignments for cycle `cycle`: each lane's scalar vector
+    /// widened into per-net [`PackedValue`]s, with tail lanes replicating
+    /// the last live lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes disagree on the driven nets or their order.
+    pub fn packed_vector_for(&self, cycle: usize) -> Vec<(NetId, PackedValue)> {
+        let vectors: Vec<Vec<(NetId, Value)>> = self
+            .lanes
+            .iter()
+            .map(|lane| lane.vector_for(cycle))
+            .collect();
+        let template = &vectors[0];
+        for vector in &vectors[1..] {
+            assert_eq!(
+                vector.len(),
+                template.len(),
+                "every packed stimulus lane must drive the same nets"
+            );
+        }
+        let last = vectors.len() - 1;
+        template
+            .iter()
+            .enumerate()
+            .map(|(slot, &(net, _))| {
+                let mut packed = PackedValue::all_x();
+                for lane in 0..MAX_LANES {
+                    let (lane_net, value) = vectors[lane.min(last)][slot];
+                    assert_eq!(
+                        lane_net, net,
+                        "every packed stimulus lane must drive the same nets in the same order"
+                    );
+                    packed.set_lane(lane, value);
+                }
+                (net, packed)
+            })
+            .collect()
+    }
+
+    /// A stable 64-bit content digest of the packed stimulus: the packed
+    /// flavour tag, the lane count, and every lane's
+    /// [`VectorSource::content_digest`], in order. Keys the packed half of
+    /// the content-addressed sync-reference-run cache in `desync-core`.
+    pub fn content_digest(&self) -> u64 {
+        let mut hash = desync_netlist::Fnv1a::new();
+        hash.write_u8(4);
+        hash.write_usize(self.lanes.len());
+        for lane in &self.lanes {
+            hash.write_u64(lane.content_digest());
+        }
+        hash.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +313,58 @@ mod tests {
         // Stability across processes: the digest is a fixed function with
         // pinned constants, so pin one value as a regression anchor.
         assert_eq!(empty.content_digest(), 0x529a_2cdc_8ff5_33ac);
+    }
+
+    #[test]
+    fn packed_source_interleaves_lanes_and_replicates_the_tail() {
+        let nets = vec![NetId(0), NetId(1)];
+        let packed = PackedVectorSource::pseudo_random(nets.clone(), &[7, 11, 13]);
+        assert_eq!(packed.lanes(), 3);
+        assert_eq!(packed.driven_nets(), nets);
+        for cycle in 0..8 {
+            let vector = packed.packed_vector_for(cycle);
+            assert_eq!(vector.len(), nets.len());
+            for (slot, &(net, value)) in vector.iter().enumerate() {
+                assert_eq!(net, nets[slot]);
+                for (lane, source) in packed.lane_sources().iter().enumerate() {
+                    assert_eq!(value.lane(lane), source.vector_for(cycle)[slot].1);
+                }
+                // Tail lanes replicate the last live lane.
+                for lane in packed.lanes()..MAX_LANES {
+                    assert_eq!(value.lane(lane), packed.lane(2).vector_for(cycle)[slot].1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_digest_separates_lane_order_count_and_flavour() {
+        let a = VectorSource::pseudo_random(vec![NetId(0)], 1);
+        let b = VectorSource::pseudo_random(vec![NetId(0)], 2);
+        let ab = PackedVectorSource::interleave(vec![a.clone(), b.clone()]);
+        let ba = PackedVectorSource::interleave(vec![b.clone(), a.clone()]);
+        let aa = PackedVectorSource::interleave(vec![a.clone(), a.clone()]);
+        let single = PackedVectorSource::interleave(vec![a.clone()]);
+        assert_eq!(ab.content_digest(), ab.content_digest());
+        assert_ne!(ab.content_digest(), ba.content_digest());
+        assert_ne!(ab.content_digest(), aa.content_digest());
+        assert_ne!(single.content_digest(), a.content_digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 lanes")]
+    fn empty_packed_source_panics() {
+        let _ = PackedVectorSource::interleave(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nets")]
+    fn mismatched_lane_nets_panic() {
+        let packed = PackedVectorSource::interleave(vec![
+            VectorSource::constant(vec![(NetId(0), Value::One)]),
+            VectorSource::constant(vec![(NetId(1), Value::One)]),
+        ]);
+        let _ = packed.packed_vector_for(0);
     }
 
     #[test]

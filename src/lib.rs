@@ -107,11 +107,12 @@ pub use desync_sta as sta;
 pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
-        sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_with_reference,
-        AdmissionPolicy, CancelToken, ClusteringStrategy, ControlNetwork, DesyncDesign,
-        DesyncEngine, DesyncError, DesyncFlow, DesyncOptions, DesyncRuntime, DesyncService,
-        Desynchronizer, DivergenceWindow, EngineReport, EquivalenceReport, FlowReport, Protocol,
-        QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, ServiceReport,
+        sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_packed,
+        verify_flow_equivalence_with_reference, AdmissionPolicy, CampaignOutcome, CampaignRequest,
+        CancelToken, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError,
+        DesyncFlow, DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, DivergenceWindow,
+        EngineReport, EquivalenceReport, FlowReport, MultiSeedReport, Protocol, QueueConfig,
+        QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, ServiceReport,
         ServiceRequest, SizingAnalysis, Stage, StoreConfig, SubmitOptions, SweepReport,
         SweepRequest, TicketHandle, TimingTable,
     };
@@ -121,6 +122,9 @@ pub mod prelude {
     pub use desync_power::{
         dynamic_power_mw, leakage_power_mw, AreaReport, ClockTree, PowerReport,
     };
-    pub use desync_sim::{AsyncTestbench, CompiledModel, SimConfig, SyncTestbench, VectorSource};
+    pub use desync_sim::{
+        AsyncTestbench, CompiledModel, PackedAsyncTestbench, PackedSyncTestbench,
+        PackedVectorSource, SimConfig, SyncTestbench, VectorSource, MAX_LANES,
+    };
     pub use desync_sta::{MatchedDelay, Sta, TimingConfig};
 }
