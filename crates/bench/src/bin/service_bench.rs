@@ -9,8 +9,10 @@
 //! errors on the reject-new policy, the block-submitter policy must drain
 //! without deadlocking, cancellations and deadlines must resolve typed,
 //! and — under `--features failpoints` — injected worker panics must be
-//! contained per-request. Writes the headline numbers to
-//! `BENCH_service.json` (schema `desync-service/3`, see ROADMAP.md).
+//! contained per-request. The faulty traffic is tenant-tagged, so the
+//! report attributes the shed burst to the bursting tenant. Writes the
+//! headline numbers to `BENCH_service.json` (schema `desync-service/4`,
+//! see ROADMAP.md).
 //!
 //! ```text
 //! cargo run --release -p desync-bench --bin service_bench

@@ -1,0 +1,109 @@
+//! Soak gate for the multi-tenant service queue: replays the checked-in
+//! traffic recording (`data/soak_traffic.rec`) through the fair-scheduling
+//! queue at 1, 2 and 4 workers and asserts
+//!
+//! * every ticket resolves (no wedged queue, no wedged in-flight registry),
+//! * no dispatch waited past the aging bound + high water,
+//! * no tenant's backlog exceeded its quota,
+//! * the end state — resolutions, dispatch log, counters — is
+//!   **bit-identical across worker counts**.
+//!
+//! Under `--features failpoints` the replay additionally runs under two
+//! seeded fault plans targeting the recording's design tags, asserting the
+//! same invariants with panics contained and faults actually fired. CI runs
+//! the failpoints build of this binary on every push.
+
+use desync_core::soak::{run_soak, SoakConfig, SoakReport, TrafficRecording};
+
+const RECORDING: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/data/soak_traffic.rec"
+));
+
+/// Per-tenant pending quota for the replay: small enough that tenant 0's
+/// burst sheds against it, large enough that the trickle tenants never do.
+const TENANT_QUOTA: usize = 16;
+
+/// Replays the recording at each worker count (optionally under a seeded
+/// fault plan), checks invariants, and asserts bit-identical reports.
+fn replay(recording: &TrafficRecording, label: &str, seed: Option<u64>) -> SoakReport {
+    let mut baseline: Option<SoakReport> = None;
+    for workers in [1usize, 2, 4] {
+        let config = SoakConfig::default()
+            .with_workers(workers)
+            .with_tenant_quota(TENANT_QUOTA);
+        let report = run_with_plan(recording, &config, seed)
+            .unwrap_or_else(|e| panic!("{label} (workers={workers}): {e}"));
+        report
+            .check_invariants(&config)
+            .unwrap_or_else(|e| panic!("{label} (workers={workers}): invariant violated: {e}"));
+        match &baseline {
+            None => baseline = Some(report),
+            Some(first) => assert_eq!(
+                first, &report,
+                "{label}: end state must be bit-identical across worker counts \
+                 (diverged at workers={workers})"
+            ),
+        }
+    }
+    baseline.expect("three replays ran")
+}
+
+#[cfg(feature = "failpoints")]
+fn run_with_plan(
+    recording: &TrafficRecording,
+    config: &SoakConfig,
+    seed: Option<u64>,
+) -> Result<SoakReport, String> {
+    use desync_core::failpoints::{FaultPlan, FaultScope};
+    match seed {
+        Some(seed) => {
+            let tags = desync_core::soak::soak_tags(recording);
+            let scope = FaultScope::install(FaultPlan::seeded(seed, 6, &tags));
+            let report = run_soak(recording, config)?;
+            assert!(
+                scope.total_fired() > 0,
+                "seeded plan {seed} must actually inject faults"
+            );
+            Ok(report)
+        }
+        None => run_soak(recording, config),
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn run_with_plan(
+    recording: &TrafficRecording,
+    config: &SoakConfig,
+    seed: Option<u64>,
+) -> Result<SoakReport, String> {
+    assert!(seed.is_none(), "fault plans require --features failpoints");
+    run_soak(recording, config)
+}
+
+fn main() {
+    let recording = TrafficRecording::parse(RECORDING).expect("checked-in recording parses");
+    assert!(
+        recording.events.len() >= 40,
+        "the checked-in recording should exercise a real burst"
+    );
+
+    let clean = replay(&recording, "fault-free", None);
+    println!("fault-free: {clean}");
+    assert_eq!(
+        clean.counters.panics_contained, 0,
+        "no faults, no contained panics"
+    );
+
+    if cfg!(feature = "failpoints") {
+        for seed in [11u64, 29] {
+            let report = replay(&recording, &format!("fault seed {seed}"), Some(seed));
+            println!("fault seed {seed}: {report}");
+        }
+        println!("soak_bench: fault-free + 2 seeded fault plans, all invariants held");
+    } else {
+        println!(
+            "soak_bench: fault-free replay ok (build with --features failpoints for fault plans)"
+        );
+    }
+}

@@ -18,15 +18,17 @@
 //! [`DesyncError::StagePanicked`], bystanders bit-identical) is asserted.
 //!
 //! [`run_service_bench`] reports request/coalescing counts, the engine's
-//! hit/eviction counters, lint admission counters, resident weight and the
-//! faulty-phase queue counters, and serializes the headline numbers to
-//! `BENCH_service.json` (schema `desync-service/3`) via
-//! [`ServiceBenchReport::to_json`].
+//! hit/eviction counters, lint admission counters, resident weight, the
+//! faulty-phase queue counters and the faulty phase's per-tenant
+//! scheduling counters (its traffic is tagged with three tenants), and
+//! serializes the headline numbers to `BENCH_service.json` (schema
+//! `desync-service/4`) via [`ServiceBenchReport::to_json`].
 
 use crate::batch::{mixed_designs, mixed_options};
 use desync_core::{
     AdmissionPolicy, CancelToken, DesyncDesign, DesyncEngine, DesyncError, DesyncService,
     QueueConfig, QueueRequest, ServiceQueue, ServiceRequest, StoreConfig, SubmitOptions,
+    TenantCounters, TenantId,
 };
 use desync_netlist::{CellKind, CellLibrary, Netlist};
 use std::fmt;
@@ -90,6 +92,10 @@ pub struct ServiceBenchReport {
     /// Whether every *surviving* faulty-phase request returned a design
     /// bit-identical to its fault-free baseline.
     pub faulty_survivors_match: bool,
+    /// Per-tenant scheduling counters of the faulty phase's reject-new
+    /// queue (its traffic is tagged: tenant 1 interactive, tenant 2 the
+    /// poisoned design, tenant 3 the overload burst).
+    pub tenants: Vec<TenantCounters>,
     /// Wall time over all phases.
     pub wall: Duration,
 }
@@ -99,10 +105,31 @@ impl ServiceBenchReport {
     /// workspace vendors a stub `serde`, so this is written by hand — the
     /// schema is part of the bench contract and documented in ROADMAP.md).
     pub fn to_json(&self) -> String {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    concat!(
+                        "    {{ \"tenant\": {}, \"submitted\": {}, \"dispatched\": {}, ",
+                        "\"shed\": {}, \"cancelled\": {}, \"deadline_exceeded\": {}, ",
+                        "\"max_wait_ticks\": {} }}"
+                    ),
+                    t.tenant.id(),
+                    t.submitted,
+                    t.dispatched,
+                    t.shed,
+                    t.cancelled,
+                    t.deadline_exceeded,
+                    t.max_wait_ticks,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"desync-service/3\",\n",
+                "  \"schema\": \"desync-service/4\",\n",
                 "  \"requests\": {},\n",
                 "  \"coalesced\": {},\n",
                 "  \"cache_hits\": {},\n",
@@ -122,6 +149,7 @@ impl ServiceBenchReport {
                 "  \"panics_contained\": {},\n",
                 "  \"block_policy_completed\": {},\n",
                 "  \"faulty_survivors_match\": {},\n",
+                "  \"tenants\": [\n{}\n  ],\n",
                 "  \"wall_ms\": {:.3}\n",
                 "}}\n"
             ),
@@ -144,6 +172,7 @@ impl ServiceBenchReport {
             self.panics_contained,
             self.block_policy_completed,
             self.faulty_survivors_match,
+            tenants,
             self.wall.as_secs_f64() * 1e3,
         )
     }
@@ -187,11 +216,20 @@ impl fmt::Display for ServiceBenchReport {
             self.cancelled,
             self.deadline_exceeded
         )?;
-        write!(
+        writeln!(
             f,
             "  containment: {} panic(s) contained, block policy drained: {}, survivors match: {}",
             self.panics_contained, self.block_policy_completed, self.faulty_survivors_match
-        )
+        )?;
+        write!(f, "  tenants:")?;
+        for t in &self.tenants {
+            write!(
+                f,
+                " [{}: {} submitted, {} shed]",
+                t.tenant, t.submitted, t.shed
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -337,23 +375,47 @@ fn run_faulty_phase(report: &mut ServiceBenchReport) {
                 options,
             )
         };
+        // Tagged traffic: tenant 1 is the interactive client, tenant 2
+        // submits the poisoned design, tenant 3 is the overload burst —
+        // so the shed requests attribute to the burster in the report.
+        let interactive = TenantId::new(1);
+        let poisoner = TenantId::new(2);
+        let burster = TenantId::new(3);
         queue.pause();
         let doomed = CancelToken::new();
         let cancelled_ticket = queue.submit(
             request(&bystander),
-            SubmitOptions::new().with_cancel(doomed.clone()),
+            SubmitOptions::new()
+                .with_tenant(interactive)
+                .with_cancel(doomed.clone()),
         );
         doomed.cancel();
         let late_ticket = queue.submit(
             request(&bystander),
-            SubmitOptions::new().with_deadline(Duration::ZERO),
+            SubmitOptions::new()
+                .with_tenant(interactive)
+                .with_deadline(Duration::ZERO),
         );
-        let victim_ticket = queue.submit(request(&victim), SubmitOptions::new());
-        let bystander_ticket = queue.submit(request(&bystander), SubmitOptions::new());
+        let victim_ticket = queue.submit(
+            request(&victim),
+            SubmitOptions::new().with_tenant(interactive),
+        );
+        let bystander_ticket = queue.submit(
+            request(&bystander),
+            SubmitOptions::new().with_tenant(interactive),
+        );
         let poisoned = poisoned_design();
-        let poisoned_ticket = queue.submit(request(&poisoned), SubmitOptions::new());
+        let poisoned_ticket = queue.submit(
+            request(&poisoned),
+            SubmitOptions::new().with_tenant(poisoner),
+        );
         let overload: Vec<_> = (0..4)
-            .map(|_| queue.submit(request(&bystander), SubmitOptions::new()))
+            .map(|_| {
+                queue.submit(
+                    request(&bystander),
+                    SubmitOptions::new().with_tenant(burster),
+                )
+            })
             .collect();
         queue.resume();
 
@@ -370,15 +432,15 @@ fn run_faulty_phase(report: &mut ServiceBenchReport) {
             "the malformed design must be turned away at admission"
         );
         for ticket in overload {
-            assert_eq!(
-                ticket.wait(),
-                Err(DesyncError::QueueFull),
+            assert!(
+                matches!(ticket.wait(), Err(DesyncError::QueueFull { .. })),
                 "overload past the bound must shed at admission"
             );
         }
         let counters = queue.counters();
         report.queue_depth = FAULTY_QUEUE_DEPTH;
         report.queue_high_water = report.queue_high_water.max(counters.high_water);
+        report.tenants = counters.tenants.clone();
         report.shed += counters.shed;
         report.cancelled += counters.cancelled;
         report.deadline_exceeded += counters.deadline_exceeded;
@@ -415,7 +477,7 @@ fn run_faulty_phase(report: &mut ServiceBenchReport) {
         let mut drained = true;
         for (is_victim, ticket) in tickets {
             let result = ticket.wait();
-            drained &= !matches!(result, Err(DesyncError::QueueFull));
+            drained &= !matches!(result, Err(DesyncError::QueueFull { .. }));
             check_survivor(&result, is_victim);
         }
         let counters = queue.counters();
@@ -480,6 +542,7 @@ pub fn run_service_bench() -> ServiceBenchReport {
         panics_contained: 0,
         block_policy_completed: false,
         faulty_survivors_match: false,
+        tenants: Vec::new(),
         wall: Duration::ZERO,
     };
     let started = Instant::now();
@@ -620,8 +683,16 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("rejection(s) at admission"), "{text}");
         assert!(text.contains("faulty traffic"), "{text}");
+        // The tagged faulty traffic attributes the whole shed burst to
+        // the bursting tenant, leaving the others untouched.
+        let by_tenant: Vec<(u32, usize, usize)> = report
+            .tenants
+            .iter()
+            .map(|t| (t.tenant.id(), t.submitted, t.shed))
+            .collect();
+        assert_eq!(by_tenant, vec![(1, 4, 0), (2, 1, 0), (3, 0, 4)], "{report}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"desync-service/3\""));
+        assert!(json.contains("\"schema\": \"desync-service/4\""));
         assert!(json.contains("\"coalesced\""));
         assert!(json.contains("\"resident_weight\""));
         assert!(json.contains("\"lint_rejections\""));
@@ -629,5 +700,10 @@ mod tests {
         assert!(json.contains("\"shed\": 4"));
         assert!(json.contains("\"block_policy_completed\": true"));
         assert!(json.contains("\"faulty_survivors_match\": true"));
+        assert!(json.contains("\"tenants\": ["), "{json}");
+        assert!(
+            json.contains("{ \"tenant\": 3, \"submitted\": 0, \"dispatched\": 0, \"shed\": 4,"),
+            "{json}"
+        );
     }
 }

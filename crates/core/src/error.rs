@@ -1,5 +1,6 @@
 //! Error types of the desynchronization flow.
 
+use crate::submit::TenantId;
 use desync_lint::LintReport;
 use desync_netlist::NetlistError;
 use std::fmt;
@@ -45,11 +46,26 @@ pub enum DesyncError {
     /// Like cancellation this is cooperative: deadlines are checked when the
     /// request is picked up and at every stage edge, never mid-stage.
     DeadlineExceeded,
-    /// The submission queue was at its configured depth bound and the
-    /// admission policy is
+    /// The submission queue was at its configured depth bound — or the
+    /// submitting tenant at its quota — and the admission policy is
     /// [`AdmissionPolicy::RejectNew`](crate::AdmissionPolicy::RejectNew):
-    /// the request was shed instead of enqueued.
-    QueueFull,
+    /// the request was shed instead of enqueued. The payload is the
+    /// admission state observed under the queue lock at shed time, so
+    /// operators tuning depth/quota see exactly what tripped.
+    QueueFull {
+        /// Pending requests (all tenants) at shed time.
+        depth: usize,
+        /// The configured global depth bound (`None` = unbounded: the
+        /// shed was caused by the tenant quota alone).
+        capacity: Option<usize>,
+        /// The tenant whose submission was shed.
+        tenant: TenantId,
+        /// The shedding tenant's own pending requests at shed time.
+        tenant_depth: usize,
+        /// The configured per-tenant quota (`None` = unquotaed: the shed
+        /// was caused by the global depth bound alone).
+        tenant_quota: Option<usize>,
+    },
     /// A worker panicked while computing this request. The panic was
     /// contained per-request (`catch_unwind` at the queue worker), the stage
     /// that was executing is recorded, and neither the worker thread nor the
@@ -155,11 +171,22 @@ impl fmt::Display for DesyncError {
             DesyncError::DeadlineExceeded => {
                 write!(f, "request deadline elapsed before completion")
             }
-            DesyncError::QueueFull => {
-                write!(
-                    f,
-                    "submission queue is full; request shed by admission policy"
-                )
+            DesyncError::QueueFull {
+                depth,
+                capacity,
+                tenant,
+                tenant_depth,
+                tenant_quota,
+            } => {
+                write!(f, "submission queue is full (depth {depth}")?;
+                if let Some(capacity) = capacity {
+                    write!(f, " of {capacity}")?;
+                }
+                write!(f, "; tenant {tenant}: {tenant_depth} pending")?;
+                if let Some(quota) = tenant_quota {
+                    write!(f, " of quota {quota}")?;
+                }
+                write!(f, "); request shed by admission policy")
             }
             DesyncError::StagePanicked { stage, message } => {
                 write!(f, "worker panicked in stage '{stage}': {message}")
@@ -239,7 +266,29 @@ mod tests {
         assert!(DesyncError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
-        assert!(DesyncError::QueueFull.to_string().contains("queue is full"));
+        let full = DesyncError::QueueFull {
+            depth: 5,
+            capacity: Some(5),
+            tenant: TenantId::new(7),
+            tenant_depth: 3,
+            tenant_quota: Some(3),
+        };
+        assert!(full.to_string().contains("queue is full"), "{full}");
+        assert!(full.to_string().contains("depth 5 of 5"), "{full}");
+        assert!(full.to_string().contains("tenant 7"), "{full}");
+        assert!(full.to_string().contains("3 pending of quota 3"), "{full}");
+        let unbounded = DesyncError::QueueFull {
+            depth: 4,
+            capacity: None,
+            tenant: TenantId::DEFAULT,
+            tenant_depth: 4,
+            tenant_quota: Some(4),
+        };
+        assert!(
+            !unbounded.to_string().contains("of quota 4 of"),
+            "{unbounded}"
+        );
+        assert!(unbounded.to_string().contains("depth 4;"), "{unbounded}");
         let e = DesyncError::StagePanicked {
             stage: "timed",
             message: "boom".into(),

@@ -132,6 +132,7 @@ pub mod model;
 pub mod options;
 pub mod pipeline;
 pub mod service;
+pub mod soak;
 pub mod store;
 pub mod submit;
 pub mod verify;
@@ -151,11 +152,14 @@ pub use service::{
     CampaignOutcome, CampaignRequest, DesyncService, ServiceOutcome, ServiceReport, ServiceRequest,
     SweepOutcome, SweepReport, SweepRequest,
 };
+pub use soak::{
+    run_soak, SoakConfig, SoakEvent, SoakKind, SoakReport, SoakResolution, TrafficRecording,
+};
 pub use store::{Fetched, StoreConfig, Weigh};
 pub use submit::{
-    AdmissionPolicy, CampaignPointOutcome, CancelToken, Interrupt, QueueCampaignRequest,
-    QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, SubmitOptions,
-    TicketHandle,
+    AdmissionPolicy, CampaignPointOutcome, CancelToken, DispatchRecord, Interrupt, LaneCounters,
+    Priority, QueueCampaignRequest, QueueConfig, QueueCounters, QueueRequest, QueueSweepRequest,
+    ServiceQueue, SubmitMeta, SubmitOptions, TenantCounters, TenantId, TicketHandle,
 };
 pub use verify::{
     packed_sync_reference_run, packed_sync_reference_run_with_model, sync_reference_run,

@@ -79,6 +79,23 @@
 //! contained panics, cancellations, deadline misses — all zero for a
 //! healthy fault-free batch).
 //!
+//! # Multi-tenant scheduling
+//!
+//! Every request can carry a [`SubmitMeta`](crate::SubmitMeta) — a
+//! [`TenantId`](crate::TenantId) plus a [`Priority`](crate::Priority) lane
+//! — via `with_meta` on [`ServiceRequest`] / [`SweepRequest`] /
+//! [`CampaignRequest`]. The queue underneath dispatches tag → lane →
+//! tenant-DRR → worker: strict priority lanes first, deficit-round-robin
+//! across tenants within a lane, and a logical-clock aging bound that
+//! promotes any request waiting too long (see [`submit`](crate::submit)
+//! for the full lifecycle, aging bound and quota semantics). Requests with
+//! different tags never coalesce — each tenant's traffic is dispatched
+//! and accounted under its own tag, while the engine's store still
+//! computes shared artifacts exactly once. The reports carry the
+//! per-tenant and per-lane counter blocks ([`ServiceReport::tenants`],
+//! [`ServiceReport::lanes`]); untagged batches see one default-tenant
+//! entry and behave exactly as before.
+//!
 //! Robustness guarantees (proven deterministically by the fault-injection
 //! suite under the `failpoints` feature, see [`failpoints`](crate::failpoints)
 //! for the failpoint catalog):
@@ -128,8 +145,9 @@ use crate::error::DesyncError;
 use crate::flow::DesyncDesign;
 use crate::options::DesyncOptions;
 use crate::submit::{
-    CampaignPointOutcome, QueueCampaignRequest, QueueConfig, QueueCounters, QueueRequest,
-    QueueSweepRequest, ServiceQueue, SubmitOptions, TicketHandle,
+    CampaignPointOutcome, LaneCounters, QueueCampaignRequest, QueueConfig, QueueCounters,
+    QueueRequest, QueueSweepRequest, ServiceQueue, SubmitMeta, SubmitOptions, TenantCounters,
+    TicketHandle,
 };
 use crate::verify::{EquivalenceReport, MultiSeedReport};
 use desync_netlist::{CellLibrary, Netlist};
@@ -161,23 +179,36 @@ pub struct ServiceRequest<'a> {
     pub library: &'a CellLibrary,
     /// The flow options.
     pub options: DesyncOptions,
+    /// The scheduling tag (tenant + priority) the request submits under.
+    pub meta: SubmitMeta,
 }
 
 impl<'a> ServiceRequest<'a> {
-    /// Bundles one request.
+    /// Bundles one request (default scheduling tag).
     pub fn new(netlist: &'a Netlist, library: &'a CellLibrary, options: DesyncOptions) -> Self {
         Self {
             netlist,
             library,
             options,
+            meta: SubmitMeta::default(),
         }
+    }
+
+    /// Returns the request with a scheduling tag.
+    pub fn with_meta(mut self, meta: SubmitMeta) -> Self {
+        self.meta = meta;
+        self
     }
 
     /// Whether two requests describe the identical computation (same
     /// netlist content, library and options) and can therefore share one
-    /// result.
+    /// result. Requests with different scheduling tags never coalesce —
+    /// each tenant's traffic is dispatched and accounted under its own
+    /// tag, even for identical inputs (the store still computes the
+    /// artifacts only once).
     fn coalesces_with(&self, other: &Self) -> bool {
-        self.options == other.options
+        self.meta == other.meta
+            && self.options == other.options
             && same_inputs(self.netlist, self.library, other.netlist, other.library)
     }
 }
@@ -197,10 +228,12 @@ pub struct SweepRequest<'a> {
     pub stimulus: &'a VectorSource,
     /// Number of captures compared per register.
     pub cycles: usize,
+    /// The scheduling tag (tenant + priority) the point submits under.
+    pub meta: SubmitMeta,
 }
 
 impl<'a> SweepRequest<'a> {
-    /// Bundles one sweep point.
+    /// Bundles one sweep point (default scheduling tag).
     pub fn new(
         netlist: &'a Netlist,
         library: &'a CellLibrary,
@@ -214,7 +247,14 @@ impl<'a> SweepRequest<'a> {
             options,
             stimulus,
             cycles,
+            meta: SubmitMeta::default(),
         }
+    }
+
+    /// Returns the point with a scheduling tag.
+    pub fn with_meta(mut self, meta: SubmitMeta) -> Self {
+        self.meta = meta;
+        self
     }
 
     /// Whether two sweep points describe the identical verification (same
@@ -222,9 +262,12 @@ impl<'a> SweepRequest<'a> {
     /// short-circuits on pointer identity, then the content digest, and —
     /// like the netlist's structural-hash check beside it — confirms a
     /// digest match with full equality so a 64-bit collision can never
-    /// hand one point another point's report.
+    /// hand one point another point's report. Points with different
+    /// scheduling tags never coalesce (see
+    /// [`ServiceRequest`]'s coalescing notes).
     fn coalesces_with(&self, other: &Self) -> bool {
-        self.options == other.options
+        self.meta == other.meta
+            && self.options == other.options
             && self.cycles == other.cycles
             && (std::ptr::eq(self.stimulus, other.stimulus)
                 || (self.stimulus.content_digest() == other.stimulus.content_digest()
@@ -248,10 +291,12 @@ pub struct CampaignRequest<'a> {
     pub stimulus: &'a PackedVectorSource,
     /// Number of captures compared per register, per lane.
     pub cycles: usize,
+    /// The scheduling tag (tenant + priority) the point submits under.
+    pub meta: SubmitMeta,
 }
 
 impl<'a> CampaignRequest<'a> {
-    /// Bundles one campaign point.
+    /// Bundles one campaign point (default scheduling tag).
     pub fn new(
         netlist: &'a Netlist,
         library: &'a CellLibrary,
@@ -265,7 +310,14 @@ impl<'a> CampaignRequest<'a> {
             options,
             stimulus,
             cycles,
+            meta: SubmitMeta::default(),
         }
+    }
+
+    /// Returns the point with a scheduling tag.
+    pub fn with_meta(mut self, meta: SubmitMeta) -> Self {
+        self.meta = meta;
+        self
     }
 
     /// Whether two campaign points describe the identical verification —
@@ -273,7 +325,8 @@ impl<'a> CampaignRequest<'a> {
     /// packed stimulus digest (which covers lane count, lane order and
     /// per-lane content) in place of the scalar one.
     fn coalesces_with(&self, other: &Self) -> bool {
-        self.options == other.options
+        self.meta == other.meta
+            && self.options == other.options
             && self.cycles == other.cycles
             && (std::ptr::eq(self.stimulus, other.stimulus)
                 || (self.stimulus.content_digest() == other.stimulus.content_digest()
@@ -409,7 +462,7 @@ impl DesyncService {
                         self.engine.intern_library(leader.library),
                         leader.options,
                     );
-                    queue.submit(request, SubmitOptions::default())
+                    queue.submit(request, SubmitOptions::default().with_meta(leader.meta))
                 })
                 .collect();
             queue.resume();
@@ -457,6 +510,8 @@ impl DesyncService {
             panics_contained: queue_counters.panics_contained,
             cancelled: queue_counters.cancelled,
             deadline_exceeded: queue_counters.deadline_exceeded,
+            tenants: queue_counters.tenants,
+            lanes: queue_counters.lanes,
         };
         ServiceOutcome { results, report }
     }
@@ -518,7 +573,7 @@ impl DesyncService {
                         leader.stimulus.clone(),
                         leader.cycles,
                     );
-                    queue.submit_sweep(request, SubmitOptions::default())
+                    queue.submit_sweep(request, SubmitOptions::default().with_meta(leader.meta))
                 })
                 .collect();
             queue.resume();
@@ -570,6 +625,8 @@ impl DesyncService {
             panics_contained: queue_counters.panics_contained,
             cancelled: queue_counters.cancelled,
             deadline_exceeded: queue_counters.deadline_exceeded,
+            tenants: queue_counters.tenants,
+            lanes: queue_counters.lanes,
         };
         SweepOutcome { results, report }
     }
@@ -621,7 +678,7 @@ impl DesyncService {
                         leader.stimulus.clone(),
                         leader.cycles,
                     );
-                    queue.submit_campaign(request, SubmitOptions::default())
+                    queue.submit_campaign(request, SubmitOptions::default().with_meta(leader.meta))
                 })
                 .collect();
             queue.resume();
@@ -682,6 +739,8 @@ impl DesyncService {
             panics_contained: queue_counters.panics_contained,
             cancelled: queue_counters.cancelled,
             deadline_exceeded: queue_counters.deadline_exceeded,
+            tenants: queue_counters.tenants,
+            lanes: queue_counters.lanes,
         };
         CampaignOutcome {
             results,
@@ -746,6 +805,44 @@ pub struct ServiceReport {
     pub cancelled: usize,
     /// Requests resolved [`DesyncError::DeadlineExceeded`].
     pub deadline_exceeded: usize,
+    /// Per-tenant scheduling counters, in first-submission order. One
+    /// entry ([`TenantId::DEFAULT`](crate::TenantId::DEFAULT)) for an
+    /// untagged batch.
+    pub tenants: Vec<TenantCounters>,
+    /// Per-lane scheduling counters, highest priority first.
+    pub lanes: Vec<LaneCounters>,
+}
+
+/// Renders the shared per-tenant / per-lane block of the service reports.
+fn write_scheduling_block(
+    f: &mut fmt::Formatter<'_>,
+    tenants: &[TenantCounters],
+    lanes: &[LaneCounters],
+) -> fmt::Result {
+    for t in tenants {
+        write!(
+            f,
+            "\n  tenant {}: {} submitted, {} dispatched, {} shed, \
+             waits sum {} max {} tick(s), high water {}",
+            t.tenant,
+            t.submitted,
+            t.dispatched,
+            t.shed,
+            t.wait_ticks,
+            t.max_wait_ticks,
+            t.high_water
+        )?;
+    }
+    if lanes.iter().any(|l| l.submitted > 0) {
+        write!(f, "\n  lanes:")?;
+        for (i, l) in lanes.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            write!(f, "{sep}{} {}/{}", l.priority, l.dispatched, l.submitted)?;
+        }
+        let aged: usize = lanes.iter().map(|l| l.aged_promotions).sum();
+        write!(f, " dispatched/submitted, {aged} aged promotion(s)")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for ServiceReport {
@@ -777,7 +874,8 @@ impl fmt::Display for ServiceReport {
             self.panics_contained,
             self.cancelled,
             self.deadline_exceeded
-        )
+        )?;
+        write_scheduling_block(f, &self.tenants, &self.lanes)
     }
 }
 
@@ -864,6 +962,10 @@ pub struct SweepReport {
     pub cancelled: usize,
     /// Points resolved [`DesyncError::DeadlineExceeded`].
     pub deadline_exceeded: usize,
+    /// Per-tenant scheduling counters, in first-submission order.
+    pub tenants: Vec<TenantCounters>,
+    /// Per-lane scheduling counters, highest priority first.
+    pub lanes: Vec<LaneCounters>,
 }
 
 impl SweepReport {
@@ -914,7 +1016,8 @@ impl fmt::Display for SweepReport {
             self.panics_contained,
             self.cancelled,
             self.deadline_exceeded
-        )
+        )?;
+        write_scheduling_block(f, &self.tenants, &self.lanes)
     }
 }
 

@@ -1,5 +1,6 @@
-//! The asynchronous submission front-end: bounded queue, tickets,
-//! cancellation, deadlines and per-request fault containment.
+//! The asynchronous submission front-end: tagged submissions, priority
+//! lanes, per-tenant fair scheduling, tickets, cancellation, deadlines and
+//! per-request fault containment.
 //!
 //! [`ServiceQueue`] is the execution core that
 //! [`DesyncService`](crate::DesyncService) layers its synchronous
@@ -7,46 +8,86 @@
 //! design request ([`QueueRequest`]) or a verification sweep point
 //! ([`QueueSweepRequest`]) — and immediately receive a [`TicketHandle`]
 //! they can poll, block on, or abandon; a fixed set of worker threads
-//! drains the queue in FIFO order and resolves each ticket with a
-//! `Result`.
+//! drains the queue and resolves each ticket with a `Result`.
 //!
-//! # Lifecycle of a request
+//! # Lifecycle of a request: tag → lane → tenant-DRR → worker
 //!
-//! 1. **Admission.** If the queue has a depth bound and is full, the
+//! 1. **Tagging.** Every submission carries a [`SubmitMeta`] (on
+//!    [`SubmitOptions`]): a [`TenantId`] naming who submitted it and a
+//!    [`Priority`] naming how urgent it is. Untagged submissions default
+//!    to [`TenantId::DEFAULT`] at [`Priority::Normal`] — a single-tenant,
+//!    single-lane queue schedules exactly like the historical FIFO.
+//! 2. **Admission.** Under the state lock the queue checks the global
+//!    depth bound *and* the submitting tenant's quota
+//!    ([`QueueConfig::tenant_quota`]). If either is exceeded, the
 //!    configured [`AdmissionPolicy`] decides: `RejectNew` resolves the
-//!    ticket right away with [`DesyncError::QueueFull`] (the request is
-//!    *shed*, counted in [`QueueCounters::shed`]); `BlockSubmitter` parks
-//!    the submitting thread until a slot frees.
-//! 2. **Pickup.** A worker pops the request, first checking its
+//!    ticket right away with [`DesyncError::QueueFull`] (carrying the
+//!    observed depth, capacity and the shedding tenant's quota state;
+//!    counted in [`QueueCounters::shed`] and the tenant's
+//!    [`TenantCounters::shed`]); `BlockSubmitter` parks the submitting
+//!    thread until a slot frees. Because the quota is per tenant, both
+//!    policies act on the *bursting* tenant while other tenants' traffic
+//!    keeps flowing. A submission that arrives after shutdown began
+//!    resolves [`DesyncError::Cancelled`] instead of enqueueing — it can
+//!    never be picked up, so it must never park a waiter.
+//! 3. **Lane selection.** Admitted requests land in the FIFO of their
+//!    (tenant, lane) pair. Lanes are *strict*: a worker always dispatches
+//!    from the highest non-empty lane. Priority preempts **dispatch
+//!    order only** — running work is never interrupted.
+//! 4. **Tenant DRR.** Within a lane, tenants are served deficit-round-
+//!    robin: each tenant in turn dispatches up to
+//!    [`QueueConfig::quantum`] requests (every request costs one deficit
+//!    unit), then the turn rotates. A 500-request burst from one tenant
+//!    therefore interleaves with another tenant's single request at
+//!    quantum granularity instead of starving it.
+//! 5. **Aging.** Strict lanes could starve low-priority work forever, so
+//!    the scheduler keeps a logical clock that ticks once per dispatch.
+//!    A request that has waited at least [`QueueConfig::aging_bound`]
+//!    ticks is promoted: the globally oldest such request dispatches next,
+//!    regardless of lane or DRR turn. This bounds every request's wait to
+//!    `aging_bound + high_water` dispatch ticks (once aged, each tick
+//!    dispatches the oldest pending submission, of which at most
+//!    `high_water` precede it). The clock is logical, not wall-time, so
+//!    the schedule stays bit-identical across worker counts and machines.
+//! 6. **Pickup.** A worker pops the scheduled request (appending a
+//!    [`DispatchRecord`] to the dispatch log), first checking its
 //!    [`CancelToken`] and deadline — a request cancelled while queued is
 //!    resolved [`DesyncError::Cancelled`] without touching the engine, an
 //!    expired one [`DesyncError::DeadlineExceeded`].
-//! 3. **Execution.** The worker runs the flow attached to the shared
+//! 7. **Execution.** The worker runs the flow attached to the shared
 //!    engine. The request's [`Interrupt`] travels inside the flow and is
 //!    re-checked at **every stage boundary** (cooperative cancellation:
 //!    a cancelled request stops at the next stage edge, never mid-stage).
-//! 4. **Containment.** The whole execution runs under `catch_unwind`: a
+//! 8. **Containment.** The whole execution runs under `catch_unwind`: a
 //!    panicking stage resolves *that request's* ticket with
 //!    [`DesyncError::StagePanicked`] (carrying the stage name from the
 //!    sticky [`stage_trace`]) and the worker survives. The store's
 //!    in-flight registry is unwound by its own drop guard, so followers of
 //!    a failed leader retry instead of hanging — no wedged keys.
-//! 5. **Resolution.** The ticket resolves exactly once (first write wins);
+//! 9. **Resolution.** The ticket resolves exactly once (first write wins);
 //!    waiters wake via condvar.
 //!
-//! Dropping the queue cancels every still-pending request (their tickets
-//! resolve [`DesyncError::Cancelled`]), lets in-progress work finish, and
-//! joins the workers.
+//! Dropping the queue cancels every still-pending request in submission
+//! order (their tickets resolve [`DesyncError::Cancelled`]), wakes any
+//! submitter parked by `BlockSubmitter` (whose request also resolves
+//! [`DesyncError::Cancelled`] rather than enqueueing into a queue nobody
+//! will drain), lets in-progress work finish, and joins the workers — no
+//! outstanding [`TicketHandle`] ever hangs.
 //!
 //! # Determinism
 //!
 //! The queue adds *scheduling*, never *content*: results are pure
 //! functions of the request, so any interleaving of workers produces
-//! bit-identical tickets. The sync wrappers additionally need
-//! deterministic *counters*; they use [`ServiceQueue::pause`] /
-//! [`ServiceQueue::resume`] to submit a whole batch before execution
+//! bit-identical tickets. The scheduler itself is deterministic too: pops
+//! are serialized under the state mutex and the next dispatch is a pure
+//! function of (submission order, tags, quantum, aging bound) — never of
+//! wall-clock time or worker identity. Given the same submission order the
+//! dispatch log, per-tenant counters and per-lane counters are
+//! bit-identical across 1, 2 or N workers. The sync wrappers additionally
+//! need deterministic *admission*; they use [`ServiceQueue::pause`] /
+//! [`ServiceQueue::resume`] to stage a whole batch before execution
 //! starts, which pins [`QueueCounters::high_water`] (and, under a depth
-//! bound, the shed pattern) independent of worker timing.
+//! bound or tenant quota, the shed pattern) independent of worker timing.
 
 use crate::engine::DesyncEngine;
 use crate::error::DesyncError;
@@ -56,7 +97,8 @@ use crate::options::DesyncOptions;
 use crate::verify::{EquivalenceReport, MultiSeedReport};
 use desync_netlist::{CellLibrary, Netlist};
 use desync_sim::{PackedVectorSource, VectorSource};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
@@ -102,6 +144,118 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Identifies the tenant (client, user, session) behind a submission, for
+/// fair scheduling and per-tenant accounting. Plain numeric identity —
+/// the queue attaches no meaning beyond equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The tenant every untagged submission is accounted to.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// A tenant with the given numeric identity.
+    pub const fn new(id: u32) -> Self {
+        Self(id)
+    }
+
+    /// The numeric identity.
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The strict-priority lane of a submission. Higher lanes always dispatch
+/// before lower ones (dispatch-order preemption only — running work is
+/// never interrupted); within a lane, tenants share deficit-round-robin.
+/// Anti-starvation aging ([`QueueConfig::aging_bound`]) bounds how long a
+/// low lane can be bypassed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work: bulk sweeps, prefetching, speculative points.
+    Low,
+    /// The default lane; untagged submissions land here.
+    #[default]
+    Normal,
+    /// Interactive work: dispatched before everything else.
+    High,
+}
+
+impl Priority {
+    /// Number of lanes.
+    pub const LANES: usize = 3;
+
+    /// The lane index (0 = [`Priority::Low`] … 2 = [`Priority::High`]).
+    pub const fn lane(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// The priority of a lane index (inverse of [`Priority::lane`]).
+    pub const fn from_lane(lane: usize) -> Priority {
+        match lane {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        }
+    }
+
+    /// The lowercase lane name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The scheduling tag of one submission: which tenant it belongs to and
+/// which priority lane it dispatches from. Defaults reproduce the
+/// historical untagged behaviour ([`TenantId::DEFAULT`],
+/// [`Priority::Normal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SubmitMeta {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The strict-priority lane.
+    pub priority: Priority,
+}
+
+impl SubmitMeta {
+    /// The default tag: [`TenantId::DEFAULT`] at [`Priority::Normal`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the tag with a tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Returns the tag with a priority lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -270,7 +424,8 @@ impl<T> TicketHandle<T> {
     ///
     /// Resolution is guaranteed as long as the owning [`ServiceQueue`] is
     /// eventually dropped: every submitted request is executed, shed,
-    /// or drain-cancelled.
+    /// drain-cancelled, or (when it arrives during shutdown) resolved
+    /// [`DesyncError::Cancelled`] at admission.
     pub fn wait(self) -> Result<T, DesyncError> {
         let mut slot = self
             .cell
@@ -424,10 +579,13 @@ pub struct SubmitOptions {
     /// `None` the queue creates one; either way the returned
     /// [`TicketHandle`] can cancel.
     pub cancel: Option<CancelToken>,
+    /// The scheduling tag: tenant + priority lane. Defaults to the
+    /// single-tenant normal lane, reproducing untagged FIFO behaviour.
+    pub meta: SubmitMeta,
 }
 
 impl SubmitOptions {
-    /// Defaults: no deadline, fresh cancel token.
+    /// Defaults: no deadline, fresh cancel token, default tag.
     pub fn new() -> Self {
         Self::default()
     }
@@ -443,23 +601,48 @@ impl SubmitOptions {
         self.cancel = Some(cancel);
         self
     }
+
+    /// Returns the options with a full scheduling tag.
+    pub fn with_meta(mut self, meta: SubmitMeta) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Returns the options tagged with a tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.meta.tenant = tenant;
+        self
+    }
+
+    /// Returns the options tagged with a priority lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.meta.priority = priority;
+        self
+    }
 }
 
-/// What happens when a submission meets a full queue.
+/// What happens when a submission meets a full queue or an exhausted
+/// tenant quota.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
     /// Shed the new request: its ticket resolves
     /// [`DesyncError::QueueFull`] immediately and
-    /// [`QueueCounters::shed`] increments. The service stays responsive;
-    /// callers retry with backoff.
+    /// [`QueueCounters::shed`] increments (globally and on the shedding
+    /// tenant). The service stays responsive; callers retry with backoff.
     #[default]
     RejectNew,
     /// Park the submitting thread until a slot frees — backpressure
-    /// propagates to the producer. No deadlock: workers drain
-    /// independently of submitters (unless the queue is paused and never
-    /// resumed, which is a caller bug).
+    /// propagates to the producer that caused the overload (a tenant at
+    /// its quota blocks only its own submitter; other tenants keep
+    /// flowing). No deadlock: workers drain independently of submitters
+    /// (unless the queue is paused and never resumed, which is a caller
+    /// bug), and shutdown wakes every parked submitter, resolving its
+    /// ticket [`DesyncError::Cancelled`].
     BlockSubmitter,
 }
+
+/// The default anti-starvation aging bound, in dispatch ticks.
+pub const DEFAULT_AGING_BOUND: usize = 64;
 
 /// Configuration of a [`ServiceQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -469,8 +652,23 @@ pub struct QueueConfig {
     /// Maximum pending (queued, not yet picked up) requests; `None` =
     /// unbounded.
     pub depth: Option<usize>,
-    /// Full-queue behaviour (only meaningful with a depth bound).
+    /// Full-queue behaviour (meaningful with a depth bound or a tenant
+    /// quota).
     pub admission: AdmissionPolicy,
+    /// The deficit-round-robin quantum: how many requests one tenant may
+    /// dispatch consecutively within a lane before the turn rotates
+    /// (clamped to at least one). Every request costs one deficit unit.
+    pub quantum: usize,
+    /// Anti-starvation bound, in dispatch ticks: a request that has
+    /// waited this many dispatches is promoted past lanes and DRR order.
+    /// `None` disables aging (strict lanes can then starve low-priority
+    /// work indefinitely). The worst-case wait with aging enabled is
+    /// `aging_bound + high_water` ticks.
+    pub aging_bound: Option<usize>,
+    /// Per-tenant pending-depth quota; `None` = unquotaed. A tenant at
+    /// its quota is shed or blocked (per [`AdmissionPolicy`]) without
+    /// affecting other tenants' admission.
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for QueueConfig {
@@ -479,12 +677,16 @@ impl Default for QueueConfig {
             workers: 1,
             depth: None,
             admission: AdmissionPolicy::RejectNew,
+            quantum: 1,
+            aging_bound: Some(DEFAULT_AGING_BOUND),
+            tenant_quota: None,
         }
     }
 }
 
 impl QueueConfig {
-    /// `workers` threads, unbounded depth, reject-new admission.
+    /// `workers` threads, unbounded depth, reject-new admission,
+    /// quantum 1, default aging bound, no tenant quota.
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
@@ -503,17 +705,112 @@ impl QueueConfig {
         self.admission = admission;
         self
     }
+
+    /// Returns the config with a DRR quantum.
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Returns the config with an anti-starvation aging bound.
+    pub fn with_aging_bound(mut self, bound: usize) -> Self {
+        self.aging_bound = Some(bound);
+        self
+    }
+
+    /// Returns the config with aging disabled (strict lanes may starve).
+    pub fn without_aging(mut self) -> Self {
+        self.aging_bound = None;
+        self
+    }
+
+    /// Returns the config with a per-tenant pending-depth quota.
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota);
+        self
+    }
+}
+
+/// Per-tenant traffic and scheduling counters, snapshot via
+/// [`ServiceQueue::counters`]. Tenants appear in first-submission order,
+/// which is deterministic given the submission order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantCounters {
+    /// The tenant these counters describe.
+    pub tenant: TenantId,
+    /// Requests accepted into the queue (sheds not included).
+    pub submitted: usize,
+    /// Requests popped by the scheduler (includes requests later resolved
+    /// cancelled/expired at pickup).
+    pub dispatched: usize,
+    /// Requests whose execution ran to completion.
+    pub completed: usize,
+    /// Requests shed at admission (full queue or exhausted quota).
+    pub shed: usize,
+    /// Requests resolved [`DesyncError::Cancelled`].
+    pub cancelled: usize,
+    /// Requests resolved [`DesyncError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
+    /// Worker panics contained into [`DesyncError::StagePanicked`].
+    pub panics_contained: usize,
+    /// Requests of this tenant pending at snapshot time.
+    pub pending: usize,
+    /// Highest pending depth this tenant ever reached.
+    pub high_water: usize,
+    /// Sum of queue waits over all dispatches, in dispatch ticks.
+    pub wait_ticks: u64,
+    /// Longest queue wait of any dispatch, in dispatch ticks.
+    pub max_wait_ticks: u64,
+    /// Residual DRR deficit per lane (index = [`Priority::lane`]) at
+    /// snapshot time.
+    pub deficit: [u64; Priority::LANES],
+}
+
+/// Per-lane traffic counters, snapshot via [`ServiceQueue::counters`].
+/// Lanes are reported highest priority first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneCounters {
+    /// The lane these counters describe.
+    pub priority: Priority,
+    /// Requests accepted into this lane.
+    pub submitted: usize,
+    /// Requests dispatched from this lane.
+    pub dispatched: usize,
+    /// Dispatches that bypassed lane/DRR order via the aging bound.
+    pub aged_promotions: usize,
+    /// Longest queue wait of any dispatch from this lane, in ticks.
+    pub max_wait_ticks: u64,
+}
+
+/// One entry of the dispatch log: which submission the scheduler served
+/// at each dispatch tick. Pure function of (submission order, tags,
+/// quantum, aging bound) — bit-identical across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The submission's admission sequence number (0-based, in submission
+    /// order, counting only admitted requests).
+    pub seq: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The lane it dispatched from.
+    pub priority: Priority,
+    /// Dispatch ticks spent queued (dispatch tick − enqueue tick).
+    pub wait_ticks: u64,
+    /// Whether the aging bound promoted this dispatch past the strict
+    /// lane/DRR order.
+    pub aged: bool,
 }
 
 /// A snapshot of a [`ServiceQueue`]'s traffic counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QueueCounters {
     /// Requests accepted into the queue (sheds not included).
     pub submitted: usize,
     /// Requests whose execution ran to completion (successfully or with a
     /// typed per-request error other than cancellation/deadline).
     pub completed: usize,
-    /// Requests shed by [`AdmissionPolicy::RejectNew`] on a full queue.
+    /// Requests shed by [`AdmissionPolicy::RejectNew`] on a full queue or
+    /// an exhausted tenant quota.
     pub shed: usize,
     /// Requests resolved [`DesyncError::Cancelled`] (while queued, at a
     /// stage boundary, or drained on queue drop).
@@ -527,6 +824,10 @@ pub struct QueueCounters {
     pub depth: usize,
     /// Highest pending depth ever observed.
     pub high_water: usize,
+    /// Per-tenant counters, in first-submission order.
+    pub tenants: Vec<TenantCounters>,
+    /// Per-lane counters, highest priority first.
+    pub lanes: Vec<LaneCounters>,
 }
 
 /// One queued unit of work.
@@ -545,10 +846,315 @@ struct Job {
     fail: Box<dyn FnOnce(DesyncError) + Send>,
     /// Checked at pickup, before any engine work.
     interrupt: Interrupt,
+    /// The submitting tenant (per-tenant counter attribution).
+    tenant: TenantId,
+    /// The lane it was submitted to.
+    priority: Priority,
 }
 
 /// A [`Job`]'s executable body: `(shared, worker_index)`.
 type JobRun = Box<dyn FnOnce(&QueueShared, usize) + Send>;
+
+/// A job waiting in one (tenant, lane) FIFO, stamped with its admission
+/// sequence number and the logical enqueue tick.
+struct PendingJob {
+    job: Job,
+    seq: u64,
+    enqueue_tick: u64,
+}
+
+/// Per-tenant scheduler state: one FIFO and one DRR deficit per lane,
+/// plus the tenant's counters.
+struct TenantSched {
+    id: TenantId,
+    queues: [VecDeque<PendingJob>; Priority::LANES],
+    deficit: [u64; Priority::LANES],
+    pending: usize,
+    high_water: usize,
+    submitted: usize,
+    dispatched: usize,
+    completed: usize,
+    shed: usize,
+    cancelled: usize,
+    deadline_exceeded: usize,
+    panics_contained: usize,
+    wait_ticks: u64,
+    max_wait_ticks: u64,
+}
+
+impl TenantSched {
+    fn new(id: TenantId) -> Self {
+        Self {
+            id,
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            deficit: [0; Priority::LANES],
+            pending: 0,
+            high_water: 0,
+            submitted: 0,
+            dispatched: 0,
+            completed: 0,
+            shed: 0,
+            cancelled: 0,
+            deadline_exceeded: 0,
+            panics_contained: 0,
+            wait_ticks: 0,
+            max_wait_ticks: 0,
+        }
+    }
+
+    fn counters(&self) -> TenantCounters {
+        TenantCounters {
+            tenant: self.id,
+            submitted: self.submitted,
+            dispatched: self.dispatched,
+            completed: self.completed,
+            shed: self.shed,
+            cancelled: self.cancelled,
+            deadline_exceeded: self.deadline_exceeded,
+            panics_contained: self.panics_contained,
+            pending: self.pending,
+            high_water: self.high_water,
+            wait_ticks: self.wait_ticks,
+            max_wait_ticks: self.max_wait_ticks,
+            deficit: self.deficit,
+        }
+    }
+}
+
+/// Per-lane scheduler state: the DRR ring of tenants with pending work in
+/// this lane (invariant: a tenant index is in `active` iff its queue for
+/// this lane is non-empty), plus the lane's counters.
+struct LaneSched {
+    active: VecDeque<usize>,
+    submitted: usize,
+    dispatched: usize,
+    aged_promotions: usize,
+    max_wait_ticks: u64,
+}
+
+impl LaneSched {
+    fn new() -> Self {
+        Self {
+            active: VecDeque::new(),
+            submitted: 0,
+            dispatched: 0,
+            aged_promotions: 0,
+            max_wait_ticks: 0,
+        }
+    }
+}
+
+/// The deterministic dispatcher: strict priority lanes over per-tenant
+/// deficit-round-robin, with logical-clock aging. Lives entirely inside
+/// the queue's state mutex; every decision is a pure function of the
+/// submission order and tags, never of wall-clock time or worker
+/// identity.
+struct Scheduler {
+    quantum: u64,
+    aging_bound: Option<u64>,
+    tenants: Vec<TenantSched>,
+    index: HashMap<u32, usize>,
+    lanes: [LaneSched; Priority::LANES],
+    pending_total: usize,
+    next_seq: u64,
+    tick: u64,
+}
+
+impl Scheduler {
+    fn new(quantum: usize, aging_bound: Option<usize>) -> Self {
+        Self {
+            quantum: quantum.max(1) as u64,
+            aging_bound: aging_bound.map(|b| b as u64),
+            tenants: Vec::new(),
+            index: HashMap::new(),
+            lanes: std::array::from_fn(|_| LaneSched::new()),
+            pending_total: 0,
+            next_seq: 0,
+            tick: 0,
+        }
+    }
+
+    /// The stable index of `id`, registering the tenant on first sight
+    /// (indices are first-submission order — deterministic given the
+    /// submission order).
+    fn tenant_index(&mut self, id: TenantId) -> usize {
+        if let Some(&i) = self.index.get(&id.id()) {
+            return i;
+        }
+        self.tenants.push(TenantSched::new(id));
+        self.index.insert(id.id(), self.tenants.len() - 1);
+        self.tenants.len() - 1
+    }
+
+    fn pending(&self) -> usize {
+        self.pending_total
+    }
+
+    /// Admits `job` into its (tenant, lane) FIFO.
+    fn enqueue(&mut self, job: Job) {
+        let lane = job.priority.lane();
+        let ti = self.tenant_index(job.tenant);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let enqueue_tick = self.tick;
+        let tenant = &mut self.tenants[ti];
+        if tenant.queues[lane].is_empty() {
+            self.lanes[lane].active.push_back(ti);
+        }
+        tenant.queues[lane].push_back(PendingJob {
+            job,
+            seq,
+            enqueue_tick,
+        });
+        tenant.pending += 1;
+        tenant.high_water = tenant.high_water.max(tenant.pending);
+        tenant.submitted += 1;
+        self.lanes[lane].submitted += 1;
+        self.pending_total += 1;
+    }
+
+    /// The (lane, tenant index, seq) strict-priority DRR would serve next.
+    fn peek_normal(&self) -> Option<(usize, usize, u64)> {
+        for lane in (0..Priority::LANES).rev() {
+            if let Some(&ti) = self.lanes[lane].active.front() {
+                let seq = self.tenants[ti].queues[lane]
+                    .front()
+                    .expect("active ring invariant: non-empty lane queue")
+                    .seq;
+                return Some((lane, ti, seq));
+            }
+        }
+        None
+    }
+
+    /// The globally oldest pending job: (lane, tenant index, seq,
+    /// enqueue tick). Oldest-by-seq also means oldest-by-enqueue-tick
+    /// (ticks are non-decreasing in seq), which the aging bound relies on.
+    fn peek_oldest(&self) -> Option<(usize, usize, u64, u64)> {
+        let mut best: Option<(usize, usize, u64, u64)> = None;
+        for (ti, tenant) in self.tenants.iter().enumerate() {
+            for lane in 0..Priority::LANES {
+                if let Some(front) = tenant.queues[lane].front() {
+                    if best.is_none_or(|(_, _, seq, _)| front.seq < seq) {
+                        best = Some((lane, ti, front.seq, front.enqueue_tick));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Pops the next scheduled job, advancing the dispatch clock. The
+    /// decision order: aging promotion of the globally oldest request if
+    /// it has waited `aging_bound` ticks and is not the normal candidate
+    /// anyway; otherwise the highest non-empty lane's DRR front.
+    fn pop(&mut self) -> Option<(Job, DispatchRecord)> {
+        let (mut lane, mut ti, normal_seq) = self.peek_normal()?;
+        let mut aged = false;
+        if let Some(bound) = self.aging_bound {
+            if let Some((olane, oti, oseq, otick)) = self.peek_oldest() {
+                if oseq != normal_seq && self.tick.saturating_sub(otick) >= bound {
+                    aged = true;
+                    lane = olane;
+                    ti = oti;
+                }
+            }
+        }
+
+        let pending = if aged {
+            // Out-of-band promotion: serve the queue front directly and
+            // repair the active ring if the queue drained.
+            let tenant = &mut self.tenants[ti];
+            let pending = tenant.queues[lane]
+                .pop_front()
+                .expect("aged candidate has a queue front");
+            if tenant.queues[lane].is_empty() {
+                tenant.deficit[lane] = 0;
+                if let Some(pos) = self.lanes[lane].active.iter().position(|&x| x == ti) {
+                    self.lanes[lane].active.remove(pos);
+                }
+            }
+            self.lanes[lane].aged_promotions += 1;
+            pending
+        } else {
+            let tenant = &mut self.tenants[ti];
+            if tenant.deficit[lane] == 0 {
+                tenant.deficit[lane] = self.quantum;
+            }
+            let pending = tenant.queues[lane]
+                .pop_front()
+                .expect("active ring invariant: non-empty lane queue");
+            tenant.deficit[lane] -= 1;
+            if tenant.queues[lane].is_empty() {
+                tenant.deficit[lane] = 0;
+                self.lanes[lane].active.pop_front();
+            } else if tenant.deficit[lane] == 0 {
+                // Quantum exhausted: rotate the tenant to the ring's back.
+                let front = self.lanes[lane]
+                    .active
+                    .pop_front()
+                    .expect("active ring invariant: ring front exists");
+                self.lanes[lane].active.push_back(front);
+            }
+            pending
+        };
+
+        let wait = self.tick - pending.enqueue_tick;
+        let tenant = &mut self.tenants[ti];
+        tenant.pending -= 1;
+        tenant.dispatched += 1;
+        tenant.wait_ticks += wait;
+        tenant.max_wait_ticks = tenant.max_wait_ticks.max(wait);
+        self.lanes[lane].dispatched += 1;
+        self.lanes[lane].max_wait_ticks = self.lanes[lane].max_wait_ticks.max(wait);
+        self.pending_total -= 1;
+        self.tick += 1;
+        let record = DispatchRecord {
+            seq: pending.seq,
+            tenant: tenant.id,
+            priority: pending.job.priority,
+            wait_ticks: wait,
+            aged,
+        };
+        Some((pending.job, record))
+    }
+
+    /// Removes every pending job, in submission order, for drain-cancel
+    /// at shutdown. Resets the rings and deficits; counters survive.
+    fn drain(&mut self) -> Vec<Job> {
+        let mut all: Vec<PendingJob> = Vec::new();
+        for tenant in &mut self.tenants {
+            for lane in 0..Priority::LANES {
+                all.extend(tenant.queues[lane].drain(..));
+            }
+            tenant.deficit = [0; Priority::LANES];
+            tenant.pending = 0;
+        }
+        for lane in &mut self.lanes {
+            lane.active.clear();
+        }
+        self.pending_total = 0;
+        all.sort_by_key(|p| p.seq);
+        all.into_iter().map(|p| p.job).collect()
+    }
+
+    fn tenant_counters(&self) -> Vec<TenantCounters> {
+        self.tenants.iter().map(TenantSched::counters).collect()
+    }
+
+    fn lane_counters(&self) -> Vec<LaneCounters> {
+        (0..Priority::LANES)
+            .rev()
+            .map(|lane| LaneCounters {
+                priority: Priority::from_lane(lane),
+                submitted: self.lanes[lane].submitted,
+                dispatched: self.lanes[lane].dispatched,
+                aged_promotions: self.lanes[lane].aged_promotions,
+                max_wait_ticks: self.lanes[lane].max_wait_ticks,
+            })
+            .collect()
+    }
+}
 
 /// Everything the workers and the handle share.
 struct QueueShared {
@@ -556,10 +1162,11 @@ struct QueueShared {
     state: Mutex<QueueState>,
     /// Signals workers: work available, unpaused, or shutdown.
     jobs_ready: Condvar,
-    /// Signals blocked submitters: a slot freed.
+    /// Signals blocked submitters: a slot freed (or shutdown began).
     space_ready: Condvar,
     depth: Option<usize>,
     admission: AdmissionPolicy,
+    tenant_quota: Option<usize>,
     submitted: AtomicUsize,
     completed: AtomicUsize,
     shed: AtomicUsize,
@@ -571,15 +1178,26 @@ struct QueueShared {
 }
 
 struct QueueState {
-    pending: VecDeque<Job>,
+    sched: Scheduler,
     paused: bool,
     shutdown: bool,
     high_water: usize,
+    dispatch_log: Vec<DispatchRecord>,
 }
 
 impl QueueShared {
     fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Bumps one of `tenant`'s counters under the state lock. The tenant
+    /// is always registered (it was registered at admission), but a
+    /// missing entry is tolerated rather than panicking in a worker.
+    fn bump_tenant(&self, tenant: TenantId, bump: impl FnOnce(&mut TenantSched)) {
+        let mut state = self.lock_state();
+        if let Some(&i) = state.sched.index.get(&tenant.id()) {
+            bump(&mut state.sched.tenants[i]);
+        }
     }
 }
 
@@ -597,6 +1215,7 @@ impl std::fmt::Debug for QueueShared {
         f.debug_struct("QueueShared")
             .field("depth", &self.depth)
             .field("admission", &self.admission)
+            .field("tenant_quota", &self.tenant_quota)
             .finish_non_exhaustive()
     }
 }
@@ -608,15 +1227,17 @@ impl ServiceQueue {
         let shared = Arc::new(QueueShared {
             engine,
             state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
+                sched: Scheduler::new(config.quantum, config.aging_bound),
                 paused: false,
                 shutdown: false,
                 high_water: 0,
+                dispatch_log: Vec::new(),
             }),
             jobs_ready: Condvar::new(),
             space_ready: Condvar::new(),
             depth: config.depth,
             admission: config.admission,
+            tenant_quota: config.tenant_quota,
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
@@ -699,14 +1320,16 @@ impl ServiceQueue {
         })
     }
 
-    /// The shared submission path: admission control, ticket creation,
-    /// enqueue. `execute` returns the request's result plus the simulation
-    /// events it committed (zero for design requests).
+    /// The shared submission path: admission control (global depth +
+    /// tenant quota + shutdown), ticket creation, enqueue into the
+    /// scheduler. `execute` returns the request's result plus the
+    /// simulation events it committed (zero for design requests).
     fn submit_job<T: Send + 'static>(
         &self,
         options: SubmitOptions,
         execute: impl FnOnce(&Interrupt) -> (Result<T, DesyncError>, usize) + Send + 'static,
     ) -> TicketHandle<T> {
+        let meta = options.meta;
         let cancel = options.cancel.unwrap_or_default();
         let deadline = options.deadline.map(|d| Instant::now() + d);
         let interrupt = Interrupt::new(Some(cancel.clone()), deadline);
@@ -717,24 +1340,52 @@ impl ServiceQueue {
         };
 
         let mut state = self.shared.lock_state();
-        if let Some(bound) = self.shared.depth {
+        // Register the tenant first so shed/cancel paths have a counter
+        // row even when the request never enqueues.
+        let ti = state.sched.tenant_index(meta.tenant);
+        loop {
+            if state.shutdown {
+                // The queue is shutting down: nothing will ever drain this
+                // request, so it must resolve now — never enqueue, never
+                // keep a submitter parked.
+                state.sched.tenants[ti].cancelled += 1;
+                drop(state);
+                self.shared.cancelled.fetch_add(1, Ordering::SeqCst);
+                cell.resolve(Err(DesyncError::Cancelled));
+                return handle;
+            }
+            let global_full = self
+                .shared
+                .depth
+                .is_some_and(|bound| state.sched.pending() >= bound);
+            let tenant_full = self
+                .shared
+                .tenant_quota
+                .is_some_and(|quota| state.sched.tenants[ti].pending >= quota);
+            if !global_full && !tenant_full {
+                break;
+            }
             match self.shared.admission {
                 AdmissionPolicy::RejectNew => {
-                    if state.pending.len() >= bound {
-                        drop(state);
-                        self.shared.shed.fetch_add(1, Ordering::SeqCst);
-                        cell.resolve(Err(DesyncError::QueueFull));
-                        return handle;
-                    }
+                    let error = DesyncError::QueueFull {
+                        depth: state.sched.pending(),
+                        capacity: self.shared.depth,
+                        tenant: meta.tenant,
+                        tenant_depth: state.sched.tenants[ti].pending,
+                        tenant_quota: self.shared.tenant_quota,
+                    };
+                    state.sched.tenants[ti].shed += 1;
+                    drop(state);
+                    self.shared.shed.fetch_add(1, Ordering::SeqCst);
+                    cell.resolve(Err(error));
+                    return handle;
                 }
                 AdmissionPolicy::BlockSubmitter => {
-                    while state.pending.len() >= bound && !state.shutdown {
-                        state = self
-                            .shared
-                            .space_ready
-                            .wait(state)
-                            .unwrap_or_else(PoisonError::into_inner);
-                    }
+                    state = self
+                        .shared
+                        .space_ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -742,18 +1393,22 @@ impl ServiceQueue {
         let run_cell = Arc::clone(&cell);
         let run_interrupt = interrupt.clone();
         let fail_cell = Arc::clone(&cell);
-        state.pending.push_back(Job {
+        let tenant = meta.tenant;
+        state.sched.enqueue(Job {
             run: Box::new(move |shared: &QueueShared, worker: usize| {
                 let (result, simulated) = execute(&run_interrupt);
                 // Counters strictly before resolution (see `Job` docs).
                 match &result {
                     Err(DesyncError::Cancelled) => {
+                        shared.bump_tenant(tenant, |t| t.cancelled += 1);
                         shared.cancelled.fetch_add(1, Ordering::SeqCst);
                     }
                     Err(DesyncError::DeadlineExceeded) => {
+                        shared.bump_tenant(tenant, |t| t.deadline_exceeded += 1);
                         shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
                     }
                     _ => {
+                        shared.bump_tenant(tenant, |t| t.completed += 1);
                         shared.completed.fetch_add(1, Ordering::SeqCst);
                         if simulated > 0 {
                             shared.worker_events[worker].fetch_add(simulated, Ordering::SeqCst);
@@ -764,8 +1419,10 @@ impl ServiceQueue {
             }),
             fail: Box::new(move |error| fail_cell.resolve(Err(error))),
             interrupt,
+            tenant: meta.tenant,
+            priority: meta.priority,
         });
-        state.high_water = state.high_water.max(state.pending.len());
+        state.high_water = state.high_water.max(state.sched.pending());
         self.shared.submitted.fetch_add(1, Ordering::SeqCst);
         drop(state);
         self.shared.jobs_ready.notify_one();
@@ -776,7 +1433,9 @@ impl ServiceQueue {
     /// submissions keep queueing. With [`ServiceQueue::resume`] this lets
     /// a caller stage a whole batch before execution starts — the sync
     /// wrappers use it to make `high_water` (and shed patterns under a
-    /// depth bound) deterministic.
+    /// depth bound or tenant quota) deterministic, and it pins the
+    /// dispatch order: with the whole batch staged, the scheduler's
+    /// decisions depend only on submission order and tags.
     pub fn pause(&self) {
         self.shared.lock_state().paused = true;
     }
@@ -787,11 +1446,17 @@ impl ServiceQueue {
         self.shared.jobs_ready.notify_all();
     }
 
-    /// A snapshot of the queue's traffic counters.
+    /// A snapshot of the queue's traffic counters, including the
+    /// per-tenant and per-lane blocks.
     pub fn counters(&self) -> QueueCounters {
-        let (depth, high_water) = {
+        let (depth, high_water, tenants, lanes) = {
             let state = self.shared.lock_state();
-            (state.pending.len(), state.high_water)
+            (
+                state.sched.pending(),
+                state.high_water,
+                state.sched.tenant_counters(),
+                state.sched.lane_counters(),
+            )
         };
         QueueCounters {
             submitted: self.shared.submitted.load(Ordering::SeqCst),
@@ -802,7 +1467,18 @@ impl ServiceQueue {
             panics_contained: self.shared.panics_contained.load(Ordering::SeqCst),
             depth,
             high_water,
+            tenants,
+            lanes,
         }
+    }
+
+    /// The dispatch log so far: one [`DispatchRecord`] per scheduler pop,
+    /// in dispatch order. Deterministic across worker counts for a staged
+    /// batch. The log grows for the queue's lifetime (the sync wrappers
+    /// use one short-lived queue per batch, so it stays small; a
+    /// long-lived server queue may prefer [`ServiceQueue::counters`]).
+    pub fn dispatch_log(&self) -> Vec<DispatchRecord> {
+        self.shared.lock_state().dispatch_log.clone()
     }
 
     /// Simulation events committed per worker (sweep requests only),
@@ -815,23 +1491,45 @@ impl ServiceQueue {
             .map(|e| e.load(Ordering::SeqCst))
             .collect()
     }
-}
 
-impl Drop for ServiceQueue {
-    fn drop(&mut self) {
+    /// Shuts the queue down immediately: every queued-but-unstarted
+    /// request resolves [`DesyncError::Cancelled`] (in submission order,
+    /// so no waiter blocked in [`TicketHandle::wait`] /
+    /// [`TicketHandle::wait_timeout`] hangs), submitters parked on
+    /// [`AdmissionPolicy::BlockSubmitter`] backpressure wake and get their
+    /// tickets resolved `Cancelled` too, and further submissions resolve
+    /// `Cancelled` at admission. Requests already picked up by a worker
+    /// run to completion. Idempotent; dropping the queue calls it and then
+    /// joins the workers.
+    pub fn shutdown(&self) {
         let drained: Vec<Job> = {
             let mut state = self.shared.lock_state();
             state.shutdown = true;
             state.paused = false;
-            state.pending.drain(..).collect()
+            let drained = state.sched.drain();
+            for job in &drained {
+                if let Some(&i) = state.sched.index.get(&job.tenant.id()) {
+                    state.sched.tenants[i].cancelled += 1;
+                }
+            }
+            drained
         };
-        // Resolve every still-pending ticket Cancelled so no waiter hangs.
+        // Resolve every still-pending ticket Cancelled, in submission
+        // order, so no waiter hangs; then wake parked workers and
+        // submitters (a submitter's admission loop observes shutdown and
+        // resolves its ticket Cancelled too).
         for job in drained {
             self.shared.cancelled.fetch_add(1, Ordering::SeqCst);
             (job.fail)(DesyncError::Cancelled);
         }
         self.shared.jobs_ready.notify_all();
         self.shared.space_ready.notify_all();
+    }
+}
+
+impl Drop for ServiceQueue {
+    fn drop(&mut self) {
+        self.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -918,7 +1616,8 @@ fn worker_loop(shared: &QueueShared, index: usize) {
             let mut state = shared.lock_state();
             loop {
                 if !state.paused {
-                    if let Some(job) = state.pending.pop_front() {
+                    if let Some((job, record)) = state.sched.pop() {
+                        state.dispatch_log.push(record);
                         break job;
                     }
                     if state.shutdown {
@@ -938,10 +1637,17 @@ fn worker_loop(shared: &QueueShared, index: usize) {
 
         // Pre-start checkpoint: a request cancelled or expired while
         // queued never touches the engine. Counters before resolution.
+        let tenant = job.tenant;
         if let Err(error) = job.interrupt.check() {
             match &error {
-                DesyncError::Cancelled => shared.cancelled.fetch_add(1, Ordering::SeqCst),
-                _ => shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst),
+                DesyncError::Cancelled => {
+                    shared.bump_tenant(tenant, |t| t.cancelled += 1);
+                    shared.cancelled.fetch_add(1, Ordering::SeqCst)
+                }
+                _ => {
+                    shared.bump_tenant(tenant, |t| t.deadline_exceeded += 1);
+                    shared.deadline_exceeded.fetch_add(1, Ordering::SeqCst)
+                }
             };
             (job.fail)(error);
             continue;
@@ -956,6 +1662,7 @@ fn worker_loop(shared: &QueueShared, index: usize) {
         if let Err(payload) =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || run(shared, index)))
         {
+            shared.bump_tenant(tenant, |t| t.panics_contained += 1);
             shared.panics_contained.fetch_add(1, Ordering::SeqCst);
             let stage = stage_trace::take().unwrap_or("request");
             (job.fail)(DesyncError::StagePanicked {

@@ -172,13 +172,27 @@ fn reject_new_admission_sheds_past_the_bound() {
         .iter()
         .map(|n| queue.submit(request(&engine, n, &library), SubmitOptions::new()))
         .collect();
-    // Shed tickets resolve immediately, even while the queue is paused.
+    // Shed tickets resolve immediately, even while the queue is paused,
+    // and the error carries the observed depth and the shedding tenant's
+    // pending state.
     for shed in &tickets[2..] {
         assert!(shed.poll(), "shed ticket must resolve at submission");
-        assert_eq!(
-            shed.try_wait().unwrap().unwrap_err(),
-            DesyncError::QueueFull
-        );
+        match shed.try_wait().unwrap().unwrap_err() {
+            DesyncError::QueueFull {
+                depth,
+                capacity,
+                tenant,
+                tenant_depth,
+                tenant_quota,
+            } => {
+                assert_eq!(depth, 2);
+                assert_eq!(capacity, Some(2));
+                assert_eq!(tenant, desync_core::TenantId::DEFAULT);
+                assert_eq!(tenant_depth, 2);
+                assert_eq!(tenant_quota, None);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
     }
     let counters = queue.counters();
     assert_eq!(counters.shed, 2);
@@ -313,4 +327,163 @@ fn external_cancel_tokens_are_shared_across_requests() {
     assert!(tc.wait_timeout(WAIT).unwrap().is_ok());
     assert_eq!(queue.counters().cancelled, 2);
     assert_eq!(queue.counters().completed, 1);
+}
+
+#[test]
+fn shutdown_wakes_waiters_already_blocked_in_wait() {
+    // Regression: dropping the queue with queued-but-unstarted requests
+    // must resolve every outstanding ticket with a typed cancellation —
+    // including tickets other threads are *already blocked on* in `wait`
+    // and `wait_timeout` at shutdown time. A hang here wedges clients
+    // forever.
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+    let netlist = pipeline3("shutdown_waiters");
+    let library = CellLibrary::generic_90nm();
+
+    queue.pause();
+    let blocking_wait = queue.submit(request(&engine, &netlist, &library), SubmitOptions::new());
+    let blocking_timeout = queue.submit(request(&engine, &netlist, &library), SubmitOptions::new());
+    let waiter = std::thread::spawn(move || blocking_wait.wait());
+    let timeout_waiter = std::thread::spawn(move || blocking_timeout.wait_timeout(WAIT));
+    // Give both threads time to actually park on the ticket condvars.
+    std::thread::sleep(Duration::from_millis(50));
+
+    drop(queue); // still paused: both requests are queued, never started
+
+    assert_eq!(
+        waiter.join().expect("waiter thread exits"),
+        Err(DesyncError::Cancelled)
+    );
+    assert_eq!(
+        timeout_waiter.join().expect("timeout waiter exits"),
+        Some(Err(DesyncError::Cancelled))
+    );
+}
+
+#[test]
+fn shutdown_unblocks_a_submitter_parked_on_admission() {
+    // Regression: a submitter blocked by `BlockSubmitter` backpressure at
+    // shutdown must get its ticket resolved `Cancelled` — not enqueue into
+    // a drained queue and hang the ticket forever. Explicit `shutdown` is
+    // the only way to reach this: the parked submitter holds a queue
+    // handle, so drop-based shutdown could never run while it is parked.
+    let engine = Arc::new(DesyncEngine::with_workers(1));
+    let queue = Arc::new(desync_core::ServiceQueue::new(
+        Arc::clone(&engine),
+        QueueConfig::with_workers(1)
+            .with_depth(1)
+            .with_admission(AdmissionPolicy::BlockSubmitter),
+    ));
+    let library = CellLibrary::generic_90nm();
+    let first = pipeline3("parked_first");
+    let second = pipeline3("parked_second");
+
+    // Paused and at depth: the second submission parks its thread.
+    queue.pause();
+    let queued = queue.submit(request(&engine, &first, &library), SubmitOptions::new());
+    let parked = {
+        let queue = Arc::clone(&queue);
+        let request = request(&engine, &second, &library);
+        std::thread::spawn(move || {
+            let ticket = queue.submit(request, SubmitOptions::new());
+            ticket.wait_timeout(WAIT)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    queue.shutdown();
+
+    assert_eq!(
+        parked.join().expect("parked submitter exits"),
+        Some(Err(DesyncError::Cancelled)),
+        "admission must resolve the parked submission, not enqueue it"
+    );
+    assert_eq!(
+        queued.wait_timeout(WAIT).expect("drain resolves"),
+        Err(DesyncError::Cancelled)
+    );
+    // Shutdown is sticky: later submissions resolve Cancelled at admission.
+    let late = queue.submit(request(&engine, &first, &library), SubmitOptions::new());
+    assert_eq!(
+        late.wait_timeout(WAIT).expect("resolves"),
+        Err(DesyncError::Cancelled)
+    );
+    drop(queue); // idempotent: drop re-runs shutdown, then joins workers
+}
+
+#[test]
+fn cancel_while_queued_is_identical_across_policies_and_workers() {
+    // A token fired while the request is still queued must behave the
+    // same under both admission policies and any worker count: the victim
+    // resolves `Cancelled` before reaching the engine (no in-flight
+    // leader is ever registered for it), survivors complete, and the
+    // counters are bit-identical.
+    let library = CellLibrary::generic_90nm();
+    let survivor_a = pipeline3("cpx_a");
+    let survivor_b = pipeline3("cpx_b");
+    let victim = pipeline3("cpx_victim");
+
+    // Baseline store traffic: the two survivors alone.
+    let baseline_misses = {
+        let engine = Arc::new(DesyncEngine::with_workers(1));
+        let queue =
+            desync_core::ServiceQueue::new(Arc::clone(&engine), QueueConfig::with_workers(1));
+        for n in [&survivor_a, &survivor_b] {
+            queue
+                .submit(request(&engine, n, &library), SubmitOptions::new())
+                .wait_timeout(WAIT)
+                .expect("resolves")
+                .expect("ok");
+        }
+        engine.report().total_misses()
+    };
+
+    for admission in [AdmissionPolicy::RejectNew, AdmissionPolicy::BlockSubmitter] {
+        let mut counter_runs = Vec::new();
+        for workers in [1usize, 2] {
+            let engine = Arc::new(DesyncEngine::with_workers(2));
+            let queue = desync_core::ServiceQueue::new(
+                Arc::clone(&engine),
+                QueueConfig::with_workers(workers)
+                    .with_depth(8) // roomy: policies differ only when full
+                    .with_admission(admission),
+            );
+            queue.pause();
+            let ta = queue.submit(
+                request(&engine, &survivor_a, &library),
+                SubmitOptions::new(),
+            );
+            let doomed = queue.submit(request(&engine, &victim, &library), SubmitOptions::new());
+            let tb = queue.submit(
+                request(&engine, &survivor_b, &library),
+                SubmitOptions::new(),
+            );
+            doomed.cancel();
+            queue.resume();
+
+            assert_eq!(
+                doomed.wait_timeout(WAIT).expect("resolves").unwrap_err(),
+                DesyncError::Cancelled
+            );
+            assert!(ta.wait_timeout(WAIT).expect("resolves").is_ok());
+            assert!(tb.wait_timeout(WAIT).expect("resolves").is_ok());
+            assert_eq!(
+                engine.report().total_misses(),
+                baseline_misses,
+                "the cancelled request must never register an in-flight leader \
+                 ({admission:?}, workers={workers})"
+            );
+            assert_eq!(engine.inflight_artifacts(), 0);
+            counter_runs.push(queue.counters());
+        }
+        let [one, two] = counter_runs.try_into().expect("two runs");
+        assert_eq!(
+            one, two,
+            "queue counters must match across worker counts ({admission:?})"
+        );
+        assert_eq!(one.cancelled, 1);
+        assert_eq!(one.completed, 2);
+        assert_eq!(one.shed, 0);
+    }
 }

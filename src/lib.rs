@@ -56,7 +56,16 @@
 //! ([`AdmissionPolicy`](core::AdmissionPolicy)), and per-request panic
 //! containment — a worker panic resolves that one ticket with a typed
 //! [`DesyncError::StagePanicked`](core::DesyncError) and never poisons the
-//! shared engine.
+//! shared engine. The queue schedules fairly across tenants: submissions
+//! carry a [`SubmitMeta`](core::SubmitMeta) tag (a [`TenantId`](core::TenantId)
+//! and a [`Priority`](core::Priority) lane), dispatch is strict-priority over
+//! deficit round-robin with anti-starvation aging, per-tenant quotas shed
+//! only the bursting tenant, and reports carry per-tenant / per-lane
+//! counter blocks ([`TenantCounters`](core::TenantCounters),
+//! [`LaneCounters`](core::LaneCounters)) plus a deterministic dispatch log.
+//! A soak harness ([`run_soak`](core::run_soak)) replays recorded
+//! multi-tenant traffic ([`TrafficRecording`](core::TrafficRecording))
+//! under seeded fault plans and asserts the robustness invariants.
 //!
 //! # Quickstart
 //!
@@ -107,14 +116,15 @@ pub use desync_sta as sta;
 pub mod prelude {
     pub use desync_circuits::{DlxConfig, FirConfig, LinearPipelineConfig};
     pub use desync_core::{
-        sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_packed,
+        run_soak, sync_reference_run, verify_flow_equivalence, verify_flow_equivalence_packed,
         verify_flow_equivalence_with_reference, AdmissionPolicy, CampaignOutcome, CampaignRequest,
         CancelToken, ClusteringStrategy, ControlNetwork, DesyncDesign, DesyncEngine, DesyncError,
-        DesyncFlow, DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, DivergenceWindow,
-        EngineReport, EquivalenceReport, FlowReport, MultiSeedReport, Protocol, QueueConfig,
-        QueueCounters, QueueRequest, QueueSweepRequest, ServiceQueue, ServiceReport,
-        ServiceRequest, SizingAnalysis, Stage, StoreConfig, SubmitOptions, SweepReport,
-        SweepRequest, TicketHandle, TimingTable,
+        DesyncFlow, DesyncOptions, DesyncRuntime, DesyncService, Desynchronizer, DispatchRecord,
+        DivergenceWindow, EngineReport, EquivalenceReport, FlowReport, LaneCounters,
+        MultiSeedReport, Priority, Protocol, QueueConfig, QueueCounters, QueueRequest,
+        QueueSweepRequest, ServiceQueue, ServiceReport, ServiceRequest, SizingAnalysis, SoakConfig,
+        SoakReport, Stage, StoreConfig, SubmitMeta, SubmitOptions, SweepReport, SweepRequest,
+        TenantCounters, TenantId, TicketHandle, TimingTable, TrafficRecording,
     };
     pub use desync_lint::{lint_design, Diagnostic, LintCode, LintReport, Severity};
     pub use desync_mg::{FlowEquivalence, FlowTrace, MarkedGraph, Stg};
